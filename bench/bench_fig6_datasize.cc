@@ -1,0 +1,52 @@
+// Figure 6 reproduction: Top-3 refinement time vs data size (20%..100% of
+// the DBLP corpus) for SLE and Partition, over a fixed batch of corrupted
+// queries.
+//
+// Expected shape (paper Section VIII-B): both algorithms scale
+// near-linearly with data size.
+#include "bench/bench_util.h"
+
+namespace xrefine::bench {
+namespace {
+
+void Main() {
+  PrintHeader("Figure 6: Top-3 refinement time vs data size (ms/query)");
+  const size_t kFullAuthors = 1500;
+  std::printf("%-12s %12s %12s %12s %12s\n", "size", "nodes", "queries",
+              "sle", "partition");
+
+  for (int pct = 20; pct <= 100; pct += 20) {
+    size_t authors = kFullAuthors * static_cast<size_t>(pct) / 100;
+    Env env = MakeDblpEnv(authors);
+    auto pool = MakePool(env, 40, "inproceedings", 555);
+    if (pool.empty()) continue;
+
+    double times[2];
+    const core::RefineAlgorithm algorithms[] = {
+        core::RefineAlgorithm::kShortListEager,
+        core::RefineAlgorithm::kPartition};
+    for (int a = 0; a < 2; ++a) {
+      core::XRefineOptions options;
+      options.algorithm = algorithms[a];
+      options.top_k = 3;
+      for (const auto& cq : pool) env.Run(cq.corrupted, options);  // warm
+      double total = TimeMs(
+          [&] {
+            for (const auto& cq : pool) env.Run(cq.corrupted, options);
+          },
+          3);
+      times[a] = total / static_cast<double>(pool.size());
+    }
+    std::printf("%11d%% %12zu %12zu %12.3f %12.3f\n", pct,
+                env.doc->NodeCount(), pool.size(), times[0], times[1]);
+  }
+  std::printf("\nnote: expect both series to grow roughly linearly.\n");
+}
+
+}  // namespace
+}  // namespace xrefine::bench
+
+int main() {
+  xrefine::bench::Main();
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Micro-benchmarks (google-benchmark) for the building blocks: XML parsing,
+// index construction, B+-tree operations, edit distance, Porter stemming,
+// the SLCA algorithms, the getOptimalRQ dynamic program, and search-for-node
+// inference.
+#include <benchmark/benchmark.h>
+
+#include "core/optimal_rq.h"
+#include "core/rule_generator.h"
+#include "index/index_builder.h"
+#include "slca/slca.h"
+#include "storage/kvstore.h"
+#include "text/edit_distance.h"
+#include "text/porter_stemmer.h"
+#include "workload/dblp_generator.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace xrefine {
+namespace {
+
+const xml::Document& SharedDoc() {
+  static const xml::Document* doc = [] {
+    workload::DblpOptions options;
+    options.num_authors = 400;
+    return new xml::Document(workload::GenerateDblp(options));
+  }();
+  return *doc;
+}
+
+const index::IndexedCorpus& SharedCorpus() {
+  static const index::IndexedCorpus* corpus =
+      index::BuildIndex(SharedDoc()).release();
+  return *corpus;
+}
+
+void BM_XmlParse(benchmark::State& state) {
+  static const std::string* xml_text =
+      new std::string(xml::WriteXml(SharedDoc()));
+  for (auto _ : state) {
+    auto doc = xml::ParseXml(*xml_text);
+    benchmark::DoNotOptimize(doc.ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(xml_text->size()));
+}
+BENCHMARK(BM_XmlParse);
+
+void BM_IndexBuild(benchmark::State& state) {
+  const auto& doc = SharedDoc();
+  for (auto _ : state) {
+    auto corpus = index::BuildIndex(doc);
+    benchmark::DoNotOptimize(corpus->index().keyword_count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.NodeCount()));
+}
+BENCHMARK(BM_IndexBuild);
+
+void BM_BTreePut(benchmark::State& state) {
+  auto store = storage::KVStore::Open("");
+  int i = 0;
+  for (auto _ : state) {
+    std::string key = "key" + std::to_string(i++);
+    benchmark::DoNotOptimize(store.value()->Put(key, "value").ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BTreePut);
+
+void BM_BTreeGet(benchmark::State& state) {
+  auto store = storage::KVStore::Open("");
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    (void)store.value()->Put("key" + std::to_string(i), "value");
+  }
+  int i = 0;
+  for (auto _ : state) {
+    std::string key = "key" + std::to_string(i++ % kN);
+    auto v = store.value()->Get(key);
+    benchmark::DoNotOptimize(v.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BTreeGet);
+
+void BM_EditDistanceBanded(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        text::EditDistanceAtMost("optimization", "optimisation", 2));
+  }
+}
+BENCHMARK(BM_EditDistanceBanded);
+
+void BM_PorterStem(benchmark::State& state) {
+  const char* words[] = {"relational", "matching", "databases",
+                         "optimization", "queries"};
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::PorterStem(words[i++ % 5]));
+  }
+}
+BENCHMARK(BM_PorterStem);
+
+void BM_Slca(benchmark::State& state) {
+  const auto& corpus = SharedCorpus();
+  auto algorithm = static_cast<slca::SlcaAlgorithm>(state.range(0));
+  std::vector<std::string> q = {"database", "query", "system"};
+  for (auto _ : state) {
+    auto results = slca::ComputeSlcaForQuery(q, corpus.index(),
+                                             corpus.types(), algorithm);
+    benchmark::DoNotOptimize(results.size());
+  }
+}
+BENCHMARK(BM_Slca)
+    ->Arg(static_cast<int>(slca::SlcaAlgorithm::kStack))
+    ->Arg(static_cast<int>(slca::SlcaAlgorithm::kScanEager))
+    ->Arg(static_cast<int>(slca::SlcaAlgorithm::kIndexedLookup));
+
+void BM_GetOptimalRq(benchmark::State& state) {
+  const auto& corpus = SharedCorpus();
+  auto lexicon = text::Lexicon::BuiltIn();
+  core::RuleGenerator generator(&corpus.index(), &lexicon);
+  core::Query q = {"databse", "query", "processing"};
+  core::RuleSet rules = generator.GenerateFor(q);
+  core::KeywordSet t = {"database", "query", "processing", "system"};
+  for (auto _ : state) {
+    auto rq = core::GetOptimalRq(q, t, rules);
+    benchmark::DoNotOptimize(rq.has_value());
+  }
+}
+BENCHMARK(BM_GetOptimalRq);
+
+void BM_SearchForNode(benchmark::State& state) {
+  const auto& corpus = SharedCorpus();
+  std::vector<std::string> q = {"database", "query", "2003"};
+  for (auto _ : state) {
+    auto candidates =
+        slca::InferSearchForNodes(q, corpus.stats(), corpus.types());
+    benchmark::DoNotOptimize(candidates.size());
+  }
+}
+BENCHMARK(BM_SearchForNode);
+
+void BM_RuleGeneration(benchmark::State& state) {
+  const auto& corpus = SharedCorpus();
+  auto lexicon = text::Lexicon::BuiltIn();
+  core::RuleGenerator generator(&corpus.index(), &lexicon);
+  core::Query q = {"databse", "keywrd", "serch"};
+  for (auto _ : state) {
+    auto rules = generator.GenerateFor(q);
+    benchmark::DoNotOptimize(rules.size());
+  }
+}
+BENCHMARK(BM_RuleGeneration);
+
+}  // namespace
+}  // namespace xrefine
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Concurrent read-path throughput: one shared in-memory corpus and engine,
+// N threads refining queries simultaneously. The engine's query path is
+// read-only except the co-occurrence memoisation, which is mutex-guarded;
+// this bench demonstrates scaling and doubles as a race smoke test.
+#include <atomic>
+#include <thread>
+
+#include "bench/bench_util.h"
+
+namespace xrefine::bench {
+namespace {
+
+// Minimal stand-in for benchmark::DoNotOptimize without the library dep.
+template <typename T>
+void benchmark_do_not_optimize(T&& value) {
+  asm volatile("" : : "g"(value) : "memory");
+}
+
+void Main() {
+  PrintHeader("Parallel query throughput (queries/second)");
+  Env env = MakeDblpEnv(800);
+  auto pool = MakePool(env, 30, "inproceedings", 888);
+  std::printf("corpus: %zu nodes; %zu distinct queries, 3 rounds each\n",
+              env.doc->NodeCount(), pool.size());
+
+  core::XRefineOptions options;
+  options.top_k = 3;
+  core::XRefine engine(env.corpus.get(), &env.lexicon, options);
+
+  // Warm the caches once.
+  for (const auto& cq : pool) engine.Run(cq.corrupted);
+
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    std::atomic<size_t> next{0};
+    const size_t total = pool.size() * 3;
+    Timer t;
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w) {
+      workers.emplace_back([&] {
+        while (true) {
+          size_t i = next.fetch_add(1);
+          if (i >= total) break;
+          auto outcome = engine.Run(pool[i % pool.size()].corrupted);
+          benchmark_do_not_optimize(outcome.refined.size());
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    double seconds = t.ElapsedSeconds();
+    std::printf("%2u threads: %8.0f q/s  (%.3f ms/query)\n", threads,
+                static_cast<double>(total) / seconds,
+                1e3 * seconds / static_cast<double>(total));
+  }
+}
+
+}  // namespace
+}  // namespace xrefine::bench
+
+int main() {
+  xrefine::bench::Main();
+  return 0;
+}

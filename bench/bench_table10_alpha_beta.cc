@@ -1,0 +1,60 @@
+// Table X reproduction: combined effect of the similarity and dependence
+// scores — average CG@1..4 for different (alpha, beta) weightings of
+// Formula 10.
+//
+// Expected shape: (1,1) beats similarity-only (1,0) and dependence-only
+// (0,1); similarity matters more than dependence for the top-1 pick.
+#include "bench/bench_util.h"
+#include "eval/cumulated_gain.h"
+#include "eval/oracle_judge.h"
+
+namespace xrefine::bench {
+namespace {
+
+void Main() {
+  PrintHeader("Table X: CG@1..4 by (alpha, beta)");
+  Env env = MakeDblpEnv(1200);
+  auto pool = MakePool(env, 60, "inproceedings", 987);
+
+  std::vector<workload::CorruptedQuery> eligible;
+  {
+    core::XRefineOptions probe;
+    probe.top_k = 4;
+    for (const auto& cq : pool) {
+      auto outcome = env.Run(cq.corrupted, probe);
+      if (outcome.refined.size() >= 4) eligible.push_back(cq);
+      if (eligible.size() >= 50) break;
+    }
+  }
+  std::printf("%zu eligible queries\n", eligible.size());
+
+  const std::pair<double, double> kWeights[] = {
+      {1, 1}, {1, 0}, {0, 1}, {2, 1}, {1, 2}, {4, 1},
+  };
+  std::printf("%-12s %8s %8s %8s %8s\n", "[alpha,beta]", "CG[1]", "CG[2]",
+              "CG[3]", "CG[4]");
+  for (const auto& [alpha, beta] : kWeights) {
+    core::XRefineOptions options;
+    options.top_k = 4;
+    options.ranking.alpha = alpha;
+    options.ranking.beta = beta;
+    std::vector<std::vector<int>> gains;
+    for (const auto& cq : eligible) {
+      auto outcome = env.Run(cq.corrupted, options);
+      gains.push_back(eval::JudgeRanking(cq, outcome.refined));
+    }
+    std::printf("[%4.1f,%4.1f] %10.3f %8.3f %8.3f %8.3f\n", alpha, beta,
+                eval::MeanCumulatedGainAt(gains, 1),
+                eval::MeanCumulatedGainAt(gains, 2),
+                eval::MeanCumulatedGainAt(gains, 3),
+                eval::MeanCumulatedGainAt(gains, 4));
+  }
+}
+
+}  // namespace
+}  // namespace xrefine::bench
+
+int main() {
+  xrefine::bench::Main();
+  return 0;
+}

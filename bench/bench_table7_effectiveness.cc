@@ -1,0 +1,77 @@
+// Table VII reproduction: the Top-4 refined queries (with matching-result
+// counts) produced by the full ranking model (Formula 10, alpha=beta=1) for
+// sample queries covering each refinement operation. The paper reports that
+// all six judges agreed the rank-1 RQ was the most appropriate refinement;
+// our oracle judge (which knows the recorded corruption) plays that role.
+#include "bench/bench_util.h"
+#include "eval/oracle_judge.h"
+
+namespace xrefine::bench {
+namespace {
+
+void Main() {
+  PrintHeader("Table VII: Top-4 refined queries per sample query");
+  Env env = MakeDblpEnv(1200);
+
+  const workload::CorruptionKind kKinds[] = {
+      workload::CorruptionKind::kTypo,
+      workload::CorruptionKind::kSpuriousSplit,
+      workload::CorruptionKind::kSpuriousMerge,
+      workload::CorruptionKind::kSynonymMismatch,
+      workload::CorruptionKind::kAcronym,
+      workload::CorruptionKind::kOverRestrict,
+  };
+
+  workload::Corruptor corruptor(&env.corpus->index(), &env.lexicon);
+  workload::QueryGeneratorOptions qopt;
+  qopt.target_tag = "inproceedings";
+  qopt.seed = 91;
+  workload::QueryGenerator qgen(env.doc.get(), env.corpus.get(), &corruptor,
+                                qopt);
+
+  core::XRefineOptions options;
+  options.top_k = 4;
+
+  int queries = 0;
+  int rank1_recovered = 0;
+  int qid = 0;
+  for (auto kind : kKinds) {
+    for (int i = 0; i < 2; ++i) {
+      auto cq = qgen.Generate(kind);
+      if (!cq.has_value()) continue;
+      ++qid;
+      auto outcome = env.Run(cq->corrupted, options);
+      std::printf("\nQ%-3d [%s] %s\n", qid,
+                  workload::CorruptionKindName(kind).c_str(),
+                  core::QueryToString(cq->corrupted).c_str());
+      std::printf("     intended: %s  (%s)\n",
+                  core::QueryToString(cq->intended).c_str(),
+                  cq->description.c_str());
+      if (outcome.refined.empty()) {
+        std::printf("     (no refinement found)\n");
+        continue;
+      }
+      ++queries;
+      auto gains = eval::JudgeRanking(*cq, outcome.refined);
+      for (size_t r = 0; r < outcome.refined.size(); ++r) {
+        const auto& ranked = outcome.refined[r];
+        std::printf("     RQ%zu %s, %zu   [gain %d]\n", r + 1,
+                    core::QueryToString(ranked.rq.keywords).c_str(),
+                    ranked.results.size(), gains[r]);
+      }
+      if (gains[0] >= 2) ++rank1_recovered;
+    }
+  }
+  std::printf(
+      "\nrank-1 RQ judged >= fairly-relevant on %d/%d queries "
+      "(paper: 6/6 judges agreed rank-1 was the best refinement)\n",
+      rank1_recovered, queries);
+}
+
+}  // namespace
+}  // namespace xrefine::bench
+
+int main() {
+  xrefine::bench::Main();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Table IX reproduction: average CG@1..4 for the full ranking model RS0
+// against its four ablations RS1..RS4 (RSi = remove Guideline i), over a
+// pool of corrupted queries that have at least 4 refined-query candidates.
+// Also sweeps the decay factor (the paper fixes 0.8 in Section VIII-C).
+//
+// Expected shape: RS0 >= every RSi at CG@1 (the full model finds the best
+// top-1), RS4 (no dissimilarity decay) is the most damaging ablation, and
+// all variants converge at CG@4 (they find the same candidate set, ranked
+// differently).
+#include "bench/bench_util.h"
+#include "eval/cumulated_gain.h"
+#include "eval/oracle_judge.h"
+
+namespace xrefine::bench {
+namespace {
+
+struct Variant {
+  std::string name;
+  core::RankingOptions ranking;
+};
+
+void Main() {
+  PrintHeader("Table IX: CG@1..4 by ranking-model variant");
+  Env env = MakeDblpEnv(1200);
+  auto pool = MakePool(env, 60, "inproceedings", 987);
+
+  std::vector<Variant> variants(5);
+  variants[0].name = "RS0 (full model)";
+  variants[1].name = "RS1 (no G1: term frequency)";
+  variants[1].ranking.use_guideline1 = false;
+  variants[2].name = "RS2 (no G2: discriminative kw)";
+  variants[2].ranking.use_guideline2 = false;
+  variants[3].name = "RS3 (no G3: confidence weights)";
+  variants[3].ranking.use_guideline3 = false;
+  variants[4].name = "RS4 (no G4: dissimilarity decay)";
+  variants[4].ranking.use_guideline4 = false;
+
+  // Only queries with >= 4 candidates make the comparison meaningful
+  // (paper: 50 queries with at least 4 possible RQ candidates).
+  std::vector<workload::CorruptedQuery> eligible;
+  {
+    core::XRefineOptions probe;
+    probe.top_k = 4;
+    for (const auto& cq : pool) {
+      auto outcome = env.Run(cq.corrupted, probe);
+      if (outcome.refined.size() >= 4) eligible.push_back(cq);
+      if (eligible.size() >= 50) break;
+    }
+  }
+  std::printf("%zu eligible queries (>=4 RQ candidates)\n", eligible.size());
+
+  std::printf("%-34s %8s %8s %8s %8s\n", "variant", "CG[1]", "CG[2]", "CG[3]",
+              "CG[4]");
+  for (const auto& variant : variants) {
+    core::XRefineOptions options;
+    options.top_k = 4;
+    options.ranking = variant.ranking;
+    std::vector<std::vector<int>> gains;
+    for (const auto& cq : eligible) {
+      auto outcome = env.Run(cq.corrupted, options);
+      gains.push_back(eval::JudgeRanking(cq, outcome.refined));
+    }
+    std::printf("%-34s %8.3f %8.3f %8.3f %8.3f\n", variant.name.c_str(),
+                eval::MeanCumulatedGainAt(gains, 1),
+                eval::MeanCumulatedGainAt(gains, 2),
+                eval::MeanCumulatedGainAt(gains, 3),
+                eval::MeanCumulatedGainAt(gains, 4));
+  }
+
+  // Companion sweep: the decay factor of Guideline 4.
+  std::printf("\ndecay-factor sweep (CG@1):\n");
+  for (double decay : {0.5, 0.6, 0.7, 0.8, 0.9, 0.99}) {
+    core::XRefineOptions options;
+    options.top_k = 4;
+    options.ranking.decay = decay;
+    std::vector<std::vector<int>> gains;
+    for (const auto& cq : eligible) {
+      auto outcome = env.Run(cq.corrupted, options);
+      gains.push_back(eval::JudgeRanking(cq, outcome.refined));
+    }
+    std::printf("  decay %.2f: CG[1]=%.3f CG[4]=%.3f\n", decay,
+                eval::MeanCumulatedGainAt(gains, 1),
+                eval::MeanCumulatedGainAt(gains, 4));
+  }
+}
+
+}  // namespace
+}  // namespace xrefine::bench
+
+int main() {
+  xrefine::bench::Main();
+  return 0;
+}

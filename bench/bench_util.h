@@ -1,0 +1,88 @@
+// Shared setup for the paper-reproduction benchmark harnesses: corpus
+// construction, query-pool generation, timing, and table printing.
+#ifndef XREFINE_BENCH_BENCH_UTIL_H_
+#define XREFINE_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/xrefine.h"
+#include "index/index_builder.h"
+#include "text/lexicon.h"
+#include "workload/baseball_generator.h"
+#include "workload/dblp_generator.h"
+#include "workload/query_generator.h"
+
+namespace xrefine::bench {
+
+/// A fully assembled experiment environment.
+struct Env {
+  std::unique_ptr<xml::Document> doc;
+  std::unique_ptr<index::IndexedCorpus> corpus;
+  text::Lexicon lexicon = text::Lexicon::BuiltIn();
+
+  core::RefineOutcome Run(const core::Query& q,
+                          const core::XRefineOptions& options) const {
+    core::XRefine engine(corpus.get(), &lexicon, options);
+    return engine.Run(q);
+  }
+};
+
+inline Env MakeDblpEnv(size_t num_authors, uint64_t seed = 42) {
+  Env env;
+  workload::DblpOptions options;
+  options.num_authors = num_authors;
+  options.seed = seed;
+  env.doc = std::make_unique<xml::Document>(workload::GenerateDblp(options));
+  env.corpus = index::BuildIndex(*env.doc);
+  return env;
+}
+
+inline Env MakeBaseballEnv(size_t players_per_team = 25, uint64_t seed = 7) {
+  Env env;
+  workload::BaseballOptions options;
+  options.players_per_team = players_per_team;
+  options.seed = seed;
+  env.doc =
+      std::make_unique<xml::Document>(workload::GenerateBaseball(options));
+  env.corpus = index::BuildIndex(*env.doc);
+  return env;
+}
+
+inline std::vector<workload::CorruptedQuery> MakePool(
+    const Env& env, size_t n, const std::string& target_tag,
+    uint64_t seed = 123) {
+  workload::Corruptor corruptor(&env.corpus->index(), &env.lexicon);
+  workload::QueryGeneratorOptions options;
+  options.target_tag = target_tag;
+  options.seed = seed;
+  workload::QueryGenerator qgen(env.doc.get(), env.corpus.get(), &corruptor,
+                                options);
+  return qgen.GeneratePool(n);
+}
+
+/// Median-of-runs wall time in milliseconds for one thunk.
+template <typename Fn>
+double TimeMs(Fn&& fn, int runs = 3) {
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(runs));
+  for (int i = 0; i < runs; ++i) {
+    Timer t;
+    fn();
+    times.push_back(t.ElapsedMillis());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace xrefine::bench
+
+#endif  // XREFINE_BENCH_BENCH_UTIL_H_

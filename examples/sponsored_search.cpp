@@ -1,0 +1,96 @@
+// Sponsored search, the application scenario the paper motivates: match
+// free-form user queries against a small corpus of XML-formatted
+// advertising listings. Misspelled or mismatched queries would return no
+// ad; XRefine rewrites them on the fly and returns the matching listings.
+//
+//   ./build/examples/sponsored_search
+#include <iostream>
+
+#include "core/xrefine.h"
+#include "index/index_builder.h"
+#include "text/lexicon.h"
+#include "xml/xml_parser.h"
+
+namespace {
+
+constexpr const char* kAdsXml = R"(
+<ads>
+  <listing>
+    <advertiser>acme cloud</advertiser>
+    <product>database hosting service</product>
+    <category>cloud storage</category>
+    <price>49</price>
+  </listing>
+  <listing>
+    <advertiser>webworks</advertiser>
+    <product>world wide web analytics dashboard</product>
+    <category>web analytics</category>
+    <price>99</price>
+  </listing>
+  <listing>
+    <advertiser>brainsoft</advertiser>
+    <product>machine learning model training platform</product>
+    <category>artificial intelligence</category>
+    <price>199</price>
+  </listing>
+  <listing>
+    <advertiser>searchify</advertiser>
+    <product>keyword search engine for online retail</product>
+    <category>information retrieval</category>
+    <price>149</price>
+  </listing>
+  <listing>
+    <advertiser>streambase</advertiser>
+    <product>data stream processing pipeline</product>
+    <category>analytics</category>
+    <price>129</price>
+  </listing>
+</ads>
+)";
+
+}  // namespace
+
+int main() {
+  auto doc_or = xrefine::xml::ParseXml(kAdsXml);
+  if (!doc_or.ok()) {
+    std::cerr << doc_or.status() << "\n";
+    return 1;
+  }
+  auto doc = std::move(doc_or).value();
+  auto corpus = xrefine::index::BuildIndex(doc);
+  auto lexicon = xrefine::text::Lexicon::BuiltIn();
+
+  xrefine::core::XRefineOptions options;
+  options.top_k = 2;
+  // Listings are flat and few: the search-for node is `listing`.
+  options.search_for_node.comparable_ratio = 0.7;
+  xrefine::core::XRefine engine(corpus.get(), &lexicon, options);
+
+  // The kind of queries an ad matcher sees: typos, split words, acronyms.
+  const char* user_queries[] = {
+      "databse hosting",          // typo
+      "ml training",              // acronym for machine learning
+      "www analytics",            // acronym for world wide web
+      "key word search retail",   // spurious split
+      "datastream processing",    // spurious merge
+  };
+
+  for (const char* q : user_queries) {
+    std::cout << "\nUser query: \"" << q << "\"\n";
+    auto outcome = engine.RunText(q);
+    if (outcome.refined.empty()) {
+      std::cout << "  (no ad matched, even refined)\n";
+      continue;
+    }
+    for (const auto& ranked : outcome.refined) {
+      std::cout << "  -> " << xrefine::core::QueryToString(ranked.rq.keywords)
+                << " (dSim " << ranked.rq.dissimilarity << ")\n";
+      for (const auto& r : ranked.results) {
+        auto node = doc.FindByDewey(r.dewey);
+        if (node == xrefine::xml::kInvalidNodeId) continue;
+        std::cout << "     ad: " << doc.SubtreeText(node) << "\n";
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,225 @@
+// Interactive CLI: load any XML file (or generate a synthetic corpus) and
+// type keyword queries; XRefine prints the refined queries with results.
+// Accepting a refinement feeds the query log, whose mined rules improve
+// later queries — the full closed loop of the paper's Section III-B rule
+// sources.
+//
+//   ./build/examples/xrefine_cli path/to/data.xml
+//   ./build/examples/xrefine_cli --dblp 300
+//   ./build/examples/xrefine_cli --baseball
+//   ./build/examples/xrefine_cli --xmark
+//
+// Optional flags: --lexicon <file> (extra synonym/acronym entries),
+//                 --log <file>     (persisted query log, updated on exit)
+//
+// Commands at the prompt:
+//   :algo stack|partition|sle     switch refinement algorithm
+//   :topk N                       result count
+//   :rank on|off                  TF*IDF-order each RQ's results
+//   :accept N                     record rank-N refinement as accepted
+//   :expand <query>               suggest narrowing terms for a broad query
+//   :quit                         exit
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/expansion.h"
+#include "core/query_log.h"
+#include "core/xrefine.h"
+#include "index/index_builder.h"
+#include "text/lexicon.h"
+#include "text/tokenizer.h"
+#include "workload/baseball_generator.h"
+#include "workload/dblp_generator.h"
+#include "workload/xmark_generator.h"
+#include "xml/xml_parser.h"
+
+namespace {
+
+void PrintOutcome(const xrefine::core::RefineOutcome& outcome,
+                  const xrefine::xml::Document& doc) {
+  std::cout << "needs refinement: "
+            << (outcome.needs_refinement ? "yes" : "no") << "\n";
+  if (outcome.refined.empty()) {
+    std::cout << "no refined query with meaningful results found\n";
+    return;
+  }
+  int rank = 1;
+  for (const auto& ranked : outcome.refined) {
+    std::cout << rank++ << ". "
+              << xrefine::core::QueryToString(ranked.rq.keywords)
+              << "  dSim=" << ranked.rq.dissimilarity
+              << "  score=" << ranked.rank << "  results="
+              << ranked.results.size() << "\n";
+    size_t shown = 0;
+    for (const auto& r : ranked.results) {
+      if (shown++ >= 3) {
+        std::cout << "     ...\n";
+        break;
+      }
+      auto node = doc.FindByDewey(r.dewey);
+      if (node == xrefine::xml::kInvalidNodeId) {
+        std::cout << "     " << r.dewey.ToString() << "\n";
+      } else {
+        std::cout << "     " << doc.Describe(node) << ": "
+                  << doc.SubtreeText(node).substr(0, 70) << "\n";
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  xrefine::xml::Document doc;
+  std::string lexicon_path;
+  std::string log_path;
+  bool loaded_data = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--dblp") {
+      xrefine::workload::DblpOptions options;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        options.num_authors = static_cast<size_t>(std::atoi(argv[++i]));
+      }
+      doc = xrefine::workload::GenerateDblp(options);
+      loaded_data = true;
+    } else if (arg == "--baseball") {
+      doc = xrefine::workload::GenerateBaseball({});
+      loaded_data = true;
+    } else if (arg == "--xmark") {
+      doc = xrefine::workload::GenerateXmark({});
+      loaded_data = true;
+    } else if (arg == "--lexicon" && i + 1 < argc) {
+      lexicon_path = argv[++i];
+    } else if (arg == "--log" && i + 1 < argc) {
+      log_path = argv[++i];
+    } else if (arg[0] != '-') {
+      auto doc_or = xrefine::xml::ParseXmlFile(arg);
+      if (!doc_or.ok()) {
+        std::cerr << doc_or.status() << "\n";
+        return 1;
+      }
+      doc = std::move(doc_or).value();
+      loaded_data = true;
+    }
+  }
+  if (!loaded_data) {
+    std::cerr << "usage: xrefine_cli <file.xml> | --dblp [n] | --baseball | "
+                 "--xmark  [--lexicon f] [--log f]\n";
+    return 1;
+  }
+
+  auto corpus = xrefine::index::BuildIndex(doc);
+  auto lexicon = xrefine::text::Lexicon::BuiltIn();
+  if (!lexicon_path.empty()) {
+    auto st = lexicon.LoadFromFile(lexicon_path);
+    if (!st.ok()) {
+      std::cerr << st << "\n";
+      return 1;
+    }
+    std::cout << "loaded lexicon from " << lexicon_path << "\n";
+  }
+
+  xrefine::core::QueryLog log;
+  if (!log_path.empty()) {
+    auto log_or = xrefine::core::QueryLog::LoadFromFile(log_path);
+    if (log_or.ok()) {
+      log = std::move(log_or).value();
+      std::cout << "loaded " << log.size() << " query-log entries\n";
+    }
+  }
+
+  xrefine::core::XRefineOptions options;
+  auto make_engine = [&]() {
+    auto engine = std::make_unique<xrefine::core::XRefine>(corpus.get(),
+                                                           &lexicon, options);
+    if (log.size() > 0) engine->AttachQueryLog(log);
+    return engine;
+  };
+  auto engine = make_engine();
+
+  std::cout << "indexed " << doc.NodeCount() << " nodes, "
+            << corpus->index().keyword_count() << " keywords\n"
+            << "type a keyword query (or :quit)\n";
+
+  xrefine::core::Query last_query;
+  xrefine::core::RefineOutcome last_outcome;
+
+  std::string line;
+  while (std::cout << "xrefine> " << std::flush &&
+         std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == ":quit" || line == ":q") break;
+    if (line.rfind(":topk ", 0) == 0) {
+      options.top_k = static_cast<size_t>(std::atoi(line.c_str() + 6));
+      std::cout << "top_k = " << options.top_k << "\n";
+      engine = make_engine();
+      continue;
+    }
+    if (line.rfind(":rank ", 0) == 0) {
+      options.rank_results = line.substr(6) == "on";
+      std::cout << "rank_results = "
+                << (options.rank_results ? "on" : "off") << "\n";
+      engine = make_engine();
+      continue;
+    }
+    if (line.rfind(":accept ", 0) == 0) {
+      size_t n = static_cast<size_t>(std::atoi(line.c_str() + 8));
+      if (last_query.empty() || n == 0 || n > last_outcome.refined.size()) {
+        std::cout << "nothing to accept (run a query first)\n";
+        continue;
+      }
+      log.Record(last_query, last_outcome.refined[n - 1].rq.keywords);
+      engine->AttachQueryLog(log);
+      std::cout << "recorded; log now holds " << log.size()
+                << " entries, mined rules refreshed\n";
+      continue;
+    }
+    if (line.rfind(":expand ", 0) == 0) {
+      xrefine::core::ExpansionOptions exp_options;
+      exp_options.broad_threshold = 20;
+      auto q = xrefine::text::TokenizeQuery(line.substr(8));
+      auto outcome = xrefine::core::ExpandQuery(*corpus, q, exp_options);
+      std::cout << "meaningful results: " << outcome.original_result_count
+                << (outcome.is_broad ? " (broad)" : "") << "\n";
+      for (const auto& ex : outcome.expansions) {
+        std::cout << "  + \"" << ex.added_term << "\" -> "
+                  << ex.result_count << " results (score " << ex.score
+                  << ")\n";
+      }
+      continue;
+    }
+    if (line.rfind(":algo ", 0) == 0) {
+      std::string name = line.substr(6);
+      if (name == "stack") {
+        options.algorithm = xrefine::core::RefineAlgorithm::kStackRefine;
+      } else if (name == "partition") {
+        options.algorithm = xrefine::core::RefineAlgorithm::kPartition;
+      } else if (name == "sle") {
+        options.algorithm = xrefine::core::RefineAlgorithm::kShortListEager;
+      } else {
+        std::cout << "unknown algorithm; use stack|partition|sle\n";
+        continue;
+      }
+      std::cout << "algorithm = " << name << "\n";
+      engine = make_engine();
+      continue;
+    }
+    last_query = xrefine::text::TokenizeQuery(line);
+    last_outcome = engine->Run(last_query);
+    PrintOutcome(last_outcome, doc);
+  }
+
+  if (!log_path.empty() && log.size() > 0) {
+    auto st = log.SaveToFile(log_path);
+    if (!st.ok()) {
+      std::cerr << st << "\n";
+    } else {
+      std::cout << "saved query log to " << log_path << "\n";
+    }
+  }
+  return 0;
+}

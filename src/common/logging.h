@@ -1,0 +1,61 @@
+// Minimal leveled logging and check macros.
+#ifndef XREFINE_COMMON_LOGGING_H_
+#define XREFINE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace xrefine {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Default: kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+// Lets the ternary in XR_LOG discard a full `stream() << a << b` chain:
+// `&` binds more loosely than `<<`, so the chain is evaluated first.
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+
+#define XR_LOG(level)                                                   \
+  (::xrefine::LogLevel::k##level < ::xrefine::GetLogLevel())            \
+      ? (void)0                                                         \
+      : ::xrefine::internal_logging::Voidify() &                        \
+            ::xrefine::internal_logging::LogMessage(                    \
+                ::xrefine::LogLevel::k##level, __FILE__, __LINE__)      \
+                .stream()
+
+#define XR_CHECK(cond)                                                    \
+  if (!(cond))                                                            \
+  ::xrefine::internal_logging::LogMessage(::xrefine::LogLevel::kError,    \
+                                          __FILE__, __LINE__, true)       \
+          .stream()                                                       \
+      << "Check failed: " #cond " "
+
+#define XR_DCHECK(cond) XR_CHECK(cond)
+
+}  // namespace xrefine
+
+#endif  // XREFINE_COMMON_LOGGING_H_

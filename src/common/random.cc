@@ -1,0 +1,72 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace xrefine {
+
+int64_t Random::Uniform(int64_t lo, int64_t hi) {
+  XR_DCHECK(lo <= hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Random::NextDouble() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Random::OneIn(double p) { return NextDouble() < p; }
+
+size_t Random::Zipf(size_t n, double s) {
+  XR_DCHECK(n > 0);
+  // Small-n inverse CDF; adequate for per-call use in generators.
+  double total = 0;
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+    total += w[i];
+  }
+  double u = NextDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += w[i];
+    if (u <= acc) return i;
+  }
+  return n - 1;
+}
+
+size_t Random::Weighted(const std::vector<double>& weights) {
+  XR_DCHECK(!weights.empty());
+  double total = 0;
+  for (double w : weights) total += w;
+  double u = NextDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u <= acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double skew, uint64_t seed)
+    : engine_(seed) {
+  XR_CHECK(n > 0);
+  cdf_.resize(n);
+  double acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    cdf_[i] = acc;
+  }
+}
+
+size_t ZipfSampler::Next() {
+  std::uniform_real_distribution<double> dist(0.0, cdf_.back());
+  double u = dist(engine_);
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace xrefine

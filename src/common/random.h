@@ -1,0 +1,55 @@
+// Deterministic pseudo-random utilities used by the workload generators and
+// property tests. A fixed seed reproduces a workload bit-for-bit.
+#ifndef XREFINE_COMMON_RANDOM_H_
+#define XREFINE_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace xrefine {
+
+/// Wrapper around a 64-bit Mersenne Twister with convenience samplers.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability p of true.
+  bool OneIn(double p);
+
+  /// Zipfian rank in [0, n) with skew parameter s (s=0 is uniform).
+  /// Uses the standard rejection-free inverse-CDF over precomputed weights
+  /// when n is small; callers with large n should use ZipfSampler.
+  size_t Zipf(size_t n, double s);
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  size_t Weighted(const std::vector<double>& weights);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Precomputed Zipfian sampler over [0, n); O(log n) per sample.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double skew, uint64_t seed = 42);
+
+  size_t Next();
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+  std::mt19937_64 engine_;
+};
+
+}  // namespace xrefine
+
+#endif  // XREFINE_COMMON_RANDOM_H_

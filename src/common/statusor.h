@@ -1,0 +1,69 @@
+// StatusOr<T>: a value or an error Status, mirroring absl::StatusOr.
+#ifndef XREFINE_COMMON_STATUSOR_H_
+#define XREFINE_COMMON_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace xrefine {
+
+/// Holds either a T (when the status is OK) or an error Status.
+/// Callers must check ok() before dereferencing.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, so `return MakeFoo();` and `return status;`
+  // both work at call sites, matching absl::StatusOr ergonomics.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "OK status requires a value");
+  }
+  StatusOr(T value)  // NOLINT
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr`; on error returns the status, otherwise moves the value
+/// into `lhs`.
+#define XREFINE_ASSIGN_OR_RETURN(lhs, rexpr)             \
+  XREFINE_ASSIGN_OR_RETURN_IMPL_(                        \
+      XREFINE_STATUS_MACRO_CONCAT_(_status_or_, __LINE__), lhs, rexpr)
+
+#define XREFINE_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define XREFINE_STATUS_MACRO_CONCAT_(x, y) \
+  XREFINE_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+#define XREFINE_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                                   \
+  if (!statusor.ok()) return statusor.status();              \
+  lhs = std::move(statusor).value()
+
+}  // namespace xrefine
+
+#endif  // XREFINE_COMMON_STATUSOR_H_

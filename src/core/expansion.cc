@@ -1,0 +1,175 @@
+#include "core/expansion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+
+namespace xrefine::core {
+
+namespace {
+
+// Counts, for each non-query term, how many of Q's result subtrees contain
+// it, by walking the matched subtrees of the attached document.
+std::unordered_map<std::string, size_t> SupportFromDocument(
+    const xml::Document& doc, const std::vector<slca::SlcaResult>& results,
+    const std::unordered_set<std::string>& query_terms) {
+  std::unordered_map<std::string, size_t> support;
+  for (const auto& r : results) {
+    xml::NodeId node = doc.FindByDewey(r.dewey);
+    if (node == xml::kInvalidNodeId) continue;
+    std::unordered_set<std::string> seen;
+    std::vector<xml::NodeId> stack = {node};
+    while (!stack.empty()) {
+      xml::NodeId cur = stack.back();
+      stack.pop_back();
+      for (const auto& t : text::Tokenize(doc.tag(cur))) seen.insert(t);
+      for (const auto& t : text::Tokenize(doc.node(cur).text)) {
+        seen.insert(t);
+      }
+      for (xml::NodeId c : doc.children(cur)) stack.push_back(c);
+    }
+    for (const auto& t : seen) {
+      if (query_terms.count(t) == 0) ++support[t];
+    }
+  }
+  return support;
+}
+
+// Fallback without a document: approximate the support of term t by
+// intersecting t's anchor set with the result set at the search-for type.
+std::unordered_map<std::string, size_t> SupportFromStatistics(
+    const index::IndexedCorpus& corpus,
+    const std::vector<slca::SlcaResult>& results, xml::TypeId search_for,
+    const std::unordered_set<std::string>& query_terms,
+    size_t max_candidates) {
+  // Anchor labels of the results at the search-for depth.
+  uint32_t depth = corpus.types().depth(search_for);
+  std::vector<xml::Dewey> result_anchors;
+  for (const auto& r : results) {
+    if (r.dewey.depth() < depth) continue;
+    xml::Dewey anchor = r.dewey.Prefix(depth);
+    result_anchors.push_back(std::move(anchor));
+  }
+  std::sort(result_anchors.begin(), result_anchors.end());
+  result_anchors.erase(
+      std::unique(result_anchors.begin(), result_anchors.end()),
+      result_anchors.end());
+
+  // Cheap prefilter: candidate terms must occur under the search-for type
+  // at all; cap by ascending df so discriminative terms are kept.
+  struct Cand {
+    std::string term;
+    uint32_t df;
+  };
+  std::vector<Cand> candidates;
+  for (const auto& [term, per_type] : corpus.stats().per_keyword()) {
+    if (query_terms.count(term) > 0) continue;
+    auto it = per_type.find(search_for);
+    if (it == per_type.end() || it->second.df == 0) continue;
+    candidates.push_back(Cand{term, it->second.df});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Cand& a, const Cand& b) {
+              if (a.df != b.df) return a.df > b.df;
+              return a.term < b.term;
+            });
+  if (candidates.size() > max_candidates) candidates.resize(max_candidates);
+
+  std::unordered_map<std::string, size_t> support;
+  for (const auto& cand : candidates) {
+    const auto& anchors =
+        corpus.cooccurrence().AnchorSet(cand.term, search_for);
+    size_t overlap = 0;
+    size_t i = 0;
+    size_t j = 0;
+    while (i < anchors.size() && j < result_anchors.size()) {
+      int cmp = anchors[i].Compare(result_anchors[j]);
+      if (cmp == 0) {
+        ++overlap;
+        ++i;
+        ++j;
+      } else if (cmp < 0) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    if (overlap > 0) support[cand.term] = overlap;
+  }
+  return support;
+}
+
+}  // namespace
+
+ExpansionOutcome ExpandQuery(const index::IndexedCorpus& corpus,
+                             const Query& q,
+                             const ExpansionOptions& options) {
+  ExpansionOutcome outcome;
+
+  auto search_for = slca::InferSearchForNodes(
+      q, corpus.stats(), corpus.types(), options.search_for_node);
+  auto results = slca::ComputeSlcaForQuery(
+      q, corpus.index(), corpus.types(), options.slca_algorithm);
+  results = slca::FilterMeaningful(std::move(results), search_for,
+                                   corpus.types());
+  outcome.original_result_count = results.size();
+  outcome.is_broad = results.size() > options.broad_threshold;
+  if (!outcome.is_broad || search_for.empty()) return outcome;
+
+  std::unordered_set<std::string> query_terms(q.begin(), q.end());
+  std::unordered_map<std::string, size_t> support;
+  if (corpus.document() != nullptr) {
+    support = SupportFromDocument(*corpus.document(), results, query_terms);
+  } else {
+    support = SupportFromStatistics(corpus, results, search_for.front().type,
+                                    query_terms, options.max_candidates);
+  }
+
+  xml::TypeId primary = search_for.front().type;
+  double n_t = corpus.stats().node_count(primary);
+  double total = static_cast<double>(results.size());
+
+  struct Scored {
+    std::string term;
+    double score;
+    size_t support;
+  };
+  std::vector<Scored> scored;
+  for (const auto& [term, count] : support) {
+    double fraction = static_cast<double>(count) / total;
+    if (fraction < options.min_support_fraction ||
+        fraction > options.max_support_fraction) {
+      continue;
+    }
+    double idf = 0.0;
+    if (n_t > 0) {
+      idf = std::max(
+          0.0, std::log(n_t / (1.0 + corpus.stats().df(term, primary))));
+    }
+    scored.push_back(Scored{term, static_cast<double>(count) * idf, count});
+  }
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.term < b.term;
+  });
+
+  for (const auto& s : scored) {
+    if (outcome.expansions.size() >= options.top_k) break;
+    Query expanded = q;
+    expanded.push_back(s.term);
+    auto expanded_results = slca::ComputeSlcaForQuery(
+        expanded, corpus.index(), corpus.types(), options.slca_algorithm);
+    expanded_results = slca::FilterMeaningful(std::move(expanded_results),
+                                              search_for, corpus.types());
+    if (expanded_results.empty()) continue;  // must still be answerable
+    if (expanded_results.size() >= results.size()) continue;  // must narrow
+    outcome.expansions.push_back(ExpandedQuery{
+        std::move(expanded), s.term, s.score, expanded_results.size()});
+  }
+  return outcome;
+}
+
+}  // namespace xrefine::core

@@ -1,0 +1,142 @@
+#include "core/optimal_rq.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace xrefine::core {
+
+namespace {
+
+struct Candidate {
+  double dsim = 0.0;
+  Query keywords;
+  std::vector<std::string> ops;
+};
+
+void AppendKeywordUnique(Query* keywords, const std::string& k) {
+  if (std::find(keywords->begin(), keywords->end(), k) == keywords->end()) {
+    keywords->push_back(k);
+  }
+}
+
+// Keeps the `beam` best candidates, deduplicated by keyword set (the
+// cheaper refinement path to the same RQ wins).
+void PruneBeam(std::vector<Candidate>* cands, size_t beam) {
+  std::sort(cands->begin(), cands->end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.dsim != b.dsim) return a.dsim < b.dsim;
+              return a.keywords.size() > b.keywords.size();
+            });
+  std::unordered_map<std::string, bool> seen;
+  std::vector<Candidate> kept;
+  kept.reserve(std::min(cands->size(), beam));
+  for (auto& c : *cands) {
+    if (kept.size() >= beam) break;
+    std::string key = QueryKey(c.keywords);
+    if (seen.emplace(std::move(key), true).second) {
+      kept.push_back(std::move(c));
+    }
+  }
+  *cands = std::move(kept);
+}
+
+std::vector<std::vector<Candidate>> RunDp(const Query& q, const KeywordSet& t,
+                                          const RuleSet& rules,
+                                          const OptimalRqOptions& options) {
+  const size_t n = q.size();
+  std::vector<std::vector<Candidate>> states(n + 1);
+  states[0].push_back(Candidate{});  // C[0] = 0: empty prefix, empty RQ
+
+  for (size_t i = 1; i <= n; ++i) {
+    const std::string& ki = q[i - 1];
+    std::vector<Candidate> next;
+    bool in_t = t.count(ki) > 0;
+
+    // Option 1: keep k_i when the data witnesses it.
+    if (in_t) {
+      for (const Candidate& c : states[i - 1]) {
+        Candidate e = c;
+        AppendKeywordUnique(&e.keywords, ki);
+        next.push_back(std::move(e));
+      }
+    }
+
+    // Option 2: delete k_i.
+    if (!in_t || options.explore_deletions_of_present_terms) {
+      for (const Candidate& c : states[i - 1]) {
+        Candidate e = c;
+        e.dsim += rules.deletion_cost();
+        e.ops.push_back("delete \"" + ki + "\"");
+        next.push_back(std::move(e));
+      }
+    }
+
+    // Option 3: apply a rule whose LHS is a suffix of S[1..i] and whose
+    // RHS is fully witnessed.
+    if (const auto* rule_ids = rules.RulesEndingWith(ki)) {
+      for (size_t rid : *rule_ids) {
+        const RefinementRule& r = rules.rule(rid);
+        size_t len = r.lhs.size();
+        if (len > i) continue;
+        // LHS must equal q[i-len .. i-1].
+        bool match = true;
+        for (size_t j = 0; j < len; ++j) {
+          if (q[i - len + j] != r.lhs[j]) {
+            match = false;
+            break;
+          }
+        }
+        if (!match) continue;
+        bool rhs_in_t = true;
+        for (const std::string& w : r.rhs) {
+          if (t.count(w) == 0) {
+            rhs_in_t = false;
+            break;
+          }
+        }
+        if (!rhs_in_t) continue;
+        for (const Candidate& c : states[i - len]) {
+          Candidate e = c;
+          e.dsim += r.ds;
+          for (const std::string& w : r.rhs) {
+            AppendKeywordUnique(&e.keywords, w);
+          }
+          e.ops.push_back(r.DebugString());
+          next.push_back(std::move(e));
+        }
+      }
+    }
+
+    PruneBeam(&next, options.beam_width);
+    states[i] = std::move(next);
+  }
+  return states;
+}
+
+}  // namespace
+
+std::optional<RefinedQuery> GetOptimalRq(const Query& q, const KeywordSet& t,
+                                         const RuleSet& rules,
+                                         const OptimalRqOptions& options) {
+  std::vector<RefinedQuery> top = GetTopOptimalRqs(q, t, rules, 1, options);
+  if (top.empty()) return std::nullopt;
+  return std::move(top.front());
+}
+
+std::vector<RefinedQuery> GetTopOptimalRqs(const Query& q, const KeywordSet& t,
+                                           const RuleSet& rules, size_t k,
+                                           const OptimalRqOptions& options) {
+  std::vector<RefinedQuery> out;
+  if (q.empty() || k == 0) return out;
+  OptimalRqOptions effective = options;
+  effective.beam_width = std::max(effective.beam_width, 2 * k);
+  auto states = RunDp(q, t, rules, effective);
+  for (const Candidate& c : states[q.size()]) {
+    if (c.keywords.empty()) continue;  // the empty query has no SLCA
+    if (out.size() >= k) break;
+    out.push_back(RefinedQuery{c.keywords, c.dsim, c.ops});
+  }
+  return out;
+}
+
+}  // namespace xrefine::core

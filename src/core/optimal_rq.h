@@ -1,0 +1,53 @@
+// getOptimalRQ (paper Section V): given the original query Q = S and a
+// keyword set T witnessed in the data, find the refined query RQ ⊆ T with
+// minimum dissimilarity dSim(Q, RQ) under a rule set R, by the bottom-up
+// dynamic program of Formula 11:
+//
+//   C[i] = min(  C[i-1]                    if k_i ∈ T          (option 1)
+//                C[i-1] + ds_deletion                          (option 2)
+//                min_r C[i-|LHS(r)|] + ds_r  for rules whose LHS is the
+//                suffix of S[1..i] and whose RHS ⊆ T )          (option 3)
+//
+// The beam-augmented variant keeps the best `beam` partial refinements per
+// position, yielding the approximate top-K candidate RQs the paper reuses
+// as "intermediate results kept during the processing of getOptimalRQ".
+#ifndef XREFINE_CORE_OPTIMAL_RQ_H_
+#define XREFINE_CORE_OPTIMAL_RQ_H_
+
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/refined_query.h"
+#include "core/refinement_rule.h"
+
+namespace xrefine::core {
+
+using KeywordSet = std::unordered_set<std::string>;
+
+struct OptimalRqOptions {
+  /// Candidates retained per DP position. Top-K callers pass >= 2K.
+  size_t beam_width = 8;
+
+  /// When true, term deletion is also considered for keywords present in T;
+  /// it never changes the optimal value (keeping is free) but enriches the
+  /// candidate beam with proper-subset refinements.
+  bool explore_deletions_of_present_terms = true;
+};
+
+/// The minimum-dissimilarity RQ (empty optional when every candidate is the
+/// empty query, which cannot have an SLCA result).
+std::optional<RefinedQuery> GetOptimalRq(const Query& q, const KeywordSet& t,
+                                         const RuleSet& rules,
+                                         const OptimalRqOptions& options = {});
+
+/// Approximate top-`k` RQs by ascending dissimilarity (deduplicated by
+/// keyword set; never includes the empty query).
+std::vector<RefinedQuery> GetTopOptimalRqs(
+    const Query& q, const KeywordSet& t, const RuleSet& rules, size_t k,
+    const OptimalRqOptions& options = {});
+
+}  // namespace xrefine::core
+
+#endif  // XREFINE_CORE_OPTIMAL_RQ_H_

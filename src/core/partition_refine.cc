@@ -1,0 +1,155 @@
+#include "core/partition_refine.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "core/rq_sorted_list.h"
+
+namespace xrefine::core {
+
+namespace {
+
+// First index in [from, list.size) whose dewey is >= bound.
+size_t LowerBoundFrom(const slca::PostingSpan& list, size_t from,
+                      const xml::Dewey& bound) {
+  size_t lo = from;
+  size_t hi = list.size;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (list[mid].dewey < bound) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// The exclusive upper bound label of the partition containing `v`: the
+// partition prefix with its last component incremented.
+xml::Dewey PartitionUpperBound(const xml::Dewey& prefix) {
+  std::vector<uint32_t> c = prefix.components();
+  c.back() += 1;
+  return xml::Dewey(std::move(c));
+}
+
+}  // namespace
+
+RefineOutcome PartitionRefine(const index::IndexedCorpus& corpus,
+                              const RefineInput& input,
+                              const PartitionRefineOptions& options) {
+  RefineStats stats;
+  const size_t m = input.lists.size();
+  const size_t candidate_budget = 2 * options.top_k;
+  RqSortedList rq_list(candidate_budget);
+
+  // Advantage (3) of the paper: partitions witnessing the same keyword set
+  // share one getTopOptimalRQ evaluation.
+  std::map<std::set<std::string>, std::vector<RefinedQuery>> dp_cache;
+
+  std::vector<size_t> cursors(m, 0);
+  while (true) {
+    // Smallest head across the lists (line 5).
+    int smallest = -1;
+    for (size_t i = 0; i < m; ++i) {
+      if (cursors[i] >= input.lists[i].size) continue;
+      if (smallest < 0 ||
+          input.lists[i][cursors[i]].dewey <
+              input.lists[static_cast<size_t>(smallest)]
+                         [cursors[static_cast<size_t>(smallest)]]
+                             .dewey) {
+        smallest = static_cast<int>(i);
+      }
+    }
+    if (smallest < 0) break;
+    const xml::Dewey& v =
+        input.lists[static_cast<size_t>(smallest)]
+                   [cursors[static_cast<size_t>(smallest)]]
+                       .dewey;
+
+    // Document partition of v (Definition 6.1): the subtree under the
+    // root's child, i.e. the depth-2 prefix (the root label itself when v
+    // is the root).
+    xml::Dewey prefix = v.Prefix(std::min<size_t>(2, v.depth()));
+    xml::Dewey upper = PartitionUpperBound(prefix);
+    ++stats.partitions_visited;
+
+    // Restrict every list to this partition and advance the cursors past
+    // it (lines 7-8; the one-time scan).
+    std::vector<slca::PostingSpan> partition_spans(m);
+    KeywordSet witnessed;
+    for (size_t i = 0; i < m; ++i) {
+      size_t begin = cursors[i];
+      // Skip any postings before the partition (possible when this list
+      // had nothing in earlier partitions).
+      begin = LowerBoundFrom(input.lists[i], begin, prefix);
+      size_t end = LowerBoundFrom(input.lists[i], begin, upper);
+      partition_spans[i] =
+          slca::PostingSpan(input.lists[i].begin() + begin, end - begin);
+      cursors[i] = end;
+      if (!partition_spans[i].empty()) witnessed.insert(input.keywords[i]);
+    }
+    if (witnessed.empty()) continue;
+
+    // Top-2K candidate refinements for this partition (line 10), computed
+    // once per distinct witnessed keyword set.
+    std::set<std::string> cache_key(witnessed.begin(), witnessed.end());
+    auto cached = dp_cache.find(cache_key);
+    if (cached == dp_cache.end()) {
+      ++stats.dp_calls;
+      cached = dp_cache
+                   .emplace(std::move(cache_key),
+                            GetTopOptimalRqs(input.q, witnessed, input.rules,
+                                             candidate_budget))
+                   .first;
+    }
+    const std::vector<RefinedQuery>& candidates = cached->second;
+
+    for (const RefinedQuery& rq : candidates) {
+      bool known = rq_list.Contains(rq.keywords);
+      if (options.prune_partitions && !known &&
+          !rq_list.CanAccept(rq.dissimilarity)) {
+        ++stats.partitions_pruned;
+        continue;  // cannot enter the top-2K: skip its SLCA work
+      }
+      // SLCA of RQ within this partition (line 16), with any baseline.
+      std::vector<slca::PostingSpan> rq_spans;
+      rq_spans.reserve(rq.keywords.size());
+      bool all_present = true;
+      for (const std::string& k : rq.keywords) {
+        auto it = std::find(input.keywords.begin(), input.keywords.end(), k);
+        if (it == input.keywords.end()) {
+          all_present = false;
+          break;
+        }
+        rq_spans.push_back(
+            partition_spans[static_cast<size_t>(it - input.keywords.begin())]);
+      }
+      if (!all_present) continue;
+      ++stats.slca_calls;
+      std::vector<slca::SlcaResult> results = slca::ComputeSlca(
+          rq_spans, corpus.types(), options.slca_algorithm);
+      results = slca::FilterMeaningful(std::move(results), input.search_for,
+                                       corpus.types());
+      if (results.empty()) continue;  // no meaningful match here
+      if (rq_list.InsertOrFind(rq) != nullptr) {
+        rq_list.AppendResults(rq.keywords, results);
+      }
+    }
+  }
+
+  // Final ranking with the full model (line 19).
+  std::vector<std::pair<RefinedQuery, std::vector<slca::SlcaResult>>>
+      candidates;
+  for (auto& entry : rq_list.mutable_entries()) {
+    candidates.emplace_back(std::move(entry.rq), std::move(entry.results));
+  }
+  return FinalizeOutcome(corpus, input.q, input.search_for,
+                         std::move(candidates), options.top_k,
+                         options.ranking, stats, options.rank_results,
+                         options.infer_return_nodes);
+}
+
+}  // namespace xrefine::core

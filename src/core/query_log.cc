@@ -1,0 +1,179 @@
+#include "core/query_log.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace xrefine::core {
+
+void QueryLog::Record(Query issued, Query accepted) {
+  entries_.push_back(QueryLogEntry{std::move(issued), std::move(accepted)});
+}
+
+namespace {
+
+// A candidate rewrite extracted from one log entry.
+struct Rewrite {
+  std::vector<std::string> lhs;
+  std::vector<std::string> rhs;
+  RefineOp op;
+};
+
+// Key for aggregation across entries.
+std::string RewriteKey(const Rewrite& r) {
+  std::string key = JoinStrings(r.lhs, " ");
+  key += " -> ";
+  key += JoinStrings(r.rhs, " ");
+  return key;
+}
+
+// Extracts at most one clean rewrite from an entry: the terms that changed
+// between the issued and the accepted query. Entries with diffuse diffs
+// (several independent changes) are skipped — they would mint noisy rules.
+bool ExtractRewrite(const QueryLogEntry& entry, Rewrite* out) {
+  std::unordered_set<std::string> issued_set(entry.issued.begin(),
+                                             entry.issued.end());
+  std::unordered_set<std::string> accepted_set(entry.accepted.begin(),
+                                               entry.accepted.end());
+  std::vector<std::string> removed;
+  for (const auto& t : entry.issued) {
+    if (accepted_set.count(t) == 0) removed.push_back(t);
+  }
+  std::vector<std::string> added;
+  for (const auto& t : entry.accepted) {
+    if (issued_set.count(t) == 0) added.push_back(t);
+  }
+  if (removed.empty() || added.empty()) return false;  // pure deletion/keep
+
+  if (removed.size() == 1) {
+    // Substitution (spelling fix, synonym, acronym expansion, split).
+    out->lhs = removed;
+    out->rhs = added;
+    out->op = added.size() > 1 ? RefineOp::kSplit : RefineOp::kSubstitution;
+    return true;
+  }
+  if (added.size() == 1) {
+    // Candidate merge: the removed terms, in issued order, concatenate to
+    // the added term and are adjacent in the issued query.
+    std::string concat = JoinStrings(removed, "");
+    if (concat != added.front()) return false;
+    auto first = std::find(entry.issued.begin(), entry.issued.end(),
+                           removed.front());
+    if (first == entry.issued.end()) return false;
+    size_t pos = static_cast<size_t>(first - entry.issued.begin());
+    if (pos + removed.size() > entry.issued.size()) return false;
+    for (size_t i = 0; i < removed.size(); ++i) {
+      if (entry.issued[pos + i] != removed[i]) return false;
+    }
+    out->lhs = removed;
+    out->rhs = added;
+    out->op = RefineOp::kMerging;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+RuleSet QueryLog::MineRules(const LogMiningOptions& options) const {
+  std::map<std::string, std::pair<Rewrite, size_t>> counts;
+  for (const auto& entry : entries_) {
+    Rewrite rewrite;
+    if (!ExtractRewrite(entry, &rewrite)) continue;
+    auto key = RewriteKey(rewrite);
+    auto it = counts.find(key);
+    if (it == counts.end()) {
+      counts.emplace(std::move(key), std::make_pair(std::move(rewrite), 1u));
+    } else {
+      ++it->second.second;
+    }
+  }
+
+  RuleSet rules;
+  for (auto& [key, entry] : counts) {
+    auto& [rewrite, support] = entry;
+    if (support < options.min_support) continue;
+    // Frequent rewrites are trusted more: cost decays logarithmically.
+    double cost = std::max(
+        options.min_cost,
+        options.base_cost -
+            0.2 * std::log(static_cast<double>(support) /
+                           static_cast<double>(options.min_support) +
+                           1e-12));
+    cost = std::min(cost, options.base_cost);
+    rules.Add(RefinementRule{std::move(rewrite.lhs), std::move(rewrite.rhs),
+                             rewrite.op, cost});
+  }
+  return rules;
+}
+
+Status QueryLog::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  for (const auto& entry : entries_) {
+    out << JoinStrings(entry.issued, " ") << " | "
+        << JoinStrings(entry.accepted, " ") << "\n";
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<QueryLog> QueryLog::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  QueryLog log;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty()) continue;
+    size_t sep = trimmed.find('|');
+    if (sep == std::string_view::npos) {
+      return Status::Corruption("query log line " + std::to_string(line_no) +
+                                ": missing '|'");
+    }
+    Query issued;
+    Query accepted;
+    {
+      std::istringstream left{std::string(trimmed.substr(0, sep))};
+      std::string term;
+      while (left >> term) issued.push_back(term);
+      std::istringstream right{std::string(trimmed.substr(sep + 1))};
+      while (right >> term) accepted.push_back(term);
+    }
+    if (issued.empty() || accepted.empty()) {
+      return Status::Corruption("query log line " + std::to_string(line_no) +
+                                ": empty side");
+    }
+    log.Record(std::move(issued), std::move(accepted));
+  }
+  return log;
+}
+
+RuleSet MergeRuleSets(const RuleSet& a, const RuleSet& b) {
+  RuleSet merged;
+  merged.set_deletion_cost(a.deletion_cost());
+  std::map<std::string, RefinementRule> best;
+  auto fold = [&](const RuleSet& rs) {
+    for (const auto& rule : rs.rules()) {
+      std::string key =
+          JoinStrings(rule.lhs, " ") + " -> " + JoinStrings(rule.rhs, " ");
+      auto it = best.find(key);
+      if (it == best.end() || rule.ds < it->second.ds) {
+        best[key] = rule;
+      }
+    }
+  };
+  fold(a);
+  fold(b);
+  for (auto& [key, rule] : best) merged.Add(std::move(rule));
+  return merged;
+}
+
+}  // namespace xrefine::core

@@ -1,0 +1,64 @@
+// Query-log-driven rule mining, the paper's second rule source ("the
+// refinement rules can be obtained from document mining, query log analysis
+// [21] or manual annotation", Section III-B; [21] is Jones & Fain's query
+// word deletion prediction): a log records which refined query the user
+// eventually accepted for each issued query, and recurring rewrites are
+// distilled into refinement rules whose dissimilarity decreases with their
+// observed support.
+#ifndef XREFINE_CORE_QUERY_LOG_H_
+#define XREFINE_CORE_QUERY_LOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/refinement_rule.h"
+
+namespace xrefine::core {
+
+struct QueryLogEntry {
+  Query issued;    // what the user typed
+  Query accepted;  // the refined query whose results the user clicked
+};
+
+struct LogMiningOptions {
+  /// A rewrite becomes a rule once seen this many times.
+  size_t min_support = 2;
+  /// Rule cost at exactly min_support; decays with ln(support) down to
+  /// min_cost for very frequent rewrites.
+  double base_cost = 1.0;
+  double min_cost = 0.25;
+};
+
+/// An append-only in-memory log with text-file persistence (one entry per
+/// line: `issued terms | accepted terms`).
+class QueryLog {
+ public:
+  QueryLog() = default;
+
+  void Record(Query issued, Query accepted);
+
+  size_t size() const { return entries_.size(); }
+  const std::vector<QueryLogEntry>& entries() const { return entries_; }
+
+  /// Distills recurring rewrites into refinement rules:
+  ///  * one term replaced by one or more terms -> substitution rule
+  ///    (covers spelling fixes, synonym swaps, acronym expansion, splits)
+  ///  * several adjacent terms replaced by their concatenation -> merging
+  /// Deletions are not mined (the DP prices them via deletion_cost).
+  RuleSet MineRules(const LogMiningOptions& options = {}) const;
+
+  Status SaveToFile(const std::string& path) const;
+  static StatusOr<QueryLog> LoadFromFile(const std::string& path);
+
+ private:
+  std::vector<QueryLogEntry> entries_;
+};
+
+/// Unions two rule sets (keeping the cheaper duplicate and the first set's
+/// deletion cost) so corpus-mined and log-mined rules compose.
+RuleSet MergeRuleSets(const RuleSet& a, const RuleSet& b);
+
+}  // namespace xrefine::core
+
+#endif  // XREFINE_CORE_QUERY_LOG_H_

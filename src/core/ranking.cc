@@ -1,0 +1,101 @@
+#include "core/ranking.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xrefine::core {
+
+double RankingModel::Imp(const Query& rq, xml::TypeId type) const {
+  const auto& stats = corpus_->stats();
+  uint32_t g = stats.distinct_keywords(type);
+  if (g == 0) return 0.0;
+  double sum = 0.0;
+  for (const std::string& k : rq) {
+    sum += static_cast<double>(stats.tf(k, type));
+  }
+  return sum / static_cast<double>(g);
+}
+
+double RankingModel::ImpKi(const std::string& ki, xml::TypeId type) const {
+  const auto& stats = corpus_->stats();
+  uint32_t n = stats.node_count(type);
+  if (n == 0) return 0.0;
+  double ratio =
+      static_cast<double>(n) / (1.0 + static_cast<double>(stats.df(ki, type)));
+  return std::max(0.0, std::log(ratio));
+}
+
+std::vector<std::string> RankingModel::SymmetricDifference(const Query& rq,
+                                                           const Query& q) {
+  std::vector<std::string> out;
+  for (const std::string& k : q) {
+    if (std::find(rq.begin(), rq.end(), k) == rq.end()) out.push_back(k);
+  }
+  for (const std::string& k : rq) {
+    if (std::find(q.begin(), q.end(), k) == q.end()) out.push_back(k);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+double RankingModel::Similarity(
+    const RefinedQuery& rq, const Query& q,
+    const std::vector<slca::TypeConfidence>& L) const {
+  std::vector<std::string> delta = SymmetricDifference(rq.keywords, q);
+  double total = 0.0;
+  for (const slca::TypeConfidence& tc : L) {
+    double imp = options_.use_guideline1 ? Imp(rq.keywords, tc.type) : 1.0;
+    double delta_importance = 1.0;
+    if (options_.use_guideline2 && !delta.empty()) {
+      delta_importance = 0.0;
+      for (const std::string& ki : delta) {
+        delta_importance += ImpKi(ki, tc.type);
+      }
+    }
+    double rho_t = imp * delta_importance;
+    double weight = options_.use_guideline3 ? tc.confidence : 1.0;
+    total += weight * rho_t;
+  }
+  if (options_.use_guideline4) {
+    total *= std::pow(options_.decay, rq.dissimilarity);
+  }
+  return total;
+}
+
+double RankingModel::Dependence(
+    const RefinedQuery& rq, const std::vector<slca::TypeConfidence>& L) const {
+  const Query& keywords = rq.keywords;
+  if (keywords.size() < 2) return 0.0;
+  const auto& stats = corpus_->stats();
+  auto& cooc = corpus_->cooccurrence();
+  double total = 0.0;
+  for (const slca::TypeConfidence& tc : L) {
+    double dep_t = 0.0;
+    for (const std::string& k : keywords) {
+      for (const std::string& ki : keywords) {
+        if (ki == k) continue;
+        uint32_t denom = stats.df(ki, tc.type);
+        if (denom == 0) continue;
+        dep_t += static_cast<double>(cooc.Count(ki, k, tc.type)) /
+                 static_cast<double>(denom);
+      }
+    }
+    dep_t /= static_cast<double>(keywords.size());
+    double weight = options_.use_guideline3 ? tc.confidence : 1.0;
+    total += weight * dep_t;
+  }
+  return total;
+}
+
+RankedRq RankingModel::Score(RefinedQuery rq, const Query& q,
+                             const std::vector<slca::TypeConfidence>& L) const {
+  RankedRq out;
+  out.similarity = Similarity(rq, q, L);
+  out.dependence = Dependence(rq, L);
+  out.rank = options_.alpha * out.similarity + options_.beta * out.dependence;
+  out.rq = std::move(rq);
+  return out;
+}
+
+}  // namespace xrefine::core

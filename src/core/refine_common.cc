@@ -1,0 +1,93 @@
+#include "core/refine_common.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/result_ranking.h"
+#include "slca/return_node.h"
+
+namespace xrefine::core {
+
+RefineInput PrepareRefineInput(const index::IndexedCorpus& corpus,
+                               const Query& q, const RuleGenerator& rules,
+                               const slca::SearchForNodeOptions& sfn_options) {
+  RefineInput input;
+  input.q = q;
+  input.rules = rules.GenerateFor(q);
+
+  // KS = Q + getNewKeywords(R), restricted to keywords with inverted lists
+  // (a keyword absent from the data can never be part of a refined query,
+  // since RQ ⊆ T by Lemma 2).
+  std::vector<std::string> ks = q;
+  for (const std::string& k : input.rules.NewKeywords(q)) ks.push_back(k);
+  std::unordered_set<std::string> seen;
+  for (const std::string& k : ks) {
+    if (!seen.insert(k).second) continue;
+    const index::PostingList* list = corpus.index().Find(k);
+    if (list == nullptr) continue;
+    input.keywords.push_back(k);
+    input.lists.emplace_back(*list);
+    input.universe.insert(k);
+  }
+
+  input.search_for = slca::InferSearchForNodes(q, corpus.stats(),
+                                               corpus.types(), sfn_options);
+  if (input.search_for.empty()) {
+    // Every original keyword is out-of-corpus (e.g. one merged typo token):
+    // Formula 1 has no evidence. Fall back to inferring L from KS, the
+    // rule-expanded keyword set, which is what any refined query will be
+    // built from.
+    input.search_for = slca::InferSearchForNodes(
+        input.keywords, corpus.stats(), corpus.types(), sfn_options);
+  }
+  return input;
+}
+
+RefineOutcome FinalizeOutcome(
+    const index::IndexedCorpus& corpus, const Query& q,
+    const std::vector<slca::TypeConfidence>& search_for,
+    std::vector<std::pair<RefinedQuery, std::vector<slca::SlcaResult>>>
+        candidates,
+    size_t top_k, const RankingOptions& ranking, RefineStats stats,
+    bool rank_results, bool infer_return_nodes) {
+  RefineOutcome outcome;
+  outcome.stats = stats;
+
+  RankingModel model(&corpus, ranking);
+  std::string q_key = QueryKey(q);
+  std::vector<RankedRq> ranked;
+  ranked.reserve(candidates.size());
+  for (auto& [rq, results] : candidates) {
+    if (results.empty()) continue;  // Lemma 2: every RQ must have results
+    if (QueryKey(rq.keywords) == q_key) {
+      outcome.needs_refinement = false;
+      outcome.original_results = results;
+    }
+    RankedRq scored = model.Score(std::move(rq), q, search_for);
+    scored.results = std::move(results);
+    ranked.push_back(std::move(scored));
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedRq& a, const RankedRq& b) {
+              if (a.rank != b.rank) return a.rank > b.rank;
+              return a.rq.dissimilarity < b.rq.dissimilarity;
+            });
+  if (ranked.size() > top_k) ranked.resize(top_k);
+  if (infer_return_nodes) {
+    for (auto& rq : ranked) {
+      rq.results = slca::InferReturnNodes(rq.results, search_for,
+                                          corpus.types());
+    }
+    outcome.original_results = slca::InferReturnNodes(
+        outcome.original_results, search_for, corpus.types());
+  }
+  if (rank_results) {
+    for (auto& rq : ranked) {
+      rq.results = RankResults(corpus, rq.rq.keywords, std::move(rq.results));
+    }
+  }
+  outcome.refined = std::move(ranked);
+  return outcome;
+}
+
+}  // namespace xrefine::core

@@ -1,0 +1,76 @@
+// Shared plumbing for the three refinement algorithms of Section VI:
+// prepared per-query state (rule set, keyword superset KS, inverted-list
+// spans, search-for candidates) and the common outcome type.
+#ifndef XREFINE_CORE_REFINE_COMMON_H_
+#define XREFINE_CORE_REFINE_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/optimal_rq.h"
+#include "core/ranking.h"
+#include "core/refinement_rule.h"
+#include "core/rule_generator.h"
+#include "index/index_builder.h"
+#include "slca/slca.h"
+
+namespace xrefine::core {
+
+/// Per-query prepared state shared by all algorithms.
+struct RefineInput {
+  Query q;
+  RuleSet rules;
+
+  /// KS ∩ corpus vocabulary: every keyword that can appear in a refined
+  /// query, each with its inverted list.
+  std::vector<std::string> keywords;
+  std::vector<slca::PostingSpan> lists;  // parallel to `keywords`
+
+  /// Witnessed keyword universe (== `keywords` as a set).
+  KeywordSet universe;
+
+  /// Search-for-node candidates L inferred from Q (Formula 1).
+  std::vector<slca::TypeConfidence> search_for;
+};
+
+/// Builds the per-query state: generates rules, assembles KS = Q +
+/// getNewKeywords(R), resolves inverted lists, infers L.
+RefineInput PrepareRefineInput(const index::IndexedCorpus& corpus,
+                               const Query& q, const RuleGenerator& rules,
+                               const slca::SearchForNodeOptions& sfn_options);
+
+/// Instrumentation counters surfaced by the benchmark harnesses.
+struct RefineStats {
+  size_t partitions_visited = 0;
+  size_t partitions_pruned = 0;  // partitions whose SLCA work was skipped
+  size_t slca_calls = 0;
+  size_t dp_calls = 0;
+  size_t random_accesses = 0;  // binary searches into other lists (SLE)
+  size_t nodes_popped = 0;     // stack-refine entry pops
+};
+
+/// The unified outcome: whether Q itself was fine, Q's own meaningful
+/// results, and the ranked refined queries with their results.
+struct RefineOutcome {
+  bool needs_refinement = true;
+  std::vector<slca::SlcaResult> original_results;
+  std::vector<RankedRq> refined;
+  RefineStats stats;
+};
+
+/// Ranks the (rq, results) candidates with the full model (Formula 10),
+/// sorts descending by rank and keeps `top_k`. Detects the original query
+/// among the candidates to fill needs_refinement / original_results. When
+/// `rank_results` is set, each surviving candidate's result list is
+/// reordered by XML TF*IDF (result_ranking.h) instead of document order.
+RefineOutcome FinalizeOutcome(
+    const index::IndexedCorpus& corpus, const Query& q,
+    const std::vector<slca::TypeConfidence>& search_for,
+    std::vector<std::pair<RefinedQuery, std::vector<slca::SlcaResult>>>
+        candidates,
+    size_t top_k, const RankingOptions& ranking, RefineStats stats,
+    bool rank_results = false, bool infer_return_nodes = false);
+
+}  // namespace xrefine::core
+
+#endif  // XREFINE_CORE_REFINE_COMMON_H_

@@ -1,0 +1,33 @@
+#include "core/refined_query.h"
+
+#include <algorithm>
+
+namespace xrefine::core {
+
+std::string QueryToString(const Query& q) {
+  std::string out = "{";
+  for (size_t i = 0; i < q.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += q[i];
+  }
+  out += "}";
+  return out;
+}
+
+std::string QueryKey(const Query& q) {
+  Query sorted = q;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::string key;
+  for (const auto& k : sorted) {
+    key += k;
+    key.push_back('\x01');
+  }
+  return key;
+}
+
+bool SameKeywordSet(const Query& a, const Query& b) {
+  return QueryKey(a) == QueryKey(b);
+}
+
+}  // namespace xrefine::core

@@ -1,0 +1,58 @@
+#include "core/refinement_rule.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace xrefine::core {
+
+std::string RefineOpName(RefineOp op) {
+  switch (op) {
+    case RefineOp::kDeletion:
+      return "delete";
+    case RefineOp::kMerging:
+      return "merge";
+    case RefineOp::kSplit:
+      return "split";
+    case RefineOp::kSubstitution:
+      return "substitute";
+  }
+  return "?";
+}
+
+std::string RefinementRule::DebugString() const {
+  std::string out = RefineOpName(op) + ": " + QueryToString(lhs) + " -> " +
+                    QueryToString(rhs) + " (ds=" + std::to_string(ds) + ")";
+  return out;
+}
+
+void RuleSet::Add(RefinementRule rule) {
+  XR_DCHECK(!rule.lhs.empty());
+  XR_DCHECK(!rule.rhs.empty());
+  size_t idx = rules_.size();
+  by_lhs_last_[rule.lhs.back()].push_back(idx);
+  rules_.push_back(std::move(rule));
+}
+
+const std::vector<size_t>* RuleSet::RulesEndingWith(
+    const std::string& keyword) const {
+  auto it = by_lhs_last_.find(keyword);
+  return it == by_lhs_last_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> RuleSet::NewKeywords(const Query& q) const {
+  std::unordered_set<std::string> in_q(q.begin(), q.end());
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  for (const RefinementRule& r : rules_) {
+    for (const std::string& k : r.rhs) {
+      if (in_q.count(k) > 0) continue;
+      if (seen.insert(k).second) out.push_back(k);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace xrefine::core

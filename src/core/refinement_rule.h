@@ -1,0 +1,74 @@
+// Refinement rules (Definition 3.5): S1 ->op S2 with a dissimilarity score
+// ds_r. The four operations of Section III-B are term deletion (implicit,
+// handled by the DP), term merging, term split, and term substitution
+// (spelling / synonym / acronym / stemming).
+#ifndef XREFINE_CORE_REFINEMENT_RULE_H_
+#define XREFINE_CORE_REFINEMENT_RULE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/refined_query.h"
+
+namespace xrefine::core {
+
+enum class RefineOp {
+  kDeletion,
+  kMerging,
+  kSplit,
+  kSubstitution,
+};
+
+std::string RefineOpName(RefineOp op);
+
+struct RefinementRule {
+  /// Contiguous keyword subsequence of the original query this rule
+  /// rewrites (1 keyword for split/substitution, >=2 for merging and for
+  /// acronym formation).
+  std::vector<std::string> lhs;
+  /// Replacement keywords.
+  std::vector<std::string> rhs;
+  RefineOp op = RefineOp::kSubstitution;
+  /// Dissimilarity ds_r: e.g. 1 per merge/split, the edit distance for a
+  /// spelling fix, the lexicon cost for a synonym.
+  double ds = 1.0;
+
+  std::string DebugString() const;
+};
+
+/// A set of rules indexed for the getOptimalRQ dynamic program: rules are
+/// looked up by the last keyword of their LHS (the DP extends prefixes of Q
+/// one position at a time). Term deletion is represented by
+/// `deletion_cost()` rather than by explicit rules; the paper requires it
+/// to cost more than any other unit operation.
+class RuleSet {
+ public:
+  RuleSet() = default;
+
+  void Add(RefinementRule rule);
+
+  const std::vector<RefinementRule>& rules() const { return rules_; }
+  size_t size() const { return rules_.size(); }
+
+  /// Indices of rules whose LHS ends with `keyword` (nullptr when none).
+  const std::vector<size_t>* RulesEndingWith(const std::string& keyword) const;
+
+  const RefinementRule& rule(size_t i) const { return rules_[i]; }
+
+  double deletion_cost() const { return deletion_cost_; }
+  void set_deletion_cost(double cost) { deletion_cost_ = cost; }
+
+  /// All RHS keywords across the rule set that are not in `q` — the
+  /// getNewKeywords(Q) of Algorithms 1 and 2.
+  std::vector<std::string> NewKeywords(const Query& q) const;
+
+ private:
+  std::vector<RefinementRule> rules_;
+  std::unordered_map<std::string, std::vector<size_t>> by_lhs_last_;
+  double deletion_cost_ = 2.0;
+};
+
+}  // namespace xrefine::core
+
+#endif  // XREFINE_CORE_REFINEMENT_RULE_H_

@@ -1,0 +1,66 @@
+#include "core/result_ranking.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xrefine::core {
+
+namespace {
+
+// Number of postings of `list` whose label lies in result's subtree, i.e.
+// has `prefix` as ancestor-or-self.
+size_t CountUnderPrefix(const index::PostingList& list,
+                        const xml::Dewey& prefix) {
+  // Lower bound: first posting >= prefix.
+  auto lower = std::lower_bound(
+      list.begin(), list.end(), prefix,
+      [](const index::Posting& p, const xml::Dewey& d) { return p.dewey < d; });
+  size_t count = 0;
+  for (auto it = lower; it != list.end(); ++it) {
+    if (!prefix.IsAncestorOrSelf(it->dewey)) break;
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+double ScoreResult(const index::IndexedCorpus& corpus, const Query& keywords,
+                   const slca::SlcaResult& result) {
+  double score = 0.0;
+  double n_t = corpus.stats().node_count(result.type);
+  for (const auto& k : keywords) {
+    const index::PostingList* list = corpus.index().Find(k);
+    if (list == nullptr) continue;
+    size_t tf = CountUnderPrefix(*list, result.dewey);
+    if (tf == 0) continue;
+    double idf = 0.0;
+    if (n_t > 0 && result.type != xml::kInvalidTypeId) {
+      idf = std::max(
+          0.0,
+          std::log(n_t / (1.0 + corpus.stats().df(k, result.type))));
+    }
+    // Sub-linear tf damping, standard in TF*IDF variants.
+    score += (1.0 + std::log(static_cast<double>(tf))) * (idf + 1e-9);
+  }
+  return score;
+}
+
+std::vector<slca::SlcaResult> RankResults(
+    const index::IndexedCorpus& corpus, const Query& keywords,
+    std::vector<slca::SlcaResult> results) {
+  std::vector<std::pair<double, size_t>> keyed(results.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    keyed[i] = {ScoreResult(corpus, keywords, results[i]), i};
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first > b.first;
+                   });
+  std::vector<slca::SlcaResult> out;
+  out.reserve(results.size());
+  for (const auto& [score, i] : keyed) out.push_back(std::move(results[i]));
+  return out;
+}
+
+}  // namespace xrefine::core

@@ -1,0 +1,28 @@
+// Ranking of the matching results *within* one (refined) query, in the
+// spirit of the XML TF*IDF of the authors' companion work (paper reference
+// [6], used by XReal/XSeek): a result subtree r scores
+//     score(r) = sum_{k in Q} tf(k, subtree(r)) * ln(N_T / (1 + f_k^T))
+// where tf counts the nodes under r containing k (from the inverted lists)
+// and T is r's node type. Deeper, keyword-dense results float to the top.
+#ifndef XREFINE_CORE_RESULT_RANKING_H_
+#define XREFINE_CORE_RESULT_RANKING_H_
+
+#include <vector>
+
+#include "core/refined_query.h"
+#include "index/index_builder.h"
+
+namespace xrefine::core {
+
+/// TF*IDF score of one result for `keywords`.
+double ScoreResult(const index::IndexedCorpus& corpus, const Query& keywords,
+                   const slca::SlcaResult& result);
+
+/// Sorts results descending by score (stable for ties in document order).
+std::vector<slca::SlcaResult> RankResults(
+    const index::IndexedCorpus& corpus, const Query& keywords,
+    std::vector<slca::SlcaResult> results);
+
+}  // namespace xrefine::core
+
+#endif  // XREFINE_CORE_RESULT_RANKING_H_

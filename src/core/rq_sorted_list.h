@@ -1,0 +1,61 @@
+// RQSortedList (Section VI-B): the bounded candidate list the Partition and
+// SLE algorithms maintain while scanning — up to `capacity` refined queries
+// ordered by dissimilarity, with O(1) membership via a hash on the keyword
+// set and accumulation of per-partition SLCA results.
+#ifndef XREFINE_CORE_RQ_SORTED_LIST_H_
+#define XREFINE_CORE_RQ_SORTED_LIST_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/refined_query.h"
+
+namespace xrefine::core {
+
+class RqSortedList {
+ public:
+  struct Entry {
+    RefinedQuery rq;
+    std::vector<slca::SlcaResult> results;
+  };
+
+  explicit RqSortedList(size_t capacity) : capacity_(capacity) {}
+
+  size_t size() const { return entries_.size(); }
+  bool full() const { return entries_.size() >= capacity_; }
+
+  /// Dissimilarity of the worst retained candidate (infinity when not yet
+  /// full) — the admission threshold of Algorithm 2 line 12 and the
+  /// early-stop bound of Algorithm 3.
+  double AdmissionThreshold() const;
+
+  /// True when a candidate with this dissimilarity could enter (or already
+  /// is in) the list.
+  bool CanAccept(double dissimilarity) const;
+
+  bool Contains(const Query& keywords) const;
+
+  /// Inserts (or finds) the entry for `rq`; evicts the worst when over
+  /// capacity. Returns nullptr iff the candidate was rejected.
+  Entry* InsertOrFind(const RefinedQuery& rq);
+
+  /// Appends SLCA results to an existing entry (no-op when absent).
+  void AppendResults(const Query& keywords,
+                     const std::vector<slca::SlcaResult>& results);
+
+  /// Entries by ascending dissimilarity.
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::vector<Entry>& mutable_entries() { return entries_; }
+
+ private:
+  size_t IndexOf(const std::string& key) const;
+
+  size_t capacity_;
+  std::vector<Entry> entries_;  // kept sorted by rq.dissimilarity
+  std::unordered_map<std::string, bool> member_;  // QueryKey set
+};
+
+}  // namespace xrefine::core
+
+#endif  // XREFINE_CORE_RQ_SORTED_LIST_H_

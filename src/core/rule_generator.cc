@@ -1,0 +1,162 @@
+#include "core/rule_generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "text/edit_distance.h"
+#include "text/porter_stemmer.h"
+#include "text/segmenter.h"
+
+namespace xrefine::core {
+
+RuleGenerator::RuleGenerator(const index::InvertedIndex* index,
+                             const text::Lexicon* lexicon,
+                             RuleGeneratorOptions options)
+    : index_(index), lexicon_(lexicon), options_(options) {
+  vocabulary_ = index_->Vocabulary();
+  for (const std::string& word : vocabulary_) {
+    stem_index_[text::PorterStem(word)].push_back(word);
+  }
+  segmenter_ = std::make_unique<text::Segmenter>(
+      std::unordered_set<std::string>(vocabulary_.begin(), vocabulary_.end()));
+}
+
+RuleSet RuleGenerator::GenerateFor(const Query& q) const {
+  RuleSet rules;
+  rules.set_deletion_cost(options_.deletion_cost);
+  AddMergeRules(q, &rules);
+  AddSplitRules(q, &rules);
+  AddSpellingRules(q, &rules);
+  AddSynonymRules(q, &rules);
+  AddAcronymRules(q, &rules);
+  AddStemmingRules(q, &rules);
+  return rules;
+}
+
+void RuleGenerator::AddMergeRules(const Query& q, RuleSet* rules) const {
+  // Adjacent runs q[i..i+a) whose concatenation is a corpus word.
+  for (size_t i = 0; i < q.size(); ++i) {
+    std::string merged = q[i];
+    std::vector<std::string> lhs = {q[i]};
+    for (size_t a = 2; a <= options_.max_merge_arity && i + a <= q.size();
+         ++a) {
+      merged += q[i + a - 1];
+      lhs.push_back(q[i + a - 1]);
+      if (InCorpus(merged)) {
+        rules->Add(RefinementRule{
+            lhs,
+            {merged},
+            RefineOp::kMerging,
+            options_.merge_cost_per_space * static_cast<double>(a - 1)});
+      }
+    }
+  }
+}
+
+void RuleGenerator::AddSplitRules(const Query& q, RuleSet* rules) const {
+  for (const std::string& k : q) {
+    std::vector<std::string> pieces = segmenter_->Segment(k);
+    if (pieces.size() < 2) continue;
+    rules->Add(RefinementRule{
+        {k},
+        pieces,
+        RefineOp::kSplit,
+        options_.split_cost_per_space * static_cast<double>(pieces.size() - 1)});
+  }
+}
+
+void RuleGenerator::AddSpellingRules(const Query& q, RuleSet* rules) const {
+  for (const std::string& k : q) {
+    if (k.size() < options_.min_spelling_length) continue;
+    if (InCorpus(k)) continue;  // spelled correctly for this corpus
+    // Candidates: corpus words within the edit-distance band, preferring
+    // frequent words (a common IR heuristic for correction quality).
+    struct Candidate {
+      std::string word;
+      int distance;
+      size_t frequency;
+    };
+    std::vector<Candidate> candidates;
+    for (const std::string& word : vocabulary_) {
+      size_t lk = k.size();
+      size_t lw = word.size();
+      size_t diff = lk > lw ? lk - lw : lw - lk;
+      if (diff > static_cast<size_t>(options_.max_edit_distance)) continue;
+      int d = text::EditDistanceAtMost(k, word, options_.max_edit_distance);
+      if (d > options_.max_edit_distance || d == 0) continue;
+      candidates.push_back(Candidate{word, d, index_->ListSize(word)});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.distance != b.distance) return a.distance < b.distance;
+                if (a.frequency != b.frequency) return a.frequency > b.frequency;
+                return a.word < b.word;
+              });
+    size_t limit = std::min(candidates.size(), options_.max_spelling_candidates);
+    for (size_t i = 0; i < limit; ++i) {
+      rules->Add(RefinementRule{{k},
+                                {candidates[i].word},
+                                RefineOp::kSubstitution,
+                                static_cast<double>(candidates[i].distance)});
+    }
+  }
+}
+
+void RuleGenerator::AddSynonymRules(const Query& q, RuleSet* rules) const {
+  for (const std::string& k : q) {
+    for (const text::Synonym& syn : lexicon_->SynonymsOf(k)) {
+      if (!InCorpus(syn.word)) continue;
+      rules->Add(RefinementRule{
+          {k}, {syn.word}, RefineOp::kSubstitution, syn.cost});
+    }
+  }
+}
+
+void RuleGenerator::AddAcronymRules(const Query& q, RuleSet* rules) const {
+  // Expansion direction: acronym in the query -> its expansion words.
+  for (const std::string& k : q) {
+    const std::vector<std::string>* expansion = lexicon_->ExpansionOf(k);
+    if (expansion == nullptr) continue;
+    bool all_present = true;
+    for (const std::string& w : *expansion) {
+      if (!InCorpus(w)) {
+        all_present = false;
+        break;
+      }
+    }
+    if (all_present) {
+      rules->Add(RefinementRule{
+          {k}, *expansion, RefineOp::kSubstitution, options_.acronym_cost});
+    }
+  }
+  // Formation direction: a contiguous run of query terms equal to a known
+  // expansion -> the acronym.
+  for (size_t i = 0; i < q.size(); ++i) {
+    for (size_t len = 2; len <= 4 && i + len <= q.size(); ++len) {
+      std::vector<std::string> run(q.begin() + static_cast<ptrdiff_t>(i),
+                                   q.begin() + static_cast<ptrdiff_t>(i + len));
+      for (const std::string& acronym : lexicon_->AcronymsFor(run)) {
+        if (!InCorpus(acronym)) continue;
+        rules->Add(RefinementRule{
+            run, {acronym}, RefineOp::kSubstitution, options_.acronym_cost});
+      }
+    }
+  }
+}
+
+void RuleGenerator::AddStemmingRules(const Query& q, RuleSet* rules) const {
+  for (const std::string& k : q) {
+    auto it = stem_index_.find(text::PorterStem(k));
+    if (it == stem_index_.end()) continue;
+    size_t added = 0;
+    for (const std::string& variant : it->second) {
+      if (variant == k) continue;
+      if (added >= options_.max_stemming_candidates) break;
+      rules->Add(RefinementRule{
+          {k}, {variant}, RefineOp::kSubstitution, options_.stemming_cost});
+      ++added;
+    }
+  }
+}
+
+}  // namespace xrefine::core

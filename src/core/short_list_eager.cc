@@ -1,0 +1,148 @@
+#include "core/short_list_eager.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "core/rq_sorted_list.h"
+
+namespace xrefine::core {
+
+namespace {
+
+size_t LowerBoundFrom(const slca::PostingSpan& list, size_t from,
+                      const xml::Dewey& bound) {
+  size_t lo = from;
+  size_t hi = list.size;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (list[mid].dewey < bound) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+xml::Dewey PartitionUpperBound(const xml::Dewey& prefix) {
+  std::vector<uint32_t> c = prefix.components();
+  c.back() += 1;
+  return xml::Dewey(std::move(c));
+}
+
+}  // namespace
+
+RefineOutcome ShortListEagerRefine(const index::IndexedCorpus& corpus,
+                                   const RefineInput& input,
+                                   const SleOptions& options) {
+  RefineStats stats;
+  const size_t m = input.lists.size();
+  const size_t candidate_budget = 2 * options.top_k;
+  RqSortedList rq_list(candidate_budget);
+
+  // Keywords ordered by ascending list length (shortest first). Keywords
+  // that appear on rule RHSs or that need no refinement are preferred on
+  // ties, per the paper's smarter-choice discussion.
+  std::vector<size_t> order(m);
+  for (size_t i = 0; i < m; ++i) order[i] = i;
+  std::unordered_set<std::string> rhs_or_clean;
+  for (const std::string& k : input.q) rhs_or_clean.insert(k);
+  for (const RefinementRule& r : input.rules.rules()) {
+    for (const std::string& k : r.rhs) rhs_or_clean.insert(k);
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (input.lists[a].size != input.lists[b].size) {
+      return input.lists[a].size < input.lists[b].size;
+    }
+    bool pa = rhs_or_clean.count(input.keywords[a]) > 0;
+    bool pb = rhs_or_clean.count(input.keywords[b]) > 0;
+    if (pa != pb) return pa;
+    return input.keywords[a] < input.keywords[b];
+  });
+
+  KeywordSet remaining(input.universe);
+  std::unordered_set<std::string> processed_partitions;
+
+  for (size_t oi = 0; oi < order.size(); ++oi) {
+    size_t i = order[oi];
+
+    // Stop condition (line 4): the best dissimilarity achievable from the
+    // still-unexplored keyword universe.
+    if (options.early_stop && rq_list.full()) {
+      ++stats.dp_calls;
+      auto potential = GetOptimalRq(input.q, remaining, input.rules);
+      double c_potential = potential.has_value()
+                               ? potential->dissimilarity
+                               : std::numeric_limits<double>::infinity();
+      if (c_potential > rq_list.AdmissionThreshold()) break;
+    }
+
+    // Each partition containing k_i (lines 6-9).
+    const slca::PostingSpan& short_list = input.lists[i];
+    size_t pos = 0;
+    while (pos < short_list.size) {
+      const xml::Dewey& v = short_list[pos].dewey;
+      xml::Dewey prefix = v.Prefix(std::min<size_t>(2, v.depth()));
+      xml::Dewey upper = PartitionUpperBound(prefix);
+      pos = LowerBoundFrom(short_list, pos, upper);
+
+      std::string pid = prefix.ToString();
+      if (!processed_partitions.insert(pid).second) continue;
+      ++stats.partitions_visited;
+
+      // Random-access every list for this partition to collect T.
+      KeywordSet witnessed;
+      for (size_t j = 0; j < m; ++j) {
+        ++stats.random_accesses;
+        size_t begin = LowerBoundFrom(input.lists[j], 0, prefix);
+        size_t end = LowerBoundFrom(input.lists[j], begin, upper);
+        if (end > begin) witnessed.insert(input.keywords[j]);
+      }
+      if (witnessed.empty()) continue;
+
+      ++stats.dp_calls;
+      std::vector<RefinedQuery> candidates = GetTopOptimalRqs(
+          input.q, witnessed, input.rules, candidate_budget);
+      for (const RefinedQuery& rq : candidates) {
+        rq_list.InsertOrFind(rq);
+      }
+    }
+
+    remaining.erase(input.keywords[i]);
+  }
+
+  // Step 2 (lines 17-18): SLCA results for the surviving candidates, with
+  // any existing method over the full lists.
+  std::vector<std::pair<RefinedQuery, std::vector<slca::SlcaResult>>>
+      candidates;
+  for (const auto& entry : rq_list.entries()) {
+    std::vector<slca::PostingSpan> spans;
+    spans.reserve(entry.rq.keywords.size());
+    bool ok = true;
+    for (const std::string& k : entry.rq.keywords) {
+      auto it = std::find(input.keywords.begin(), input.keywords.end(), k);
+      if (it == input.keywords.end()) {
+        ok = false;
+        break;
+      }
+      spans.push_back(
+          input.lists[static_cast<size_t>(it - input.keywords.begin())]);
+    }
+    if (!ok) continue;
+    ++stats.slca_calls;
+    std::vector<slca::SlcaResult> results =
+        slca::ComputeSlca(spans, corpus.types(), options.slca_algorithm);
+    results = slca::FilterMeaningful(std::move(results), input.search_for,
+                                     corpus.types());
+    if (results.empty()) continue;
+    candidates.emplace_back(entry.rq, std::move(results));
+  }
+
+  return FinalizeOutcome(corpus, input.q, input.search_for,
+                         std::move(candidates), options.top_k,
+                         options.ranking, stats, options.rank_results,
+                         options.infer_return_nodes);
+}
+
+}  // namespace xrefine::core

@@ -1,0 +1,20 @@
+#include "core/static_refiner.h"
+
+namespace xrefine::core {
+
+std::vector<RefinedQuery> StaticRefine(const Query& q, const RuleSet& rules,
+                                       const KeywordSet& dictionary,
+                                       size_t k) {
+  KeywordSet assumed;
+  for (const std::string& term : q) {
+    if (dictionary.count(term) > 0) assumed.insert(term);
+  }
+  for (const RefinementRule& rule : rules.rules()) {
+    for (const std::string& w : rule.rhs) assumed.insert(w);
+  }
+  OptimalRqOptions options;
+  options.explore_deletions_of_present_terms = false;
+  return GetTopOptimalRqs(q, assumed, rules, k, options);
+}
+
+}  // namespace xrefine::core

@@ -1,0 +1,32 @@
+// Static query refinement baseline: the "clean the query first, search
+// later" pipeline of the paper's related work (keyword query cleaning,
+// Pu & Yu; thesaurus-driven IR refinement). It rewrites the query with the
+// same rule machinery but WITHOUT consulting the data, so — unlike every
+// XRefine algorithm (Lemma 2) — its suggestions are not guaranteed to have
+// any (meaningful) matching result. Implemented to reproduce the paper's
+// core argument quantitatively (bench_static_baseline).
+#ifndef XREFINE_CORE_STATIC_REFINER_H_
+#define XREFINE_CORE_STATIC_REFINER_H_
+
+#include <vector>
+
+#include "core/optimal_rq.h"
+#include "core/refinement_rule.h"
+
+namespace xrefine::core {
+
+/// Produces the top-`k` refined queries by dissimilarity with no data
+/// access: getOptimalRQ over T = (Q ∩ dictionary) plus all rule RHS
+/// keywords. The `dictionary` models the cleaner's word list (a thesaurus /
+/// spelling dictionary): in-dictionary query terms are kept for free,
+/// out-of-dictionary terms must be rewritten or deleted. Deletions of
+/// dictionary terms are not explored (a static cleaner has no signal to
+/// drop a word it believes in — exactly why over-restricted queries defeat
+/// it).
+std::vector<RefinedQuery> StaticRefine(const Query& q, const RuleSet& rules,
+                                       const KeywordSet& dictionary,
+                                       size_t k);
+
+}  // namespace xrefine::core
+
+#endif  // XREFINE_CORE_STATIC_REFINER_H_

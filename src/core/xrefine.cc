@@ -1,0 +1,91 @@
+#include "core/xrefine.h"
+
+#include "text/tokenizer.h"
+
+namespace xrefine::core {
+
+std::string RefineAlgorithmName(RefineAlgorithm algorithm) {
+  switch (algorithm) {
+    case RefineAlgorithm::kStackRefine:
+      return "stack-refine";
+    case RefineAlgorithm::kPartition:
+      return "partition";
+    case RefineAlgorithm::kShortListEager:
+      return "sle";
+  }
+  return "?";
+}
+
+XRefine::XRefine(const index::IndexedCorpus* corpus,
+                 const text::Lexicon* lexicon, XRefineOptions options)
+    : corpus_(corpus),
+      options_(std::move(options)),
+      rule_generator_(&corpus->index(), lexicon, options_.rules) {}
+
+void XRefine::AttachQueryLog(const QueryLog& log,
+                             const LogMiningOptions& options) {
+  log_rules_ = log.MineRules(options);
+}
+
+RefineInput XRefine::Prepare(const Query& q) const {
+  RefineInput input = PrepareRefineInput(*corpus_, q, rule_generator_,
+                                         options_.search_for_node);
+  if (log_rules_.size() > 0) {
+    input.rules = MergeRuleSets(input.rules, log_rules_);
+    // Log rules may introduce keywords the corpus-mined KS missed.
+    for (const std::string& k : input.rules.NewKeywords(q)) {
+      if (input.universe.count(k) > 0) continue;
+      const index::PostingList* list = corpus_->index().Find(k);
+      if (list == nullptr) continue;
+      input.keywords.push_back(k);
+      input.lists.emplace_back(*list);
+      input.universe.insert(k);
+    }
+  }
+  return input;
+}
+
+RefineOutcome XRefine::RunPrepared(const RefineInput& input) const {
+  switch (options_.algorithm) {
+    case RefineAlgorithm::kStackRefine: {
+      StackRefineOptions opts;
+      opts.top_k = options_.top_k;
+      opts.ranking = options_.ranking;
+      opts.rank_results = options_.rank_results;
+      opts.infer_return_nodes = options_.infer_return_nodes;
+      return StackRefine(*corpus_, input, opts);
+    }
+    case RefineAlgorithm::kPartition: {
+      PartitionRefineOptions opts;
+      opts.top_k = options_.top_k;
+      opts.slca_algorithm = options_.slca_algorithm;
+      opts.ranking = options_.ranking;
+      opts.prune_partitions = options_.prune_partitions;
+      opts.rank_results = options_.rank_results;
+      opts.infer_return_nodes = options_.infer_return_nodes;
+      return PartitionRefine(*corpus_, input, opts);
+    }
+    case RefineAlgorithm::kShortListEager: {
+      SleOptions opts;
+      opts.top_k = options_.top_k;
+      opts.slca_algorithm = options_.slca_algorithm;
+      opts.ranking = options_.ranking;
+      opts.early_stop = options_.sle_early_stop;
+      opts.rank_results = options_.rank_results;
+      opts.infer_return_nodes = options_.infer_return_nodes;
+      return ShortListEagerRefine(*corpus_, input, opts);
+    }
+  }
+  return RefineOutcome{};
+}
+
+RefineOutcome XRefine::Run(const Query& q) const {
+  RefineInput input = Prepare(q);
+  return RunPrepared(input);
+}
+
+RefineOutcome XRefine::RunText(const std::string& query_text) const {
+  return Run(text::TokenizeQuery(query_text));
+}
+
+}  // namespace xrefine::core

@@ -1,0 +1,85 @@
+// XRefine: the engine façade. Owns per-corpus state (rule generator) and
+// answers keyword queries with automatic refinement: Issue 1 (decide during
+// processing whether Q needs refinement), Issue 2 (find refined queries
+// together with their results), Issue 3 (rank them with the full model),
+// Issue 4 (one-time scan of the involved inverted lists).
+#ifndef XREFINE_CORE_XREFINE_H_
+#define XREFINE_CORE_XREFINE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/partition_refine.h"
+#include "core/query_log.h"
+#include "core/refine_common.h"
+#include "core/rule_generator.h"
+#include "core/short_list_eager.h"
+#include "core/stack_refine.h"
+#include "text/lexicon.h"
+
+namespace xrefine::core {
+
+enum class RefineAlgorithm {
+  kStackRefine,     // Algorithm 1
+  kPartition,       // Algorithm 2 (default; best overall in the paper)
+  kShortListEager,  // Algorithm 3
+};
+
+std::string RefineAlgorithmName(RefineAlgorithm algorithm);
+
+struct XRefineOptions {
+  size_t top_k = 3;
+  RefineAlgorithm algorithm = RefineAlgorithm::kPartition;
+  slca::SlcaAlgorithm slca_algorithm = slca::SlcaAlgorithm::kScanEager;
+  RankingOptions ranking;
+  slca::SearchForNodeOptions search_for_node;
+  RuleGeneratorOptions rules;
+  bool prune_partitions = true;  // Algorithm 2 ablation knob
+  bool sle_early_stop = true;    // Algorithm 3 ablation knob
+  /// Order each refined query's results by XML TF*IDF instead of document
+  /// order (result_ranking.h).
+  bool rank_results = false;
+  /// Snap each result to its enclosing search-for entity (XSeek-style
+  /// return-node inference, return_node.h).
+  bool infer_return_nodes = false;
+};
+
+class XRefine {
+ public:
+  /// `corpus` and `lexicon` must outlive the engine.
+  XRefine(const index::IndexedCorpus* corpus, const text::Lexicon* lexicon,
+          XRefineOptions options = {});
+
+  /// Refines and answers a parsed keyword query.
+  RefineOutcome Run(const Query& q) const;
+
+  /// Tokenises free text and runs it.
+  RefineOutcome RunText(const std::string& query_text) const;
+
+  /// Mines refinement rules from a log of accepted refinements and merges
+  /// them into every subsequent query's rule set (the paper's "query log
+  /// analysis" rule source). Call again to re-mine after the log grows.
+  void AttachQueryLog(const QueryLog& log,
+                      const LogMiningOptions& options = {});
+
+  /// The prepared per-query state (exposed for benchmarks that want to
+  /// time the scan separately from rule generation).
+  RefineInput Prepare(const Query& q) const;
+
+  /// Runs a specific algorithm over previously prepared input.
+  RefineOutcome RunPrepared(const RefineInput& input) const;
+
+  const XRefineOptions& options() const { return options_; }
+  const RuleGenerator& rule_generator() const { return rule_generator_; }
+  const index::IndexedCorpus& corpus() const { return *corpus_; }
+
+ private:
+  const index::IndexedCorpus* corpus_;
+  XRefineOptions options_;
+  RuleGenerator rule_generator_;
+  RuleSet log_rules_;  // mined from an attached query log; empty by default
+};
+
+}  // namespace xrefine::core
+
+#endif  // XREFINE_CORE_XREFINE_H_

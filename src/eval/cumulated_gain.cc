@@ -1,0 +1,41 @@
+#include "eval/cumulated_gain.h"
+
+#include <cmath>
+
+namespace xrefine::eval {
+
+std::vector<double> CumulatedGain(const std::vector<int>& gains) {
+  std::vector<double> cg(gains.size());
+  double acc = 0;
+  for (size_t i = 0; i < gains.size(); ++i) {
+    acc += gains[i];
+    cg[i] = acc;
+  }
+  return cg;
+}
+
+double CumulatedGainAt(const std::vector<int>& gains, size_t k) {
+  double acc = 0;
+  for (size_t i = 0; i < k && i < gains.size(); ++i) acc += gains[i];
+  return acc;
+}
+
+double DiscountedCumulatedGainAt(const std::vector<int>& gains, size_t k) {
+  double acc = 0;
+  for (size_t i = 0; i < k && i < gains.size(); ++i) {
+    double rank = static_cast<double>(i + 1);
+    double discount = rank < 2.0 ? 1.0 : std::log2(rank);
+    acc += static_cast<double>(gains[i]) / discount;
+  }
+  return acc;
+}
+
+double MeanCumulatedGainAt(const std::vector<std::vector<int>>& per_query,
+                           size_t k) {
+  if (per_query.empty()) return 0;
+  double total = 0;
+  for (const auto& gains : per_query) total += CumulatedGainAt(gains, k);
+  return total / static_cast<double>(per_query.size());
+}
+
+}  // namespace xrefine::eval

@@ -1,0 +1,28 @@
+// Cumulated Gain evaluation (Järvelin & Kekäläinen), the metric of the
+// paper's effectiveness study (Section VIII-C): CG[1] = G[1],
+// CG[i] = CG[i-1] + G[i], over graded relevance gains G in {0,1,2,3}.
+#ifndef XREFINE_EVAL_CUMULATED_GAIN_H_
+#define XREFINE_EVAL_CUMULATED_GAIN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace xrefine::eval {
+
+/// CG vector of the gain vector (same length).
+std::vector<double> CumulatedGain(const std::vector<int>& gains);
+
+/// CG at rank k (1-based); gains shorter than k are padded with zeros.
+double CumulatedGainAt(const std::vector<int>& gains, size_t k);
+
+/// Discounted CG at rank k (log2 discount, b=2) — an extension beyond the
+/// paper's CG for finer-grained comparisons.
+double DiscountedCumulatedGainAt(const std::vector<int>& gains, size_t k);
+
+/// Averages per-query CG@k over a batch of gain vectors.
+double MeanCumulatedGainAt(const std::vector<std::vector<int>>& per_query,
+                           size_t k);
+
+}  // namespace xrefine::eval
+
+#endif  // XREFINE_EVAL_CUMULATED_GAIN_H_

@@ -1,0 +1,39 @@
+#include "eval/oracle_judge.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace xrefine::eval {
+
+double KeywordJaccard(const core::Query& a, const core::Query& b) {
+  std::unordered_set<std::string> sa(a.begin(), a.end());
+  std::unordered_set<std::string> sb(b.begin(), b.end());
+  if (sa.empty() && sb.empty()) return 1.0;
+  size_t inter = 0;
+  for (const auto& k : sa) inter += sb.count(k);
+  size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) /
+                              static_cast<double>(uni);
+}
+
+int JudgeRelevance(const workload::CorruptedQuery& ground_truth,
+                   const core::RankedRq& rq) {
+  if (rq.results.empty()) return 0;
+  double jaccard = KeywordJaccard(ground_truth.intended, rq.rq.keywords);
+  if (jaccard >= 0.999) return 3;
+  if (jaccard >= 0.6) return 2;
+  if (jaccard >= 0.3) return 1;
+  return 0;
+}
+
+std::vector<int> JudgeRanking(const workload::CorruptedQuery& ground_truth,
+                              const std::vector<core::RankedRq>& ranking) {
+  std::vector<int> gains;
+  gains.reserve(ranking.size());
+  for (const auto& rq : ranking) {
+    gains.push_back(JudgeRelevance(ground_truth, rq));
+  }
+  return gains;
+}
+
+}  // namespace xrefine::eval

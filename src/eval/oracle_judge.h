@@ -1,0 +1,32 @@
+// Oracle relevance judge: the deterministic substitute for the paper's six
+// human judges (Section VIII-C). Because each test query was produced by a
+// recorded corruption of a known intended query, the judge can grade a
+// refined query on the paper's four-point scale against that ground truth:
+//   3 highly relevant     RQ recovers the intended keyword set exactly
+//   2 fairly relevant     high keyword overlap and non-empty results
+//   1 marginally relevant some overlap
+//   0 irrelevant          otherwise
+#ifndef XREFINE_EVAL_ORACLE_JUDGE_H_
+#define XREFINE_EVAL_ORACLE_JUDGE_H_
+
+#include <vector>
+
+#include "core/refined_query.h"
+#include "workload/corruption.h"
+
+namespace xrefine::eval {
+
+/// Jaccard similarity between two keyword sets.
+double KeywordJaccard(const core::Query& a, const core::Query& b);
+
+/// Grades one refined query against the ground truth (0..3).
+int JudgeRelevance(const workload::CorruptedQuery& ground_truth,
+                   const core::RankedRq& rq);
+
+/// Grades a ranked refinement list into a gain vector (paper's G vector).
+std::vector<int> JudgeRanking(const workload::CorruptedQuery& ground_truth,
+                              const std::vector<core::RankedRq>& ranking);
+
+}  // namespace xrefine::eval
+
+#endif  // XREFINE_EVAL_ORACLE_JUDGE_H_

@@ -1,0 +1,122 @@
+#include "index/cooccurrence.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace xrefine::index {
+
+std::string CooccurrenceTable::PairKey(std::string_view k1,
+                                       std::string_view k2,
+                                       xml::TypeId type) const {
+  // Canonicalise so Count(a,b,T) == Count(b,a,T).
+  if (k2 < k1) std::swap(k1, k2);
+  std::string key(k1);
+  key.push_back('\0');
+  key.append(k2);
+  key.push_back('\0');
+  key.append(std::to_string(type));
+  return key;
+}
+
+std::string CooccurrenceTable::AnchorKey(std::string_view keyword,
+                                         xml::TypeId type) const {
+  std::string key(keyword);
+  key.push_back('\0');
+  key.append(std::to_string(type));
+  return key;
+}
+
+const std::vector<xml::Dewey>& CooccurrenceTable::AnchorSet(
+    std::string_view keyword, xml::TypeId type) {
+  std::string cache_key = AnchorKey(keyword, type);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = anchor_cache_.find(cache_key);
+    if (it != anchor_cache_.end()) return it->second;
+  }
+
+  // Compute outside the lock: only the immutable index is consulted.
+  std::vector<xml::Dewey> anchors;
+  const PostingList* list = index_->Find(keyword);
+  if (list != nullptr) {
+    uint32_t depth = types_->depth(type);
+    for (const Posting& p : *list) {
+      // The posting participates only when a T-typed node lies on its
+      // root path, i.e. T is the depth-`depth` ancestor type of p.type.
+      if (types_->AncestorAtDepth(p.type, depth) != type) continue;
+      xml::Dewey anchor = p.dewey.Prefix(depth);
+      // Document order makes equal anchors contiguous.
+      if (anchors.empty() || anchors.back() != anchor) {
+        anchors.push_back(std::move(anchor));
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // First inserter wins; a concurrent thread computed the same set.
+  return anchor_cache_.emplace(std::move(cache_key), std::move(anchors))
+      .first->second;
+}
+
+uint32_t CooccurrenceTable::SingleCount(std::string_view keyword,
+                                        xml::TypeId type) {
+  return static_cast<uint32_t>(AnchorSet(keyword, type).size());
+}
+
+uint32_t CooccurrenceTable::Count(std::string_view k1, std::string_view k2,
+                                  xml::TypeId type) {
+  std::string cache_key = PairKey(k1, k2, type);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pair_cache_.find(cache_key);
+    if (it != pair_cache_.end()) return it->second;
+  }
+
+  const auto& a = AnchorSet(k1, type);
+  const auto& b = AnchorSet(k2, type);
+  uint32_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    int cmp = a[i].Compare(b[j]);
+    if (cmp == 0) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (cmp < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  pair_cache_.emplace(std::move(cache_key), count);
+  return count;
+}
+
+std::vector<CooccurrenceTable::ExportedPair> CooccurrenceTable::ExportPairs()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ExportedPair> out;
+  out.reserve(pair_cache_.size());
+  for (const auto& [key, count] : pair_cache_) {
+    // Key layout (see PairKey): k1 '\0' k2 '\0' decimal-type.
+    size_t first = key.find('\0');
+    size_t second = key.find('\0', first + 1);
+    if (first == std::string::npos || second == std::string::npos) continue;
+    ExportedPair pair;
+    pair.k1 = key.substr(0, first);
+    pair.k2 = key.substr(first + 1, second - first - 1);
+    pair.type = static_cast<xml::TypeId>(
+        std::strtoul(key.c_str() + second + 1, nullptr, 10));
+    pair.count = count;
+    out.push_back(std::move(pair));
+  }
+  return out;
+}
+
+void CooccurrenceTable::ImportPair(const ExportedPair& pair) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pair_cache_[PairKey(pair.k1, pair.k2, pair.type)] = pair.count;
+}
+
+}  // namespace xrefine::index

@@ -1,0 +1,79 @@
+// The paper's co-occur frequency table (Section VII): f_{ki,kj}^T, the
+// number of T-typed subtrees containing both keywords, feeding the
+// dependence score (Formula 7). Rather than eagerly materialising the
+// worst-case O(K^2 * T) table, entries are computed from the inverted
+// lists on first use and memoised — the paper's B+-tree fetch becomes a
+// cache fill.
+#ifndef XREFINE_INDEX_COOCCURRENCE_H_
+#define XREFINE_INDEX_COOCCURRENCE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "xml/node_type.h"
+
+namespace xrefine::index {
+
+/// Thread-safe for concurrent readers: the memoisation maps are guarded by
+/// a mutex, and returned references stay valid because unordered_map never
+/// invalidates element references on rehash.
+class CooccurrenceTable {
+ public:
+  /// Both referees must outlive the table.
+  CooccurrenceTable(const InvertedIndex* index,
+                    const xml::NodeTypeTable* types)
+      : index_(index), types_(types) {}
+
+  /// f_{k1,k2}^T. Symmetric in (k1, k2).
+  uint32_t Count(std::string_view k1, std::string_view k2,
+                 xml::TypeId type);
+
+  /// f_k^T computed from the anchor set (used for cross-checking the
+  /// statistics table in tests).
+  uint32_t SingleCount(std::string_view keyword, xml::TypeId type);
+
+  /// The distinct T-typed ancestor labels over the postings of `keyword`,
+  /// sorted in document order.
+  const std::vector<xml::Dewey>& AnchorSet(std::string_view keyword,
+                                           xml::TypeId type);
+
+  size_t memoized_pairs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pair_cache_.size();
+  }
+
+  /// One persisted co-occurrence entry.
+  struct ExportedPair {
+    std::string k1;
+    std::string k2;
+    xml::TypeId type;
+    uint32_t count;
+  };
+
+  /// Snapshot of the memoised pair counts, for persistence into the KV
+  /// store ("the co-occur frequency table", Section VII).
+  std::vector<ExportedPair> ExportPairs() const;
+
+  /// Seeds the cache with a persisted entry (skips recomputation later).
+  void ImportPair(const ExportedPair& pair);
+
+ private:
+  std::string PairKey(std::string_view k1, std::string_view k2,
+                      xml::TypeId type) const;
+  std::string AnchorKey(std::string_view keyword, xml::TypeId type) const;
+
+  const InvertedIndex* index_;
+  const xml::NodeTypeTable* types_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::vector<xml::Dewey>> anchor_cache_;
+  std::unordered_map<std::string, uint32_t> pair_cache_;
+};
+
+}  // namespace xrefine::index
+
+#endif  // XREFINE_INDEX_COOCCURRENCE_H_

@@ -1,0 +1,100 @@
+#include "index/index_builder.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace xrefine::index {
+
+namespace {
+
+// Cache of the root-to-type chain per type, indexed by depth-1, so the
+// per-posting ancestor walks are O(depth) instead of O(depth^2).
+class TypeChainCache {
+ public:
+  explicit TypeChainCache(const xml::NodeTypeTable& types) : types_(types) {}
+
+  const std::vector<xml::TypeId>& ChainOf(xml::TypeId type) {
+    auto it = chains_.find(type);
+    if (it != chains_.end()) return it->second;
+    std::vector<xml::TypeId> chain(types_.depth(type));
+    xml::TypeId cur = type;
+    for (size_t i = chain.size(); i > 0; --i) {
+      chain[i - 1] = cur;
+      cur = types_.parent(cur);
+    }
+    return chains_.emplace(type, std::move(chain)).first->second;
+  }
+
+ private:
+  const xml::NodeTypeTable& types_;
+  std::unordered_map<xml::TypeId, std::vector<xml::TypeId>> chains_;
+};
+
+}  // namespace
+
+std::unique_ptr<IndexedCorpus> BuildIndex(const xml::Document& doc,
+                                          const IndexBuildOptions& options) {
+  auto corpus = std::make_unique<IndexedCorpus>();
+  corpus->mutable_types() = doc.types();
+  corpus->set_document(&doc);
+  InvertedIndex& index = corpus->mutable_index();
+  StatisticsTable& stats = corpus->mutable_stats();
+  TypeChainCache chains(corpus->types());
+
+  if (!doc.has_root()) return corpus;
+
+  // Pass 1: preorder walk in document order. Emits one posting per
+  // (keyword, node) and accumulates tf along each node's ancestor types.
+  std::vector<xml::NodeId> stack = {doc.root()};
+  std::unordered_map<std::string, uint32_t> counts;
+  while (!stack.empty()) {
+    xml::NodeId id = stack.back();
+    stack.pop_back();
+    const auto& node = doc.node(id);
+    stats.AddNodeOfType(node.type);
+
+    counts.clear();
+    if (options.index_tags) {
+      for (const auto& term : text::Tokenize(doc.tag(id))) ++counts[term];
+    }
+    for (const auto& term : text::Tokenize(node.text)) ++counts[term];
+
+    const auto& chain = chains.ChainOf(node.type);
+    for (const auto& [term, count] : counts) {
+      index.Append(term, Posting{node.dewey, node.type});
+      for (xml::TypeId ancestor : chain) {
+        stats.AddTermFrequency(term, ancestor, count);
+      }
+    }
+
+    // Push children reversed so the leftmost is processed first.
+    for (auto it = node.children.rbegin(); it != node.children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+
+  // Pass 2: document frequencies. Postings of each keyword are in document
+  // order, so equal ancestor labels are contiguous: one last-seen label per
+  // depth dedupes T-typed subtrees.
+  for (const auto& [keyword, list] : index.lists()) {
+    std::vector<xml::Dewey> last_seen;  // indexed by depth-1
+    for (const Posting& p : list) {
+      const auto& chain = chains.ChainOf(p.type);
+      if (last_seen.size() < chain.size()) last_seen.resize(chain.size());
+      for (size_t d = 0; d < chain.size(); ++d) {
+        xml::Dewey anchor = p.dewey.Prefix(d + 1);
+        if (last_seen[d] != anchor) {
+          stats.AddDocumentFrequency(keyword, chain[d]);
+          last_seen[d] = std::move(anchor);
+        }
+      }
+    }
+  }
+
+  stats.FinalizeDistinctCounts();
+  return corpus;
+}
+
+}  // namespace xrefine::index

@@ -1,0 +1,62 @@
+// Builds the full index package (inverted lists + statistics + node types)
+// from a parsed document in one traversal, mirroring the paper's index
+// construction pass (Section VII).
+#ifndef XREFINE_INDEX_INDEX_BUILDER_H_
+#define XREFINE_INDEX_INDEX_BUILDER_H_
+
+#include <memory>
+
+#include "index/cooccurrence.h"
+#include "index/inverted_index.h"
+#include "index/statistics.h"
+#include "xml/document.h"
+
+namespace xrefine::index {
+
+/// Everything the query engine needs about one corpus. The document pointer
+/// is optional: a corpus loaded from the persistent store has no document
+/// (results are reported as Dewey labels only).
+class IndexedCorpus {
+ public:
+  IndexedCorpus() : cooccurrence_(&index_, &types_) {}
+
+  IndexedCorpus(const IndexedCorpus&) = delete;
+  IndexedCorpus& operator=(const IndexedCorpus&) = delete;
+
+  const InvertedIndex& index() const { return index_; }
+  InvertedIndex& mutable_index() { return index_; }
+
+  const StatisticsTable& stats() const { return stats_; }
+  StatisticsTable& mutable_stats() { return stats_; }
+
+  const xml::NodeTypeTable& types() const { return types_; }
+  xml::NodeTypeTable& mutable_types() { return types_; }
+
+  CooccurrenceTable& cooccurrence() const { return cooccurrence_; }
+
+  const xml::Document* document() const { return document_; }
+  void set_document(const xml::Document* doc) { document_ = doc; }
+
+ private:
+  InvertedIndex index_;
+  StatisticsTable stats_;
+  xml::NodeTypeTable types_;
+  // Lazily filled; logically part of the index, hence mutable.
+  mutable CooccurrenceTable cooccurrence_;
+  const xml::Document* document_ = nullptr;
+};
+
+struct IndexBuildOptions {
+  /// Index element tag names as keywords (the paper's queries mix tag and
+  /// value terms, e.g. {database, publication}).
+  bool index_tags = true;
+};
+
+/// Builds the index for `doc`. The document must outlive the corpus (the
+/// corpus keeps a pointer for result rendering).
+std::unique_ptr<IndexedCorpus> BuildIndex(const xml::Document& doc,
+                                          const IndexBuildOptions& options = {});
+
+}  // namespace xrefine::index
+
+#endif  // XREFINE_INDEX_INDEX_BUILDER_H_

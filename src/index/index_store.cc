@@ -1,0 +1,323 @@
+#include "index/index_store.h"
+
+#include <algorithm>
+#include <map>
+
+#include "storage/serde.h"
+
+namespace xrefine::index {
+
+namespace {
+
+using storage::GetVarint32;
+using storage::GetVarint64;
+using storage::PutLengthPrefixed;
+using storage::PutVarint32;
+using storage::PutVarint64;
+
+constexpr char kTypesKey[] = "m\0types";
+constexpr char kTypeStatsKey[] = "m\0typestats";
+constexpr size_t kMetaKeyLen = 7;  // "m\0" + name, NUL counted explicitly
+
+std::string MetaKey(const char* key, size_t len) {
+  return std::string(key, len);
+}
+
+std::string InvertedKey(const std::string& keyword) {
+  std::string key = "i";
+  key.push_back('\0');
+  key += keyword;
+  return key;
+}
+
+std::string FreqKey(const std::string& keyword) {
+  std::string key = "f";
+  key.push_back('\0');
+  key += keyword;
+  return key;
+}
+
+std::string EncodeTypes(const xml::NodeTypeTable& types) {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(types.size()));
+  for (xml::TypeId id = 0; id < types.size(); ++id) {
+    // parent+1 so the invalid sentinel encodes as 0.
+    uint32_t parent = types.parent(id);
+    PutVarint32(&out, parent == xml::kInvalidTypeId ? 0 : parent + 1);
+    PutLengthPrefixed(&out, types.tag(id));
+  }
+  return out;
+}
+
+Status DecodeTypes(std::string_view data, xml::NodeTypeTable* types) {
+  const char* p = data.data();
+  const char* limit = data.data() + data.size();
+  uint32_t count = 0;
+  if (!GetVarint32(&p, limit, &count)) {
+    return Status::Corruption("types: bad count");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t parent_plus1 = 0;
+    std::string_view tag;
+    if (!GetVarint32(&p, limit, &parent_plus1) ||
+        !storage::GetLengthPrefixed(&p, limit, &tag)) {
+      return Status::Corruption("types: truncated entry");
+    }
+    xml::TypeId parent =
+        parent_plus1 == 0 ? xml::kInvalidTypeId : parent_plus1 - 1;
+    xml::TypeId id = types->Intern(parent, tag);
+    if (id != i) {
+      return Status::Corruption("types: interning order mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+std::string EncodeTypeStats(const StatisticsTable& stats, size_t type_count) {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(type_count));
+  for (xml::TypeId id = 0; id < type_count; ++id) {
+    PutVarint32(&out, stats.node_count(id));
+    PutVarint32(&out, stats.distinct_keywords(id));
+  }
+  return out;
+}
+
+Status DecodeTypeStats(std::string_view data, StatisticsTable* stats) {
+  const char* p = data.data();
+  const char* limit = data.data() + data.size();
+  uint32_t count = 0;
+  if (!GetVarint32(&p, limit, &count)) {
+    return Status::Corruption("typestats: bad count");
+  }
+  for (uint32_t id = 0; id < count; ++id) {
+    uint32_t n = 0;
+    uint32_t g = 0;
+    if (!GetVarint32(&p, limit, &n) || !GetVarint32(&p, limit, &g)) {
+      return Status::Corruption("typestats: truncated entry");
+    }
+    if (n > 0) stats->SetNodeCount(id, n);
+    if (g > 0) stats->SetDistinctCount(id, g);
+  }
+  return Status::OK();
+}
+
+// Posting-list format (version 2): postings arrive in document order, so
+// consecutive Dewey labels share long prefixes; each posting stores only
+// the number of components reused from its predecessor plus the fresh
+// suffix (classic prefix-delta compression of sorted keys).
+constexpr uint8_t kPostingFormatVersion = 2;
+
+std::string EncodePostings(const PostingList& list) {
+  std::string out;
+  out.push_back(static_cast<char>(kPostingFormatVersion));
+  PutVarint32(&out, static_cast<uint32_t>(list.size()));
+  const xml::Dewey* prev = nullptr;
+  for (const Posting& p : list) {
+    uint32_t reuse = 0;
+    if (prev != nullptr) {
+      size_t limit = std::min(prev->depth(), p.dewey.depth());
+      while (reuse < limit &&
+             (*prev)[reuse] == p.dewey[reuse]) {
+        ++reuse;
+      }
+    }
+    PutVarint32(&out, p.type);
+    PutVarint32(&out, reuse);
+    PutVarint32(&out, static_cast<uint32_t>(p.dewey.depth()) - reuse);
+    for (size_t d = reuse; d < p.dewey.depth(); ++d) {
+      PutVarint32(&out, p.dewey[d]);
+    }
+    prev = &p.dewey;
+  }
+  return out;
+}
+
+Status DecodePostings(std::string_view data, PostingList* list) {
+  const char* p = data.data();
+  const char* limit = data.data() + data.size();
+  if (p >= limit) return Status::Corruption("postings: empty record");
+  uint8_t version = static_cast<uint8_t>(*p++);
+  if (version != kPostingFormatVersion) {
+    return Status::Corruption("postings: unsupported format version " +
+                              std::to_string(version));
+  }
+  uint32_t count = 0;
+  if (!GetVarint32(&p, limit, &count)) {
+    return Status::Corruption("postings: bad count");
+  }
+  list->reserve(count);
+  std::vector<uint32_t> components;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t type = 0;
+    uint32_t reuse = 0;
+    uint32_t fresh = 0;
+    if (!GetVarint32(&p, limit, &type) || !GetVarint32(&p, limit, &reuse) ||
+        !GetVarint32(&p, limit, &fresh)) {
+      return Status::Corruption("postings: truncated header");
+    }
+    if (reuse > components.size()) {
+      return Status::Corruption("postings: reuse exceeds previous depth");
+    }
+    components.resize(reuse);
+    for (uint32_t d = 0; d < fresh; ++d) {
+      uint32_t c = 0;
+      if (!GetVarint32(&p, limit, &c)) {
+        return Status::Corruption("postings: truncated dewey");
+      }
+      components.push_back(c);
+    }
+    list->push_back(Posting{xml::Dewey(components), type});
+  }
+  return Status::OK();
+}
+
+std::string EncodeFreqRow(const StatisticsTable::PerTypeStats& row) {
+  // Deterministic output: sort by type id.
+  std::map<xml::TypeId, KeywordTypeStats> sorted(row.begin(), row.end());
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(sorted.size()));
+  for (const auto& [type, stats] : sorted) {
+    PutVarint32(&out, type);
+    PutVarint32(&out, stats.df);
+    PutVarint64(&out, stats.tf);
+  }
+  return out;
+}
+
+Status DecodeFreqRow(std::string_view data, const std::string& keyword,
+                     StatisticsTable* stats) {
+  const char* p = data.data();
+  const char* limit = data.data() + data.size();
+  uint32_t count = 0;
+  if (!GetVarint32(&p, limit, &count)) {
+    return Status::Corruption("freq row: bad count");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t type = 0;
+    uint32_t df = 0;
+    uint64_t tf = 0;
+    if (!GetVarint32(&p, limit, &type) || !GetVarint32(&p, limit, &df) ||
+        !GetVarint64(&p, limit, &tf)) {
+      return Status::Corruption("freq row: truncated entry");
+    }
+    if (df > 0) stats->AddDocumentFrequency(keyword, type, df);
+    if (tf > 0) stats->AddTermFrequency(keyword, type, tf);
+  }
+  return Status::OK();
+}
+
+constexpr char kCooccurKey[] = "m\0cooccur";
+
+std::string EncodeCooccurCache(const CooccurrenceTable& cooc) {
+  auto pairs = cooc.ExportPairs();
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(pairs.size()));
+  for (const auto& p : pairs) {
+    PutLengthPrefixed(&out, p.k1);
+    PutLengthPrefixed(&out, p.k2);
+    PutVarint32(&out, p.type);
+    PutVarint32(&out, p.count);
+  }
+  return out;
+}
+
+Status DecodeCooccurCache(std::string_view data, CooccurrenceTable* cooc) {
+  const char* p = data.data();
+  const char* limit = data.data() + data.size();
+  uint32_t count = 0;
+  if (!GetVarint32(&p, limit, &count)) {
+    return Status::Corruption("cooccur: bad count");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string_view k1;
+    std::string_view k2;
+    uint32_t type = 0;
+    uint32_t pair_count = 0;
+    if (!storage::GetLengthPrefixed(&p, limit, &k1) ||
+        !storage::GetLengthPrefixed(&p, limit, &k2) ||
+        !GetVarint32(&p, limit, &type) ||
+        !GetVarint32(&p, limit, &pair_count)) {
+      return Status::Corruption("cooccur: truncated entry");
+    }
+    cooc->ImportPair(CooccurrenceTable::ExportedPair{
+        std::string(k1), std::string(k2), type, pair_count});
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveCorpus(const IndexedCorpus& corpus, storage::KVStore* store) {
+  XREFINE_RETURN_IF_ERROR(store->Put(MetaKey(kTypesKey, kMetaKeyLen),
+                                     EncodeTypes(corpus.types())));
+  XREFINE_RETURN_IF_ERROR(
+      store->Put(MetaKey(kTypeStatsKey, sizeof(kTypeStatsKey) - 1),
+                 EncodeTypeStats(corpus.stats(), corpus.types().size())));
+  for (const auto& [keyword, list] : corpus.index().lists()) {
+    XREFINE_RETURN_IF_ERROR(
+        store->Put(InvertedKey(keyword), EncodePostings(list)));
+  }
+  for (const auto& [keyword, row] : corpus.stats().per_keyword()) {
+    XREFINE_RETURN_IF_ERROR(store->Put(FreqKey(keyword), EncodeFreqRow(row)));
+  }
+  // Persist whatever co-occurrence entries have been computed so far; a
+  // warmed cache survives restarts (the paper's co-occur frequency table).
+  XREFINE_RETURN_IF_ERROR(
+      store->Put(MetaKey(kCooccurKey, sizeof(kCooccurKey) - 1),
+                 EncodeCooccurCache(corpus.cooccurrence())));
+  return store->Flush();
+}
+
+StatusOr<std::unique_ptr<IndexedCorpus>> LoadCorpus(
+    const storage::KVStore& store) {
+  auto corpus = std::make_unique<IndexedCorpus>();
+
+  auto types_or = store.Get(MetaKey(kTypesKey, kMetaKeyLen));
+  if (!types_or.ok()) return types_or.status();
+  XREFINE_RETURN_IF_ERROR(
+      DecodeTypes(types_or.value(), &corpus->mutable_types()));
+
+  auto stats_or = store.Get(MetaKey(kTypeStatsKey, sizeof(kTypeStatsKey) - 1));
+  if (!stats_or.ok()) return stats_or.status();
+  XREFINE_RETURN_IF_ERROR(
+      DecodeTypeStats(stats_or.value(), &corpus->mutable_stats()));
+
+  // Scan the "i\0" and "f\0" key spaces with one cursor each.
+  auto cursor = store.NewCursor();
+  std::string inverted_prefix = "i";
+  inverted_prefix.push_back('\0');
+  for (cursor.Seek(inverted_prefix); cursor.Valid(); cursor.Next()) {
+    std::string_view key = cursor.key();
+    if (key.substr(0, 2) != std::string_view(inverted_prefix)) break;
+    std::string keyword(key.substr(2));
+    PostingList list;
+    std::string value = cursor.value();
+    XREFINE_RETURN_IF_ERROR(DecodePostings(value, &list));
+    for (Posting& p : list) {
+      corpus->mutable_index().Append(keyword, std::move(p));
+    }
+  }
+
+  auto cooccur_or = store.Get(MetaKey(kCooccurKey, sizeof(kCooccurKey) - 1));
+  if (cooccur_or.ok()) {
+    XREFINE_RETURN_IF_ERROR(
+        DecodeCooccurCache(cooccur_or.value(), &corpus->cooccurrence()));
+  }
+
+  std::string freq_prefix = "f";
+  freq_prefix.push_back('\0');
+  auto fcursor = store.NewCursor();
+  for (fcursor.Seek(freq_prefix); fcursor.Valid(); fcursor.Next()) {
+    std::string_view key = fcursor.key();
+    if (key.substr(0, 2) != std::string_view(freq_prefix)) break;
+    std::string keyword(key.substr(2));
+    std::string value = fcursor.value();
+    XREFINE_RETURN_IF_ERROR(
+        DecodeFreqRow(value, keyword, &corpus->mutable_stats()));
+  }
+
+  return corpus;
+}
+
+}  // namespace xrefine::index

@@ -1,0 +1,29 @@
+// Persists an IndexedCorpus into the KVStore (the paper stores its indexes
+// in Berkeley DB B-trees, Section VII) and loads it back. Key spaces:
+//   "m\0types"      node-type table
+//   "m\0typestats"  N_T and G_T per type
+//   "i\0<keyword>"  inverted list
+//   "f\0<keyword>"  frequent-table row (df/tf per type)
+#ifndef XREFINE_INDEX_INDEX_STORE_H_
+#define XREFINE_INDEX_INDEX_STORE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/statusor.h"
+#include "index/index_builder.h"
+#include "storage/kvstore.h"
+
+namespace xrefine::index {
+
+/// Writes the corpus into `store` and flushes it.
+Status SaveCorpus(const IndexedCorpus& corpus, storage::KVStore* store);
+
+/// Reads a corpus back. The result has no Document attached; queries still
+/// run (results are Dewey labels), but subtree snippets are unavailable.
+StatusOr<std::unique_ptr<IndexedCorpus>> LoadCorpus(
+    const storage::KVStore& store);
+
+}  // namespace xrefine::index
+
+#endif  // XREFINE_INDEX_INDEX_STORE_H_

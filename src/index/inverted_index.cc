@@ -1,0 +1,24 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+
+namespace xrefine::index {
+
+void InvertedIndex::Append(std::string_view keyword, Posting posting) {
+  lists_[std::string(keyword)].push_back(std::move(posting));
+}
+
+const PostingList* InvertedIndex::Find(std::string_view keyword) const {
+  auto it = lists_.find(std::string(keyword));
+  return it == lists_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> InvertedIndex::Vocabulary() const {
+  std::vector<std::string> words;
+  words.reserve(lists_.size());
+  for (const auto& [word, _] : lists_) words.push_back(word);
+  std::sort(words.begin(), words.end());
+  return words;
+}
+
+}  // namespace xrefine::index

@@ -1,0 +1,51 @@
+// In-memory keyword inverted lists.
+#ifndef XREFINE_INDEX_INVERTED_INDEX_H_
+#define XREFINE_INDEX_INVERTED_INDEX_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "index/posting.h"
+
+namespace xrefine::index {
+
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  /// Appends a posting; the builder appends in document order, and the
+  /// same node is recorded once per keyword (occurrence counts live in the
+  /// statistics table).
+  void Append(std::string_view keyword, Posting posting);
+
+  /// The posting list for `keyword`, or nullptr when the keyword does not
+  /// occur in the corpus.
+  const PostingList* Find(std::string_view keyword) const;
+
+  bool Contains(std::string_view keyword) const {
+    return Find(keyword) != nullptr;
+  }
+
+  size_t ListSize(std::string_view keyword) const {
+    const PostingList* list = Find(keyword);
+    return list == nullptr ? 0 : list->size();
+  }
+
+  size_t keyword_count() const { return lists_.size(); }
+
+  /// Sorted vocabulary (materialised on demand; used by rule mining).
+  std::vector<std::string> Vocabulary() const;
+
+  const std::unordered_map<std::string, PostingList>& lists() const {
+    return lists_;
+  }
+
+ private:
+  std::unordered_map<std::string, PostingList> lists_;
+};
+
+}  // namespace xrefine::index
+
+#endif  // XREFINE_INDEX_INVERTED_INDEX_H_

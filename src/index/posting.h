@@ -1,0 +1,34 @@
+// A posting is one keyword occurrence site: the Dewey label of the node that
+// directly contains the keyword (in its tag or value) plus the node's type.
+// Inverted lists are posting vectors sorted in document order, exactly the
+// <DeweyID, prefixPath> entries of the paper's keyword inverted list
+// (Section VII).
+#ifndef XREFINE_INDEX_POSTING_H_
+#define XREFINE_INDEX_POSTING_H_
+
+#include <vector>
+
+#include "xml/dewey.h"
+#include "xml/node_type.h"
+
+namespace xrefine::index {
+
+struct Posting {
+  xml::Dewey dewey;
+  xml::TypeId type = xml::kInvalidTypeId;
+
+  bool operator==(const Posting& other) const {
+    return dewey == other.dewey && type == other.type;
+  }
+};
+
+/// Document-order comparison.
+inline bool PostingBefore(const Posting& a, const Posting& b) {
+  return a.dewey < b.dewey;
+}
+
+using PostingList = std::vector<Posting>;
+
+}  // namespace xrefine::index
+
+#endif  // XREFINE_INDEX_POSTING_H_

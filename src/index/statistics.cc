@@ -1,0 +1,65 @@
+#include "index/statistics.h"
+
+namespace xrefine::index {
+
+void StatisticsTable::AddTermFrequency(std::string_view keyword,
+                                       xml::TypeId type, uint64_t count) {
+  per_keyword_[std::string(keyword)][type].tf += count;
+}
+
+void StatisticsTable::AddDocumentFrequency(std::string_view keyword,
+                                           xml::TypeId type, uint32_t count) {
+  per_keyword_[std::string(keyword)][type].df += count;
+}
+
+void StatisticsTable::FinalizeDistinctCounts() {
+  distinct_.clear();
+  for (const auto& [keyword, types] : per_keyword_) {
+    for (const auto& [type, stats] : types) {
+      if (stats.df > 0) ++distinct_[type];
+    }
+  }
+}
+
+uint32_t StatisticsTable::df(std::string_view keyword,
+                             xml::TypeId type) const {
+  auto it = per_keyword_.find(std::string(keyword));
+  if (it == per_keyword_.end()) return 0;
+  auto jt = it->second.find(type);
+  return jt == it->second.end() ? 0 : jt->second.df;
+}
+
+uint64_t StatisticsTable::tf(std::string_view keyword,
+                             xml::TypeId type) const {
+  auto it = per_keyword_.find(std::string(keyword));
+  if (it == per_keyword_.end()) return 0;
+  auto jt = it->second.find(type);
+  return jt == it->second.end() ? 0 : jt->second.tf;
+}
+
+uint32_t StatisticsTable::node_count(xml::TypeId type) const {
+  auto it = node_count_.find(type);
+  return it == node_count_.end() ? 0 : it->second;
+}
+
+uint32_t StatisticsTable::distinct_keywords(xml::TypeId type) const {
+  auto it = distinct_.find(type);
+  return it == distinct_.end() ? 0 : it->second;
+}
+
+const StatisticsTable::PerTypeStats* StatisticsTable::TypeStatsFor(
+    std::string_view keyword) const {
+  auto it = per_keyword_.find(std::string(keyword));
+  return it == per_keyword_.end() ? nullptr : &it->second;
+}
+
+std::vector<xml::TypeId> StatisticsTable::TypesWithNodes() const {
+  std::vector<xml::TypeId> out;
+  out.reserve(node_count_.size());
+  for (const auto& [type, count] : node_count_) {
+    if (count > 0) out.push_back(type);
+  }
+  return out;
+}
+
+}  // namespace xrefine::index

@@ -1,0 +1,24 @@
+// ELCA (Exclusive LCA) semantics, the XRank notion the paper's related work
+// contrasts with SLCA: a node v is an ELCA of query Q iff the keyword
+// occurrences in v's subtree still cover all of Q after excluding every
+// descendant subtree that itself contains all of Q. Every SLCA is an ELCA;
+// ELCA additionally returns ancestors that have their own independent
+// witnesses. Provided as an alternative result semantics for the engine's
+// consumers and as a baseline for comparisons.
+#ifndef XREFINE_SLCA_ELCA_H_
+#define XREFINE_SLCA_ELCA_H_
+
+#include <vector>
+
+#include "slca/slca_common.h"
+
+namespace xrefine::slca {
+
+/// Computes ELCA(lists) with one stack pass over the document-order merge
+/// of the posting spans. Supports up to 64 lists.
+std::vector<SlcaResult> Elca(const std::vector<PostingSpan>& lists,
+                             const xml::NodeTypeTable& types);
+
+}  // namespace xrefine::slca
+
+#endif  // XREFINE_SLCA_ELCA_H_

@@ -1,0 +1,55 @@
+#include "slca/indexed_lookup_eager.h"
+
+#include <algorithm>
+
+namespace xrefine::slca {
+
+std::vector<SlcaResult> IndexedLookupEagerSlca(
+    const std::vector<PostingSpan>& lists, const xml::NodeTypeTable& types) {
+  if (lists.empty()) return {};
+  for (const auto& span : lists) {
+    if (span.empty()) return {};
+  }
+
+  // Anchor on the shortest list.
+  size_t anchor = 0;
+  for (size_t i = 1; i < lists.size(); ++i) {
+    if (lists[i].size < lists[anchor].size) anchor = i;
+  }
+
+  std::vector<SlcaResult> candidates;
+  candidates.reserve(lists[anchor].size);
+  for (const index::Posting& v : lists[anchor]) {
+    // The deepest ancestor of v whose subtree meets every list: for each
+    // other list the closest neighbours give the deepest possible LCA with
+    // v; the candidate is the shallowest of those per-list LCAs.
+    size_t depth = v.dewey.depth();
+    for (size_t i = 0; i < lists.size() && depth > 0; ++i) {
+      if (i == anchor) continue;
+      const PostingSpan& span = lists[i];
+      ptrdiff_t lm = LeftMatch(span, v.dewey);
+      ptrdiff_t rm = RightMatch(span, v.dewey);
+      size_t best = 0;
+      if (lm >= 0) {
+        best = std::max(
+            best, xml::Dewey::CommonPrefix(v.dewey,
+                                           span[static_cast<size_t>(lm)].dewey)
+                      .depth());
+      }
+      if (rm < static_cast<ptrdiff_t>(span.size)) {
+        best = std::max(
+            best, xml::Dewey::CommonPrefix(v.dewey,
+                                           span[static_cast<size_t>(rm)].dewey)
+                      .depth());
+      }
+      depth = std::min(depth, best);
+    }
+    if (depth == 0) continue;  // no common ancestor below "nothing"
+    candidates.push_back(SlcaResult{
+        v.dewey.Prefix(depth),
+        AncestorTypeAtDepth(types, v.type, depth)});
+  }
+  return KeepSmallest(std::move(candidates));
+}
+
+}  // namespace xrefine::slca

@@ -1,0 +1,20 @@
+// Indexed Lookup Eager SLCA (XKSearch): anchors on the shortest inverted
+// list and finds, per anchor, the closest left/right match in every other
+// list by binary search. O(|S_min| * m * d * log|S_max|).
+#ifndef XREFINE_SLCA_INDEXED_LOOKUP_EAGER_H_
+#define XREFINE_SLCA_INDEXED_LOOKUP_EAGER_H_
+
+#include <vector>
+
+#include "slca/slca_common.h"
+
+namespace xrefine::slca {
+
+/// Computes SLCA(lists) over the given posting spans. An empty span makes
+/// the conjunctive result empty. `types` resolves result node types.
+std::vector<SlcaResult> IndexedLookupEagerSlca(
+    const std::vector<PostingSpan>& lists, const xml::NodeTypeTable& types);
+
+}  // namespace xrefine::slca
+
+#endif  // XREFINE_SLCA_INDEXED_LOOKUP_EAGER_H_

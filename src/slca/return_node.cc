@@ -1,0 +1,52 @@
+#include "slca/return_node.h"
+
+#include <algorithm>
+
+namespace xrefine::slca {
+
+SlcaResult InferReturnNode(const SlcaResult& result,
+                           const std::vector<TypeConfidence>& candidates,
+                           const xml::NodeTypeTable& types) {
+  if (result.type == xml::kInvalidTypeId) return result;
+  // Deepest candidate type that is an ancestor-or-self type of the result:
+  // the tightest entity boundary enclosing it.
+  xml::TypeId best = xml::kInvalidTypeId;
+  uint32_t best_depth = 0;
+  for (const TypeConfidence& tc : candidates) {
+    if (!types.IsAncestorOrSelfType(tc.type, result.type)) continue;
+    uint32_t depth = types.depth(tc.type);
+    if (depth > best_depth) {
+      best_depth = depth;
+      best = tc.type;
+    }
+  }
+  if (best == xml::kInvalidTypeId) return result;
+  if (best_depth >= result.dewey.depth()) return result;  // already at/above
+  SlcaResult out;
+  out.dewey = result.dewey.Prefix(best_depth);
+  out.type = best;
+  return out;
+}
+
+std::vector<SlcaResult> InferReturnNodes(
+    const std::vector<SlcaResult>& results,
+    const std::vector<TypeConfidence>& candidates,
+    const xml::NodeTypeTable& types) {
+  std::vector<SlcaResult> out;
+  out.reserve(results.size());
+  for (const SlcaResult& r : results) {
+    SlcaResult mapped = InferReturnNode(r, candidates, types);
+    if (!out.empty() && out.back().dewey == mapped.dewey) continue;
+    out.push_back(std::move(mapped));
+  }
+  // Results arrive in document order; snapping preserves it, but two
+  // non-adjacent results can still collapse to one ancestor — dedupe fully.
+  std::sort(out.begin(), out.end(),
+            [](const SlcaResult& a, const SlcaResult& b) {
+              return a.dewey < b.dewey;
+            });
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace xrefine::slca

@@ -1,0 +1,35 @@
+// Return-node inference, in the spirit of XSeek (paper reference [5]):
+// an SLCA result is often a fragment of the entity the user wants to SEE —
+// a match inside a <title> should be presented as its enclosing
+// <inproceedings>. Given the search-for candidates L of the query, the
+// return node of a result is its ancestor-or-self at the best-matching
+// search-for type; results deeper than every candidate snap up to the
+// candidate boundary, results at or above it are returned as-is.
+#ifndef XREFINE_SLCA_RETURN_NODE_H_
+#define XREFINE_SLCA_RETURN_NODE_H_
+
+#include <vector>
+
+#include "slca/search_for_node.h"
+#include "slca/slca_common.h"
+
+namespace xrefine::slca {
+
+/// The node to present for `result`: the deepest candidate type on the
+/// result's root path determines the snap-to ancestor; when no candidate
+/// lies on the path (should not happen for meaningful results) the result
+/// itself is returned.
+SlcaResult InferReturnNode(const SlcaResult& result,
+                           const std::vector<TypeConfidence>& candidates,
+                           const xml::NodeTypeTable& types);
+
+/// Maps a whole result list to return nodes, deduplicating results that
+/// snap to the same node (document order preserved).
+std::vector<SlcaResult> InferReturnNodes(
+    const std::vector<SlcaResult>& results,
+    const std::vector<TypeConfidence>& candidates,
+    const xml::NodeTypeTable& types);
+
+}  // namespace xrefine::slca
+
+#endif  // XREFINE_SLCA_RETURN_NODE_H_

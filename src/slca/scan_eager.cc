@@ -1,0 +1,51 @@
+#include "slca/scan_eager.h"
+
+#include <algorithm>
+
+namespace xrefine::slca {
+
+std::vector<SlcaResult> ScanEagerSlca(const std::vector<PostingSpan>& lists,
+                                      const xml::NodeTypeTable& types) {
+  if (lists.empty()) return {};
+  for (const auto& span : lists) {
+    if (span.empty()) return {};
+  }
+
+  size_t anchor = 0;
+  for (size_t i = 1; i < lists.size(); ++i) {
+    if (lists[i].size < lists[anchor].size) anchor = i;
+  }
+
+  // cursors[i]: first posting with label >= current anchor node; advances
+  // monotonically because anchors arrive in document order.
+  std::vector<size_t> cursors(lists.size(), 0);
+
+  std::vector<SlcaResult> candidates;
+  candidates.reserve(lists[anchor].size);
+  for (const index::Posting& v : lists[anchor]) {
+    size_t depth = v.dewey.depth();
+    for (size_t i = 0; i < lists.size() && depth > 0; ++i) {
+      if (i == anchor) continue;
+      const PostingSpan& span = lists[i];
+      size_t& c = cursors[i];
+      while (c < span.size && span[c].dewey < v.dewey) ++c;
+      size_t best = 0;
+      if (c > 0) {
+        best = std::max(
+            best,
+            xml::Dewey::CommonPrefix(v.dewey, span[c - 1].dewey).depth());
+      }
+      if (c < span.size) {
+        best = std::max(
+            best, xml::Dewey::CommonPrefix(v.dewey, span[c].dewey).depth());
+      }
+      depth = std::min(depth, best);
+    }
+    if (depth == 0) continue;
+    candidates.push_back(SlcaResult{
+        v.dewey.Prefix(depth), AncestorTypeAtDepth(types, v.type, depth)});
+  }
+  return KeepSmallest(std::move(candidates));
+}
+
+}  // namespace xrefine::slca

@@ -1,0 +1,32 @@
+#include "slca/slca.h"
+
+namespace xrefine::slca {
+
+std::vector<SlcaResult> ComputeSlca(const std::vector<PostingSpan>& lists,
+                                    const xml::NodeTypeTable& types,
+                                    SlcaAlgorithm algorithm) {
+  switch (algorithm) {
+    case SlcaAlgorithm::kStack:
+      return StackSlca(lists, types);
+    case SlcaAlgorithm::kScanEager:
+      return ScanEagerSlca(lists, types);
+    case SlcaAlgorithm::kIndexedLookup:
+      return IndexedLookupEagerSlca(lists, types);
+  }
+  return {};
+}
+
+std::vector<SlcaResult> ComputeSlcaForQuery(
+    const std::vector<std::string>& query, const index::InvertedIndex& index,
+    const xml::NodeTypeTable& types, SlcaAlgorithm algorithm) {
+  std::vector<PostingSpan> lists;
+  lists.reserve(query.size());
+  for (const std::string& k : query) {
+    const index::PostingList* list = index.Find(k);
+    if (list == nullptr) return {};  // conjunctive semantics
+    lists.emplace_back(*list);
+  }
+  return ComputeSlca(lists, types, algorithm);
+}
+
+}  // namespace xrefine::slca

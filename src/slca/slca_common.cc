@@ -1,0 +1,63 @@
+#include "slca/slca_common.h"
+
+#include <algorithm>
+
+namespace xrefine::slca {
+
+ptrdiff_t LeftMatch(const PostingSpan& span, const xml::Dewey& v) {
+  // upper_bound on dewey order, then step left.
+  ptrdiff_t lo = 0;
+  ptrdiff_t hi = static_cast<ptrdiff_t>(span.size);
+  while (lo < hi) {
+    ptrdiff_t mid = (lo + hi) / 2;
+    if (span[static_cast<size_t>(mid)].dewey <= v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo - 1;
+}
+
+ptrdiff_t RightMatch(const PostingSpan& span, const xml::Dewey& v) {
+  ptrdiff_t lo = 0;
+  ptrdiff_t hi = static_cast<ptrdiff_t>(span.size);
+  while (lo < hi) {
+    ptrdiff_t mid = (lo + hi) / 2;
+    if (span[static_cast<size_t>(mid)].dewey < v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<SlcaResult> KeepSmallest(std::vector<SlcaResult> candidates) {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const SlcaResult& a, const SlcaResult& b) {
+              return a.dewey < b.dewey;
+            });
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  // In document order an ancestor's descendants follow it contiguously, so
+  // dropping each element that is an ancestor of its successor removes all
+  // non-smallest nodes.
+  std::vector<SlcaResult> out;
+  out.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (i + 1 < candidates.size() &&
+        candidates[i].dewey.IsAncestor(candidates[i + 1].dewey)) {
+      continue;
+    }
+    out.push_back(std::move(candidates[i]));
+  }
+  return out;
+}
+
+xml::TypeId AncestorTypeAtDepth(const xml::NodeTypeTable& types,
+                                xml::TypeId witness, size_t depth) {
+  return types.AncestorAtDepth(witness, static_cast<uint32_t>(depth));
+}
+
+}  // namespace xrefine::slca

@@ -1,0 +1,67 @@
+// Shared SLCA machinery: posting spans (whole lists or per-partition
+// sublists), result records, and document-order neighbour searches.
+//
+// SLCA semantics [XKSearch, Xu & Papakonstantinou 2005], as adopted by the
+// paper (Section III): a node is an SLCA of query Q iff its subtree contains
+// matches to every keyword of Q and no descendant's subtree does.
+#ifndef XREFINE_SLCA_SLCA_COMMON_H_
+#define XREFINE_SLCA_SLCA_COMMON_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "index/posting.h"
+#include "xml/dewey.h"
+#include "xml/node_type.h"
+
+namespace xrefine::slca {
+
+/// A contiguous view over a posting list (the whole list, or the sublist
+/// within one document partition).
+struct PostingSpan {
+  const index::Posting* data = nullptr;
+  size_t size = 0;
+
+  PostingSpan() = default;
+  PostingSpan(const index::Posting* d, size_t n) : data(d), size(n) {}
+  explicit PostingSpan(const index::PostingList& list)
+      : data(list.data()), size(list.size()) {}
+
+  bool empty() const { return size == 0; }
+  const index::Posting& operator[](size_t i) const { return data[i]; }
+  const index::Posting* begin() const { return data; }
+  const index::Posting* end() const { return data + size; }
+};
+
+/// One SLCA result: the node's Dewey label plus its node type (derived from
+/// a witness posting, so meaningfulness checks need no document access).
+struct SlcaResult {
+  xml::Dewey dewey;
+  xml::TypeId type = xml::kInvalidTypeId;
+
+  bool operator==(const SlcaResult& other) const {
+    return dewey == other.dewey;
+  }
+};
+
+/// Index of the rightmost posting with label <= v ("left match"); -1 when
+/// none exists.
+ptrdiff_t LeftMatch(const PostingSpan& span, const xml::Dewey& v);
+
+/// Index of the leftmost posting with label >= v ("right match");
+/// span.size when none exists.
+ptrdiff_t RightMatch(const PostingSpan& span, const xml::Dewey& v);
+
+/// Sorts candidates in document order, dedupes, and removes every node that
+/// has a proper descendant in the set (the "smallest" filter).
+std::vector<SlcaResult> KeepSmallest(std::vector<SlcaResult> candidates);
+
+/// Derives the node type of an ancestor at `depth` from a witness
+/// descendant's type.
+xml::TypeId AncestorTypeAtDepth(const xml::NodeTypeTable& types,
+                                xml::TypeId witness, size_t depth);
+
+}  // namespace xrefine::slca
+
+#endif  // XREFINE_SLCA_SLCA_COMMON_H_

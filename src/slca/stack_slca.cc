@@ -1,0 +1,119 @@
+#include "slca/stack_slca.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace xrefine::slca {
+
+namespace {
+
+struct Entry {
+  uint32_t component;
+  uint64_t mask = 0;
+  bool slca_below = false;
+  xml::TypeId witness = xml::kInvalidTypeId;
+};
+
+// Document-order merge over the posting spans.
+class MergedStream {
+ public:
+  explicit MergedStream(const std::vector<PostingSpan>& lists)
+      : lists_(lists), cursors_(lists.size(), 0) {}
+
+  // Returns the list index of the smallest head, or -1 when exhausted.
+  int Pop(const index::Posting** posting) {
+    int best = -1;
+    for (size_t i = 0; i < lists_.size(); ++i) {
+      if (cursors_[i] >= lists_[i].size) continue;
+      if (best < 0 ||
+          lists_[i][cursors_[i]].dewey <
+              lists_[static_cast<size_t>(best)]
+                    [cursors_[static_cast<size_t>(best)]]
+                        .dewey) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) return -1;
+    *posting = &lists_[static_cast<size_t>(best)]
+                      [cursors_[static_cast<size_t>(best)]];
+    ++cursors_[static_cast<size_t>(best)];
+    return best;
+  }
+
+ private:
+  const std::vector<PostingSpan>& lists_;
+  std::vector<size_t> cursors_;
+};
+
+}  // namespace
+
+std::vector<SlcaResult> StackSlca(const std::vector<PostingSpan>& lists,
+                                  const xml::NodeTypeTable& types) {
+  if (lists.empty() || lists.size() > kMaxStackKeywords) return {};
+  for (const auto& span : lists) {
+    if (span.empty()) return {};
+  }
+  const uint64_t full_mask = (lists.size() == 64)
+                                 ? ~uint64_t{0}
+                                 : ((uint64_t{1} << lists.size()) - 1);
+
+  std::vector<Entry> stack;
+  std::vector<SlcaResult> results;
+
+  // Pops the top entry, possibly emitting it, and folds its state into the
+  // new top.
+  auto pop = [&]() {
+    Entry e = stack.back();
+    stack.pop_back();
+    if (e.mask == full_mask && !e.slca_below) {
+      std::vector<uint32_t> components;
+      components.reserve(stack.size() + 1);
+      for (const Entry& se : stack) components.push_back(se.component);
+      components.push_back(e.component);
+      size_t depth = components.size();
+      results.push_back(
+          SlcaResult{xml::Dewey(std::move(components)),
+                     AncestorTypeAtDepth(types, e.witness, depth)});
+      e.slca_below = true;
+    }
+    if (!stack.empty()) {
+      Entry& parent = stack.back();
+      parent.mask |= e.mask;
+      parent.slca_below |= e.slca_below;
+      if (parent.witness == xml::kInvalidTypeId) parent.witness = e.witness;
+    }
+  };
+
+  MergedStream stream(lists);
+  const index::Posting* posting = nullptr;
+  int list_index;
+  while ((list_index = stream.Pop(&posting)) >= 0) {
+    const auto& components = posting->dewey.components();
+    // Longest common prefix with the current stack path.
+    size_t p = 0;
+    while (p < stack.size() && p < components.size() &&
+           stack[p].component == components[p]) {
+      ++p;
+    }
+    while (stack.size() > p) pop();
+    for (size_t i = p; i < components.size(); ++i) {
+      stack.push_back(Entry{components[i]});
+    }
+    XR_DCHECK(!stack.empty());
+    stack.back().mask |= uint64_t{1} << list_index;
+    if (stack.back().witness == xml::kInvalidTypeId) {
+      stack.back().witness = posting->type;
+    }
+  }
+  while (!stack.empty()) pop();
+
+  std::sort(results.begin(), results.end(),
+            [](const SlcaResult& a, const SlcaResult& b) {
+              return a.dewey < b.dewey;
+            });
+  return results;
+}
+
+}  // namespace xrefine::slca

@@ -1,0 +1,23 @@
+// Stack-based SLCA over the document-order merge of the keyword inverted
+// lists (XKSearch's stack algorithm, the basis of the paper's Algorithm 1).
+// Each stack entry is one Dewey component; entries accumulate a bitmask of
+// the keywords witnessed in their subtree and a flag marking that an SLCA
+// was already emitted below (so no ancestor is emitted).
+#ifndef XREFINE_SLCA_STACK_SLCA_H_
+#define XREFINE_SLCA_STACK_SLCA_H_
+
+#include <vector>
+
+#include "slca/slca_common.h"
+
+namespace xrefine::slca {
+
+/// Supports up to 64 keyword lists (bitmask width).
+inline constexpr size_t kMaxStackKeywords = 64;
+
+std::vector<SlcaResult> StackSlca(const std::vector<PostingSpan>& lists,
+                                  const xml::NodeTypeTable& types);
+
+}  // namespace xrefine::slca
+
+#endif  // XREFINE_SLCA_STACK_SLCA_H_

@@ -1,0 +1,722 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+#include "storage/serde.h"
+
+namespace xrefine::storage {
+
+namespace {
+
+// --- Page layout -----------------------------------------------------------
+// Common header:
+//   0  : type      u8   (1=leaf, 2=internal, 3=overflow)
+//   1  : reserved  u8
+//   2  : ncells    u16
+//   4  : link      u32  (leaf: next leaf; internal: leftmost child;
+//                        overflow: next overflow page)
+//   8  : content   u16  (offset where the cell content area begins; cells
+//                        grow downward from the end of the page)
+//   10 : frag      u16  (bytes lost to replaced/deleted cells)
+//   12 : slot array, u16 per cell, sorted by key
+//
+// Leaf cell:     key_len u16 | flags u8 | val_len u32 | key | payload
+//                payload = value bytes (flags 0) or first overflow PageId
+//                (flags 1)
+// Internal cell: key_len u16 | child u32 | key
+// Overflow page: header.link = next page, bytes [12, 12+used) hold data,
+//                used u16 stored at offset 8 (reusing the content field).
+
+constexpr uint8_t kLeafPage = 1;
+constexpr uint8_t kInternalPage = 2;
+constexpr uint8_t kOverflowPage = 3;
+
+constexpr size_t kHeaderSize = 12;
+constexpr size_t kOverflowCapacity = kPageSize - kHeaderSize;
+constexpr size_t kMaxInlineValue = 1024;
+
+uint8_t PageType(const Page* p) { return static_cast<uint8_t>(p->data[0]); }
+void SetPageType(Page* p, uint8_t t) { p->data[0] = static_cast<char>(t); }
+
+uint16_t NumCells(const Page* p) { return GetFixed16(p->data + 2); }
+void SetNumCells(Page* p, uint16_t n) {
+  std::memcpy(p->data + 2, &n, 2);
+}
+
+uint32_t Link(const Page* p) { return GetFixed32(p->data + 4); }
+void SetLink(Page* p, uint32_t v) { std::memcpy(p->data + 4, &v, 4); }
+
+uint16_t ContentOffset(const Page* p) { return GetFixed16(p->data + 8); }
+void SetContentOffset(Page* p, uint16_t v) { std::memcpy(p->data + 8, &v, 2); }
+
+uint16_t FragBytes(const Page* p) { return GetFixed16(p->data + 10); }
+void SetFragBytes(Page* p, uint16_t v) { std::memcpy(p->data + 10, &v, 2); }
+
+uint16_t SlotAt(const Page* p, int i) {
+  return GetFixed16(p->data + kHeaderSize + 2 * static_cast<size_t>(i));
+}
+void SetSlotAt(Page* p, int i, uint16_t off) {
+  std::memcpy(p->data + kHeaderSize + 2 * static_cast<size_t>(i), &off, 2);
+}
+
+void InitNodePage(Page* p, uint8_t type) {
+  std::memset(p->data, 0, kPageSize);
+  SetPageType(p, type);
+  SetNumCells(p, 0);
+  SetLink(p, kInvalidPageId);
+  SetContentOffset(p, static_cast<uint16_t>(kPageSize));
+  SetFragBytes(p, 0);
+}
+
+size_t FreeSpace(const Page* p) {
+  size_t slots_end = kHeaderSize + 2 * static_cast<size_t>(NumCells(p));
+  return ContentOffset(p) - slots_end;
+}
+
+// --- Cell accessors ---------------------------------------------------------
+
+std::string_view LeafCellKey(const Page* p, int i) {
+  const char* cell = p->data + SlotAt(p, i);
+  uint16_t key_len = GetFixed16(cell);
+  return std::string_view(cell + 7, key_len);
+}
+
+uint8_t LeafCellFlags(const Page* p, int i) {
+  const char* cell = p->data + SlotAt(p, i);
+  return static_cast<uint8_t>(cell[2]);
+}
+
+uint32_t LeafCellValueLength(const Page* p, int i) {
+  const char* cell = p->data + SlotAt(p, i);
+  return GetFixed32(cell + 3);
+}
+
+const char* LeafCellPayload(const Page* p, int i) {
+  const char* cell = p->data + SlotAt(p, i);
+  uint16_t key_len = GetFixed16(cell);
+  return cell + 7 + key_len;
+}
+
+size_t LeafCellSize(const Page* p, int i) {
+  const char* cell = p->data + SlotAt(p, i);
+  uint16_t key_len = GetFixed16(cell);
+  uint8_t flags = static_cast<uint8_t>(cell[2]);
+  uint32_t val_len = GetFixed32(cell + 3);
+  return 7 + key_len + (flags == 0 ? val_len : 4u);
+}
+
+std::string_view InternalCellKey(const Page* p, int i) {
+  const char* cell = p->data + SlotAt(p, i);
+  uint16_t key_len = GetFixed16(cell);
+  return std::string_view(cell + 6, key_len);
+}
+
+uint32_t InternalCellChild(const Page* p, int i) {
+  const char* cell = p->data + SlotAt(p, i);
+  return GetFixed32(cell + 2);
+}
+
+// Binary search over leaf cells: first index with key >= target; sets
+// *found when an exact match exists.
+int LeafLowerBound(const Page* p, std::string_view key, bool* found) {
+  int lo = 0;
+  int hi = NumCells(p);
+  *found = false;
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    std::string_view k = LeafCellKey(p, mid);
+    if (k < key) {
+      lo = mid + 1;
+    } else {
+      if (k == key) *found = true;
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Internal child for `key`: the child whose key range contains it.
+// Cells hold separator keys: child(i) covers [key_i, key_{i+1}); the
+// leftmost link covers keys below key_0.
+uint32_t InternalChildFor(const Page* p, std::string_view key) {
+  int lo = 0;
+  int hi = NumCells(p);
+  // First index with separator > key.
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (InternalCellKey(p, mid) <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == 0) return Link(p);
+  return InternalCellChild(p, lo - 1);
+}
+
+// Materialised leaf cell used during splits.
+struct LeafCellImage {
+  std::string key;
+  uint8_t flags;
+  uint32_t val_len;
+  std::string payload;  // inline value bytes or 4-byte overflow page id
+
+  size_t size() const { return 7 + key.size() + payload.size(); }
+};
+
+LeafCellImage ReadLeafCell(const Page* p, int i) {
+  LeafCellImage c;
+  c.key = std::string(LeafCellKey(p, i));
+  c.flags = LeafCellFlags(p, i);
+  c.val_len = LeafCellValueLength(p, i);
+  size_t payload_len = (c.flags == 0) ? c.val_len : 4u;
+  c.payload.assign(LeafCellPayload(p, i), payload_len);
+  return c;
+}
+
+// Appends a leaf cell image to a freshly reset page. Caller guarantees fit.
+void AppendLeafCell(Page* p, const LeafCellImage& c) {
+  uint16_t n = NumCells(p);
+  uint16_t off = static_cast<uint16_t>(ContentOffset(p) - c.size());
+  char* cell = p->data + off;
+  uint16_t key_len = static_cast<uint16_t>(c.key.size());
+  std::memcpy(cell, &key_len, 2);
+  cell[2] = static_cast<char>(c.flags);
+  std::memcpy(cell + 3, &c.val_len, 4);
+  std::memcpy(cell + 7, c.key.data(), c.key.size());
+  std::memcpy(cell + 7 + c.key.size(), c.payload.data(), c.payload.size());
+  SetContentOffset(p, off);
+  SetSlotAt(p, n, off);
+  SetNumCells(p, static_cast<uint16_t>(n + 1));
+}
+
+struct InternalCellImage {
+  std::string key;
+  uint32_t child;
+  size_t size() const { return 6 + key.size(); }
+};
+
+InternalCellImage ReadInternalCell(const Page* p, int i) {
+  InternalCellImage c;
+  c.key = std::string(InternalCellKey(p, i));
+  c.child = InternalCellChild(p, i);
+  return c;
+}
+
+void AppendInternalCell(Page* p, const InternalCellImage& c) {
+  uint16_t n = NumCells(p);
+  uint16_t off = static_cast<uint16_t>(ContentOffset(p) - c.size());
+  char* cell = p->data + off;
+  uint16_t key_len = static_cast<uint16_t>(c.key.size());
+  std::memcpy(cell, &key_len, 2);
+  std::memcpy(cell + 2, &c.child, 4);
+  std::memcpy(cell + 6, c.key.data(), c.key.size());
+  SetContentOffset(p, off);
+  SetSlotAt(p, n, off);
+  SetNumCells(p, static_cast<uint16_t>(n + 1));
+}
+
+// Rebuilds a page from its cell images in slot order, reclaiming fragmented
+// space.
+void CompactLeaf(Page* p) {
+  std::vector<LeafCellImage> cells;
+  uint16_t n = NumCells(p);
+  cells.reserve(n);
+  for (int i = 0; i < n; ++i) cells.push_back(ReadLeafCell(p, i));
+  uint32_t link = Link(p);
+  InitNodePage(p, kLeafPage);
+  SetLink(p, link);
+  for (const auto& c : cells) AppendLeafCell(p, c);
+}
+
+void CompactInternal(Page* p) {
+  std::vector<InternalCellImage> cells;
+  uint16_t n = NumCells(p);
+  cells.reserve(n);
+  for (int i = 0; i < n; ++i) cells.push_back(ReadInternalCell(p, i));
+  uint32_t link = Link(p);
+  InitNodePage(p, kInternalPage);
+  SetLink(p, link);
+  for (const auto& c : cells) AppendInternalCell(p, c);
+}
+
+// Inserts a leaf cell image at slot position `pos`. Caller checked space.
+void InsertLeafCellAt(Page* p, int pos, const LeafCellImage& c) {
+  uint16_t n = NumCells(p);
+  uint16_t off = static_cast<uint16_t>(ContentOffset(p) - c.size());
+  char* cell = p->data + off;
+  uint16_t key_len = static_cast<uint16_t>(c.key.size());
+  std::memcpy(cell, &key_len, 2);
+  cell[2] = static_cast<char>(c.flags);
+  std::memcpy(cell + 3, &c.val_len, 4);
+  std::memcpy(cell + 7, c.key.data(), c.key.size());
+  std::memcpy(cell + 7 + c.key.size(), c.payload.data(), c.payload.size());
+  SetContentOffset(p, off);
+  for (int i = n; i > pos; --i) SetSlotAt(p, i, SlotAt(p, i - 1));
+  SetSlotAt(p, pos, off);
+  SetNumCells(p, static_cast<uint16_t>(n + 1));
+}
+
+void InsertInternalCellAt(Page* p, int pos, const InternalCellImage& c) {
+  uint16_t n = NumCells(p);
+  uint16_t off = static_cast<uint16_t>(ContentOffset(p) - c.size());
+  char* cell = p->data + off;
+  uint16_t key_len = static_cast<uint16_t>(c.key.size());
+  std::memcpy(cell, &key_len, 2);
+  std::memcpy(cell + 2, &c.child, 4);
+  std::memcpy(cell + 6, c.key.data(), c.key.size());
+  SetContentOffset(p, off);
+  for (int i = n; i > pos; --i) SetSlotAt(p, i, SlotAt(p, i - 1));
+  SetSlotAt(p, pos, off);
+  SetNumCells(p, static_cast<uint16_t>(n + 1));
+}
+
+void RemoveCellAt(Page* p, int pos, size_t cell_size) {
+  uint16_t n = NumCells(p);
+  SetFragBytes(p, static_cast<uint16_t>(
+                      std::min<size_t>(UINT16_MAX,
+                                       FragBytes(p) + cell_size)));
+  for (int i = pos; i + 1 < n; ++i) SetSlotAt(p, i, SlotAt(p, i + 1));
+  SetNumCells(p, static_cast<uint16_t>(n - 1));
+}
+
+}  // namespace
+
+// --- BTree ------------------------------------------------------------------
+
+StatusOr<std::unique_ptr<BTree>> BTree::Open(Pager* pager) {
+  std::unique_ptr<BTree> tree(new BTree(pager));
+  PageGuard meta = pager->Fetch(0);
+  if (!meta.valid()) return Status::Corruption("missing metadata page");
+  uint32_t magic = GetFixed32(meta->data);
+  constexpr uint32_t kMagic = 0x58524254;  // "XRBT"
+  if (magic == 0) {
+    // Fresh file: create an empty root leaf.
+    PageGuard root = pager->NewPage();
+    InitNodePage(root.get(), kLeafPage);
+    tree->root_ = root.id();
+    tree->size_ = 0;
+    meta.Release();
+    tree->WriteMeta();
+  } else if (magic == kMagic) {
+    tree->root_ = GetFixed32(meta->data + 4);
+    tree->size_ = GetFixed64(meta->data + 8);
+    PageGuard root = pager->Fetch(tree->root_);
+    if (!root.valid()) {
+      return Status::Corruption("metadata points at a missing root page");
+    }
+  } else {
+    return Status::Corruption("bad btree magic");
+  }
+  return tree;
+}
+
+void BTree::WriteMeta() {
+  PageGuard meta = pager_->Fetch(0);
+  XR_CHECK(meta.valid());
+  constexpr uint32_t kMagic = 0x58524254;
+  std::memcpy(meta->data, &kMagic, 4);
+  std::memcpy(meta->data + 4, &root_, 4);
+  std::memcpy(meta->data + 8, &size_, 8);
+  meta.MarkDirty();
+}
+
+PageGuard BTree::FindLeaf(std::string_view key) const {
+  PageId cur = root_;
+  while (true) {
+    PageGuard p = pager_->Fetch(cur);
+    XR_CHECK(p.valid()) << "dangling page id " << cur;
+    if (PageType(p.get()) == kLeafPage) return p;
+    cur = InternalChildFor(p.get(), key);
+  }
+}
+
+std::string BTree::EncodePayload(std::string_view value) {
+  if (value.size() <= kMaxInlineValue) return std::string(value);
+  // Spill to an overflow chain; keep the previous page pinned only until
+  // its link is patched.
+  PageId first = kInvalidPageId;
+  PageGuard prev;
+  size_t pos = 0;
+  while (pos < value.size()) {
+    PageGuard ovf = pager_->NewPage();
+    InitNodePage(ovf.get(), kOverflowPage);
+    size_t chunk = std::min(kOverflowCapacity, value.size() - pos);
+    std::memcpy(ovf->data + kHeaderSize, value.data() + pos, chunk);
+    SetContentOffset(ovf.get(), static_cast<uint16_t>(chunk));  // "used"
+    SetLink(ovf.get(), kInvalidPageId);
+    ovf.MarkDirty();
+    if (prev.valid()) {
+      SetLink(prev.get(), ovf.id());
+      prev.MarkDirty();
+    } else {
+      first = ovf.id();
+    }
+    prev = std::move(ovf);
+    pos += chunk;
+  }
+  std::string payload;
+  PutFixed32(&payload, first);
+  return payload;
+}
+
+Status BTree::Put(std::string_view key, std::string_view value) {
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  if (key.size() > kMaxKeyLength) {
+    return Status::InvalidArgument("key too long: " +
+                                   std::to_string(key.size()));
+  }
+  bool replaced = false;
+  std::optional<SplitResult> split;
+  XREFINE_RETURN_IF_ERROR(
+      InsertRecursive(root_, key, value, &replaced, &split));
+  if (split.has_value()) {
+    PageGuard new_root = pager_->NewPage();
+    InitNodePage(new_root.get(), kInternalPage);
+    SetLink(new_root.get(), root_);
+    AppendInternalCell(new_root.get(),
+                       InternalCellImage{split->separator, split->right});
+    new_root.MarkDirty();
+    root_ = new_root.id();
+  }
+  if (!replaced) ++size_;
+  WriteMeta();
+  return Status::OK();
+}
+
+Status BTree::InsertRecursive(PageId page_id, std::string_view key,
+                              std::string_view value, bool* replaced,
+                              std::optional<SplitResult>* split) {
+  PageGuard p = pager_->Fetch(page_id);
+  if (!p.valid()) return Status::Corruption("dangling page id");
+  if (PageType(p.get()) == kLeafPage) {
+    return InsertIntoLeaf(p.get(), key, value, replaced, split);
+  }
+  uint32_t child = InternalChildFor(p.get(), key);
+  std::optional<SplitResult> child_split;
+  XREFINE_RETURN_IF_ERROR(
+      InsertRecursive(child, key, value, replaced, &child_split));
+  if (!child_split.has_value()) return Status::OK();
+  return InsertIntoInternal(p.get(), *child_split, split);
+}
+
+Status BTree::InsertIntoLeaf(Page* page, std::string_view key,
+                             std::string_view value, bool* replaced,
+                             std::optional<SplitResult>* split) {
+  LeafCellImage cell;
+  cell.key = std::string(key);
+  cell.payload = EncodePayload(value);
+  cell.val_len = static_cast<uint32_t>(value.size());
+  cell.flags = (value.size() <= kMaxInlineValue) ? 0 : 1;
+
+  bool found = false;
+  int pos = LeafLowerBound(page, key, &found);
+  if (found) {
+    RemoveCellAt(page, pos, LeafCellSize(page, pos));
+    *replaced = true;
+  }
+
+  size_t need = cell.size() + 2;  // cell + slot
+  if (FreeSpace(page) < need && FragBytes(page) > 0) CompactLeaf(page);
+  if (FreeSpace(page) >= need) {
+    InsertLeafCellAt(page, pos, cell);
+    page->dirty = true;
+    return Status::OK();
+  }
+
+  // Split: gather all cells plus the new one in key order, redistribute by
+  // cumulative size.
+  std::vector<LeafCellImage> cells;
+  uint16_t n = NumCells(page);
+  cells.reserve(n + 1u);
+  for (int i = 0; i < n; ++i) cells.push_back(ReadLeafCell(page, i));
+  cells.insert(cells.begin() + pos, cell);
+
+  size_t total = 0;
+  for (const auto& c : cells) total += c.size() + 2;
+  size_t left_budget = total / 2;
+
+  PageGuard right_guard = pager_->NewPage();
+  Page* right = right_guard.get();
+  InitNodePage(right, kLeafPage);
+  uint32_t old_next = Link(page);
+  InitNodePage(page, kLeafPage);
+  SetLink(page, right->id);
+  SetLink(right, old_next);
+
+  size_t acc = 0;
+  size_t split_at = cells.size();
+  for (size_t i = 0; i < cells.size(); ++i) {
+    acc += cells[i].size() + 2;
+    if (acc > left_budget && i + 1 < cells.size()) {
+      split_at = i + 1;
+      break;
+    }
+  }
+  if (split_at == cells.size()) split_at = cells.size() / 2;
+  if (split_at == 0) split_at = 1;
+
+  for (size_t i = 0; i < split_at; ++i) AppendLeafCell(page, cells[i]);
+  for (size_t i = split_at; i < cells.size(); ++i) {
+    AppendLeafCell(right, cells[i]);
+  }
+  page->dirty = true;
+  right->dirty = true;
+  *split = SplitResult{cells[split_at].key, right->id};
+  return Status::OK();
+}
+
+Status BTree::InsertIntoInternal(Page* page, const SplitResult& child_split,
+                                 std::optional<SplitResult>* split) {
+  InternalCellImage cell{child_split.separator, child_split.right};
+
+  // Position: first separator > new key.
+  int n = NumCells(page);
+  int pos = 0;
+  {
+    int lo = 0;
+    int hi = n;
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      if (InternalCellKey(page, mid) <= child_split.separator) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    pos = lo;
+  }
+
+  size_t need = cell.size() + 2;
+  if (FreeSpace(page) < need && FragBytes(page) > 0) CompactInternal(page);
+  if (FreeSpace(page) >= need) {
+    InsertInternalCellAt(page, pos, cell);
+    page->dirty = true;
+    return Status::OK();
+  }
+
+  // Split the internal node; the middle separator moves up.
+  std::vector<InternalCellImage> cells;
+  cells.reserve(static_cast<size_t>(n) + 1u);
+  for (int i = 0; i < n; ++i) cells.push_back(ReadInternalCell(page, i));
+  cells.insert(cells.begin() + pos, cell);
+
+  size_t mid = cells.size() / 2;
+  InternalCellImage promoted = cells[mid];
+
+  PageGuard right_guard = pager_->NewPage();
+  Page* right = right_guard.get();
+  InitNodePage(right, kInternalPage);
+  SetLink(right, promoted.child);
+
+  uint32_t leftmost = Link(page);
+  InitNodePage(page, kInternalPage);
+  SetLink(page, leftmost);
+
+  for (size_t i = 0; i < mid; ++i) AppendInternalCell(page, cells[i]);
+  for (size_t i = mid + 1; i < cells.size(); ++i) {
+    AppendInternalCell(right, cells[i]);
+  }
+  page->dirty = true;
+  right->dirty = true;
+  *split = SplitResult{promoted.key, right->id};
+  return Status::OK();
+}
+
+StatusOr<std::string> BTree::Get(std::string_view key) const {
+  PageGuard leaf_guard = FindLeaf(key);
+  Page* leaf = leaf_guard.get();
+  bool found = false;
+  int pos = LeafLowerBound(leaf, key, &found);
+  if (!found) return Status::NotFound(std::string(key));
+  uint8_t flags = LeafCellFlags(leaf, pos);
+  uint32_t val_len = LeafCellValueLength(leaf, pos);
+  const char* payload = LeafCellPayload(leaf, pos);
+  if (flags == 0) return std::string(payload, val_len);
+  // Follow the overflow chain.
+  std::string out;
+  out.reserve(val_len);
+  PageId ovf = GetFixed32(payload);
+  leaf_guard.Release();
+  while (ovf != kInvalidPageId && out.size() < val_len) {
+    PageGuard p = pager_->Fetch(ovf);
+    if (!p.valid() || PageType(p.get()) != kOverflowPage) {
+      return Status::Corruption("broken overflow chain");
+    }
+    size_t used = ContentOffset(p.get());
+    out.append(p->data + kHeaderSize, used);
+    ovf = Link(p.get());
+  }
+  if (out.size() != val_len) {
+    return Status::Corruption("overflow chain length mismatch");
+  }
+  return out;
+}
+
+Status BTree::Delete(std::string_view key) {
+  PageGuard leaf_guard = FindLeaf(key);
+  Page* leaf = leaf_guard.get();
+  bool found = false;
+  int pos = LeafLowerBound(leaf, key, &found);
+  if (!found) return Status::NotFound(std::string(key));
+  RemoveCellAt(leaf, pos, LeafCellSize(leaf, pos));
+  leaf->dirty = true;
+  leaf_guard.Release();
+  --size_;
+  WriteMeta();
+  return Status::OK();
+}
+
+namespace {
+
+struct VerifyState {
+  uint64_t keys = 0;
+  PageId expected_next_leaf = kInvalidPageId;  // set while walking leaves
+  std::vector<PageId> leaves_in_order;
+};
+
+}  // namespace
+
+// Recursive bound-checked walk. `low`/`high` are exclusive bounds ("" = no
+// bound).
+static Status VerifyNode(Pager* pager, PageId id, const std::string& low,
+                         const std::string& high, VerifyState* state) {
+  PageGuard guard = pager->Fetch(id);
+  if (!guard.valid()) {
+    return Status::Corruption("verify: dangling page " + std::to_string(id));
+  }
+  Page* p = guard.get();
+  uint8_t type = PageType(p);
+  uint16_t n = NumCells(p);
+  if (type == kLeafPage) {
+    std::string prev;
+    for (int i = 0; i < n; ++i) {
+      std::string key(LeafCellKey(p, i));
+      if (i > 0 && !(prev < key)) {
+        return Status::Corruption("verify: leaf keys out of order in page " +
+                                  std::to_string(id));
+      }
+      if (!low.empty() && key < low) {
+        return Status::Corruption("verify: leaf key below separator");
+      }
+      if (!high.empty() && !(key < high)) {
+        return Status::Corruption("verify: leaf key above separator");
+      }
+      prev = std::move(key);
+    }
+    state->keys += n;
+    state->leaves_in_order.push_back(id);
+    return Status::OK();
+  }
+  if (type != kInternalPage) {
+    return Status::Corruption("verify: unexpected page type " +
+                              std::to_string(type));
+  }
+  std::string child_low = low;
+  for (int i = 0; i <= n; ++i) {
+    std::string child_high =
+        (i < n) ? std::string(InternalCellKey(p, i)) : high;
+    if (i < n && !child_high.empty() && !low.empty() && child_high < low) {
+      return Status::Corruption("verify: separator below lower bound");
+    }
+    PageId child = (i == 0) ? Link(p) : InternalCellChild(p, i - 1);
+    XREFINE_RETURN_IF_ERROR(
+        VerifyNode(pager, child, child_low, child_high, state));
+    child_low = child_high;
+  }
+  return Status::OK();
+}
+
+Status BTree::VerifyIntegrity() const {
+  VerifyState state;
+  XREFINE_RETURN_IF_ERROR(VerifyNode(pager_, root_, "", "", &state));
+  if (state.keys != size_) {
+    return Status::Corruption("verify: key count " +
+                              std::to_string(state.keys) +
+                              " != recorded size " + std::to_string(size_));
+  }
+  // The leaf chain must link the leaves exactly in DFS order.
+  for (size_t i = 0; i < state.leaves_in_order.size(); ++i) {
+    PageGuard leaf_guard = pager_->Fetch(state.leaves_in_order[i]);
+    if (!leaf_guard.valid()) {
+      return Status::Corruption("verify: unreadable leaf");
+    }
+    PageId next = Link(leaf_guard.get());
+    PageId expected = (i + 1 < state.leaves_in_order.size())
+                          ? state.leaves_in_order[i + 1]
+                          : kInvalidPageId;
+    if (next != expected) {
+      return Status::Corruption("verify: broken leaf chain at page " +
+                                std::to_string(state.leaves_in_order[i]));
+    }
+  }
+  return Status::OK();
+}
+
+// --- Cursor -----------------------------------------------------------------
+
+void BTree::Cursor::Seek(std::string_view key) {
+  // Descend to the leftmost leaf when the key is empty, otherwise to the
+  // candidate leaf, holding a pin only on the current level.
+  PageGuard p = tree_->pager_->Fetch(tree_->root_);
+  while (p.valid() && PageType(p.get()) != kLeafPage) {
+    PageId next = key.empty() ? Link(p.get()) : InternalChildFor(p.get(), key);
+    p = tree_->pager_->Fetch(next);
+  }
+  leaf_ = std::move(p);
+  if (!leaf_.valid()) return;
+  if (key.empty()) {
+    index_ = 0;
+  } else {
+    bool found = false;
+    index_ = LeafLowerBound(leaf_.get(), key, &found);
+  }
+  SkipEmptyLeaves();
+}
+
+void BTree::Cursor::SkipEmptyLeaves() {
+  while (leaf_.valid()) {
+    if (index_ < NumCells(leaf_.get())) return;
+    PageId next = Link(leaf_.get());
+    leaf_ = (next == kInvalidPageId) ? PageGuard()
+                                     : tree_->pager_->Fetch(next);
+    index_ = 0;
+  }
+}
+
+bool BTree::Cursor::Valid() const { return leaf_.valid(); }
+
+void BTree::Cursor::Next() {
+  if (!Valid()) return;
+  ++index_;
+  SkipEmptyLeaves();
+}
+
+std::string_view BTree::Cursor::key() const {
+  return LeafCellKey(leaf_.get(), index_);
+}
+
+std::string BTree::Cursor::value() const {
+  Page* p = leaf_.get();
+  uint8_t flags = LeafCellFlags(p, index_);
+  uint32_t val_len = LeafCellValueLength(p, index_);
+  const char* payload = LeafCellPayload(p, index_);
+  if (flags == 0) return std::string(payload, val_len);
+  std::string out;
+  out.reserve(val_len);
+  PageId ovf = GetFixed32(payload);
+  while (ovf != kInvalidPageId && out.size() < val_len) {
+    PageGuard op = tree_->pager_->Fetch(ovf);
+    XR_CHECK(op.valid() && PageType(op.get()) == kOverflowPage)
+        << "broken overflow chain";
+    out.append(op->data + kHeaderSize, ContentOffset(op.get()));
+    ovf = Link(op.get());
+  }
+  XR_CHECK(out.size() == val_len) << "overflow chain length mismatch";
+  return out;
+}
+
+}  // namespace xrefine::storage

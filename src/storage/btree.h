@@ -1,0 +1,119 @@
+// Disk-oriented B+-tree with byte-string keys and values, variable-length
+// slotted pages, and overflow chains for large values. This is the
+// repository's substitute for the Berkeley DB B-trees the paper stores its
+// indexes in (Section VII): it supports ordered point lookups, inserts,
+// deletes, and forward range scans via a cursor.
+//
+// Simplifications relative to a full production engine (documented, tested):
+//  * deletes do not rebalance (pages may underflow; correctness preserved),
+//  * the page cache is unbounded (see Pager),
+//  * single-writer, no concurrency control, no WAL (indexes are built once
+//    and then read).
+#ifndef XREFINE_STORAGE_BTREE_H_
+#define XREFINE_STORAGE_BTREE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+#include "storage/pager.h"
+
+namespace xrefine::storage {
+
+/// Maximum key length accepted by Put (bytes).
+inline constexpr size_t kMaxKeyLength = 512;
+
+class BTree {
+ public:
+  /// Opens the tree stored in `pager`'s file, initialising a fresh tree if
+  /// the metadata page is blank. The pager must outlive the tree.
+  static StatusOr<std::unique_ptr<BTree>> Open(Pager* pager);
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Inserts or replaces the value for `key`.
+  Status Put(std::string_view key, std::string_view value);
+
+  /// Returns the value for `key`, or NotFound.
+  StatusOr<std::string> Get(std::string_view key) const;
+
+  /// Removes `key`; NotFound if absent.
+  Status Delete(std::string_view key);
+
+  /// Number of live keys.
+  uint64_t size() const { return size_; }
+
+  /// Structural self-check: key ordering within every node, separator
+  /// bounds over child subtrees, leaf-chain consistency, and the key count
+  /// against size(). Returns Corruption with a description on the first
+  /// violation. Used by tests and by tooling after loading untrusted files.
+  Status VerifyIntegrity() const;
+
+  /// Forward iterator over keys in byte order. Holds a pin on its current
+  /// leaf page, so key() views stay valid while the cursor rests on them.
+  /// Move-only (the pin moves with it).
+  class Cursor {
+   public:
+    Cursor(Cursor&&) = default;
+    Cursor& operator=(Cursor&&) = default;
+
+    /// Positions at the first key >= `key` (empty key: the first key).
+    void Seek(std::string_view key);
+    void SeekToFirst() { Seek(""); }
+
+    bool Valid() const;
+    void Next();
+
+    std::string_view key() const;
+    /// Materialises the value (follows overflow chains).
+    std::string value() const;
+
+   private:
+    friend class BTree;
+    explicit Cursor(const BTree* tree) : tree_(tree) {}
+
+    const BTree* tree_;
+    PageGuard leaf_;  // pinned current leaf; invalid = exhausted
+    int index_ = 0;
+
+    void SkipEmptyLeaves();
+  };
+
+  Cursor NewCursor() const { return Cursor(this); }
+
+ private:
+  explicit BTree(Pager* pager) : pager_(pager) {}
+
+  struct SplitResult {
+    std::string separator;  // first key of the right sibling
+    PageId right;
+  };
+
+  Status InsertRecursive(PageId page_id, std::string_view key,
+                         std::string_view value, bool* replaced,
+                         std::optional<SplitResult>* split);
+  Status InsertIntoLeaf(Page* page, std::string_view key,
+                        std::string_view value, bool* replaced,
+                        std::optional<SplitResult>* split);
+  Status InsertIntoInternal(Page* page, const SplitResult& child_split,
+                            std::optional<SplitResult>* split);
+
+  /// Finds and pins the leaf page that may contain `key`.
+  PageGuard FindLeaf(std::string_view key) const;
+
+  /// Writes a (possibly large) value, returning the encoded leaf payload.
+  std::string EncodePayload(std::string_view value);
+
+  void WriteMeta();
+
+  Pager* pager_;
+  PageId root_ = kInvalidPageId;
+  uint64_t size_ = 0;
+};
+
+}  // namespace xrefine::storage
+
+#endif  // XREFINE_STORAGE_BTREE_H_

@@ -1,0 +1,45 @@
+#include "storage/kvstore.h"
+
+namespace xrefine::storage {
+
+StatusOr<std::unique_ptr<KVStore>> KVStore::Open(const std::string& path,
+                                                 PagerOptions pager_options) {
+  auto pager_or = Pager::Open(path, pager_options);
+  if (!pager_or.ok()) return pager_or.status();
+  std::unique_ptr<Pager> pager = std::move(pager_or).value();
+  auto tree_or = BTree::Open(pager.get());
+  if (!tree_or.ok()) return tree_or.status();
+  return std::unique_ptr<KVStore>(
+      new KVStore(std::move(pager), std::move(tree_or).value()));
+}
+
+std::string EncodeCompositeKey(std::string_view name, uint32_t id) {
+  std::string key(name);
+  key.push_back('\0');
+  key.push_back(static_cast<char>((id >> 24) & 0xFF));
+  key.push_back(static_cast<char>((id >> 16) & 0xFF));
+  key.push_back(static_cast<char>((id >> 8) & 0xFF));
+  key.push_back(static_cast<char>(id & 0xFF));
+  return key;
+}
+
+bool DecodeCompositeKey(std::string_view key, std::string* name,
+                        uint32_t* id) {
+  size_t nul = key.find('\0');
+  if (nul == std::string_view::npos || key.size() != nul + 5) return false;
+  *name = std::string(key.substr(0, nul));
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(key.data() + nul + 1);
+  *id = (static_cast<uint32_t>(p[0]) << 24) |
+        (static_cast<uint32_t>(p[1]) << 16) |
+        (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+  return true;
+}
+
+std::string CompositeKeyPrefix(std::string_view name) {
+  std::string key(name);
+  key.push_back('\0');
+  return key;
+}
+
+}  // namespace xrefine::storage

@@ -1,0 +1,67 @@
+// KVStore: the ordered key-value façade the index layer persists into,
+// standing in for the paper's Berkeley DB. One store = one page file = one
+// B+-tree. Composite keys are built with EncodeComposite* so that byte
+// order equals the intended logical order.
+#ifndef XREFINE_STORAGE_KVSTORE_H_
+#define XREFINE_STORAGE_KVSTORE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+#include "storage/btree.h"
+#include "storage/pager.h"
+
+namespace xrefine::storage {
+
+class KVStore {
+ public:
+  /// Opens (creating if needed) a store at `path`; empty path = in-memory.
+  /// `pager_options` bounds the buffer pool for file-backed stores.
+  static StatusOr<std::unique_ptr<KVStore>> Open(
+      const std::string& path, PagerOptions pager_options = {});
+
+  KVStore(const KVStore&) = delete;
+  KVStore& operator=(const KVStore&) = delete;
+
+  Status Put(std::string_view key, std::string_view value) {
+    return tree_->Put(key, value);
+  }
+  StatusOr<std::string> Get(std::string_view key) const {
+    return tree_->Get(key);
+  }
+  Status Delete(std::string_view key) { return tree_->Delete(key); }
+
+  uint64_t size() const { return tree_->size(); }
+
+  BTree::Cursor NewCursor() const { return tree_->NewCursor(); }
+
+  /// Persists all dirty pages.
+  Status Flush() { return pager_->Flush(); }
+
+  const Pager& pager() const { return *pager_; }
+
+ private:
+  KVStore(std::unique_ptr<Pager> pager, std::unique_ptr<BTree> tree)
+      : pager_(std::move(pager)), tree_(std::move(tree)) {}
+
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BTree> tree_;
+};
+
+/// Encodes (name, id) so that entries group by name and order by id:
+/// name bytes, a 0x00 terminator, then big-endian id. `name` must not
+/// contain NUL.
+std::string EncodeCompositeKey(std::string_view name, uint32_t id);
+
+/// Decodes a composite key; returns false on malformed input.
+bool DecodeCompositeKey(std::string_view key, std::string* name,
+                        uint32_t* id);
+
+/// Prefix that all composite keys with this name share.
+std::string CompositeKeyPrefix(std::string_view name);
+
+}  // namespace xrefine::storage
+
+#endif  // XREFINE_STORAGE_KVSTORE_H_

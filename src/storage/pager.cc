@@ -1,0 +1,211 @@
+#include "storage/pager.h"
+
+#include <cstring>
+#include <filesystem>
+
+#include "common/logging.h"
+
+namespace xrefine::storage {
+
+// --- PageGuard ---------------------------------------------------------------
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pager_ = other.pager_;
+    page_ = other.page_;
+    other.pager_ = nullptr;
+    other.page_ = nullptr;
+  }
+  return *this;
+}
+
+void PageGuard::MarkDirty() const {
+  XR_DCHECK(page_ != nullptr);
+  page_->dirty = true;
+}
+
+void PageGuard::Release() {
+  if (pager_ != nullptr && page_ != nullptr) {
+    pager_->Unpin(page_);
+  }
+  pager_ = nullptr;
+  page_ = nullptr;
+}
+
+// --- Pager -------------------------------------------------------------------
+
+Pager::Pager(std::string path, PagerOptions options)
+    : path_(std::move(path)), options_(options) {
+  if (options_.max_cached_pages != 0 && options_.max_cached_pages < 16) {
+    options_.max_cached_pages = 16;
+  }
+  if (in_memory()) options_.max_cached_pages = 0;  // nowhere to evict to
+}
+
+StatusOr<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
+                                             PagerOptions options) {
+  std::unique_ptr<Pager> pager(new Pager(path, options));
+  if (!pager->in_memory()) {
+    Status st = pager->OpenFile();
+    if (!st.ok()) return st;
+  }
+  if (pager->next_page_id_ == 0) {
+    pager->NewPage();  // page 0: metadata (guard dropped; stays cached)
+  }
+  return pager;
+}
+
+Pager::~Pager() {
+  Status st = Flush();
+  if (!st.ok()) {
+    XR_LOG(Error) << "pager flush on close failed: " << st;
+  }
+#ifndef NDEBUG
+  for (const auto& [id, entry] : cache_) {
+    if (entry.pins != 0) {
+      XR_LOG(Error) << "page " << id << " still pinned at pager teardown";
+    }
+  }
+#endif
+}
+
+Status Pager::OpenFile() {
+  bool exists = std::filesystem::exists(path_);
+  // Open read/write; create first when missing.
+  if (!exists) {
+    std::ofstream create(path_, std::ios::binary);
+    if (!create) return Status::IoError("cannot create page file " + path_);
+  }
+  file_.open(path_, std::ios::binary | std::ios::in | std::ios::out);
+  if (!file_) return Status::IoError("cannot open page file " + path_);
+  file_.seekg(0, std::ios::end);
+  auto size = static_cast<uint64_t>(file_.tellg());
+  if (size % kPageSize != 0) {
+    return Status::Corruption("page file size " + std::to_string(size) +
+                              " is not a multiple of the page size");
+  }
+  next_page_id_ = static_cast<PageId>(size / kPageSize);
+  return Status::OK();
+}
+
+Status Pager::ReadPageFromFile(PageId id, Page* page) {
+  file_.clear();
+  file_.seekg(static_cast<std::streamoff>(id) *
+              static_cast<std::streamoff>(kPageSize));
+  file_.read(page->data, kPageSize);
+  if (!file_) {
+    return Status::IoError("short read of page " + std::to_string(id));
+  }
+  page->id = id;
+  page->dirty = false;
+  return Status::OK();
+}
+
+Status Pager::WritePageToFile(const Page& page) {
+  file_.clear();
+  file_.seekp(static_cast<std::streamoff>(page.id) *
+              static_cast<std::streamoff>(kPageSize));
+  file_.write(page.data, kPageSize);
+  if (!file_) {
+    return Status::IoError("short write of page " + std::to_string(page.id));
+  }
+  return Status::OK();
+}
+
+Pager::Entry* Pager::Insert(std::unique_ptr<Page> page) {
+  PageId id = page->id;
+  Entry entry;
+  entry.page = std::move(page);
+  Entry* inserted = &cache_.emplace(id, std::move(entry)).first->second;
+  Pin(inserted);
+  MaybeEvict();
+  return inserted;
+}
+
+void Pager::Pin(Entry* entry) {
+  if (entry->in_lru) {
+    lru_.erase(entry->lru_it);
+    entry->in_lru = false;
+  }
+  ++entry->pins;
+}
+
+void Pager::Unpin(Page* page) {
+  auto it = cache_.find(page->id);
+  XR_CHECK(it != cache_.end()) << "unpin of uncached page " << page->id;
+  Entry& entry = it->second;
+  XR_CHECK(entry.pins > 0) << "unbalanced unpin of page " << page->id;
+  if (--entry.pins == 0) {
+    lru_.push_front(page->id);
+    entry.lru_it = lru_.begin();
+    entry.in_lru = true;
+    MaybeEvict();
+  }
+}
+
+void Pager::MaybeEvict() {
+  if (options_.max_cached_pages == 0) return;
+  while (cache_.size() > options_.max_cached_pages && !lru_.empty()) {
+    PageId victim = lru_.back();
+    lru_.pop_back();
+    auto it = cache_.find(victim);
+    XR_CHECK(it != cache_.end());
+    XR_CHECK(it->second.pins == 0);
+    if (it->second.page->dirty) {
+      Status st = WritePageToFile(*it->second.page);
+      if (!st.ok()) {
+        // Keep the page cached rather than lose data; surface via log.
+        XR_LOG(Error) << "eviction write-back failed: " << st;
+        lru_.push_back(victim);
+        it->second.lru_it = std::prev(lru_.end());
+        it->second.in_lru = true;
+        return;
+      }
+    }
+    cache_.erase(it);
+    ++evictions_;
+  }
+}
+
+PageGuard Pager::NewPage() {
+  auto page = std::make_unique<Page>();
+  page->id = next_page_id_++;
+  page->dirty = true;
+  Entry* entry = Insert(std::move(page));
+  return PageGuard(this, entry->page.get());
+}
+
+PageGuard Pager::Fetch(PageId id) {
+  if (id >= next_page_id_) return PageGuard();
+  auto it = cache_.find(id);
+  if (it != cache_.end()) {
+    Pin(&it->second);
+    return PageGuard(this, it->second.page.get());
+  }
+  // Miss: the page must live in the file (evicted or pre-existing).
+  ++cache_misses_;
+  if (in_memory()) return PageGuard();  // cannot happen without eviction
+  auto page = std::make_unique<Page>();
+  Status st = ReadPageFromFile(id, page.get());
+  if (!st.ok()) {
+    XR_LOG(Error) << "page read failed: " << st;
+    return PageGuard();
+  }
+  Entry* entry = Insert(std::move(page));
+  return PageGuard(this, entry->page.get());
+}
+
+Status Pager::Flush() {
+  if (in_memory()) return Status::OK();
+  for (auto& [id, entry] : cache_) {
+    if (!entry.page->dirty) continue;
+    XREFINE_RETURN_IF_ERROR(WritePageToFile(*entry.page));
+    entry.page->dirty = false;
+  }
+  file_.flush();
+  if (!file_) return Status::IoError("flush failed for " + path_);
+  return Status::OK();
+}
+
+}  // namespace xrefine::storage

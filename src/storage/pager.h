@@ -1,0 +1,143 @@
+// Page manager: fixed-size pages backed by a file (or purely in memory),
+// with a bounded buffer pool. Callers access pages through RAII PageGuards
+// that pin the page in the cache; unpinned pages are evicted LRU-first once
+// the pool exceeds its capacity, with dirty pages written back on eviction.
+// An unbounded pool (capacity 0) never evicts, which in-memory pagers use.
+//
+// Single-threaded by design (the index is built once and then read); the
+// pin discipline exists so eviction can never invalidate a page a caller
+// still references.
+#ifndef XREFINE_STORAGE_PAGER_H_
+#define XREFINE_STORAGE_PAGER_H_
+
+#include <cstdint>
+#include <fstream>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/statusor.h"
+
+namespace xrefine::storage {
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = UINT32_MAX;
+inline constexpr size_t kPageSize = 4096;
+
+/// A raw fixed-size page buffer.
+struct Page {
+  PageId id = kInvalidPageId;
+  bool dirty = false;
+  char data[kPageSize] = {};
+};
+
+struct PagerOptions {
+  /// Maximum pages kept in memory; 0 = unbounded (no eviction). Values
+  /// below 16 are raised to 16 so a B+-tree root-to-leaf path plus split
+  /// scratch pages always fit pinned.
+  size_t max_cached_pages = 0;
+};
+
+class Pager;
+
+/// RAII pin on a cached page. While any guard for a page is alive the page
+/// cannot be evicted. Move-only.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard() { Release(); }
+
+  bool valid() const { return page_ != nullptr; }
+  Page* get() const { return page_; }
+  Page* operator->() const { return page_; }
+  Page& operator*() const { return *page_; }
+  PageId id() const { return page_ == nullptr ? kInvalidPageId : page_->id; }
+
+  /// Marks the pinned page dirty (persisted on eviction or Flush).
+  void MarkDirty() const;
+
+  /// Drops the pin early.
+  void Release();
+
+ private:
+  friend class Pager;
+  PageGuard(Pager* pager, Page* page) : pager_(pager), page_(page) {}
+
+  Pager* pager_ = nullptr;
+  Page* page_ = nullptr;
+};
+
+/// Manages the page file. Page 0 is reserved for the owner's metadata.
+class Pager {
+ public:
+  /// Opens (or creates) a file-backed pager. Empty `path` selects a purely
+  /// in-memory pager: no file, no eviction, Flush() is a no-op.
+  static StatusOr<std::unique_ptr<Pager>> Open(const std::string& path,
+                                               PagerOptions options = {});
+
+  ~Pager();
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Number of pages allocated so far (cached or on disk), including the
+  /// metadata page 0.
+  PageId page_count() const { return next_page_id_; }
+
+  /// Allocates a fresh zeroed page, pinned and dirty.
+  PageGuard NewPage();
+
+  /// Pins the page with the given id; an invalid guard when out of range
+  /// or unreadable.
+  PageGuard Fetch(PageId id);
+
+  /// Writes all dirty cached pages back to the file.
+  Status Flush();
+
+  bool in_memory() const { return path_.empty(); }
+
+  // --- introspection (tests, tools) ---
+  size_t cached_pages() const { return cache_.size(); }
+  uint64_t cache_misses() const { return cache_misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Entry {
+    std::unique_ptr<Page> page;
+    int pins = 0;
+    // Position in lru_ when unpinned; meaningful only when in_lru.
+    std::list<PageId>::iterator lru_it;
+    bool in_lru = false;
+  };
+
+  Pager(std::string path, PagerOptions options);
+
+  Status OpenFile();
+  Status ReadPageFromFile(PageId id, Page* page);
+  Status WritePageToFile(const Page& page);
+
+  Entry* Insert(std::unique_ptr<Page> page);
+  void Pin(Entry* entry);
+  void Unpin(Page* page);
+  void MaybeEvict();
+
+  std::string path_;
+  PagerOptions options_;
+  std::fstream file_;
+  PageId next_page_id_ = 0;
+  std::unordered_map<PageId, Entry> cache_;
+  std::list<PageId> lru_;  // front = most recently unpinned
+  uint64_t cache_misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace xrefine::storage
+
+#endif  // XREFINE_STORAGE_PAGER_H_

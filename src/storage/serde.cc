@@ -1,0 +1,68 @@
+#include "storage/serde.h"
+
+namespace xrefine::storage {
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  while (value >= 0x80) {
+    dst->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  dst->push_back(static_cast<char>(value));
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  while (value >= 0x80) {
+    dst->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  dst->push_back(static_cast<char>(value));
+}
+
+bool GetVarint32(const char** p, const char* limit, uint32_t* value) {
+  uint32_t result = 0;
+  int shift = 0;
+  while (*p < limit && shift <= 28) {
+    uint8_t byte = static_cast<uint8_t>(**p);
+    ++*p;
+    result |= static_cast<uint32_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+bool GetVarint64(const char** p, const char* limit, uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*p < limit && shift <= 63) {
+    uint8_t byte = static_cast<uint8_t>(**p);
+    ++*p;
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutVarint32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+bool GetLengthPrefixed(const char** p, const char* limit,
+                       std::string_view* value) {
+  uint32_t len = 0;
+  if (!GetVarint32(p, limit, &len)) return false;
+  if (static_cast<size_t>(limit - *p) < len) return false;
+  *value = std::string_view(*p, len);
+  *p += len;
+  return true;
+}
+
+}  // namespace xrefine::storage

@@ -1,0 +1,64 @@
+// Little-endian fixed-width and varint encoding helpers used by the page
+// layouts and by index (de)serialisation.
+#ifndef XREFINE_STORAGE_SERDE_H_
+#define XREFINE_STORAGE_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace xrefine::storage {
+
+inline void PutFixed16(std::string* dst, uint16_t value) {
+  char buf[2];
+  std::memcpy(buf, &value, 2);
+  dst->append(buf, 2);
+}
+
+inline void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  std::memcpy(buf, &value, 4);
+  dst->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  std::memcpy(buf, &value, 8);
+  dst->append(buf, 8);
+}
+
+inline uint16_t GetFixed16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+
+inline uint32_t GetFixed32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint64_t GetFixed64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+/// LEB128-style varint32.
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Returns false on truncated input; advances *p past the varint.
+bool GetVarint32(const char** p, const char* limit, uint32_t* value);
+bool GetVarint64(const char** p, const char* limit, uint64_t* value);
+
+/// Length-prefixed string.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+bool GetLengthPrefixed(const char** p, const char* limit,
+                       std::string_view* value);
+
+}  // namespace xrefine::storage
+
+#endif  // XREFINE_STORAGE_SERDE_H_

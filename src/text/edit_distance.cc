@@ -1,0 +1,62 @@
+#include "text/edit_distance.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+namespace xrefine::text {
+
+int EditDistance(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return static_cast<int>(m);
+  if (m == 0) return static_cast<int>(n);
+  std::vector<int> prev(m + 1);
+  std::vector<int> cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      int cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+int EditDistanceAtMost(std::string_view a, std::string_view b,
+                       int max_distance) {
+  if (max_distance < 0) return 0;
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  if (std::abs(n - m) > max_distance) return max_distance + 1;
+  if (n == 0) return m;
+  if (m == 0) return n;
+
+  const int kBig = max_distance + 1;
+  std::vector<int> prev(static_cast<size_t>(m) + 1, kBig);
+  std::vector<int> cur(static_cast<size_t>(m) + 1, kBig);
+  for (int j = 0; j <= std::min(m, max_distance); ++j) prev[j] = j;
+
+  for (int i = 1; i <= n; ++i) {
+    int lo = std::max(1, i - max_distance);
+    int hi = std::min(m, i + max_distance);
+    std::fill(cur.begin(), cur.end(), kBig);
+    if (lo == 1) cur[0] = (i <= max_distance) ? i : kBig;
+    int row_best = kBig;
+    for (int j = lo; j <= hi; ++j) {
+      int cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      int best = prev[j - 1] + cost;
+      if (prev[j] + 1 < best) best = prev[j] + 1;
+      if (cur[j - 1] + 1 < best) best = cur[j - 1] + 1;
+      cur[j] = std::min(best, kBig);
+      row_best = std::min(row_best, cur[j]);
+    }
+    if (row_best > max_distance) return kBig;
+    std::swap(prev, cur);
+  }
+  return std::min(prev[m], kBig);
+}
+
+}  // namespace xrefine::text

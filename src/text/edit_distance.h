@@ -1,0 +1,20 @@
+// Levenshtein edit distance, the morphological dissimilarity metric behind
+// the paper's spelling-correction refinement rules (Section III-B).
+#ifndef XREFINE_TEXT_EDIT_DISTANCE_H_
+#define XREFINE_TEXT_EDIT_DISTANCE_H_
+
+#include <string_view>
+
+namespace xrefine::text {
+
+/// Full Levenshtein distance (unit costs for insert/delete/substitute).
+int EditDistance(std::string_view a, std::string_view b);
+
+/// Banded variant: returns the distance if it is <= `max_distance`,
+/// otherwise `max_distance + 1`. O(max_distance * min(|a|,|b|)).
+int EditDistanceAtMost(std::string_view a, std::string_view b,
+                       int max_distance);
+
+}  // namespace xrefine::text
+
+#endif  // XREFINE_TEXT_EDIT_DISTANCE_H_

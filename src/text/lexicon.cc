@@ -1,0 +1,165 @@
+#include "text/lexicon.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace xrefine::text {
+
+Lexicon Lexicon::BuiltIn() {
+  Lexicon lex;
+  // Bibliographic element names: the paper's Example 1 hinges on
+  // publication ~ proceedings ~ article ~ inproceedings being substitutable.
+  lex.AddSynonymGroup({"publication", "publications", "article",
+                       "inproceedings", "proceedings", "paper"});
+  lex.AddSynonymGroup({"author", "writer"});
+  lex.AddSynonymGroup({"database", "databases", "db"});
+  lex.AddSynonymGroup({"query", "queries"});
+  lex.AddSynonymGroup({"search", "retrieval", "lookup"});
+  lex.AddSynonymGroup({"keyword", "term"});
+  lex.AddSynonymGroup({"efficient", "fast", "scalable"});
+  lex.AddSynonymGroup({"approach", "method", "technique", "algorithm"});
+  lex.AddSynonymGroup({"evaluation", "processing", "computation"});
+  lex.AddSynonymGroup({"semantic", "semantics"});
+  lex.AddSynonymGroup({"distributed", "parallel"});
+  lex.AddSynonymGroup({"learning", "training"});
+  lex.AddSynonymGroup({"mining", "discovery"});
+  lex.AddSynonymGroup({"team", "club"});
+  lex.AddSynonymGroup({"player", "athlete"});
+
+  lex.AddAcronym("www", {"world", "wide", "web"});
+  lex.AddAcronym("xml", {"extensible", "markup", "language"});
+  lex.AddAcronym("ir", {"information", "retrieval"});
+  lex.AddAcronym("ml", {"machine", "learning"});
+  lex.AddAcronym("dm", {"data", "mining"});
+  lex.AddAcronym("ai", {"artificial", "intelligence"});
+  lex.AddAcronym("os", {"operating", "system"});
+  lex.AddAcronym("dbms", {"database", "management", "system"});
+  return lex;
+}
+
+void Lexicon::AddSynonymGroup(const std::vector<std::string>& words,
+                              double cost) {
+  size_t group_id = groups_.size();
+  std::vector<Synonym> group;
+  group.reserve(words.size());
+  for (const auto& w : words) {
+    std::string lw = ToLowerAscii(w);
+    group.push_back(Synonym{lw, cost});
+    word_to_groups_[lw].push_back(group_id);
+  }
+  groups_.push_back(std::move(group));
+}
+
+void Lexicon::AddAcronym(std::string_view acronym,
+                         const std::vector<std::string>& expansion) {
+  std::string key = ToLowerAscii(acronym);
+  std::vector<std::string> lowered;
+  lowered.reserve(expansion.size());
+  for (const auto& w : expansion) lowered.push_back(ToLowerAscii(w));
+  expansion_to_acronyms_[JoinStrings(lowered, " ")].push_back(key);
+  acronyms_[key] = std::move(lowered);
+}
+
+std::vector<Synonym> Lexicon::SynonymsOf(std::string_view word) const {
+  std::vector<Synonym> out;
+  auto it = word_to_groups_.find(std::string(word));
+  if (it == word_to_groups_.end()) return out;
+  for (size_t gid : it->second) {
+    for (const Synonym& s : groups_[gid]) {
+      if (s.word != word) out.push_back(s);
+    }
+  }
+  return out;
+}
+
+const std::vector<std::string>* Lexicon::ExpansionOf(
+    std::string_view acronym) const {
+  auto it = acronyms_.find(std::string(acronym));
+  return it == acronyms_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Lexicon::AcronymsFor(
+    const std::vector<std::string>& words) const {
+  auto it = expansion_to_acronyms_.find(JoinStrings(words, " "));
+  return it == expansion_to_acronyms_.end() ? std::vector<std::string>{}
+                                            : it->second;
+}
+
+Status Lexicon::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open lexicon file " + path);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and whitespace.
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::string trimmed(TrimWhitespace(line));
+    if (trimmed.empty()) continue;
+
+    auto error = [&](const std::string& what) {
+      return Status::Corruption("lexicon line " + std::to_string(line_no) +
+                                ": " + what);
+    };
+    size_t colon = trimmed.find(':');
+    if (colon == std::string::npos) return error("missing ':'");
+    std::string head(TrimWhitespace(trimmed.substr(0, colon)));
+    std::string body(TrimWhitespace(trimmed.substr(colon + 1)));
+
+    if (StartsWith(head, "syn")) {
+      double cost = 1.0;
+      std::string cost_text(TrimWhitespace(head.substr(3)));
+      if (!cost_text.empty()) {
+        char* end = nullptr;
+        cost = std::strtod(cost_text.c_str(), &end);
+        if (end == cost_text.c_str() || cost <= 0) {
+          return error("bad synonym cost \"" + cost_text + "\"");
+        }
+      }
+      std::istringstream words(body);
+      std::vector<std::string> group;
+      std::string word;
+      while (words >> word) group.push_back(ToLowerAscii(word));
+      if (group.size() < 2) return error("synonym group needs >= 2 words");
+      AddSynonymGroup(group, cost);
+    } else if (head == "acr") {
+      size_t eq = body.find('=');
+      if (eq == std::string::npos) return error("acronym line needs '='");
+      std::string acronym(TrimWhitespace(body.substr(0, eq)));
+      if (acronym.empty()) return error("empty acronym");
+      std::istringstream words{std::string(
+          TrimWhitespace(body.substr(eq + 1)))};
+      std::vector<std::string> expansion;
+      std::string word;
+      while (words >> word) expansion.push_back(ToLowerAscii(word));
+      if (expansion.empty()) return error("empty expansion");
+      AddAcronym(acronym, expansion);
+    } else {
+      return error("unknown entry kind \"" + head + "\"");
+    }
+  }
+  return Status::OK();
+}
+
+Status Lexicon::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  for (const auto& group : groups_) {
+    if (group.empty()) continue;
+    out << "syn " << group.front().cost << ":";
+    for (const auto& syn : group) out << " " << syn.word;
+    out << "\n";
+  }
+  for (const auto& [acronym, expansion] : acronyms_) {
+    out << "acr: " << acronym << " = " << JoinStrings(expansion, " ")
+        << "\n";
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace xrefine::text

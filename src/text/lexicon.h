@@ -1,0 +1,75 @@
+// Semantic lexicon: synonym groups and acronym expansions, standing in for
+// the WordNet lookups the paper uses to build synonym-substitution and
+// acronym-expansion rules (Section III-B, rules r3 and r6).
+#ifndef XREFINE_TEXT_LEXICON_H_
+#define XREFINE_TEXT_LEXICON_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace xrefine::text {
+
+/// A synonym entry: a substitutable word plus the dissimilarity cost the
+/// rule derived from it should carry (the paper uses the lexical database's
+/// similarity score; our built-in groups carry cost 1).
+struct Synonym {
+  std::string word;
+  double cost = 1.0;
+};
+
+class Lexicon {
+ public:
+  Lexicon() = default;
+
+  /// A lexicon preloaded with bibliography/CS-domain synonym groups and
+  /// acronyms matching the paper's examples (publication ~ article ~
+  /// inproceedings ~ proceedings, "www" -> "world wide web", ...).
+  static Lexicon BuiltIn();
+
+  /// Registers a mutual synonym group: every member substitutes for every
+  /// other at `cost`.
+  void AddSynonymGroup(const std::vector<std::string>& words,
+                       double cost = 1.0);
+
+  /// Registers an acronym and its expansion ("www" -> {world, wide, web}).
+  /// Both directions become refinement rules.
+  void AddAcronym(std::string_view acronym,
+                  const std::vector<std::string>& expansion);
+
+  /// Synonyms of `word` (excluding itself); empty when unknown.
+  std::vector<Synonym> SynonymsOf(std::string_view word) const;
+
+  /// Expansion of `acronym`; empty when unknown.
+  const std::vector<std::string>* ExpansionOf(std::string_view acronym) const;
+
+  /// Acronyms whose expansion equals `words` (exact multiword match).
+  std::vector<std::string> AcronymsFor(
+      const std::vector<std::string>& words) const;
+
+  size_t synonym_group_count() const { return groups_.size(); }
+  size_t acronym_count() const { return acronyms_.size(); }
+
+  /// Appends entries from a lexicon file. Format, one entry per line:
+  ///   syn[ <cost>]: word word word     # mutual synonym group
+  ///   acr: acronym = word word word    # acronym expansion
+  /// '#' starts a comment; blank lines are ignored.
+  Status LoadFromFile(const std::string& path);
+
+  /// Writes all entries in the LoadFromFile format.
+  Status SaveToFile(const std::string& path) const;
+
+ private:
+  std::vector<std::vector<Synonym>> groups_;
+  std::unordered_map<std::string, std::vector<size_t>> word_to_groups_;
+  std::unordered_map<std::string, std::vector<std::string>> acronyms_;
+  std::unordered_map<std::string, std::vector<std::string>>
+      expansion_to_acronyms_;  // key: words joined with ' '
+};
+
+}  // namespace xrefine::text
+
+#endif  // XREFINE_TEXT_LEXICON_H_

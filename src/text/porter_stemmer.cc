@@ -1,0 +1,307 @@
+#include "text/porter_stemmer.h"
+
+#include <cstddef>
+
+namespace xrefine::text {
+
+namespace {
+
+// Working buffer for one word; implements the five Porter steps. Follows
+// the structure of Porter's reference implementation: k_ is the index of
+// the last character, j_ the index of the last character of the candidate
+// stem (may be -1 when the suffix is the whole word).
+class Stemmer {
+ public:
+  explicit Stemmer(std::string_view word)
+      : b_(word), k_(static_cast<long>(word.size()) - 1) {}
+
+  std::string Run() {
+    if (k_ <= 1) return b_;
+    Step1ab();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    return b_.substr(0, static_cast<size_t>(k_ + 1));
+  }
+
+ private:
+  bool Cons(long i) const {
+    switch (b_[static_cast<size_t>(i)]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !Cons(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Number of VC sequences in the stem b_[0..j].
+  int Measure(long j) const {
+    int n = 0;
+    long i = 0;
+    while (true) {
+      if (i > j) return n;
+      if (!Cons(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j) return n;
+        if (Cons(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j) return n;
+        if (!Cons(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  bool VowelInStem(long j) const {
+    for (long i = 0; i <= j; ++i) {
+      if (!Cons(i)) return true;
+    }
+    return false;
+  }
+
+  // True iff b_[i-1..i] is a double consonant.
+  bool DoubleCons(long i) const {
+    if (i < 1) return false;
+    if (b_[static_cast<size_t>(i)] != b_[static_cast<size_t>(i - 1)]) {
+      return false;
+    }
+    return Cons(i);
+  }
+
+  // consonant-vowel-consonant ending at i, final consonant not w/x/y.
+  bool CvC(long i) const {
+    if (i < 2 || !Cons(i) || Cons(i - 1) || !Cons(i - 2)) return false;
+    char ch = b_[static_cast<size_t>(i)];
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  bool Ends(std::string_view s) {
+    long len = static_cast<long>(s.size());
+    if (len > k_ + 1) return false;
+    if (b_.compare(static_cast<size_t>(k_ + 1 - len), s.size(), s) != 0) {
+      return false;
+    }
+    j_ = k_ - len;
+    return true;
+  }
+
+  // Replaces the current suffix (b_[j_+1..k_]) with `s`.
+  void SetTo(std::string_view s) {
+    b_ = b_.substr(0, static_cast<size_t>(j_ + 1)) + std::string(s);
+    k_ = static_cast<long>(b_.size()) - 1;
+  }
+
+  void ReplaceIfM0(std::string_view s) {
+    if (Measure(j_) > 0) SetTo(s);
+  }
+
+  void Truncate(long new_k) {
+    k_ = new_k;
+    b_ = b_.substr(0, static_cast<size_t>(k_ + 1));
+  }
+
+  // Step 1ab: plurals and -ed / -ing.
+  void Step1ab() {
+    if (b_[static_cast<size_t>(k_)] == 's') {
+      if (Ends("sses")) {
+        Truncate(k_ - 2);
+      } else if (Ends("ies")) {
+        SetTo("i");
+      } else if (k_ >= 1 && b_[static_cast<size_t>(k_ - 1)] != 's') {
+        Truncate(k_ - 1);
+      }
+    }
+    if (Ends("eed")) {
+      if (Measure(j_) > 0) Truncate(k_ - 1);
+    } else if ((Ends("ed") || Ends("ing")) && VowelInStem(j_)) {
+      Truncate(j_);
+      if (Ends("at")) {
+        SetTo("ate");
+      } else if (Ends("bl")) {
+        SetTo("ble");
+      } else if (Ends("iz")) {
+        SetTo("ize");
+      } else if (DoubleCons(k_)) {
+        char ch = b_[static_cast<size_t>(k_)];
+        if (ch != 'l' && ch != 's' && ch != 'z') Truncate(k_ - 1);
+      } else if (Measure(k_) == 1 && CvC(k_)) {
+        j_ = k_;
+        SetTo("e");
+      }
+    }
+  }
+
+  // Step 1c: terminal y -> i when there is another vowel in the stem.
+  void Step1c() {
+    if (Ends("y") && VowelInStem(j_)) {
+      b_[static_cast<size_t>(k_)] = 'i';
+    }
+  }
+
+  // Step 2: double-suffix reduction (-ational -> -ate etc.).
+  void Step2() {
+    if (k_ < 1) return;
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (Ends("ational")) { ReplaceIfM0("ate"); break; }
+        if (Ends("tional")) { ReplaceIfM0("tion"); break; }
+        break;
+      case 'c':
+        if (Ends("enci")) { ReplaceIfM0("ence"); break; }
+        if (Ends("anci")) { ReplaceIfM0("ance"); break; }
+        break;
+      case 'e':
+        if (Ends("izer")) { ReplaceIfM0("ize"); break; }
+        break;
+      case 'l':
+        if (Ends("bli")) { ReplaceIfM0("ble"); break; }
+        if (Ends("alli")) { ReplaceIfM0("al"); break; }
+        if (Ends("entli")) { ReplaceIfM0("ent"); break; }
+        if (Ends("eli")) { ReplaceIfM0("e"); break; }
+        if (Ends("ousli")) { ReplaceIfM0("ous"); break; }
+        break;
+      case 'o':
+        if (Ends("ization")) { ReplaceIfM0("ize"); break; }
+        if (Ends("ation")) { ReplaceIfM0("ate"); break; }
+        if (Ends("ator")) { ReplaceIfM0("ate"); break; }
+        break;
+      case 's':
+        if (Ends("alism")) { ReplaceIfM0("al"); break; }
+        if (Ends("iveness")) { ReplaceIfM0("ive"); break; }
+        if (Ends("fulness")) { ReplaceIfM0("ful"); break; }
+        if (Ends("ousness")) { ReplaceIfM0("ous"); break; }
+        break;
+      case 't':
+        if (Ends("aliti")) { ReplaceIfM0("al"); break; }
+        if (Ends("iviti")) { ReplaceIfM0("ive"); break; }
+        if (Ends("biliti")) { ReplaceIfM0("ble"); break; }
+        break;
+      case 'g':
+        if (Ends("logi")) { ReplaceIfM0("log"); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 3: -icate, -ative, ... reductions.
+  void Step3() {
+    switch (b_[static_cast<size_t>(k_)]) {
+      case 'e':
+        if (Ends("icate")) { ReplaceIfM0("ic"); break; }
+        if (Ends("ative")) { ReplaceIfM0(""); break; }
+        if (Ends("alize")) { ReplaceIfM0("al"); break; }
+        break;
+      case 'i':
+        if (Ends("iciti")) { ReplaceIfM0("ic"); break; }
+        break;
+      case 'l':
+        if (Ends("ical")) { ReplaceIfM0("ic"); break; }
+        if (Ends("ful")) { ReplaceIfM0(""); break; }
+        break;
+      case 's':
+        if (Ends("ness")) { ReplaceIfM0(""); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 4: strip -ant, -ence, ... when the measure exceeds 1.
+  void Step4() {
+    if (k_ < 1) return;
+    bool matched = false;
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        matched = Ends("al");
+        break;
+      case 'c':
+        matched = Ends("ance") || Ends("ence");
+        break;
+      case 'e':
+        matched = Ends("er");
+        break;
+      case 'i':
+        matched = Ends("ic");
+        break;
+      case 'l':
+        matched = Ends("able") || Ends("ible");
+        break;
+      case 'n':
+        matched = Ends("ant") || Ends("ement") || Ends("ment") || Ends("ent");
+        break;
+      case 'o':
+        if (Ends("ion")) {
+          matched = j_ >= 0 && (b_[static_cast<size_t>(j_)] == 's' ||
+                                b_[static_cast<size_t>(j_)] == 't');
+        } else {
+          matched = Ends("ou");
+        }
+        break;
+      case 's':
+        matched = Ends("ism");
+        break;
+      case 't':
+        matched = Ends("ate") || Ends("iti");
+        break;
+      case 'u':
+        matched = Ends("ous");
+        break;
+      case 'v':
+        matched = Ends("ive");
+        break;
+      case 'z':
+        matched = Ends("ize");
+        break;
+      default:
+        break;
+    }
+    if (matched && Measure(j_) > 1) Truncate(j_);
+  }
+
+  // Step 5: remove a final -e and reduce -ll.
+  void Step5() {
+    j_ = k_;
+    if (b_[static_cast<size_t>(k_)] == 'e') {
+      int a = Measure(k_);
+      if (a > 1 || (a == 1 && !CvC(k_ - 1))) Truncate(k_ - 1);
+    }
+    if (b_[static_cast<size_t>(k_)] == 'l' && DoubleCons(k_) &&
+        Measure(k_ - 1) > 1) {
+      Truncate(k_ - 1);
+    }
+  }
+
+  std::string b_;
+  long k_;
+  long j_ = 0;
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  return Stemmer(word).Run();
+}
+
+bool ShareStem(std::string_view a, std::string_view b) {
+  return a != b && PorterStem(a) == PorterStem(b);
+}
+
+}  // namespace xrefine::text

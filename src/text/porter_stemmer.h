@@ -1,0 +1,20 @@
+// Porter stemming algorithm (Porter, 1980), used to generate word-stemming
+// substitution rules (e.g. "match" <-> "matching", Q_X4 in the paper).
+#ifndef XREFINE_TEXT_PORTER_STEMMER_H_
+#define XREFINE_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace xrefine::text {
+
+/// Returns the Porter stem of a lowercase ASCII word. Words shorter than
+/// three characters are returned unchanged, per the original algorithm.
+std::string PorterStem(std::string_view word);
+
+/// True iff two words share a Porter stem (the stemming-rule predicate).
+bool ShareStem(std::string_view a, std::string_view b);
+
+}  // namespace xrefine::text
+
+#endif  // XREFINE_TEXT_PORTER_STEMMER_H_

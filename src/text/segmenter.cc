@@ -1,0 +1,41 @@
+#include "text/segmenter.h"
+
+#include <limits>
+
+namespace xrefine::text {
+
+std::vector<std::string> Segmenter::Segment(std::string_view token) const {
+  const size_t n = token.size();
+  if (n < 2 * min_piece_length_) return {};
+  if (InVocabulary(token)) return {};
+
+  // best[i]: fewest pieces covering token[0..i); prev[i]: start of the last
+  // piece in that solution.
+  constexpr int kInf = std::numeric_limits<int>::max() / 2;
+  std::vector<int> best(n + 1, kInf);
+  std::vector<size_t> prev(n + 1, 0);
+  best[0] = 0;
+  for (size_t i = min_piece_length_; i <= n; ++i) {
+    for (size_t j = (i >= 64 ? i - 64 : 0); j + min_piece_length_ <= i; ++j) {
+      if (best[j] >= kInf) continue;
+      if (vocabulary_.count(std::string(token.substr(j, i - j))) == 0) {
+        continue;
+      }
+      if (best[j] + 1 < best[i]) {
+        best[i] = best[j] + 1;
+        prev[i] = j;
+      }
+    }
+  }
+  if (best[n] >= kInf || best[n] < 2) return {};
+  std::vector<std::string> pieces;
+  size_t i = n;
+  while (i > 0) {
+    size_t j = prev[i];
+    pieces.insert(pieces.begin(), std::string(token.substr(j, i - j)));
+    i = j;
+  }
+  return pieces;
+}
+
+}  // namespace xrefine::text

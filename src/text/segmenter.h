@@ -1,0 +1,39 @@
+// Dictionary-driven word segmentation, the engine behind term-split rules:
+// a user who typed "skylinecomputation" meant {skyline, computation}
+// (paper Section III-B, rule r7 and query Q_X2).
+#ifndef XREFINE_TEXT_SEGMENTER_H_
+#define XREFINE_TEXT_SEGMENTER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace xrefine::text {
+
+/// Splits merged tokens against a vocabulary.
+class Segmenter {
+ public:
+  explicit Segmenter(std::unordered_set<std::string> vocabulary,
+                     size_t min_piece_length = 2)
+      : vocabulary_(std::move(vocabulary)),
+        min_piece_length_(min_piece_length) {}
+
+  /// Segments `token` into >= 2 vocabulary words using the fewest pieces
+  /// (dynamic program over split positions). Returns an empty vector when
+  /// no full segmentation exists. A token that is itself a vocabulary word
+  /// is NOT segmented (it needs no refinement).
+  std::vector<std::string> Segment(std::string_view token) const;
+
+  bool InVocabulary(std::string_view word) const {
+    return vocabulary_.count(std::string(word)) > 0;
+  }
+
+ private:
+  std::unordered_set<std::string> vocabulary_;
+  size_t min_piece_length_;
+};
+
+}  // namespace xrefine::text
+
+#endif  // XREFINE_TEXT_SEGMENTER_H_

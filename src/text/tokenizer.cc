@@ -1,0 +1,45 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace xrefine::text {
+
+namespace {
+bool IsTermChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+}  // namespace
+
+std::vector<std::string> Tokenize(std::string_view input) {
+  std::vector<std::string> terms;
+  std::string current;
+  for (char c : input) {
+    if (IsTermChar(c)) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      terms.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) terms.push_back(std::move(current));
+  return terms;
+}
+
+std::vector<std::string> TokenizeQuery(std::string_view query) {
+  return Tokenize(query);
+}
+
+std::string NormalizeTerm(std::string_view term) {
+  std::string out;
+  out.reserve(term.size());
+  for (char c : term) {
+    if (IsTermChar(c)) {
+      out.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  return out;
+}
+
+}  // namespace xrefine::text

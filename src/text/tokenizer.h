@@ -1,0 +1,26 @@
+// Keyword tokenisation: lowercased alphanumeric terms, the unit of matching
+// for both tag names and value terms (paper Section III).
+#ifndef XREFINE_TEXT_TOKENIZER_H_
+#define XREFINE_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xrefine::text {
+
+/// Splits `input` into lowercase terms on any non-alphanumeric character.
+/// Empty pieces are dropped; digits are kept (years like "2003" are
+/// first-class keywords in the paper's queries).
+std::vector<std::string> Tokenize(std::string_view input);
+
+/// Tokenises a user keyword query (identical rules; separate entry point so
+/// query-side policy can evolve independently of the indexing side).
+std::vector<std::string> TokenizeQuery(std::string_view query);
+
+/// Normalises a single term: lowercased, stripped of non-alphanumerics.
+std::string NormalizeTerm(std::string_view term);
+
+}  // namespace xrefine::text
+
+#endif  // XREFINE_TEXT_TOKENIZER_H_

@@ -1,0 +1,62 @@
+#include "workload/baseball_generator.h"
+
+#include <string>
+
+#include "common/random.h"
+#include "workload/vocabulary.h"
+
+namespace xrefine::workload {
+
+xml::Document GenerateBaseball(const BaseballOptions& options) {
+  Random rng(options.seed);
+  xml::Document doc;
+  xml::NodeId season = doc.CreateRoot("season");
+  xml::NodeId year = doc.AddChild(season, "year");
+  doc.AppendText(year, "1998");
+
+  for (size_t l = 0; l < options.num_leagues; ++l) {
+    xml::NodeId league = doc.AddChild(season, "league");
+    xml::NodeId lname = doc.AddChild(league, "name");
+    doc.AppendText(lname, l == 0 ? "national league" : "american league");
+    for (size_t d = 0; d < options.divisions_per_league; ++d) {
+      xml::NodeId division = doc.AddChild(league, "division");
+      xml::NodeId dname = doc.AddChild(division, "name");
+      doc.AppendText(dname, d == 0 ? "east" : (d == 1 ? "central" : "west"));
+      for (size_t t = 0; t < options.teams_per_division; ++t) {
+        xml::NodeId team = doc.AddChild(division, "team");
+        xml::NodeId city = doc.AddChild(team, "city");
+        doc.AppendText(city,
+                       TeamCities()[static_cast<size_t>(rng.Uniform(
+                           0, static_cast<int64_t>(TeamCities().size()) - 1))]);
+        xml::NodeId tname = doc.AddChild(team, "name");
+        doc.AppendText(tname,
+                       TeamNames()[static_cast<size_t>(rng.Uniform(
+                           0, static_cast<int64_t>(TeamNames().size()) - 1))]);
+        for (size_t p = 0; p < options.players_per_team; ++p) {
+          xml::NodeId player = doc.AddChild(team, "player");
+          xml::NodeId pname = doc.AddChild(player, "name");
+          doc.AppendText(
+              pname,
+              FirstNames()[static_cast<size_t>(rng.Uniform(
+                  0, static_cast<int64_t>(FirstNames().size()) - 1))] +
+                  " " +
+                  LastNames()[static_cast<size_t>(rng.Uniform(
+                      0, static_cast<int64_t>(LastNames().size()) - 1))]);
+          xml::NodeId position = doc.AddChild(player, "position");
+          doc.AppendText(position,
+                         Positions()[static_cast<size_t>(rng.Uniform(
+                             0, static_cast<int64_t>(Positions().size()) - 1))]);
+          xml::NodeId games = doc.AddChild(player, "games");
+          doc.AppendText(games, std::to_string(rng.Uniform(10, 162)));
+          xml::NodeId homeruns = doc.AddChild(player, "homeruns");
+          doc.AppendText(homeruns, std::to_string(rng.Uniform(0, 60)));
+          xml::NodeId average = doc.AddChild(player, "average");
+          doc.AppendText(average, "0." + std::to_string(rng.Uniform(180, 360)));
+        }
+      }
+    }
+  }
+  return doc;
+}
+
+}  // namespace xrefine::workload

@@ -1,0 +1,24 @@
+// Synthetic Baseball corpus mirroring the ibiblio baseball.xml used in the
+// paper's scalability experiments: a shallow, regular tree
+//   season / league / division / team / player(name, position, stats...)
+// that contrasts with the deeper, skewed DBLP shape.
+#ifndef XREFINE_WORKLOAD_BASEBALL_GENERATOR_H_
+#define XREFINE_WORKLOAD_BASEBALL_GENERATOR_H_
+
+#include "xml/document.h"
+
+namespace xrefine::workload {
+
+struct BaseballOptions {
+  size_t num_leagues = 2;
+  size_t divisions_per_league = 3;
+  size_t teams_per_division = 5;
+  size_t players_per_team = 25;
+  uint64_t seed = 7;
+};
+
+xml::Document GenerateBaseball(const BaseballOptions& options = {});
+
+}  // namespace xrefine::workload
+
+#endif  // XREFINE_WORKLOAD_BASEBALL_GENERATOR_H_

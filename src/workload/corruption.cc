@@ -1,0 +1,291 @@
+#include "workload/corruption.h"
+
+#include <algorithm>
+
+#include "text/porter_stemmer.h"
+
+namespace xrefine::workload {
+
+std::string CorruptionKindName(CorruptionKind kind) {
+  switch (kind) {
+    case CorruptionKind::kTypo:
+      return "typo";
+    case CorruptionKind::kSpuriousSplit:
+      return "spurious-split";
+    case CorruptionKind::kSpuriousMerge:
+      return "spurious-merge";
+    case CorruptionKind::kSynonymMismatch:
+      return "synonym-mismatch";
+    case CorruptionKind::kAcronym:
+      return "acronym";
+    case CorruptionKind::kStemVariant:
+      return "stem-variant";
+    case CorruptionKind::kOverRestrict:
+      return "over-restrict";
+  }
+  return "?";
+}
+
+Corruptor::Corruptor(const index::InvertedIndex* index,
+                     const text::Lexicon* lexicon)
+    : index_(index), lexicon_(lexicon) {}
+
+bool Corruptor::Corrupt(const core::Query& intended, CorruptionKind kind,
+                        Random* rng, CorruptedQuery* out) const {
+  CorruptedQuery cq;
+  cq.intended = intended;
+  cq.corrupted = intended;
+  cq.kind = kind;
+  bool ok = false;
+  switch (kind) {
+    case CorruptionKind::kTypo:
+      ok = ApplyTypo(&cq, rng);
+      break;
+    case CorruptionKind::kSpuriousSplit:
+      ok = ApplySpuriousSplit(&cq, rng);
+      break;
+    case CorruptionKind::kSpuriousMerge:
+      ok = ApplySpuriousMerge(&cq, rng);
+      break;
+    case CorruptionKind::kSynonymMismatch:
+      ok = ApplySynonymMismatch(&cq, rng);
+      break;
+    case CorruptionKind::kAcronym:
+      ok = ApplyAcronym(&cq, rng);
+      break;
+    case CorruptionKind::kStemVariant:
+      ok = ApplyStemVariant(&cq, rng);
+      break;
+    case CorruptionKind::kOverRestrict:
+      ok = ApplyOverRestrict(&cq, rng);
+      break;
+  }
+  if (ok) *out = std::move(cq);
+  return ok;
+}
+
+bool Corruptor::CorruptAny(const core::Query& intended, Random* rng,
+                           CorruptedQuery* out) const {
+  std::vector<CorruptionKind> kinds = {
+      CorruptionKind::kTypo,          CorruptionKind::kSpuriousSplit,
+      CorruptionKind::kSpuriousMerge, CorruptionKind::kSynonymMismatch,
+      CorruptionKind::kAcronym,       CorruptionKind::kStemVariant,
+      CorruptionKind::kOverRestrict,
+  };
+  std::shuffle(kinds.begin(), kinds.end(), rng->engine());
+  for (CorruptionKind kind : kinds) {
+    if (Corrupt(intended, kind, rng, out)) return true;
+  }
+  return false;
+}
+
+bool Corruptor::ApplyTypo(CorruptedQuery* cq, Random* rng) const {
+  // Eligible terms: long enough that one edit stays recoverable.
+  std::vector<size_t> eligible;
+  for (size_t i = 0; i < cq->corrupted.size(); ++i) {
+    if (cq->corrupted[i].size() >= 4) eligible.push_back(i);
+  }
+  if (eligible.empty()) return false;
+  size_t target = eligible[static_cast<size_t>(
+      rng->Uniform(0, static_cast<int64_t>(eligible.size()) - 1))];
+  const std::string original = cq->corrupted[target];
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    std::string mutated = original;
+    size_t pos = static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(mutated.size()) - 1));
+    switch (rng->Uniform(0, 3)) {
+      case 0:  // substitute
+        mutated[pos] = static_cast<char>('a' + rng->Uniform(0, 25));
+        break;
+      case 1:  // delete
+        mutated.erase(pos, 1);
+        break;
+      case 2:  // insert
+        mutated.insert(pos, 1, static_cast<char>('a' + rng->Uniform(0, 25)));
+        break;
+      default:  // transpose
+        if (pos + 1 < mutated.size()) {
+          std::swap(mutated[pos], mutated[pos + 1]);
+        }
+        break;
+    }
+    if (mutated == original || index_->Contains(mutated)) continue;
+    cq->corrupted[target] = mutated;
+    cq->description =
+        "misspell \"" + original + "\" as \"" + mutated + "\"";
+    return true;
+  }
+  return false;
+}
+
+bool Corruptor::ApplySpuriousSplit(CorruptedQuery* cq, Random* rng) const {
+  std::vector<size_t> eligible;
+  for (size_t i = 0; i < cq->corrupted.size(); ++i) {
+    if (cq->corrupted[i].size() >= 5) eligible.push_back(i);
+  }
+  if (eligible.empty()) return false;
+  size_t target = eligible[static_cast<size_t>(
+      rng->Uniform(0, static_cast<int64_t>(eligible.size()) - 1))];
+  const std::string original = cq->corrupted[target];
+  size_t cut = static_cast<size_t>(
+      rng->Uniform(2, static_cast<int64_t>(original.size()) - 2));
+  std::string left = original.substr(0, cut);
+  std::string right = original.substr(cut);
+  cq->corrupted[target] = left;
+  cq->corrupted.insert(cq->corrupted.begin() +
+                           static_cast<ptrdiff_t>(target + 1),
+                       right);
+  cq->description = "split \"" + original + "\" into \"" + left + "\" \"" +
+                    right + "\" (engine should merge)";
+  return true;
+}
+
+bool Corruptor::ApplySpuriousMerge(CorruptedQuery* cq, Random* rng) const {
+  std::vector<size_t> eligible;
+  for (size_t i = 0; i + 1 < cq->corrupted.size(); ++i) {
+    const std::string& a = cq->corrupted[i];
+    const std::string& b = cq->corrupted[i + 1];
+    if (a.size() < 2 || b.size() < 2) continue;
+    if (index_->Contains(a + b)) continue;  // must not be a real word
+    eligible.push_back(i);
+  }
+  if (eligible.empty()) return false;
+  size_t target = eligible[static_cast<size_t>(
+      rng->Uniform(0, static_cast<int64_t>(eligible.size()) - 1))];
+  std::string a = cq->corrupted[target];
+  std::string b = cq->corrupted[target + 1];
+  cq->corrupted[target] = a + b;
+  cq->corrupted.erase(cq->corrupted.begin() +
+                      static_cast<ptrdiff_t>(target + 1));
+  cq->description = "merge \"" + a + "\" \"" + b + "\" into \"" + a + b +
+                    "\" (engine should split)";
+  return true;
+}
+
+bool Corruptor::ApplySynonymMismatch(CorruptedQuery* cq, Random* rng) const {
+  std::vector<std::pair<size_t, std::string>> eligible;
+  for (size_t i = 0; i < cq->corrupted.size(); ++i) {
+    for (const text::Synonym& syn : lexicon_->SynonymsOf(cq->corrupted[i])) {
+      // Prefer a synonym absent from the corpus so the corrupted query is
+      // guaranteed to need refinement.
+      if (!index_->Contains(syn.word)) {
+        eligible.emplace_back(i, syn.word);
+      }
+    }
+  }
+  if (eligible.empty()) {
+    for (size_t i = 0; i < cq->corrupted.size(); ++i) {
+      for (const text::Synonym& syn :
+           lexicon_->SynonymsOf(cq->corrupted[i])) {
+        eligible.emplace_back(i, syn.word);
+      }
+    }
+  }
+  if (eligible.empty()) return false;
+  auto& [target, replacement] = eligible[static_cast<size_t>(
+      rng->Uniform(0, static_cast<int64_t>(eligible.size()) - 1))];
+  std::string original = cq->corrupted[target];
+  cq->corrupted[target] = replacement;
+  cq->description =
+      "replace \"" + original + "\" with synonym \"" + replacement + "\"";
+  return true;
+}
+
+bool Corruptor::ApplyAcronym(CorruptedQuery* cq, Random* rng) const {
+  // Direction 1: replace a known expansion run with its acronym.
+  for (size_t i = 0; i < cq->corrupted.size(); ++i) {
+    for (size_t len = 2; len <= 4 && i + len <= cq->corrupted.size(); ++len) {
+      std::vector<std::string> run(
+          cq->corrupted.begin() + static_cast<ptrdiff_t>(i),
+          cq->corrupted.begin() + static_cast<ptrdiff_t>(i + len));
+      std::vector<std::string> acronyms = lexicon_->AcronymsFor(run);
+      if (acronyms.empty()) continue;
+      const std::string& acronym = acronyms[static_cast<size_t>(
+          rng->Uniform(0, static_cast<int64_t>(acronyms.size()) - 1))];
+      cq->corrupted.erase(
+          cq->corrupted.begin() + static_cast<ptrdiff_t>(i),
+          cq->corrupted.begin() + static_cast<ptrdiff_t>(i + len));
+      cq->corrupted.insert(cq->corrupted.begin() + static_cast<ptrdiff_t>(i),
+                           acronym);
+      cq->description = "abbreviate expansion to \"" + acronym + "\"";
+      return true;
+    }
+  }
+  // Direction 2: replace an acronym term with its expansion.
+  for (size_t i = 0; i < cq->corrupted.size(); ++i) {
+    const auto* expansion = lexicon_->ExpansionOf(cq->corrupted[i]);
+    if (expansion == nullptr) continue;
+    std::string original = cq->corrupted[i];
+    cq->corrupted.erase(cq->corrupted.begin() + static_cast<ptrdiff_t>(i));
+    cq->corrupted.insert(cq->corrupted.begin() + static_cast<ptrdiff_t>(i),
+                         expansion->begin(), expansion->end());
+    cq->description = "expand acronym \"" + original + "\"";
+    return true;
+  }
+  return false;
+}
+
+bool Corruptor::ApplyStemVariant(CorruptedQuery* cq, Random* rng) const {
+  std::vector<std::pair<size_t, std::string>> eligible;
+  for (size_t i = 0; i < cq->corrupted.size(); ++i) {
+    const std::string& t = cq->corrupted[i];
+    if (t.size() < 4) continue;
+    std::vector<std::string> variants;
+    if (t.size() > 4 && t.substr(t.size() - 3) == "ing") {
+      variants.push_back(t.substr(0, t.size() - 3));
+    }
+    if (t.back() == 's') {
+      variants.push_back(t.substr(0, t.size() - 1));
+    } else {
+      variants.push_back(t + "s");
+    }
+    if (t.substr(t.size() - 3) != "ing") {
+      std::string ing = t;
+      if (!ing.empty() && ing.back() == 'e') ing.pop_back();
+      variants.push_back(ing + "ing");
+    }
+    for (const std::string& v : variants) {
+      if (v.size() < 3 || v == t) continue;
+      if (!text::ShareStem(t, v)) continue;
+      if (index_->Contains(v)) continue;  // still answerable: skip
+      eligible.emplace_back(i, v);
+    }
+  }
+  if (eligible.empty()) return false;
+  auto& [target, replacement] = eligible[static_cast<size_t>(
+      rng->Uniform(0, static_cast<int64_t>(eligible.size()) - 1))];
+  std::string original = cq->corrupted[target];
+  cq->corrupted[target] = replacement;
+  cq->description = "replace \"" + original + "\" with stem variant \"" +
+                    replacement + "\"";
+  return true;
+}
+
+bool Corruptor::ApplyOverRestrict(CorruptedQuery* cq, Random* rng) const {
+  // Append a rare corpus term: the conjunction is very unlikely to have a
+  // meaningful match, so deletion is the expected fix (Table III).
+  std::vector<std::string> vocab = index_->Vocabulary();
+  if (vocab.empty()) return false;
+  std::string pick;
+  size_t best_freq = SIZE_MAX;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const std::string& candidate = vocab[static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(vocab.size()) - 1))];
+    if (std::find(cq->corrupted.begin(), cq->corrupted.end(), candidate) !=
+        cq->corrupted.end()) {
+      continue;
+    }
+    size_t freq = index_->ListSize(candidate);
+    if (freq < best_freq) {
+      best_freq = freq;
+      pick = candidate;
+    }
+  }
+  if (pick.empty()) return false;
+  cq->corrupted.push_back(pick);
+  cq->description = "added restrictive term \"" + pick +
+                    "\" (engine should delete a term)";
+  return true;
+}
+
+}  // namespace xrefine::workload

@@ -1,0 +1,68 @@
+// Query corruption: turns an intended query (known to have results) into
+// the kind of imperfect query the paper's pool contains — typos, spurious
+// splits/merges, synonym mismatches, acronym confusion, stem variants, and
+// over-restriction. The corruption record is the ground truth the oracle
+// judge scores refinements against.
+#ifndef XREFINE_WORKLOAD_CORRUPTION_H_
+#define XREFINE_WORKLOAD_CORRUPTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/refined_query.h"
+#include "index/inverted_index.h"
+#include "text/lexicon.h"
+
+namespace xrefine::workload {
+
+enum class CorruptionKind {
+  kTypo,            // spelling error -> engine must substitute (Table VI)
+  kSpuriousSplit,   // "online" -> {on, line} -> engine must merge (Table IV)
+  kSpuriousMerge,   // {skyline, computation} -> "skylinecomputation"
+                    //                         -> engine must split (Table V)
+  kSynonymMismatch, // corpus term replaced by an out-of-corpus synonym
+  kAcronym,         // expansion replaced by acronym (or vice versa)
+  kStemVariant,     // term replaced by an out-of-corpus stem variant
+  kOverRestrict,    // an extra non-co-occurring term -> deletion (Table III)
+};
+
+std::string CorruptionKindName(CorruptionKind kind);
+
+struct CorruptedQuery {
+  core::Query intended;
+  core::Query corrupted;
+  CorruptionKind kind = CorruptionKind::kTypo;
+  std::string description;  // human-readable "suggested replacement"
+};
+
+class Corruptor {
+ public:
+  /// `index` (corpus vocabulary) and `lexicon` must outlive the corruptor.
+  Corruptor(const index::InvertedIndex* index, const text::Lexicon* lexicon);
+
+  /// Applies `kind` to `intended`; returns false when the query offers no
+  /// applicable site (e.g. no term splittable for kSpuriousSplit).
+  bool Corrupt(const core::Query& intended, CorruptionKind kind, Random* rng,
+               CorruptedQuery* out) const;
+
+  /// Tries kinds in random order until one applies.
+  bool CorruptAny(const core::Query& intended, Random* rng,
+                  CorruptedQuery* out) const;
+
+ private:
+  bool ApplyTypo(CorruptedQuery* cq, Random* rng) const;
+  bool ApplySpuriousSplit(CorruptedQuery* cq, Random* rng) const;
+  bool ApplySpuriousMerge(CorruptedQuery* cq, Random* rng) const;
+  bool ApplySynonymMismatch(CorruptedQuery* cq, Random* rng) const;
+  bool ApplyAcronym(CorruptedQuery* cq, Random* rng) const;
+  bool ApplyStemVariant(CorruptedQuery* cq, Random* rng) const;
+  bool ApplyOverRestrict(CorruptedQuery* cq, Random* rng) const;
+
+  const index::InvertedIndex* index_;
+  const text::Lexicon* lexicon_;
+};
+
+}  // namespace xrefine::workload
+
+#endif  // XREFINE_WORKLOAD_CORRUPTION_H_

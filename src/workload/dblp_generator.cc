@@ -1,0 +1,105 @@
+#include "workload/dblp_generator.h"
+
+#include <string>
+
+#include "common/random.h"
+#include "workload/vocabulary.h"
+
+namespace xrefine::workload {
+
+xml::Document GenerateDblp(const DblpOptions& options) {
+  Random rng(options.seed);
+  ZipfSampler term_sampler(TitleTerms().size(), options.zipf_skew,
+                           options.seed ^ 0x5eed);
+
+  xml::Document doc;
+  xml::NodeId root = doc.CreateRoot("bib");
+
+  for (size_t a = 0; a < options.num_authors; ++a) {
+    xml::NodeId author = doc.AddChild(root, "author");
+    xml::NodeId name = doc.AddChild(author, "name");
+    const std::string& first =
+        FirstNames()[static_cast<size_t>(rng.Uniform(
+            0, static_cast<int64_t>(FirstNames().size()) - 1))];
+    const std::string& last =
+        LastNames()[static_cast<size_t>(rng.Uniform(
+            0, static_cast<int64_t>(LastNames().size()) - 1))];
+    doc.AppendText(name, first + " " + last);
+
+    xml::NodeId affiliation = doc.AddChild(author, "affiliation");
+    doc.AppendText(affiliation,
+                   TeamCities()[static_cast<size_t>(rng.Uniform(
+                       0, static_cast<int64_t>(TeamCities().size()) - 1))] +
+                       " university");
+
+    xml::NodeId pubs = doc.AddChild(author, "publications");
+    size_t n_pubs = static_cast<size_t>(rng.Uniform(
+        static_cast<int64_t>(options.min_publications_per_author),
+        static_cast<int64_t>(options.max_publications_per_author)));
+    for (size_t p = 0; p < n_pubs; ++p) {
+      bool conference = rng.OneIn(0.7);
+      xml::NodeId pub =
+          doc.AddChild(pubs, conference ? "inproceedings" : "article");
+
+      xml::NodeId title = doc.AddChild(pub, "title");
+      std::string title_text;
+      size_t n_terms = static_cast<size_t>(
+          rng.Uniform(static_cast<int64_t>(options.min_title_terms),
+                      static_cast<int64_t>(options.max_title_terms)));
+      size_t emitted = 0;
+      if (rng.OneIn(options.phrase_probability)) {
+        const auto& phrase =
+            TitlePhrases()[static_cast<size_t>(rng.Uniform(
+                0, static_cast<int64_t>(TitlePhrases().size()) - 1))];
+        for (const std::string& w : phrase) {
+          if (!title_text.empty()) title_text += ' ';
+          title_text += w;
+          ++emitted;
+        }
+      }
+      while (emitted < n_terms) {
+        if (!title_text.empty()) title_text += ' ';
+        title_text += TitleTerms()[term_sampler.Next()];
+        ++emitted;
+      }
+      doc.AppendText(title, title_text);
+
+      xml::NodeId year = doc.AddChild(pub, "year");
+      doc.AppendText(year, std::to_string(rng.Uniform(options.min_year,
+                                                      options.max_year)));
+
+      xml::NodeId venue =
+          doc.AddChild(pub, conference ? "booktitle" : "journal");
+      doc.AppendText(venue,
+                     Venues()[static_cast<size_t>(rng.Uniform(
+                         0, static_cast<int64_t>(Venues().size()) - 1))]);
+
+      xml::NodeId pages = doc.AddChild(pub, "pages");
+      int64_t start = rng.Uniform(1, 400);
+      doc.AppendText(pages, std::to_string(start) + " " +
+                                std::to_string(start + rng.Uniform(5, 20)));
+
+      size_t n_coauthors = static_cast<size_t>(rng.Uniform(0, 2));
+      for (size_t c = 0; c < n_coauthors; ++c) {
+        xml::NodeId coauthor = doc.AddChild(pub, "coauthor");
+        doc.AppendText(
+            coauthor,
+            FirstNames()[static_cast<size_t>(rng.Uniform(
+                0, static_cast<int64_t>(FirstNames().size()) - 1))] +
+                " " +
+                LastNames()[static_cast<size_t>(rng.Uniform(
+                    0, static_cast<int64_t>(LastNames().size()) - 1))]);
+      }
+    }
+
+    // A small fraction of authors carry a hobby element, mirroring the
+    // heterogeneity of the paper's Figure 1.
+    if (rng.OneIn(0.1)) {
+      xml::NodeId hobby = doc.AddChild(author, "hobby");
+      doc.AppendText(hobby, rng.OneIn(0.5) ? "tennis" : "swimming");
+    }
+  }
+  return doc;
+}
+
+}  // namespace xrefine::workload

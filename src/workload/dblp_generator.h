@@ -1,0 +1,40 @@
+// Synthetic bibliography generator standing in for the 420 MB DBLP snapshot
+// of the paper's experiments. The tree follows the paper's Figure 1:
+//
+//   bib
+//    +- author*                 (document partitions, Definition 6.1)
+//        +- name
+//        +- affiliation
+//        +- publications
+//            +- inproceedings | article *
+//                +- title, year, booktitle|journal, pages, coauthor*
+//
+// Title terms are drawn Zipfian from the built-in vocabulary, with whole
+// phrases injected so acronym/merge rules and the dependence score have
+// realistic targets. Deterministic for a fixed seed.
+#ifndef XREFINE_WORKLOAD_DBLP_GENERATOR_H_
+#define XREFINE_WORKLOAD_DBLP_GENERATOR_H_
+
+#include "xml/document.h"
+
+namespace xrefine::workload {
+
+struct DblpOptions {
+  size_t num_authors = 200;
+  size_t min_publications_per_author = 2;
+  size_t max_publications_per_author = 8;
+  size_t min_title_terms = 3;
+  size_t max_title_terms = 8;
+  /// Probability that a title embeds one of the known multi-word phrases.
+  double phrase_probability = 0.35;
+  double zipf_skew = 0.9;
+  int min_year = 1990;
+  int max_year = 2007;
+  uint64_t seed = 42;
+};
+
+xml::Document GenerateDblp(const DblpOptions& options = {});
+
+}  // namespace xrefine::workload
+
+#endif  // XREFINE_WORKLOAD_DBLP_GENERATOR_H_

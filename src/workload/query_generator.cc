@@ -1,0 +1,82 @@
+#include "workload/query_generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+
+namespace xrefine::workload {
+
+QueryGenerator::QueryGenerator(const xml::Document* doc,
+                               const index::IndexedCorpus* corpus,
+                               const Corruptor* corruptor,
+                               QueryGeneratorOptions options)
+    : doc_(doc),
+      corpus_(corpus),
+      corruptor_(corruptor),
+      options_(std::move(options)),
+      rng_(options_.seed) {
+  for (xml::NodeId id = 0; id < doc_->NodeCount(); ++id) {
+    if (doc_->tag(id) == options_.target_tag) targets_.push_back(id);
+  }
+  (void)corpus_;
+}
+
+core::Query QueryGenerator::SampleIntended() {
+  core::Query q;
+  if (targets_.empty()) return q;
+  for (int attempt = 0; attempt < 16 && q.empty(); ++attempt) {
+    xml::NodeId target = targets_[static_cast<size_t>(
+        rng_.Uniform(0, static_cast<int64_t>(targets_.size()) - 1))];
+    std::vector<std::string> terms =
+        text::Tokenize(doc_->SubtreeText(target));
+    // Distinct terms, preferring longer ones (they carry the semantics the
+    // corruptions target).
+    std::unordered_set<std::string> seen;
+    std::vector<std::string> distinct;
+    for (const auto& t : terms) {
+      if (t.size() >= 3 && seen.insert(t).second) distinct.push_back(t);
+    }
+    if (distinct.size() < options_.min_terms) continue;
+    std::shuffle(distinct.begin(), distinct.end(), rng_.engine());
+    size_t n = static_cast<size_t>(
+        rng_.Uniform(static_cast<int64_t>(options_.min_terms),
+                     static_cast<int64_t>(options_.max_terms)));
+    n = std::min(n, distinct.size());
+    q.assign(distinct.begin(), distinct.begin() + static_cast<ptrdiff_t>(n));
+  }
+  return q;
+}
+
+std::optional<CorruptedQuery> QueryGenerator::Generate(CorruptionKind kind) {
+  for (int attempt = 0; attempt < 24; ++attempt) {
+    core::Query intended = SampleIntended();
+    if (intended.empty()) return std::nullopt;
+    CorruptedQuery cq;
+    if (corruptor_->Corrupt(intended, kind, &rng_, &cq)) return cq;
+  }
+  return std::nullopt;
+}
+
+std::optional<CorruptedQuery> QueryGenerator::GenerateAny() {
+  for (int attempt = 0; attempt < 24; ++attempt) {
+    core::Query intended = SampleIntended();
+    if (intended.empty()) return std::nullopt;
+    CorruptedQuery cq;
+    if (corruptor_->CorruptAny(intended, &rng_, &cq)) return cq;
+  }
+  return std::nullopt;
+}
+
+std::vector<CorruptedQuery> QueryGenerator::GeneratePool(size_t n) {
+  std::vector<CorruptedQuery> pool;
+  pool.reserve(n);
+  while (pool.size() < n) {
+    auto cq = GenerateAny();
+    if (!cq.has_value()) break;
+    pool.push_back(std::move(*cq));
+  }
+  return pool;
+}
+
+}  // namespace xrefine::workload

@@ -1,0 +1,59 @@
+// Builds the experiment query pool: intended queries sampled from real
+// subtree content (so they are guaranteed answerable), then corrupted with
+// a recorded ground-truth fix — the machine-checkable analogue of the
+// paper's 219 human-refined log queries (Section VIII).
+#ifndef XREFINE_WORKLOAD_QUERY_GENERATOR_H_
+#define XREFINE_WORKLOAD_QUERY_GENERATOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/random.h"
+#include "index/index_builder.h"
+#include "workload/corruption.h"
+#include "xml/document.h"
+
+namespace xrefine::workload {
+
+struct QueryGeneratorOptions {
+  /// Tag of the subtrees intended queries are sampled from (the expected
+  /// search-for node), e.g. "inproceedings" for DBLP, "player" for
+  /// Baseball.
+  std::string target_tag = "inproceedings";
+  size_t min_terms = 2;
+  size_t max_terms = 4;
+  uint64_t seed = 123;
+};
+
+class QueryGenerator {
+ public:
+  /// `doc`, `corpus` and `corruptor` must outlive the generator.
+  QueryGenerator(const xml::Document* doc,
+                 const index::IndexedCorpus* corpus,
+                 const Corruptor* corruptor, QueryGeneratorOptions options);
+
+  /// Samples one intended query from a random target subtree.
+  core::Query SampleIntended();
+
+  /// Samples an intended query and corrupts it with the given kind;
+  /// nullopt when no eligible site exists after several attempts.
+  std::optional<CorruptedQuery> Generate(CorruptionKind kind);
+
+  /// Samples an intended query and corrupts it with any applicable kind.
+  std::optional<CorruptedQuery> GenerateAny();
+
+  /// Builds a pool of `n` corrupted queries mixing all kinds.
+  std::vector<CorruptedQuery> GeneratePool(size_t n);
+
+ private:
+  const xml::Document* doc_;
+  const index::IndexedCorpus* corpus_;
+  const Corruptor* corruptor_;
+  QueryGeneratorOptions options_;
+  Random rng_;
+  std::vector<xml::NodeId> targets_;  // nodes with the target tag
+};
+
+}  // namespace xrefine::workload
+
+#endif  // XREFINE_WORKLOAD_QUERY_GENERATOR_H_

@@ -1,0 +1,132 @@
+#include "workload/vocabulary.h"
+
+namespace xrefine::workload {
+
+const std::vector<std::string>& TitleTerms() {
+  static const auto* kTerms = new std::vector<std::string>{
+      // Core database / IR terms, frequency-ordered so that Zipf sampling
+      // over the index makes the early ones very common.
+      "data", "query", "database", "system", "efficient", "search",
+      "xml", "keyword", "processing", "web", "model", "analysis",
+      "distributed", "management", "information", "retrieval", "mining",
+      "learning", "machine", "optimization", "index", "join", "stream",
+      "graph", "tree", "pattern", "twig", "matching", "evaluation",
+      "semantic", "schema", "integration", "storage", "memory", "cache",
+      "transaction", "concurrency", "recovery", "parallel", "cluster",
+      "network", "service", "dynamic", "adaptive", "scalable", "approximate",
+      "ranking", "relevance", "structure", "algorithm", "framework",
+      "language", "markup", "extensible", "world", "wide", "online",
+      "skyline", "computation", "aggregation", "sampling", "estimation",
+      "selectivity", "cardinality", "histogram", "wavelet", "compression",
+      "encoding", "labeling", "dewey", "ancestor", "holistic", "structural",
+      "probabilistic", "uncertain", "temporal", "spatial", "multimedia",
+      "warehouse", "olap", "cube", "view", "materialized", "maintenance",
+      "replication", "consistency", "availability", "partition", "shard",
+      "federated", "peer", "sensor", "mobile", "wireless", "embedded",
+      "security", "privacy", "encryption", "access", "control", "workflow",
+      "provenance", "lineage", "annotation", "curation", "cleaning",
+      "deduplication", "entity", "resolution", "linkage", "extraction",
+      "classification", "clustering", "regression", "prediction",
+      "recommendation", "collaborative", "filtering", "personalization",
+      "visualization", "interactive", "exploration", "summarization",
+      "top", "nearest", "neighbor", "similarity", "distance", "metric",
+      "dimensional", "reduction", "feature", "selection", "kernel",
+      "vector", "space", "text", "document", "corpus", "term", "phrase",
+      "synonym", "ontology", "taxonomy", "thesaurus", "wordnet",
+      "crawler", "page", "link", "rank", "authority", "hub", "social",
+      "community", "detection", "influence", "propagation", "diffusion",
+      "benchmark", "workload", "performance", "throughput", "latency",
+      "scalability", "experiment", "empirical", "study", "survey",
+      "novel", "effective", "practical", "robust", "incremental",
+      "continuous", "answering", "rewriting", "relaxation", "refinement",
+      "expansion", "correction", "suggestion", "completion", "cleaning",
+  };
+  return *kTerms;
+}
+
+const std::vector<std::vector<std::string>>& TitlePhrases() {
+  static const auto* kPhrases = new std::vector<std::vector<std::string>>{
+      {"world", "wide", "web"},
+      {"machine", "learning"},
+      {"data", "mining"},
+      {"information", "retrieval"},
+      {"keyword", "search"},
+      {"query", "processing"},
+      {"skyline", "computation"},
+      {"twig", "pattern", "matching"},
+      {"database", "management", "system"},
+      {"online", "aggregation"},
+      {"xml", "keyword", "search"},
+      {"query", "refinement"},
+      {"semantic", "web"},
+      {"top", "query", "evaluation"},
+      {"nearest", "neighbor", "search"},
+  };
+  return *kPhrases;
+}
+
+const std::vector<std::string>& FirstNames() {
+  static const auto* kNames = new std::vector<std::string>{
+      "john",   "wei",     "mary",   "david",  "jun",    "michael",
+      "li",     "sarah",   "james",  "yan",    "robert", "xin",
+      "linda",  "hao",     "peter",  "ming",   "anna",   "feng",
+      "thomas", "ying",    "daniel", "lei",    "laura",  "tao",
+      "kevin",  "jing",    "susan",  "yu",     "mark",   "hui",
+      "paul",   "xiaofeng", "emily", "zhifeng", "george", "jiaheng",
+      "alice",  "bin",     "henry",  "chen",   "grace",  "dong",
+      "frank",  "qing",    "helen",  "kai",    "oscar",  "rui",
+  };
+  return *kNames;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const auto* kNames = new std::vector<std::string>{
+      "smith",  "zhang", "johnson", "wang",  "brown",  "li",
+      "jones",  "liu",   "miller",  "chen",  "davis",  "yang",
+      "garcia", "huang", "wilson",  "zhao",  "moore",  "wu",
+      "taylor", "zhou",  "thomas",  "xu",    "white",  "sun",
+      "harris", "ma",    "martin",  "zhu",   "clark",  "hu",
+      "lewis",  "guo",   "walker",  "lin",   "hall",   "luo",
+      "young",  "gao",   "allen",   "zheng", "king",   "liang",
+      "ling",   "meng",  "bao",     "lu",    "tan",    "ooi",
+  };
+  return *kNames;
+}
+
+const std::vector<std::string>& Venues() {
+  static const auto* kVenues = new std::vector<std::string>{
+      "sigmod", "vldb", "icde", "edbt", "cikm", "kdd",
+      "www",    "sigir", "pods", "icdt", "dasfaa", "webdb",
+  };
+  return *kVenues;
+}
+
+const std::vector<std::string>& TeamCities() {
+  static const auto* kCities = new std::vector<std::string>{
+      "atlanta",   "boston",   "chicago",  "cleveland", "denver",
+      "detroit",   "houston",  "miami",    "milwaukee", "minnesota",
+      "oakland",   "seattle",  "texas",    "toronto",   "baltimore",
+      "cincinnati", "pittsburgh", "philadelphia",
+  };
+  return *kCities;
+}
+
+const std::vector<std::string>& TeamNames() {
+  static const auto* kNames = new std::vector<std::string>{
+      "braves",  "redsox",  "cubs",    "indians",  "rockies",
+      "tigers",  "astros",  "marlins", "brewers",  "twins",
+      "athletics", "mariners", "rangers", "bluejays", "orioles",
+      "reds",    "pirates", "phillies",
+  };
+  return *kNames;
+}
+
+const std::vector<std::string>& Positions() {
+  static const auto* kPositions = new std::vector<std::string>{
+      "pitcher",  "catcher",   "shortstop", "outfield",
+      "firstbase", "secondbase", "thirdbase", "designatedhitter",
+  };
+  return *kPositions;
+}
+
+}  // namespace xrefine::workload

@@ -1,0 +1,43 @@
+// Built-in vocabularies for the synthetic corpora: CS paper-title terms,
+// author names, venues, positions. The generators draw from these with
+// Zipfian skew so inverted-list lengths vary the way the paper's
+// experiments rely on (Section VI-C).
+#ifndef XREFINE_WORKLOAD_VOCABULARY_H_
+#define XREFINE_WORKLOAD_VOCABULARY_H_
+
+#include <string>
+#include <vector>
+
+namespace xrefine::workload {
+
+/// Paper-title terms (single lowercase words). Includes the merged forms
+/// ("online", "database", "keyword", ...) whose user-side splits the
+/// paper's merging rules repair, and the expansions behind the built-in
+/// acronyms ("world", "wide", "web", "machine", "learning", ...).
+const std::vector<std::string>& TitleTerms();
+
+/// Multi-word phrases injected verbatim into some titles so that acronym,
+/// merge and dependence statistics have realistic co-occurrence structure.
+const std::vector<std::vector<std::string>>& TitlePhrases();
+
+/// Author first names.
+const std::vector<std::string>& FirstNames();
+
+/// Author last names.
+const std::vector<std::string>& LastNames();
+
+/// Conference/journal names.
+const std::vector<std::string>& Venues();
+
+/// Baseball team city names.
+const std::vector<std::string>& TeamCities();
+
+/// Baseball team nicknames.
+const std::vector<std::string>& TeamNames();
+
+/// Baseball player positions.
+const std::vector<std::string>& Positions();
+
+}  // namespace xrefine::workload
+
+#endif  // XREFINE_WORKLOAD_VOCABULARY_H_

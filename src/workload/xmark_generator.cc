@@ -1,0 +1,121 @@
+#include "workload/xmark_generator.h"
+
+#include <string>
+
+#include "common/random.h"
+#include "workload/vocabulary.h"
+
+namespace xrefine::workload {
+
+namespace {
+
+const std::vector<std::string>& ItemNouns() {
+  static const auto* kNouns = new std::vector<std::string>{
+      "guitar",  "camera",   "bicycle", "laptop",  "watch",  "painting",
+      "table",   "lamp",     "stamp",   "coin",    "book",   "vase",
+      "carpet",  "necklace", "piano",   "printer", "statue", "telescope",
+      "clock",   "mirror",
+  };
+  return *kNouns;
+}
+
+const std::vector<std::string>& Adjectives() {
+  static const auto* kAdjectives = new std::vector<std::string>{
+      "antique", "vintage", "rare",   "modern", "classic", "portable",
+      "golden",  "silver",  "wooden", "large",  "compact", "restored",
+  };
+  return *kAdjectives;
+}
+
+template <typename V>
+const std::string& PickFrom(const V& v, Random* rng) {
+  return v[static_cast<size_t>(
+      rng->Uniform(0, static_cast<int64_t>(v.size()) - 1))];
+}
+
+}  // namespace
+
+xml::Document GenerateXmark(const XmarkOptions& options) {
+  Random rng(options.seed);
+  xml::Document doc;
+  xml::NodeId site = doc.CreateRoot("site");
+
+  // regions / region / item.
+  xml::NodeId regions = doc.AddChild(site, "regions");
+  std::vector<std::string> item_names;
+  for (size_t r = 0; r < options.num_regions; ++r) {
+    xml::NodeId region = doc.AddChild(regions, "region");
+    xml::NodeId rname = doc.AddChild(region, "name");
+    static const char* kRegionNames[] = {"africa", "asia", "australia",
+                                         "europe", "namerica", "samerica"};
+    doc.AppendText(rname, kRegionNames[r % 6]);
+    for (size_t i = 0; i < options.items_per_region; ++i) {
+      xml::NodeId item = doc.AddChild(region, "item");
+      std::string item_name = PickFrom(Adjectives(), &rng) + " " +
+                              PickFrom(ItemNouns(), &rng);
+      item_names.push_back(item_name);
+      doc.AppendText(doc.AddChild(item, "name"), item_name);
+      xml::NodeId description = doc.AddChild(item, "description");
+      std::string text = PickFrom(Adjectives(), &rng);
+      for (int w = 0; w < 4; ++w) {
+        text += " " + PickFrom(TitleTerms(), &rng);
+      }
+      doc.AppendText(description, text);
+      doc.AppendText(doc.AddChild(item, "payment"),
+                     rng.OneIn(0.5) ? "creditcard" : "cash");
+      doc.AppendText(doc.AddChild(item, "quantity"),
+                     std::to_string(rng.Uniform(1, 5)));
+    }
+  }
+
+  // people / person.
+  xml::NodeId people = doc.AddChild(site, "people");
+  std::vector<std::string> person_names;
+  for (size_t p = 0; p < options.num_people; ++p) {
+    xml::NodeId person = doc.AddChild(people, "person");
+    std::string full = PickFrom(FirstNames(), &rng) + " " +
+                       PickFrom(LastNames(), &rng);
+    person_names.push_back(full);
+    doc.AppendText(doc.AddChild(person, "name"), full);
+    std::string handle = full;
+    for (auto& c : handle) {
+      if (c == ' ') c = '.';
+    }
+    doc.AppendText(doc.AddChild(person, "email"), handle + " example com");
+    doc.AppendText(doc.AddChild(person, "city"),
+                   PickFrom(TeamCities(), &rng));
+    size_t interests = static_cast<size_t>(rng.Uniform(0, 3));
+    for (size_t i = 0; i < interests; ++i) {
+      doc.AppendText(doc.AddChild(person, "interest"),
+                     PickFrom(ItemNouns(), &rng));
+    }
+  }
+
+  // open_auctions / auction.
+  xml::NodeId auctions = doc.AddChild(site, "open_auctions");
+  for (size_t a = 0; a < options.num_auctions; ++a) {
+    xml::NodeId auction = doc.AddChild(auctions, "auction");
+    doc.AppendText(doc.AddChild(auction, "itemname"),
+                   PickFrom(item_names, &rng));
+    doc.AppendText(doc.AddChild(auction, "seller"),
+                   PickFrom(person_names, &rng));
+    int64_t initial = rng.Uniform(5, 500);
+    doc.AppendText(doc.AddChild(auction, "initial"),
+                   std::to_string(initial));
+    size_t bids = static_cast<size_t>(rng.Uniform(0, 5));
+    int64_t current = initial;
+    for (size_t b = 0; b < bids; ++b) {
+      xml::NodeId bidder = doc.AddChild(auction, "bidder");
+      doc.AppendText(doc.AddChild(bidder, "personref"),
+                     PickFrom(person_names, &rng));
+      current += rng.Uniform(1, 50);
+      doc.AppendText(doc.AddChild(bidder, "increase"),
+                     std::to_string(current));
+    }
+    doc.AppendText(doc.AddChild(auction, "current"),
+                   std::to_string(current));
+  }
+  return doc;
+}
+
+}  // namespace xrefine::workload

@@ -1,0 +1,31 @@
+// Simplified XMark-style auction-site corpus (Schmidt et al.'s XML
+// benchmark schema, abridged): a third tree shape for generality testing.
+// Unlike DBLP (many shallow partitions) and Baseball (regular hierarchy),
+// the auction site has only a handful of top-level sections, so the
+// partition-based algorithm degenerates to a few large partitions — a
+// worst case worth exercising.
+//
+//   site
+//    +- regions / region* / item* (name, description, payment)
+//    +- people / person* (name, email, city, interest*)
+//    +- open_auctions / auction* (itemname, seller, initial, bids, bidder*)
+#ifndef XREFINE_WORKLOAD_XMARK_GENERATOR_H_
+#define XREFINE_WORKLOAD_XMARK_GENERATOR_H_
+
+#include "xml/document.h"
+
+namespace xrefine::workload {
+
+struct XmarkOptions {
+  size_t num_regions = 5;
+  size_t items_per_region = 40;
+  size_t num_people = 150;
+  size_t num_auctions = 120;
+  uint64_t seed = 31;
+};
+
+xml::Document GenerateXmark(const XmarkOptions& options = {});
+
+}  // namespace xrefine::workload
+
+#endif  // XREFINE_WORKLOAD_XMARK_GENERATOR_H_

@@ -1,0 +1,93 @@
+#include "xml/dewey.h"
+
+#include <algorithm>
+#include <charconv>
+#include <ostream>
+
+namespace xrefine::xml {
+
+StatusOr<Dewey> Dewey::Parse(std::string_view text) {
+  std::vector<uint32_t> components;
+  if (text.empty()) return Dewey(std::move(components));
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t pos = text.find('.', start);
+    if (pos == std::string_view::npos) pos = text.size();
+    uint32_t value = 0;
+    auto piece = text.substr(start, pos - start);
+    auto [ptr, ec] =
+        std::from_chars(piece.data(), piece.data() + piece.size(), value);
+    if (ec != std::errc() || ptr != piece.data() + piece.size()) {
+      return Status::InvalidArgument("bad dewey component: " +
+                                     std::string(piece));
+    }
+    components.push_back(value);
+    if (pos == text.size()) break;
+    start = pos + 1;
+  }
+  return Dewey(std::move(components));
+}
+
+Dewey Dewey::Child(uint32_t ordinal) const {
+  std::vector<uint32_t> c = components_;
+  c.push_back(ordinal);
+  return Dewey(std::move(c));
+}
+
+Dewey Dewey::Prefix(size_t depth) const {
+  depth = std::min(depth, components_.size());
+  return Dewey(std::vector<uint32_t>(components_.begin(),
+                                     components_.begin() + depth));
+}
+
+Dewey Dewey::Parent() const {
+  std::vector<uint32_t> c(components_.begin(),
+                          components_.empty() ? components_.end()
+                                              : components_.end() - 1);
+  return Dewey(std::move(c));
+}
+
+bool Dewey::IsAncestorOrSelf(const Dewey& other) const {
+  if (components_.size() > other.components_.size()) return false;
+  return std::equal(components_.begin(), components_.end(),
+                    other.components_.begin());
+}
+
+bool Dewey::IsAncestor(const Dewey& other) const {
+  return components_.size() < other.components_.size() &&
+         IsAncestorOrSelf(other);
+}
+
+Dewey Dewey::CommonPrefix(const Dewey& a, const Dewey& b) {
+  size_t n = std::min(a.components_.size(), b.components_.size());
+  size_t i = 0;
+  while (i < n && a.components_[i] == b.components_[i]) ++i;
+  return Dewey(
+      std::vector<uint32_t>(a.components_.begin(), a.components_.begin() + i));
+}
+
+int Dewey::Compare(const Dewey& other) const {
+  size_t n = std::min(components_.size(), other.components_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (components_[i] != other.components_[i]) {
+      return components_[i] < other.components_[i] ? -1 : 1;
+    }
+  }
+  if (components_.size() == other.components_.size()) return 0;
+  return components_.size() < other.components_.size() ? -1 : 1;
+}
+
+std::string Dewey::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out += '.';
+    out += std::to_string(components_[i]);
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Dewey& d) {
+  return os << d.ToString();
+}
+
+}  // namespace xrefine::xml

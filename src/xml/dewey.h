@@ -1,0 +1,75 @@
+// Dewey labels identify XML nodes by the path of child indexes from the
+// root (e.g. "0.1.2"). Document order is the lexicographic order of labels
+// with the convention that an ancestor precedes its descendants; the lowest
+// common ancestor of two nodes is their longest common label prefix.
+#ifndef XREFINE_XML_DEWEY_H_
+#define XREFINE_XML_DEWEY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace xrefine::xml {
+
+/// A Dewey label: the sequence of child ordinals from the document root.
+class Dewey {
+ public:
+  Dewey() = default;
+  explicit Dewey(std::vector<uint32_t> components)
+      : components_(std::move(components)) {}
+
+  /// Parses "0.1.2" into a label.
+  static StatusOr<Dewey> Parse(std::string_view text);
+
+  const std::vector<uint32_t>& components() const { return components_; }
+  size_t depth() const { return components_.size(); }
+  bool empty() const { return components_.empty(); }
+  uint32_t operator[](size_t i) const { return components_[i]; }
+
+  /// Extends this label with one more component (child ordinal).
+  Dewey Child(uint32_t ordinal) const;
+
+  /// The label truncated to `depth` components (ancestor at that depth).
+  Dewey Prefix(size_t depth) const;
+
+  /// Parent label; undefined on the root (empty) label.
+  Dewey Parent() const;
+
+  /// True iff this label is an ancestor of `other` or equal to it.
+  bool IsAncestorOrSelf(const Dewey& other) const;
+
+  /// True iff this label is a strict ancestor of `other`.
+  bool IsAncestor(const Dewey& other) const;
+
+  /// Longest common prefix: the LCA of the two labelled nodes.
+  static Dewey CommonPrefix(const Dewey& a, const Dewey& b);
+
+  /// Three-way document-order comparison: negative if *this precedes
+  /// `other`, 0 if equal, positive otherwise. An ancestor precedes its
+  /// descendants.
+  int Compare(const Dewey& other) const;
+
+  bool operator==(const Dewey& other) const {
+    return components_ == other.components_;
+  }
+  bool operator!=(const Dewey& other) const { return !(*this == other); }
+  bool operator<(const Dewey& other) const { return Compare(other) < 0; }
+  bool operator<=(const Dewey& other) const { return Compare(other) <= 0; }
+  bool operator>(const Dewey& other) const { return Compare(other) > 0; }
+  bool operator>=(const Dewey& other) const { return Compare(other) >= 0; }
+
+  /// "0.1.2"; the root label renders as "" (empty).
+  std::string ToString() const;
+
+ private:
+  std::vector<uint32_t> components_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Dewey& d);
+
+}  // namespace xrefine::xml
+
+#endif  // XREFINE_XML_DEWEY_H_

@@ -1,0 +1,72 @@
+#include "xml/document.h"
+
+#include "common/logging.h"
+
+namespace xrefine::xml {
+
+NodeId Document::CreateRoot(std::string_view tag) {
+  XR_CHECK(nodes_.empty()) << "root already exists";
+  Node n;
+  n.parent = kInvalidNodeId;
+  n.type = types_.Intern(kInvalidTypeId, tag);
+  n.dewey = Dewey({0});
+  nodes_.push_back(std::move(n));
+  return 0;
+}
+
+NodeId Document::AddChild(NodeId parent, std::string_view tag) {
+  XR_DCHECK(parent < nodes_.size());
+  Node n;
+  n.parent = parent;
+  n.type = types_.Intern(nodes_[parent].type, tag);
+  n.dewey = nodes_[parent].dewey.Child(
+      static_cast<uint32_t>(nodes_[parent].children.size()));
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_[parent].children.push_back(id);
+  nodes_.push_back(std::move(n));
+  return id;
+}
+
+void Document::AppendText(NodeId node, std::string_view text) {
+  XR_DCHECK(node < nodes_.size());
+  std::string& t = nodes_[node].text;
+  if (!t.empty() && !text.empty()) t += ' ';
+  t.append(text);
+}
+
+NodeId Document::FindByDewey(const Dewey& dewey) const {
+  if (nodes_.empty() || dewey.empty() || dewey[0] != 0) return kInvalidNodeId;
+  NodeId cur = 0;
+  for (size_t i = 1; i < dewey.depth(); ++i) {
+    const auto& kids = nodes_[cur].children;
+    uint32_t ord = dewey[i];
+    if (ord >= kids.size()) return kInvalidNodeId;
+    cur = kids[ord];
+  }
+  return cur;
+}
+
+std::string Document::Describe(NodeId id) const {
+  return tag(id) + ":" + nodes_[id].dewey.ToString();
+}
+
+std::string Document::SubtreeText(NodeId id) const {
+  std::string out;
+  // Iterative preorder to avoid recursion depth limits on deep documents.
+  std::vector<NodeId> stack = {id};
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[cur];
+    if (!n.text.empty()) {
+      if (!out.empty()) out += ' ';
+      out += n.text;
+    }
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+}  // namespace xrefine::xml

@@ -1,0 +1,88 @@
+// In-memory XML document: a rooted labelled tree whose nodes carry Dewey
+// labels, interned node types, and text content (the paper's data model,
+// Section III).
+#ifndef XREFINE_XML_DOCUMENT_H_
+#define XREFINE_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+#include "xml/dewey.h"
+#include "xml/node_type.h"
+
+namespace xrefine::xml {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNodeId = UINT32_MAX;
+
+/// A mutable XML tree. Nodes are appended under an existing parent; the
+/// Dewey label of a child is its parent's label extended with the child's
+/// ordinal, matching the labelling scheme of the paper's Figure 1.
+class Document {
+ public:
+  struct Node {
+    NodeId parent = kInvalidNodeId;
+    TypeId type = kInvalidTypeId;
+    Dewey dewey;
+    std::string text;  // concatenated character data directly under the node
+    std::vector<NodeId> children;
+  };
+
+  Document() = default;
+
+  // Documents are large; keep them move-only so accidental copies are
+  // compile errors.
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+
+  /// Creates the root element. Must be called exactly once, first.
+  NodeId CreateRoot(std::string_view tag);
+
+  /// Appends a child element under `parent`; returns its id.
+  NodeId AddChild(NodeId parent, std::string_view tag);
+
+  /// Appends character data to a node's text content.
+  void AppendText(NodeId node, std::string_view text);
+
+  bool has_root() const { return !nodes_.empty(); }
+  NodeId root() const { return 0; }
+  size_t NodeCount() const { return nodes_.size(); }
+
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  const std::string& tag(NodeId id) const {
+    return types_.tag(nodes_[id].type);
+  }
+  const Dewey& dewey(NodeId id) const { return nodes_[id].dewey; }
+  TypeId type(NodeId id) const { return nodes_[id].type; }
+  const std::string& text(NodeId id) const { return nodes_[id].text; }
+  const std::vector<NodeId>& children(NodeId id) const {
+    return nodes_[id].children;
+  }
+  NodeId parent(NodeId id) const { return nodes_[id].parent; }
+
+  const NodeTypeTable& types() const { return types_; }
+
+  /// Finds the node with exactly this Dewey label; kInvalidNodeId if the
+  /// label does not address a node of this document.
+  NodeId FindByDewey(const Dewey& dewey) const;
+
+  /// tag:dewey rendering used in the paper ("author:0.0").
+  std::string Describe(NodeId id) const;
+
+  /// Concatenation of all text in the subtree rooted at `id`, separated by
+  /// single spaces (useful for result snippets).
+  std::string SubtreeText(NodeId id) const;
+
+ private:
+  std::vector<Node> nodes_;
+  NodeTypeTable types_;
+};
+
+}  // namespace xrefine::xml
+
+#endif  // XREFINE_XML_DOCUMENT_H_

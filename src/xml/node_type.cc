@@ -1,0 +1,57 @@
+#include "xml/node_type.h"
+
+#include "common/logging.h"
+
+namespace xrefine::xml {
+
+TypeId NodeTypeTable::Intern(TypeId parent, std::string_view tag) {
+  std::string path;
+  uint32_t depth = 1;
+  if (parent != kInvalidTypeId) {
+    XR_DCHECK(parent < entries_.size());
+    path = entries_[parent].path;
+    path += '/';
+    depth = entries_[parent].depth + 1;
+  }
+  path.append(tag);
+  auto it = by_path_.find(path);
+  if (it != by_path_.end()) return it->second;
+  TypeId id = static_cast<TypeId>(entries_.size());
+  entries_.push_back(Entry{parent, depth, std::string(tag), path});
+  by_path_.emplace(entries_.back().path, id);
+  return id;
+}
+
+TypeId NodeTypeTable::Lookup(std::string_view path) const {
+  auto it = by_path_.find(std::string(path));
+  return it == by_path_.end() ? kInvalidTypeId : it->second;
+}
+
+bool NodeTypeTable::IsAncestorOrSelfType(TypeId ancestor,
+                                         TypeId descendant) const {
+  if (ancestor == kInvalidTypeId || descendant == kInvalidTypeId) return false;
+  uint32_t ad = entries_[ancestor].depth;
+  TypeId cur = descendant;
+  while (cur != kInvalidTypeId && entries_[cur].depth > ad) {
+    cur = entries_[cur].parent;
+  }
+  return cur == ancestor;
+}
+
+TypeId NodeTypeTable::AncestorAtDepth(TypeId id, uint32_t d) const {
+  if (id == kInvalidTypeId || d == 0) return kInvalidTypeId;
+  TypeId cur = id;
+  while (cur != kInvalidTypeId && entries_[cur].depth > d) {
+    cur = entries_[cur].parent;
+  }
+  if (cur == kInvalidTypeId || entries_[cur].depth != d) return kInvalidTypeId;
+  return cur;
+}
+
+std::vector<TypeId> NodeTypeTable::AllTypes() const {
+  std::vector<TypeId> ids(entries_.size());
+  for (TypeId i = 0; i < entries_.size(); ++i) ids[i] = i;
+  return ids;
+}
+
+}  // namespace xrefine::xml

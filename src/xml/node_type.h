@@ -1,0 +1,68 @@
+// Node types per Definition 3.1 of the paper: the type of a node is its
+// root-to-node tag path ("bib/author/publications/article"). Types are
+// interned into dense ids so statistics tables can key on them cheaply.
+#ifndef XREFINE_XML_NODE_TYPE_H_
+#define XREFINE_XML_NODE_TYPE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xrefine::xml {
+
+using TypeId = uint32_t;
+inline constexpr TypeId kInvalidTypeId = UINT32_MAX;
+
+/// Interns root-to-node tag paths into dense TypeIds and answers
+/// ancestor-type queries. Types form a tree mirroring the distinct tag paths
+/// of the document.
+class NodeTypeTable {
+ public:
+  NodeTypeTable() = default;
+
+  /// Interns the type for a node with tag `tag` whose parent has type
+  /// `parent` (kInvalidTypeId for the document root).
+  TypeId Intern(TypeId parent, std::string_view tag);
+
+  /// Looks up a type by its full path ("a/b/c"); kInvalidTypeId if absent.
+  TypeId Lookup(std::string_view path) const;
+
+  size_t size() const { return entries_.size(); }
+
+  const std::string& tag(TypeId id) const { return entries_[id].tag; }
+  TypeId parent(TypeId id) const { return entries_[id].parent; }
+
+  /// Number of path components; the root type has depth 1.
+  uint32_t depth(TypeId id) const { return entries_[id].depth; }
+
+  /// Full path string "a/b/c".
+  const std::string& path(TypeId id) const { return entries_[id].path; }
+
+  /// True iff `ancestor` is an ancestor-or-self type of `descendant`,
+  /// i.e. ancestor's path is a prefix (component-wise) of descendant's.
+  bool IsAncestorOrSelfType(TypeId ancestor, TypeId descendant) const;
+
+  /// The ancestor type of `id` at depth `d` (1-based); kInvalidTypeId when
+  /// d exceeds the type's own depth.
+  TypeId AncestorAtDepth(TypeId id, uint32_t d) const;
+
+  /// All interned type ids, in interning order.
+  std::vector<TypeId> AllTypes() const;
+
+ private:
+  struct Entry {
+    TypeId parent;
+    uint32_t depth;
+    std::string tag;
+    std::string path;
+  };
+
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, TypeId> by_path_;
+};
+
+}  // namespace xrefine::xml
+
+#endif  // XREFINE_XML_NODE_TYPE_H_

@@ -1,0 +1,310 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace xrefine::xml {
+
+namespace {
+
+/// Recursive-descent parser over an in-memory buffer. Tracks line numbers
+/// for error messages.
+class Parser {
+ public:
+  Parser(std::string_view input, const ParseOptions& options)
+      : input_(input), options_(options) {}
+
+  StatusOr<Document> Parse() {
+    Document doc;
+    SkipProlog();
+    if (AtEnd()) return Error("document has no root element");
+    Status st = ParseElement(&doc, kInvalidNodeId);
+    if (!st.ok()) return st;
+    SkipMisc();
+    if (!AtEnd()) return Error("trailing content after root element");
+    return doc;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t offset) const {
+    size_t i = pos_ + offset;
+    return i < input_.size() ? input_[i] : '\0';
+  }
+
+  void Advance() {
+    if (input_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+
+  bool Consume(std::string_view token) {
+    if (input_.substr(pos_).substr(0, token.size()) != token) return false;
+    for (size_t i = 0; i < token.size(); ++i) Advance();
+    return true;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::Corruption("XML parse error at line " +
+                              std::to_string(line_) + ": " + what);
+  }
+
+  // Skips the XML declaration, DOCTYPE, comments, and PIs before the root.
+  void SkipProlog() {
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) return;
+      if (Consume("<?")) {
+        SkipUntil("?>");
+      } else if (Consume("<!--")) {
+        SkipUntil("-->");
+      } else if (Consume("<!DOCTYPE")) {
+        SkipDoctype();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (Consume("<!--")) {
+        SkipUntil("-->");
+      } else if (Consume("<?")) {
+        SkipUntil("?>");
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipUntil(std::string_view terminator) {
+    while (!AtEnd()) {
+      if (Consume(terminator)) return;
+      Advance();
+    }
+  }
+
+  // DOCTYPE may contain a bracketed internal subset.
+  void SkipDoctype() {
+    int bracket_depth = 0;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == '[') ++bracket_depth;
+      if (c == ']') --bracket_depth;
+      if (c == '>' && bracket_depth <= 0) {
+        Advance();
+        return;
+      }
+      Advance();
+    }
+  }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':';
+  }
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':' || c == '-' || c == '.';
+  }
+
+  StatusOr<std::string> ParseName() {
+    if (AtEnd() || !IsNameStart(Peek())) return Error("expected a name");
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) Advance();
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  // Decodes the predefined entities plus decimal/hex character references.
+  std::string DecodeEntities(std::string_view raw) const {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i]);
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos || semi - i > 10) {
+        out.push_back('&');
+        continue;
+      }
+      std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "amp") {
+        out.push_back('&');
+      } else if (ent == "lt") {
+        out.push_back('<');
+      } else if (ent == "gt") {
+        out.push_back('>');
+      } else if (ent == "quot") {
+        out.push_back('"');
+      } else if (ent == "apos") {
+        out.push_back('\'');
+      } else if (!ent.empty() && ent[0] == '#') {
+        long code = 0;
+        if (ent.size() > 2 && (ent[1] == 'x' || ent[1] == 'X')) {
+          code = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
+        } else {
+          code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+        }
+        if (code > 0 && code < 128) {
+          out.push_back(static_cast<char>(code));
+        } else {
+          out.push_back('?');  // non-ASCII references degrade gracefully
+        }
+      } else {
+        // Unknown entity: keep it verbatim so data is not lost.
+        out.push_back('&');
+        continue;
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  Status ParseAttributes(Document* doc, NodeId element) {
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag");
+      char c = Peek();
+      if (c == '>' || c == '/' || c == '?') return Status::OK();
+      auto name_or = ParseName();
+      if (!name_or.ok()) return name_or.status();
+      SkipWhitespace();
+      if (!Consume("=")) return Error("expected '=' after attribute name");
+      SkipWhitespace();
+      if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+        return Error("expected quoted attribute value");
+      }
+      char quote = Peek();
+      Advance();
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != quote) Advance();
+      if (AtEnd()) return Error("unterminated attribute value");
+      std::string value = DecodeEntities(input_.substr(start, pos_ - start));
+      Advance();  // closing quote
+      if (options_.attributes_as_children) {
+        NodeId attr = doc->AddChild(element, name_or.value());
+        doc->AppendText(attr, value);
+      } else {
+        doc->AppendText(element, value);
+      }
+    }
+  }
+
+  Status ParseElement(Document* doc, NodeId parent) {
+    if (depth_ >= options_.max_depth) {
+      return Error("element nesting exceeds max_depth " +
+                   std::to_string(options_.max_depth));
+    }
+    ++depth_;
+    Status st = ParseElementInner(doc, parent);
+    --depth_;
+    return st;
+  }
+
+  Status ParseElementInner(Document* doc, NodeId parent) {
+    if (!Consume("<")) return Error("expected '<'");
+    auto name_or = ParseName();
+    if (!name_or.ok()) return name_or.status();
+    NodeId element = (parent == kInvalidNodeId)
+                         ? doc->CreateRoot(name_or.value())
+                         : doc->AddChild(parent, name_or.value());
+    XREFINE_RETURN_IF_ERROR(ParseAttributes(doc, element));
+    if (Consume("/>")) return Status::OK();
+    if (!Consume(">")) return Error("expected '>' to close start tag");
+    return ParseContent(doc, element, name_or.value());
+  }
+
+  Status ParseContent(Document* doc, NodeId element,
+                      const std::string& tag) {
+    std::string pending_text;
+    auto flush_text = [&]() {
+      if (pending_text.empty()) return;
+      std::string_view trimmed = options_.skip_whitespace_text
+                                     ? TrimWhitespace(pending_text)
+                                     : std::string_view(pending_text);
+      if (!trimmed.empty()) doc->AppendText(element, trimmed);
+      pending_text.clear();
+    };
+
+    while (true) {
+      if (AtEnd()) return Error("unterminated element <" + tag + ">");
+      if (Peek() == '<') {
+        if (PeekAt(1) == '/') {
+          flush_text();
+          Consume("</");
+          auto close_or = ParseName();
+          if (!close_or.ok()) return close_or.status();
+          if (close_or.value() != tag) {
+            return Error("mismatched close tag </" + close_or.value() +
+                         "> for <" + tag + ">");
+          }
+          SkipWhitespace();
+          if (!Consume(">")) return Error("expected '>' in close tag");
+          return Status::OK();
+        }
+        if (Consume("<!--")) {
+          SkipUntil("-->");
+          continue;
+        }
+        if (Consume("<![CDATA[")) {
+          size_t start = pos_;
+          while (!AtEnd() && input_.substr(pos_, 3) != "]]>") Advance();
+          if (AtEnd()) return Error("unterminated CDATA");
+          pending_text.append(input_.substr(start, pos_ - start));
+          Consume("]]>");
+          continue;
+        }
+        if (Consume("<?")) {
+          SkipUntil("?>");
+          continue;
+        }
+        flush_text();
+        XREFINE_RETURN_IF_ERROR(ParseElement(doc, element));
+        continue;
+      }
+      // Character data up to the next markup.
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != '<') Advance();
+      pending_text += DecodeEntities(input_.substr(start, pos_ - start));
+    }
+  }
+
+  std::string_view input_;
+  ParseOptions options_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  size_t depth_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Document> ParseXml(std::string_view input,
+                            const ParseOptions& options) {
+  Parser parser(input, options);
+  return parser.Parse();
+}
+
+StatusOr<Document> ParseXmlFile(const std::string& path,
+                                const ParseOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string content = buffer.str();
+  return ParseXml(content, options);
+}
+
+}  // namespace xrefine::xml

@@ -1,0 +1,41 @@
+// A from-scratch, non-validating XML parser sufficient for data-oriented
+// documents (DBLP-style corpora): elements, attributes, character data,
+// CDATA, comments, processing instructions, DOCTYPE, and the predefined
+// entities. Attributes are materialised as child elements named after the
+// attribute, so attribute values participate in keyword search like any
+// other value term.
+#ifndef XREFINE_XML_XML_PARSER_H_
+#define XREFINE_XML_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/statusor.h"
+#include "xml/document.h"
+
+namespace xrefine::xml {
+
+struct ParseOptions {
+  /// When true (default), attributes become child elements; when false,
+  /// attribute values are appended to the owning element's text.
+  bool attributes_as_children = true;
+
+  /// Maximum element nesting depth; deeper documents are rejected with
+  /// Corruption (the parser is recursive-descent, so this bounds native
+  /// stack usage on adversarial inputs).
+  size_t max_depth = 512;
+
+  /// When true, whitespace-only character data is dropped.
+  bool skip_whitespace_text = true;
+};
+
+/// Parses an XML document from a string buffer.
+StatusOr<Document> ParseXml(std::string_view input,
+                            const ParseOptions& options = {});
+
+/// Reads and parses an XML file from disk.
+StatusOr<Document> ParseXmlFile(const std::string& path,
+                                const ParseOptions& options = {});
+
+}  // namespace xrefine::xml
+
+#endif  // XREFINE_XML_XML_PARSER_H_

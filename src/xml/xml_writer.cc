@@ -1,0 +1,77 @@
+#include "xml/xml_writer.h"
+
+#include <fstream>
+
+namespace xrefine::xml {
+
+namespace {
+
+void EscapeInto(std::string_view text, std::string* out) {
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        *out += "&amp;";
+        break;
+      case '<':
+        *out += "&lt;";
+        break;
+      case '>':
+        *out += "&gt;";
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+void WriteNode(const Document& doc, NodeId id, int depth,
+               const WriteOptions& options, std::string* out) {
+  auto indent = [&]() {
+    if (!options.pretty) return;
+    out->push_back('\n');
+    out->append(static_cast<size_t>(depth) *
+                    static_cast<size_t>(options.indent_width),
+                ' ');
+  };
+  indent();
+  const std::string& tag = doc.tag(id);
+  *out += '<';
+  *out += tag;
+  const auto& kids = doc.children(id);
+  const std::string& text = doc.text(id);
+  if (kids.empty() && text.empty()) {
+    *out += "/>";
+    return;
+  }
+  *out += '>';
+  EscapeInto(text, out);
+  for (NodeId kid : kids) {
+    WriteNode(doc, kid, depth + 1, options, out);
+  }
+  if (!kids.empty()) indent();
+  *out += "</";
+  *out += tag;
+  *out += '>';
+}
+
+}  // namespace
+
+std::string WriteXml(const Document& doc, const WriteOptions& options) {
+  std::string out = "<?xml version=\"1.0\"?>";
+  if (doc.has_root()) {
+    WriteNode(doc, doc.root(), 0, options, &out);
+  }
+  out.push_back('\n');
+  return out;
+}
+
+Status WriteXmlFile(const Document& doc, const std::string& path,
+                    const WriteOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << WriteXml(doc, options);
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace xrefine::xml

@@ -1,0 +1,28 @@
+// Serialises a Document back to XML text (round-trip testing, examples,
+// and persisting generated workloads to disk).
+#ifndef XREFINE_XML_XML_WRITER_H_
+#define XREFINE_XML_XML_WRITER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace xrefine::xml {
+
+struct WriteOptions {
+  bool pretty = true;      // newline + indent per element
+  int indent_width = 2;
+};
+
+/// Renders the document as XML text. Text content is emitted before child
+/// elements (the Document model stores merged text).
+std::string WriteXml(const Document& doc, const WriteOptions& options = {});
+
+/// Writes the rendered XML to a file.
+Status WriteXmlFile(const Document& doc, const std::string& path,
+                    const WriteOptions& options = {});
+
+}  // namespace xrefine::xml
+
+#endif  // XREFINE_XML_XML_WRITER_H_

@@ -1,0 +1,27 @@
+// Umbrella header: the public API a downstream user needs to embed XRefine.
+//
+//   #include "xrefine.h"
+//
+//   auto doc     = xrefine::xml::ParseXmlFile("data.xml").value();
+//   auto corpus  = xrefine::index::BuildIndex(doc);
+//   auto lexicon = xrefine::text::Lexicon::BuiltIn();
+//   xrefine::core::XRefine engine(corpus.get(), &lexicon, {});
+//   auto outcome = engine.RunText("databse publication");
+//
+// Individual headers remain includable for finer-grained dependencies.
+#ifndef XREFINE_XREFINE_H_
+#define XREFINE_XREFINE_H_
+
+#include "core/expansion.h"        // over-broad query refinement
+#include "core/query_log.h"        // log-mined refinement rules
+#include "core/result_ranking.h"   // XML TF*IDF over one RQ's results
+#include "core/xrefine.h"          // the engine facade
+#include "index/index_builder.h"   // BuildIndex / IndexedCorpus
+#include "index/index_store.h"     // Save/LoadCorpus (on-disk B+-tree)
+#include "slca/slca.h"             // standalone SLCA computation
+#include "storage/kvstore.h"       // the persistent store
+#include "text/lexicon.h"          // synonym/acronym lexicon
+#include "xml/xml_parser.h"        // ParseXml / ParseXmlFile
+#include "xml/xml_writer.h"        // WriteXml / WriteXmlFile
+
+#endif  // XREFINE_XREFINE_H_

@@ -1,0 +1,161 @@
+// Parameterized end-to-end sweep: every refinement algorithm against every
+// corpus shape (DBLP: many shallow partitions; Baseball: regular hierarchy;
+// XMark: few large partitions), via the umbrella header — what a downstream
+// adopter compiles against.
+#include <gtest/gtest.h>
+
+#include "eval/oracle_judge.h"
+#include "workload/baseball_generator.h"
+#include "workload/dblp_generator.h"
+#include "workload/query_generator.h"
+#include "workload/xmark_generator.h"
+#include "xrefine.h"
+
+namespace xrefine {
+namespace {
+
+enum class CorpusKind { kDblp, kBaseball, kXmark };
+
+struct SweepCase {
+  CorpusKind corpus;
+  core::RefineAlgorithm algorithm;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<SweepCase>& info) {
+  std::string name;
+  switch (info.param.corpus) {
+    case CorpusKind::kDblp:
+      name = "Dblp";
+      break;
+    case CorpusKind::kBaseball:
+      name = "Baseball";
+      break;
+    case CorpusKind::kXmark:
+      name = "Xmark";
+      break;
+  }
+  switch (info.param.algorithm) {
+    case core::RefineAlgorithm::kStackRefine:
+      name += "Stack";
+      break;
+    case core::RefineAlgorithm::kPartition:
+      name += "Partition";
+      break;
+    case core::RefineAlgorithm::kShortListEager:
+      name += "Sle";
+      break;
+  }
+  return name;
+}
+
+class CrossCorpusTest : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  void SetUp() override {
+    switch (GetParam().corpus) {
+      case CorpusKind::kDblp: {
+        workload::DblpOptions gen;
+        gen.num_authors = 60;
+        doc_ = workload::GenerateDblp(gen);
+        target_tag_ = "inproceedings";
+        break;
+      }
+      case CorpusKind::kBaseball: {
+        workload::BaseballOptions gen;
+        gen.players_per_team = 12;
+        doc_ = workload::GenerateBaseball(gen);
+        target_tag_ = "player";
+        break;
+      }
+      case CorpusKind::kXmark: {
+        doc_ = workload::GenerateXmark({});
+        target_tag_ = "item";
+        break;
+      }
+    }
+    corpus_ = index::BuildIndex(doc_);
+    lexicon_ = text::Lexicon::BuiltIn();
+  }
+
+  xml::Document doc_;
+  std::unique_ptr<index::IndexedCorpus> corpus_;
+  text::Lexicon lexicon_;
+  std::string target_tag_;
+};
+
+TEST_P(CrossCorpusTest, CorruptedPoolIsRepaired) {
+  core::XRefineOptions options;
+  options.algorithm = GetParam().algorithm;
+  options.top_k = 3;
+  core::XRefine engine(corpus_.get(), &lexicon_, options);
+
+  workload::Corruptor corruptor(&corpus_->index(), &lexicon_);
+  workload::QueryGeneratorOptions qg;
+  qg.target_tag = target_tag_;
+  qg.seed = 777;
+  workload::QueryGenerator qgen(&doc_, corpus_.get(), &corruptor, qg);
+  auto pool = qgen.GeneratePool(12);
+  ASSERT_GE(pool.size(), 6u);
+
+  size_t answered = 0;
+  size_t well_refined = 0;
+  for (const auto& cq : pool) {
+    auto outcome = engine.Run(cq.corrupted);
+    if (outcome.refined.empty()) continue;
+    ++answered;
+    for (const auto& ranked : outcome.refined) {
+      // Lemma 2 across every corpus and algorithm.
+      EXPECT_FALSE(ranked.results.empty());
+      for (const auto& k : ranked.rq.keywords) {
+        EXPECT_TRUE(corpus_->index().Contains(k)) << k;
+      }
+    }
+    auto gains = eval::JudgeRanking(cq, outcome.refined);
+    if (!gains.empty() && gains[0] >= 2) ++well_refined;
+  }
+  EXPECT_GT(answered, pool.size() / 2);
+  EXPECT_GT(well_refined * 2, answered);  // majority recover the intent
+}
+
+TEST_P(CrossCorpusTest, CleanQueryPassesThrough) {
+  core::XRefineOptions options;
+  options.algorithm = GetParam().algorithm;
+  core::XRefine engine(corpus_.get(), &lexicon_, options);
+
+  workload::Corruptor corruptor(&corpus_->index(), &lexicon_);
+  workload::QueryGeneratorOptions qg;
+  qg.target_tag = target_tag_;
+  qg.seed = 778;
+  workload::QueryGenerator qgen(&doc_, corpus_.get(), &corruptor, qg);
+
+  size_t clean_detected = 0;
+  size_t attempts = 0;
+  for (int i = 0; i < 8; ++i) {
+    auto q = qgen.SampleIntended();
+    if (q.empty()) continue;
+    ++attempts;
+    auto outcome = engine.Run(q);
+    if (!outcome.needs_refinement) ++clean_detected;
+  }
+  ASSERT_GT(attempts, 4u);
+  // Intended queries come from real subtrees; the engine should recognise
+  // most as needing no refinement.
+  EXPECT_GT(clean_detected * 2, attempts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CrossCorpusTest,
+    ::testing::Values(
+        SweepCase{CorpusKind::kDblp, core::RefineAlgorithm::kStackRefine},
+        SweepCase{CorpusKind::kDblp, core::RefineAlgorithm::kPartition},
+        SweepCase{CorpusKind::kDblp, core::RefineAlgorithm::kShortListEager},
+        SweepCase{CorpusKind::kBaseball, core::RefineAlgorithm::kPartition},
+        SweepCase{CorpusKind::kBaseball,
+                  core::RefineAlgorithm::kShortListEager},
+        SweepCase{CorpusKind::kXmark, core::RefineAlgorithm::kStackRefine},
+        SweepCase{CorpusKind::kXmark, core::RefineAlgorithm::kPartition},
+        SweepCase{CorpusKind::kXmark,
+                  core::RefineAlgorithm::kShortListEager}),
+    CaseName);
+
+}  // namespace
+}  // namespace xrefine

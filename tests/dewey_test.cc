@@ -1,0 +1,122 @@
+#include "xml/dewey.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace xrefine::xml {
+namespace {
+
+Dewey D(std::vector<uint32_t> c) { return Dewey(std::move(c)); }
+
+TEST(DeweyTest, ParseAndToStringRoundTrip) {
+  auto d = Dewey::Parse("0.1.2");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->ToString(), "0.1.2");
+  EXPECT_EQ(d->depth(), 3u);
+  EXPECT_EQ((*d)[1], 1u);
+}
+
+TEST(DeweyTest, ParseEmptyIsRootLabel) {
+  auto d = Dewey::Parse("");
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->empty());
+}
+
+TEST(DeweyTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Dewey::Parse("0.a.2").ok());
+  EXPECT_FALSE(Dewey::Parse("1..2").ok());
+  EXPECT_FALSE(Dewey::Parse("x").ok());
+}
+
+TEST(DeweyTest, ChildAndParent) {
+  Dewey d = D({0, 1});
+  EXPECT_EQ(d.Child(4).ToString(), "0.1.4");
+  EXPECT_EQ(d.Parent().ToString(), "0");
+}
+
+TEST(DeweyTest, PrefixTruncates) {
+  Dewey d = D({0, 1, 2, 3});
+  EXPECT_EQ(d.Prefix(2).ToString(), "0.1");
+  EXPECT_EQ(d.Prefix(10).ToString(), "0.1.2.3");
+  EXPECT_TRUE(d.Prefix(0).empty());
+}
+
+TEST(DeweyTest, AncestorSelfRelations) {
+  Dewey a = D({0, 1});
+  Dewey b = D({0, 1, 2});
+  EXPECT_TRUE(a.IsAncestorOrSelf(b));
+  EXPECT_TRUE(a.IsAncestor(b));
+  EXPECT_TRUE(a.IsAncestorOrSelf(a));
+  EXPECT_FALSE(a.IsAncestor(a));
+  EXPECT_FALSE(b.IsAncestorOrSelf(a));
+  EXPECT_FALSE(D({0, 2}).IsAncestorOrSelf(b));
+}
+
+TEST(DeweyTest, CommonPrefixIsLca) {
+  EXPECT_EQ(Dewey::CommonPrefix(D({0, 1, 2}), D({0, 1, 5})).ToString(), "0.1");
+  EXPECT_EQ(Dewey::CommonPrefix(D({0, 1}), D({0, 1, 5})).ToString(), "0.1");
+  EXPECT_TRUE(Dewey::CommonPrefix(D({1}), D({2})).empty());
+}
+
+TEST(DeweyTest, DocumentOrderAncestorFirst) {
+  Dewey parent = D({0, 1});
+  Dewey child = D({0, 1, 0});
+  EXPECT_LT(parent.Compare(child), 0);
+  EXPECT_GT(child.Compare(parent), 0);
+  EXPECT_EQ(parent.Compare(parent), 0);
+}
+
+TEST(DeweyTest, DocumentOrderSiblings) {
+  EXPECT_TRUE(D({0, 1}) < D({0, 2}));
+  EXPECT_TRUE(D({0, 1, 9}) < D({0, 2}));
+  EXPECT_TRUE(D({0, 2}) < D({0, 2, 0}));
+}
+
+TEST(DeweyTest, ComparisonOperatorsAgree) {
+  Dewey a = D({0, 1});
+  Dewey b = D({0, 1, 0});
+  EXPECT_TRUE(a <= b);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(b >= a);
+  EXPECT_TRUE(a != b);
+  EXPECT_FALSE(a == b);
+}
+
+// Property sweep: Compare is a strict weak ordering consistent with the
+// ancestor relation on random labels.
+class DeweyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeweyPropertyTest, OrderConsistency) {
+  Random rng(GetParam());
+  auto random_dewey = [&]() {
+    size_t depth = static_cast<size_t>(rng.Uniform(1, 6));
+    std::vector<uint32_t> c(depth);
+    for (auto& x : c) x = static_cast<uint32_t>(rng.Uniform(0, 3));
+    return Dewey(std::move(c));
+  };
+  for (int i = 0; i < 200; ++i) {
+    Dewey a = random_dewey();
+    Dewey b = random_dewey();
+    Dewey c = random_dewey();
+    // Antisymmetry.
+    EXPECT_EQ(a.Compare(b) < 0, b.Compare(a) > 0);
+    // Transitivity spot check.
+    if (a.Compare(b) < 0 && b.Compare(c) < 0) {
+      EXPECT_LT(a.Compare(c), 0);
+    }
+    // Ancestors precede descendants.
+    if (a.IsAncestor(b)) EXPECT_LT(a.Compare(b), 0);
+    // CommonPrefix is an ancestor-or-self of both.
+    Dewey lca = Dewey::CommonPrefix(a, b);
+    EXPECT_TRUE(lca.IsAncestorOrSelf(a));
+    EXPECT_TRUE(lca.IsAncestorOrSelf(b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeweyPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace xrefine::xml

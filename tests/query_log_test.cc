@@ -1,0 +1,253 @@
+// Tests for query-log rule mining (Section III-B's "query log analysis"
+// rule source) and lexicon file persistence.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/query_log.h"
+#include "text/lexicon.h"
+
+namespace xrefine::core {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+bool HasRule(const RuleSet& rules, const std::vector<std::string>& lhs,
+             const std::vector<std::string>& rhs) {
+  for (const auto& r : rules.rules()) {
+    if (r.lhs == lhs && r.rhs == rhs) return true;
+  }
+  return false;
+}
+
+TEST(QueryLogTest, MinesRecurringSubstitutions) {
+  QueryLog log;
+  for (int i = 0; i < 3; ++i) {
+    log.Record({"databse", "query"}, {"database", "query"});
+  }
+  log.Record({"one", "off"}, {"single", "off"});  // support 1: dropped
+  RuleSet rules = log.MineRules();
+  EXPECT_TRUE(HasRule(rules, {"databse"}, {"database"}));
+  EXPECT_FALSE(HasRule(rules, {"one"}, {"single"}));
+}
+
+TEST(QueryLogTest, MinesSplitsAndMerges) {
+  QueryLog log;
+  // Accepted query split one issued term into two -> split rule.
+  log.Record({"skylinecomputation"}, {"skyline", "computation"});
+  log.Record({"skylinecomputation", "x"}, {"skyline", "computation", "x"});
+  // Issued adjacent terms merged into one accepted term -> merging rule.
+  log.Record({"data", "base", "y"}, {"database", "y"});
+  log.Record({"data", "base"}, {"database"});
+  RuleSet rules = log.MineRules();
+  ASSERT_TRUE(
+      HasRule(rules, {"skylinecomputation"}, {"skyline", "computation"}));
+  ASSERT_TRUE(HasRule(rules, {"data", "base"}, {"database"}));
+  for (const auto& r : rules.rules()) {
+    if (r.lhs == std::vector<std::string>{"data", "base"}) {
+      EXPECT_EQ(r.op, RefineOp::kMerging);
+    }
+    if (r.lhs == std::vector<std::string>{"skylinecomputation"}) {
+      EXPECT_EQ(r.op, RefineOp::kSplit);
+    }
+  }
+}
+
+TEST(QueryLogTest, NonAdjacentMergeIsRejected) {
+  QueryLog log;
+  // "data" and "base" are not adjacent in the issued query.
+  log.Record({"data", "x", "base"}, {"database", "x"});
+  log.Record({"data", "x", "base"}, {"database", "x"});
+  RuleSet rules = log.MineRules();
+  EXPECT_FALSE(HasRule(rules, {"data", "base"}, {"database"}));
+}
+
+TEST(QueryLogTest, DiffuseDiffsAreSkipped) {
+  QueryLog log;
+  // Two independent substitutions in one entry: ambiguous, skip.
+  log.Record({"aa", "bb"}, {"cc", "dd"});
+  log.Record({"aa", "bb"}, {"cc", "dd"});
+  RuleSet rules = log.MineRules();
+  EXPECT_EQ(rules.size(), 0u);
+}
+
+TEST(QueryLogTest, PureDeletionsMintNoRules) {
+  QueryLog log;
+  log.Record({"a", "b", "c"}, {"a", "b"});
+  log.Record({"a", "b", "c"}, {"a", "b"});
+  EXPECT_EQ(log.MineRules().size(), 0u);
+}
+
+TEST(QueryLogTest, SupportLowersCost) {
+  QueryLog log;
+  for (int i = 0; i < 2; ++i) log.Record({"rare"}, {"fixed"});
+  for (int i = 0; i < 50; ++i) log.Record({"commn"}, {"common"});
+  RuleSet rules = log.MineRules();
+  double rare_cost = -1;
+  double common_cost = -1;
+  for (const auto& r : rules.rules()) {
+    if (r.lhs == std::vector<std::string>{"rare"}) rare_cost = r.ds;
+    if (r.lhs == std::vector<std::string>{"commn"}) common_cost = r.ds;
+  }
+  ASSERT_GT(rare_cost, 0);
+  ASSERT_GT(common_cost, 0);
+  EXPECT_LT(common_cost, rare_cost);
+  EXPECT_GE(common_cost, 0.25);  // floor
+}
+
+TEST(QueryLogTest, FileRoundTrip) {
+  QueryLog log;
+  log.Record({"databse", "query"}, {"database", "query"});
+  log.Record({"on", "line"}, {"online"});
+  std::string path = TempPath("query_log_roundtrip.txt");
+  ASSERT_TRUE(log.SaveToFile(path).ok());
+  auto loaded = QueryLog::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->entries()[0].issued, (Query{"databse", "query"}));
+  EXPECT_EQ(loaded->entries()[1].accepted, (Query{"online"}));
+  std::filesystem::remove(path);
+}
+
+TEST(QueryLogTest, LoadRejectsMalformedLines) {
+  std::string path = TempPath("query_log_bad.txt");
+  {
+    std::ofstream out(path);
+    out << "no separator here\n";
+  }
+  EXPECT_FALSE(QueryLog::LoadFromFile(path).ok());
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << " | empty left\n";
+  }
+  EXPECT_FALSE(QueryLog::LoadFromFile(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(MergeRuleSetsTest, KeepsCheaperDuplicate) {
+  RuleSet a;
+  a.set_deletion_cost(2.5);
+  a.Add(RefinementRule{{"x"}, {"y"}, RefineOp::kSubstitution, 1.5});
+  RuleSet b;
+  b.Add(RefinementRule{{"x"}, {"y"}, RefineOp::kSubstitution, 0.5});
+  b.Add(RefinementRule{{"p"}, {"q"}, RefineOp::kSubstitution, 1.0});
+  RuleSet merged = MergeRuleSets(a, b);
+  EXPECT_EQ(merged.size(), 2u);
+  EXPECT_DOUBLE_EQ(merged.deletion_cost(), 2.5);
+  for (const auto& r : merged.rules()) {
+    if (r.lhs == std::vector<std::string>{"x"}) {
+      EXPECT_DOUBLE_EQ(r.ds, 0.5);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xrefine::core
+
+namespace xrefine::text {
+namespace {
+
+TEST(LexiconFileTest, RoundTrip) {
+  Lexicon lex;
+  lex.AddSynonymGroup({"car", "auto"}, 1.5);
+  lex.AddAcronym("www", {"world", "wide", "web"});
+  std::string path = ::testing::TempDir() + "/lexicon_roundtrip.txt";
+  ASSERT_TRUE(lex.SaveToFile(path).ok());
+
+  Lexicon loaded;
+  ASSERT_TRUE(loaded.LoadFromFile(path).ok());
+  auto syns = loaded.SynonymsOf("car");
+  ASSERT_EQ(syns.size(), 1u);
+  EXPECT_EQ(syns[0].word, "auto");
+  EXPECT_DOUBLE_EQ(syns[0].cost, 1.5);
+  ASSERT_NE(loaded.ExpansionOf("www"), nullptr);
+  std::filesystem::remove(path);
+}
+
+TEST(LexiconFileTest, ParsesCommentsAndDefaults) {
+  std::string path = ::testing::TempDir() + "/lexicon_comments.txt";
+  {
+    std::ofstream out(path);
+    out << "# a comment line\n"
+        << "\n"
+        << "syn: Query Queries   # trailing comment\n"
+        << "acr: ML = Machine Learning\n";
+  }
+  Lexicon lex;
+  ASSERT_TRUE(lex.LoadFromFile(path).ok());
+  auto syns = lex.SynonymsOf("query");
+  ASSERT_EQ(syns.size(), 1u);
+  EXPECT_EQ(syns[0].word, "queries");
+  EXPECT_DOUBLE_EQ(syns[0].cost, 1.0);
+  const auto* exp = lex.ExpansionOf("ml");
+  ASSERT_NE(exp, nullptr);
+  EXPECT_EQ(*exp, (std::vector<std::string>{"machine", "learning"}));
+  std::filesystem::remove(path);
+}
+
+TEST(LexiconFileTest, RejectsMalformedEntries) {
+  std::string path = ::testing::TempDir() + "/lexicon_bad.txt";
+  auto write_and_load = [&](const std::string& content) {
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+    out.close();
+    Lexicon lex;
+    return lex.LoadFromFile(path);
+  };
+  EXPECT_FALSE(write_and_load("no colon line\n").ok());
+  EXPECT_FALSE(write_and_load("syn: onlyone\n").ok());
+  EXPECT_FALSE(write_and_load("acr: noequals\n").ok());
+  EXPECT_FALSE(write_and_load("acr: x =\n").ok());
+  EXPECT_FALSE(write_and_load("wat: a b\n").ok());
+  EXPECT_FALSE(write_and_load("syn bogus: a b\n").ok());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace xrefine::text
+
+// Engine integration: log-mined rules repair queries the corpus miner
+// cannot (e.g. rewrites beyond the spelling edit-distance budget).
+#include "tests/test_helpers.h"
+#include "core/xrefine.h"
+
+namespace xrefine::core {
+namespace {
+
+TEST(QueryLogEngineTest, AttachedLogEnablesExtraRepairs) {
+  auto corpus = testutil::MakeFigure1Corpus();
+  auto lexicon = text::Lexicon::BuiltIn();
+  XRefine engine(corpus.index.get(), &lexicon, {});
+
+  // "sky" -> "skyline": edit distance 4, far beyond the spelling budget;
+  // the corpus-mined rules cannot repair it...
+  auto before = engine.Run({"sky", "computation"});
+  bool fixed_before = false;
+  for (const auto& r : before.refined) {
+    for (const auto& k : r.rq.keywords) {
+      if (k == "skyline") fixed_before = true;
+    }
+  }
+  EXPECT_FALSE(fixed_before);
+
+  // ...but a log that has seen users accept the rewrite teaches it.
+  QueryLog log;
+  log.Record({"sky", "computation"}, {"skyline", "computation"});
+  log.Record({"sky", "line"}, {"skyline"});
+  log.Record({"sky"}, {"skyline"});
+  log.Record({"sky"}, {"skyline"});
+  engine.AttachQueryLog(log);
+
+  auto after = engine.Run({"sky", "computation"});
+  ASSERT_FALSE(after.refined.empty());
+  Query top = after.refined[0].rq.keywords;
+  std::sort(top.begin(), top.end());
+  EXPECT_EQ(top, (Query{"computation", "skyline"}));
+}
+
+}  // namespace
+}  // namespace xrefine::core

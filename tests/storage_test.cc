@@ -1,0 +1,479 @@
+// Tests for the storage substrate: serde, pager, B+-tree, KV store.
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "storage/btree.h"
+#include "storage/kvstore.h"
+#include "storage/pager.h"
+#include "storage/serde.h"
+
+namespace xrefine::storage {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// --- serde -------------------------------------------------------------------
+
+TEST(SerdeTest, FixedWidthRoundTrip) {
+  std::string buf;
+  PutFixed16(&buf, 0xBEEF);
+  PutFixed32(&buf, 0xDEADBEEF);
+  PutFixed64(&buf, 0x0123456789ABCDEFull);
+  EXPECT_EQ(GetFixed16(buf.data()), 0xBEEF);
+  EXPECT_EQ(GetFixed32(buf.data() + 2), 0xDEADBEEFu);
+  EXPECT_EQ(GetFixed64(buf.data() + 6), 0x0123456789ABCDEFull);
+}
+
+TEST(SerdeTest, VarintRoundTripBoundaries) {
+  for (uint32_t v : {0u, 1u, 127u, 128u, 16383u, 16384u, UINT32_MAX}) {
+    std::string buf;
+    PutVarint32(&buf, v);
+    const char* p = buf.data();
+    uint32_t out = 0;
+    ASSERT_TRUE(GetVarint32(&p, buf.data() + buf.size(), &out));
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(p, buf.data() + buf.size());
+  }
+}
+
+TEST(SerdeTest, Varint64RoundTrip) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{300}, uint64_t{1} << 40,
+                     UINT64_MAX}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    const char* p = buf.data();
+    uint64_t out = 0;
+    ASSERT_TRUE(GetVarint64(&p, buf.data() + buf.size(), &out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(SerdeTest, VarintRejectsTruncation) {
+  std::string buf;
+  PutVarint32(&buf, 1u << 30);
+  buf.pop_back();
+  const char* p = buf.data();
+  uint32_t out = 0;
+  EXPECT_FALSE(GetVarint32(&p, buf.data() + buf.size(), &out));
+}
+
+TEST(SerdeTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  const char* p = buf.data();
+  const char* limit = buf.data() + buf.size();
+  std::string_view a;
+  std::string_view b;
+  std::string_view c;
+  ASSERT_TRUE(GetLengthPrefixed(&p, limit, &a));
+  ASSERT_TRUE(GetLengthPrefixed(&p, limit, &b));
+  ASSERT_TRUE(GetLengthPrefixed(&p, limit, &c));
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c.size(), 1000u);
+}
+
+// --- pager -------------------------------------------------------------------
+
+TEST(PagerTest, InMemoryAllocatesSequentialIds) {
+  auto pager = Pager::Open("");
+  ASSERT_TRUE(pager.ok());
+  EXPECT_EQ((*pager)->page_count(), 1u);  // meta page
+  PageGuard p1 = (*pager)->NewPage();
+  PageGuard p2 = (*pager)->NewPage();
+  EXPECT_EQ(p1.id(), 1u);
+  EXPECT_EQ(p2.id(), 2u);
+  EXPECT_EQ((*pager)->Fetch(1).get(), p1.get());
+  EXPECT_FALSE((*pager)->Fetch(99).valid());
+}
+
+TEST(PagerTest, FlushAndReloadPreservesContents) {
+  std::string path = TempPath("pager_reload.db");
+  std::filesystem::remove(path);
+  {
+    auto pager = Pager::Open(path);
+    ASSERT_TRUE(pager.ok());
+    PageGuard p = (*pager)->NewPage();
+    std::memcpy(p->data, "hello pager", 11);
+    p.MarkDirty();
+    p.Release();
+    ASSERT_TRUE((*pager)->Flush().ok());
+  }
+  auto pager = Pager::Open(path);
+  ASSERT_TRUE(pager.ok());
+  EXPECT_EQ((*pager)->page_count(), 2u);
+  EXPECT_EQ(std::string((*pager)->Fetch(1)->data, 11), "hello pager");
+}
+
+TEST(PagerTest, BoundedPoolEvictsAndReloads) {
+  std::string path = TempPath("pager_evict.db");
+  std::filesystem::remove(path);
+  PagerOptions options;
+  options.max_cached_pages = 16;
+  auto pager = Pager::Open(path, options);
+  ASSERT_TRUE(pager.ok());
+  const int kPages = 100;
+  for (int i = 0; i < kPages; ++i) {
+    PageGuard p = (*pager)->NewPage();
+    std::snprintf(p->data, 32, "page-%u", p.id());
+    p.MarkDirty();
+  }
+  // Pool stayed bounded and evicted most pages.
+  EXPECT_LE((*pager)->cached_pages(), 16u);
+  EXPECT_GT((*pager)->evictions(), 0u);
+  // Every page reads back, evicted ones from disk.
+  for (PageId id = 1; id <= kPages; ++id) {
+    PageGuard p = (*pager)->Fetch(id);
+    ASSERT_TRUE(p.valid()) << id;
+    EXPECT_EQ(std::string(p->data), "page-" + std::to_string(id));
+  }
+  EXPECT_GT((*pager)->cache_misses(), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(PagerTest, PinnedPagesAreNeverEvicted) {
+  std::string path = TempPath("pager_pins.db");
+  std::filesystem::remove(path);
+  PagerOptions options;
+  options.max_cached_pages = 16;
+  auto pager = Pager::Open(path, options);
+  ASSERT_TRUE(pager.ok());
+  PageGuard pinned = (*pager)->NewPage();
+  std::memcpy(pinned->data, "pinned!", 7);
+  pinned.MarkDirty();
+  Page* raw = pinned.get();
+  // Chew through far more pages than the pool holds.
+  for (int i = 0; i < 200; ++i) {
+    PageGuard p = (*pager)->NewPage();
+    p.MarkDirty();
+  }
+  // The pinned page's buffer is still the same live object.
+  EXPECT_EQ(std::string(raw->data, 7), "pinned!");
+  PageGuard again = (*pager)->Fetch(pinned.id());
+  EXPECT_EQ(again.get(), raw);
+  std::filesystem::remove(path);
+}
+
+TEST(PagerTest, InMemoryNeverEvicts) {
+  PagerOptions options;
+  options.max_cached_pages = 16;  // ignored for in-memory pagers
+  auto pager = Pager::Open("", options);
+  ASSERT_TRUE(pager.ok());
+  for (int i = 0; i < 100; ++i) {
+    PageGuard p = (*pager)->NewPage();
+    p.MarkDirty();
+  }
+  EXPECT_EQ((*pager)->evictions(), 0u);
+  EXPECT_EQ((*pager)->cached_pages(), 101u);
+}
+
+TEST(PagerTest, RejectsCorruptFileSize) {
+  std::string path = TempPath("pager_corrupt.db");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a multiple of the page size";
+  }
+  EXPECT_FALSE(Pager::Open(path).ok());
+  std::filesystem::remove(path);
+}
+
+// --- btree -------------------------------------------------------------------
+
+std::unique_ptr<Pager> InMemoryPager() {
+  auto pager = Pager::Open("");
+  EXPECT_TRUE(pager.ok());
+  return std::move(pager).value();
+}
+
+TEST(BTreeTest, PutGetSingleKey) {
+  auto pager = InMemoryPager();
+  auto tree = BTree::Open(pager.get());
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE((*tree)->Put("key", "value").ok());
+  auto got = (*tree)->Get("key");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "value");
+  EXPECT_EQ((*tree)->size(), 1u);
+}
+
+TEST(BTreeTest, GetMissingIsNotFound) {
+  auto pager = InMemoryPager();
+  auto tree = BTree::Open(pager.get());
+  EXPECT_TRUE((*tree)->Get("nope").status().IsNotFound());
+}
+
+TEST(BTreeTest, PutReplacesValue) {
+  auto pager = InMemoryPager();
+  auto tree = BTree::Open(pager.get());
+  ASSERT_TRUE((*tree)->Put("k", "v1").ok());
+  ASSERT_TRUE((*tree)->Put("k", "v2").ok());
+  EXPECT_EQ(*(*tree)->Get("k"), "v2");
+  EXPECT_EQ((*tree)->size(), 1u);
+}
+
+TEST(BTreeTest, RejectsEmptyAndOversizedKeys) {
+  auto pager = InMemoryPager();
+  auto tree = BTree::Open(pager.get());
+  EXPECT_TRUE((*tree)->Put("", "v").IsInvalidArgument());
+  std::string big(kMaxKeyLength + 1, 'k');
+  EXPECT_TRUE((*tree)->Put(big, "v").IsInvalidArgument());
+}
+
+TEST(BTreeTest, DeleteRemovesKey) {
+  auto pager = InMemoryPager();
+  auto tree = BTree::Open(pager.get());
+  ASSERT_TRUE((*tree)->Put("a", "1").ok());
+  ASSERT_TRUE((*tree)->Put("b", "2").ok());
+  ASSERT_TRUE((*tree)->Delete("a").ok());
+  EXPECT_TRUE((*tree)->Get("a").status().IsNotFound());
+  EXPECT_EQ(*(*tree)->Get("b"), "2");
+  EXPECT_EQ((*tree)->size(), 1u);
+  EXPECT_TRUE((*tree)->Delete("a").IsNotFound());
+}
+
+TEST(BTreeTest, ManyKeysForceSplits) {
+  auto pager = InMemoryPager();
+  auto tree = BTree::Open(pager.get());
+  const int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    std::string key = "key-" + std::to_string(i * 7919 % kN);
+    ASSERT_TRUE((*tree)->Put(key, "val-" + key).ok()) << key;
+  }
+  EXPECT_EQ((*tree)->size(), static_cast<uint64_t>(kN));
+  for (int i = 0; i < kN; ++i) {
+    std::string key = "key-" + std::to_string(i);
+    auto got = (*tree)->Get(key);
+    ASSERT_TRUE(got.ok()) << key;
+    EXPECT_EQ(*got, "val-" + key);
+  }
+  EXPECT_GT(pager->page_count(), 10u);  // splits actually happened
+}
+
+TEST(BTreeTest, CursorScansInByteOrder) {
+  auto pager = InMemoryPager();
+  auto tree = BTree::Open(pager.get());
+  std::vector<std::string> keys = {"delta", "alpha", "echo", "bravo",
+                                   "charlie"};
+  for (const auto& k : keys) ASSERT_TRUE((*tree)->Put(k, "v:" + k).ok());
+  std::sort(keys.begin(), keys.end());
+  auto cursor = (*tree)->NewCursor();
+  size_t i = 0;
+  for (cursor.SeekToFirst(); cursor.Valid(); cursor.Next(), ++i) {
+    ASSERT_LT(i, keys.size());
+    EXPECT_EQ(cursor.key(), keys[i]);
+    EXPECT_EQ(cursor.value(), "v:" + keys[i]);
+  }
+  EXPECT_EQ(i, keys.size());
+}
+
+TEST(BTreeTest, CursorSeekLandsOnLowerBound) {
+  auto pager = InMemoryPager();
+  auto tree = BTree::Open(pager.get());
+  for (const char* k : {"b", "d", "f"}) ASSERT_TRUE((*tree)->Put(k, k).ok());
+  auto cursor = (*tree)->NewCursor();
+  cursor.Seek("c");
+  ASSERT_TRUE(cursor.Valid());
+  EXPECT_EQ(cursor.key(), "d");
+  cursor.Seek("f");
+  ASSERT_TRUE(cursor.Valid());
+  EXPECT_EQ(cursor.key(), "f");
+  cursor.Seek("z");
+  EXPECT_FALSE(cursor.Valid());
+}
+
+TEST(BTreeTest, OverflowValuesRoundTrip) {
+  auto pager = InMemoryPager();
+  auto tree = BTree::Open(pager.get());
+  std::string huge(100 * 1000, 'x');
+  for (size_t i = 0; i < huge.size(); ++i) {
+    huge[i] = static_cast<char>('a' + (i % 26));
+  }
+  ASSERT_TRUE((*tree)->Put("big", huge).ok());
+  ASSERT_TRUE((*tree)->Put("small", "s").ok());
+  auto got = (*tree)->Get("big");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, huge);
+  // Cursor path reads overflow values too.
+  auto cursor = (*tree)->NewCursor();
+  cursor.Seek("big");
+  ASSERT_TRUE(cursor.Valid());
+  EXPECT_EQ(cursor.value(), huge);
+}
+
+TEST(BTreeTest, PersistsAcrossReopen) {
+  std::string path = TempPath("btree_reopen.db");
+  std::filesystem::remove(path);
+  {
+    auto pager = Pager::Open(path);
+    auto tree = BTree::Open(pager.value().get());
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE((*tree)
+                      ->Put("key" + std::to_string(i),
+                            "value" + std::to_string(i))
+                      .ok());
+    }
+    ASSERT_TRUE(pager.value()->Flush().ok());
+  }
+  auto pager = Pager::Open(path);
+  auto tree = BTree::Open(pager.value().get());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ((*tree)->size(), 500u);
+  for (int i = 0; i < 500; ++i) {
+    auto got = (*tree)->Get("key" + std::to_string(i));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, "value" + std::to_string(i));
+  }
+  std::filesystem::remove(path);
+}
+
+// Randomised differential test against std::map across seeds.
+class BTreeFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BTreeFuzzTest, AgreesWithStdMap) {
+  Random rng(GetParam());
+  auto pager = InMemoryPager();
+  auto tree = BTree::Open(pager.get());
+  std::map<std::string, std::string> reference;
+  for (int op = 0; op < 3000; ++op) {
+    std::string key = "k" + std::to_string(rng.Uniform(0, 400));
+    int action = static_cast<int>(rng.Uniform(0, 9));
+    if (action < 6) {  // put
+      std::string value(static_cast<size_t>(rng.Uniform(0, 64)), 'v');
+      value += std::to_string(op);
+      ASSERT_TRUE((*tree)->Put(key, value).ok());
+      reference[key] = value;
+    } else if (action < 8) {  // get
+      auto got = (*tree)->Get(key);
+      auto it = reference.find(key);
+      if (it == reference.end()) {
+        EXPECT_TRUE(got.status().IsNotFound());
+      } else {
+        ASSERT_TRUE(got.ok());
+        EXPECT_EQ(*got, it->second);
+      }
+    } else {  // delete
+      Status st = (*tree)->Delete(key);
+      EXPECT_EQ(st.ok(), reference.erase(key) > 0);
+    }
+  }
+  EXPECT_EQ((*tree)->size(), reference.size());
+  // Full scan must equal the reference map.
+  auto cursor = (*tree)->NewCursor();
+  auto it = reference.begin();
+  for (cursor.SeekToFirst(); cursor.Valid(); cursor.Next(), ++it) {
+    ASSERT_NE(it, reference.end());
+    EXPECT_EQ(cursor.key(), it->first);
+    EXPECT_EQ(cursor.value(), it->second);
+  }
+  EXPECT_EQ(it, reference.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeFuzzTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// The same differential workload through a tiny buffer pool: every page
+// access is a potential eviction/reload, stressing the pin discipline and
+// the write-back path.
+class BTreeTinyCacheTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BTreeTinyCacheTest, AgreesWithStdMapUnderEviction) {
+  std::string path = TempPath("btree_tiny_cache_" +
+                              std::to_string(GetParam()) + ".db");
+  std::filesystem::remove(path);
+  PagerOptions options;
+  options.max_cached_pages = 16;  // minimum pool
+  auto pager = Pager::Open(path, options);
+  ASSERT_TRUE(pager.ok());
+  auto tree = BTree::Open(pager.value().get());
+  ASSERT_TRUE(tree.ok());
+
+  Random rng(GetParam());
+  std::map<std::string, std::string> reference;
+  for (int op = 0; op < 2500; ++op) {
+    std::string key = "k" + std::to_string(rng.Uniform(0, 500));
+    if (rng.OneIn(0.75)) {
+      // Mix of small and overflow-sized values.
+      size_t len = rng.OneIn(0.1) ? static_cast<size_t>(rng.Uniform(2000, 9000))
+                                  : static_cast<size_t>(rng.Uniform(0, 64));
+      std::string value(len, 'v');
+      value += std::to_string(op);
+      ASSERT_TRUE((*tree)->Put(key, value).ok());
+      reference[key] = value;
+    } else {
+      Status st = (*tree)->Delete(key);
+      EXPECT_EQ(st.ok(), reference.erase(key) > 0);
+    }
+  }
+  ASSERT_TRUE((*tree)->VerifyIntegrity().ok());
+  EXPECT_GT(pager.value()->evictions(), 0u);  // the pool actually churned
+  EXPECT_LE(pager.value()->cached_pages(), 32u);
+
+  auto cursor = (*tree)->NewCursor();
+  auto it = reference.begin();
+  for (cursor.SeekToFirst(); cursor.Valid(); cursor.Next(), ++it) {
+    ASSERT_NE(it, reference.end());
+    EXPECT_EQ(cursor.key(), it->first);
+    EXPECT_EQ(cursor.value(), it->second);
+  }
+  EXPECT_EQ(it, reference.end());
+  std::filesystem::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeTinyCacheTest,
+                         ::testing::Values(71, 72, 73));
+
+// --- kvstore -----------------------------------------------------------------
+
+TEST(KVStoreTest, BasicOperations) {
+  auto store = KVStore::Open("");
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("a", "1").ok());
+  EXPECT_EQ(*(*store)->Get("a"), "1");
+  ASSERT_TRUE((*store)->Delete("a").ok());
+  EXPECT_TRUE((*store)->Get("a").status().IsNotFound());
+}
+
+TEST(KVStoreTest, CompositeKeysGroupByNameAndOrderById) {
+  std::string k1 = EncodeCompositeKey("alpha", 2);
+  std::string k2 = EncodeCompositeKey("alpha", 10);
+  std::string k3 = EncodeCompositeKey("beta", 1);
+  EXPECT_LT(k1, k2);  // big-endian id keeps numeric order
+  EXPECT_LT(k2, k3);
+  std::string name;
+  uint32_t id = 0;
+  ASSERT_TRUE(DecodeCompositeKey(k2, &name, &id));
+  EXPECT_EQ(name, "alpha");
+  EXPECT_EQ(id, 10u);
+  EXPECT_FALSE(DecodeCompositeKey("no-nul", &name, &id));
+  EXPECT_TRUE(StartsWith(k1, CompositeKeyPrefix("alpha")));
+}
+
+TEST(KVStoreTest, PersistenceThroughFlush) {
+  std::string path = TempPath("kvstore_persist.db");
+  std::filesystem::remove(path);
+  {
+    auto store = KVStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("persisted", "yes").ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  auto store = KVStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(*(*store)->Get("persisted"), "yes");
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace xrefine::storage

@@ -1,0 +1,230 @@
+// Tests for the text substrate: tokenizer, edit distance, Porter stemmer,
+// lexicon, segmenter.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "text/edit_distance.h"
+#include "text/lexicon.h"
+#include "text/porter_stemmer.h"
+#include "text/segmenter.h"
+#include "text/tokenizer.h"
+
+namespace xrefine::text {
+namespace {
+
+// --- tokenizer ---------------------------------------------------------------
+
+TEST(TokenizerTest, SplitsOnNonAlnumAndLowercases) {
+  EXPECT_EQ(Tokenize("XML Keyword-Search, 2003!"),
+            (std::vector<std::string>{"xml", "keyword", "search", "2003"}));
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("--- ,,, ...").empty());
+}
+
+TEST(TokenizerTest, KeepsDigits) {
+  EXPECT_EQ(Tokenize("vol42 2003"),
+            (std::vector<std::string>{"vol42", "2003"}));
+}
+
+TEST(TokenizerTest, NormalizeTerm) {
+  EXPECT_EQ(NormalizeTerm("Data-Base"), "database");
+  EXPECT_EQ(NormalizeTerm("  "), "");
+}
+
+// --- edit distance ------------------------------------------------------------
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("", ""), 0);
+  EXPECT_EQ(EditDistance("abc", ""), 3);
+  EXPECT_EQ(EditDistance("", "abc"), 3);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2);
+  EXPECT_EQ(EditDistance("database", "databse"), 1);
+  EXPECT_EQ(EditDistance("mecin", "machine"), 3);
+  EXPECT_EQ(EditDistance("same", "same"), 0);
+}
+
+TEST(EditDistanceTest, AtMostMatchesExactWithinBound) {
+  EXPECT_EQ(EditDistanceAtMost("kitten", "sitting", 3), 3);
+  EXPECT_EQ(EditDistanceAtMost("kitten", "sitting", 2), 3);  // capped
+  EXPECT_EQ(EditDistanceAtMost("abc", "abc", 0), 0);
+  EXPECT_EQ(EditDistanceAtMost("abc", "abd", 0), 1);  // exceeds bound 0
+}
+
+TEST(EditDistanceTest, LengthGapShortCircuits) {
+  EXPECT_EQ(EditDistanceAtMost("a", "abcdefgh", 2), 3);
+}
+
+// Property: the banded variant agrees with the full computation whenever
+// the true distance is within the band.
+class EditDistancePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EditDistancePropertyTest, BandedAgreesWithFull) {
+  Random rng(GetParam());
+  auto random_word = [&]() {
+    size_t len = static_cast<size_t>(rng.Uniform(0, 12));
+    std::string w(len, 'a');
+    for (auto& c : w) c = static_cast<char>('a' + rng.Uniform(0, 4));
+    return w;
+  };
+  for (int i = 0; i < 300; ++i) {
+    std::string a = random_word();
+    std::string b = random_word();
+    int full = EditDistance(a, b);
+    for (int bound : {0, 1, 2, 3, 8}) {
+      int banded = EditDistanceAtMost(a, b, bound);
+      if (full <= bound) {
+        EXPECT_EQ(banded, full) << a << " vs " << b << " bound " << bound;
+      } else {
+        EXPECT_GT(banded, bound) << a << " vs " << b << " bound " << bound;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EditDistancePropertyTest,
+                         ::testing::Values(101, 202, 303));
+
+// --- Porter stemmer -----------------------------------------------------------
+
+TEST(PorterStemmerTest, ClassicExamples) {
+  // Vectors from Porter's original paper and reference implementation.
+  EXPECT_EQ(PorterStem("caresses"), "caress");
+  EXPECT_EQ(PorterStem("ponies"), "poni");
+  EXPECT_EQ(PorterStem("cats"), "cat");
+  EXPECT_EQ(PorterStem("feed"), "feed");
+  // Step 1b yields "agree"; step 5a then drops the final e (the official
+  // Porter vocabulary output stems "agreed" to "agre").
+  EXPECT_EQ(PorterStem("agreed"), "agre");
+  EXPECT_EQ(PorterStem("plastered"), "plaster");
+  EXPECT_EQ(PorterStem("motoring"), "motor");
+  EXPECT_EQ(PorterStem("sing"), "sing");
+  EXPECT_EQ(PorterStem("conflated"), "conflat");
+  EXPECT_EQ(PorterStem("troubled"), "troubl");
+  EXPECT_EQ(PorterStem("sized"), "size");
+  EXPECT_EQ(PorterStem("hopping"), "hop");
+  EXPECT_EQ(PorterStem("falling"), "fall");
+  EXPECT_EQ(PorterStem("hissing"), "hiss");
+  EXPECT_EQ(PorterStem("happy"), "happi");
+  EXPECT_EQ(PorterStem("relational"), "relat");
+  EXPECT_EQ(PorterStem("conditional"), "condit");
+  EXPECT_EQ(PorterStem("vietnamization"), "vietnam");
+  EXPECT_EQ(PorterStem("triplicate"), "triplic");
+  EXPECT_EQ(PorterStem("hopefulness"), "hope");
+  EXPECT_EQ(PorterStem("adjustable"), "adjust");
+  EXPECT_EQ(PorterStem("effective"), "effect");
+  EXPECT_EQ(PorterStem("probate"), "probat");
+  EXPECT_EQ(PorterStem("controll"), "control");
+}
+
+TEST(PorterStemmerTest, DomainVariantsConflate) {
+  EXPECT_EQ(PorterStem("matching"), PorterStem("match"));
+  EXPECT_EQ(PorterStem("queries"), PorterStem("query"));
+  EXPECT_EQ(PorterStem("indexing"), PorterStem("index"));
+  EXPECT_EQ(PorterStem("databases"), PorterStem("database"));
+}
+
+TEST(PorterStemmerTest, ShortWordsUnchanged) {
+  EXPECT_EQ(PorterStem("db"), "db");
+  EXPECT_EQ(PorterStem("a"), "a");
+  EXPECT_EQ(PorterStem(""), "");
+}
+
+TEST(PorterStemmerTest, ShareStemExcludesIdentity) {
+  EXPECT_TRUE(ShareStem("match", "matching"));
+  EXPECT_FALSE(ShareStem("match", "match"));
+  EXPECT_FALSE(ShareStem("match", "query"));
+}
+
+// --- lexicon -----------------------------------------------------------------
+
+TEST(LexiconTest, SynonymGroupsAreMutual) {
+  Lexicon lex;
+  lex.AddSynonymGroup({"car", "auto", "vehicle"});
+  auto syns = lex.SynonymsOf("auto");
+  ASSERT_EQ(syns.size(), 2u);
+  EXPECT_TRUE(syns[0].word == "car" || syns[1].word == "car");
+  EXPECT_TRUE(lex.SynonymsOf("unknown").empty());
+}
+
+TEST(LexiconTest, SynonymCostPropagates) {
+  Lexicon lex;
+  lex.AddSynonymGroup({"x", "y"}, 2.5);
+  auto syns = lex.SynonymsOf("x");
+  ASSERT_EQ(syns.size(), 1u);
+  EXPECT_DOUBLE_EQ(syns[0].cost, 2.5);
+}
+
+TEST(LexiconTest, AcronymBothDirections) {
+  Lexicon lex;
+  lex.AddAcronym("WWW", {"World", "Wide", "Web"});
+  const auto* expansion = lex.ExpansionOf("www");
+  ASSERT_NE(expansion, nullptr);
+  EXPECT_EQ(*expansion, (std::vector<std::string>{"world", "wide", "web"}));
+  EXPECT_EQ(lex.AcronymsFor({"world", "wide", "web"}),
+            (std::vector<std::string>{"www"}));
+  EXPECT_TRUE(lex.AcronymsFor({"world", "wide"}).empty());
+  EXPECT_EQ(lex.ExpansionOf("nope"), nullptr);
+}
+
+TEST(LexiconTest, BuiltInCoversPaperExamples) {
+  Lexicon lex = Lexicon::BuiltIn();
+  // Example 1: publication ~ article/inproceedings/proceedings.
+  bool found_article = false;
+  for (const auto& s : lex.SynonymsOf("publication")) {
+    if (s.word == "article") found_article = true;
+  }
+  EXPECT_TRUE(found_article);
+  // Rule r6: WWW <-> world wide web.
+  ASSERT_NE(lex.ExpansionOf("www"), nullptr);
+}
+
+// --- segmenter ---------------------------------------------------------------
+
+TEST(SegmenterTest, SplitsMergedTokens) {
+  Segmenter seg({"sky", "skyline", "computation", "data", "base", "line"});
+  EXPECT_EQ(seg.Segment("skylinecomputation"),
+            (std::vector<std::string>{"skyline", "computation"}));
+  EXPECT_EQ(seg.Segment("database"),
+            (std::vector<std::string>{"data", "base"}));
+}
+
+TEST(SegmenterTest, PrefersFewestPieces) {
+  Segmenter seg({"a", "ab", "abc", "d", "cd", "abcd"});
+  // "abcd" itself in vocab -> no segmentation needed.
+  EXPECT_TRUE(seg.Segment("abcd").empty());
+}
+
+TEST(SegmenterTest, FewestPiecesWins) {
+  Segmenter seg({"ma", "chine", "mach", "in", "elearning", "machine",
+                 "learning", "le", "arning"});
+  EXPECT_EQ(seg.Segment("machinelearning"),
+            (std::vector<std::string>{"machine", "learning"}));
+}
+
+TEST(SegmenterTest, NoSegmentationReturnsEmpty) {
+  Segmenter seg({"alpha", "beta"});
+  EXPECT_TRUE(seg.Segment("gamma").empty());
+  EXPECT_TRUE(seg.Segment("alphax").empty());
+  EXPECT_TRUE(seg.Segment("ab").empty());  // too short for two pieces
+}
+
+TEST(SegmenterTest, RespectsMinPieceLength) {
+  Segmenter seg({"a", "b", "ab"}, /*min_piece_length=*/2);
+  EXPECT_TRUE(seg.Segment("ab").empty());     // in vocab
+  EXPECT_TRUE(seg.Segment("abab").empty() ||
+              seg.Segment("abab") ==
+                  (std::vector<std::string>{"ab", "ab"}));
+}
+
+TEST(SegmenterTest, ThreeWaySplit) {
+  Segmenter seg({"world", "wide", "web"});
+  EXPECT_EQ(seg.Segment("worldwideweb"),
+            (std::vector<std::string>{"world", "wide", "web"}));
+}
+
+}  // namespace
+}  // namespace xrefine::text

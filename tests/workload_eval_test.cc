@@ -1,0 +1,316 @@
+// Tests for the workload generators, query corruption, and the evaluation
+// utilities (CG metric, oracle judge).
+#include <gtest/gtest.h>
+
+#include "eval/cumulated_gain.h"
+#include "eval/oracle_judge.h"
+#include "core/xrefine.h"
+#include "index/index_builder.h"
+#include "text/lexicon.h"
+#include "workload/baseball_generator.h"
+#include "workload/corruption.h"
+#include "workload/dblp_generator.h"
+#include "workload/xmark_generator.h"
+#include "workload/query_generator.h"
+#include "xml/xml_writer.h"
+
+namespace xrefine::workload {
+namespace {
+
+TEST(DblpGeneratorTest, DeterministicForSeed) {
+  DblpOptions options;
+  options.num_authors = 20;
+  auto a = GenerateDblp(options);
+  auto b = GenerateDblp(options);
+  ASSERT_EQ(a.NodeCount(), b.NodeCount());
+  EXPECT_EQ(xml::WriteXml(a), xml::WriteXml(b));
+}
+
+TEST(DblpGeneratorTest, DifferentSeedsDiffer) {
+  DblpOptions a;
+  a.num_authors = 20;
+  DblpOptions b = a;
+  b.seed = 999;
+  EXPECT_NE(xml::WriteXml(GenerateDblp(a)), xml::WriteXml(GenerateDblp(b)));
+}
+
+TEST(DblpGeneratorTest, ShapeFollowsFigure1) {
+  DblpOptions options;
+  options.num_authors = 10;
+  auto doc = GenerateDblp(options);
+  EXPECT_EQ(doc.tag(doc.root()), "bib");
+  ASSERT_EQ(doc.children(doc.root()).size(), 10u);
+  for (xml::NodeId author : doc.children(doc.root())) {
+    EXPECT_EQ(doc.tag(author), "author");
+    bool has_pubs = false;
+    for (xml::NodeId child : doc.children(author)) {
+      if (doc.tag(child) == "publications") {
+        has_pubs = true;
+        EXPECT_GE(doc.children(child).size(), options.min_publications_per_author);
+        EXPECT_LE(doc.children(child).size(), options.max_publications_per_author);
+      }
+    }
+    EXPECT_TRUE(has_pubs);
+  }
+}
+
+TEST(DblpGeneratorTest, ScalesWithAuthors) {
+  DblpOptions small;
+  small.num_authors = 10;
+  DblpOptions large = small;
+  large.num_authors = 100;
+  EXPECT_GT(GenerateDblp(large).NodeCount(),
+            5 * GenerateDblp(small).NodeCount());
+}
+
+TEST(BaseballGeneratorTest, StructureMatchesOptions) {
+  BaseballOptions options;
+  options.num_leagues = 2;
+  options.divisions_per_league = 3;
+  options.teams_per_division = 2;
+  options.players_per_team = 4;
+  auto doc = GenerateBaseball(options);
+  EXPECT_EQ(doc.tag(doc.root()), "season");
+  size_t leagues = 0;
+  size_t players = 0;
+  for (xml::NodeId id = 0; id < doc.NodeCount(); ++id) {
+    if (doc.tag(id) == "league") ++leagues;
+    if (doc.tag(id) == "player") ++players;
+  }
+  EXPECT_EQ(leagues, 2u);
+  EXPECT_EQ(players, 2u * 3u * 2u * 4u);
+}
+
+TEST(XmarkGeneratorTest, StructureAndDeterminism) {
+  XmarkOptions options;
+  options.num_regions = 3;
+  options.items_per_region = 5;
+  options.num_people = 10;
+  options.num_auctions = 8;
+  auto doc = GenerateXmark(options);
+  EXPECT_EQ(doc.tag(doc.root()), "site");
+  // Exactly three top-level sections.
+  ASSERT_EQ(doc.children(doc.root()).size(), 3u);
+  EXPECT_EQ(doc.tag(doc.children(doc.root())[0]), "regions");
+  EXPECT_EQ(doc.tag(doc.children(doc.root())[1]), "people");
+  EXPECT_EQ(doc.tag(doc.children(doc.root())[2]), "open_auctions");
+  size_t items = 0;
+  size_t people = 0;
+  size_t auctions = 0;
+  for (xml::NodeId id = 0; id < doc.NodeCount(); ++id) {
+    if (doc.tag(id) == "item") ++items;
+    if (doc.tag(id) == "person") ++people;
+    if (doc.tag(id) == "auction") ++auctions;
+  }
+  EXPECT_EQ(items, 15u);
+  EXPECT_EQ(people, 10u);
+  EXPECT_EQ(auctions, 8u);
+  // Deterministic for the seed.
+  EXPECT_EQ(xml::WriteXml(doc), xml::WriteXml(GenerateXmark(options)));
+}
+
+TEST(XmarkGeneratorTest, EngineRefinesAuctionQueries) {
+  auto doc = GenerateXmark({});
+  auto corpus = index::BuildIndex(doc);
+  auto lexicon = text::Lexicon::BuiltIn();
+  core::XRefine engine(corpus.get(), &lexicon, {});
+  // A typo over the auction vocabulary must be repaired even though the
+  // document has only three coarse partitions.
+  auto outcome = engine.RunText("antiqe guitar");
+  ASSERT_FALSE(outcome.refined.empty());
+  bool fixed = false;
+  for (const auto& r : outcome.refined) {
+    for (const auto& k : r.rq.keywords) {
+      if (k == "antique") fixed = true;
+    }
+  }
+  EXPECT_TRUE(fixed);
+}
+
+class CorruptorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DblpOptions options;
+    options.num_authors = 60;
+    doc_ = GenerateDblp(options);
+    corpus_ = index::BuildIndex(doc_);
+    lexicon_ = text::Lexicon::BuiltIn();
+    corruptor_ =
+        std::make_unique<Corruptor>(&corpus_->index(), &lexicon_);
+  }
+
+  xml::Document doc_;
+  std::unique_ptr<index::IndexedCorpus> corpus_;
+  text::Lexicon lexicon_;
+  std::unique_ptr<Corruptor> corruptor_;
+};
+
+TEST_F(CorruptorTest, TypoProducesOutOfVocabularyTerm) {
+  Random rng(4);
+  CorruptedQuery cq;
+  ASSERT_TRUE(corruptor_->Corrupt({"database", "query"}, CorruptionKind::kTypo,
+                                  &rng, &cq));
+  EXPECT_EQ(cq.intended, (core::Query{"database", "query"}));
+  EXPECT_EQ(cq.corrupted.size(), 2u);
+  bool has_oov = false;
+  for (const auto& t : cq.corrupted) {
+    if (!corpus_->index().Contains(t)) has_oov = true;
+  }
+  EXPECT_TRUE(has_oov);
+}
+
+TEST_F(CorruptorTest, SpuriousSplitAddsOneTerm) {
+  Random rng(4);
+  CorruptedQuery cq;
+  ASSERT_TRUE(corruptor_->Corrupt({"database"}, CorruptionKind::kSpuriousSplit,
+                                  &rng, &cq));
+  EXPECT_EQ(cq.corrupted.size(), 2u);
+  EXPECT_EQ(cq.corrupted[0] + cq.corrupted[1], "database");
+}
+
+TEST_F(CorruptorTest, SpuriousMergeJoinsAdjacentTerms) {
+  Random rng(4);
+  CorruptedQuery cq;
+  ASSERT_TRUE(corruptor_->Corrupt({"skyline", "computation"},
+                                  CorruptionKind::kSpuriousMerge, &rng, &cq));
+  ASSERT_EQ(cq.corrupted.size(), 1u);
+  EXPECT_EQ(cq.corrupted[0], "skylinecomputation");
+}
+
+TEST_F(CorruptorTest, OverRestrictAppendsTerm) {
+  Random rng(4);
+  CorruptedQuery cq;
+  ASSERT_TRUE(corruptor_->Corrupt({"database", "query"},
+                                  CorruptionKind::kOverRestrict, &rng, &cq));
+  EXPECT_EQ(cq.corrupted.size(), 3u);
+}
+
+TEST_F(CorruptorTest, InapplicableKindReturnsFalse) {
+  Random rng(4);
+  CorruptedQuery cq;
+  // No adjacent pair to merge in a single-term query.
+  EXPECT_FALSE(corruptor_->Corrupt({"xml"}, CorruptionKind::kSpuriousMerge,
+                                   &rng, &cq));
+}
+
+TEST_F(CorruptorTest, CorruptAnyFindsSomething) {
+  Random rng(4);
+  CorruptedQuery cq;
+  EXPECT_TRUE(corruptor_->CorruptAny({"database", "query", "processing"},
+                                     &rng, &cq));
+  EXPECT_FALSE(cq.description.empty());
+}
+
+TEST_F(CorruptorTest, QueryGeneratorPoolsAreAnswerableBeforeCorruption) {
+  QueryGeneratorOptions options;
+  options.target_tag = "inproceedings";
+  QueryGenerator qgen(&doc_, corpus_.get(), corruptor_.get(), options);
+  auto pool = qgen.GeneratePool(20);
+  ASSERT_GE(pool.size(), 10u);
+  for (const auto& cq : pool) {
+    // Every intended term is in the corpus (sampled from real content).
+    for (const auto& t : cq.intended) {
+      EXPECT_TRUE(corpus_->index().Contains(t)) << t;
+    }
+    EXPECT_GE(cq.intended.size(), options.min_terms);
+    EXPECT_NE(cq.intended, cq.corrupted);
+  }
+}
+
+TEST_F(CorruptorTest, KindNamesAreUnique) {
+  std::vector<CorruptionKind> kinds = {
+      CorruptionKind::kTypo,          CorruptionKind::kSpuriousSplit,
+      CorruptionKind::kSpuriousMerge, CorruptionKind::kSynonymMismatch,
+      CorruptionKind::kAcronym,       CorruptionKind::kStemVariant,
+      CorruptionKind::kOverRestrict};
+  std::set<std::string> names;
+  for (auto kind : kinds) names.insert(CorruptionKindName(kind));
+  EXPECT_EQ(names.size(), kinds.size());
+}
+
+}  // namespace
+}  // namespace xrefine::workload
+
+namespace xrefine::eval {
+namespace {
+
+TEST(CumulatedGainTest, MatchesDefinition) {
+  std::vector<int> gains = {3, 0, 2, 1};
+  auto cg = CumulatedGain(gains);
+  ASSERT_EQ(cg.size(), 4u);
+  EXPECT_DOUBLE_EQ(cg[0], 3);
+  EXPECT_DOUBLE_EQ(cg[1], 3);
+  EXPECT_DOUBLE_EQ(cg[2], 5);
+  EXPECT_DOUBLE_EQ(cg[3], 6);
+  EXPECT_DOUBLE_EQ(CumulatedGainAt(gains, 2), 3);
+  EXPECT_DOUBLE_EQ(CumulatedGainAt(gains, 10), 6);  // zero padded
+  EXPECT_DOUBLE_EQ(CumulatedGainAt({}, 4), 0);
+}
+
+TEST(CumulatedGainTest, DiscountedVariant) {
+  std::vector<int> gains = {3, 3};
+  // DCG = 3 + 3/log2(2) = 6.
+  EXPECT_DOUBLE_EQ(DiscountedCumulatedGainAt(gains, 2), 6.0);
+  std::vector<int> later = {0, 0, 3};
+  EXPECT_LT(DiscountedCumulatedGainAt(later, 3), 3.0);
+}
+
+TEST(CumulatedGainTest, MeanOverQueries) {
+  std::vector<std::vector<int>> per_query = {{3, 0}, {1, 1}};
+  EXPECT_DOUBLE_EQ(MeanCumulatedGainAt(per_query, 1), 2.0);
+  EXPECT_DOUBLE_EQ(MeanCumulatedGainAt(per_query, 2), 2.5);
+  EXPECT_DOUBLE_EQ(MeanCumulatedGainAt({}, 2), 0.0);
+}
+
+TEST(OracleJudgeTest, ExactRecoveryIsHighlyRelevant) {
+  workload::CorruptedQuery gt;
+  gt.intended = {"skyline", "computation"};
+  gt.corrupted = {"skylne", "computation"};
+  core::RankedRq rq;
+  rq.rq.keywords = {"computation", "skyline"};
+  rq.results.push_back(slca::SlcaResult{xml::Dewey({0, 1}), 0});
+  EXPECT_EQ(JudgeRelevance(gt, rq), 3);
+}
+
+TEST(OracleJudgeTest, EmptyResultsAreIrrelevant) {
+  workload::CorruptedQuery gt;
+  gt.intended = {"a", "b"};
+  core::RankedRq rq;
+  rq.rq.keywords = {"a", "b"};
+  EXPECT_EQ(JudgeRelevance(gt, rq), 0);
+}
+
+TEST(OracleJudgeTest, PartialOverlapGraded) {
+  workload::CorruptedQuery gt;
+  gt.intended = {"a", "b", "c"};
+  core::RankedRq partial;
+  partial.rq.keywords = {"a", "b"};  // jaccard 2/3
+  partial.results.push_back(slca::SlcaResult{xml::Dewey({0}), 0});
+  EXPECT_EQ(JudgeRelevance(gt, partial), 2);
+  core::RankedRq weak;
+  weak.rq.keywords = {"a", "x", "y"};  // jaccard 1/5
+  weak.results.push_back(slca::SlcaResult{xml::Dewey({0}), 0});
+  EXPECT_EQ(JudgeRelevance(gt, weak), 0);
+}
+
+TEST(OracleJudgeTest, JudgeRankingProducesGainVector) {
+  workload::CorruptedQuery gt;
+  gt.intended = {"a", "b"};
+  core::RankedRq exact;
+  exact.rq.keywords = {"a", "b"};
+  exact.results.push_back(slca::SlcaResult{xml::Dewey({0}), 0});
+  core::RankedRq empty;
+  empty.rq.keywords = {"a", "b"};
+  auto gains = JudgeRanking(gt, {exact, empty});
+  EXPECT_EQ(gains, (std::vector<int>{3, 0}));
+}
+
+TEST(OracleJudgeTest, JaccardBasics) {
+  EXPECT_DOUBLE_EQ(KeywordJaccard({"a", "b"}, {"a", "b"}), 1.0);
+  EXPECT_DOUBLE_EQ(KeywordJaccard({"a"}, {"b"}), 0.0);
+  EXPECT_DOUBLE_EQ(KeywordJaccard({"a", "b"}, {"b", "c"}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(KeywordJaccard({}, {}), 1.0);
+}
+
+}  // namespace
+}  // namespace xrefine::eval

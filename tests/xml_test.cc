@@ -1,0 +1,251 @@
+// Tests for the XML substrate: node-type interning, the document tree, the
+// parser, and writer round-trips.
+#include <gtest/gtest.h>
+
+#include "xml/document.h"
+#include "xml/node_type.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace xrefine::xml {
+namespace {
+
+// --- NodeTypeTable ---------------------------------------------------------
+
+TEST(NodeTypeTableTest, InternIsIdempotent) {
+  NodeTypeTable types;
+  TypeId root = types.Intern(kInvalidTypeId, "bib");
+  TypeId author = types.Intern(root, "author");
+  EXPECT_EQ(types.Intern(root, "author"), author);
+  EXPECT_EQ(types.size(), 2u);
+}
+
+TEST(NodeTypeTableTest, PathAndDepth) {
+  NodeTypeTable types;
+  TypeId root = types.Intern(kInvalidTypeId, "bib");
+  TypeId author = types.Intern(root, "author");
+  TypeId pubs = types.Intern(author, "publications");
+  EXPECT_EQ(types.path(pubs), "bib/author/publications");
+  EXPECT_EQ(types.depth(pubs), 3u);
+  EXPECT_EQ(types.depth(root), 1u);
+  EXPECT_EQ(types.tag(pubs), "publications");
+}
+
+TEST(NodeTypeTableTest, SameTagDifferentParentIsDifferentType) {
+  NodeTypeTable types;
+  TypeId root = types.Intern(kInvalidTypeId, "bib");
+  TypeId a = types.Intern(root, "author");
+  TypeId name_under_author = types.Intern(a, "name");
+  TypeId name_under_root = types.Intern(root, "name");
+  EXPECT_NE(name_under_author, name_under_root);
+}
+
+TEST(NodeTypeTableTest, AncestorQueries) {
+  NodeTypeTable types;
+  TypeId root = types.Intern(kInvalidTypeId, "bib");
+  TypeId author = types.Intern(root, "author");
+  TypeId pubs = types.Intern(author, "publications");
+  TypeId other = types.Intern(root, "editor");
+  EXPECT_TRUE(types.IsAncestorOrSelfType(root, pubs));
+  EXPECT_TRUE(types.IsAncestorOrSelfType(author, pubs));
+  EXPECT_TRUE(types.IsAncestorOrSelfType(pubs, pubs));
+  EXPECT_FALSE(types.IsAncestorOrSelfType(pubs, author));
+  EXPECT_FALSE(types.IsAncestorOrSelfType(other, pubs));
+  EXPECT_EQ(types.AncestorAtDepth(pubs, 2), author);
+  EXPECT_EQ(types.AncestorAtDepth(pubs, 1), root);
+  EXPECT_EQ(types.AncestorAtDepth(pubs, 9), kInvalidTypeId);
+  EXPECT_EQ(types.AncestorAtDepth(pubs, 0), kInvalidTypeId);
+}
+
+TEST(NodeTypeTableTest, LookupByPath) {
+  NodeTypeTable types;
+  TypeId root = types.Intern(kInvalidTypeId, "a");
+  TypeId b = types.Intern(root, "b");
+  EXPECT_EQ(types.Lookup("a/b"), b);
+  EXPECT_EQ(types.Lookup("a"), root);
+  EXPECT_EQ(types.Lookup("nope"), kInvalidTypeId);
+}
+
+// --- Document ---------------------------------------------------------------
+
+TEST(DocumentTest, DeweyLabelsFollowChildOrdinals) {
+  Document doc;
+  NodeId root = doc.CreateRoot("bib");
+  NodeId a0 = doc.AddChild(root, "author");
+  NodeId a1 = doc.AddChild(root, "author");
+  NodeId n = doc.AddChild(a1, "name");
+  EXPECT_EQ(doc.dewey(root).ToString(), "0");
+  EXPECT_EQ(doc.dewey(a0).ToString(), "0.0");
+  EXPECT_EQ(doc.dewey(a1).ToString(), "0.1");
+  EXPECT_EQ(doc.dewey(n).ToString(), "0.1.0");
+  EXPECT_EQ(doc.parent(n), a1);
+}
+
+TEST(DocumentTest, FindByDewey) {
+  Document doc;
+  NodeId root = doc.CreateRoot("bib");
+  doc.AddChild(root, "author");
+  NodeId a1 = doc.AddChild(root, "author");
+  NodeId name = doc.AddChild(a1, "name");
+  EXPECT_EQ(doc.FindByDewey(doc.dewey(name)), name);
+  EXPECT_EQ(doc.FindByDewey(doc.dewey(root)), root);
+  EXPECT_EQ(doc.FindByDewey(Dewey({0, 7})), kInvalidNodeId);
+  EXPECT_EQ(doc.FindByDewey(Dewey({1})), kInvalidNodeId);
+  EXPECT_EQ(doc.FindByDewey(Dewey(std::vector<uint32_t>{})), kInvalidNodeId);
+}
+
+TEST(DocumentTest, TextAccumulates) {
+  Document doc;
+  NodeId root = doc.CreateRoot("r");
+  doc.AppendText(root, "hello");
+  doc.AppendText(root, "world");
+  EXPECT_EQ(doc.text(root), "hello world");
+}
+
+TEST(DocumentTest, SubtreeTextIsDocumentOrder) {
+  Document doc;
+  NodeId root = doc.CreateRoot("r");
+  NodeId a = doc.AddChild(root, "a");
+  doc.AppendText(a, "first");
+  NodeId b = doc.AddChild(root, "b");
+  doc.AppendText(b, "second");
+  NodeId ba = doc.AddChild(b, "c");
+  doc.AppendText(ba, "third");
+  EXPECT_EQ(doc.SubtreeText(root), "first second third");
+  EXPECT_EQ(doc.SubtreeText(b), "second third");
+}
+
+TEST(DocumentTest, DescribeMatchesPaperNotation) {
+  Document doc;
+  NodeId root = doc.CreateRoot("bib");
+  NodeId a = doc.AddChild(root, "author");
+  EXPECT_EQ(doc.Describe(a), "author:0.0");
+}
+
+// --- Parser -----------------------------------------------------------------
+
+TEST(XmlParserTest, ParsesNestedElements) {
+  auto doc = ParseXml("<a><b>x</b><c><d>y</d></c></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->NodeCount(), 4u);
+  EXPECT_EQ(doc->tag(doc->root()), "a");
+  EXPECT_EQ(doc->SubtreeText(doc->root()), "x y");
+}
+
+TEST(XmlParserTest, AttributesBecomeChildren) {
+  auto doc = ParseXml(R"(<pub key="conf/sigmod/1" year="2003"/>)");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->children(doc->root()).size(), 2u);
+  NodeId key = doc->children(doc->root())[0];
+  EXPECT_EQ(doc->tag(key), "key");
+  EXPECT_EQ(doc->text(key), "conf/sigmod/1");
+}
+
+TEST(XmlParserTest, AttributesInlineModeAppendsText) {
+  ParseOptions options;
+  options.attributes_as_children = false;
+  auto doc = ParseXml(R"(<pub year="2003">text</pub>)", options);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->children(doc->root()).size(), 0u);
+  EXPECT_EQ(doc->text(doc->root()), "2003 text");
+}
+
+TEST(XmlParserTest, DecodesEntities) {
+  auto doc = ParseXml("<a>x &amp; y &lt;z&gt; &#65;</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->text(doc->root()), "x & y <z> A");
+}
+
+TEST(XmlParserTest, KeepsUnknownEntitiesVerbatim) {
+  auto doc = ParseXml("<a>M&uuml;ller</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->text(doc->root()), "M&uuml;ller");
+}
+
+TEST(XmlParserTest, HandlesCdataCommentsAndPis) {
+  auto doc = ParseXml(
+      "<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a ANY>]>"
+      "<a><!-- note --><![CDATA[1 < 2]]><?pi data?></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->text(doc->root()), "1 < 2");
+}
+
+TEST(XmlParserTest, SkipsWhitespaceOnlyText) {
+  auto doc = ParseXml("<a>\n  <b>x</b>\n</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->text(doc->root()), "");
+}
+
+TEST(XmlParserTest, RejectsMismatchedTags) {
+  auto doc = ParseXml("<a><b>x</c></a>");
+  EXPECT_FALSE(doc.ok());
+  EXPECT_TRUE(doc.status().IsCorruption());
+}
+
+TEST(XmlParserTest, RejectsUnterminatedDocument) {
+  EXPECT_FALSE(ParseXml("<a><b>").ok());
+  EXPECT_FALSE(ParseXml("<a attr=>").ok());
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("no markup").ok());
+}
+
+TEST(XmlParserTest, RejectsTrailingContent) {
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());
+}
+
+TEST(XmlParserTest, SelfClosingElements) {
+  auto doc = ParseXml("<a><b/><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->children(doc->root()).size(), 2u);
+}
+
+TEST(XmlParserTest, ErrorsMentionLineNumbers) {
+  auto doc = ParseXml("<a>\n\n<b></wrong>\n</a>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("line 3"), std::string::npos);
+}
+
+// --- Writer round trip -------------------------------------------------------
+
+TEST(XmlWriterTest, RoundTripPreservesStructureAndText) {
+  const char* input =
+      "<bib><author><name>John &amp; Mary</name>"
+      "<publications><article><title>xml search</title></article>"
+      "</publications></author></bib>";
+  auto doc1 = ParseXml(input);
+  ASSERT_TRUE(doc1.ok());
+  std::string serialized = WriteXml(*doc1);
+  auto doc2 = ParseXml(serialized);
+  ASSERT_TRUE(doc2.ok());
+  ASSERT_EQ(doc1->NodeCount(), doc2->NodeCount());
+  for (NodeId id = 0; id < doc1->NodeCount(); ++id) {
+    EXPECT_EQ(doc1->tag(id), doc2->tag(id));
+    EXPECT_EQ(doc1->text(id), doc2->text(id));
+    EXPECT_EQ(doc1->dewey(id).ToString(), doc2->dewey(id).ToString());
+  }
+}
+
+TEST(XmlWriterTest, EscapesSpecialCharacters) {
+  Document doc;
+  NodeId root = doc.CreateRoot("a");
+  doc.AppendText(root, "1 < 2 & 3 > 2");
+  std::string out = WriteXml(doc);
+  EXPECT_NE(out.find("1 &lt; 2 &amp; 3 &gt; 2"), std::string::npos);
+  auto reparsed = ParseXml(out);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->text(reparsed->root()), "1 < 2 & 3 > 2");
+}
+
+TEST(XmlWriterTest, FileRoundTrip) {
+  Document doc;
+  NodeId root = doc.CreateRoot("r");
+  doc.AppendText(doc.AddChild(root, "x"), "payload");
+  std::string path = ::testing::TempDir() + "/xml_writer_roundtrip.xml";
+  ASSERT_TRUE(WriteXmlFile(doc, path).ok());
+  auto loaded = ParseXmlFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->SubtreeText(loaded->root()), "payload");
+}
+
+}  // namespace
+}  // namespace xrefine::xml
