@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_sets.dir/bench_query_sets.cc.o"
+  "CMakeFiles/bench_query_sets.dir/bench_query_sets.cc.o.d"
+  "bench_query_sets"
+  "bench_query_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

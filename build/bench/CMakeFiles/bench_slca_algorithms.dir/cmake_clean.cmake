@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slca_algorithms.dir/bench_slca_algorithms.cc.o"
+  "CMakeFiles/bench_slca_algorithms.dir/bench_slca_algorithms.cc.o.d"
+  "bench_slca_algorithms"
+  "bench_slca_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slca_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

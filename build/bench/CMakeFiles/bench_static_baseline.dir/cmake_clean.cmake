@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_static_baseline.dir/bench_static_baseline.cc.o"
+  "CMakeFiles/bench_static_baseline.dir/bench_static_baseline.cc.o.d"
+  "bench_static_baseline"
+  "bench_static_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_static_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_guidelines.dir/bench_table9_guidelines.cc.o"
+  "CMakeFiles/bench_table9_guidelines.dir/bench_table9_guidelines.cc.o.d"
+  "bench_table9_guidelines"
+  "bench_table9_guidelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_guidelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

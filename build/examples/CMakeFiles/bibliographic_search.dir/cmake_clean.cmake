@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibliographic_search.dir/bibliographic_search.cpp.o"
+  "CMakeFiles/bibliographic_search.dir/bibliographic_search.cpp.o.d"
+  "bibliographic_search"
+  "bibliographic_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibliographic_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

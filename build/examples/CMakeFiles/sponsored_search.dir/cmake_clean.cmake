@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sponsored_search.dir/sponsored_search.cpp.o"
+  "CMakeFiles/sponsored_search.dir/sponsored_search.cpp.o.d"
+  "sponsored_search"
+  "sponsored_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sponsored_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

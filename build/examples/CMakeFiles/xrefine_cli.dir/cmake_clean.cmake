@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrefine_cli.dir/xrefine_cli.cpp.o"
+  "CMakeFiles/xrefine_cli.dir/xrefine_cli.cpp.o.d"
+  "xrefine_cli"
+  "xrefine_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrefine_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

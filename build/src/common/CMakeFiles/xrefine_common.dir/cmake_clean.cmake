@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrefine_common.dir/logging.cc.o"
+  "CMakeFiles/xrefine_common.dir/logging.cc.o.d"
+  "CMakeFiles/xrefine_common.dir/random.cc.o"
+  "CMakeFiles/xrefine_common.dir/random.cc.o.d"
+  "CMakeFiles/xrefine_common.dir/status.cc.o"
+  "CMakeFiles/xrefine_common.dir/status.cc.o.d"
+  "CMakeFiles/xrefine_common.dir/string_util.cc.o"
+  "CMakeFiles/xrefine_common.dir/string_util.cc.o.d"
+  "libxrefine_common.a"
+  "libxrefine_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrefine_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

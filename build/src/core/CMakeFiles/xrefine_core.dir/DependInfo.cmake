@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/expansion.cc" "src/core/CMakeFiles/xrefine_core.dir/expansion.cc.o" "gcc" "src/core/CMakeFiles/xrefine_core.dir/expansion.cc.o.d"
+  "/root/repo/src/core/optimal_rq.cc" "src/core/CMakeFiles/xrefine_core.dir/optimal_rq.cc.o" "gcc" "src/core/CMakeFiles/xrefine_core.dir/optimal_rq.cc.o.d"
+  "/root/repo/src/core/partition_refine.cc" "src/core/CMakeFiles/xrefine_core.dir/partition_refine.cc.o" "gcc" "src/core/CMakeFiles/xrefine_core.dir/partition_refine.cc.o.d"
+  "/root/repo/src/core/query_log.cc" "src/core/CMakeFiles/xrefine_core.dir/query_log.cc.o" "gcc" "src/core/CMakeFiles/xrefine_core.dir/query_log.cc.o.d"
+  "/root/repo/src/core/ranking.cc" "src/core/CMakeFiles/xrefine_core.dir/ranking.cc.o" "gcc" "src/core/CMakeFiles/xrefine_core.dir/ranking.cc.o.d"
+  "/root/repo/src/core/refine_common.cc" "src/core/CMakeFiles/xrefine_core.dir/refine_common.cc.o" "gcc" "src/core/CMakeFiles/xrefine_core.dir/refine_common.cc.o.d"
+  "/root/repo/src/core/refined_query.cc" "src/core/CMakeFiles/xrefine_core.dir/refined_query.cc.o" "gcc" "src/core/CMakeFiles/xrefine_core.dir/refined_query.cc.o.d"
+  "/root/repo/src/core/refinement_rule.cc" "src/core/CMakeFiles/xrefine_core.dir/refinement_rule.cc.o" "gcc" "src/core/CMakeFiles/xrefine_core.dir/refinement_rule.cc.o.d"
+  "/root/repo/src/core/result_ranking.cc" "src/core/CMakeFiles/xrefine_core.dir/result_ranking.cc.o" "gcc" "src/core/CMakeFiles/xrefine_core.dir/result_ranking.cc.o.d"
+  "/root/repo/src/core/rq_sorted_list.cc" "src/core/CMakeFiles/xrefine_core.dir/rq_sorted_list.cc.o" "gcc" "src/core/CMakeFiles/xrefine_core.dir/rq_sorted_list.cc.o.d"
+  "/root/repo/src/core/rule_generator.cc" "src/core/CMakeFiles/xrefine_core.dir/rule_generator.cc.o" "gcc" "src/core/CMakeFiles/xrefine_core.dir/rule_generator.cc.o.d"
+  "/root/repo/src/core/short_list_eager.cc" "src/core/CMakeFiles/xrefine_core.dir/short_list_eager.cc.o" "gcc" "src/core/CMakeFiles/xrefine_core.dir/short_list_eager.cc.o.d"
+  "/root/repo/src/core/stack_refine.cc" "src/core/CMakeFiles/xrefine_core.dir/stack_refine.cc.o" "gcc" "src/core/CMakeFiles/xrefine_core.dir/stack_refine.cc.o.d"
+  "/root/repo/src/core/static_refiner.cc" "src/core/CMakeFiles/xrefine_core.dir/static_refiner.cc.o" "gcc" "src/core/CMakeFiles/xrefine_core.dir/static_refiner.cc.o.d"
+  "/root/repo/src/core/xrefine.cc" "src/core/CMakeFiles/xrefine_core.dir/xrefine.cc.o" "gcc" "src/core/CMakeFiles/xrefine_core.dir/xrefine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/slca/CMakeFiles/xrefine_slca.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/xrefine_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/xrefine_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xrefine_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xrefine_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/xrefine_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrefine_core.dir/expansion.cc.o"
+  "CMakeFiles/xrefine_core.dir/expansion.cc.o.d"
+  "CMakeFiles/xrefine_core.dir/optimal_rq.cc.o"
+  "CMakeFiles/xrefine_core.dir/optimal_rq.cc.o.d"
+  "CMakeFiles/xrefine_core.dir/partition_refine.cc.o"
+  "CMakeFiles/xrefine_core.dir/partition_refine.cc.o.d"
+  "CMakeFiles/xrefine_core.dir/query_log.cc.o"
+  "CMakeFiles/xrefine_core.dir/query_log.cc.o.d"
+  "CMakeFiles/xrefine_core.dir/ranking.cc.o"
+  "CMakeFiles/xrefine_core.dir/ranking.cc.o.d"
+  "CMakeFiles/xrefine_core.dir/refine_common.cc.o"
+  "CMakeFiles/xrefine_core.dir/refine_common.cc.o.d"
+  "CMakeFiles/xrefine_core.dir/refined_query.cc.o"
+  "CMakeFiles/xrefine_core.dir/refined_query.cc.o.d"
+  "CMakeFiles/xrefine_core.dir/refinement_rule.cc.o"
+  "CMakeFiles/xrefine_core.dir/refinement_rule.cc.o.d"
+  "CMakeFiles/xrefine_core.dir/result_ranking.cc.o"
+  "CMakeFiles/xrefine_core.dir/result_ranking.cc.o.d"
+  "CMakeFiles/xrefine_core.dir/rq_sorted_list.cc.o"
+  "CMakeFiles/xrefine_core.dir/rq_sorted_list.cc.o.d"
+  "CMakeFiles/xrefine_core.dir/rule_generator.cc.o"
+  "CMakeFiles/xrefine_core.dir/rule_generator.cc.o.d"
+  "CMakeFiles/xrefine_core.dir/short_list_eager.cc.o"
+  "CMakeFiles/xrefine_core.dir/short_list_eager.cc.o.d"
+  "CMakeFiles/xrefine_core.dir/stack_refine.cc.o"
+  "CMakeFiles/xrefine_core.dir/stack_refine.cc.o.d"
+  "CMakeFiles/xrefine_core.dir/static_refiner.cc.o"
+  "CMakeFiles/xrefine_core.dir/static_refiner.cc.o.d"
+  "CMakeFiles/xrefine_core.dir/xrefine.cc.o"
+  "CMakeFiles/xrefine_core.dir/xrefine.cc.o.d"
+  "libxrefine_core.a"
+  "libxrefine_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrefine_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrefine_eval.dir/cumulated_gain.cc.o"
+  "CMakeFiles/xrefine_eval.dir/cumulated_gain.cc.o.d"
+  "CMakeFiles/xrefine_eval.dir/oracle_judge.cc.o"
+  "CMakeFiles/xrefine_eval.dir/oracle_judge.cc.o.d"
+  "libxrefine_eval.a"
+  "libxrefine_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrefine_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/cooccurrence.cc" "src/index/CMakeFiles/xrefine_index.dir/cooccurrence.cc.o" "gcc" "src/index/CMakeFiles/xrefine_index.dir/cooccurrence.cc.o.d"
+  "/root/repo/src/index/index_builder.cc" "src/index/CMakeFiles/xrefine_index.dir/index_builder.cc.o" "gcc" "src/index/CMakeFiles/xrefine_index.dir/index_builder.cc.o.d"
+  "/root/repo/src/index/index_store.cc" "src/index/CMakeFiles/xrefine_index.dir/index_store.cc.o" "gcc" "src/index/CMakeFiles/xrefine_index.dir/index_store.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/index/CMakeFiles/xrefine_index.dir/inverted_index.cc.o" "gcc" "src/index/CMakeFiles/xrefine_index.dir/inverted_index.cc.o.d"
+  "/root/repo/src/index/statistics.cc" "src/index/CMakeFiles/xrefine_index.dir/statistics.cc.o" "gcc" "src/index/CMakeFiles/xrefine_index.dir/statistics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xrefine_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xrefine_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/xrefine_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/xrefine_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

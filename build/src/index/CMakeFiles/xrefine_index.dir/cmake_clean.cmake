@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrefine_index.dir/cooccurrence.cc.o"
+  "CMakeFiles/xrefine_index.dir/cooccurrence.cc.o.d"
+  "CMakeFiles/xrefine_index.dir/index_builder.cc.o"
+  "CMakeFiles/xrefine_index.dir/index_builder.cc.o.d"
+  "CMakeFiles/xrefine_index.dir/index_store.cc.o"
+  "CMakeFiles/xrefine_index.dir/index_store.cc.o.d"
+  "CMakeFiles/xrefine_index.dir/inverted_index.cc.o"
+  "CMakeFiles/xrefine_index.dir/inverted_index.cc.o.d"
+  "CMakeFiles/xrefine_index.dir/statistics.cc.o"
+  "CMakeFiles/xrefine_index.dir/statistics.cc.o.d"
+  "libxrefine_index.a"
+  "libxrefine_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrefine_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slca/elca.cc" "src/slca/CMakeFiles/xrefine_slca.dir/elca.cc.o" "gcc" "src/slca/CMakeFiles/xrefine_slca.dir/elca.cc.o.d"
+  "/root/repo/src/slca/indexed_lookup_eager.cc" "src/slca/CMakeFiles/xrefine_slca.dir/indexed_lookup_eager.cc.o" "gcc" "src/slca/CMakeFiles/xrefine_slca.dir/indexed_lookup_eager.cc.o.d"
+  "/root/repo/src/slca/return_node.cc" "src/slca/CMakeFiles/xrefine_slca.dir/return_node.cc.o" "gcc" "src/slca/CMakeFiles/xrefine_slca.dir/return_node.cc.o.d"
+  "/root/repo/src/slca/scan_eager.cc" "src/slca/CMakeFiles/xrefine_slca.dir/scan_eager.cc.o" "gcc" "src/slca/CMakeFiles/xrefine_slca.dir/scan_eager.cc.o.d"
+  "/root/repo/src/slca/search_for_node.cc" "src/slca/CMakeFiles/xrefine_slca.dir/search_for_node.cc.o" "gcc" "src/slca/CMakeFiles/xrefine_slca.dir/search_for_node.cc.o.d"
+  "/root/repo/src/slca/slca.cc" "src/slca/CMakeFiles/xrefine_slca.dir/slca.cc.o" "gcc" "src/slca/CMakeFiles/xrefine_slca.dir/slca.cc.o.d"
+  "/root/repo/src/slca/slca_common.cc" "src/slca/CMakeFiles/xrefine_slca.dir/slca_common.cc.o" "gcc" "src/slca/CMakeFiles/xrefine_slca.dir/slca_common.cc.o.d"
+  "/root/repo/src/slca/stack_slca.cc" "src/slca/CMakeFiles/xrefine_slca.dir/stack_slca.cc.o" "gcc" "src/slca/CMakeFiles/xrefine_slca.dir/stack_slca.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/xrefine_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xrefine_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xrefine_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/xrefine_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/xrefine_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

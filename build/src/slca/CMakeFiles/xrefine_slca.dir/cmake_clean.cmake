@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrefine_slca.dir/elca.cc.o"
+  "CMakeFiles/xrefine_slca.dir/elca.cc.o.d"
+  "CMakeFiles/xrefine_slca.dir/indexed_lookup_eager.cc.o"
+  "CMakeFiles/xrefine_slca.dir/indexed_lookup_eager.cc.o.d"
+  "CMakeFiles/xrefine_slca.dir/return_node.cc.o"
+  "CMakeFiles/xrefine_slca.dir/return_node.cc.o.d"
+  "CMakeFiles/xrefine_slca.dir/scan_eager.cc.o"
+  "CMakeFiles/xrefine_slca.dir/scan_eager.cc.o.d"
+  "CMakeFiles/xrefine_slca.dir/search_for_node.cc.o"
+  "CMakeFiles/xrefine_slca.dir/search_for_node.cc.o.d"
+  "CMakeFiles/xrefine_slca.dir/slca.cc.o"
+  "CMakeFiles/xrefine_slca.dir/slca.cc.o.d"
+  "CMakeFiles/xrefine_slca.dir/slca_common.cc.o"
+  "CMakeFiles/xrefine_slca.dir/slca_common.cc.o.d"
+  "CMakeFiles/xrefine_slca.dir/stack_slca.cc.o"
+  "CMakeFiles/xrefine_slca.dir/stack_slca.cc.o.d"
+  "libxrefine_slca.a"
+  "libxrefine_slca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrefine_slca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

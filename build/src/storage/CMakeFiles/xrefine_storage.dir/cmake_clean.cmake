@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrefine_storage.dir/btree.cc.o"
+  "CMakeFiles/xrefine_storage.dir/btree.cc.o.d"
+  "CMakeFiles/xrefine_storage.dir/kvstore.cc.o"
+  "CMakeFiles/xrefine_storage.dir/kvstore.cc.o.d"
+  "CMakeFiles/xrefine_storage.dir/pager.cc.o"
+  "CMakeFiles/xrefine_storage.dir/pager.cc.o.d"
+  "CMakeFiles/xrefine_storage.dir/serde.cc.o"
+  "CMakeFiles/xrefine_storage.dir/serde.cc.o.d"
+  "libxrefine_storage.a"
+  "libxrefine_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrefine_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

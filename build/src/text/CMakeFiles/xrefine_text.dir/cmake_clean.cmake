@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrefine_text.dir/edit_distance.cc.o"
+  "CMakeFiles/xrefine_text.dir/edit_distance.cc.o.d"
+  "CMakeFiles/xrefine_text.dir/lexicon.cc.o"
+  "CMakeFiles/xrefine_text.dir/lexicon.cc.o.d"
+  "CMakeFiles/xrefine_text.dir/porter_stemmer.cc.o"
+  "CMakeFiles/xrefine_text.dir/porter_stemmer.cc.o.d"
+  "CMakeFiles/xrefine_text.dir/segmenter.cc.o"
+  "CMakeFiles/xrefine_text.dir/segmenter.cc.o.d"
+  "CMakeFiles/xrefine_text.dir/tokenizer.cc.o"
+  "CMakeFiles/xrefine_text.dir/tokenizer.cc.o.d"
+  "libxrefine_text.a"
+  "libxrefine_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrefine_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/baseball_generator.cc" "src/workload/CMakeFiles/xrefine_workload.dir/baseball_generator.cc.o" "gcc" "src/workload/CMakeFiles/xrefine_workload.dir/baseball_generator.cc.o.d"
+  "/root/repo/src/workload/corruption.cc" "src/workload/CMakeFiles/xrefine_workload.dir/corruption.cc.o" "gcc" "src/workload/CMakeFiles/xrefine_workload.dir/corruption.cc.o.d"
+  "/root/repo/src/workload/dblp_generator.cc" "src/workload/CMakeFiles/xrefine_workload.dir/dblp_generator.cc.o" "gcc" "src/workload/CMakeFiles/xrefine_workload.dir/dblp_generator.cc.o.d"
+  "/root/repo/src/workload/query_generator.cc" "src/workload/CMakeFiles/xrefine_workload.dir/query_generator.cc.o" "gcc" "src/workload/CMakeFiles/xrefine_workload.dir/query_generator.cc.o.d"
+  "/root/repo/src/workload/vocabulary.cc" "src/workload/CMakeFiles/xrefine_workload.dir/vocabulary.cc.o" "gcc" "src/workload/CMakeFiles/xrefine_workload.dir/vocabulary.cc.o.d"
+  "/root/repo/src/workload/xmark_generator.cc" "src/workload/CMakeFiles/xrefine_workload.dir/xmark_generator.cc.o" "gcc" "src/workload/CMakeFiles/xrefine_workload.dir/xmark_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xrefine_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/xrefine_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/xrefine_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xrefine_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xrefine_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/slca/CMakeFiles/xrefine_slca.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/xrefine_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrefine_workload.dir/baseball_generator.cc.o"
+  "CMakeFiles/xrefine_workload.dir/baseball_generator.cc.o.d"
+  "CMakeFiles/xrefine_workload.dir/corruption.cc.o"
+  "CMakeFiles/xrefine_workload.dir/corruption.cc.o.d"
+  "CMakeFiles/xrefine_workload.dir/dblp_generator.cc.o"
+  "CMakeFiles/xrefine_workload.dir/dblp_generator.cc.o.d"
+  "CMakeFiles/xrefine_workload.dir/query_generator.cc.o"
+  "CMakeFiles/xrefine_workload.dir/query_generator.cc.o.d"
+  "CMakeFiles/xrefine_workload.dir/vocabulary.cc.o"
+  "CMakeFiles/xrefine_workload.dir/vocabulary.cc.o.d"
+  "CMakeFiles/xrefine_workload.dir/xmark_generator.cc.o"
+  "CMakeFiles/xrefine_workload.dir/xmark_generator.cc.o.d"
+  "libxrefine_workload.a"
+  "libxrefine_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrefine_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

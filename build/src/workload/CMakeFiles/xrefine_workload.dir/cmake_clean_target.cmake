@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxrefine_workload.a"
+)

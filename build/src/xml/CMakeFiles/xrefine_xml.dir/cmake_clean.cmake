@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrefine_xml.dir/dewey.cc.o"
+  "CMakeFiles/xrefine_xml.dir/dewey.cc.o.d"
+  "CMakeFiles/xrefine_xml.dir/document.cc.o"
+  "CMakeFiles/xrefine_xml.dir/document.cc.o.d"
+  "CMakeFiles/xrefine_xml.dir/node_type.cc.o"
+  "CMakeFiles/xrefine_xml.dir/node_type.cc.o.d"
+  "CMakeFiles/xrefine_xml.dir/xml_parser.cc.o"
+  "CMakeFiles/xrefine_xml.dir/xml_parser.cc.o.d"
+  "CMakeFiles/xrefine_xml.dir/xml_writer.cc.o"
+  "CMakeFiles/xrefine_xml.dir/xml_writer.cc.o.d"
+  "libxrefine_xml.a"
+  "libxrefine_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrefine_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

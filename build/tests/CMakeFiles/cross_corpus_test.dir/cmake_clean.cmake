@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_corpus_test.dir/cross_corpus_test.cc.o"
+  "CMakeFiles/cross_corpus_test.dir/cross_corpus_test.cc.o.d"
+  "cross_corpus_test"
+  "cross_corpus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

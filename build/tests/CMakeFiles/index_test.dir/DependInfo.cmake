@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/index_test.cc" "tests/CMakeFiles/index_test.dir/index_test.cc.o" "gcc" "tests/CMakeFiles/index_test.dir/index_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/xrefine_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/xrefine_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xrefine_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/slca/CMakeFiles/xrefine_slca.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/xrefine_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/xrefine_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/xrefine_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xrefine_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xrefine_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimal_rq_test.dir/optimal_rq_test.cc.o"
+  "CMakeFiles/optimal_rq_test.dir/optimal_rq_test.cc.o.d"
+  "optimal_rq_test"
+  "optimal_rq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimal_rq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

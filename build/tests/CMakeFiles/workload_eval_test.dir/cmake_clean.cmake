@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_eval_test.dir/workload_eval_test.cc.o"
+  "CMakeFiles/workload_eval_test.dir/workload_eval_test.cc.o.d"
+  "workload_eval_test"
+  "workload_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
