@@ -1,11 +1,18 @@
 // Micro-benchmarks (google-benchmark) for the building blocks: XML parsing,
 // index construction, B+-tree operations, edit distance, Porter stemming,
-// the SLCA algorithms, the getOptimalRQ dynamic program, and search-for-node
-// inference.
+// the SLCA algorithms, the getOptimalRQ dynamic program, search-for-node
+// inference, and the full refinement pipeline. After the run the metrics
+// registry is written to BENCH_micro.json so the perf trajectory across PRs
+// is machine-readable.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <iostream>
+
+#include "common/metrics.h"
 #include "core/optimal_rq.h"
 #include "core/rule_generator.h"
+#include "core/xrefine.h"
 #include "index/index_builder.h"
 #include "slca/slca.h"
 #include "storage/kvstore.h"
@@ -153,7 +160,38 @@ void BM_RuleGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_RuleGeneration);
 
+void BM_RefineQuery(benchmark::State& state) {
+  const auto& corpus = SharedCorpus();
+  static const text::Lexicon* lexicon =
+      new text::Lexicon(text::Lexicon::BuiltIn());
+  core::XRefineOptions options;
+  options.algorithm = static_cast<core::RefineAlgorithm>(state.range(0));
+  core::XRefine engine(&corpus, lexicon, options);
+  core::Query q = {"databse", "query", "processing"};
+  for (auto _ : state) {
+    auto outcome = engine.Run(q);
+    benchmark::DoNotOptimize(outcome.refined.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RefineQuery)
+    ->Arg(static_cast<int>(core::RefineAlgorithm::kStackRefine))
+    ->Arg(static_cast<int>(core::RefineAlgorithm::kPartition))
+    ->Arg(static_cast<int>(core::RefineAlgorithm::kShortListEager));
+
 }  // namespace
 }  // namespace xrefine
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() plus a metrics dump: every counter/histogram the
+// benchmarks drove (pager, btree, slca, query.* stages) lands in
+// BENCH_micro.json.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::ofstream out("BENCH_micro.json");
+  out << xrefine::metrics::Registry::Global().DumpJson();
+  std::cerr << "metrics written to BENCH_micro.json\n";
+  return 0;
+}

@@ -11,6 +11,7 @@
 //
 // Optional flags: --lexicon <file> (extra synonym/acronym entries),
 //                 --log <file>     (persisted query log, updated on exit)
+//                 --stats          (dump the metrics registry on exit)
 //
 // Commands at the prompt:
 //   :algo stack|partition|sle     switch refinement algorithm
@@ -18,12 +19,14 @@
 //   :rank on|off                  TF*IDF-order each RQ's results
 //   :accept N                     record rank-N refinement as accepted
 //   :expand <query>               suggest narrowing terms for a broad query
+//   :stats                        print the metrics registry now
 //   :quit                         exit
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
 
+#include "common/metrics.h"
 #include "core/expansion.h"
 #include "core/query_log.h"
 #include "core/xrefine.h"
@@ -76,6 +79,7 @@ int main(int argc, char** argv) {
   std::string lexicon_path;
   std::string log_path;
   bool loaded_data = false;
+  bool dump_stats = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -96,6 +100,8 @@ int main(int argc, char** argv) {
       lexicon_path = argv[++i];
     } else if (arg == "--log" && i + 1 < argc) {
       log_path = argv[++i];
+    } else if (arg == "--stats") {
+      dump_stats = true;
     } else if (arg[0] != '-') {
       auto doc_or = xrefine::xml::ParseXmlFile(arg);
       if (!doc_or.ok()) {
@@ -108,7 +114,7 @@ int main(int argc, char** argv) {
   }
   if (!loaded_data) {
     std::cerr << "usage: xrefine_cli <file.xml> | --dblp [n] | --baseball | "
-                 "--xmark  [--lexicon f] [--log f]\n";
+                 "--xmark  [--lexicon f] [--log f] [--stats]\n";
     return 1;
   }
 
@@ -192,6 +198,10 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (line == ":stats") {
+      xrefine::metrics::Registry::Global().DumpText(std::cout);
+      continue;
+    }
     if (line.rfind(":algo ", 0) == 0) {
       std::string name = line.substr(6);
       if (name == "stack") {
@@ -220,6 +230,10 @@ int main(int argc, char** argv) {
     } else {
       std::cout << "saved query log to " << log_path << "\n";
     }
+  }
+  if (dump_stats) {
+    std::cout << "--- metrics ---\n";
+    xrefine::metrics::Registry::Global().DumpText(std::cout);
   }
   return 0;
 }

@@ -1,0 +1,181 @@
+#include "common/metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace xrefine::metrics {
+
+uint64_t Histogram::count() const {
+  uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::mean() const {
+  uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t i) {
+  if (i + 1 >= kNumBuckets) return UINT64_MAX;
+  return uint64_t{1} << i;
+}
+
+size_t Histogram::BucketFor(uint64_t value) {
+  if (value <= 1) return 0;
+  // bit_width(v - 1) = ceil(log2(v)) for v >= 2: index of the first bucket
+  // whose upper bound 2^i is >= value.
+  size_t i = static_cast<size_t>(std::bit_width(value - 1));
+  return i < kNumBuckets - 1 ? i : kNumBuckets - 1;
+}
+
+uint64_t Histogram::QuantileUpperBound(double q) const {
+  uint64_t counts[kNumBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the target sample, 1-based.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::Global() {
+  // Leaked: metrics may be touched from static destructors of components.
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+namespace {
+
+template <typename T, typename Map>
+T* FindOrCreate(std::mutex& mu, Map& map, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), std::make_unique<T>()).first;
+  }
+  return it->second.get();
+}
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string FormatDouble(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+Counter* Registry::counter(std::string_view name) {
+  return FindOrCreate<Counter>(mu_, counters_, name);
+}
+
+Gauge* Registry::gauge(std::string_view name) {
+  return FindOrCreate<Gauge>(mu_, gauges_, name);
+}
+
+Histogram* Registry::histogram(std::string_view name) {
+  return FindOrCreate<Histogram>(mu_, histograms_, name);
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string Registry::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    AppendJsonString(out, name);
+    out += ": " + std::to_string(c->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    AppendJsonString(out, name);
+    out += ": " + std::to_string(g->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    AppendJsonString(out, name);
+    out += ": {\"count\": " + std::to_string(h->count()) +
+           ", \"sum\": " + std::to_string(h->sum()) +
+           ", \"mean\": " + FormatDouble(h->mean()) +
+           ", \"p50\": " + std::to_string(h->QuantileUpperBound(0.50)) +
+           ", \"p95\": " + std::to_string(h->QuantileUpperBound(0.95)) +
+           ", \"p99\": " + std::to_string(h->QuantileUpperBound(0.99)) + "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+void Registry::DumpText(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    os << name << " = " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << name << " = " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << name << ": count=" << h->count() << " sum=" << h->sum()
+       << " mean=" << h->mean() << " p50<=" << h->QuantileUpperBound(0.50)
+       << " p95<=" << h->QuantileUpperBound(0.95)
+       << " p99<=" << h->QuantileUpperBound(0.99) << "\n";
+  }
+}
+
+}  // namespace xrefine::metrics

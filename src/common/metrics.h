@@ -1,0 +1,177 @@
+// Process-wide metrics registry for the query path: relaxed-atomic counters,
+// gauges, and fixed-bucket latency histograms, plus a per-query QueryStats
+// struct threaded through the engine.
+//
+// Design goals, in order:
+//   1. Negligible overhead when nobody reads the metrics: every update is a
+//      single relaxed atomic add on a pointer resolved once (at component
+//      construction or behind a function-local static), never a map lookup
+//      on the hot path.
+//   2. Safe under the concurrent read path (bench_parallel_queries): all
+//      metric objects are internally thread-safe, and registered objects are
+//      never destroyed or moved, so cached pointers stay valid for the
+//      process lifetime. ResetAll() zeroes values but keeps identities.
+//   3. Machine-readable at the edges: DumpJson() for the benches'
+//      BENCH_*.json files, DumpText() for the CLI's --stats flag.
+//
+// Naming scheme: "<component>.<metric>" with snake_case metric names, e.g.
+// "pager.cache_hits", "btree.node_reads", "query.prepare_us". Histograms
+// that record durations carry a unit suffix (_us). See DESIGN.md
+// ("Observability") for the full inventory and how to add a metric.
+#ifndef XREFINE_COMMON_METRICS_H_
+#define XREFINE_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "common/timer.h"
+
+namespace xrefine::metrics {
+
+/// Monotonic event counter. All operations are relaxed: counters impose no
+/// ordering and never synchronize; they only need to not tear.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (pool sizes, cached pages, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram. Bucket i counts samples whose value is
+/// <= 2^i (microseconds for duration histograms); the final bucket is an
+/// overflow catch-all. Fixed power-of-two bounds keep Record() to two
+/// relaxed adds plus a bit scan — no allocation, no locks.
+class Histogram {
+ public:
+  /// 2^0 .. 2^26 us (~67 s) + overflow.
+  static constexpr size_t kNumBuckets = 28;
+
+  void Record(uint64_t value) {
+    buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const;
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+
+  /// Upper-bound estimate of the q-quantile (q in [0,1]): the inclusive
+  /// upper bound of the bucket containing it.
+  uint64_t QuantileUpperBound(double q) const;
+
+  /// Inclusive upper bound of bucket i (UINT64_MAX for the overflow bucket).
+  static uint64_t BucketUpperBound(size_t i);
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  void Reset();
+
+ private:
+  static size_t BucketFor(uint64_t value);
+
+  std::atomic<uint64_t> buckets_[kNumBuckets]{};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Process-wide registry. Lookup by name registers on first use and always
+/// returns the same object thereafter; callers resolve once and cache the
+/// pointer. Registered metrics live until process exit.
+class Registry {
+ public:
+  /// The process-wide instance used by all engine components.
+  static Registry& Global();
+
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  /// Zeroes every registered metric without invalidating pointers. Benches
+  /// and tests use this to isolate measurement windows.
+  void ResetAll();
+
+  /// All metrics as one JSON object:
+  ///   {"counters": {name: value, ...},
+  ///    "gauges":   {name: value, ...},
+  ///    "histograms": {name: {"count":..,"sum_us":..,"mean_us":..,
+  ///                          "p50_us":..,"p95_us":..,"p99_us":..}, ...}}
+  std::string DumpJson() const;
+
+  /// Human-readable dump, one metric per line, sorted by name.
+  void DumpText(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  // std::map: sorted dumps for free; unique_ptr: stable addresses across
+  // rehash/rebalance so cached pointers never dangle.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// RAII timer: records the scope's wall time (microseconds) into a
+/// histogram on destruction, and optionally mirrors it into a plain double
+/// (milliseconds) for per-query stats. Either sink may be null.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram, double* elapsed_ms = nullptr)
+      : histogram_(histogram), elapsed_ms_(elapsed_ms) {}
+  ~ScopedTimer() {
+    double us = timer_.ElapsedMicros();
+    if (histogram_ != nullptr) {
+      histogram_->Record(static_cast<uint64_t>(us));
+    }
+    if (elapsed_ms_ != nullptr) *elapsed_ms_ = us / 1e3;
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer timer_;
+  Histogram* histogram_;
+  double* elapsed_ms_;
+};
+
+/// Per-query measurements threaded through the engine and attached to each
+/// RefineOutcome: the paper's evaluation (§VIII, Figs 4-6) is framed in
+/// exactly these per-stage costs. Plain (non-atomic) because one query's
+/// stats are owned by one thread; the global registry receives the same
+/// values through its own atomic metrics.
+struct QueryStats {
+  double prepare_ms = 0;  // rule generation + list resolution + L inference
+  double scan_ms = 0;     // inverted-list scan / partition exploration
+  double rank_ms = 0;     // Formula-10 scoring, sort, top-k cut
+  uint64_t rules_generated = 0;
+  uint64_t candidates_enumerated = 0;  // candidate RQs considered
+  uint64_t candidates_pruned = 0;      // skipped before their SLCA work
+
+  double total_ms() const { return prepare_ms + scan_ms + rank_ms; }
+};
+
+}  // namespace xrefine::metrics
+
+#endif  // XREFINE_COMMON_METRICS_H_

@@ -108,10 +108,12 @@ RefineOutcome PartitionRefine(const index::IndexedCorpus& corpus,
     const std::vector<RefinedQuery>& candidates = cached->second;
 
     for (const RefinedQuery& rq : candidates) {
+      ++stats.candidates_enumerated;
       bool known = rq_list.Contains(rq.keywords);
       if (options.prune_partitions && !known &&
           !rq_list.CanAccept(rq.dissimilarity)) {
         ++stats.partitions_pruned;
+        ++stats.candidates_pruned;
         continue;  // cannot enter the top-2K: skip its SLCA work
       }
       // SLCA of RQ within this partition (line 16), with any baseline.

@@ -50,6 +50,7 @@ RefineOutcome FinalizeOutcome(
         candidates,
     size_t top_k, const RankingOptions& ranking, RefineStats stats,
     bool rank_results, bool infer_return_nodes) {
+  Timer rank_timer;
   RefineOutcome outcome;
   outcome.stats = stats;
 
@@ -87,6 +88,7 @@ RefineOutcome FinalizeOutcome(
     }
   }
   outcome.refined = std::move(ranked);
+  outcome.query_stats.rank_ms = rank_timer.ElapsedMillis();
   return outcome;
 }
 

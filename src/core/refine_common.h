@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/optimal_rq.h"
 #include "core/ranking.h"
 #include "core/refinement_rule.h"
@@ -47,6 +48,8 @@ struct RefineStats {
   size_t dp_calls = 0;
   size_t random_accesses = 0;  // binary searches into other lists (SLE)
   size_t nodes_popped = 0;     // stack-refine entry pops
+  size_t candidates_enumerated = 0;  // candidate RQs considered
+  size_t candidates_pruned = 0;      // candidate RQs skipped before SLCA work
 };
 
 /// The unified outcome: whether Q itself was fine, Q's own meaningful
@@ -56,6 +59,10 @@ struct RefineOutcome {
   std::vector<slca::SlcaResult> original_results;
   std::vector<RankedRq> refined;
   RefineStats stats;
+  /// Per-stage wall time and rule/candidate counts for this query, filled
+  /// by XRefine::Run / RunPrepared (zero when an algorithm is invoked
+  /// directly).
+  metrics::QueryStats query_stats;
 };
 
 /// Ranks the (rq, results) candidates with the full model (Formula 10),

@@ -104,8 +104,9 @@ RefineOutcome ShortListEagerRefine(const index::IndexedCorpus& corpus,
       ++stats.dp_calls;
       std::vector<RefinedQuery> candidates = GetTopOptimalRqs(
           input.q, witnessed, input.rules, candidate_budget);
+      stats.candidates_enumerated += candidates.size();
       for (const RefinedQuery& rq : candidates) {
-        rq_list.InsertOrFind(rq);
+        if (rq_list.InsertOrFind(rq) == nullptr) ++stats.candidates_pruned;
       }
     }
 

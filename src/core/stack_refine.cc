@@ -129,6 +129,7 @@ RefineOutcome StackRefine(const index::IndexedCorpus& corpus,
         uint32_t id;
         if (it == rq_ids.end()) {
           id = static_cast<uint32_t>(candidate_list.size());
+          ++stats.candidates_enumerated;
           rq_ids.emplace(key, id);
           candidate_list.emplace_back(std::move(*rq),
                                       std::vector<slca::SlcaResult>{});

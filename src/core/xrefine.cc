@@ -1,8 +1,46 @@
 #include "core/xrefine.h"
 
+#include <algorithm>
+
+#include "common/metrics.h"
+#include "common/timer.h"
 #include "text/tokenizer.h"
 
 namespace xrefine::core {
+
+namespace {
+
+struct QueryMetrics {
+  metrics::Counter* count;
+  metrics::Counter* rules_generated;
+  metrics::Counter* candidates_enumerated;
+  metrics::Counter* candidates_pruned;
+  metrics::Histogram* prepare_us;
+  metrics::Histogram* scan_us;
+  metrics::Histogram* rank_us;
+  metrics::Histogram* total_us;
+};
+
+const QueryMetrics& Metrics() {
+  static const QueryMetrics m = [] {
+    auto& r = metrics::Registry::Global();
+    return QueryMetrics{r.counter("query.count"),
+                        r.counter("query.rules_generated"),
+                        r.counter("query.candidates_enumerated"),
+                        r.counter("query.candidates_pruned"),
+                        r.histogram("query.prepare_us"),
+                        r.histogram("query.scan_us"),
+                        r.histogram("query.rank_us"),
+                        r.histogram("query.total_us")};
+  }();
+  return m;
+}
+
+uint64_t ToMicros(double ms) {
+  return ms <= 0 ? 0 : static_cast<uint64_t>(ms * 1e3);
+}
+
+}  // namespace
 
 std::string RefineAlgorithmName(RefineAlgorithm algorithm) {
   switch (algorithm) {
@@ -46,6 +84,27 @@ RefineInput XRefine::Prepare(const Query& q) const {
 }
 
 RefineOutcome XRefine::RunPrepared(const RefineInput& input) const {
+  Timer scan_timer;
+  RefineOutcome outcome = Dispatch(input);
+  double algo_ms = scan_timer.ElapsedMillis();
+  // FinalizeOutcome measured the ranking tail inside the algorithm; the
+  // rest of the algorithm's wall time is the list scan / enumeration.
+  outcome.query_stats.scan_ms =
+      std::max(0.0, algo_ms - outcome.query_stats.rank_ms);
+  outcome.query_stats.candidates_enumerated =
+      outcome.stats.candidates_enumerated;
+  outcome.query_stats.candidates_pruned = outcome.stats.candidates_pruned;
+
+  const QueryMetrics& m = Metrics();
+  m.count->Increment();
+  m.candidates_enumerated->Increment(outcome.stats.candidates_enumerated);
+  m.candidates_pruned->Increment(outcome.stats.candidates_pruned);
+  m.scan_us->Record(ToMicros(outcome.query_stats.scan_ms));
+  m.rank_us->Record(ToMicros(outcome.query_stats.rank_ms));
+  return outcome;
+}
+
+RefineOutcome XRefine::Dispatch(const RefineInput& input) const {
   switch (options_.algorithm) {
     case RefineAlgorithm::kStackRefine: {
       StackRefineOptions opts;
@@ -80,8 +139,19 @@ RefineOutcome XRefine::RunPrepared(const RefineInput& input) const {
 }
 
 RefineOutcome XRefine::Run(const Query& q) const {
+  Timer prepare_timer;
   RefineInput input = Prepare(q);
-  return RunPrepared(input);
+  double prepare_ms = prepare_timer.ElapsedMillis();
+
+  RefineOutcome outcome = RunPrepared(input);
+  outcome.query_stats.prepare_ms = prepare_ms;
+  outcome.query_stats.rules_generated = input.rules.size();
+
+  const QueryMetrics& m = Metrics();
+  m.rules_generated->Increment(input.rules.size());
+  m.prepare_us->Record(ToMicros(prepare_ms));
+  m.total_us->Record(ToMicros(outcome.query_stats.total_ms()));
+  return outcome;
 }
 
 RefineOutcome XRefine::RunText(const std::string& query_text) const {

@@ -44,13 +44,27 @@ struct XRefineOptions {
   bool infer_return_nodes = false;
 };
 
+/// Thread-safety contract: the const query path — Run(), RunText(),
+/// Prepare(), RunPrepared() — is safe to call concurrently from any number
+/// of threads over one engine, provided the corpus and lexicon are not
+/// mutated. The only shared mutable state it touches is the corpus's
+/// co-occurrence cache, which is internally mutex-guarded and
+/// reference-stable (first inserter wins; std::unordered_map never
+/// invalidates element references on rehash). Everything else consulted
+/// during a query (inverted index, statistics, node types, lexicon,
+/// rule generator, options, log_rules_) is read-only after construction.
+/// AttachQueryLog() is the one mutator: it writes the rule set that
+/// Prepare() reads, so it must not race with in-flight queries — call it
+/// before serving, or externally synchronize.
 class XRefine {
  public:
   /// `corpus` and `lexicon` must outlive the engine.
   XRefine(const index::IndexedCorpus* corpus, const text::Lexicon* lexicon,
           XRefineOptions options = {});
 
-  /// Refines and answers a parsed keyword query.
+  /// Refines and answers a parsed keyword query. Fills the outcome's
+  /// query_stats (per-stage wall time, rule/candidate counts) and records
+  /// the same figures in the global metrics registry ("query.*").
   RefineOutcome Run(const Query& q) const;
 
   /// Tokenises free text and runs it.
@@ -74,6 +88,8 @@ class XRefine {
   const index::IndexedCorpus& corpus() const { return *corpus_; }
 
  private:
+  RefineOutcome Dispatch(const RefineInput& input) const;
+
   const index::IndexedCorpus* corpus_;
   XRefineOptions options_;
   RuleGenerator rule_generator_;

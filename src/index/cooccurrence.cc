@@ -3,7 +3,31 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/metrics.h"
+
 namespace xrefine::index {
+
+namespace {
+
+struct CooccurMetrics {
+  metrics::Counter* pair_hits;
+  metrics::Counter* pair_misses;
+  metrics::Counter* anchor_hits;
+  metrics::Counter* anchor_misses;
+};
+
+const CooccurMetrics& Metrics() {
+  static const CooccurMetrics m = [] {
+    auto& r = metrics::Registry::Global();
+    return CooccurMetrics{r.counter("cooccur.pair_hits"),
+                          r.counter("cooccur.pair_misses"),
+                          r.counter("cooccur.anchor_hits"),
+                          r.counter("cooccur.anchor_misses")};
+  }();
+  return m;
+}
+
+}  // namespace
 
 std::string CooccurrenceTable::PairKey(std::string_view k1,
                                        std::string_view k2,
@@ -32,8 +56,12 @@ const std::vector<xml::Dewey>& CooccurrenceTable::AnchorSet(
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = anchor_cache_.find(cache_key);
-    if (it != anchor_cache_.end()) return it->second;
+    if (it != anchor_cache_.end()) {
+      Metrics().anchor_hits->Increment();
+      return it->second;
+    }
   }
+  Metrics().anchor_misses->Increment();
 
   // Compute outside the lock: only the immutable index is consulted.
   std::vector<xml::Dewey> anchors;
@@ -68,8 +96,12 @@ uint32_t CooccurrenceTable::Count(std::string_view k1, std::string_view k2,
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = pair_cache_.find(cache_key);
-    if (it != pair_cache_.end()) return it->second;
+    if (it != pair_cache_.end()) {
+      Metrics().pair_hits->Increment();
+      return it->second;
+    }
   }
+  Metrics().pair_misses->Increment();
 
   const auto& a = AnchorSet(k1, type);
   const auto& b = AnchorSet(k2, type);

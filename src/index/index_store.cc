@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/metrics.h"
 #include "storage/serde.h"
 
 namespace xrefine::index {
@@ -17,10 +18,28 @@ using storage::PutVarint64;
 
 constexpr char kTypesKey[] = "m\0types";
 constexpr char kTypeStatsKey[] = "m\0typestats";
-constexpr size_t kMetaKeyLen = 7;  // "m\0" + name, NUL counted explicitly
 
-std::string MetaKey(const char* key, size_t len) {
-  return std::string(key, len);
+// Meta keys contain an embedded NUL, so their length must come from the
+// array literal (everything but the trailing NUL) — never from strlen or a
+// hand-counted constant, which would silently truncate the key at the "m".
+template <size_t N>
+std::string MetaKey(const char (&literal)[N]) {
+  static_assert(N > 1, "meta key literal must be non-empty");
+  return std::string(literal, N - 1);
+}
+
+struct IndexMetrics {
+  metrics::Counter* list_fetches;   // inverted lists decoded from the store
+  metrics::Counter* bytes_decoded;  // encoded bytes fed to DecodePostings
+};
+
+const IndexMetrics& Metrics() {
+  static const IndexMetrics m = [] {
+    auto& r = metrics::Registry::Global();
+    return IndexMetrics{r.counter("index.list_fetches"),
+                        r.counter("index.bytes_decoded")};
+  }();
+  return m;
 }
 
 std::string InvertedKey(const std::string& keyword) {
@@ -249,10 +268,10 @@ Status DecodeCooccurCache(std::string_view data, CooccurrenceTable* cooc) {
 }  // namespace
 
 Status SaveCorpus(const IndexedCorpus& corpus, storage::KVStore* store) {
-  XREFINE_RETURN_IF_ERROR(store->Put(MetaKey(kTypesKey, kMetaKeyLen),
-                                     EncodeTypes(corpus.types())));
   XREFINE_RETURN_IF_ERROR(
-      store->Put(MetaKey(kTypeStatsKey, sizeof(kTypeStatsKey) - 1),
+      store->Put(MetaKey(kTypesKey), EncodeTypes(corpus.types())));
+  XREFINE_RETURN_IF_ERROR(
+      store->Put(MetaKey(kTypeStatsKey),
                  EncodeTypeStats(corpus.stats(), corpus.types().size())));
   for (const auto& [keyword, list] : corpus.index().lists()) {
     XREFINE_RETURN_IF_ERROR(
@@ -263,9 +282,8 @@ Status SaveCorpus(const IndexedCorpus& corpus, storage::KVStore* store) {
   }
   // Persist whatever co-occurrence entries have been computed so far; a
   // warmed cache survives restarts (the paper's co-occur frequency table).
-  XREFINE_RETURN_IF_ERROR(
-      store->Put(MetaKey(kCooccurKey, sizeof(kCooccurKey) - 1),
-                 EncodeCooccurCache(corpus.cooccurrence())));
+  XREFINE_RETURN_IF_ERROR(store->Put(MetaKey(kCooccurKey),
+                                     EncodeCooccurCache(corpus.cooccurrence())));
   return store->Flush();
 }
 
@@ -273,12 +291,12 @@ StatusOr<std::unique_ptr<IndexedCorpus>> LoadCorpus(
     const storage::KVStore& store) {
   auto corpus = std::make_unique<IndexedCorpus>();
 
-  auto types_or = store.Get(MetaKey(kTypesKey, kMetaKeyLen));
+  auto types_or = store.Get(MetaKey(kTypesKey));
   if (!types_or.ok()) return types_or.status();
   XREFINE_RETURN_IF_ERROR(
       DecodeTypes(types_or.value(), &corpus->mutable_types()));
 
-  auto stats_or = store.Get(MetaKey(kTypeStatsKey, sizeof(kTypeStatsKey) - 1));
+  auto stats_or = store.Get(MetaKey(kTypeStatsKey));
   if (!stats_or.ok()) return stats_or.status();
   XREFINE_RETURN_IF_ERROR(
       DecodeTypeStats(stats_or.value(), &corpus->mutable_stats()));
@@ -293,13 +311,15 @@ StatusOr<std::unique_ptr<IndexedCorpus>> LoadCorpus(
     std::string keyword(key.substr(2));
     PostingList list;
     std::string value = cursor.value();
+    Metrics().list_fetches->Increment();
+    Metrics().bytes_decoded->Increment(value.size());
     XREFINE_RETURN_IF_ERROR(DecodePostings(value, &list));
     for (Posting& p : list) {
       corpus->mutable_index().Append(keyword, std::move(p));
     }
   }
 
-  auto cooccur_or = store.Get(MetaKey(kCooccurKey, sizeof(kCooccurKey) - 1));
+  auto cooccur_or = store.Get(MetaKey(kCooccurKey));
   if (cooccur_or.ok()) {
     XREFINE_RETURN_IF_ERROR(
         DecodeCooccurCache(cooccur_or.value(), &corpus->cooccurrence()));

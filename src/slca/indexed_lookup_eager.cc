@@ -17,9 +17,12 @@ std::vector<SlcaResult> IndexedLookupEagerSlca(
     if (lists[i].size < lists[anchor].size) anchor = i;
   }
 
+  uint64_t scanned = 0;
+  uint64_t searches = 0;
   std::vector<SlcaResult> candidates;
   candidates.reserve(lists[anchor].size);
   for (const index::Posting& v : lists[anchor]) {
+    ++scanned;
     // The deepest ancestor of v whose subtree meets every list: for each
     // other list the closest neighbours give the deepest possible LCA with
     // v; the candidate is the shallowest of those per-list LCAs.
@@ -27,6 +30,7 @@ std::vector<SlcaResult> IndexedLookupEagerSlca(
     for (size_t i = 0; i < lists.size() && depth > 0; ++i) {
       if (i == anchor) continue;
       const PostingSpan& span = lists[i];
+      searches += 2;
       ptrdiff_t lm = LeftMatch(span, v.dewey);
       ptrdiff_t rm = RightMatch(span, v.dewey);
       size_t best = 0;
@@ -49,6 +53,8 @@ std::vector<SlcaResult> IndexedLookupEagerSlca(
         v.dewey.Prefix(depth),
         AncestorTypeAtDepth(types, v.type, depth)});
   }
+  internal::Metrics().elements_scanned->Increment(scanned);
+  internal::Metrics().lookups->Increment(searches);
   return KeepSmallest(std::move(candidates));
 }
 

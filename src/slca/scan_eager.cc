@@ -20,15 +20,22 @@ std::vector<SlcaResult> ScanEagerSlca(const std::vector<PostingSpan>& lists,
   // monotonically because anchors arrive in document order.
   std::vector<size_t> cursors(lists.size(), 0);
 
+  uint64_t scanned = 0;
+  uint64_t probes = 0;
   std::vector<SlcaResult> candidates;
   candidates.reserve(lists[anchor].size);
   for (const index::Posting& v : lists[anchor]) {
+    ++scanned;
     size_t depth = v.dewey.depth();
     for (size_t i = 0; i < lists.size() && depth > 0; ++i) {
       if (i == anchor) continue;
       const PostingSpan& span = lists[i];
       size_t& c = cursors[i];
-      while (c < span.size && span[c].dewey < v.dewey) ++c;
+      ++probes;
+      while (c < span.size && span[c].dewey < v.dewey) {
+        ++c;
+        ++scanned;
+      }
       size_t best = 0;
       if (c > 0) {
         best = std::max(
@@ -45,6 +52,8 @@ std::vector<SlcaResult> ScanEagerSlca(const std::vector<PostingSpan>& lists,
     candidates.push_back(SlcaResult{
         v.dewey.Prefix(depth), AncestorTypeAtDepth(types, v.type, depth)});
   }
+  internal::Metrics().elements_scanned->Increment(scanned);
+  internal::Metrics().lookups->Increment(probes);
   return KeepSmallest(std::move(candidates));
 }
 

@@ -5,6 +5,7 @@ namespace xrefine::slca {
 std::vector<SlcaResult> ComputeSlca(const std::vector<PostingSpan>& lists,
                                     const xml::NodeTypeTable& types,
                                     SlcaAlgorithm algorithm) {
+  internal::Metrics().calls->Increment();
   switch (algorithm) {
     case SlcaAlgorithm::kStack:
       return StackSlca(lists, types);

@@ -4,6 +4,20 @@
 
 namespace xrefine::slca {
 
+namespace internal {
+
+const SlcaMetrics& Metrics() {
+  static const SlcaMetrics m = [] {
+    auto& r = metrics::Registry::Global();
+    return SlcaMetrics{r.counter("slca.calls"),
+                       r.counter("slca.elements_scanned"),
+                       r.counter("slca.lookups")};
+  }();
+  return m;
+}
+
+}  // namespace internal
+
 ptrdiff_t LeftMatch(const PostingSpan& span, const xml::Dewey& v) {
   // upper_bound on dewey order, then step left.
   ptrdiff_t lo = 0;

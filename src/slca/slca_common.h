@@ -11,11 +11,26 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "index/posting.h"
 #include "xml/dewey.h"
 #include "xml/node_type.h"
 
 namespace xrefine::slca {
+
+namespace internal {
+
+/// Process-wide "slca.*" counters, resolved once. The algorithms accumulate
+/// per-call tallies in plain locals and flush them here with one relaxed
+/// add each on exit, keeping the posting-merge inner loops atomic-free.
+struct SlcaMetrics {
+  metrics::Counter* calls;             // ComputeSlca invocations
+  metrics::Counter* elements_scanned;  // postings consumed across all lists
+  metrics::Counter* lookups;           // binary searches / cursor probes
+};
+const SlcaMetrics& Metrics();
+
+}  // namespace internal
 
 /// A contiguous view over a posting list (the whole list, or the sublist
 /// within one document partition).

@@ -88,8 +88,10 @@ std::vector<SlcaResult> StackSlca(const std::vector<PostingSpan>& lists,
 
   MergedStream stream(lists);
   const index::Posting* posting = nullptr;
+  uint64_t scanned = 0;
   int list_index;
   while ((list_index = stream.Pop(&posting)) >= 0) {
+    ++scanned;
     const auto& components = posting->dewey.components();
     // Longest common prefix with the current stack path.
     size_t p = 0;
@@ -108,6 +110,7 @@ std::vector<SlcaResult> StackSlca(const std::vector<PostingSpan>& lists,
     }
   }
   while (!stack.empty()) pop();
+  internal::Metrics().elements_scanned->Increment(scanned);
 
   std::sort(results.begin(), results.end(),
             [](const SlcaResult& a, const SlcaResult& b) {

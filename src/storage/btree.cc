@@ -5,11 +5,28 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "storage/serde.h"
 
 namespace xrefine::storage {
 
 namespace {
+
+struct BtreeMetrics {
+  metrics::Counter* node_reads;        // tree pages fetched during descents
+  metrics::Counter* overflow_follows;  // overflow-chain pages fetched
+  metrics::Counter* cursor_steps;      // Cursor::Next advances
+};
+
+const BtreeMetrics& Metrics() {
+  static const BtreeMetrics m = [] {
+    auto& r = metrics::Registry::Global();
+    return BtreeMetrics{r.counter("btree.node_reads"),
+                        r.counter("btree.overflow_follows"),
+                        r.counter("btree.cursor_steps")};
+  }();
+  return m;
+}
 
 // --- Page layout -----------------------------------------------------------
 // Common header:
@@ -328,6 +345,7 @@ PageGuard BTree::FindLeaf(std::string_view key) const {
   PageId cur = root_;
   while (true) {
     PageGuard p = pager_->Fetch(cur);
+    Metrics().node_reads->Increment();
     XR_CHECK(p.valid()) << "dangling page id " << cur;
     if (PageType(p.get()) == kLeafPage) return p;
     cur = InternalChildFor(p.get(), key);
@@ -391,6 +409,7 @@ Status BTree::InsertRecursive(PageId page_id, std::string_view key,
                               std::string_view value, bool* replaced,
                               std::optional<SplitResult>* split) {
   PageGuard p = pager_->Fetch(page_id);
+  Metrics().node_reads->Increment();
   if (!p.valid()) return Status::Corruption("dangling page id");
   if (PageType(p.get()) == kLeafPage) {
     return InsertIntoLeaf(p.get(), key, value, replaced, split);
@@ -543,6 +562,7 @@ StatusOr<std::string> BTree::Get(std::string_view key) const {
   leaf_guard.Release();
   while (ovf != kInvalidPageId && out.size() < val_len) {
     PageGuard p = pager_->Fetch(ovf);
+    Metrics().overflow_follows->Increment();
     if (!p.valid() || PageType(p.get()) != kOverflowPage) {
       return Status::Corruption("broken overflow chain");
     }
@@ -662,9 +682,11 @@ void BTree::Cursor::Seek(std::string_view key) {
   // Descend to the leftmost leaf when the key is empty, otherwise to the
   // candidate leaf, holding a pin only on the current level.
   PageGuard p = tree_->pager_->Fetch(tree_->root_);
+  Metrics().node_reads->Increment();
   while (p.valid() && PageType(p.get()) != kLeafPage) {
     PageId next = key.empty() ? Link(p.get()) : InternalChildFor(p.get(), key);
     p = tree_->pager_->Fetch(next);
+    Metrics().node_reads->Increment();
   }
   leaf_ = std::move(p);
   if (!leaf_.valid()) return;
@@ -691,6 +713,7 @@ bool BTree::Cursor::Valid() const { return leaf_.valid(); }
 
 void BTree::Cursor::Next() {
   if (!Valid()) return;
+  Metrics().cursor_steps->Increment();
   ++index_;
   SkipEmptyLeaves();
 }
@@ -710,6 +733,7 @@ std::string BTree::Cursor::value() const {
   PageId ovf = GetFixed32(payload);
   while (ovf != kInvalidPageId && out.size() < val_len) {
     PageGuard op = tree_->pager_->Fetch(ovf);
+    Metrics().overflow_follows->Increment();
     XR_CHECK(op.valid() && PageType(op.get()) == kOverflowPage)
         << "broken overflow chain";
     out.append(op->data + kHeaderSize, ContentOffset(op.get()));

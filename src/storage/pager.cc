@@ -35,6 +35,19 @@ void PageGuard::Release() {
 
 // --- Pager -------------------------------------------------------------------
 
+const Pager::Metrics& Pager::GlobalMetrics() {
+  static const Metrics m = [] {
+    auto& r = metrics::Registry::Global();
+    return Metrics{r.counter("pager.cache_hits"),
+                   r.counter("pager.cache_misses"),
+                   r.counter("pager.evictions"),
+                   r.counter("pager.page_reads"),
+                   r.counter("pager.page_writes"),
+                   r.counter("pager.writeback_failures")};
+  }();
+  return m;
+}
+
 Pager::Pager(std::string path, PagerOptions options)
     : path_(std::move(path)), options_(options) {
   if (options_.max_cached_pages != 0 && options_.max_cached_pages < 16) {
@@ -103,6 +116,11 @@ Status Pager::ReadPageFromFile(PageId id, Page* page) {
 }
 
 Status Pager::WritePageToFile(const Page& page) {
+  GlobalMetrics().page_writes->Increment();
+  if (simulate_write_failures_) {
+    return Status::IoError("injected write failure for page " +
+                           std::to_string(page.id));
+  }
   file_.clear();
   file_.seekp(static_cast<std::streamoff>(page.id) *
               static_cast<std::streamoff>(kPageSize));
@@ -155,8 +173,14 @@ void Pager::MaybeEvict() {
     if (it->second.page->dirty) {
       Status st = WritePageToFile(*it->second.page);
       if (!st.ok()) {
-        // Keep the page cached rather than lose data; surface via log.
+        // Keep the page cached rather than lose data, and make the failure
+        // sticky: the caller that dirtied this page has already dropped its
+        // guard and believes the write will happen, so a later Flush() (or
+        // status()) must report it rather than claim success.
         XR_LOG(Error) << "eviction write-back failed: " << st;
+        ++writeback_failures_;
+        GlobalMetrics().writeback_failures->Increment();
+        if (io_error_.ok()) io_error_ = st;
         lru_.push_back(victim);
         it->second.lru_it = std::prev(lru_.end());
         it->second.in_lru = true;
@@ -165,6 +189,7 @@ void Pager::MaybeEvict() {
     }
     cache_.erase(it);
     ++evictions_;
+    GlobalMetrics().evictions->Increment();
   }
 }
 
@@ -180,13 +205,17 @@ PageGuard Pager::Fetch(PageId id) {
   if (id >= next_page_id_) return PageGuard();
   auto it = cache_.find(id);
   if (it != cache_.end()) {
+    ++cache_hits_;
+    GlobalMetrics().cache_hits->Increment();
     Pin(&it->second);
     return PageGuard(this, it->second.page.get());
   }
   // Miss: the page must live in the file (evicted or pre-existing).
   ++cache_misses_;
+  GlobalMetrics().cache_misses->Increment();
   if (in_memory()) return PageGuard();  // cannot happen without eviction
   auto page = std::make_unique<Page>();
+  GlobalMetrics().page_reads->Increment();
   Status st = ReadPageFromFile(id, page.get());
   if (!st.ok()) {
     XR_LOG(Error) << "page read failed: " << st;
@@ -197,14 +226,26 @@ PageGuard Pager::Fetch(PageId id) {
 }
 
 Status Pager::Flush() {
+  // A failed eviction write-back means pages this pager promised to persist
+  // may not be in the file; report that before (and instead of) claiming a
+  // clean flush.
+  if (!io_error_.ok()) return io_error_;
   if (in_memory()) return Status::OK();
   for (auto& [id, entry] : cache_) {
     if (!entry.page->dirty) continue;
-    XREFINE_RETURN_IF_ERROR(WritePageToFile(*entry.page));
+    Status st = WritePageToFile(*entry.page);
+    if (!st.ok()) {
+      if (io_error_.ok()) io_error_ = st;
+      return st;
+    }
     entry.page->dirty = false;
   }
   file_.flush();
-  if (!file_) return Status::IoError("flush failed for " + path_);
+  if (!file_) {
+    Status st = Status::IoError("flush failed for " + path_);
+    if (io_error_.ok()) io_error_ = st;
+    return st;
+  }
   return Status::OK();
 }
 

@@ -17,6 +17,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "common/statusor.h"
 
 namespace xrefine::storage {
@@ -96,15 +97,33 @@ class Pager {
   /// or unreadable.
   PageGuard Fetch(PageId id);
 
-  /// Writes all dirty cached pages back to the file.
+  /// Writes all dirty cached pages back to the file. Returns the sticky
+  /// error first if a background eviction write-back has already failed:
+  /// once that happens the file may be missing committed pages, and no
+  /// later Flush() can honestly report success.
   Status Flush();
 
   bool in_memory() const { return path_.empty(); }
 
+  /// Sticky health of this pager: OK until any write-back fails, then the
+  /// first such error forever. Callers that dropped their dirty guards
+  /// (so eviction may write on their behalf) must check this (or Flush())
+  /// before trusting the file's contents.
+  const Status& status() const { return io_error_; }
+
+  /// Forces every subsequent WritePageToFile to fail (tests only). The
+  /// injected failure exercises the same path a full disk or yanked volume
+  /// would.
+  void SimulateWriteFailuresForTesting(bool fail) {
+    simulate_write_failures_ = fail;
+  }
+
   // --- introspection (tests, tools) ---
   size_t cached_pages() const { return cache_.size(); }
+  uint64_t cache_hits() const { return cache_hits_; }
   uint64_t cache_misses() const { return cache_misses_; }
   uint64_t evictions() const { return evictions_; }
+  uint64_t writeback_failures() const { return writeback_failures_; }
 
  private:
   friend class PageGuard;
@@ -134,8 +153,24 @@ class Pager {
   PageId next_page_id_ = 0;
   std::unordered_map<PageId, Entry> cache_;
   std::list<PageId> lru_;  // front = most recently unpinned
+  // Per-instance counters (the accessors above) double as the source for
+  // the process-wide "pager.*" registry metrics, mirrored via metrics_.
+  uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t writeback_failures_ = 0;
+  Status io_error_;  // sticky: first write-back/IO failure, OK until then
+  bool simulate_write_failures_ = false;
+
+  struct Metrics {
+    metrics::Counter* cache_hits;
+    metrics::Counter* cache_misses;
+    metrics::Counter* evictions;
+    metrics::Counter* page_reads;
+    metrics::Counter* page_writes;
+    metrics::Counter* writeback_failures;
+  };
+  static const Metrics& GlobalMetrics();
 };
 
 }  // namespace xrefine::storage

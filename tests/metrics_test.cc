@@ -1,0 +1,208 @@
+// Tests for the metrics layer: counter/gauge/histogram semantics, registry
+// identity and dumps, thread safety, and the end-to-end flow of query-path
+// counters through a corpus save/load round trip under eviction pressure.
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "index/index_builder.h"
+#include "index/index_store.h"
+#include "storage/kvstore.h"
+#include "workload/dblp_generator.h"
+
+namespace xrefine::metrics {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAddAndNegativeValues) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-25);
+  EXPECT_EQ(g.value(), -15);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(HistogramTest, BucketBoundsArePowersOfTwo) {
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 2u);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1024u);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kNumBuckets - 1),
+            UINT64_MAX);
+}
+
+TEST(HistogramTest, RecordsIntoCorrectBuckets) {
+  Histogram h;
+  h.Record(0);   // bucket 0 (<= 1)
+  h.Record(1);   // bucket 0
+  h.Record(2);   // bucket 1 (<= 2)
+  h.Record(3);   // bucket 2 (<= 4)
+  h.Record(1024);  // bucket 10
+  h.Record(UINT64_MAX);  // overflow bucket
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(10), 1u);
+  EXPECT_EQ(h.bucket_count(Histogram::kNumBuckets - 1), 1u);
+  EXPECT_EQ(h.count(), 6u);
+}
+
+TEST(HistogramTest, MeanAndQuantiles) {
+  Histogram h;
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.QuantileUpperBound(0.5), 0u);
+  for (int i = 0; i < 99; ++i) h.Record(3);  // bucket 2, bound 4
+  h.Record(5000);  // bucket 13, bound 8192
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.mean(), (99.0 * 3 + 5000) / 100, 1e-9);
+  EXPECT_EQ(h.QuantileUpperBound(0.5), 4u);
+  EXPECT_EQ(h.QuantileUpperBound(0.99), 4u);
+  EXPECT_EQ(h.QuantileUpperBound(1.0), 8192u);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+}
+
+TEST(RegistryTest, SameNameReturnsSamePointer) {
+  Registry& r = Registry::Global();
+  Counter* a = r.counter("test.registry.identity");
+  Counter* b = r.counter("test.registry.identity");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(static_cast<void*>(r.gauge("test.registry.identity")),
+            static_cast<void*>(a));  // per-kind namespaces
+}
+
+TEST(RegistryTest, ResetAllZeroesButKeepsPointers) {
+  Registry& r = Registry::Global();
+  Counter* c = r.counter("test.registry.reset");
+  Histogram* h = r.histogram("test.registry.reset_hist");
+  c->Increment(7);
+  h->Record(100);
+  r.ResetAll();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(r.counter("test.registry.reset"), c);
+  EXPECT_EQ(r.histogram("test.registry.reset_hist"), h);
+}
+
+TEST(RegistryTest, DumpsContainRegisteredMetrics) {
+  Registry& r = Registry::Global();
+  r.counter("test.dump.counter")->Increment(3);
+  r.gauge("test.dump.gauge")->Set(-4);
+  r.histogram("test.dump.hist")->Record(10);
+  std::string json = r.DumpJson();
+  EXPECT_NE(json.find("\"test.dump.counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.dump.gauge\": -4"), std::string::npos);
+  EXPECT_NE(json.find("\"test.dump.hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  std::ostringstream text;
+  r.DumpText(text);
+  EXPECT_NE(text.str().find("test.dump.counter = 3"), std::string::npos);
+}
+
+TEST(RegistryTest, ConcurrentIncrementsDontLoseUpdates) {
+  Registry& r = Registry::Global();
+  Counter* c = r.counter("test.concurrent.counter");
+  Histogram* h = r.histogram("test.concurrent.hist");
+  c->Reset();
+  h->Reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      // Mix registration (map lookups under the mutex) with updates.
+      Counter* mine = Registry::Global().counter("test.concurrent.counter");
+      for (int i = 0; i < kPerThread; ++i) {
+        mine->Increment();
+        h->Record(static_cast<uint64_t>(i % 100));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c->value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h->count(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+// End-to-end: saving and loading a real corpus through a file-backed store
+// whose buffer pool sits at the 16-page floor must preserve the index
+// exactly while driving the pager and index-store counters.
+TEST(MetricsIntegrationTest, CorpusRoundTripUnderEvictionPressure) {
+  workload::DblpOptions options;
+  options.num_authors = 120;
+  xml::Document doc = workload::GenerateDblp(options);
+  auto built = index::BuildIndex(doc);
+
+  std::string path = ::testing::TempDir() + "/metrics_roundtrip.xrdb";
+  std::remove(path.c_str());
+  {
+    auto store = storage::KVStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(index::SaveCorpus(*built, store->get()).ok());
+  }
+
+  Registry& r = Registry::Global();
+  r.ResetAll();
+
+  storage::PagerOptions pager_options;
+  pager_options.max_cached_pages = 1;  // raised to the 16-page floor
+  auto store = storage::KVStore::Open(path, pager_options);
+  ASSERT_TRUE(store.ok());
+  auto loaded_or = index::LoadCorpus(*store.value());
+  ASSERT_TRUE(loaded_or.ok());
+  auto loaded = std::move(loaded_or).value();
+
+  // Data integrity: identical vocabulary and posting counts.
+  ASSERT_EQ(loaded->index().keyword_count(), built->index().keyword_count());
+  for (const auto& [keyword, list] : built->index().lists()) {
+    const index::PostingList* loaded_list = loaded->index().Find(keyword);
+    ASSERT_NE(loaded_list, nullptr) << keyword;
+    ASSERT_EQ(loaded_list->size(), list.size()) << keyword;
+    for (size_t i = 0; i < list.size(); ++i) {
+      EXPECT_TRUE((*loaded_list)[i] == list[i]) << keyword << " posting " << i;
+    }
+  }
+  EXPECT_EQ(loaded->types().size(), built->types().size());
+
+  // Counter values: one decoded list per keyword; a corpus much larger than
+  // 16 pages cannot be scanned without misses and evictions; every fetch is
+  // a hit or a miss.
+  const storage::Pager& pager = store.value()->pager();
+  EXPECT_EQ(r.counter("index.list_fetches")->value(),
+            built->index().keyword_count());
+  EXPECT_GT(r.counter("index.bytes_decoded")->value(), 0u);
+  EXPECT_GT(pager.page_count(), 16u);
+  EXPECT_GT(pager.cache_misses(), 0u);
+  EXPECT_GT(pager.evictions(), 0u);
+  EXPECT_LE(pager.cached_pages(), 16u);
+  EXPECT_EQ(r.counter("pager.cache_hits")->value() +
+                r.counter("pager.cache_misses")->value(),
+            pager.cache_hits() + pager.cache_misses());
+  EXPECT_EQ(r.counter("pager.evictions")->value(), pager.evictions());
+  EXPECT_GT(r.counter("btree.node_reads")->value(), 0u);
+  EXPECT_GT(r.counter("btree.cursor_steps")->value(), 0u);
+  EXPECT_EQ(r.counter("pager.writeback_failures")->value(), 0u);
+  EXPECT_TRUE(pager.status().ok());
+
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace xrefine::metrics

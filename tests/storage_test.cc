@@ -179,6 +179,69 @@ TEST(PagerTest, InMemoryNeverEvicts) {
   EXPECT_EQ((*pager)->cached_pages(), 101u);
 }
 
+TEST(PagerTest, HitMissEvictionCountersAddUp) {
+  std::string path = TempPath("pager_counters.db");
+  std::filesystem::remove(path);
+  PagerOptions options;
+  options.max_cached_pages = 16;  // the floor
+  auto pager = Pager::Open(path, options);
+  ASSERT_TRUE(pager.ok());
+  const PageId kPages = 100;
+  for (PageId i = 0; i < kPages; ++i) {
+    PageGuard p = (*pager)->NewPage();
+    std::snprintf(p->data, 32, "page-%u", p.id());
+    p.MarkDirty();
+  }
+  // 101 pages (incl. meta) through a 16-page pool: at least 85 evictions.
+  EXPECT_LE((*pager)->cached_pages(), 16u);
+  EXPECT_GE((*pager)->evictions(), 85u);
+  EXPECT_EQ((*pager)->writeback_failures(), 0u);
+
+  uint64_t hits_before = (*pager)->cache_hits();
+  uint64_t misses_before = (*pager)->cache_misses();
+  for (PageId id = 1; id <= kPages; ++id) {
+    PageGuard p = (*pager)->Fetch(id);
+    ASSERT_TRUE(p.valid()) << id;
+    EXPECT_EQ(std::string(p->data), "page-" + std::to_string(id));
+  }
+  // Every successful Fetch is exactly one hit or one miss.
+  uint64_t hits = (*pager)->cache_hits() - hits_before;
+  uint64_t misses = (*pager)->cache_misses() - misses_before;
+  EXPECT_EQ(hits + misses, static_cast<uint64_t>(kPages));
+  // A 16-page pool cannot have held the first pages of a 100-page scan.
+  EXPECT_GE(misses, static_cast<uint64_t>(kPages) - 16u);
+  EXPECT_TRUE((*pager)->status().ok());
+  std::filesystem::remove(path);
+}
+
+TEST(PagerTest, WriteBackFailureIsSticky) {
+  std::string path = TempPath("pager_wb_fail.db");
+  std::filesystem::remove(path);
+  PagerOptions options;
+  options.max_cached_pages = 16;
+  auto pager_or = Pager::Open(path, options);
+  ASSERT_TRUE(pager_or.ok());
+  Pager* pager = pager_or->get();
+  EXPECT_TRUE(pager->status().ok());
+
+  pager->SimulateWriteFailuresForTesting(true);
+  // Dirty far more pages than the pool holds so eviction must write back.
+  for (int i = 0; i < 64; ++i) {
+    PageGuard p = pager->NewPage();
+    p.MarkDirty();
+  }
+  EXPECT_GT(pager->writeback_failures(), 0u);
+  EXPECT_FALSE(pager->status().ok());
+  EXPECT_FALSE(pager->Flush().ok());
+
+  // The error must stay sticky even after the device "recovers": committed
+  // pages may already have been dropped from the cache unwritten.
+  pager->SimulateWriteFailuresForTesting(false);
+  EXPECT_FALSE(pager->Flush().ok());
+  EXPECT_FALSE(pager->status().ok());
+  std::filesystem::remove(path);
+}
+
 TEST(PagerTest, RejectsCorruptFileSize) {
   std::string path = TempPath("pager_corrupt.db");
   {
