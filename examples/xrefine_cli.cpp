@@ -135,6 +135,11 @@ int main(int argc, char** argv) {
     if (log_or.ok()) {
       log = std::move(log_or).value();
       std::cout << "loaded " << log.size() << " query-log entries\n";
+    } else {
+      // A missing file is the normal first run (the log is written on
+      // exit); anything else is a real problem the user asked us to read.
+      std::cerr << "warning: query log not loaded: " << log_or.status()
+                << "\n";
     }
   }
 

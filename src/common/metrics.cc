@@ -64,9 +64,9 @@ Registry& Registry::Global() {
 
 namespace {
 
+// Caller holds the registry mutex (the map arguments are GUARDED_BY it).
 template <typename T, typename Map>
-T* FindOrCreate(std::mutex& mu, Map& map, std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu);
+T* FindOrCreate(Map& map, std::string_view name) {
   auto it = map.find(name);
   if (it == map.end()) {
     it = map.emplace(std::string(name), std::make_unique<T>()).first;
@@ -103,26 +103,29 @@ std::string FormatDouble(double v) {
 }  // namespace
 
 Counter* Registry::counter(std::string_view name) {
-  return FindOrCreate<Counter>(mu_, counters_, name);
+  MutexLock lock(&mu_);
+  return FindOrCreate<Counter>(counters_, name);
 }
 
 Gauge* Registry::gauge(std::string_view name) {
-  return FindOrCreate<Gauge>(mu_, gauges_, name);
+  MutexLock lock(&mu_);
+  return FindOrCreate<Gauge>(gauges_, name);
 }
 
 Histogram* Registry::histogram(std::string_view name) {
-  return FindOrCreate<Histogram>(mu_, histograms_, name);
+  MutexLock lock(&mu_);
+  return FindOrCreate<Histogram>(histograms_, name);
 }
 
 void Registry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
 }
 
 std::string Registry::DumpJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out = "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -163,7 +166,7 @@ std::string Registry::DumpJson() const {
 }
 
 void Registry::DumpText(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [name, c] : counters_) {
     os << name << " = " << c->value() << "\n";
   }

@@ -25,11 +25,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 
 namespace xrefine::metrics {
@@ -124,12 +124,17 @@ class Registry {
   void DumpText(std::ostream& os) const;
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // std::map: sorted dumps for free; unique_ptr: stable addresses across
-  // rehash/rebalance so cached pointers never dangle.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // rehash/rebalance so cached pointers never dangle. The registry maps are
+  // guarded; the metric objects themselves are lock-free atomics, so cached
+  // pointers are updated without ever touching mu_.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      GUARDED_BY(mu_);
 };
 
 /// RAII timer: records the scope's wall time (microseconds) into a

@@ -28,7 +28,12 @@ std::string_view StatusCodeToString(StatusCode code);
 /// A Status holds either success (OK) or an error code plus message.
 /// Cheap to copy in the OK case; used as the return type of every fallible
 /// operation in this codebase (exceptions are not used).
-class Status {
+///
+/// Class-level [[nodiscard]]: silently dropping a returned Status is a
+/// compile error repo-wide (-Werror=unused-result) — the PR-1 pager
+/// write-back bug was exactly a dropped Status. Callers that genuinely
+/// cannot act on a failure must log it or document the cast to void.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)

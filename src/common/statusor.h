@@ -11,9 +11,10 @@
 namespace xrefine {
 
 /// Holds either a T (when the status is OK) or an error Status.
-/// Callers must check ok() before dereferencing.
+/// Callers must check ok() before dereferencing. [[nodiscard]] for the same
+/// reason as Status: a dropped StatusOr is a silently ignored failure.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Intentionally implicit, so `return MakeFoo();` and `return status;`
   // both work at call sites, matching absl::StatusOr ergonomics.

@@ -1,0 +1,112 @@
+// Clang thread-safety annotation macros plus capability-annotated mutex
+// wrappers, in the style of abseil's thread_annotations.h / LLVM's
+// Threading support headers.
+//
+// Under Clang with -Wthread-safety (the XREFINE_THREAD_SAFETY CMake option
+// promotes it to an error) the annotations turn the lock discipline
+// documented in header comments into a compile-time check: reading a
+// GUARDED_BY member without its mutex, or calling a REQUIRES function
+// without holding the capability, fails the build. Under GCC (which has no
+// analysis) every macro expands to nothing and the wrappers are plain
+// std::mutex pass-throughs, so the annotated code builds everywhere.
+//
+// Conventions in this codebase (see DESIGN.md "Static analysis & lock
+// discipline"):
+//   * Shared mutable members are declared `GUARDED_BY(mu_)`.
+//   * Private helpers that assume the lock is held are `REQUIRES(mu_)` and
+//     are only called from public entry points that take a MutexLock.
+//   * Public methods that must not be called with the lock held (because
+//     they take it themselves) may be annotated `LOCKS_EXCLUDED(mu_)`.
+#ifndef XREFINE_COMMON_THREAD_ANNOTATIONS_H_
+#define XREFINE_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define XREFINE_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define XREFINE_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+// --- Declaration-site annotations -------------------------------------------
+
+/// Data members: protected by the given capability (mutex).
+#define GUARDED_BY(x) XREFINE_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer members: the pointed-to data (not the pointer) is protected.
+#define PT_GUARDED_BY(x) XREFINE_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Functions: the caller must hold the capability exclusively.
+#define REQUIRES(...) \
+  XREFINE_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Functions: the caller must hold the capability at least shared.
+#define REQUIRES_SHARED(...) \
+  XREFINE_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Functions: the caller must NOT hold the capability (the function takes
+/// it itself; calling with it held would self-deadlock).
+#define EXCLUDES(...) XREFINE_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Alias kept for readers used to the older Clang macro name.
+#define LOCKS_EXCLUDED(...) EXCLUDES(__VA_ARGS__)
+
+/// Functions that acquire/release the capability as a side effect.
+#define ACQUIRE(...) \
+  XREFINE_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  XREFINE_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  XREFINE_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  XREFINE_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  XREFINE_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Functions returning a reference to a capability-guarded object.
+#define RETURN_CAPABILITY(x) XREFINE_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Classes that model a capability / a scoped acquisition of one.
+#define CAPABILITY(x) XREFINE_THREAD_ANNOTATION_(capability(x))
+#define SCOPED_CAPABILITY XREFINE_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Escape hatch: disables analysis inside one function. Every use must
+/// carry a comment explaining why the analysis cannot see the invariant.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  XREFINE_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace xrefine {
+
+/// std::mutex with the `mutex` capability, so members can be declared
+/// GUARDED_BY(mu_) and helpers REQUIRES(mu_). Prefer MutexLock over calling
+/// Lock/Unlock directly.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII scoped acquisition of a Mutex (the annotated std::lock_guard).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+}  // namespace xrefine
+
+#endif  // XREFINE_COMMON_THREAD_ANNOTATIONS_H_

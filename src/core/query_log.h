@@ -48,8 +48,8 @@ class QueryLog {
   /// Deletions are not mined (the DP prices them via deletion_cost).
   RuleSet MineRules(const LogMiningOptions& options = {}) const;
 
-  Status SaveToFile(const std::string& path) const;
-  static StatusOr<QueryLog> LoadFromFile(const std::string& path);
+  [[nodiscard]] Status SaveToFile(const std::string& path) const;
+  [[nodiscard]] static StatusOr<QueryLog> LoadFromFile(const std::string& path);
 
  private:
   std::vector<QueryLogEntry> entries_;

@@ -18,7 +18,7 @@ RuleGenerator::RuleGenerator(const index::InvertedIndex* index,
     stem_index_[text::PorterStem(word)].push_back(word);
   }
   segmenter_ = std::make_unique<text::Segmenter>(
-      std::unordered_set<std::string>(vocabulary_.begin(), vocabulary_.end()));
+      text::Segmenter::Vocabulary(vocabulary_.begin(), vocabulary_.end()));
 }
 
 RuleSet RuleGenerator::GenerateFor(const Query& q) const {

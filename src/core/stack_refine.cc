@@ -11,6 +11,8 @@ namespace xrefine::core {
 namespace {
 
 struct Entry {
+  explicit Entry(uint32_t c) : component(c) {}
+
   uint32_t component;
   uint64_t mask = 0;                 // witnessed keywords of KS
   bool q_emitted_below = false;      // an SLCA of Q was emitted in a child

@@ -62,12 +62,15 @@ XRefine::XRefine(const index::IndexedCorpus* corpus,
 
 void XRefine::AttachQueryLog(const QueryLog& log,
                              const LogMiningOptions& options) {
-  log_rules_ = log.MineRules(options);
+  RuleSet mined = log.MineRules(options);  // mine outside the lock
+  MutexLock lock(&log_rules_mu_);
+  log_rules_ = std::move(mined);
 }
 
 RefineInput XRefine::Prepare(const Query& q) const {
   RefineInput input = PrepareRefineInput(*corpus_, q, rule_generator_,
                                          options_.search_for_node);
+  MutexLock lock(&log_rules_mu_);
   if (log_rules_.size() > 0) {
     input.rules = MergeRuleSets(input.rules, log_rules_);
     // Log rules may introduce keywords the corpus-mined KS missed.

@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "common/thread_annotations.h"
 #include "core/partition_refine.h"
 #include "core/query_log.h"
 #include "core/refine_common.h"
@@ -44,18 +45,18 @@ struct XRefineOptions {
   bool infer_return_nodes = false;
 };
 
-/// Thread-safety contract: the const query path — Run(), RunText(),
-/// Prepare(), RunPrepared() — is safe to call concurrently from any number
-/// of threads over one engine, provided the corpus and lexicon are not
-/// mutated. The only shared mutable state it touches is the corpus's
-/// co-occurrence cache, which is internally mutex-guarded and
-/// reference-stable (first inserter wins; std::unordered_map never
-/// invalidates element references on rehash). Everything else consulted
-/// during a query (inverted index, statistics, node types, lexicon,
-/// rule generator, options, log_rules_) is read-only after construction.
-/// AttachQueryLog() is the one mutator: it writes the rule set that
-/// Prepare() reads, so it must not race with in-flight queries — call it
-/// before serving, or externally synchronize.
+/// Thread-safety contract (machine-checked under XREFINE_THREAD_SAFETY):
+/// the const query path — Run(), RunText(), Prepare(), RunPrepared() — is
+/// safe to call concurrently from any number of threads over one engine,
+/// provided the corpus and lexicon are not mutated. Shared mutable state is
+/// limited to (a) the corpus's co-occurrence cache, internally
+/// mutex-guarded and reference-stable (first inserter wins;
+/// std::unordered_map never invalidates element references on rehash), and
+/// (b) log_rules_, guarded by log_rules_mu_ below. Everything else
+/// consulted during a query (inverted index, statistics, node types,
+/// lexicon, rule generator, options) is read-only after construction.
+/// AttachQueryLog() may now be called concurrently with in-flight queries:
+/// each query atomically sees either the old or the new mined rule set.
 class XRefine {
  public:
   /// `corpus` and `lexicon` must outlive the engine.
@@ -73,8 +74,9 @@ class XRefine {
   /// Mines refinement rules from a log of accepted refinements and merges
   /// them into every subsequent query's rule set (the paper's "query log
   /// analysis" rule source). Call again to re-mine after the log grows.
-  void AttachQueryLog(const QueryLog& log,
-                      const LogMiningOptions& options = {});
+  /// Safe to call while queries are in flight (see the class contract).
+  void AttachQueryLog(const QueryLog& log, const LogMiningOptions& options = {})
+      EXCLUDES(log_rules_mu_);
 
   /// The prepared per-query state (exposed for benchmarks that want to
   /// time the scan separately from rule generation).
@@ -93,7 +95,10 @@ class XRefine {
   const index::IndexedCorpus* corpus_;
   XRefineOptions options_;
   RuleGenerator rule_generator_;
-  RuleSet log_rules_;  // mined from an attached query log; empty by default
+  // Mined from an attached query log; empty by default. Written by
+  // AttachQueryLog, read by Prepare — the engine's only mutable member.
+  mutable Mutex log_rules_mu_;
+  RuleSet log_rules_ GUARDED_BY(log_rules_mu_);
 };
 
 }  // namespace xrefine::core

@@ -54,7 +54,7 @@ const std::vector<xml::Dewey>& CooccurrenceTable::AnchorSet(
     std::string_view keyword, xml::TypeId type) {
   std::string cache_key = AnchorKey(keyword, type);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = anchor_cache_.find(cache_key);
     if (it != anchor_cache_.end()) {
       Metrics().anchor_hits->Increment();
@@ -79,7 +79,7 @@ const std::vector<xml::Dewey>& CooccurrenceTable::AnchorSet(
       }
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // First inserter wins; a concurrent thread computed the same set.
   return anchor_cache_.emplace(std::move(cache_key), std::move(anchors))
       .first->second;
@@ -94,7 +94,7 @@ uint32_t CooccurrenceTable::Count(std::string_view k1, std::string_view k2,
                                   xml::TypeId type) {
   std::string cache_key = PairKey(k1, k2, type);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = pair_cache_.find(cache_key);
     if (it != pair_cache_.end()) {
       Metrics().pair_hits->Increment();
@@ -120,14 +120,14 @@ uint32_t CooccurrenceTable::Count(std::string_view k1, std::string_view k2,
       ++j;
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   pair_cache_.emplace(std::move(cache_key), count);
   return count;
 }
 
 std::vector<CooccurrenceTable::ExportedPair> CooccurrenceTable::ExportPairs()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<ExportedPair> out;
   out.reserve(pair_cache_.size());
   for (const auto& [key, count] : pair_cache_) {
@@ -147,7 +147,7 @@ std::vector<CooccurrenceTable::ExportedPair> CooccurrenceTable::ExportPairs()
 }
 
 void CooccurrenceTable::ImportPair(const ExportedPair& pair) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   pair_cache_[PairKey(pair.k1, pair.k2, pair.type)] = pair.count;
 }
 

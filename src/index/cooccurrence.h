@@ -8,12 +8,12 @@
 #define XREFINE_INDEX_COOCCURRENCE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "index/inverted_index.h"
 #include "xml/node_type.h"
 
@@ -43,7 +43,7 @@ class CooccurrenceTable {
                                            xml::TypeId type);
 
   size_t memoized_pairs() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return pair_cache_.size();
   }
 
@@ -69,9 +69,13 @@ class CooccurrenceTable {
 
   const InvertedIndex* index_;
   const xml::NodeTypeTable* types_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::vector<xml::Dewey>> anchor_cache_;
-  std::unordered_map<std::string, uint32_t> pair_cache_;
+  mutable Mutex mu_;
+  // Guarded memoisation maps. References returned by AnchorSet() outlive
+  // the lock by design: unordered_map never invalidates element references
+  // on rehash, and entries are never erased.
+  std::unordered_map<std::string, std::vector<xml::Dewey>> anchor_cache_
+      GUARDED_BY(mu_);
+  std::unordered_map<std::string, uint32_t> pair_cache_ GUARDED_BY(mu_);
 };
 
 }  // namespace xrefine::index

@@ -319,10 +319,16 @@ StatusOr<std::unique_ptr<IndexedCorpus>> LoadCorpus(
     }
   }
 
+  // The co-occurrence cache entry is optional (stores persisted before the
+  // cache was warmed simply lack it), so NotFound is fine — but any other
+  // failure (Corruption, IoError) must propagate rather than silently
+  // yielding a corpus with a cold cache over a damaged store.
   auto cooccur_or = store.Get(MetaKey(kCooccurKey));
   if (cooccur_or.ok()) {
     XREFINE_RETURN_IF_ERROR(
         DecodeCooccurCache(cooccur_or.value(), &corpus->cooccurrence()));
+  } else if (!cooccur_or.status().IsNotFound()) {
+    return cooccur_or.status();
   }
 
   std::string freq_prefix = "f";

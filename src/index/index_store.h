@@ -17,11 +17,12 @@
 namespace xrefine::index {
 
 /// Writes the corpus into `store` and flushes it.
-Status SaveCorpus(const IndexedCorpus& corpus, storage::KVStore* store);
+[[nodiscard]] Status SaveCorpus(const IndexedCorpus& corpus,
+                                storage::KVStore* store);
 
 /// Reads a corpus back. The result has no Document attached; queries still
 /// run (results are Dewey labels), but subtree snippets are unavailable.
-StatusOr<std::unique_ptr<IndexedCorpus>> LoadCorpus(
+[[nodiscard]] StatusOr<std::unique_ptr<IndexedCorpus>> LoadCorpus(
     const storage::KVStore& store);
 
 }  // namespace xrefine::index

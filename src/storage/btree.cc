@@ -306,6 +306,7 @@ void RemoveCellAt(Page* p, int pos, size_t cell_size) {
 
 StatusOr<std::unique_ptr<BTree>> BTree::Open(Pager* pager) {
   std::unique_ptr<BTree> tree(new BTree(pager));
+  MutexLock lock(&tree->mu_);
   PageGuard meta = pager->Fetch(0);
   if (!meta.valid()) return Status::Corruption("missing metadata page");
   uint32_t magic = GetFixed32(meta->data);
@@ -387,6 +388,7 @@ Status BTree::Put(std::string_view key, std::string_view value) {
     return Status::InvalidArgument("key too long: " +
                                    std::to_string(key.size()));
   }
+  MutexLock lock(&mu_);
   bool replaced = false;
   std::optional<SplitResult> split;
   XREFINE_RETURN_IF_ERROR(
@@ -546,6 +548,7 @@ Status BTree::InsertIntoInternal(Page* page, const SplitResult& child_split,
 }
 
 StatusOr<std::string> BTree::Get(std::string_view key) const {
+  MutexLock lock(&mu_);
   PageGuard leaf_guard = FindLeaf(key);
   Page* leaf = leaf_guard.get();
   bool found = false;
@@ -577,6 +580,7 @@ StatusOr<std::string> BTree::Get(std::string_view key) const {
 }
 
 Status BTree::Delete(std::string_view key) {
+  MutexLock lock(&mu_);
   PageGuard leaf_guard = FindLeaf(key);
   Page* leaf = leaf_guard.get();
   bool found = false;
@@ -651,6 +655,7 @@ static Status VerifyNode(Pager* pager, PageId id, const std::string& low,
 }
 
 Status BTree::VerifyIntegrity() const {
+  MutexLock lock(&mu_);
   VerifyState state;
   XREFINE_RETURN_IF_ERROR(VerifyNode(pager_, root_, "", "", &state));
   if (state.keys != size_) {
@@ -680,7 +685,10 @@ Status BTree::VerifyIntegrity() const {
 
 void BTree::Cursor::Seek(std::string_view key) {
   // Descend to the leftmost leaf when the key is empty, otherwise to the
-  // candidate leaf, holding a pin only on the current level.
+  // candidate leaf, holding a pin only on the current level. The tree latch
+  // covers the whole descent (root_ read + structural walk); the cursor
+  // then rests on a pinned leaf, which needs no latch.
+  MutexLock lock(&tree_->mu_);
   PageGuard p = tree_->pager_->Fetch(tree_->root_);
   Metrics().node_reads->Increment();
   while (p.valid() && PageType(p.get()) != kLeafPage) {

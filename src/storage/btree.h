@@ -7,8 +7,15 @@
 // Simplifications relative to a full production engine (documented, tested):
 //  * deletes do not rebalance (pages may underflow; correctness preserved),
 //  * the page cache is unbounded (see Pager),
-//  * single-writer, no concurrency control, no WAL (indexes are built once
-//    and then read).
+//  * single-writer, no WAL (indexes are built once and then read).
+//
+// Locking: a tree-wide latch (mu_) guards the root pointer and key count;
+// every public operation (including Cursor::Seek) takes it, so concurrent
+// readers are safe. It nests strictly above the pager's latch (tree latch
+// first, pager latch inside — never the reverse). Writers additionally
+// require external serialisation only against other *writers* mutating the
+// same pages' contents; the latch itself already serialises the structural
+// descent.
 #ifndef XREFINE_STORAGE_BTREE_H_
 #define XREFINE_STORAGE_BTREE_H_
 
@@ -18,6 +25,7 @@
 #include <string_view>
 
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 #include "storage/pager.h"
 
 namespace xrefine::storage {
@@ -29,28 +37,33 @@ class BTree {
  public:
   /// Opens the tree stored in `pager`'s file, initialising a fresh tree if
   /// the metadata page is blank. The pager must outlive the tree.
-  static StatusOr<std::unique_ptr<BTree>> Open(Pager* pager);
+  [[nodiscard]] static StatusOr<std::unique_ptr<BTree>> Open(Pager* pager);
 
   BTree(const BTree&) = delete;
   BTree& operator=(const BTree&) = delete;
 
   /// Inserts or replaces the value for `key`.
-  Status Put(std::string_view key, std::string_view value);
+  [[nodiscard]] Status Put(std::string_view key, std::string_view value)
+      EXCLUDES(mu_);
 
   /// Returns the value for `key`, or NotFound.
-  StatusOr<std::string> Get(std::string_view key) const;
+  [[nodiscard]] StatusOr<std::string> Get(std::string_view key) const
+      EXCLUDES(mu_);
 
   /// Removes `key`; NotFound if absent.
-  Status Delete(std::string_view key);
+  [[nodiscard]] Status Delete(std::string_view key) EXCLUDES(mu_);
 
   /// Number of live keys.
-  uint64_t size() const { return size_; }
+  uint64_t size() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return size_;
+  }
 
   /// Structural self-check: key ordering within every node, separator
   /// bounds over child subtrees, leaf-chain consistency, and the key count
   /// against size(). Returns Corruption with a description on the first
   /// violation. Used by tests and by tooling after loading untrusted files.
-  Status VerifyIntegrity() const;
+  [[nodiscard]] Status VerifyIntegrity() const EXCLUDES(mu_);
 
   /// Forward iterator over keys in byte order. Holds a pin on its current
   /// leaf page, so key() views stay valid while the cursor rests on them.
@@ -94,24 +107,28 @@ class BTree {
 
   Status InsertRecursive(PageId page_id, std::string_view key,
                          std::string_view value, bool* replaced,
-                         std::optional<SplitResult>* split);
+                         std::optional<SplitResult>* split) REQUIRES(mu_);
   Status InsertIntoLeaf(Page* page, std::string_view key,
                         std::string_view value, bool* replaced,
-                        std::optional<SplitResult>* split);
+                        std::optional<SplitResult>* split) REQUIRES(mu_);
   Status InsertIntoInternal(Page* page, const SplitResult& child_split,
-                            std::optional<SplitResult>* split);
+                            std::optional<SplitResult>* split) REQUIRES(mu_);
 
   /// Finds and pins the leaf page that may contain `key`.
-  PageGuard FindLeaf(std::string_view key) const;
+  PageGuard FindLeaf(std::string_view key) const REQUIRES(mu_);
 
   /// Writes a (possibly large) value, returning the encoded leaf payload.
   std::string EncodePayload(std::string_view value);
 
-  void WriteMeta();
+  void WriteMeta() REQUIRES(mu_);
 
-  Pager* pager_;
-  PageId root_ = kInvalidPageId;
-  uint64_t size_ = 0;
+  Pager* pager_;  // immutable after construction; internally latched
+
+  // Tree-wide latch over the structural state. Acquired before the pager's
+  // latch, never after it.
+  mutable Mutex mu_;
+  PageId root_ GUARDED_BY(mu_) = kInvalidPageId;
+  uint64_t size_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace xrefine::storage

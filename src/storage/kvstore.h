@@ -19,26 +19,26 @@ class KVStore {
  public:
   /// Opens (creating if needed) a store at `path`; empty path = in-memory.
   /// `pager_options` bounds the buffer pool for file-backed stores.
-  static StatusOr<std::unique_ptr<KVStore>> Open(
+  [[nodiscard]] static StatusOr<std::unique_ptr<KVStore>> Open(
       const std::string& path, PagerOptions pager_options = {});
 
   KVStore(const KVStore&) = delete;
   KVStore& operator=(const KVStore&) = delete;
 
-  Status Put(std::string_view key, std::string_view value) {
+  [[nodiscard]] Status Put(std::string_view key, std::string_view value) {
     return tree_->Put(key, value);
   }
-  StatusOr<std::string> Get(std::string_view key) const {
+  [[nodiscard]] StatusOr<std::string> Get(std::string_view key) const {
     return tree_->Get(key);
   }
-  Status Delete(std::string_view key) { return tree_->Delete(key); }
+  [[nodiscard]] Status Delete(std::string_view key) { return tree_->Delete(key); }
 
   uint64_t size() const { return tree_->size(); }
 
   BTree::Cursor NewCursor() const { return tree_->NewCursor(); }
 
   /// Persists all dirty pages.
-  Status Flush() { return pager_->Flush(); }
+  [[nodiscard]] Status Flush() { return pager_->Flush(); }
 
   const Pager& pager() const { return *pager_; }
 

@@ -60,10 +60,9 @@ StatusOr<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
                                              PagerOptions options) {
   std::unique_ptr<Pager> pager(new Pager(path, options));
   if (!pager->in_memory()) {
-    Status st = pager->OpenFile();
-    if (!st.ok()) return st;
+    XREFINE_RETURN_IF_ERROR(pager->OpenFile());
   }
-  if (pager->next_page_id_ == 0) {
+  if (pager->page_count() == 0) {
     pager->NewPage();  // page 0: metadata (guard dropped; stays cached)
   }
   return pager;
@@ -75,6 +74,7 @@ Pager::~Pager() {
     XR_LOG(Error) << "pager flush on close failed: " << st;
   }
 #ifndef NDEBUG
+  MutexLock lock(&mu_);
   for (const auto& [id, entry] : cache_) {
     if (entry.pins != 0) {
       XR_LOG(Error) << "page " << id << " still pinned at pager teardown";
@@ -84,6 +84,7 @@ Pager::~Pager() {
 }
 
 Status Pager::OpenFile() {
+  MutexLock lock(&mu_);
   bool exists = std::filesystem::exists(path_);
   // Open read/write; create first when missing.
   if (!exists) {
@@ -150,6 +151,7 @@ void Pager::Pin(Entry* entry) {
 }
 
 void Pager::Unpin(Page* page) {
+  MutexLock lock(&mu_);
   auto it = cache_.find(page->id);
   XR_CHECK(it != cache_.end()) << "unpin of uncached page " << page->id;
   Entry& entry = it->second;
@@ -194,6 +196,7 @@ void Pager::MaybeEvict() {
 }
 
 PageGuard Pager::NewPage() {
+  MutexLock lock(&mu_);
   auto page = std::make_unique<Page>();
   page->id = next_page_id_++;
   page->dirty = true;
@@ -202,6 +205,7 @@ PageGuard Pager::NewPage() {
 }
 
 PageGuard Pager::Fetch(PageId id) {
+  MutexLock lock(&mu_);
   if (id >= next_page_id_) return PageGuard();
   auto it = cache_.find(id);
   if (it != cache_.end()) {
@@ -226,6 +230,11 @@ PageGuard Pager::Fetch(PageId id) {
 }
 
 Status Pager::Flush() {
+  MutexLock lock(&mu_);
+  return FlushLocked();
+}
+
+Status Pager::FlushLocked() {
   // A failed eviction write-back means pages this pager promised to persist
   // may not be in the file; report that before (and instead of) claiming a
   // clean flush.

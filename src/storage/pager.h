@@ -4,9 +4,14 @@
 // the pool exceeds its capacity, with dirty pages written back on eviction.
 // An unbounded pool (capacity 0) never evicts, which in-memory pagers use.
 //
-// Single-threaded by design (the index is built once and then read); the
-// pin discipline exists so eviction can never invalidate a page a caller
-// still references.
+// Locking: one pager-wide latch (mu_) serialises every cache/LRU/file
+// operation, so concurrent Fetch/Flush from multiple reader threads is
+// safe. Page *contents* are not covered by the latch — the pin discipline
+// protects them: a pinned page can never be evicted, and writers of page
+// data must be externally serialised (the B+-tree is single-writer). The
+// coarse latch is the interim design; the shared-read pager redesign
+// (ROADMAP) will replace it with per-page latches or an RCU page table,
+// measured against the pager.* metrics.
 #ifndef XREFINE_STORAGE_PAGER_H_
 #define XREFINE_STORAGE_PAGER_H_
 
@@ -19,6 +24,7 @@
 
 #include "common/metrics.h"
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 
 namespace xrefine::storage {
 
@@ -78,8 +84,8 @@ class Pager {
  public:
   /// Opens (or creates) a file-backed pager. Empty `path` selects a purely
   /// in-memory pager: no file, no eviction, Flush() is a no-op.
-  static StatusOr<std::unique_ptr<Pager>> Open(const std::string& path,
-                                               PagerOptions options = {});
+  [[nodiscard]] static StatusOr<std::unique_ptr<Pager>> Open(
+      const std::string& path, PagerOptions options = {});
 
   ~Pager();
 
@@ -88,20 +94,23 @@ class Pager {
 
   /// Number of pages allocated so far (cached or on disk), including the
   /// metadata page 0.
-  PageId page_count() const { return next_page_id_; }
+  PageId page_count() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return next_page_id_;
+  }
 
   /// Allocates a fresh zeroed page, pinned and dirty.
-  PageGuard NewPage();
+  PageGuard NewPage() EXCLUDES(mu_);
 
   /// Pins the page with the given id; an invalid guard when out of range
   /// or unreadable.
-  PageGuard Fetch(PageId id);
+  PageGuard Fetch(PageId id) EXCLUDES(mu_);
 
   /// Writes all dirty cached pages back to the file. Returns the sticky
   /// error first if a background eviction write-back has already failed:
   /// once that happens the file may be missing committed pages, and no
   /// later Flush() can honestly report success.
-  Status Flush();
+  [[nodiscard]] Status Flush() EXCLUDES(mu_);
 
   bool in_memory() const { return path_.empty(); }
 
@@ -109,21 +118,40 @@ class Pager {
   /// first such error forever. Callers that dropped their dirty guards
   /// (so eviction may write on their behalf) must check this (or Flush())
   /// before trusting the file's contents.
-  const Status& status() const { return io_error_; }
+  Status status() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return io_error_;
+  }
 
   /// Forces every subsequent WritePageToFile to fail (tests only). The
   /// injected failure exercises the same path a full disk or yanked volume
   /// would.
-  void SimulateWriteFailuresForTesting(bool fail) {
+  void SimulateWriteFailuresForTesting(bool fail) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     simulate_write_failures_ = fail;
   }
 
   // --- introspection (tests, tools) ---
-  size_t cached_pages() const { return cache_.size(); }
-  uint64_t cache_hits() const { return cache_hits_; }
-  uint64_t cache_misses() const { return cache_misses_; }
-  uint64_t evictions() const { return evictions_; }
-  uint64_t writeback_failures() const { return writeback_failures_; }
+  size_t cached_pages() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return cache_.size();
+  }
+  uint64_t cache_hits() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return cache_hits_;
+  }
+  uint64_t cache_misses() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return cache_misses_;
+  }
+  uint64_t evictions() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return evictions_;
+  }
+  uint64_t writeback_failures() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return writeback_failures_;
+  }
 
  private:
   friend class PageGuard;
@@ -138,29 +166,36 @@ class Pager {
 
   Pager(std::string path, PagerOptions options);
 
-  Status OpenFile();
-  Status ReadPageFromFile(PageId id, Page* page);
-  Status WritePageToFile(const Page& page);
+  Status OpenFile() EXCLUDES(mu_);
+  Status ReadPageFromFile(PageId id, Page* page) REQUIRES(mu_);
+  Status WritePageToFile(const Page& page) REQUIRES(mu_);
 
-  Entry* Insert(std::unique_ptr<Page> page);
-  void Pin(Entry* entry);
-  void Unpin(Page* page);
-  void MaybeEvict();
+  Entry* Insert(std::unique_ptr<Page> page) REQUIRES(mu_);
+  void Pin(Entry* entry) REQUIRES(mu_);
+  void Unpin(Page* page) EXCLUDES(mu_);  // PageGuard's release entry point
+  void MaybeEvict() REQUIRES(mu_);
+  Status FlushLocked() REQUIRES(mu_);
 
-  std::string path_;
-  PagerOptions options_;
-  std::fstream file_;
-  PageId next_page_id_ = 0;
-  std::unordered_map<PageId, Entry> cache_;
-  std::list<PageId> lru_;  // front = most recently unpinned
+  std::string path_;     // immutable after construction
+  PagerOptions options_;  // immutable after construction
+
+  // Pager-wide latch: covers the page table, LRU list, file handle,
+  // counters, and the sticky error. Lock order: a BTree latch (if held) is
+  // always acquired before this one, never after.
+  mutable Mutex mu_;
+  std::fstream file_ GUARDED_BY(mu_);
+  PageId next_page_id_ GUARDED_BY(mu_) = 0;
+  std::unordered_map<PageId, Entry> cache_ GUARDED_BY(mu_);
+  std::list<PageId> lru_ GUARDED_BY(mu_);  // front = most recently unpinned
   // Per-instance counters (the accessors above) double as the source for
   // the process-wide "pager.*" registry metrics, mirrored via metrics_.
-  uint64_t cache_hits_ = 0;
-  uint64_t cache_misses_ = 0;
-  uint64_t evictions_ = 0;
-  uint64_t writeback_failures_ = 0;
-  Status io_error_;  // sticky: first write-back/IO failure, OK until then
-  bool simulate_write_failures_ = false;
+  uint64_t cache_hits_ GUARDED_BY(mu_) = 0;
+  uint64_t cache_misses_ GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ GUARDED_BY(mu_) = 0;
+  uint64_t writeback_failures_ GUARDED_BY(mu_) = 0;
+  // Sticky: first write-back/IO failure, OK until then.
+  Status io_error_ GUARDED_BY(mu_);
+  bool simulate_write_failures_ GUARDED_BY(mu_) = false;
 
   struct Metrics {
     metrics::Counter* cache_hits;

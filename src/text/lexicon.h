@@ -57,10 +57,10 @@ class Lexicon {
   ///   syn[ <cost>]: word word word     # mutual synonym group
   ///   acr: acronym = word word word    # acronym expansion
   /// '#' starts a comment; blank lines are ignored.
-  Status LoadFromFile(const std::string& path);
+  [[nodiscard]] Status LoadFromFile(const std::string& path);
 
   /// Writes all entries in the LoadFromFile format.
-  Status SaveToFile(const std::string& path) const;
+  [[nodiscard]] Status SaveToFile(const std::string& path) const;
 
  private:
   std::vector<std::vector<Synonym>> groups_;

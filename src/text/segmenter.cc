@@ -18,7 +18,7 @@ std::vector<std::string> Segmenter::Segment(std::string_view token) const {
   for (size_t i = min_piece_length_; i <= n; ++i) {
     for (size_t j = (i >= 64 ? i - 64 : 0); j + min_piece_length_ <= i; ++j) {
       if (best[j] >= kInf) continue;
-      if (vocabulary_.count(std::string(token.substr(j, i - j))) == 0) {
+      if (vocabulary_.find(token.substr(j, i - j)) == vocabulary_.end()) {
         continue;
       }
       if (best[j] + 1 < best[i]) {

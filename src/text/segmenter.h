@@ -14,8 +14,19 @@ namespace xrefine::text {
 /// Splits merged tokens against a vocabulary.
 class Segmenter {
  public:
-  explicit Segmenter(std::unordered_set<std::string> vocabulary,
-                     size_t min_piece_length = 2)
+  // Transparent hashing lets the DP in Segment() probe with string_view
+  // substrings directly — no per-probe std::string allocation in the
+  // O(n * 64) inner loop.
+  struct StringViewHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  using Vocabulary =
+      std::unordered_set<std::string, StringViewHash, std::equal_to<>>;
+
+  explicit Segmenter(Vocabulary vocabulary, size_t min_piece_length = 2)
       : vocabulary_(std::move(vocabulary)),
         min_piece_length_(min_piece_length) {}
 
@@ -26,11 +37,11 @@ class Segmenter {
   std::vector<std::string> Segment(std::string_view token) const;
 
   bool InVocabulary(std::string_view word) const {
-    return vocabulary_.count(std::string(word)) > 0;
+    return vocabulary_.find(word) != vocabulary_.end();
   }
 
  private:
-  std::unordered_set<std::string> vocabulary_;
+  Vocabulary vocabulary_;
   size_t min_piece_length_;
 };
 

@@ -22,7 +22,7 @@ class Dewey {
       : components_(std::move(components)) {}
 
   /// Parses "0.1.2" into a label.
-  static StatusOr<Dewey> Parse(std::string_view text);
+  [[nodiscard]] static StatusOr<Dewey> Parse(std::string_view text);
 
   const std::vector<uint32_t>& components() const { return components_; }
   size_t depth() const { return components_.size(); }

@@ -29,11 +29,11 @@ struct ParseOptions {
 };
 
 /// Parses an XML document from a string buffer.
-StatusOr<Document> ParseXml(std::string_view input,
+[[nodiscard]] StatusOr<Document> ParseXml(std::string_view input,
                             const ParseOptions& options = {});
 
 /// Reads and parses an XML file from disk.
-StatusOr<Document> ParseXmlFile(const std::string& path,
+[[nodiscard]] StatusOr<Document> ParseXmlFile(const std::string& path,
                                 const ParseOptions& options = {});
 
 }  // namespace xrefine::xml

@@ -20,7 +20,7 @@ struct WriteOptions {
 std::string WriteXml(const Document& doc, const WriteOptions& options = {});
 
 /// Writes the rendered XML to a file.
-Status WriteXmlFile(const Document& doc, const std::string& path,
+[[nodiscard]] Status WriteXmlFile(const Document& doc, const std::string& path,
                     const WriteOptions& options = {});
 
 }  // namespace xrefine::xml

@@ -151,7 +151,10 @@ TEST(StringUtilTest, TrimWhitespace) {
 TEST(TimerTest, MeasuresElapsedTime) {
   Timer t;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  for (int i = 0; i < 100000; ++i) {
+    // No compound assignment: volatile += is deprecated in C++20.
+    sink = sink + std::sqrt(static_cast<double>(i));
+  }
   EXPECT_GE(t.ElapsedSeconds(), 0.0);
   EXPECT_GE(t.ElapsedMicros(), t.ElapsedMillis());
 }

@@ -1,0 +1,36 @@
+// Deliberately mis-locked code. This file must NOT compile under
+// -Wthread-safety -Werror=thread-safety: it reads and writes a GUARDED_BY
+// member without holding the mutex, and calls a REQUIRES helper unlocked.
+// The thread_safety_compile_fail ctest entry (tests/CMakeLists.txt, gated
+// on XREFINE_THREAD_SAFETY) builds it and asserts the build fails —
+// proving the analysis is live, not silently disabled.
+//
+// If this file ever compiles with XREFINE_THREAD_SAFETY=ON, the
+// annotation macros have degraded to no-ops under a compiler that was
+// supposed to enforce them.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  // BUG: touches balance_ without acquiring mu_.
+  void DepositUnlocked(int amount) { balance_ += amount; }
+
+  // BUG: public caller invokes a REQUIRES(mu_) helper without the lock.
+  int ReadThroughHelper() { return BalanceLocked(); }
+
+ private:
+  int BalanceLocked() REQUIRES(mu_) { return balance_; }
+
+  xrefine::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int MisuseAccount() {
+  Account account;
+  account.DepositUnlocked(1);
+  return account.ReadThroughHelper();
+}

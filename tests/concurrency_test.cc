@@ -1,0 +1,173 @@
+// Concurrent stress tests for the shared-state inventory this repo's lock
+// discipline protects (DESIGN.md, "Static analysis & lock discipline"):
+// the XRefine query path, the metrics registry, the co-occurrence cache,
+// and the pager/B+-tree latches underneath the KV store. The tests assert
+// functional invariants (every thread sees consistent answers), but their
+// real teeth come from running under TSan — build with
+// -DXREFINE_SANITIZE=thread (tools/check_build_matrix.sh does this) so any
+// data race aborts the test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/query_log.h"
+#include "core/xrefine.h"
+#include "storage/kvstore.h"
+#include "tests/test_helpers.h"
+
+namespace xrefine {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kItersPerThread = 50;
+
+/// Launches `n` copies of `fn(thread_index)` and joins them all.
+template <typename Fn>
+void RunThreads(int n, Fn fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(n));
+  for (int t = 0; t < n; ++t) threads.emplace_back(fn, t);
+  for (auto& th : threads) th.join();
+}
+
+TEST(ConcurrencyTest, ParallelRefineOverOneEngine) {
+  auto corpus = testutil::MakeFigure1Corpus();
+  auto lexicon = text::Lexicon::BuiltIn();
+  core::XRefine engine(corpus.index.get(), &lexicon);
+
+  // The same misspelled query from every thread: the refined top answer
+  // must be identical everywhere (the engine's query path is const and the
+  // co-occurrence cache fills are idempotent).
+  std::atomic<int> failures{0};
+  RunThreads(kThreads, [&](int) {
+    for (int i = 0; i < kItersPerThread; ++i) {
+      auto outcome = engine.Run({"databse", "xml"});
+      if (outcome.refined.empty() ||
+          core::QueryToString(outcome.refined.front().rq.keywords) !=
+              "{database, xml}") {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ConcurrencyTest, AttachQueryLogRacesWithQueries) {
+  auto corpus = testutil::MakeFigure1Corpus();
+  auto lexicon = text::Lexicon::BuiltIn();
+  core::XRefine engine(corpus.index.get(), &lexicon);
+
+  core::QueryLog log;
+  for (int i = 0; i < 3; ++i) {
+    log.Record({"databse", "xml"}, {"database", "xml"});
+  }
+
+  // Half the threads re-mine the log while the other half query. The class
+  // contract (xrefine.h) promises each query atomically sees either the old
+  // or the new rule set; under TSan this is the regression test for
+  // guarding log_rules_ with log_rules_mu_.
+  std::atomic<int> failures{0};
+  RunThreads(kThreads, [&](int t) {
+    for (int i = 0; i < kItersPerThread; ++i) {
+      if (t % 2 == 0) {
+        engine.AttachQueryLog(log);
+      } else {
+        auto outcome = engine.Run({"databse", "xml"});
+        if (outcome.refined.empty()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ConcurrencyTest, MetricsRegistryConcurrentRegistrationAndDump) {
+  metrics::Registry registry;
+  std::atomic<int> failures{0};
+  RunThreads(kThreads, [&](int t) {
+    for (int i = 0; i < kItersPerThread; ++i) {
+      // Shared names collide across threads (first registration wins, the
+      // rest must get the same object); private names grow the maps while
+      // other threads dump them.
+      registry.counter("shared.events")->Increment();
+      registry.histogram("shared.latency_us")->Record(
+          static_cast<uint64_t>(i));
+      registry.gauge("thread." + std::to_string(t) + ".progress")->Set(i);
+      if (i % 10 == 0 && registry.DumpJson().empty()) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(registry.counter("shared.events")->value(),
+            static_cast<uint64_t>(kThreads) * kItersPerThread);
+}
+
+TEST(ConcurrencyTest, CooccurrenceCacheConcurrentFill) {
+  auto corpus = testutil::MakeFigure1Corpus();
+  xml::TypeId author = corpus.index->types().Lookup("bib/author");
+  xml::TypeId inproc =
+      corpus.index->types().Lookup("bib/author/publications/inproceedings");
+  auto& cooc = corpus.index->cooccurrence();
+
+  // Every thread asks for the same pairs (racing on the first cache fill)
+  // plus the symmetric spelling (same canonical entry). Answers must match
+  // the single-threaded ground truth from index_test.cc.
+  std::atomic<int> failures{0};
+  RunThreads(kThreads, [&](int) {
+    for (int i = 0; i < kItersPerThread; ++i) {
+      if (cooc.Count("xml", "database", author) != 1u ||
+          cooc.Count("database", "xml", author) != 1u ||
+          cooc.Count("skyline", "stream", inproc) != 1u ||
+          cooc.Count("xml", "skyline", author) != 0u) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+  // Three canonical pairs were cached, no matter how many threads raced.
+  EXPECT_EQ(cooc.memoized_pairs(), 3u);
+}
+
+TEST(ConcurrencyTest, KVStoreConcurrentReadersOneWriter) {
+  std::string path = ::testing::TempDir() + "/concurrency_kv.db";
+  std::remove(path.c_str());
+  auto store_or = storage::KVStore::Open(path);
+  ASSERT_TRUE(store_or.ok()) << store_or.status();
+  auto& store = *store_or.value();
+
+  const int kSeed = 64;
+  for (int i = 0; i < kSeed; ++i) {
+    ASSERT_TRUE(store.Put("seed" + std::to_string(i), "v").ok());
+  }
+
+  // Thread 0 appends fresh keys; the rest hammer reads of the seeded range.
+  // This drives the B+-tree latch and, through page fetch/eviction, the
+  // pager latch (lock order: tree before pager).
+  std::atomic<int> failures{0};
+  RunThreads(kThreads, [&](int t) {
+    for (int i = 0; i < kItersPerThread; ++i) {
+      if (t == 0) {
+        if (!store.Put("w" + std::to_string(i), "x").ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        auto v = store.Get("seed" + std::to_string(i % kSeed));
+        if (!v.ok() || *v != "v") {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace xrefine

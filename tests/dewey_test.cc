@@ -107,7 +107,9 @@ TEST_P(DeweyPropertyTest, OrderConsistency) {
       EXPECT_LT(a.Compare(c), 0);
     }
     // Ancestors precede descendants.
-    if (a.IsAncestor(b)) EXPECT_LT(a.Compare(b), 0);
+    if (a.IsAncestor(b)) {
+      EXPECT_LT(a.Compare(b), 0);
+    }
     // CommonPrefix is an ancestor-or-self of both.
     Dewey lca = Dewey::CommonPrefix(a, b);
     EXPECT_TRUE(lca.IsAncestorOrSelf(a));

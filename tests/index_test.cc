@@ -212,6 +212,38 @@ TEST(IndexStoreTest, LoadFromEmptyStoreFails) {
   EXPECT_FALSE(LoadCorpus(**store).ok());
 }
 
+// Regression tests for the optional co-occurrence cache entry: a store
+// persisted before the cache existed (entry absent) must still load, but a
+// present-and-damaged entry must fail the load instead of being silently
+// treated as a cold cache (latent bug surfaced by the [[nodiscard]] pass).
+TEST(IndexStoreTest, MissingCooccurEntryIsTolerated) {
+  auto corpus = MakeFigure1Corpus();
+  auto store = storage::KVStore::Open("");
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(SaveCorpus(*corpus.index, store->get()).ok());
+  // Key layout from index_store.cc: "m" NUL "cooccur" (embedded NUL).
+  const std::string cooccur_key("m\0cooccur", 9);
+  ASSERT_TRUE((*store)->Delete(cooccur_key).ok());
+
+  auto loaded_or = LoadCorpus(**store);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status();
+  EXPECT_EQ((*loaded_or)->cooccurrence().memoized_pairs(), 0u);
+}
+
+TEST(IndexStoreTest, CorruptCooccurEntryFailsLoad) {
+  auto corpus = MakeFigure1Corpus();
+  auto store = storage::KVStore::Open("");
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(SaveCorpus(*corpus.index, store->get()).ok());
+  const std::string cooccur_key("m\0cooccur", 9);
+  // Varint count of 100 followed by no entries: decodes as truncated.
+  ASSERT_TRUE((*store)->Put(cooccur_key, "\x64").ok());
+
+  auto loaded_or = LoadCorpus(**store);
+  ASSERT_FALSE(loaded_or.ok());
+  EXPECT_TRUE(loaded_or.status().IsCorruption()) << loaded_or.status();
+}
+
 TEST(IndexStoreTest, PersistsToDiskAndBack) {
   std::string path = ::testing::TempDir() + "/index_store_disk.db";
   std::remove(path.c_str());

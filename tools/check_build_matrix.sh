@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Builds and tests the full configuration matrix:
+#
+#   plain          default flags (what `cmake -B build` gives you)
+#   werror         -Werror (XREFINE_WERROR=ON)
+#   asan-ubsan     AddressSanitizer (XREFINE_SANITIZE=address) — UBSan runs
+#                  as a separate config because the two flags are mutually
+#                  exclusive in XREFINE_SANITIZE
+#   ubsan          UndefinedBehaviorSanitizer (XREFINE_SANITIZE=undefined)
+#   tsan           ThreadSanitizer (XREFINE_SANITIZE=thread); this is the
+#                  config that gives tests/concurrency_test.cc its teeth
+#   thread-safety  Clang -Wthread-safety as errors (XREFINE_THREAD_SAFETY=ON)
+#                  — skipped with a note when clang++ is not installed,
+#                  since the option FATAL_ERRORs under other compilers
+#
+# Each config configures into build-matrix/<name>, builds everything, and
+# runs ctest. Any failure aborts the script (set -e), so a green exit means
+# the whole matrix passed.
+#
+# Usage: tools/check_build_matrix.sh [--quick]
+#   --quick  plain + tsan only (the two configs that catch the most)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT="$PWD"
+MATRIX_DIR="$ROOT/build-matrix"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local name="$1"; shift
+  local dir="$MATRIX_DIR/$name"
+  echo "=== [$name] configure: $* ==="
+  cmake -B "$dir" -S "$ROOT" "$@" >/dev/null
+  echo "=== [$name] build ==="
+  cmake --build "$dir" -j "$JOBS" >/dev/null
+  echo "=== [$name] ctest ==="
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS" >/dev/null)
+  echo "=== [$name] OK ==="
+}
+
+QUICK=0
+[ "${1:-}" = "--quick" ] && QUICK=1
+
+run_config plain
+if [ "$QUICK" -eq 0 ]; then
+  run_config werror -DXREFINE_WERROR=ON
+  run_config asan -DXREFINE_SANITIZE=address
+  run_config ubsan -DXREFINE_SANITIZE=undefined
+fi
+run_config tsan -DXREFINE_SANITIZE=thread
+
+if command -v clang++ >/dev/null 2>&1; then
+  run_config thread-safety \
+      -DCMAKE_CXX_COMPILER=clang++ -DXREFINE_THREAD_SAFETY=ON
+else
+  echo "=== [thread-safety] SKIPPED: clang++ not found; the annotations" \
+       "compile to no-ops under GCC, so only Clang can enforce them ==="
+fi
+
+echo "build matrix: all configs passed"

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (policy: .clang-tidy at the repo root) over every
+# first-party translation unit, using the compile_commands.json of a build
+# directory. Part of the verify flow; exits non-zero on any finding because
+# .clang-tidy sets WarningsAsErrors: '*'.
+#
+# Usage: tools/lint.sh [build-dir]
+#   build-dir defaults to ./build-lint (configured on demand).
+#
+# Toolchain gating: clang-tidy is not part of the baseline toolchain (the
+# default container ships GCC only). When it is absent we print a skip note
+# and exit 0 so the verify flow stays runnable everywhere; CI images with
+# LLVM installed get the full check. The compile-time half of the pass
+# (-Werror=unused-result, and -Wthread-safety under XREFINE_THREAD_SAFETY)
+# does not depend on this script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "lint.sh: $TIDY not found in PATH; skipping clang-tidy (install LLVM" \
+       "or set CLANG_TIDY to enable). Compile-time checks still apply."
+  exit 0
+fi
+
+BUILD_DIR="${1:-build-lint}"
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "lint.sh: configuring $BUILD_DIR for compile_commands.json"
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+# First-party TUs only: vendored/third-party code (none today) and generated
+# files would be linted against a policy they never agreed to.
+mapfile -t FILES < <(find src bench examples tests \
+    -name '*.cc' -o -name '*.cpp' | grep -v 'tests/compile_fail' | sort)
+
+echo "lint.sh: clang-tidy over ${#FILES[@]} files ($BUILD_DIR)"
+FAILED=0
+for f in "${FILES[@]}"; do
+  if ! "$TIDY" -p "$BUILD_DIR" --quiet "$f"; then
+    FAILED=1
+  fi
+done
+
+if [ "$FAILED" -ne 0 ]; then
+  echo "lint.sh: FAILED (findings above; fix or NOLINT with a reason)"
+  exit 1
+fi
+echo "lint.sh: clean"
