@@ -130,7 +130,7 @@ BENCHMARK(BM_Slca)
 void BM_GetOptimalRq(benchmark::State& state) {
   const auto& corpus = SharedCorpus();
   auto lexicon = text::Lexicon::BuiltIn();
-  core::RuleGenerator generator(&corpus.index(), &lexicon);
+  core::RuleGenerator generator(&corpus, &lexicon);
   core::Query q = {"databse", "query", "processing"};
   core::RuleSet rules = generator.GenerateFor(q);
   core::KeywordSet t = {"database", "query", "processing", "system"};
@@ -155,7 +155,7 @@ BENCHMARK(BM_SearchForNode);
 void BM_RuleGeneration(benchmark::State& state) {
   const auto& corpus = SharedCorpus();
   auto lexicon = text::Lexicon::BuiltIn();
-  core::RuleGenerator generator(&corpus.index(), &lexicon);
+  core::RuleGenerator generator(&corpus, &lexicon);
   core::Query q = {"databse", "keywrd", "serch"};
   for (auto _ : state) {
     auto rules = generator.GenerateFor(q);

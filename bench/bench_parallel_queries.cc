@@ -1,14 +1,19 @@
 // Concurrent read-path throughput: one shared corpus and engine, N threads
 // refining queries simultaneously. The engine's query path is read-only
-// except the co-occurrence memoisation, which is mutex-guarded; this bench
+// except the internally mutex-guarded source caches; this bench
 // demonstrates scaling and doubles as a race smoke test (build with
 // -DXREFINE_SANITIZE=thread to run it under TSan).
 //
-// The corpus is round-tripped through the persistent store (save, then load
-// from a file-backed KVStore with a bounded buffer pool) before serving, so
-// one run exercises the pager, B+-tree, and index-store counters alongside
-// the slca.* / query.* ones. The registry is dumped to
-// BENCH_parallel_queries.json at exit.
+// Two serving modes are measured back to back over the same query pool:
+//   1. in-memory  — the corpus is saved to a file-backed KVStore, loaded
+//      back in full (LoadCorpus), and served from RAM;
+//   2. store-backed — the same store file is served directly through a
+//      StoreBackedIndexSource: posting lists are fetched through the pager
+//      at query time and kept in a bounded LRU cache, the boot path a
+//      serving process uses when the index exceeds RAM.
+// One run therefore exercises the pager, B+-tree, index-store, and
+// index.cache_* counters alongside the slca.* / query.* ones. The registry
+// is dumped to BENCH_parallel_queries.json at exit.
 #include <atomic>
 #include <cstdio>
 #include <fstream>
@@ -17,6 +22,7 @@
 #include "bench/bench_util.h"
 #include "common/metrics.h"
 #include "index/index_store.h"
+#include "index/store_index_source.h"
 #include "storage/kvstore.h"
 
 namespace xrefine::bench {
@@ -28,64 +34,35 @@ void benchmark_do_not_optimize(T&& value) {
   asm volatile("" : : "g"(value) : "memory");
 }
 
-// Saves env's corpus to a file-backed store and loads it back through a
-// bounded buffer pool (forcing evictions and re-reads), mirroring how a
-// serving process would boot from a persisted index. Returns the loaded
-// corpus, or null (with a message) when any storage step fails.
-std::unique_ptr<index::IndexedCorpus> RoundTripThroughStore(const Env& env,
-                                                            size_t max_pages) {
-  std::string path = "bench_parallel_queries.xrdb";
+// Removes `path` when the enclosing scope exits, so early returns on
+// storage failures cannot leak the benchmark's temporary store file.
+struct FileRemover {
+  std::string path;
+  ~FileRemover() { std::remove(path.c_str()); }
+};
+
+// Saves env's corpus into a fresh store file at `path`. Returns false (with
+// a message) when any storage step fails.
+bool SaveToStore(const Env& env, const std::string& path) {
   std::remove(path.c_str());
-  {
-    auto store_or = storage::KVStore::Open(path);
-    if (!store_or.ok()) {
-      std::printf("store open failed: %s\n",
-                  store_or.status().ToString().c_str());
-      return nullptr;
-    }
-    Status st = index::SaveCorpus(*env.corpus, store_or.value().get());
-    if (!st.ok()) {
-      std::printf("save failed: %s\n", st.ToString().c_str());
-      return nullptr;
-    }
-  }
-  storage::PagerOptions pager_options;
-  pager_options.max_cached_pages = max_pages;
-  auto store_or = storage::KVStore::Open(path, pager_options);
+  auto store_or = storage::KVStore::Open(path);
   if (!store_or.ok()) {
-    std::printf("store reopen failed: %s\n",
+    std::printf("store open failed: %s\n",
                 store_or.status().ToString().c_str());
-    return nullptr;
+    return false;
   }
-  auto corpus_or = index::LoadCorpus(*store_or.value());
-  std::remove(path.c_str());
-  if (!corpus_or.ok()) {
-    std::printf("load failed: %s\n", corpus_or.status().ToString().c_str());
-    return nullptr;
+  Status st = index::SaveCorpus(*env.corpus, store_or.value().get());
+  if (!st.ok()) {
+    std::printf("save failed: %s\n", st.ToString().c_str());
+    return false;
   }
-  return std::move(corpus_or).value();
+  return true;
 }
 
-void Main() {
-  PrintHeader("Parallel query throughput (queries/second)");
-  Env env = MakeDblpEnv(800);
-  auto pool = MakePool(env, 30, "inproceedings", 888);
-  std::printf("corpus: %zu nodes; %zu distinct queries, 3 rounds each\n",
-              env.doc->NodeCount(), pool.size());
-
-  // Serve from a corpus loaded off disk through a small buffer pool, the
-  // production boot path; fall back to the in-memory build if storage fails.
-  std::unique_ptr<index::IndexedCorpus> loaded =
-      RoundTripThroughStore(env, /*max_pages=*/64);
-  const index::IndexedCorpus* corpus =
-      loaded != nullptr ? loaded.get() : env.corpus.get();
-  std::printf("serving from %s corpus\n",
-              loaded != nullptr ? "store-loaded" : "in-memory");
-
-  core::XRefineOptions options;
-  options.top_k = 3;
-  core::XRefine engine(corpus, &env.lexicon, options);
-
+// Runs the query pool through `engine` with 1/2/4/8 worker threads and
+// prints per-thread-count throughput.
+void ServeAndReport(const core::XRefine& engine,
+                    const std::vector<workload::CorruptedQuery>& pool) {
   // Warm the caches once.
   for (const auto& cq : pool) engine.Run(cq.corrupted);
 
@@ -110,6 +87,84 @@ void Main() {
     std::printf("%2u threads: %8.0f q/s  (%.3f ms/query)\n", threads,
                 static_cast<double>(total) / seconds,
                 1e3 * seconds / static_cast<double>(total));
+  }
+}
+
+void Main() {
+  PrintHeader("Parallel query throughput (queries/second)");
+  Env env = MakeDblpEnv(800);
+  auto pool = MakePool(env, 30, "inproceedings", 888);
+  std::printf("corpus: %zu nodes; %zu distinct queries, 3 rounds each\n",
+              env.doc->NodeCount(), pool.size());
+
+  core::XRefineOptions options;
+  options.top_k = 3;
+
+  const std::string path = "bench_parallel_queries.xrdb";
+  FileRemover remover{path};
+  bool saved = SaveToStore(env, path);
+
+  // Phase 1: serve from a corpus loaded off disk in full through a small
+  // buffer pool (forcing evictions and re-reads during the load); fall back
+  // to the in-memory build if storage fails.
+  std::unique_ptr<index::IndexedCorpus> loaded;
+  if (saved) {
+    storage::PagerOptions pager_options;
+    pager_options.max_cached_pages = 64;
+    auto store_or = storage::KVStore::Open(path, pager_options);
+    if (store_or.ok()) {
+      auto corpus_or = index::LoadCorpus(*store_or.value());
+      if (corpus_or.ok()) {
+        loaded = std::move(corpus_or).value();
+      } else {
+        std::printf("load failed: %s\n",
+                    corpus_or.status().ToString().c_str());
+      }
+    } else {
+      std::printf("store reopen failed: %s\n",
+                  store_or.status().ToString().c_str());
+    }
+  }
+  const index::IndexedCorpus* corpus =
+      loaded != nullptr ? loaded.get() : env.corpus.get();
+  std::printf("-- serving from %s corpus --\n",
+              loaded != nullptr ? "store-loaded" : "in-memory");
+  {
+    core::XRefine engine(corpus, &env.lexicon, options);
+    ServeAndReport(engine, pool);
+  }
+
+  // Phase 2: serve straight from the store. Posting lists are pulled
+  // through the pager on demand (small buffer pool, so the B+-tree pages
+  // themselves are also re-read under pressure) and cached in a bounded
+  // LRU whose budget is deliberately small enough to see evictions —
+  // index.cache_hits / index.cache_misses / index.cache_bytes in the JSON
+  // dump tell the story.
+  if (saved) {
+    storage::PagerOptions pager_options;
+    pager_options.max_cached_pages = 64;
+    auto store_or = storage::KVStore::Open(path, pager_options);
+    if (!store_or.ok()) {
+      std::printf("store-backed reopen failed: %s\n",
+                  store_or.status().ToString().c_str());
+    } else {
+      index::StoreIndexSourceOptions source_options;
+      source_options.cache_capacity_bytes = 256u << 10;  // 256 KiB
+      auto source_or = index::StoreBackedIndexSource::Open(
+          store_or.value().get(), source_options);
+      if (!source_or.ok()) {
+        std::printf("store-backed open failed: %s\n",
+                    source_or.status().ToString().c_str());
+      } else {
+        auto source = std::move(source_or).value();
+        std::printf("-- serving from store-backed source (%zu keywords) --\n",
+                    source->keyword_count());
+        core::XRefine engine(source.get(), &env.lexicon, options);
+        ServeAndReport(engine, pool);
+        std::printf("posting-list cache: %zu lists resident, %zu bytes\n",
+                    source->cached_lists(), source->cached_bytes());
+      }
+    }
   }
 
   std::ofstream out("BENCH_parallel_queries.json");

@@ -19,7 +19,7 @@ void Main() {
   std::printf("corpus: %zu nodes; %zu corrupted queries\n",
               env.doc->NodeCount(), pool.size());
 
-  core::RuleGenerator generator(&env.corpus->index(), &env.lexicon);
+  core::RuleGenerator generator(env.corpus.get(), &env.lexicon);
   // The cleaner gets a perfect dictionary: the corpus vocabulary itself.
   auto vocab_list = env.corpus->index().Vocabulary();
   core::KeywordSet dictionary(vocab_list.begin(), vocab_list.end());

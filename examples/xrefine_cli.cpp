@@ -8,10 +8,17 @@
 //   ./build/examples/xrefine_cli --dblp 300
 //   ./build/examples/xrefine_cli --baseball
 //   ./build/examples/xrefine_cli --xmark
+//   ./build/examples/xrefine_cli --store index.xrdb
 //
-// Optional flags: --lexicon <file> (extra synonym/acronym entries),
-//                 --log <file>     (persisted query log, updated on exit)
-//                 --stats          (dump the metrics registry on exit)
+// `--store <file>` serves queries straight out of a persisted index built
+// earlier with `--save-store <file>`: posting lists are read through the
+// pager on demand and cached, so nothing is preloaded and the XML document
+// itself is not needed (results print as Dewey labels).
+//
+// Optional flags: --lexicon <file>    (extra synonym/acronym entries),
+//                 --log <file>        (persisted query log, updated on exit)
+//                 --save-store <file> (persist the built index, then serve)
+//                 --stats             (dump the metrics registry on exit)
 //
 // Commands at the prompt:
 //   :algo stack|partition|sle     switch refinement algorithm
@@ -31,6 +38,9 @@
 #include "core/query_log.h"
 #include "core/xrefine.h"
 #include "index/index_builder.h"
+#include "index/index_store.h"
+#include "index/store_index_source.h"
+#include "storage/kvstore.h"
 #include "text/lexicon.h"
 #include "text/tokenizer.h"
 #include "workload/baseball_generator.h"
@@ -40,8 +50,14 @@
 
 namespace {
 
+// `doc` is null when serving from a store (no XML document attached):
+// results then print as Dewey labels instead of subtree text.
 void PrintOutcome(const xrefine::core::RefineOutcome& outcome,
-                  const xrefine::xml::Document& doc) {
+                  const xrefine::xml::Document* doc) {
+  if (!outcome.status.ok()) {
+    std::cout << "query failed: " << outcome.status << "\n";
+    return;
+  }
   std::cout << "needs refinement: "
             << (outcome.needs_refinement ? "yes" : "no") << "\n";
   if (outcome.refined.empty()) {
@@ -61,12 +77,13 @@ void PrintOutcome(const xrefine::core::RefineOutcome& outcome,
         std::cout << "     ...\n";
         break;
       }
-      auto node = doc.FindByDewey(r.dewey);
+      auto node = doc == nullptr ? xrefine::xml::kInvalidNodeId
+                                 : doc->FindByDewey(r.dewey);
       if (node == xrefine::xml::kInvalidNodeId) {
         std::cout << "     " << r.dewey.ToString() << "\n";
       } else {
-        std::cout << "     " << doc.Describe(node) << ": "
-                  << doc.SubtreeText(node).substr(0, 70) << "\n";
+        std::cout << "     " << doc->Describe(node) << ": "
+                  << doc->SubtreeText(node).substr(0, 70) << "\n";
       }
     }
   }
@@ -78,6 +95,8 @@ int main(int argc, char** argv) {
   xrefine::xml::Document doc;
   std::string lexicon_path;
   std::string log_path;
+  std::string store_path;       // serve from this store, no XML needed
+  std::string save_store_path;  // persist the built index here
   bool loaded_data = false;
   bool dump_stats = false;
 
@@ -100,6 +119,10 @@ int main(int argc, char** argv) {
       lexicon_path = argv[++i];
     } else if (arg == "--log" && i + 1 < argc) {
       log_path = argv[++i];
+    } else if (arg == "--store" && i + 1 < argc) {
+      store_path = argv[++i];
+    } else if (arg == "--save-store" && i + 1 < argc) {
+      save_store_path = argv[++i];
     } else if (arg == "--stats") {
       dump_stats = true;
     } else if (arg[0] != '-') {
@@ -112,13 +135,56 @@ int main(int argc, char** argv) {
       loaded_data = true;
     }
   }
-  if (!loaded_data) {
+  if (!loaded_data && store_path.empty()) {
     std::cerr << "usage: xrefine_cli <file.xml> | --dblp [n] | --baseball | "
-                 "--xmark  [--lexicon f] [--log f] [--stats]\n";
+                 "--xmark | --store f\n"
+                 "       [--lexicon f] [--log f] [--save-store f] [--stats]\n";
     return 1;
   }
 
-  auto corpus = xrefine::index::BuildIndex(doc);
+  // The engine serves from any IndexSource; which one depends on the flags.
+  std::unique_ptr<xrefine::index::IndexedCorpus> corpus;
+  std::unique_ptr<xrefine::storage::KVStore> store;
+  std::unique_ptr<xrefine::index::StoreBackedIndexSource> store_source;
+  const xrefine::index::IndexSource* source = nullptr;
+  const xrefine::xml::Document* doc_ptr = nullptr;
+
+  if (loaded_data) {
+    corpus = xrefine::index::BuildIndex(doc);
+    source = corpus.get();
+    doc_ptr = &doc;
+    if (!save_store_path.empty()) {
+      auto store_or = xrefine::storage::KVStore::Open(save_store_path);
+      if (!store_or.ok()) {
+        std::cerr << store_or.status() << "\n";
+        return 1;
+      }
+      auto st = xrefine::index::SaveCorpus(*corpus, store_or.value().get());
+      if (!st.ok()) {
+        std::cerr << st << "\n";
+        return 1;
+      }
+      std::cout << "saved index to " << save_store_path << "\n";
+    }
+  } else {
+    auto store_or = xrefine::storage::KVStore::Open(store_path);
+    if (!store_or.ok()) {
+      std::cerr << store_or.status() << "\n";
+      return 1;
+    }
+    store = std::move(store_or).value();
+    auto source_or =
+        xrefine::index::StoreBackedIndexSource::Open(store.get(), {});
+    if (!source_or.ok()) {
+      std::cerr << source_or.status() << "\n";
+      return 1;
+    }
+    store_source = std::move(source_or).value();
+    source = store_source.get();
+    std::cout << "serving from store " << store_path
+              << " (lists fetched on demand)\n";
+  }
+
   auto lexicon = xrefine::text::Lexicon::BuiltIn();
   if (!lexicon_path.empty()) {
     auto st = lexicon.LoadFromFile(lexicon_path);
@@ -145,15 +211,17 @@ int main(int argc, char** argv) {
 
   xrefine::core::XRefineOptions options;
   auto make_engine = [&]() {
-    auto engine = std::make_unique<xrefine::core::XRefine>(corpus.get(),
-                                                           &lexicon, options);
+    auto engine =
+        std::make_unique<xrefine::core::XRefine>(source, &lexicon, options);
     if (log.size() > 0) engine->AttachQueryLog(log);
     return engine;
   };
   auto engine = make_engine();
 
-  std::cout << "indexed " << doc.NodeCount() << " nodes, "
-            << corpus->index().keyword_count() << " keywords\n"
+  if (doc_ptr != nullptr) {
+    std::cout << "indexed " << doc_ptr->NodeCount() << " nodes, ";
+  }
+  std::cout << source->keyword_count() << " keywords\n"
             << "type a keyword query (or :quit)\n";
 
   xrefine::core::Query last_query;
@@ -193,7 +261,11 @@ int main(int argc, char** argv) {
       xrefine::core::ExpansionOptions exp_options;
       exp_options.broad_threshold = 20;
       auto q = xrefine::text::TokenizeQuery(line.substr(8));
-      auto outcome = xrefine::core::ExpandQuery(*corpus, q, exp_options);
+      auto outcome = xrefine::core::ExpandQuery(*source, q, exp_options);
+      if (!outcome.status.ok()) {
+        std::cout << "expansion failed: " << outcome.status << "\n";
+        continue;
+      }
       std::cout << "meaningful results: " << outcome.original_result_count
                 << (outcome.is_broad ? " (broad)" : "") << "\n";
       for (const auto& ex : outcome.expansions) {
@@ -225,7 +297,7 @@ int main(int argc, char** argv) {
     }
     last_query = xrefine::text::TokenizeQuery(line);
     last_outcome = engine->Run(last_query);
-    PrintOutcome(last_outcome, doc);
+    PrintOutcome(last_outcome, doc_ptr);
   }
 
   if (!log_path.empty() && log.size() > 0) {

@@ -71,6 +71,7 @@ class [[nodiscard]] Status {
 
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }

@@ -41,7 +41,7 @@ std::unordered_map<std::string, size_t> SupportFromDocument(
 // Fallback without a document: approximate the support of term t by
 // intersecting t's anchor set with the result set at the search-for type.
 std::unordered_map<std::string, size_t> SupportFromStatistics(
-    const index::IndexedCorpus& corpus,
+    const index::IndexSource& corpus,
     const std::vector<slca::SlcaResult>& results, xml::TypeId search_for,
     const std::unordered_set<std::string>& query_terms,
     size_t max_candidates) {
@@ -104,17 +104,21 @@ std::unordered_map<std::string, size_t> SupportFromStatistics(
 
 }  // namespace
 
-ExpansionOutcome ExpandQuery(const index::IndexedCorpus& corpus,
+ExpansionOutcome ExpandQuery(const index::IndexSource& corpus,
                              const Query& q,
                              const ExpansionOptions& options) {
   ExpansionOutcome outcome;
 
   auto search_for = slca::InferSearchForNodes(
       q, corpus.stats(), corpus.types(), options.search_for_node);
-  auto results = slca::ComputeSlcaForQuery(
-      q, corpus.index(), corpus.types(), options.slca_algorithm);
-  results = slca::FilterMeaningful(std::move(results), search_for,
-                                   corpus.types());
+  auto results_or = slca::ComputeSlcaForQuery(
+      q, corpus, corpus.types(), options.slca_algorithm);
+  if (!results_or.ok()) {
+    outcome.status = results_or.status();
+    return outcome;
+  }
+  auto results = slca::FilterMeaningful(std::move(results_or).value(),
+                                        search_for, corpus.types());
   outcome.original_result_count = results.size();
   outcome.is_broad = results.size() > options.broad_threshold;
   if (!outcome.is_broad || search_for.empty()) return outcome;
@@ -160,10 +164,14 @@ ExpansionOutcome ExpandQuery(const index::IndexedCorpus& corpus,
     if (outcome.expansions.size() >= options.top_k) break;
     Query expanded = q;
     expanded.push_back(s.term);
-    auto expanded_results = slca::ComputeSlcaForQuery(
-        expanded, corpus.index(), corpus.types(), options.slca_algorithm);
-    expanded_results = slca::FilterMeaningful(std::move(expanded_results),
-                                              search_for, corpus.types());
+    auto expanded_or = slca::ComputeSlcaForQuery(
+        expanded, corpus, corpus.types(), options.slca_algorithm);
+    if (!expanded_or.ok()) {
+      outcome.status = expanded_or.status();
+      return outcome;
+    }
+    auto expanded_results = slca::FilterMeaningful(
+        std::move(expanded_or).value(), search_for, corpus.types());
     if (expanded_results.empty()) continue;  // must still be answerable
     if (expanded_results.size() >= results.size()) continue;  // must narrow
     outcome.expansions.push_back(ExpandedQuery{

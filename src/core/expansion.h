@@ -56,11 +56,14 @@ struct ExpansionOutcome {
   bool is_broad = false;             // did Q exceed the threshold?
   size_t original_result_count = 0;  // meaningful results of Q
   std::vector<ExpandedQuery> expansions;
+  /// Non-OK when a store-backed source failed mid-analysis; the other
+  /// fields are whatever was computed before the failure.
+  Status status = Status::OK();
 };
 
 /// Analyses Q and, when it is over-broad, proposes narrowing expansions.
 /// When Q is not broad (or has no results at all) `expansions` is empty.
-ExpansionOutcome ExpandQuery(const index::IndexedCorpus& corpus,
+ExpansionOutcome ExpandQuery(const index::IndexSource& corpus,
                              const Query& q,
                              const ExpansionOptions& options = {});
 

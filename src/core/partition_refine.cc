@@ -37,7 +37,7 @@ xml::Dewey PartitionUpperBound(const xml::Dewey& prefix) {
 
 }  // namespace
 
-RefineOutcome PartitionRefine(const index::IndexedCorpus& corpus,
+RefineOutcome PartitionRefine(const index::IndexSource& corpus,
                               const RefineInput& input,
                               const PartitionRefineOptions& options) {
   RefineStats stats;

@@ -22,7 +22,7 @@ struct PartitionRefineOptions {
   bool infer_return_nodes = false;  // snap results to entity boundaries
 };
 
-RefineOutcome PartitionRefine(const index::IndexedCorpus& corpus,
+RefineOutcome PartitionRefine(const index::IndexSource& corpus,
                               const RefineInput& input,
                               const PartitionRefineOptions& options = {});
 

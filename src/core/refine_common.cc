@@ -8,7 +8,7 @@
 
 namespace xrefine::core {
 
-RefineInput PrepareRefineInput(const index::IndexedCorpus& corpus,
+RefineInput PrepareRefineInput(const index::IndexSource& corpus,
                                const Query& q, const RuleGenerator& rules,
                                const slca::SearchForNodeOptions& sfn_options) {
   RefineInput input;
@@ -23,10 +23,16 @@ RefineInput PrepareRefineInput(const index::IndexedCorpus& corpus,
   std::unordered_set<std::string> seen;
   for (const std::string& k : ks) {
     if (!seen.insert(k).second) continue;
-    const index::PostingList* list = corpus.index().Find(k);
-    if (list == nullptr) continue;
+    auto handle_or = corpus.FetchList(k);
+    if (!handle_or.ok()) {
+      input.status = handle_or.status();
+      return input;
+    }
+    index::PostingListHandle handle = std::move(handle_or).value();
+    if (!handle) continue;  // absent keyword: RQ ⊆ T by Lemma 2
     input.keywords.push_back(k);
-    input.lists.emplace_back(*list);
+    input.lists.emplace_back(*handle);
+    input.pins.push_back(std::move(handle));
     input.universe.insert(k);
   }
 
@@ -44,7 +50,7 @@ RefineInput PrepareRefineInput(const index::IndexedCorpus& corpus,
 }
 
 RefineOutcome FinalizeOutcome(
-    const index::IndexedCorpus& corpus, const Query& q,
+    const index::IndexSource& corpus, const Query& q,
     const std::vector<slca::TypeConfidence>& search_for,
     std::vector<std::pair<RefinedQuery, std::vector<slca::SlcaResult>>>
         candidates,

@@ -26,17 +26,27 @@ struct RefineInput {
   /// query, each with its inverted list.
   std::vector<std::string> keywords;
   std::vector<slca::PostingSpan> lists;  // parallel to `keywords`
+  /// Pins backing `lists`: each span views a list owned (or aliased) by the
+  /// handle at the same position, so store-backed cache eviction cannot
+  /// invalidate a span mid-query.
+  std::vector<index::PostingListHandle> pins;
 
   /// Witnessed keyword universe (== `keywords` as a set).
   KeywordSet universe;
 
   /// Search-for-node candidates L inferred from Q (Formula 1).
   std::vector<slca::TypeConfidence> search_for;
+
+  /// Non-OK when the backing store failed while resolving a list; the
+  /// engine refuses to answer from a partially resolved input (a missing
+  /// list would silently change conjunctive results).
+  Status status = Status::OK();
 };
 
 /// Builds the per-query state: generates rules, assembles KS = Q +
-/// getNewKeywords(R), resolves inverted lists, infers L.
-RefineInput PrepareRefineInput(const index::IndexedCorpus& corpus,
+/// getNewKeywords(R), resolves inverted lists, infers L. A store fetch
+/// failure is reported in the returned input's `status`.
+RefineInput PrepareRefineInput(const index::IndexSource& corpus,
                                const Query& q, const RuleGenerator& rules,
                                const slca::SearchForNodeOptions& sfn_options);
 
@@ -63,6 +73,10 @@ struct RefineOutcome {
   /// by XRefine::Run / RunPrepared (zero when an algorithm is invoked
   /// directly).
   metrics::QueryStats query_stats;
+  /// Non-OK when the query could not be answered because the backing store
+  /// failed (propagated from RefineInput::status); all result fields are
+  /// empty in that case.
+  Status status = Status::OK();
 };
 
 /// Ranks the (rq, results) candidates with the full model (Formula 10),
@@ -71,7 +85,7 @@ struct RefineOutcome {
 /// `rank_results` is set, each surviving candidate's result list is
 /// reordered by XML TF*IDF (result_ranking.h) instead of document order.
 RefineOutcome FinalizeOutcome(
-    const index::IndexedCorpus& corpus, const Query& q,
+    const index::IndexSource& corpus, const Query& q,
     const std::vector<slca::TypeConfidence>& search_for,
     std::vector<std::pair<RefinedQuery, std::vector<slca::SlcaResult>>>
         candidates,

@@ -25,14 +25,14 @@ size_t CountUnderPrefix(const index::PostingList& list,
 
 }  // namespace
 
-double ScoreResult(const index::IndexedCorpus& corpus, const Query& keywords,
+double ScoreResult(const index::IndexSource& corpus, const Query& keywords,
                    const slca::SlcaResult& result) {
   double score = 0.0;
   double n_t = corpus.stats().node_count(result.type);
   for (const auto& k : keywords) {
-    const index::PostingList* list = corpus.index().Find(k);
-    if (list == nullptr) continue;
-    size_t tf = CountUnderPrefix(*list, result.dewey);
+    auto list_or = corpus.FetchList(k);
+    if (!list_or.ok() || !list_or.value()) continue;
+    size_t tf = CountUnderPrefix(*list_or.value(), result.dewey);
     if (tf == 0) continue;
     double idf = 0.0;
     if (n_t > 0 && result.type != xml::kInvalidTypeId) {
@@ -47,7 +47,7 @@ double ScoreResult(const index::IndexedCorpus& corpus, const Query& keywords,
 }
 
 std::vector<slca::SlcaResult> RankResults(
-    const index::IndexedCorpus& corpus, const Query& keywords,
+    const index::IndexSource& corpus, const Query& keywords,
     std::vector<slca::SlcaResult> results) {
   std::vector<std::pair<double, size_t>> keyed(results.size());
   for (size_t i = 0; i < results.size(); ++i) {

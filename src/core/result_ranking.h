@@ -14,13 +14,15 @@
 
 namespace xrefine::core {
 
-/// TF*IDF score of one result for `keywords`.
-double ScoreResult(const index::IndexedCorpus& corpus, const Query& keywords,
+/// TF*IDF score of one result for `keywords`. A keyword whose list cannot
+/// be fetched from a store-backed source contributes zero (ranking degrades
+/// rather than failing the query).
+double ScoreResult(const index::IndexSource& corpus, const Query& keywords,
                    const slca::SlcaResult& result);
 
 /// Sorts results descending by score (stable for ties in document order).
 std::vector<slca::SlcaResult> RankResults(
-    const index::IndexedCorpus& corpus, const Query& keywords,
+    const index::IndexSource& corpus, const Query& keywords,
     std::vector<slca::SlcaResult> results);
 
 }  // namespace xrefine::core

@@ -9,11 +9,11 @@
 
 namespace xrefine::core {
 
-RuleGenerator::RuleGenerator(const index::InvertedIndex* index,
+RuleGenerator::RuleGenerator(const index::IndexSource* source,
                              const text::Lexicon* lexicon,
                              RuleGeneratorOptions options)
-    : index_(index), lexicon_(lexicon), options_(options) {
-  vocabulary_ = index_->Vocabulary();
+    : source_(source), lexicon_(lexicon), options_(options) {
+  vocabulary_ = source_->Vocabulary();
   for (const std::string& word : vocabulary_) {
     stem_index_[text::PorterStem(word)].push_back(word);
   }
@@ -84,7 +84,7 @@ void RuleGenerator::AddSpellingRules(const Query& q, RuleSet* rules) const {
       if (diff > static_cast<size_t>(options_.max_edit_distance)) continue;
       int d = text::EditDistanceAtMost(k, word, options_.max_edit_distance);
       if (d > options_.max_edit_distance || d == 0) continue;
-      candidates.push_back(Candidate{word, d, index_->ListSize(word)});
+      candidates.push_back(Candidate{word, d, source_->ListSize(word)});
     }
     std::sort(candidates.begin(), candidates.end(),
               [](const Candidate& a, const Candidate& b) {

@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "core/refinement_rule.h"
-#include "index/inverted_index.h"
+#include "index/index_source.h"
 #include "text/lexicon.h"
 #include "text/segmenter.h"
 
@@ -46,9 +46,11 @@ struct RuleGeneratorOptions {
 
 class RuleGenerator {
  public:
-  /// `index` and `lexicon` must outlive the generator. Builds a stem index
-  /// over the corpus vocabulary once.
-  RuleGenerator(const index::InvertedIndex* index,
+  /// `source` and `lexicon` must outlive the generator. Builds a stem index
+  /// over the corpus vocabulary once. Only membership, list sizes and the
+  /// vocabulary are consulted — never list contents — so a store-backed
+  /// source serves rule generation from its metadata alone.
+  RuleGenerator(const index::IndexSource* source,
                 const text::Lexicon* lexicon,
                 RuleGeneratorOptions options = {});
 
@@ -66,10 +68,10 @@ class RuleGenerator {
   void AddStemmingRules(const Query& q, RuleSet* rules) const;
 
   bool InCorpus(const std::string& word) const {
-    return index_->Contains(word);
+    return source_->Contains(word);
   }
 
-  const index::InvertedIndex* index_;
+  const index::IndexSource* source_;
   const text::Lexicon* lexicon_;
   RuleGeneratorOptions options_;
 

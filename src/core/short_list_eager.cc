@@ -33,7 +33,7 @@ xml::Dewey PartitionUpperBound(const xml::Dewey& prefix) {
 
 }  // namespace
 
-RefineOutcome ShortListEagerRefine(const index::IndexedCorpus& corpus,
+RefineOutcome ShortListEagerRefine(const index::IndexSource& corpus,
                                    const RefineInput& input,
                                    const SleOptions& options) {
   RefineStats stats;

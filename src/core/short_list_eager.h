@@ -21,7 +21,7 @@ struct SleOptions {
   bool infer_return_nodes = false;  // snap results to entity boundaries
 };
 
-RefineOutcome ShortListEagerRefine(const index::IndexedCorpus& corpus,
+RefineOutcome ShortListEagerRefine(const index::IndexSource& corpus,
                                    const RefineInput& input,
                                    const SleOptions& options = {});
 

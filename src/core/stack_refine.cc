@@ -51,7 +51,7 @@ class MergedStream {
 
 }  // namespace
 
-RefineOutcome StackRefine(const index::IndexedCorpus& corpus,
+RefineOutcome StackRefine(const index::IndexSource& corpus,
                           const RefineInput& input,
                           const StackRefineOptions& options) {
   RefineStats stats;

@@ -18,7 +18,7 @@ struct StackRefineOptions {
   bool infer_return_nodes = false;  // snap results to entity boundaries
 };
 
-RefineOutcome StackRefine(const index::IndexedCorpus& corpus,
+RefineOutcome StackRefine(const index::IndexSource& corpus,
                           const RefineInput& input,
                           const StackRefineOptions& options = {});
 

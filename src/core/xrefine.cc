@@ -54,11 +54,11 @@ std::string RefineAlgorithmName(RefineAlgorithm algorithm) {
   return "?";
 }
 
-XRefine::XRefine(const index::IndexedCorpus* corpus,
+XRefine::XRefine(const index::IndexSource* corpus,
                  const text::Lexicon* lexicon, XRefineOptions options)
     : corpus_(corpus),
       options_(std::move(options)),
-      rule_generator_(&corpus->index(), lexicon, options_.rules) {}
+      rule_generator_(corpus, lexicon, options_.rules) {}
 
 void XRefine::AttachQueryLog(const QueryLog& log,
                              const LogMiningOptions& options) {
@@ -71,15 +71,21 @@ RefineInput XRefine::Prepare(const Query& q) const {
   RefineInput input = PrepareRefineInput(*corpus_, q, rule_generator_,
                                          options_.search_for_node);
   MutexLock lock(&log_rules_mu_);
-  if (log_rules_.size() > 0) {
+  if (input.status.ok() && log_rules_.size() > 0) {
     input.rules = MergeRuleSets(input.rules, log_rules_);
     // Log rules may introduce keywords the corpus-mined KS missed.
     for (const std::string& k : input.rules.NewKeywords(q)) {
       if (input.universe.count(k) > 0) continue;
-      const index::PostingList* list = corpus_->index().Find(k);
-      if (list == nullptr) continue;
+      auto handle_or = corpus_->FetchList(k);
+      if (!handle_or.ok()) {
+        input.status = handle_or.status();
+        break;
+      }
+      index::PostingListHandle handle = std::move(handle_or).value();
+      if (!handle) continue;
       input.keywords.push_back(k);
-      input.lists.emplace_back(*list);
+      input.lists.emplace_back(*handle);
+      input.pins.push_back(std::move(handle));
       input.universe.insert(k);
     }
   }
@@ -87,6 +93,13 @@ RefineInput XRefine::Prepare(const Query& q) const {
 }
 
 RefineOutcome XRefine::RunPrepared(const RefineInput& input) const {
+  if (!input.status.ok()) {
+    // A partially resolved input must not be answered: a list the store
+    // failed to deliver would silently change conjunctive results.
+    RefineOutcome failed;
+    failed.status = input.status;
+    return failed;
+  }
   Timer scan_timer;
   RefineOutcome outcome = Dispatch(input);
   double algo_ms = scan_timer.ElapsedMillis();

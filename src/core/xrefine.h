@@ -49,18 +49,19 @@ struct XRefineOptions {
 /// the const query path — Run(), RunText(), Prepare(), RunPrepared() — is
 /// safe to call concurrently from any number of threads over one engine,
 /// provided the corpus and lexicon are not mutated. Shared mutable state is
-/// limited to (a) the corpus's co-occurrence cache, internally
-/// mutex-guarded and reference-stable (first inserter wins;
-/// std::unordered_map never invalidates element references on rehash), and
+/// limited to (a) the source's internal caches (the co-occurrence cache and,
+/// for store-backed sources, the posting-list cache), each internally
+/// mutex-guarded per the IndexSource contract, and
 /// (b) log_rules_, guarded by log_rules_mu_ below. Everything else
-/// consulted during a query (inverted index, statistics, node types,
-/// lexicon, rule generator, options) is read-only after construction.
+/// consulted during a query (statistics, node types, lexicon, rule
+/// generator, options) is read-only after construction.
 /// AttachQueryLog() may now be called concurrently with in-flight queries:
 /// each query atomically sees either the old or the new mined rule set.
 class XRefine {
  public:
-  /// `corpus` and `lexicon` must outlive the engine.
-  XRefine(const index::IndexedCorpus* corpus, const text::Lexicon* lexicon,
+  /// `corpus` (any IndexSource: in-memory or store-backed) and `lexicon`
+  /// must outlive the engine.
+  XRefine(const index::IndexSource* corpus, const text::Lexicon* lexicon,
           XRefineOptions options = {});
 
   /// Refines and answers a parsed keyword query. Fills the outcome's
@@ -87,12 +88,12 @@ class XRefine {
 
   const XRefineOptions& options() const { return options_; }
   const RuleGenerator& rule_generator() const { return rule_generator_; }
-  const index::IndexedCorpus& corpus() const { return *corpus_; }
+  const index::IndexSource& corpus() const { return *corpus_; }
 
  private:
   RefineOutcome Dispatch(const RefineInput& input) const;
 
-  const index::IndexedCorpus* corpus_;
+  const index::IndexSource* corpus_;
   XRefineOptions options_;
   RuleGenerator rule_generator_;
   // Mined from an attached query log; empty by default. Written by

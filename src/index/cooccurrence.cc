@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/metrics.h"
+#include "index/index_source.h"
 
 namespace xrefine::index {
 
@@ -63,10 +64,17 @@ const std::vector<xml::Dewey>& CooccurrenceTable::AnchorSet(
   }
   Metrics().anchor_misses->Increment();
 
-  // Compute outside the lock: only the immutable index is consulted.
+  // Compute outside the lock; the fetch pins the list for the duration.
+  // A store fetch failure yields an empty set that is deliberately NOT
+  // memoised, so a transient IO error does not poison the cache forever.
+  auto list_or = source_->FetchList(keyword);
+  if (!list_or.ok()) {
+    static const std::vector<xml::Dewey>* empty = new std::vector<xml::Dewey>();
+    return *empty;
+  }
   std::vector<xml::Dewey> anchors;
-  const PostingList* list = index_->Find(keyword);
-  if (list != nullptr) {
+  const PostingListHandle& list = list_or.value();
+  if (list) {
     uint32_t depth = types_->depth(type);
     for (const Posting& p : *list) {
       // The posting participates only when a T-typed node lies on its

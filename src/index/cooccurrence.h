@@ -14,20 +14,27 @@
 #include <vector>
 
 #include "common/thread_annotations.h"
-#include "index/inverted_index.h"
+#include "xml/dewey.h"
 #include "xml/node_type.h"
 
 namespace xrefine::index {
 
+class IndexSource;
+
 /// Thread-safe for concurrent readers: the memoisation maps are guarded by
 /// a mutex, and returned references stay valid because unordered_map never
 /// invalidates element references on rehash.
+///
+/// Lists are pulled through an IndexSource, so cache fills work identically
+/// over the in-memory index and the persistent store. A store fetch failure
+/// degrades to an empty (uncached) anchor set — the co-occurrence signal
+/// only shapes ranking, and the source records the error for observability.
 class CooccurrenceTable {
  public:
   /// Both referees must outlive the table.
-  CooccurrenceTable(const InvertedIndex* index,
+  CooccurrenceTable(const IndexSource* source,
                     const xml::NodeTypeTable* types)
-      : index_(index), types_(types) {}
+      : source_(source), types_(types) {}
 
   /// f_{k1,k2}^T. Symmetric in (k1, k2).
   uint32_t Count(std::string_view k1, std::string_view k2,
@@ -67,7 +74,7 @@ class CooccurrenceTable {
                       xml::TypeId type) const;
   std::string AnchorKey(std::string_view keyword, xml::TypeId type) const;
 
-  const InvertedIndex* index_;
+  const IndexSource* source_;
   const xml::NodeTypeTable* types_;
   mutable Mutex mu_;
   // Guarded memoisation maps. References returned by AnchorSet() outlive

@@ -7,18 +7,21 @@
 #include <memory>
 
 #include "index/cooccurrence.h"
+#include "index/index_source.h"
 #include "index/inverted_index.h"
 #include "index/statistics.h"
 #include "xml/document.h"
 
 namespace xrefine::index {
 
-/// Everything the query engine needs about one corpus. The document pointer
+/// Everything the query engine needs about one corpus, fully materialised
+/// in memory. Implements IndexSource so the query path is agnostic to
+/// whether lists live here or in the persistent store. The document pointer
 /// is optional: a corpus loaded from the persistent store has no document
 /// (results are reported as Dewey labels only).
-class IndexedCorpus {
+class IndexedCorpus : public IndexSource {
  public:
-  IndexedCorpus() : cooccurrence_(&index_, &types_) {}
+  IndexedCorpus() : cooccurrence_(this, &types_) {}
 
   IndexedCorpus(const IndexedCorpus&) = delete;
   IndexedCorpus& operator=(const IndexedCorpus&) = delete;
@@ -26,16 +29,33 @@ class IndexedCorpus {
   const InvertedIndex& index() const { return index_; }
   InvertedIndex& mutable_index() { return index_; }
 
-  const StatisticsTable& stats() const { return stats_; }
+  const StatisticsTable& stats() const override { return stats_; }
   StatisticsTable& mutable_stats() { return stats_; }
 
-  const xml::NodeTypeTable& types() const { return types_; }
+  const xml::NodeTypeTable& types() const override { return types_; }
   xml::NodeTypeTable& mutable_types() { return types_; }
 
-  CooccurrenceTable& cooccurrence() const { return cooccurrence_; }
+  CooccurrenceTable& cooccurrence() const override { return cooccurrence_; }
 
-  const xml::Document* document() const { return document_; }
+  const xml::Document* document() const override { return document_; }
   void set_document(const xml::Document* doc) { document_ = doc; }
+
+  // --- IndexSource over the in-memory lists (all infallible) ---
+
+  StatusOr<PostingListHandle> FetchList(
+      std::string_view keyword) const override {
+    return PostingListHandle::Unowned(index_.Find(keyword));
+  }
+  bool Contains(std::string_view keyword) const override {
+    return index_.Contains(keyword);
+  }
+  size_t ListSize(std::string_view keyword) const override {
+    return index_.ListSize(keyword);
+  }
+  size_t keyword_count() const override { return index_.keyword_count(); }
+  std::vector<std::string> Vocabulary() const override {
+    return index_.Vocabulary();
+  }
 
  private:
   InvertedIndex index_;

@@ -1,0 +1,99 @@
+// IndexSource: where the query path gets its inverted lists. The engine,
+// the SLCA baselines, and the rule generator consume posting lists through
+// this interface so that the same code serves from either
+//   * a fully materialised in-memory corpus (IndexedCorpus), or
+//   * the persistent KV store, fetched per keyword at query time behind a
+//     bounded posting-list cache (StoreBackedIndexSource) — the paper's own
+//     serving model, where every keyword lookup is a Berkeley DB B-tree get
+//     (Section VII), and the prerequisite for corpora larger than RAM.
+//
+// Lists are handed out as PostingListHandles: shared-ownership pins that
+// keep the list bytes alive for as long as the caller holds them, so a
+// store-backed cache may evict an entry while a query is still scanning it.
+#ifndef XREFINE_INDEX_INDEX_SOURCE_H_
+#define XREFINE_INDEX_INDEX_SOURCE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+#include "index/posting.h"
+#include "index/statistics.h"
+#include "xml/node_type.h"
+
+namespace xrefine::xml {
+class Document;
+}  // namespace xrefine::xml
+
+namespace xrefine::index {
+
+class CooccurrenceTable;
+
+/// A pinned posting list. Null when the keyword has no list. The pointee is
+/// immutable and outlives the handle; for in-memory sources the handle is a
+/// free alias into the index, for store-backed sources it co-owns the
+/// decoded list with the cache.
+class PostingListHandle {
+ public:
+  PostingListHandle() = default;
+  explicit PostingListHandle(std::shared_ptr<const PostingList> list)
+      : list_(std::move(list)) {}
+
+  /// Non-owning alias over a list whose owner outlives every handle (the
+  /// in-memory index case).
+  static PostingListHandle Unowned(const PostingList* list) {
+    return PostingListHandle(
+        std::shared_ptr<const PostingList>(std::shared_ptr<const void>(), list));
+  }
+
+  const PostingList* get() const { return list_.get(); }
+  const PostingList& operator*() const { return *list_; }
+  const PostingList* operator->() const { return list_.get(); }
+  explicit operator bool() const { return list_ != nullptr; }
+
+ private:
+  std::shared_ptr<const PostingList> list_;
+};
+
+/// Read-side view over one indexed corpus. All methods are safe to call
+/// concurrently from any number of threads (implementations guard their
+/// mutable caches internally). Accessors return references valid for the
+/// source's lifetime.
+class IndexSource {
+ public:
+  virtual ~IndexSource() = default;
+
+  /// The posting list for `keyword`, pinned for the handle's lifetime.
+  /// A keyword absent from the corpus is not an error: the result is OK
+  /// with a null handle. Non-OK means the backing store failed (IO error,
+  /// corrupt record) and the query cannot be answered honestly.
+  [[nodiscard]] virtual StatusOr<PostingListHandle> FetchList(
+      std::string_view keyword) const = 0;
+
+  /// True when the keyword occurs in the corpus. Never touches list bytes.
+  virtual bool Contains(std::string_view keyword) const = 0;
+
+  /// Number of postings in the keyword's list (0 when absent). May be
+  /// served from metadata without decoding the list.
+  virtual size_t ListSize(std::string_view keyword) const = 0;
+
+  /// Number of distinct keywords.
+  virtual size_t keyword_count() const = 0;
+
+  /// Sorted corpus vocabulary (materialised per call; used by rule mining).
+  virtual std::vector<std::string> Vocabulary() const = 0;
+
+  virtual const StatisticsTable& stats() const = 0;
+  virtual const xml::NodeTypeTable& types() const = 0;
+  virtual CooccurrenceTable& cooccurrence() const = 0;
+
+  /// The source document, when this source still has one (results can then
+  /// be rendered as subtree snippets); nullptr for persisted corpora.
+  virtual const xml::Document* document() const { return nullptr; }
+};
+
+}  // namespace xrefine::index
+
+#endif  // XREFINE_INDEX_INDEX_SOURCE_H_

@@ -42,20 +42,6 @@ const IndexMetrics& Metrics() {
   return m;
 }
 
-std::string InvertedKey(const std::string& keyword) {
-  std::string key = "i";
-  key.push_back('\0');
-  key += keyword;
-  return key;
-}
-
-std::string FreqKey(const std::string& keyword) {
-  std::string key = "f";
-  key.push_back('\0');
-  key += keyword;
-  return key;
-}
-
 std::string EncodeTypes(const xml::NodeTypeTable& types) {
   std::string out;
   PutVarint32(&out, static_cast<uint32_t>(types.size()));
@@ -127,6 +113,22 @@ Status DecodeTypeStats(std::string_view data, StatisticsTable* stats) {
 // suffix (classic prefix-delta compression of sorted keys).
 constexpr uint8_t kPostingFormatVersion = 2;
 
+}  // namespace
+
+std::string InvertedListKey(std::string_view keyword) {
+  std::string key = "i";
+  key.push_back('\0');
+  key += keyword;
+  return key;
+}
+
+std::string FreqRowKey(std::string_view keyword) {
+  std::string key = "f";
+  key.push_back('\0');
+  key += keyword;
+  return key;
+}
+
 std::string EncodePostings(const PostingList& list) {
   std::string out;
   out.push_back(static_cast<char>(kPostingFormatVersion));
@@ -165,6 +167,16 @@ Status DecodePostings(std::string_view data, PostingList* list) {
   if (!GetVarint32(&p, limit, &count)) {
     return Status::Corruption("postings: bad count");
   }
+  // `count` is untrusted input. Every posting costs at least 3 encoded
+  // bytes (three one-byte varints), so a count beyond remaining/3 cannot
+  // possibly be honoured — reject it outright rather than letting
+  // reserve() attempt a multi-GB allocation on a corrupt record.
+  size_t remaining = static_cast<size_t>(limit - p);
+  if (count > remaining / 3) {
+    return Status::Corruption("postings: count " + std::to_string(count) +
+                              " exceeds record capacity (" +
+                              std::to_string(remaining) + " bytes)");
+  }
   list->reserve(count);
   std::vector<uint32_t> components;
   for (uint32_t i = 0; i < count; ++i) {
@@ -190,6 +202,23 @@ Status DecodePostings(std::string_view data, PostingList* list) {
   }
   return Status::OK();
 }
+
+Status DecodePostingCount(std::string_view data_prefix, uint32_t* count) {
+  const char* p = data_prefix.data();
+  const char* limit = data_prefix.data() + data_prefix.size();
+  if (p >= limit) return Status::Corruption("postings: empty record");
+  uint8_t version = static_cast<uint8_t>(*p++);
+  if (version != kPostingFormatVersion) {
+    return Status::Corruption("postings: unsupported format version " +
+                              std::to_string(version));
+  }
+  if (!GetVarint32(&p, limit, count)) {
+    return Status::Corruption("postings: bad count");
+  }
+  return Status::OK();
+}
+
+namespace {
 
 std::string EncodeFreqRow(const StatisticsTable::PerTypeStats& row) {
   // Deterministic output: sort by type id.
@@ -265,9 +294,40 @@ Status DecodeCooccurCache(std::string_view data, CooccurrenceTable* cooc) {
   return Status::OK();
 }
 
+// Collects every key in the two-byte `prefix` keyspace whose keyword is
+// rejected by `is_live`, then deletes them. Deletions happen after the scan
+// completes: a cursor must not race the tree mutations it triggers.
+template <typename IsLive>
+Status DeleteStaleKeys(storage::KVStore* store, std::string_view prefix,
+                       IsLive is_live) {
+  std::vector<std::string> stale;
+  auto cursor = store->NewCursor();
+  for (cursor.Seek(prefix); cursor.Valid(); cursor.Next()) {
+    std::string_view key = cursor.key();
+    if (key.substr(0, 2) != prefix) break;
+    if (!is_live(key.substr(2))) stale.emplace_back(key);
+  }
+  XREFINE_RETURN_IF_ERROR(cursor.status());
+  for (const std::string& key : stale) {
+    XREFINE_RETURN_IF_ERROR(store->Delete(key));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status SaveCorpus(const IndexedCorpus& corpus, storage::KVStore* store) {
+  // Saving over a previously saved, larger corpus must not leave stale
+  // inverted lists or frequent-table rows behind: a reload would resurrect
+  // keywords the new corpus never contained.
+  XREFINE_RETURN_IF_ERROR(DeleteStaleKeys(
+      store, InvertedListKey(""), [&corpus](std::string_view keyword) {
+        return corpus.index().Find(keyword) != nullptr;
+      }));
+  XREFINE_RETURN_IF_ERROR(DeleteStaleKeys(
+      store, FreqRowKey(""), [&corpus](std::string_view keyword) {
+        return corpus.stats().TypeStatsFor(keyword) != nullptr;
+      }));
   XREFINE_RETURN_IF_ERROR(
       store->Put(MetaKey(kTypesKey), EncodeTypes(corpus.types())));
   XREFINE_RETURN_IF_ERROR(
@@ -275,10 +335,11 @@ Status SaveCorpus(const IndexedCorpus& corpus, storage::KVStore* store) {
                  EncodeTypeStats(corpus.stats(), corpus.types().size())));
   for (const auto& [keyword, list] : corpus.index().lists()) {
     XREFINE_RETURN_IF_ERROR(
-        store->Put(InvertedKey(keyword), EncodePostings(list)));
+        store->Put(InvertedListKey(keyword), EncodePostings(list)));
   }
   for (const auto& [keyword, row] : corpus.stats().per_keyword()) {
-    XREFINE_RETURN_IF_ERROR(store->Put(FreqKey(keyword), EncodeFreqRow(row)));
+    XREFINE_RETURN_IF_ERROR(
+        store->Put(FreqRowKey(keyword), EncodeFreqRow(row)));
   }
   // Persist whatever co-occurrence entries have been computed so far; a
   // warmed cache survives restarts (the paper's co-occur frequency table).
@@ -287,24 +348,50 @@ Status SaveCorpus(const IndexedCorpus& corpus, storage::KVStore* store) {
   return store->Flush();
 }
 
-StatusOr<std::unique_ptr<IndexedCorpus>> LoadCorpus(
-    const storage::KVStore& store) {
-  auto corpus = std::make_unique<IndexedCorpus>();
-
+Status LoadCorpusMetadata(const storage::KVStore& store,
+                          xml::NodeTypeTable* types, StatisticsTable* stats,
+                          CooccurrenceTable* cooccurrence) {
   auto types_or = store.Get(MetaKey(kTypesKey));
   if (!types_or.ok()) return types_or.status();
-  XREFINE_RETURN_IF_ERROR(
-      DecodeTypes(types_or.value(), &corpus->mutable_types()));
+  XREFINE_RETURN_IF_ERROR(DecodeTypes(types_or.value(), types));
 
   auto stats_or = store.Get(MetaKey(kTypeStatsKey));
   if (!stats_or.ok()) return stats_or.status();
-  XREFINE_RETURN_IF_ERROR(
-      DecodeTypeStats(stats_or.value(), &corpus->mutable_stats()));
+  XREFINE_RETURN_IF_ERROR(DecodeTypeStats(stats_or.value(), stats));
 
-  // Scan the "i\0" and "f\0" key spaces with one cursor each.
+  // The co-occurrence cache entry is optional (stores persisted before the
+  // cache was warmed simply lack it), so NotFound is fine — but any other
+  // failure (Corruption, IoError) must propagate rather than silently
+  // yielding a corpus with a cold cache over a damaged store.
+  auto cooccur_or = store.Get(MetaKey(kCooccurKey));
+  if (cooccur_or.ok()) {
+    XREFINE_RETURN_IF_ERROR(
+        DecodeCooccurCache(cooccur_or.value(), cooccurrence));
+  } else if (!cooccur_or.status().IsNotFound()) {
+    return cooccur_or.status();
+  }
+
+  std::string freq_prefix = FreqRowKey("");
+  auto fcursor = store.NewCursor();
+  for (fcursor.Seek(freq_prefix); fcursor.Valid(); fcursor.Next()) {
+    std::string_view key = fcursor.key();
+    if (key.substr(0, 2) != std::string_view(freq_prefix)) break;
+    std::string keyword(key.substr(2));
+    std::string value = fcursor.value();
+    XREFINE_RETURN_IF_ERROR(DecodeFreqRow(value, keyword, stats));
+  }
+  return fcursor.status();
+}
+
+StatusOr<std::unique_ptr<IndexedCorpus>> LoadCorpus(
+    const storage::KVStore& store) {
+  auto corpus = std::make_unique<IndexedCorpus>();
+  XREFINE_RETURN_IF_ERROR(
+      LoadCorpusMetadata(store, &corpus->mutable_types(),
+                         &corpus->mutable_stats(), &corpus->cooccurrence()));
+
+  std::string inverted_prefix = InvertedListKey("");
   auto cursor = store.NewCursor();
-  std::string inverted_prefix = "i";
-  inverted_prefix.push_back('\0');
   for (cursor.Seek(inverted_prefix); cursor.Valid(); cursor.Next()) {
     std::string_view key = cursor.key();
     if (key.substr(0, 2) != std::string_view(inverted_prefix)) break;
@@ -318,30 +405,11 @@ StatusOr<std::unique_ptr<IndexedCorpus>> LoadCorpus(
       corpus->mutable_index().Append(keyword, std::move(p));
     }
   }
-
-  // The co-occurrence cache entry is optional (stores persisted before the
-  // cache was warmed simply lack it), so NotFound is fine — but any other
-  // failure (Corruption, IoError) must propagate rather than silently
-  // yielding a corpus with a cold cache over a damaged store.
-  auto cooccur_or = store.Get(MetaKey(kCooccurKey));
-  if (cooccur_or.ok()) {
-    XREFINE_RETURN_IF_ERROR(
-        DecodeCooccurCache(cooccur_or.value(), &corpus->cooccurrence()));
-  } else if (!cooccur_or.status().IsNotFound()) {
-    return cooccur_or.status();
-  }
-
-  std::string freq_prefix = "f";
-  freq_prefix.push_back('\0');
-  auto fcursor = store.NewCursor();
-  for (fcursor.Seek(freq_prefix); fcursor.Valid(); fcursor.Next()) {
-    std::string_view key = fcursor.key();
-    if (key.substr(0, 2) != std::string_view(freq_prefix)) break;
-    std::string keyword(key.substr(2));
-    std::string value = fcursor.value();
-    XREFINE_RETURN_IF_ERROR(
-        DecodeFreqRow(value, keyword, &corpus->mutable_stats()));
-  }
+  // Valid() going false means either "past the last key" or "a page fetch
+  // failed mid-scan"; only the cursor's sticky status tells them apart.
+  // Without this check a mid-scan IO error would silently yield a
+  // truncated corpus.
+  XREFINE_RETURN_IF_ERROR(cursor.status());
 
   return corpus;
 }

@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "common/statusor.h"
 #include "index/index_builder.h"
@@ -16,7 +17,30 @@
 
 namespace xrefine::index {
 
-/// Writes the corpus into `store` and flushes it.
+/// The store key of `keyword`'s inverted list ("i\0<keyword>").
+std::string InvertedListKey(std::string_view keyword);
+
+/// The store key of `keyword`'s frequent-table row ("f\0<keyword>").
+std::string FreqRowKey(std::string_view keyword);
+
+/// Encodes a posting list in the store's prefix-delta format.
+std::string EncodePostings(const PostingList& list);
+
+/// Decodes a stored inverted-list record. Resilient to corrupt input: every
+/// count and length is validated against the remaining bytes before being
+/// trusted (a hostile `count` must not drive a multi-GB reserve).
+[[nodiscard]] Status DecodePostings(std::string_view data, PostingList* list);
+
+/// Reads only the posting count from a record's first bytes (the version
+/// byte plus one varint — at most 6 bytes of input), without decoding the
+/// list. Used to size vocabularies cheaply.
+[[nodiscard]] Status DecodePostingCount(std::string_view data_prefix,
+                                        uint32_t* count);
+
+/// Writes the corpus into `store` and flushes it. A non-empty store is
+/// first cleared of inverted-list and frequent-table keys that the new
+/// corpus does not contain — without this, saving a smaller corpus over a
+/// larger one would leave stale keywords that a reload resurrects.
 [[nodiscard]] Status SaveCorpus(const IndexedCorpus& corpus,
                                 storage::KVStore* store);
 
@@ -24,6 +48,15 @@ namespace xrefine::index {
 /// run (results are Dewey labels), but subtree snippets are unavailable.
 [[nodiscard]] StatusOr<std::unique_ptr<IndexedCorpus>> LoadCorpus(
     const storage::KVStore& store);
+
+/// Loads everything about a saved corpus EXCEPT the inverted lists: node
+/// types, per-type statistics, per-keyword frequent-table rows, and the
+/// persisted co-occurrence cache. The store-backed source boots through
+/// this so opening a corpus never materialises a posting list.
+[[nodiscard]] Status LoadCorpusMetadata(const storage::KVStore& store,
+                                        xml::NodeTypeTable* types,
+                                        StatisticsTable* stats,
+                                        CooccurrenceTable* cooccurrence);
 
 }  // namespace xrefine::index
 

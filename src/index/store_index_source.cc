@@ -1,0 +1,145 @@
+#include "index/store_index_source.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/metrics.h"
+#include "index/index_store.h"
+
+namespace xrefine::index {
+
+namespace {
+
+struct CacheMetrics {
+  metrics::Counter* hits;
+  metrics::Counter* misses;
+  metrics::Gauge* bytes;
+};
+
+const CacheMetrics& Metrics() {
+  static const CacheMetrics m = [] {
+    auto& r = metrics::Registry::Global();
+    return CacheMetrics{r.counter("index.cache_hits"),
+                        r.counter("index.cache_misses"),
+                        r.gauge("index.cache_bytes")};
+  }();
+  return m;
+}
+
+// Version byte plus one varint32: the longest record head DecodePostingCount
+// can need.
+constexpr size_t kCountPrefixBytes = 6;
+
+// Resident footprint of a decoded list: the posting vector plus each
+// Dewey's component heap block. An estimate (allocator overhead is not
+// counted), but a consistent one — the budget bounds real memory to within
+// a constant factor.
+size_t EstimateResidentBytes(const PostingList& list) {
+  size_t bytes = sizeof(PostingList) + list.capacity() * sizeof(Posting);
+  for (const Posting& p : list) {
+    bytes += p.dewey.components().capacity() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<StoreBackedIndexSource>> StoreBackedIndexSource::Open(
+    const storage::KVStore* store, StoreIndexSourceOptions options) {
+  std::unique_ptr<StoreBackedIndexSource> source(
+      new StoreBackedIndexSource(store, options));
+  XREFINE_RETURN_IF_ERROR(LoadCorpusMetadata(
+      *store, &source->types_, &source->stats_, &source->cooccurrence_));
+
+  // Vocabulary + list sizes from the record heads only: value_prefix stops
+  // after the count varint, so a corpus-sized store opens without decoding
+  // (or even paging in) a single full list.
+  std::string prefix = InvertedListKey("");
+  auto cursor = store->NewCursor();
+  for (cursor.Seek(prefix); cursor.Valid(); cursor.Next()) {
+    std::string_view key = cursor.key();
+    if (key.substr(0, 2) != std::string_view(prefix)) break;
+    std::string head = cursor.value_prefix(kCountPrefixBytes);
+    XREFINE_RETURN_IF_ERROR(cursor.status());
+    uint32_t count = 0;
+    XREFINE_RETURN_IF_ERROR(DecodePostingCount(head, &count));
+    source->list_sizes_.emplace(std::string(key.substr(2)), count);
+  }
+  XREFINE_RETURN_IF_ERROR(cursor.status());
+  return source;
+}
+
+StatusOr<PostingListHandle> StoreBackedIndexSource::FetchList(
+    std::string_view keyword) const {
+  std::string key(keyword);
+  {
+    MutexLock lock(&mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      Metrics().hits->Increment();
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return PostingListHandle(it->second.list);
+    }
+  }
+  if (list_sizes_.find(key) == list_sizes_.end()) {
+    return PostingListHandle();  // absent keyword: OK, null handle
+  }
+  Metrics().misses->Increment();
+
+  // The store read (B-tree latch, then pager latch inside) runs with the
+  // cache latch dropped; see the lock-order note in the header.
+  auto value_or = store_->Get(InvertedListKey(keyword));
+  if (!value_or.ok()) return value_or.status();
+  auto list = std::make_shared<PostingList>();
+  XREFINE_RETURN_IF_ERROR(DecodePostings(value_or.value(), list.get()));
+  size_t bytes = EstimateResidentBytes(*list);
+
+  MutexLock lock(&mu_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    // A concurrent miss on the same keyword inserted first; adopt its copy
+    // so all handles share one list.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return PostingListHandle(it->second.list);
+  }
+  lru_.push_front(key);
+  CacheEntry entry;
+  entry.list = list;
+  entry.bytes = bytes;
+  entry.lru_it = lru_.begin();
+  cache_.emplace(std::move(key), std::move(entry));
+  cache_bytes_ += bytes;
+  // Evict coldest-first down to budget. The newest entry is never evicted
+  // (size() > 1): a single list larger than the whole budget still serves
+  // its current query from cache instead of thrashing.
+  while (options_.cache_capacity_bytes != 0 &&
+         cache_bytes_ > options_.cache_capacity_bytes && cache_.size() > 1) {
+    auto vit = cache_.find(lru_.back());
+    cache_bytes_ -= vit->second.bytes;
+    cache_.erase(vit);
+    lru_.pop_back();
+  }
+  Metrics().bytes->Set(static_cast<int64_t>(cache_bytes_));
+  return PostingListHandle(std::move(list));
+}
+
+bool StoreBackedIndexSource::Contains(std::string_view keyword) const {
+  return list_sizes_.find(std::string(keyword)) != list_sizes_.end();
+}
+
+size_t StoreBackedIndexSource::ListSize(std::string_view keyword) const {
+  auto it = list_sizes_.find(std::string(keyword));
+  return it == list_sizes_.end() ? 0 : it->second;
+}
+
+std::vector<std::string> StoreBackedIndexSource::Vocabulary() const {
+  std::vector<std::string> words;
+  words.reserve(list_sizes_.size());
+  for (const auto& [keyword, unused_size] : list_sizes_) {
+    words.push_back(keyword);
+  }
+  std::sort(words.begin(), words.end());
+  return words;
+}
+
+}  // namespace xrefine::index

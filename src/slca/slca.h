@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/statusor.h"
+#include "index/index_source.h"
 #include "index/inverted_index.h"
 #include "slca/indexed_lookup_eager.h"
 #include "slca/scan_eager.h"
@@ -29,6 +31,14 @@ std::vector<SlcaResult> ComputeSlca(const std::vector<PostingSpan>& lists,
 /// => empty conjunctive result) and computes SLCA.
 std::vector<SlcaResult> ComputeSlcaForQuery(
     const std::vector<std::string>& query, const index::InvertedIndex& index,
+    const xml::NodeTypeTable& types, SlcaAlgorithm algorithm);
+
+/// Same, but fetching (and pinning) the lists through an IndexSource, so
+/// queries run identically over the in-memory index and the persistent
+/// store. A missing keyword still yields the empty conjunctive result;
+/// non-OK means the backing store failed mid-fetch.
+[[nodiscard]] StatusOr<std::vector<SlcaResult>> ComputeSlcaForQuery(
+    const std::vector<std::string>& query, const index::IndexSource& source,
     const xml::NodeTypeTable& types, SlcaAlgorithm algorithm);
 
 }  // namespace xrefine::slca

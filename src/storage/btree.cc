@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "common/logging.h"
@@ -347,7 +348,7 @@ PageGuard BTree::FindLeaf(std::string_view key) const {
   while (true) {
     PageGuard p = pager_->Fetch(cur);
     Metrics().node_reads->Increment();
-    XR_CHECK(p.valid()) << "dangling page id " << cur;
+    if (!p.valid()) return PageGuard();
     if (PageType(p.get()) == kLeafPage) return p;
     cur = InternalChildFor(p.get(), key);
   }
@@ -550,6 +551,9 @@ Status BTree::InsertIntoInternal(Page* page, const SplitResult& child_split,
 StatusOr<std::string> BTree::Get(std::string_view key) const {
   MutexLock lock(&mu_);
   PageGuard leaf_guard = FindLeaf(key);
+  if (!leaf_guard.valid()) {
+    return Status::IoError("get: unreadable page on descent");
+  }
   Page* leaf = leaf_guard.get();
   bool found = false;
   int pos = LeafLowerBound(leaf, key, &found);
@@ -582,6 +586,9 @@ StatusOr<std::string> BTree::Get(std::string_view key) const {
 Status BTree::Delete(std::string_view key) {
   MutexLock lock(&mu_);
   PageGuard leaf_guard = FindLeaf(key);
+  if (!leaf_guard.valid()) {
+    return Status::IoError("delete: unreadable page on descent");
+  }
   Page* leaf = leaf_guard.get();
   bool found = false;
   int pos = LeafLowerBound(leaf, key, &found);
@@ -688,6 +695,7 @@ void BTree::Cursor::Seek(std::string_view key) {
   // candidate leaf, holding a pin only on the current level. The tree latch
   // covers the whole descent (root_ read + structural walk); the cursor
   // then rests on a pinned leaf, which needs no latch.
+  status_ = Status::OK();
   MutexLock lock(&tree_->mu_);
   PageGuard p = tree_->pager_->Fetch(tree_->root_);
   Metrics().node_reads->Increment();
@@ -695,6 +703,9 @@ void BTree::Cursor::Seek(std::string_view key) {
     PageId next = key.empty() ? Link(p.get()) : InternalChildFor(p.get(), key);
     p = tree_->pager_->Fetch(next);
     Metrics().node_reads->Increment();
+  }
+  if (!p.valid()) {
+    status_ = Status::IoError("cursor seek: unreadable page on descent");
   }
   leaf_ = std::move(p);
   if (!leaf_.valid()) return;
@@ -711,8 +722,15 @@ void BTree::Cursor::SkipEmptyLeaves() {
   while (leaf_.valid()) {
     if (index_ < NumCells(leaf_.get())) return;
     PageId next = Link(leaf_.get());
-    leaf_ = (next == kInvalidPageId) ? PageGuard()
-                                     : tree_->pager_->Fetch(next);
+    if (next == kInvalidPageId) {
+      leaf_ = PageGuard();  // genuinely past the last key: status stays OK
+      return;
+    }
+    leaf_ = tree_->pager_->Fetch(next);
+    if (!leaf_.valid() && status_.ok()) {
+      status_ = Status::IoError("cursor: unreadable leaf page " +
+                                std::to_string(next));
+    }
     index_ = 0;
   }
 }
@@ -731,23 +749,39 @@ std::string_view BTree::Cursor::key() const {
 }
 
 std::string BTree::Cursor::value() const {
+  return value_prefix(std::numeric_limits<size_t>::max());
+}
+
+std::string BTree::Cursor::value_prefix(size_t max_bytes) const {
   Page* p = leaf_.get();
   uint8_t flags = LeafCellFlags(p, index_);
   uint32_t val_len = LeafCellValueLength(p, index_);
   const char* payload = LeafCellPayload(p, index_);
-  if (flags == 0) return std::string(payload, val_len);
+  size_t want = std::min<size_t>(val_len, max_bytes);
+  if (flags == 0) return std::string(payload, want);
   std::string out;
-  out.reserve(val_len);
+  out.reserve(want);
   PageId ovf = GetFixed32(payload);
-  while (ovf != kInvalidPageId && out.size() < val_len) {
+  while (ovf != kInvalidPageId && out.size() < want) {
     PageGuard op = tree_->pager_->Fetch(ovf);
     Metrics().overflow_follows->Increment();
-    XR_CHECK(op.valid() && PageType(op.get()) == kOverflowPage)
-        << "broken overflow chain";
+    if (!op.valid() || PageType(op.get()) != kOverflowPage) {
+      if (status_.ok()) {
+        status_ = Status::Corruption("cursor value: broken overflow chain");
+      }
+      return std::string();
+    }
     out.append(op->data + kHeaderSize, ContentOffset(op.get()));
     ovf = Link(op.get());
   }
-  XR_CHECK(out.size() == val_len) << "overflow chain length mismatch";
+  if (out.size() < want) {
+    if (status_.ok()) {
+      status_ = Status::Corruption(
+          "cursor value: overflow chain shorter than the recorded length");
+    }
+    return std::string();
+  }
+  out.resize(want);
   return out;
 }
 

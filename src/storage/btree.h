@@ -68,29 +68,47 @@ class BTree {
   /// Forward iterator over keys in byte order. Holds a pin on its current
   /// leaf page, so key() views stay valid while the cursor rests on them.
   /// Move-only (the pin moves with it).
+  ///
+  /// Valid() goes false both past the last key AND when a page fetch fails
+  /// mid-scan; only status() tells the two apart. Scan loops must check it
+  /// after the loop, or a dying disk silently truncates the iteration.
   class Cursor {
    public:
     Cursor(Cursor&&) = default;
     Cursor& operator=(Cursor&&) = default;
 
     /// Positions at the first key >= `key` (empty key: the first key).
+    /// Resets status().
     void Seek(std::string_view key);
     void SeekToFirst() { Seek(""); }
 
     bool Valid() const;
     void Next();
 
+    /// Sticky, like the pager's: OK until the first page fetch or overflow
+    /// chain failure in Seek/Next/value(), then that error until the next
+    /// Seek.
+    [[nodiscard]] Status status() const { return status_; }
+
     std::string_view key() const;
-    /// Materialises the value (follows overflow chains).
+    /// Materialises the value (follows overflow chains). Returns "" and
+    /// sets status() on a broken chain.
     std::string value() const;
+    /// Materialises at most the first `max_bytes` of the value, following
+    /// overflow chains only as far as needed. Lets callers decode a small
+    /// record header without paging in a multi-page value.
+    std::string value_prefix(size_t max_bytes) const;
 
    private:
     friend class BTree;
     explicit Cursor(const BTree* tree) : tree_(tree) {}
 
     const BTree* tree_;
-    PageGuard leaf_;  // pinned current leaf; invalid = exhausted
+    PageGuard leaf_;  // pinned current leaf; invalid = exhausted or failed
     int index_ = 0;
+    // Sticky; mutable because value() is logically const but can discover
+    // a broken overflow chain. Cursors are single-threaded objects.
+    mutable Status status_;
 
     void SkipEmptyLeaves();
   };
@@ -114,7 +132,8 @@ class BTree {
   Status InsertIntoInternal(Page* page, const SplitResult& child_split,
                             std::optional<SplitResult>* split) REQUIRES(mu_);
 
-  /// Finds and pins the leaf page that may contain `key`.
+  /// Finds and pins the leaf page that may contain `key`; an invalid guard
+  /// when a page on the descent is unreadable.
   PageGuard FindLeaf(std::string_view key) const REQUIRES(mu_);
 
   /// Writes a (possibly large) value, returning the encoded leaf payload.

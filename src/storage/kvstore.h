@@ -41,6 +41,8 @@ class KVStore {
   [[nodiscard]] Status Flush() { return pager_->Flush(); }
 
   const Pager& pager() const { return *pager_; }
+  /// Non-const access for tests that inject pager failures.
+  Pager* mutable_pager() { return pager_.get(); }
 
  private:
   KVStore(std::unique_ptr<Pager> pager, std::unique_ptr<BTree> tree)

@@ -104,6 +104,13 @@ Status Pager::OpenFile() {
 }
 
 Status Pager::ReadPageFromFile(PageId id, Page* page) {
+  if (fail_reads_after_ >= 0) {
+    if (fail_reads_after_ == 0) {
+      return Status::IoError("injected read failure for page " +
+                             std::to_string(id));
+    }
+    --fail_reads_after_;
+  }
   file_.clear();
   file_.seekg(static_cast<std::streamoff>(id) *
               static_cast<std::streamoff>(kPageSize));

@@ -131,6 +131,15 @@ class Pager {
     simulate_write_failures_ = fail;
   }
 
+  /// Fails every page-file read after the next `successes` reads succeed
+  /// (tests only); -1 disables. The counter models a device that works for
+  /// a while and then dies mid-scan — the case a cursor must surface as an
+  /// error rather than a clean end of iteration.
+  void SimulateReadFailuresForTesting(int64_t successes) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    fail_reads_after_ = successes;
+  }
+
   // --- introspection (tests, tools) ---
   size_t cached_pages() const EXCLUDES(mu_) {
     MutexLock lock(&mu_);
@@ -196,6 +205,7 @@ class Pager {
   // Sticky: first write-back/IO failure, OK until then.
   Status io_error_ GUARDED_BY(mu_);
   bool simulate_write_failures_ GUARDED_BY(mu_) = false;
+  int64_t fail_reads_after_ GUARDED_BY(mu_) = -1;  // -1 = no injection
 
   struct Metrics {
     metrics::Counter* cache_hits;

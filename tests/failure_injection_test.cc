@@ -158,6 +158,107 @@ TEST(FailureInjectionTest, CorpusLoadRejectsTruncatedPostings) {
   EXPECT_FALSE(loaded.ok());
 }
 
+// Regression for the silent-truncation bug: a leaf page that fails to read
+// mid-scan used to end the cursor exactly like a clean past-the-end, so
+// LoadCorpus would return OK with only a prefix of the keywords. With the
+// sticky cursor status, every load must be either an error or complete —
+// never OK-but-partial. Injecting "fail after n successful reads" for
+// increasing n walks the failure point through the whole scan.
+TEST(FailureInjectionTest, CorpusLoadIsNeverSilentlyTruncated) {
+  std::string path = TempPath("kv_read_injection.db");
+  std::filesystem::remove(path);
+  // A corpus big enough that its store spans many more pages than the
+  // buffer pool: reads must actually hit the file for injection to land.
+  std::string xml = "<bib>";
+  for (int i = 0; i < 1500; ++i) {
+    xml += "<item><title>entry" + std::to_string(i) + " shared</title></item>";
+  }
+  xml += "</bib>";
+  auto corpus = testutil::MakeCorpus(xml);
+  {
+    auto store = storage::KVStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(index::SaveCorpus(*corpus.index, store->get()).ok());
+  }
+  const size_t full_count = corpus.index->index().keyword_count();
+  ASSERT_GT(full_count, 0u);
+
+  int injected_failures = 0;
+  bool load_succeeded_without_injection_firing = false;
+  // Dense failure points early in the scan, then geometric strides until
+  // the failure point passes the last read and the load goes through.
+  for (int64_t n = 0; n < (int64_t{1} << 30);
+       n = n < 64 ? n + 1 : n * 2) {
+    // Cold reopen with a minimal buffer pool so every page comes from disk
+    // and the injected failure actually lands inside the scan.
+    storage::PagerOptions pager_options;
+    pager_options.max_cached_pages = 16;
+    auto store = storage::KVStore::Open(path, pager_options);
+    ASSERT_TRUE(store.ok());
+    (*store)->mutable_pager()->SimulateReadFailuresForTesting(n);
+    auto loaded = index::LoadCorpus(**store);
+    if (loaded.ok()) {
+      // An OK load must be COMPLETE, wherever the failure would have hit.
+      ASSERT_EQ((*loaded)->index().keyword_count(), full_count) << "n=" << n;
+      load_succeeded_without_injection_firing = true;
+      break;  // n exceeds the total number of reads; later n can't fail
+    }
+    ++injected_failures;
+  }
+  // The sweep must have exercised both regimes: early n fail the load,
+  // and some n is past the last read so the load completes.
+  EXPECT_GT(injected_failures, 0);
+  EXPECT_TRUE(load_succeeded_without_injection_firing);
+  std::filesystem::remove(path);
+}
+
+// The cursor itself reports a failed leaf fetch through status(), and
+// Seek() resets it.
+TEST(FailureInjectionTest, CursorStatusIsStickyUntilReSeek) {
+  std::string path = TempPath("btree_cursor_status.db");
+  std::filesystem::remove(path);
+  {
+    auto pager = storage::Pager::Open(path);
+    ASSERT_TRUE(pager.ok());
+    auto tree = storage::BTree::Open(pager.value().get());
+    ASSERT_TRUE(tree.ok());
+    std::string value(64, 'v');
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE(
+          (*tree)->Put("key" + std::to_string(1000 + i), value).ok());
+    }
+    ASSERT_TRUE((*pager)->Flush().ok());
+  }
+  storage::PagerOptions pager_options;
+  pager_options.max_cached_pages = 16;
+  auto pager = storage::Pager::Open(path, pager_options);
+  ASSERT_TRUE(pager.ok());
+  auto tree = storage::BTree::Open(pager.value().get());
+  ASSERT_TRUE(tree.ok());
+
+  storage::BTree::Cursor cursor = (*tree)->NewCursor();
+  cursor.Seek("");
+  ASSERT_TRUE(cursor.status().ok());
+  ASSERT_TRUE(cursor.Valid());
+  (*pager)->SimulateReadFailuresForTesting(0);  // every further read fails
+  size_t steps = 0;
+  while (cursor.Valid()) {
+    cursor.Next();
+    ++steps;
+    ASSERT_LT(steps, 1000u);
+  }
+  // The walk ended because a leaf could not be fetched, and the cursor
+  // says so instead of looking like a clean end-of-scan.
+  EXPECT_FALSE(cursor.status().ok());
+  EXPECT_TRUE(cursor.status().IsIoError()) << cursor.status();
+
+  (*pager)->SimulateReadFailuresForTesting(-1);
+  cursor.Seek("");
+  EXPECT_TRUE(cursor.status().ok());
+  EXPECT_TRUE(cursor.Valid());
+  std::filesystem::remove(path);
+}
+
 TEST(FailureInjectionTest, ParserSurvivesRandomGarbage) {
   Random rng(7);
   for (int i = 0; i < 200; ++i) {

@@ -243,7 +243,7 @@ namespace xrefine::core {
 namespace {
 
 TEST_F(RefineFigure1Test, StaticBaselineKeepsDictionaryTermsAndFixesOthers) {
-  RuleGenerator generator(&corpus_.index->index(), &lexicon_);
+  RuleGenerator generator(corpus_.index.get(), &lexicon_);
   auto vocab = corpus_.index->index().Vocabulary();
   KeywordSet dictionary(vocab.begin(), vocab.end());
 

@@ -16,7 +16,7 @@ class RuleGeneratorTest : public ::testing::Test {
   void SetUp() override {
     corpus_ = MakeFigure1Corpus();
     lexicon_ = text::Lexicon::BuiltIn();
-    generator_ = std::make_unique<RuleGenerator>(&corpus_.index->index(),
+    generator_ = std::make_unique<RuleGenerator>(corpus_.index.get(),
                                                  &lexicon_);
   }
 
@@ -98,7 +98,7 @@ TEST_F(RuleGeneratorTest, StemmingRulesLinkMorphologicalVariants) {
 TEST_F(RuleGeneratorTest, DeletionCostFlowsFromOptions) {
   RuleGeneratorOptions options;
   options.deletion_cost = 5.5;
-  RuleGenerator generator(&corpus_.index->index(), &lexicon_, options);
+  RuleGenerator generator(corpus_.index.get(), &lexicon_, options);
   RuleSet rules = generator.GenerateFor({"xml"});
   EXPECT_DOUBLE_EQ(rules.deletion_cost(), 5.5);
 }
@@ -116,7 +116,7 @@ TEST_F(RuleGeneratorTest, DeletionCostExceedsUnitRuleCosts) {
 TEST_F(RuleGeneratorTest, SpellingCandidatesAreBounded) {
   RuleGeneratorOptions options;
   options.max_spelling_candidates = 1;
-  RuleGenerator generator(&corpus_.index->index(), &lexicon_, options);
+  RuleGenerator generator(corpus_.index.get(), &lexicon_, options);
   RuleSet rules = generator.GenerateFor({"databse"});
   size_t spelling = 0;
   for (const auto& r : rules.rules()) {

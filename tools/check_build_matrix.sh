@@ -49,6 +49,14 @@ if [ "$QUICK" -eq 0 ]; then
 fi
 run_config tsan -DXREFINE_SANITIZE=thread
 
+# Store-backed serving smoke under TSan: the parallel-query bench drives
+# 1/2/4/8 threads through the StoreBackedIndexSource's posting-list cache
+# and the pager underneath it — the exact lock interplay the annotations
+# model, so it must come up clean under the race detector.
+echo "=== [tsan] bench_parallel_queries smoke ==="
+(cd "$MATRIX_DIR/tsan" && ./bench/bench_parallel_queries >/dev/null)
+echo "=== [tsan] bench smoke OK ==="
+
 if command -v clang++ >/dev/null 2>&1; then
   run_config thread-safety \
       -DCMAKE_CXX_COMPILER=clang++ -DXREFINE_THREAD_SAFETY=ON
