@@ -1,0 +1,128 @@
+// Pager contention stress: hammers one file-backed Pager from 1/2/4/8
+// threads with three access patterns chosen to light up different parts of
+// the sharded buffer pool:
+//   uniform — random pages across a working set much larger than the pool,
+//             so most fetches miss, evict, and re-read (shard latches +
+//             off-latch I/O);
+//   hot     — a handful of resident pages, so fetches are all hits and the
+//             cost is pure latch traffic on a few shards;
+//   single  — every thread fetches the same page, the worst case for the
+//             single-flight miss path and the per-entry pin counts.
+// Each pattern verifies the page stamp on every fetch, so a torn read or a
+// guard outliving its page shows up as a checksum failure, not just a TSan
+// report. tools/check_build_matrix.sh runs this binary in the TSan leg.
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "storage/pager.h"
+
+namespace xrefine::bench {
+namespace {
+
+constexpr uint32_t kPages = 512;
+constexpr int kFetchesPerThread = 20000;
+
+// (pattern, page-id generator) pairs share this signature: thread index and
+// a per-call counter in, page id out.
+using PatternFn = storage::PageId (*)(uint32_t rng);
+
+storage::PageId UniformPattern(uint32_t rng) { return 1 + rng % kPages; }
+storage::PageId HotPattern(uint32_t rng) { return 1 + rng % 8; }
+storage::PageId SinglePattern(uint32_t) { return 1; }
+
+void RunPattern(storage::Pager& pager, const char* name, PatternFn pattern) {
+  std::printf("pattern %-8s", name);
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    std::atomic<uint64_t> bad_stamps{0};
+    Timer t;
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w) {
+      workers.emplace_back([&pager, &bad_stamps, pattern, w] {
+        uint32_t rng = w * 2654435761u + 12345u;
+        for (int i = 0; i < kFetchesPerThread; ++i) {
+          rng = rng * 1664525u + 1013904223u;
+          storage::PageId id = pattern(rng);
+          storage::PageGuard guard = pager.Fetch(id);
+          uint32_t stamp = 0;
+          if (guard.valid()) std::memcpy(&stamp, guard->data, 4);
+          if (!guard.valid() || stamp != id) {
+            bad_stamps.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    double seconds = t.ElapsedSeconds();
+    double per_sec =
+        static_cast<double>(threads) * kFetchesPerThread / seconds;
+    std::printf("  %ut: %9.0f f/s", threads, per_sec);
+    if (bad_stamps.load() != 0) {
+      std::printf("\nFAIL: %llu bad page stamps under pattern %s\n",
+                  static_cast<unsigned long long>(bad_stamps.load()), name);
+      std::exit(1);
+    }
+  }
+  std::printf("\n");
+}
+
+int Main() {
+  PrintHeader("Pager contention stress (fetches/second)");
+  const std::string path = "bench_pager_stress.pages";
+  std::remove(path.c_str());
+  {
+    auto pager_or = storage::Pager::Open(path);
+    if (!pager_or.ok()) {
+      std::printf("open failed: %s\n", pager_or.status().ToString().c_str());
+      return 1;
+    }
+    auto& pager = *pager_or.value();
+    for (uint32_t i = 0; i < kPages; ++i) {
+      auto guard = pager.NewPage();
+      uint32_t stamp = guard.id();
+      std::memcpy(guard->data, &stamp, 4);
+      guard.MarkDirty();
+    }
+    if (Status st = pager.Flush(); !st.ok()) {
+      std::printf("flush failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  storage::PagerOptions options;
+  options.max_cached_pages = 64;  // << kPages: uniform pattern must evict
+  auto pager_or = storage::Pager::Open(path, options);
+  if (!pager_or.ok()) {
+    std::printf("reopen failed: %s\n", pager_or.status().ToString().c_str());
+    return 1;
+  }
+  auto pager = std::move(pager_or).value();
+
+  RunPattern(*pager, "uniform", UniformPattern);
+  RunPattern(*pager, "hot", HotPattern);
+  RunPattern(*pager, "single", SinglePattern);
+
+  std::printf(
+      "reads=%llu waits=%llu evictions=%llu hits=%llu misses=%llu\n",
+      static_cast<unsigned long long>(pager->page_reads()),
+      static_cast<unsigned long long>(pager->single_flight_waits()),
+      static_cast<unsigned long long>(pager->evictions()),
+      static_cast<unsigned long long>(pager->cache_hits()),
+      static_cast<unsigned long long>(pager->cache_misses()));
+  if (!pager->status().ok()) {
+    std::printf("FAIL: pager status %s\n", pager->status().ToString().c_str());
+    return 1;
+  }
+  pager.reset();
+  std::remove(path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace xrefine::bench
+
+int main() { return xrefine::bench::Main(); }

@@ -60,9 +60,13 @@ bool SaveToStore(const Env& env, const std::string& path) {
 }
 
 // Runs the query pool through `engine` with 1/2/4/8 worker threads and
-// prints per-thread-count throughput.
+// prints per-thread-count throughput. Each point is also published as a
+// "bench.qps.<mode>.<N>t" gauge so the BENCH_parallel_queries.json dump
+// carries the q/s curve alongside the pager/index counters — that file is
+// the before/after artifact any pager redesign is judged against.
 void ServeAndReport(const core::XRefine& engine,
-                    const std::vector<workload::CorruptedQuery>& pool) {
+                    const std::vector<workload::CorruptedQuery>& pool,
+                    const char* mode) {
   // Warm the caches once.
   for (const auto& cq : pool) engine.Run(cq.corrupted);
 
@@ -84,9 +88,13 @@ void ServeAndReport(const core::XRefine& engine,
     }
     for (auto& w : workers) w.join();
     double seconds = t.ElapsedSeconds();
-    std::printf("%2u threads: %8.0f q/s  (%.3f ms/query)\n", threads,
-                static_cast<double>(total) / seconds,
+    double qps = static_cast<double>(total) / seconds;
+    std::printf("%2u threads: %8.0f q/s  (%.3f ms/query)\n", threads, qps,
                 1e3 * seconds / static_cast<double>(total));
+    metrics::Registry::Global()
+        .gauge("bench.qps." + std::string(mode) + "." +
+               std::to_string(threads) + "t")
+        ->Set(static_cast<int64_t>(qps));
   }
 }
 
@@ -131,7 +139,7 @@ void Main() {
               loaded != nullptr ? "store-loaded" : "in-memory");
   {
     core::XRefine engine(corpus, &env.lexicon, options);
-    ServeAndReport(engine, pool);
+    ServeAndReport(engine, pool, "in_memory");
   }
 
   // Phase 2: serve straight from the store. Posting lists are pulled
@@ -160,7 +168,7 @@ void Main() {
         std::printf("-- serving from store-backed source (%zu keywords) --\n",
                     source->keyword_count());
         core::XRefine engine(source.get(), &env.lexicon, options);
-        ServeAndReport(engine, pool);
+        ServeAndReport(engine, pool, "store_backed");
         std::printf("posting-list cache: %zu lists resident, %zu bytes\n",
                     source->cached_lists(), source->cached_bytes());
       }

@@ -18,16 +18,24 @@ double Histogram::mean() const {
 }
 
 uint64_t Histogram::BucketUpperBound(size_t i) {
-  if (i + 1 >= kNumBuckets) return UINT64_MAX;
-  return uint64_t{1} << i;
+  if (i + 1 >= kNumBuckets) return UINT64_MAX;  // overflow catch-all
+  if (i < kSubBuckets) return i;  // exact region: bucket i holds value i
+  size_t j = i - kSubBuckets;
+  size_t octave = kSubBucketBits + j / kSubBuckets;
+  size_t sub = j % kSubBuckets;
+  // Octave [2^o, 2^(o+1)) split into kSubBuckets ranges of 2^(o-bits) each.
+  return (uint64_t{1} << octave) +
+         (uint64_t{sub} + 1) * (uint64_t{1} << (octave - kSubBucketBits)) - 1;
 }
 
 size_t Histogram::BucketFor(uint64_t value) {
-  if (value <= 1) return 0;
-  // bit_width(v - 1) = ceil(log2(v)) for v >= 2: index of the first bucket
-  // whose upper bound 2^i is >= value.
-  size_t i = static_cast<size_t>(std::bit_width(value - 1));
-  return i < kNumBuckets - 1 ? i : kNumBuckets - 1;
+  if (value < kSubBuckets) return value;  // exact region
+  size_t octave = static_cast<size_t>(std::bit_width(value)) - 1;
+  if (octave > kMaxOctave) return kNumBuckets - 1;  // overflow
+  // The kSubBucketBits bits just below the leading bit pick the sub-bucket.
+  size_t sub = static_cast<size_t>(value >> (octave - kSubBucketBits)) &
+               (kSubBuckets - 1);
+  return kSubBuckets + (octave - kSubBucketBits) * kSubBuckets + sub;
 }
 
 uint64_t Histogram::QuantileUpperBound(double q) const {

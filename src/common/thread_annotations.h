@@ -21,6 +21,7 @@
 #define XREFINE_COMMON_THREAD_ANNOTATIONS_H_
 
 #include <mutex>
+#include <shared_mutex>
 
 #if defined(__clang__) && (!defined(SWIG))
 #define XREFINE_THREAD_ANNOTATION_(x) __attribute__((x))
@@ -105,6 +106,56 @@ class SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex* mu_;
+};
+
+/// std::shared_mutex with the `mutex` capability: many concurrent readers
+/// (ReaderLock) or one exclusive writer (Lock). Members read under the
+/// shared side and written only under the exclusive side are declared
+/// GUARDED_BY(mu_) as usual; Clang's analysis permits reads with either
+/// acquisition and writes only with the exclusive one.
+class CAPABILITY("mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void ReaderLock() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive acquisition of a SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+/// RAII shared (read-side) acquisition of a SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->ReaderLock();
+  }
+  ~ReaderMutexLock() RELEASE() { mu_->ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
 };
 
 }  // namespace xrefine

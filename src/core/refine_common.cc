@@ -21,8 +21,16 @@ RefineInput PrepareRefineInput(const index::IndexSource& corpus,
   std::vector<std::string> ks = q;
   for (const std::string& k : input.rules.NewKeywords(q)) ks.push_back(k);
   std::unordered_set<std::string> seen;
+  std::vector<std::string> unique;
+  unique.reserve(ks.size());
   for (const std::string& k : ks) {
-    if (!seen.insert(k).second) continue;
+    if (seen.insert(k).second) unique.push_back(k);
+  }
+  // Warm store-backed caches for the whole keyword set at once: the batch
+  // hint lets per-list I/O overlap instead of paying one serial round trip
+  // per keyword below (a no-op for in-memory sources).
+  corpus.Prefetch(unique);
+  for (const std::string& k : unique) {
     auto handle_or = corpus.FetchList(k);
     if (!handle_or.ok()) {
       input.status = handle_or.status();

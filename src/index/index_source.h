@@ -72,6 +72,14 @@ class IndexSource {
   [[nodiscard]] virtual StatusOr<PostingListHandle> FetchList(
       std::string_view keyword) const = 0;
 
+  /// Hint that the caller is about to FetchList each of `keywords`. Sources
+  /// that pay per-list I/O may warm them concurrently; the default does
+  /// nothing. Purely advisory: errors are not reported here (they resurface
+  /// from the later FetchList), and callers must still fetch normally.
+  virtual void Prefetch(const std::vector<std::string>& keywords) const {
+    (void)keywords;
+  }
+
   /// True when the keyword occurs in the corpus. Never touches list bytes.
   virtual bool Contains(std::string_view keyword) const = 0;
 

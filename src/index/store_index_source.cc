@@ -1,6 +1,8 @@
 #include "index/store_index_source.h"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 #include <utility>
 
 #include "common/metrics.h"
@@ -13,6 +15,7 @@ namespace {
 struct CacheMetrics {
   metrics::Counter* hits;
   metrics::Counter* misses;
+  metrics::Counter* prefetched;
   metrics::Gauge* bytes;
 };
 
@@ -21,6 +24,7 @@ const CacheMetrics& Metrics() {
     auto& r = metrics::Registry::Global();
     return CacheMetrics{r.counter("index.cache_hits"),
                         r.counter("index.cache_misses"),
+                        r.counter("index.prefetch_lists"),
                         r.gauge("index.cache_bytes")};
   }();
   return m;
@@ -121,6 +125,47 @@ StatusOr<PostingListHandle> StoreBackedIndexSource::FetchList(
   }
   Metrics().bytes->Set(static_cast<int64_t>(cache_bytes_));
   return PostingListHandle(std::move(list));
+}
+
+void StoreBackedIndexSource::Prefetch(
+    const std::vector<std::string>& keywords) const {
+  // Keep only keywords that exist and are not already resident: spawning a
+  // thread to discover a cache hit would cost more than the hit saves.
+  std::vector<const std::string*> missing;
+  missing.reserve(keywords.size());
+  {
+    MutexLock lock(&mu_);
+    for (const std::string& keyword : keywords) {
+      if (list_sizes_.find(keyword) == list_sizes_.end()) continue;
+      if (cache_.find(keyword) != cache_.end()) continue;
+      missing.push_back(&keyword);
+    }
+  }
+  if (missing.empty()) return;
+  Metrics().prefetched->Increment(missing.size());
+
+  // FetchList is internally synchronised and single-flights duplicate store
+  // reads at the pager, so workers just pull keywords off a shared index.
+  // Results land in the cache; the handles (and any errors) are dropped.
+  auto fetch_all = [this, &missing](std::atomic<size_t>& next) {
+    while (true) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= missing.size()) break;
+      (void)FetchList(*missing[i]);
+    }
+  };
+  std::atomic<size_t> next{0};
+  if (missing.size() == 1) {
+    fetch_all(next);  // nothing to overlap; skip the thread spawn
+    return;
+  }
+  size_t workers = std::min<size_t>(4, missing.size());
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&] { fetch_all(next); });
+  }
+  for (auto& t : threads) t.join();
 }
 
 bool StoreBackedIndexSource::Contains(std::string_view keyword) const {

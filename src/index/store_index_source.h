@@ -55,6 +55,12 @@ class StoreBackedIndexSource : public IndexSource {
 
   StatusOr<PostingListHandle> FetchList(
       std::string_view keyword) const override;
+  /// Warms the posting-list cache for every not-yet-cached keyword, fetching
+  /// up to four lists concurrently (each fetch misses into the store, where
+  /// the B+-tree's shared latch and the pager's sharded pool let them
+  /// proceed in parallel). Fetch errors are swallowed: the same error
+  /// resurfaces from the caller's own FetchList.
+  void Prefetch(const std::vector<std::string>& keywords) const override;
   bool Contains(std::string_view keyword) const override;
   size_t ListSize(std::string_view keyword) const override;
   size_t keyword_count() const override { return list_sizes_.size(); }

@@ -307,7 +307,7 @@ void RemoveCellAt(Page* p, int pos, size_t cell_size) {
 
 StatusOr<std::unique_ptr<BTree>> BTree::Open(Pager* pager) {
   std::unique_ptr<BTree> tree(new BTree(pager));
-  MutexLock lock(&tree->mu_);
+  WriterMutexLock lock(&tree->mu_);
   PageGuard meta = pager->Fetch(0);
   if (!meta.valid()) return Status::Corruption("missing metadata page");
   uint32_t magic = GetFixed32(meta->data);
@@ -389,7 +389,7 @@ Status BTree::Put(std::string_view key, std::string_view value) {
     return Status::InvalidArgument("key too long: " +
                                    std::to_string(key.size()));
   }
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   bool replaced = false;
   std::optional<SplitResult> split;
   XREFINE_RETURN_IF_ERROR(
@@ -549,7 +549,7 @@ Status BTree::InsertIntoInternal(Page* page, const SplitResult& child_split,
 }
 
 StatusOr<std::string> BTree::Get(std::string_view key) const {
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   PageGuard leaf_guard = FindLeaf(key);
   if (!leaf_guard.valid()) {
     return Status::IoError("get: unreadable page on descent");
@@ -584,7 +584,7 @@ StatusOr<std::string> BTree::Get(std::string_view key) const {
 }
 
 Status BTree::Delete(std::string_view key) {
-  MutexLock lock(&mu_);
+  WriterMutexLock lock(&mu_);
   PageGuard leaf_guard = FindLeaf(key);
   if (!leaf_guard.valid()) {
     return Status::IoError("delete: unreadable page on descent");
@@ -662,7 +662,7 @@ static Status VerifyNode(Pager* pager, PageId id, const std::string& low,
 }
 
 Status BTree::VerifyIntegrity() const {
-  MutexLock lock(&mu_);
+  ReaderMutexLock lock(&mu_);
   VerifyState state;
   XREFINE_RETURN_IF_ERROR(VerifyNode(pager_, root_, "", "", &state));
   if (state.keys != size_) {
@@ -692,11 +692,12 @@ Status BTree::VerifyIntegrity() const {
 
 void BTree::Cursor::Seek(std::string_view key) {
   // Descend to the leftmost leaf when the key is empty, otherwise to the
-  // candidate leaf, holding a pin only on the current level. The tree latch
-  // covers the whole descent (root_ read + structural walk); the cursor
-  // then rests on a pinned leaf, which needs no latch.
+  // candidate leaf, holding a pin only on the current level. The shared
+  // side of the tree latch covers the whole descent (root_ read +
+  // structural walk) without blocking other readers; the cursor then rests
+  // on a pinned leaf, which needs no latch.
   status_ = Status::OK();
-  MutexLock lock(&tree_->mu_);
+  ReaderMutexLock lock(&tree_->mu_);
   PageGuard p = tree_->pager_->Fetch(tree_->root_);
   Metrics().node_reads->Increment();
   while (p.valid() && PageType(p.get()) != kLeafPage) {

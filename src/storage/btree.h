@@ -9,13 +9,14 @@
 //  * the page cache is unbounded (see Pager),
 //  * single-writer, no WAL (indexes are built once and then read).
 //
-// Locking: a tree-wide latch (mu_) guards the root pointer and key count;
-// every public operation (including Cursor::Seek) takes it, so concurrent
-// readers are safe. It nests strictly above the pager's latch (tree latch
-// first, pager latch inside — never the reverse). Writers additionally
-// require external serialisation only against other *writers* mutating the
-// same pages' contents; the latch itself already serialises the structural
-// descent.
+// Locking: a tree-wide reader/writer latch (mu_) guards the root pointer
+// and key count. Read operations (Get, VerifyIntegrity, size, Cursor::Seek)
+// take it shared, so any number of reader threads descend the tree — and
+// miss into the pager — concurrently; Put and Delete take it exclusive,
+// which both protects the structural mutation and preserves the
+// single-writer discipline page contents rely on. The latch nests strictly
+// above the pager's shard latches (tree latch first, shard latch inside —
+// never the reverse).
 #ifndef XREFINE_STORAGE_BTREE_H_
 #define XREFINE_STORAGE_BTREE_H_
 
@@ -55,7 +56,7 @@ class BTree {
 
   /// Number of live keys.
   uint64_t size() const EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
+    ReaderMutexLock lock(&mu_);
     return size_;
   }
 
@@ -133,8 +134,10 @@ class BTree {
                             std::optional<SplitResult>* split) REQUIRES(mu_);
 
   /// Finds and pins the leaf page that may contain `key`; an invalid guard
-  /// when a page on the descent is unreadable.
-  PageGuard FindLeaf(std::string_view key) const REQUIRES(mu_);
+  /// when a page on the descent is unreadable. Descents only read, so the
+  /// shared side of the latch suffices (writers hold it exclusively, which
+  /// also satisfies this).
+  PageGuard FindLeaf(std::string_view key) const REQUIRES_SHARED(mu_);
 
   /// Writes a (possibly large) value, returning the encoded leaf payload.
   std::string EncodePayload(std::string_view value);
@@ -143,9 +146,10 @@ class BTree {
 
   Pager* pager_;  // immutable after construction; internally latched
 
-  // Tree-wide latch over the structural state. Acquired before the pager's
-  // latch, never after it.
-  mutable Mutex mu_;
+  // Tree-wide reader/writer latch over the structural state: shared for
+  // lookups and cursor seeks, exclusive for Put/Delete. Acquired before any
+  // pager shard latch, never after one.
+  mutable SharedMutex mu_;
   PageId root_ GUARDED_BY(mu_) = kInvalidPageId;
   uint64_t size_ GUARDED_BY(mu_) = 0;
 };

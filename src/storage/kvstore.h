@@ -2,6 +2,11 @@
 // standing in for the paper's Berkeley DB. One store = one page file = one
 // B+-tree. Composite keys are built with EncodeComposite* so that byte
 // order equals the intended logical order.
+//
+// Concurrency: Get/NewCursor from any number of threads run in parallel —
+// reads take the B+-tree latch shared and miss into the pager's sharded,
+// single-flight buffer pool (see pager.h for the lock order). Put/Delete
+// are exclusive and must come from one writer at a time.
 #ifndef XREFINE_STORAGE_KVSTORE_H_
 #define XREFINE_STORAGE_KVSTORE_H_
 

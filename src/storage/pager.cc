@@ -1,9 +1,13 @@
 #include "storage/pager.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstring>
-#include <filesystem>
 
 #include "common/logging.h"
+#include "common/timer.h"
 
 namespace xrefine::storage {
 
@@ -43,7 +47,10 @@ const Pager::Metrics& Pager::GlobalMetrics() {
                    r.counter("pager.evictions"),
                    r.counter("pager.page_reads"),
                    r.counter("pager.page_writes"),
-                   r.counter("pager.writeback_failures")};
+                   r.counter("pager.writeback_failures"),
+                   r.counter("pager.single_flight_waits"),
+                   r.histogram("pager.fetch_us"),
+                   r.histogram("pager.latch_wait_us")};
   }();
   return m;
 }
@@ -54,6 +61,10 @@ Pager::Pager(std::string path, PagerOptions options)
     options_.max_cached_pages = 16;
   }
   if (in_memory()) options_.max_cached_pages = 0;  // nowhere to evict to
+  if (options_.max_cached_pages != 0) {
+    shard_capacity_ = options_.max_cached_pages / kNumShards;
+    if (shard_capacity_ == 0) shard_capacity_ = 1;
+  }
 }
 
 StatusOr<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
@@ -74,48 +85,58 @@ Pager::~Pager() {
     XR_LOG(Error) << "pager flush on close failed: " << st;
   }
 #ifndef NDEBUG
-  MutexLock lock(&mu_);
-  for (const auto& [id, entry] : cache_) {
-    if (entry.pins != 0) {
-      XR_LOG(Error) << "page " << id << " still pinned at pager teardown";
+  for (Shard& shard : shards_) {
+    MutexLock lock(&shard.mu);
+    for (const auto& [id, entry] : shard.cache) {
+      if (entry.pins != 0) {
+        XR_LOG(Error) << "page " << id << " still pinned at pager teardown";
+      }
     }
   }
 #endif
+  if (fd_ >= 0) ::close(fd_);
 }
 
 Status Pager::OpenFile() {
-  MutexLock lock(&mu_);
-  bool exists = std::filesystem::exists(path_);
-  // Open read/write; create first when missing.
-  if (!exists) {
-    std::ofstream create(path_, std::ios::binary);
-    if (!create) return Status::IoError("cannot create page file " + path_);
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    return Status::IoError("cannot open page file " + path_ + ": " +
+                           std::strerror(errno));
   }
-  file_.open(path_, std::ios::binary | std::ios::in | std::ios::out);
-  if (!file_) return Status::IoError("cannot open page file " + path_);
-  file_.seekg(0, std::ios::end);
-  auto size = static_cast<uint64_t>(file_.tellg());
-  if (size % kPageSize != 0) {
+  off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size < 0) {
+    return Status::IoError("cannot size page file " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  if (static_cast<uint64_t>(size) % kPageSize != 0) {
     return Status::Corruption("page file size " + std::to_string(size) +
                               " is not a multiple of the page size");
   }
-  next_page_id_ = static_cast<PageId>(size / kPageSize);
+  next_page_id_.store(static_cast<PageId>(size / kPageSize),
+                      std::memory_order_release);
   return Status::OK();
 }
 
 Status Pager::ReadPageFromFile(PageId id, Page* page) {
-  if (fail_reads_after_ >= 0) {
-    if (fail_reads_after_ == 0) {
-      return Status::IoError("injected read failure for page " +
-                             std::to_string(id));
-    }
-    --fail_reads_after_;
+  std::function<void()> hook;
+  {
+    MutexLock lock(&io_mu_);
+    hook = read_hook_;
   }
-  file_.clear();
-  file_.seekg(static_cast<std::streamoff>(id) *
-              static_cast<std::streamoff>(kPageSize));
-  file_.read(page->data, kPageSize);
-  if (!file_) {
+  if (hook) hook();  // run outside io_mu_: hooks block to stage waiters
+  {
+    MutexLock lock(&io_mu_);
+    if (fail_reads_after_ >= 0) {
+      if (fail_reads_after_ == 0) {
+        return Status::IoError("injected read failure for page " +
+                               std::to_string(id));
+      }
+      --fail_reads_after_;
+    }
+  }
+  ssize_t n = ::pread(fd_, page->data, kPageSize,
+                      static_cast<off_t>(id) * static_cast<off_t>(kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) {
     return Status::IoError("short read of page " + std::to_string(id));
   }
   page->id = id;
@@ -125,59 +146,52 @@ Status Pager::ReadPageFromFile(PageId id, Page* page) {
 
 Status Pager::WritePageToFile(const Page& page) {
   GlobalMetrics().page_writes->Increment();
-  if (simulate_write_failures_) {
-    return Status::IoError("injected write failure for page " +
-                           std::to_string(page.id));
+  {
+    MutexLock lock(&io_mu_);
+    if (simulate_write_failures_) {
+      return Status::IoError("injected write failure for page " +
+                             std::to_string(page.id));
+    }
   }
-  file_.clear();
-  file_.seekp(static_cast<std::streamoff>(page.id) *
-              static_cast<std::streamoff>(kPageSize));
-  file_.write(page.data, kPageSize);
-  if (!file_) {
+  ssize_t n =
+      ::pwrite(fd_, page.data, kPageSize,
+               static_cast<off_t>(page.id) * static_cast<off_t>(kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) {
     return Status::IoError("short write of page " + std::to_string(page.id));
   }
   return Status::OK();
 }
 
-Pager::Entry* Pager::Insert(std::unique_ptr<Page> page) {
-  PageId id = page->id;
-  Entry entry;
-  entry.page = std::move(page);
-  Entry* inserted = &cache_.emplace(id, std::move(entry)).first->second;
-  Pin(inserted);
-  MaybeEvict();
-  return inserted;
-}
-
-void Pager::Pin(Entry* entry) {
+void Pager::Pin(Shard& shard, Entry* entry) {
   if (entry->in_lru) {
-    lru_.erase(entry->lru_it);
+    shard.lru.erase(entry->lru_it);
     entry->in_lru = false;
   }
   ++entry->pins;
 }
 
 void Pager::Unpin(Page* page) {
-  MutexLock lock(&mu_);
-  auto it = cache_.find(page->id);
-  XR_CHECK(it != cache_.end()) << "unpin of uncached page " << page->id;
+  Shard& shard = ShardFor(page->id);
+  MutexLock lock(&shard.mu);
+  auto it = shard.cache.find(page->id);
+  XR_CHECK(it != shard.cache.end()) << "unpin of uncached page " << page->id;
   Entry& entry = it->second;
   XR_CHECK(entry.pins > 0) << "unbalanced unpin of page " << page->id;
   if (--entry.pins == 0) {
-    lru_.push_front(page->id);
-    entry.lru_it = lru_.begin();
+    shard.lru.push_front(page->id);
+    entry.lru_it = shard.lru.begin();
     entry.in_lru = true;
-    MaybeEvict();
+    MaybeEvictShard(shard);
   }
 }
 
-void Pager::MaybeEvict() {
-  if (options_.max_cached_pages == 0) return;
-  while (cache_.size() > options_.max_cached_pages && !lru_.empty()) {
-    PageId victim = lru_.back();
-    lru_.pop_back();
-    auto it = cache_.find(victim);
-    XR_CHECK(it != cache_.end());
+void Pager::MaybeEvictShard(Shard& shard) {
+  if (shard_capacity_ == 0) return;
+  while (shard.cache.size() > shard_capacity_ && !shard.lru.empty()) {
+    PageId victim = shard.lru.back();
+    shard.lru.pop_back();
+    auto it = shard.cache.find(victim);
+    XR_CHECK(it != shard.cache.end());
     XR_CHECK(it->second.pins == 0);
     if (it->second.page->dirty) {
       Status st = WritePageToFile(*it->second.page);
@@ -187,82 +201,154 @@ void Pager::MaybeEvict() {
         // guard and believes the write will happen, so a later Flush() (or
         // status()) must report it rather than claim success.
         XR_LOG(Error) << "eviction write-back failed: " << st;
-        ++writeback_failures_;
+        writeback_failures_.fetch_add(1, std::memory_order_relaxed);
         GlobalMetrics().writeback_failures->Increment();
-        if (io_error_.ok()) io_error_ = st;
-        lru_.push_back(victim);
-        it->second.lru_it = std::prev(lru_.end());
+        {
+          MutexLock io_lock(&io_mu_);
+          if (io_error_.ok()) io_error_ = st;
+        }
+        shard.lru.push_back(victim);
+        it->second.lru_it = std::prev(shard.lru.end());
         it->second.in_lru = true;
         return;
       }
     }
-    cache_.erase(it);
-    ++evictions_;
+    shard.cache.erase(it);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
     GlobalMetrics().evictions->Increment();
   }
 }
 
 PageGuard Pager::NewPage() {
-  MutexLock lock(&mu_);
+  PageId id = next_page_id_.fetch_add(1, std::memory_order_acq_rel);
   auto page = std::make_unique<Page>();
-  page->id = next_page_id_++;
+  page->id = id;
   page->dirty = true;
-  Entry* entry = Insert(std::move(page));
-  return PageGuard(this, entry->page.get());
+  Shard& shard = ShardFor(id);
+  MutexLock lock(&shard.mu);
+  Entry entry;
+  entry.page = std::move(page);
+  Entry* inserted = &shard.cache.emplace(id, std::move(entry)).first->second;
+  Pin(shard, inserted);
+  MaybeEvictShard(shard);
+  return PageGuard(this, inserted->page.get());
 }
 
 PageGuard Pager::Fetch(PageId id) {
-  MutexLock lock(&mu_);
-  if (id >= next_page_id_) return PageGuard();
-  auto it = cache_.find(id);
-  if (it != cache_.end()) {
-    ++cache_hits_;
-    GlobalMetrics().cache_hits->Increment();
-    Pin(&it->second);
-    return PageGuard(this, it->second.page.get());
+  metrics::ScopedTimer fetch_timer(GlobalMetrics().fetch_us);
+  if (id >= next_page_id_.load(std::memory_order_acquire)) return PageGuard();
+  Shard& shard = ShardFor(id);
+
+  std::shared_ptr<InFlight> inflight;
+  bool leader = false;
+  {
+    Timer latch_timer;
+    MutexLock lock(&shard.mu);
+    GlobalMetrics().latch_wait_us->Record(
+        static_cast<uint64_t>(latch_timer.ElapsedMicros()));
+    auto it = shard.cache.find(id);
+    if (it != shard.cache.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      GlobalMetrics().cache_hits->Increment();
+      Pin(shard, &it->second);
+      return PageGuard(this, it->second.page.get());
+    }
+    // Miss: the page must live in the file (evicted or pre-existing).
+    // Waiters on an in-progress load count as misses too, preserving the
+    // "every fetch is a hit or a miss" accounting invariant.
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    GlobalMetrics().cache_misses->Increment();
+    if (in_memory()) return PageGuard();  // cannot happen without eviction
+    auto load_it = shard.loading.find(id);
+    if (load_it != shard.loading.end()) {
+      inflight = load_it->second;
+      ++inflight->waiters;
+      single_flight_waits_.fetch_add(1, std::memory_order_relaxed);
+      GlobalMetrics().single_flight_waits->Increment();
+    } else {
+      inflight = std::make_shared<InFlight>();
+      shard.loading.emplace(id, inflight);
+      leader = true;
+    }
   }
-  // Miss: the page must live in the file (evicted or pre-existing).
-  ++cache_misses_;
-  GlobalMetrics().cache_misses->Increment();
-  if (in_memory()) return PageGuard();  // cannot happen without eviction
-  auto page = std::make_unique<Page>();
-  GlobalMetrics().page_reads->Increment();
-  Status st = ReadPageFromFile(id, page.get());
-  if (!st.ok()) {
-    XR_LOG(Error) << "page read failed: " << st;
-    return PageGuard();
+
+  if (leader) {
+    // Load with no latch held: readers of other pages in this shard
+    // proceed, and threads missing this same page queue on `inflight`.
+    auto page = std::make_unique<Page>();
+    page_reads_.fetch_add(1, std::memory_order_relaxed);
+    GlobalMetrics().page_reads->Increment();
+    Status st = ReadPageFromFile(id, page.get());
+    Page* published = nullptr;
+    {
+      MutexLock lock(&shard.mu);
+      shard.loading.erase(id);
+      // No waiter can register past this point; inflight->waiters is final.
+      if (st.ok()) {
+        Entry entry;
+        entry.page = std::move(page);
+        // Pre-pin for the leader and every waiter so the page cannot be
+        // evicted between publication and the waiters waking up; each
+        // PageGuard (including theirs) releases exactly one pin.
+        entry.pins = 1 + inflight->waiters;
+        published =
+            shard.cache.emplace(id, std::move(entry)).first->second.page.get();
+        MaybeEvictShard(shard);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> publish(inflight->mu);
+      inflight->done = true;
+      inflight->status = st;
+      inflight->page = published;
+    }
+    inflight->cv.notify_all();
+    if (!st.ok()) {
+      XR_LOG(Error) << "page read failed: " << st;
+      return PageGuard();
+    }
+    return PageGuard(this, published);
   }
-  Entry* entry = Insert(std::move(page));
-  return PageGuard(this, entry->page.get());
+
+  // Waiter: block until the leader publishes the page or its error.
+  std::unique_lock<std::mutex> wait_lock(inflight->mu);
+  inflight->cv.wait(wait_lock, [&] { return inflight->done; });
+  if (inflight->page == nullptr) return PageGuard();  // leader's read failed
+  return PageGuard(this, inflight->page);  // pin pre-counted by the leader
 }
 
 Status Pager::Flush() {
-  MutexLock lock(&mu_);
-  return FlushLocked();
-}
-
-Status Pager::FlushLocked() {
-  // A failed eviction write-back means pages this pager promised to persist
-  // may not be in the file; report that before (and instead of) claiming a
-  // clean flush.
-  if (!io_error_.ok()) return io_error_;
-  if (in_memory()) return Status::OK();
-  for (auto& [id, entry] : cache_) {
-    if (!entry.page->dirty) continue;
-    Status st = WritePageToFile(*entry.page);
-    if (!st.ok()) {
-      if (io_error_.ok()) io_error_ = st;
-      return st;
-    }
-    entry.page->dirty = false;
+  {
+    // A failed eviction write-back means pages this pager promised to
+    // persist may not be in the file; report that before (and instead of)
+    // claiming a clean flush.
+    MutexLock lock(&io_mu_);
+    if (!io_error_.ok()) return io_error_;
   }
-  file_.flush();
-  if (!file_) {
-    Status st = Status::IoError("flush failed for " + path_);
-    if (io_error_.ok()) io_error_ = st;
-    return st;
+  if (in_memory()) return Status::OK();
+  for (Shard& shard : shards_) {
+    MutexLock lock(&shard.mu);
+    for (auto& [id, entry] : shard.cache) {
+      if (!entry.page->dirty) continue;
+      Status st = WritePageToFile(*entry.page);
+      if (!st.ok()) {
+        MutexLock io_lock(&io_mu_);
+        if (io_error_.ok()) io_error_ = st;
+        return st;
+      }
+      entry.page->dirty = false;
+    }
   }
   return Status::OK();
+}
+
+size_t Pager::cached_pages() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(&shard.mu);
+    total += shard.cache.size();
+  }
+  return total;
 }
 
 }  // namespace xrefine::storage

@@ -4,21 +4,33 @@
 // the pool exceeds its capacity, with dirty pages written back on eviction.
 // An unbounded pool (capacity 0) never evicts, which in-memory pagers use.
 //
-// Locking: one pager-wide latch (mu_) serialises every cache/LRU/file
-// operation, so concurrent Fetch/Flush from multiple reader threads is
-// safe. Page *contents* are not covered by the latch — the pin discipline
-// protects them: a pinned page can never be evicted, and writers of page
-// data must be externally serialised (the B+-tree is single-writer). The
-// coarse latch is the interim design; the shared-read pager redesign
-// (ROADMAP) will replace it with per-page latches or an RCU page table,
-// measured against the pager.* metrics.
+// Locking: the page table and LRU list are split into kNumShards shards,
+// each with its own latch, keyed by page id. A fetch touches exactly one
+// shard latch; fetches of pages in different shards never contend. Misses
+// are single-flight: the first thread to miss a page becomes the loader and
+// reads it from the file with NO latch held (positional pread), while later
+// threads that miss the same page wait on the load's condition variable and
+// receive the loader's page (pre-pinned on their behalf) or its error.
+// Counters and the page-count high-water mark are atomics; the sticky I/O
+// error and the test-only injection flags live under a separate small
+// io_mu_. Page *contents* are not covered by any pager latch — the pin
+// discipline protects them: a pinned page can never be evicted, and writers
+// of page data must be externally serialised (the B+-tree is
+// single-writer).
+//
+// Lock order: a B+-tree latch (if held) is always acquired before a shard
+// latch; a shard latch before io_mu_. No thread ever holds two shard
+// latches at once.
 #ifndef XREFINE_STORAGE_PAGER_H_
 #define XREFINE_STORAGE_PAGER_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
-#include <fstream>
+#include <functional>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -42,7 +54,8 @@ struct Page {
 struct PagerOptions {
   /// Maximum pages kept in memory; 0 = unbounded (no eviction). Values
   /// below 16 are raised to 16 so a B+-tree root-to-leaf path plus split
-  /// scratch pages always fit pinned.
+  /// scratch pages always fit pinned. The budget is divided evenly across
+  /// the shards (at least one page per shard).
   size_t max_cached_pages = 0;
 };
 
@@ -82,6 +95,12 @@ class PageGuard {
 /// Manages the page file. Page 0 is reserved for the owner's metadata.
 class Pager {
  public:
+  /// Number of latch-striped shards in the page table. A power of two so
+  /// ShardFor is a mask; 8 keeps per-shard capacity sane at the 16-page
+  /// floor while spreading uniformly-distributed page ids thinly enough
+  /// that reader threads rarely collide on a latch.
+  static constexpr size_t kNumShards = 8;
+
   /// Opens (or creates) a file-backed pager. Empty `path` selects a purely
   /// in-memory pager: no file, no eviction, Flush() is a no-op.
   [[nodiscard]] static StatusOr<std::unique_ptr<Pager>> Open(
@@ -94,23 +113,23 @@ class Pager {
 
   /// Number of pages allocated so far (cached or on disk), including the
   /// metadata page 0.
-  PageId page_count() const EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
-    return next_page_id_;
+  PageId page_count() const {
+    return next_page_id_.load(std::memory_order_acquire);
   }
 
   /// Allocates a fresh zeroed page, pinned and dirty.
-  PageGuard NewPage() EXCLUDES(mu_);
+  PageGuard NewPage();
 
   /// Pins the page with the given id; an invalid guard when out of range
-  /// or unreadable.
-  PageGuard Fetch(PageId id) EXCLUDES(mu_);
+  /// or unreadable. Concurrent fetches of a page that is not cached are
+  /// collapsed into one file read (single-flight).
+  PageGuard Fetch(PageId id);
 
   /// Writes all dirty cached pages back to the file. Returns the sticky
   /// error first if a background eviction write-back has already failed:
   /// once that happens the file may be missing committed pages, and no
   /// later Flush() can honestly report success.
-  [[nodiscard]] Status Flush() EXCLUDES(mu_);
+  [[nodiscard]] Status Flush();
 
   bool in_memory() const { return path_.empty(); }
 
@@ -118,16 +137,16 @@ class Pager {
   /// first such error forever. Callers that dropped their dirty guards
   /// (so eviction may write on their behalf) must check this (or Flush())
   /// before trusting the file's contents.
-  Status status() const EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
+  Status status() const EXCLUDES(io_mu_) {
+    MutexLock lock(&io_mu_);
     return io_error_;
   }
 
   /// Forces every subsequent WritePageToFile to fail (tests only). The
   /// injected failure exercises the same path a full disk or yanked volume
   /// would.
-  void SimulateWriteFailuresForTesting(bool fail) EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
+  void SimulateWriteFailuresForTesting(bool fail) EXCLUDES(io_mu_) {
+    MutexLock lock(&io_mu_);
     simulate_write_failures_ = fail;
   }
 
@@ -135,31 +154,39 @@ class Pager {
   /// (tests only); -1 disables. The counter models a device that works for
   /// a while and then dies mid-scan — the case a cursor must surface as an
   /// error rather than a clean end of iteration.
-  void SimulateReadFailuresForTesting(int64_t successes) EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
+  void SimulateReadFailuresForTesting(int64_t successes) EXCLUDES(io_mu_) {
+    MutexLock lock(&io_mu_);
     fail_reads_after_ = successes;
   }
 
+  /// Installs a hook run at the top of every page-file read, before the
+  /// injected-failure check (tests only; nullptr clears). Concurrency
+  /// tests use it to hold a single-flight loader inside the read while
+  /// waiter threads pile up behind it.
+  void SetReadHookForTesting(std::function<void()> hook) EXCLUDES(io_mu_) {
+    MutexLock lock(&io_mu_);
+    read_hook_ = std::move(hook);
+  }
+
   // --- introspection (tests, tools) ---
-  size_t cached_pages() const EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
-    return cache_.size();
+  size_t cached_pages() const;
+  uint64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
   }
-  uint64_t cache_hits() const EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
-    return cache_hits_;
+  uint64_t cache_misses() const {
+    return cache_misses_.load(std::memory_order_relaxed);
   }
-  uint64_t cache_misses() const EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
-    return cache_misses_;
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
   }
-  uint64_t evictions() const EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
-    return evictions_;
+  uint64_t writeback_failures() const {
+    return writeback_failures_.load(std::memory_order_relaxed);
   }
-  uint64_t writeback_failures() const EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
-    return writeback_failures_;
+  uint64_t page_reads() const {
+    return page_reads_.load(std::memory_order_relaxed);
+  }
+  uint64_t single_flight_waits() const {
+    return single_flight_waits_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -168,44 +195,79 @@ class Pager {
   struct Entry {
     std::unique_ptr<Page> page;
     int pins = 0;
-    // Position in lru_ when unpinned; meaningful only when in_lru.
+    // Position in the shard's lru when unpinned; meaningful only if in_lru.
     std::list<PageId>::iterator lru_it;
     bool in_lru = false;
   };
 
+  /// One in-progress single-flight load. The loader publishes the result
+  /// under `mu` and broadcasts `cv`; `waiters` is written under the owning
+  /// shard's latch only (a waiter can register only while the shard's
+  /// `loading` entry exists, and the loader reads the final count under the
+  /// same latch when it erases that entry). Uses a raw std::mutex because
+  /// std::condition_variable requires std::unique_lock.
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;        // guarded by mu
+    Status status;            // guarded by mu
+    Page* page = nullptr;     // guarded by mu; null when the load failed
+    int waiters = 0;          // guarded by the owning shard's latch
+  };
+
+  /// One latch stripe of the buffer pool: a slice of the page table, its
+  /// LRU list, and the in-progress loads for pages that hash here.
+  struct Shard {
+    mutable Mutex mu;
+    std::unordered_map<PageId, Entry> cache GUARDED_BY(mu);
+    std::list<PageId> lru GUARDED_BY(mu);  // front = most recently unpinned
+    std::unordered_map<PageId, std::shared_ptr<InFlight>> loading
+        GUARDED_BY(mu);
+  };
+
   Pager(std::string path, PagerOptions options);
 
-  Status OpenFile() EXCLUDES(mu_);
-  Status ReadPageFromFile(PageId id, Page* page) REQUIRES(mu_);
-  Status WritePageToFile(const Page& page) REQUIRES(mu_);
+  Shard& ShardFor(PageId id) const { return shards_[id & (kNumShards - 1)]; }
 
-  Entry* Insert(std::unique_ptr<Page> page) REQUIRES(mu_);
-  void Pin(Entry* entry) REQUIRES(mu_);
-  void Unpin(Page* page) EXCLUDES(mu_);  // PageGuard's release entry point
-  void MaybeEvict() REQUIRES(mu_);
-  Status FlushLocked() REQUIRES(mu_);
+  Status OpenFile();
+  // File I/O runs positionally on fd_ with no pager latch required; reads
+  // happen off-latch, writes under the dirty page's shard latch (eviction,
+  // Flush). Both briefly take io_mu_ for the test-only injection flags.
+  Status ReadPageFromFile(PageId id, Page* page) EXCLUDES(io_mu_);
+  Status WritePageToFile(const Page& page) EXCLUDES(io_mu_);
 
-  std::string path_;     // immutable after construction
+  void Pin(Shard& shard, Entry* entry) REQUIRES(shard.mu);
+  void Unpin(Page* page);  // PageGuard's release entry point
+  void MaybeEvictShard(Shard& shard) REQUIRES(shard.mu);
+
+  std::string path_;      // immutable after construction
   PagerOptions options_;  // immutable after construction
+  size_t shard_capacity_ = 0;  // immutable; 0 = unbounded
+  int fd_ = -1;  // immutable after Open; positional I/O needs no latch
 
-  // Pager-wide latch: covers the page table, LRU list, file handle,
-  // counters, and the sticky error. Lock order: a BTree latch (if held) is
-  // always acquired before this one, never after.
-  mutable Mutex mu_;
-  std::fstream file_ GUARDED_BY(mu_);
-  PageId next_page_id_ GUARDED_BY(mu_) = 0;
-  std::unordered_map<PageId, Entry> cache_ GUARDED_BY(mu_);
-  std::list<PageId> lru_ GUARDED_BY(mu_);  // front = most recently unpinned
+  mutable Shard shards_[kNumShards];
+
+  // High-water mark of allocated page ids. NewPage claims ids with
+  // fetch_add; Fetch bound-checks with an acquire load.
+  std::atomic<PageId> next_page_id_{0};
+
   // Per-instance counters (the accessors above) double as the source for
-  // the process-wide "pager.*" registry metrics, mirrored via metrics_.
-  uint64_t cache_hits_ GUARDED_BY(mu_) = 0;
-  uint64_t cache_misses_ GUARDED_BY(mu_) = 0;
-  uint64_t evictions_ GUARDED_BY(mu_) = 0;
-  uint64_t writeback_failures_ GUARDED_BY(mu_) = 0;
+  // the process-wide "pager.*" registry metrics, mirrored via GlobalMetrics.
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> writeback_failures_{0};
+  std::atomic<uint64_t> page_reads_{0};
+  std::atomic<uint64_t> single_flight_waits_{0};
+
+  // Small latch for the sticky error and test-only injection state. Always
+  // acquired after a shard latch, never before.
+  mutable Mutex io_mu_;
   // Sticky: first write-back/IO failure, OK until then.
-  Status io_error_ GUARDED_BY(mu_);
-  bool simulate_write_failures_ GUARDED_BY(mu_) = false;
-  int64_t fail_reads_after_ GUARDED_BY(mu_) = -1;  // -1 = no injection
+  Status io_error_ GUARDED_BY(io_mu_);
+  bool simulate_write_failures_ GUARDED_BY(io_mu_) = false;
+  int64_t fail_reads_after_ GUARDED_BY(io_mu_) = -1;  // -1 = no injection
+  std::function<void()> read_hook_ GUARDED_BY(io_mu_);
 
   struct Metrics {
     metrics::Counter* cache_hits;
@@ -214,6 +276,9 @@ class Pager {
     metrics::Counter* page_reads;
     metrics::Counter* page_writes;
     metrics::Counter* writeback_failures;
+    metrics::Counter* single_flight_waits;
+    metrics::Histogram* fetch_us;
+    metrics::Histogram* latch_wait_us;
   };
   static const Metrics& GlobalMetrics();
 };

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -133,6 +134,102 @@ TEST(ConcurrencyTest, CooccurrenceCacheConcurrentFill) {
   EXPECT_EQ(failures.load(), 0);
   // Three canonical pairs were cached, no matter how many threads raced.
   EXPECT_EQ(cooc.memoized_pairs(), 3u);
+}
+
+TEST(ConcurrencyTest, SingleFlightDeduplicatesConcurrentMisses) {
+  std::string path = ::testing::TempDir() + "/single_flight.pages";
+  std::remove(path.c_str());
+  {
+    auto pager_or = storage::Pager::Open(path);
+    ASSERT_TRUE(pager_or.ok()) << pager_or.status();
+    auto& pager = *pager_or.value();
+    for (int i = 0; i < 4; ++i) {
+      auto guard = pager.NewPage();
+      guard->data[0] = static_cast<char>(guard.id());
+      guard.MarkDirty();
+    }
+    ASSERT_TRUE(pager.Flush().ok());
+  }
+
+  storage::PagerOptions options;
+  options.max_cached_pages = 16;
+  auto pager_or = storage::Pager::Open(path, options);
+  ASSERT_TRUE(pager_or.ok()) << pager_or.status();
+  auto pager = std::move(pager_or).value();
+
+  // Hold the loader inside the file read until the other thread has
+  // registered as a single-flight waiter, so the two fetches genuinely
+  // overlap instead of racing past each other.
+  pager->SetReadHookForTesting([&pager] {
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (pager->single_flight_waits() == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+  });
+
+  storage::Page* seen[2] = {nullptr, nullptr};
+  std::atomic<int> failures{0};
+  RunThreads(2, [&](int t) {
+    storage::PageGuard guard = pager->Fetch(1);
+    if (!guard.valid() || guard->data[0] != 1) {
+      failures.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      seen[t] = guard.get();
+    }
+  });
+  pager->SetReadHookForTesting(nullptr);
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(seen[0], seen[1]);  // one cached copy served to both
+  EXPECT_EQ(pager->page_reads(), 1u);  // the waiter never touched the file
+  EXPECT_EQ(pager->single_flight_waits(), 1u);
+  EXPECT_EQ(pager->cache_misses(), 2u);  // a waiter still counts as a miss
+}
+
+TEST(ConcurrencyTest, EvictionRacesConcurrentPins) {
+  std::string path = ::testing::TempDir() + "/eviction_race.pages";
+  std::remove(path.c_str());
+  constexpr int kPages = 64;
+  {
+    auto pager_or = storage::Pager::Open(path);
+    ASSERT_TRUE(pager_or.ok()) << pager_or.status();
+    auto& pager = *pager_or.value();
+    for (int i = 0; i < kPages; ++i) {
+      auto guard = pager.NewPage();
+      guard->data[0] = static_cast<char>(guard.id());
+      guard.MarkDirty();
+    }
+    ASSERT_TRUE(pager.Flush().ok());
+  }
+
+  // A pool far smaller than the working set: every thread's random fetches
+  // keep evicting pages other threads are concurrently pinning. The pin
+  // discipline must keep each guard's bytes stable regardless.
+  storage::PagerOptions options;
+  options.max_cached_pages = 16;
+  auto pager_or = storage::Pager::Open(path, options);
+  ASSERT_TRUE(pager_or.ok()) << pager_or.status();
+  auto pager = std::move(pager_or).value();
+
+  std::atomic<int> failures{0};
+  RunThreads(kThreads, [&](int t) {
+    uint32_t rng = static_cast<uint32_t>(t) * 2654435761u + 1u;
+    for (int i = 0; i < kItersPerThread; ++i) {
+      rng = rng * 1664525u + 1013904223u;
+      auto id = static_cast<storage::PageId>(1 + rng % kPages);
+      storage::PageGuard guard = pager->Fetch(id);
+      if (!guard.valid() ||
+          guard->data[0] != static_cast<char>(id)) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(pager->status().ok());
+  EXPECT_GT(pager->evictions(), 0u);
+  EXPECT_LE(pager->cached_pages(), 16u);
 }
 
 TEST(ConcurrencyTest, KVStoreConcurrentReadersOneWriter) {

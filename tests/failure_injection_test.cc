@@ -1,9 +1,13 @@
 // Failure injection: corrupted page files, truncated records, and garbage
 // inputs must surface as Status errors (or clean parse failures), never as
 // crashes or silent wrong answers.
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -256,6 +260,65 @@ TEST(FailureInjectionTest, CursorStatusIsStickyUntilReSeek) {
   cursor.Seek("");
   EXPECT_TRUE(cursor.status().ok());
   EXPECT_TRUE(cursor.Valid());
+  std::filesystem::remove(path);
+}
+
+// A read failure during a single-flight miss must reach every thread that
+// joined the load, not just the one that issued the pread — and must not
+// poison the page: once the injection clears, the next fetch retries the
+// read and succeeds.
+TEST(FailureInjectionTest, ConcurrentMissReadFailurePropagatesToAllWaiters) {
+  std::string path = TempPath("single_flight_read_failure.pages");
+  std::filesystem::remove(path);
+  {
+    auto pager = storage::Pager::Open(path);
+    ASSERT_TRUE(pager.ok());
+    for (int i = 0; i < 4; ++i) {
+      auto guard = (*pager)->NewPage();
+      guard->data[0] = static_cast<char>(guard.id());
+      guard.MarkDirty();
+    }
+    ASSERT_TRUE((*pager)->Flush().ok());
+  }
+  storage::PagerOptions pager_options;
+  pager_options.max_cached_pages = 16;
+  auto pager_or = storage::Pager::Open(path, pager_options);
+  ASSERT_TRUE(pager_or.ok());
+  auto pager = std::move(pager_or).value();
+
+  pager->SimulateReadFailuresForTesting(0);  // the next read fails
+  // Hold the loading thread at the top of the read (the hook runs before
+  // the injection check) until both other threads are queued behind it.
+  pager->SetReadHookForTesting([&pager] {
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (pager->single_flight_waits() < 2 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+  });
+
+  std::atomic<int> invalid_guards{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      storage::PageGuard guard = pager->Fetch(1);
+      if (!guard.valid()) {
+        invalid_guards.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  pager->SetReadHookForTesting(nullptr);
+  EXPECT_EQ(invalid_guards.load(), 3);
+  EXPECT_EQ(pager->page_reads(), 1u);  // one attempted read for all three
+  EXPECT_EQ(pager->single_flight_waits(), 2u);
+
+  // The failed load left no cache entry and no in-flight record behind, so
+  // clearing the injection makes the page fetchable again.
+  pager->SimulateReadFailuresForTesting(-1);
+  storage::PageGuard retry = pager->Fetch(1);
+  ASSERT_TRUE(retry.valid());
+  EXPECT_EQ(retry->data[0], 1);
   std::filesystem::remove(path);
 }
 

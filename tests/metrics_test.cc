@@ -38,26 +38,41 @@ TEST(GaugeTest, SetAddAndNegativeValues) {
   EXPECT_EQ(g.value(), 0);
 }
 
-TEST(HistogramTest, BucketBoundsArePowersOfTwo) {
-  EXPECT_EQ(Histogram::BucketUpperBound(0), 1u);
-  EXPECT_EQ(Histogram::BucketUpperBound(1), 2u);
-  EXPECT_EQ(Histogram::BucketUpperBound(10), 1024u);
+TEST(HistogramTest, BucketBoundsAreLogLinear) {
+  // Exact region: one bucket per value below kSubBuckets.
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 3u);
+  // First octave [4, 8): four sub-buckets of width 1.
+  EXPECT_EQ(Histogram::BucketUpperBound(4), 4u);
+  EXPECT_EQ(Histogram::BucketUpperBound(7), 7u);
+  // Octave [8, 16): sub-buckets of width 2 ending at 9/11/13/15.
+  EXPECT_EQ(Histogram::BucketUpperBound(8), 9u);
+  EXPECT_EQ(Histogram::BucketUpperBound(11), 15u);
   EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kNumBuckets - 1),
             UINT64_MAX);
+  // Bounds are strictly increasing across the whole range.
+  for (size_t i = 1; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_GT(Histogram::BucketUpperBound(i), Histogram::BucketUpperBound(i - 1))
+        << "bucket " << i;
+  }
 }
 
 TEST(HistogramTest, RecordsIntoCorrectBuckets) {
   Histogram h;
-  h.Record(0);   // bucket 0 (<= 1)
-  h.Record(1);   // bucket 0
-  h.Record(2);   // bucket 1 (<= 2)
-  h.Record(3);   // bucket 2 (<= 4)
-  h.Record(1024);  // bucket 10
+  h.Record(0);     // bucket 0
+  h.Record(1);     // bucket 1
+  h.Record(2);     // bucket 2
+  h.Record(3);     // bucket 3
+  h.Record(1024);  // first sub-bucket of octave 10
   h.Record(UINT64_MAX);  // overflow bucket
-  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
   EXPECT_EQ(h.bucket_count(1), 1u);
   EXPECT_EQ(h.bucket_count(2), 1u);
-  EXPECT_EQ(h.bucket_count(10), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  size_t b1024 = Histogram::kSubBuckets +
+                 (10 - Histogram::kSubBucketBits) * Histogram::kSubBuckets;
+  EXPECT_EQ(h.bucket_count(b1024), 1u);
   EXPECT_EQ(h.bucket_count(Histogram::kNumBuckets - 1), 1u);
   EXPECT_EQ(h.count(), 6u);
 }
@@ -66,16 +81,29 @@ TEST(HistogramTest, MeanAndQuantiles) {
   Histogram h;
   EXPECT_EQ(h.mean(), 0.0);
   EXPECT_EQ(h.QuantileUpperBound(0.5), 0u);
-  for (int i = 0; i < 99; ++i) h.Record(3);  // bucket 2, bound 4
-  h.Record(5000);  // bucket 13, bound 8192
+  for (int i = 0; i < 99; ++i) h.Record(3);  // exact bucket, bound 3
+  h.Record(5000);  // octave 12, first sub-bucket: bound 5119
   EXPECT_EQ(h.count(), 100u);
   EXPECT_NEAR(h.mean(), (99.0 * 3 + 5000) / 100, 1e-9);
-  EXPECT_EQ(h.QuantileUpperBound(0.5), 4u);
-  EXPECT_EQ(h.QuantileUpperBound(0.99), 4u);
-  EXPECT_EQ(h.QuantileUpperBound(1.0), 8192u);
+  EXPECT_EQ(h.QuantileUpperBound(0.5), 3u);
+  EXPECT_EQ(h.QuantileUpperBound(0.99), 3u);
+  EXPECT_EQ(h.QuantileUpperBound(1.0), 5119u);
   h.Reset();
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.sum(), 0u);
+}
+
+TEST(HistogramTest, QuantileBoundWithin25PercentOfSample) {
+  // The regression the sub-bucketing fixes: with pure power-of-two buckets
+  // a p50 of 1100us reported as 2048us, masking any <2x change. Every
+  // reported bound must now sit within 25% above the recorded value.
+  for (uint64_t v : {5u, 23u, 100u, 1000u, 1100u, 30000u, 40000u, 1000000u}) {
+    Histogram h;
+    h.Record(v);
+    uint64_t bound = h.QuantileUpperBound(0.5);
+    EXPECT_GE(bound, v);
+    EXPECT_LE(bound, v + v / 4) << "value " << v << " bound " << bound;
+  }
 }
 
 TEST(RegistryTest, SameNameReturnsSamePointer) {

@@ -57,6 +57,15 @@ echo "=== [tsan] bench_parallel_queries smoke ==="
 (cd "$MATRIX_DIR/tsan" && ./bench/bench_parallel_queries >/dev/null)
 echo "=== [tsan] bench smoke OK ==="
 
+# Buffer-pool contention stress under TSan: uniform/hot/single-page access
+# patterns from 1-8 threads exercise the sharded page table, the
+# single-flight miss protocol, and eviction racing pins — the paths where a
+# latch-striping bug would be a data race rather than a wrong answer. The
+# binary self-checks page stamps and exits non-zero on corruption.
+echo "=== [tsan] bench_pager_stress ==="
+(cd "$MATRIX_DIR/tsan" && ./bench/bench_pager_stress >/dev/null)
+echo "=== [tsan] pager stress OK ==="
+
 if command -v clang++ >/dev/null 2>&1; then
   run_config thread-safety \
       -DCMAKE_CXX_COMPILER=clang++ -DXREFINE_THREAD_SAFETY=ON
