@@ -1,25 +1,38 @@
 #include "core/rule_generator.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <string_view>
 
+#include "common/metrics.h"
 #include "text/edit_distance.h"
 #include "text/porter_stemmer.h"
-#include "text/segmenter.h"
+#include "text/spelling_index.h"
 
 namespace xrefine::core {
+
+namespace {
+
+struct RuleMetrics {
+  metrics::Histogram* spelling_probe_us;
+};
+
+const RuleMetrics& Metrics() {
+  static const RuleMetrics m = [] {
+    auto& r = metrics::Registry::Global();
+    return RuleMetrics{r.histogram("rules.spelling_probe_us")};
+  }();
+  return m;
+}
+
+}  // namespace
 
 RuleGenerator::RuleGenerator(const index::IndexSource* source,
                              const text::Lexicon* lexicon,
                              RuleGeneratorOptions options)
-    : source_(source), lexicon_(lexicon), options_(options) {
-  vocabulary_ = source_->Vocabulary();
-  for (const std::string& word : vocabulary_) {
-    stem_index_[text::PorterStem(word)].push_back(word);
-  }
-  segmenter_ = std::make_unique<text::Segmenter>(
-      text::Segmenter::Vocabulary(vocabulary_.begin(), vocabulary_.end()));
-}
+    : source_(source),
+      lexicon_(lexicon),
+      options_(options),
+      vocab_(source->VocabularyIndexSnapshot(options.max_edit_distance)) {}
 
 RuleSet RuleGenerator::GenerateFor(const Query& q) const {
   RuleSet rules;
@@ -55,7 +68,7 @@ void RuleGenerator::AddMergeRules(const Query& q, RuleSet* rules) const {
 
 void RuleGenerator::AddSplitRules(const Query& q, RuleSet* rules) const {
   for (const std::string& k : q) {
-    std::vector<std::string> pieces = segmenter_->Segment(k);
+    std::vector<std::string> pieces = vocab_->segmenter().Segment(k);
     if (pieces.size() < 2) continue;
     rules->Add(RefinementRule{
         {k},
@@ -66,25 +79,68 @@ void RuleGenerator::AddSplitRules(const Query& q, RuleSet* rules) const {
 }
 
 void RuleGenerator::AddSpellingRules(const Query& q, RuleSet* rules) const {
+  const std::vector<std::string>& words = vocab_->words();
+  const int max_d = options_.max_edit_distance;
   for (const std::string& k : q) {
     if (k.size() < options_.min_spelling_length) continue;
     if (InCorpus(k)) continue;  // spelled correctly for this corpus
-    // Candidates: corpus words within the edit-distance band, preferring
-    // frequent words (a common IR heuristic for correction quality).
+    metrics::ScopedTimer probe_timer(Metrics().spelling_probe_us);
+
+    // Candidate corpus words within the edit-distance band, as
+    // (word id, exact distance) pairs in ascending id order. The indexed
+    // path probes only k's deletion neighborhood; the linear path is the
+    // original full-vocabulary banded scan, kept for ablation — both
+    // produce the same matches.
+    std::vector<text::SpellingIndex::Match> matches;
+    if (options_.use_spelling_index) {
+      vocab_->spelling().Candidates(k, &matches);
+    } else {
+      for (size_t id = 0; id < words.size(); ++id) {
+        const std::string& word = words[id];
+        size_t lk = k.size();
+        size_t lw = word.size();
+        size_t diff = lk > lw ? lk - lw : lw - lk;
+        if (diff > static_cast<size_t>(max_d)) continue;
+        int d = text::EditDistanceAtMost(k, word, max_d);
+        if (d > max_d) continue;
+        matches.push_back(
+            text::SpellingIndex::Match{static_cast<uint32_t>(id), d});
+      }
+    }
+
+    // Ranking is distance-major, so a distance class whose candidates all
+    // start at or past the max_spelling_candidates cutoff can never be
+    // selected: drop it before paying its ListSize lookups or its share of
+    // the sort.
+    std::vector<size_t> per_distance(static_cast<size_t>(max_d) + 1, 0);
+    for (const auto& m : matches) {
+      if (m.distance >= 1) ++per_distance[static_cast<size_t>(m.distance)];
+    }
+    int cutoff = max_d;
+    size_t cumulative = 0;
+    for (int d = 1; d <= max_d; ++d) {
+      cumulative += per_distance[static_cast<size_t>(d)];
+      if (cumulative >= options_.max_spelling_candidates) {
+        cutoff = d;
+        break;
+      }
+    }
+
+    // Candidates carry string_views into the shared word list (which
+    // outlives the generator), so the sort moves 24-byte structs instead
+    // of reallocating strings.
     struct Candidate {
-      std::string word;
+      std::string_view word;
       int distance;
       size_t frequency;
     };
     std::vector<Candidate> candidates;
-    for (const std::string& word : vocabulary_) {
-      size_t lk = k.size();
-      size_t lw = word.size();
-      size_t diff = lk > lw ? lk - lw : lw - lk;
-      if (diff > static_cast<size_t>(options_.max_edit_distance)) continue;
-      int d = text::EditDistanceAtMost(k, word, options_.max_edit_distance);
-      if (d > options_.max_edit_distance || d == 0) continue;
-      candidates.push_back(Candidate{word, d, source_->ListSize(word)});
+    candidates.reserve(cumulative);
+    for (const auto& m : matches) {
+      if (m.distance == 0 || m.distance > cutoff) continue;
+      std::string_view word = words[m.word_id];
+      candidates.push_back(
+          Candidate{word, m.distance, source_->ListSize(word)});
     }
     std::sort(candidates.begin(), candidates.end(),
               [](const Candidate& a, const Candidate& b) {
@@ -95,7 +151,7 @@ void RuleGenerator::AddSpellingRules(const Query& q, RuleSet* rules) const {
     size_t limit = std::min(candidates.size(), options_.max_spelling_candidates);
     for (size_t i = 0; i < limit; ++i) {
       rules->Add(RefinementRule{{k},
-                                {candidates[i].word},
+                                {std::string(candidates[i].word)},
                                 RefineOp::kSubstitution,
                                 static_cast<double>(candidates[i].distance)});
     }
@@ -145,11 +201,14 @@ void RuleGenerator::AddAcronymRules(const Query& q, RuleSet* rules) const {
 }
 
 void RuleGenerator::AddStemmingRules(const Query& q, RuleSet* rules) const {
+  const std::vector<std::string>& words = vocab_->words();
   for (const std::string& k : q) {
-    auto it = stem_index_.find(text::PorterStem(k));
-    if (it == stem_index_.end()) continue;
+    const std::vector<uint32_t>* variants =
+        vocab_->StemVariants(text::PorterStem(k));
+    if (variants == nullptr) continue;
     size_t added = 0;
-    for (const std::string& variant : it->second) {
+    for (uint32_t id : *variants) {
+      const std::string& variant = words[id];
       if (variant == k) continue;
       if (added >= options_.max_stemming_candidates) break;
       rules->Add(RefinementRule{

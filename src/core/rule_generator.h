@@ -11,18 +11,26 @@
 //   synonym       lexicon synonym present in the corpus (ds = lexicon cost)
 //   acronym       lexicon acronym <-> expansion, both directions (ds = 1)
 //   stemming      corpus word sharing the query term's Porter stem (ds = 1)
+//
+// The vocabulary-derived structures (sorted words, stem index, segmenter,
+// deletion-neighborhood spelling index) live in a shared immutable
+// text::VocabularyIndex snapshot cached on the IndexSource, so N engines
+// over one corpus build them once. Spelling candidates come from the
+// SymSpell-style deletion-neighborhood probe — O(neighborhood) per term —
+// instead of a banded edit-distance scan over the entire vocabulary; the
+// linear scan survives behind `use_spelling_index = false` as the
+// equivalence/ablation baseline.
 #ifndef XREFINE_CORE_RULE_GENERATOR_H_
 #define XREFINE_CORE_RULE_GENERATOR_H_
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/refinement_rule.h"
 #include "index/index_source.h"
 #include "text/lexicon.h"
-#include "text/segmenter.h"
+#include "text/vocabulary_index.h"
 
 namespace xrefine::core {
 
@@ -42,14 +50,20 @@ struct RuleGeneratorOptions {
   double acronym_cost = 1.0;
   double stemming_cost = 1.0;
   size_t max_stemming_candidates = 3;
+  /// Answer spelling lookups from the deletion-neighborhood index (the
+  /// default). Off = the original banded edit-distance scan over the whole
+  /// vocabulary; kept for ablation and the equivalence bench — both paths
+  /// produce byte-identical RuleSets.
+  bool use_spelling_index = true;
 };
 
 class RuleGenerator {
  public:
-  /// `source` and `lexicon` must outlive the generator. Builds a stem index
-  /// over the corpus vocabulary once. Only membership, list sizes and the
-  /// vocabulary are consulted — never list contents — so a store-backed
-  /// source serves rule generation from its metadata alone.
+  /// `source` and `lexicon` must outlive the generator. Acquires (building
+  /// on first use) the source's shared VocabularyIndex snapshot. Only
+  /// membership, list sizes and the vocabulary are consulted — never list
+  /// contents — so a store-backed source serves rule generation from its
+  /// metadata alone.
   RuleGenerator(const index::IndexSource* source,
                 const text::Lexicon* lexicon,
                 RuleGeneratorOptions options = {});
@@ -75,13 +89,9 @@ class RuleGenerator {
   const text::Lexicon* lexicon_;
   RuleGeneratorOptions options_;
 
-  // Corpus vocabulary sorted by length then lexicographically, for banded
-  // edit-distance scans.
-  std::vector<std::string> vocabulary_;
-  // Porter stem -> corpus words sharing it.
-  std::unordered_map<std::string, std::vector<std::string>> stem_index_;
-  // Splits merged tokens against the corpus vocabulary.
-  std::unique_ptr<text::Segmenter> segmenter_;
+  // Shared immutable vocabulary structures (sorted words, stem index,
+  // segmenter, spelling index) — one snapshot per source, aliased here.
+  std::shared_ptr<const text::VocabularyIndex> vocab_;
 };
 
 }  // namespace xrefine::core

@@ -4,6 +4,7 @@
 #ifndef XREFINE_INDEX_INDEX_BUILDER_H_
 #define XREFINE_INDEX_INDEX_BUILDER_H_
 
+#include <functional>
 #include <memory>
 
 #include "index/cooccurrence.h"
@@ -53,8 +54,9 @@ class IndexedCorpus : public IndexSource {
     return index_.ListSize(keyword);
   }
   size_t keyword_count() const override { return index_.keyword_count(); }
-  std::vector<std::string> Vocabulary() const override {
-    return index_.Vocabulary();
+  void ForEachKeyword(
+      const std::function<void(std::string_view)>& fn) const override {
+    index_.ForEachKeyword(fn);
   }
 
  private:

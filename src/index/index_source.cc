@@ -1,0 +1,33 @@
+#include "index/index_source.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "text/vocabulary_index.h"
+
+namespace xrefine::index {
+
+std::vector<std::string> IndexSource::Vocabulary() const {
+  std::vector<std::string> words;
+  words.reserve(keyword_count());
+  ForEachKeyword([&words](std::string_view k) { words.emplace_back(k); });
+  std::sort(words.begin(), words.end());
+  return words;
+}
+
+std::shared_ptr<const text::VocabularyIndex>
+IndexSource::VocabularyIndexSnapshot(int max_edit_distance) const {
+  MutexLock lock(&vocab_snapshot_mu_);
+  auto it = vocab_snapshots_.find(max_edit_distance);
+  if (it != vocab_snapshots_.end()) return it->second;
+
+  std::vector<std::string> words;
+  words.reserve(keyword_count());
+  ForEachKeyword([&words](std::string_view k) { words.emplace_back(k); });
+  auto snapshot =
+      text::VocabularyIndex::Build(std::move(words), max_edit_distance);
+  vocab_snapshots_.emplace(max_edit_distance, snapshot);
+  return snapshot;
+}
+
+}  // namespace xrefine::index

@@ -13,12 +13,15 @@
 #ifndef XREFINE_INDEX_INDEX_SOURCE_H_
 #define XREFINE_INDEX_INDEX_SOURCE_H_
 
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 #include "index/posting.h"
 #include "index/statistics.h"
 #include "xml/node_type.h"
@@ -26,6 +29,10 @@
 namespace xrefine::xml {
 class Document;
 }  // namespace xrefine::xml
+
+namespace xrefine::text {
+class VocabularyIndex;
+}  // namespace xrefine::text
 
 namespace xrefine::index {
 
@@ -90,8 +97,29 @@ class IndexSource {
   /// Number of distinct keywords.
   virtual size_t keyword_count() const = 0;
 
-  /// Sorted corpus vocabulary (materialised per call; used by rule mining).
-  virtual std::vector<std::string> Vocabulary() const = 0;
+  /// Invokes `fn` once per distinct corpus keyword, in unspecified order.
+  /// The string_view is only valid for the duration of the call. This is
+  /// the zero-copy enumeration path: consumers that only stream the
+  /// vocabulary (snapshot builders, samplers) use it instead of
+  /// materialising a vector<string> per call through Vocabulary().
+  virtual void ForEachKeyword(
+      const std::function<void(std::string_view)>& fn) const = 0;
+
+  /// Sorted corpus vocabulary, materialised per call via ForEachKeyword.
+  /// Convenience for tests and one-shot consumers; hot paths should use
+  /// ForEachKeyword or VocabularyIndexSnapshot instead.
+  std::vector<std::string> Vocabulary() const;
+
+  /// A shared immutable snapshot of the vocabulary-derived rule-mining
+  /// structures (sorted words, stem index, segmenter, deletion-neighborhood
+  /// spelling index — see text/vocabulary_index.h). Built on first use per
+  /// `max_edit_distance` and cached, so N engines over one source share one
+  /// copy instead of each rebuilding it. The snapshot reflects the
+  /// vocabulary at first call: sources are immutable once serving starts
+  /// (the IndexedCorpus builder mutates only before any engine exists).
+  /// Thread-safe.
+  std::shared_ptr<const text::VocabularyIndex> VocabularyIndexSnapshot(
+      int max_edit_distance) const EXCLUDES(vocab_snapshot_mu_);
 
   virtual const StatisticsTable& stats() const = 0;
   virtual const xml::NodeTypeTable& types() const = 0;
@@ -100,6 +128,15 @@ class IndexSource {
   /// The source document, when this source still has one (results can then
   /// be rendered as subtree snippets); nullptr for persisted corpora.
   virtual const xml::Document* document() const { return nullptr; }
+
+ private:
+  // One snapshot per requested edit distance (in practice one or two
+  // distinct values process-wide). Built under the mutex: construction is
+  // a one-time engine-startup cost and serialising it prevents duplicate
+  // builds racing.
+  mutable Mutex vocab_snapshot_mu_;
+  mutable std::map<int, std::shared_ptr<const text::VocabularyIndex>>
+      vocab_snapshots_ GUARDED_BY(vocab_snapshot_mu_);
 };
 
 }  // namespace xrefine::index

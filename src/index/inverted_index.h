@@ -2,6 +2,7 @@
 #ifndef XREFINE_INDEX_INVERTED_INDEX_H_
 #define XREFINE_INDEX_INVERTED_INDEX_H_
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -34,6 +35,13 @@ class InvertedIndex {
   }
 
   size_t keyword_count() const { return lists_.size(); }
+
+  /// Invokes `fn` once per distinct keyword, in unspecified order — the
+  /// zero-copy enumeration path (consumers sort their own snapshot when
+  /// they need order).
+  void ForEachKeyword(const std::function<void(std::string_view)>& fn) const {
+    for (const auto& [word, unused_list] : lists_) fn(word);
+  }
 
   /// Sorted vocabulary (materialised on demand; used by rule mining).
   std::vector<std::string> Vocabulary() const;

@@ -16,6 +16,8 @@ struct CacheMetrics {
   metrics::Counter* hits;
   metrics::Counter* misses;
   metrics::Counter* prefetched;
+  metrics::Counter* admitted;
+  metrics::Counter* rejected;
   metrics::Gauge* bytes;
 };
 
@@ -25,6 +27,8 @@ const CacheMetrics& Metrics() {
     return CacheMetrics{r.counter("index.cache_hits"),
                         r.counter("index.cache_misses"),
                         r.counter("index.prefetch_lists"),
+                        r.counter("index.cache_admit"),
+                        r.counter("index.cache_reject"),
                         r.gauge("index.cache_bytes")};
   }();
   return m;
@@ -75,18 +79,24 @@ StatusOr<std::unique_ptr<StoreBackedIndexSource>> StoreBackedIndexSource::Open(
 
 StatusOr<PostingListHandle> StoreBackedIndexSource::FetchList(
     std::string_view keyword) const {
+  return FetchListImpl(keyword, /*record_access=*/true);
+}
+
+StatusOr<PostingListHandle> StoreBackedIndexSource::FetchListImpl(
+    std::string_view keyword, bool record_access) const {
   std::string key(keyword);
+  if (list_sizes_.find(key) == list_sizes_.end()) {
+    return PostingListHandle();  // absent keyword: OK, null handle
+  }
   {
     MutexLock lock(&mu_);
+    if (record_access) lfu_.RecordAccess(key);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       Metrics().hits->Increment();
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       return PostingListHandle(it->second.list);
     }
-  }
-  if (list_sizes_.find(key) == list_sizes_.end()) {
-    return PostingListHandle();  // absent keyword: OK, null handle
   }
   Metrics().misses->Increment();
 
@@ -106,6 +116,36 @@ StatusOr<PostingListHandle> StoreBackedIndexSource::FetchList(
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     return PostingListHandle(it->second.list);
   }
+
+  // TinyLFU admission: inserting under eviction pressure is only allowed
+  // when every victim that would have to go is strictly colder (lower
+  // sketch frequency) than the candidate. A rejected candidate is still
+  // served — it just isn't cached, so the one-pass cold scan it belongs to
+  // cannot displace the hot working set. Running out of victims (the
+  // candidate outweighs the whole cache) admits: the pre-admission code
+  // also never refused the newest entry.
+  if (options_.cache_admission && options_.cache_capacity_bytes != 0 &&
+      cache_bytes_ + bytes > options_.cache_capacity_bytes &&
+      !cache_.empty()) {
+    uint64_t candidate_freq = lfu_.Estimate(key);
+    size_t must_free = cache_bytes_ + bytes - options_.cache_capacity_bytes;
+    size_t freed = 0;
+    bool admit = true;
+    for (auto vit = lru_.rbegin(); vit != lru_.rend() && freed < must_free;
+         ++vit) {
+      if (lfu_.Estimate(*vit) >= candidate_freq) {
+        admit = false;
+        break;
+      }
+      freed += cache_.find(*vit)->second.bytes;
+    }
+    if (!admit) {
+      Metrics().rejected->Increment();
+      return PostingListHandle(std::move(list));
+    }
+    Metrics().admitted->Increment();
+  }
+
   lru_.push_front(key);
   CacheEntry entry;
   entry.list = list;
@@ -147,11 +187,14 @@ void StoreBackedIndexSource::Prefetch(
   // FetchList is internally synchronised and single-flights duplicate store
   // reads at the pager, so workers just pull keywords off a shared index.
   // Results land in the cache; the handles (and any errors) are dropped.
+  // record_access=false: the caller is about to FetchList the same keyword
+  // for real, and that fetch feeds the admission sketch — recording here
+  // too would double-count cold keywords relative to cache-hit ones.
   auto fetch_all = [this, &missing](std::atomic<size_t>& next) {
     while (true) {
       size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= missing.size()) break;
-      (void)FetchList(*missing[i]);
+      (void)FetchListImpl(*missing[i], /*record_access=*/false);
     }
   };
   std::atomic<size_t> next{0};
@@ -177,14 +220,9 @@ size_t StoreBackedIndexSource::ListSize(std::string_view keyword) const {
   return it == list_sizes_.end() ? 0 : it->second;
 }
 
-std::vector<std::string> StoreBackedIndexSource::Vocabulary() const {
-  std::vector<std::string> words;
-  words.reserve(list_sizes_.size());
-  for (const auto& [keyword, unused_size] : list_sizes_) {
-    words.push_back(keyword);
-  }
-  std::sort(words.begin(), words.end());
-  return words;
+void StoreBackedIndexSource::ForEachKeyword(
+    const std::function<void(std::string_view)>& fn) const {
+  for (const auto& [keyword, unused_size] : list_sizes_) fn(keyword);
 }
 
 }  // namespace xrefine::index

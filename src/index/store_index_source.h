@@ -3,13 +3,15 @@
 // serving model, where a keyword lookup is a Berkeley DB B-tree get
 // (Section VII). Opening a source loads only the small metadata (node
 // types, statistics, co-occurrence cache) plus a per-keyword size map;
-// posting lists are decoded lazily and kept in a bounded LRU cache, so the
+// posting lists are decoded lazily and kept in a bounded LRU cache with
+// TinyLFU admission (frequency-sketch-gated eviction, tinylfu.h), so the
 // resident set is the cache budget + the pager's buffer pool, independent
-// of corpus size.
+// of corpus size, and a one-pass cold scan cannot flush the hot set.
 #ifndef XREFINE_INDEX_STORE_INDEX_SOURCE_H_
 #define XREFINE_INDEX_STORE_INDEX_SOURCE_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <string>
@@ -22,6 +24,7 @@
 #include "index/cooccurrence.h"
 #include "index/index_source.h"
 #include "index/statistics.h"
+#include "index/tinylfu.h"
 #include "storage/kvstore.h"
 #include "xml/node_type.h"
 
@@ -33,6 +36,14 @@ struct StoreIndexSourceOptions {
   /// alive for as long as any handed-out PostingListHandle pins them.
   /// 0 = unbounded.
   size_t cache_capacity_bytes = 16u << 20;
+  /// TinyLFU admission: on eviction pressure a cold candidate only
+  /// displaces victims whose sketch frequency is strictly lower, so a
+  /// one-pass cold scan cannot flush the hot working set. Off = plain LRU
+  /// (every miss is admitted), the pre-admission behavior.
+  bool cache_admission = true;
+  /// Sketch sizing for the admission filter (ignored when admission is
+  /// off).
+  TinyLfuOptions admission;
 };
 
 /// Thread-safe for concurrent readers. Lock order: the source's cache latch
@@ -64,7 +75,8 @@ class StoreBackedIndexSource : public IndexSource {
   bool Contains(std::string_view keyword) const override;
   size_t ListSize(std::string_view keyword) const override;
   size_t keyword_count() const override { return list_sizes_.size(); }
-  std::vector<std::string> Vocabulary() const override;
+  void ForEachKeyword(
+      const std::function<void(std::string_view)>& fn) const override;
 
   const StatisticsTable& stats() const override { return stats_; }
   const xml::NodeTypeTable& types() const override { return types_; }
@@ -80,6 +92,12 @@ class StoreBackedIndexSource : public IndexSource {
     MutexLock lock(&mu_);
     return cache_bytes_;
   }
+  /// Whether `keyword`'s list is resident right now (tests assert the hot
+  /// working set survives a cold scan under admission).
+  bool IsCachedForTesting(std::string_view keyword) const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return cache_.find(std::string(keyword)) != cache_.end();
+  }
 
  private:
   struct CacheEntry {
@@ -90,7 +108,17 @@ class StoreBackedIndexSource : public IndexSource {
 
   explicit StoreBackedIndexSource(const storage::KVStore* store,
                                   StoreIndexSourceOptions options)
-      : store_(store), options_(options), cooccurrence_(this, &types_) {}
+      : store_(store),
+        options_(options),
+        cooccurrence_(this, &types_),
+        lfu_(options.admission) {}
+
+  /// The one fetch path; `record_access` separates real query fetches
+  /// (which feed the admission sketch) from advisory Prefetch warming
+  /// (which must not double-count a keyword the caller is about to fetch).
+  StatusOr<PostingListHandle> FetchListImpl(std::string_view keyword,
+                                            bool record_access) const
+      EXCLUDES(mu_);
 
   const storage::KVStore* store_;  // not owned
   StoreIndexSourceOptions options_;
@@ -108,6 +136,9 @@ class StoreBackedIndexSource : public IndexSource {
   mutable std::unordered_map<std::string, CacheEntry> cache_ GUARDED_BY(mu_);
   mutable std::list<std::string> lru_ GUARDED_BY(mu_);  // front = hottest
   mutable size_t cache_bytes_ GUARDED_BY(mu_) = 0;
+  // Admission sketch; advises eviction decisions under the same latch as
+  // the LRU it protects.
+  mutable TinyLfu lfu_ GUARDED_BY(mu_);
 };
 
 }  // namespace xrefine::index

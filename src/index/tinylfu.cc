@@ -1,0 +1,95 @@
+#include "index/tinylfu.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace xrefine::index {
+
+namespace {
+
+// splitmix64 finalizer: turns one base hash into kRows independent-enough
+// row hashes (and the doorkeeper hash) without rehashing the key bytes.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t BaseHash(std::string_view key) {
+  return std::hash<std::string_view>{}(key);
+}
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+TinyLfu::TinyLfu(TinyLfuOptions options) {
+  size_t counters = RoundUpPow2(std::max<size_t>(64, options.counters_per_row));
+  mask_ = counters - 1;
+  sample_period_ = options.sample_period != 0
+                       ? options.sample_period
+                       : static_cast<uint64_t>(counters) * 10;
+  words_per_row_ = counters / 16;  // 16 nibbles per uint64
+  sketch_.assign(static_cast<size_t>(kRows) * words_per_row_, 0);
+  doorkeeper_.assign(counters / 64, 0);
+}
+
+uint64_t TinyLfu::CounterAt(int row, uint64_t index) const {
+  uint64_t word =
+      sketch_[static_cast<size_t>(row) * words_per_row_ + (index >> 4)];
+  return (word >> ((index & 15) * 4)) & kNibbleMax;
+}
+
+void TinyLfu::BumpCounter(int row, uint64_t index) {
+  uint64_t& word =
+      sketch_[static_cast<size_t>(row) * words_per_row_ + (index >> 4)];
+  unsigned shift = static_cast<unsigned>((index & 15) * 4);
+  uint64_t current = (word >> shift) & kNibbleMax;
+  if (current < kNibbleMax) word += uint64_t{1} << shift;
+}
+
+void TinyLfu::RecordAccess(std::string_view key) {
+  uint64_t base = BaseHash(key);
+  uint64_t door = Mix(base) & mask_;
+  uint64_t bit = uint64_t{1} << (door & 63);
+  uint64_t& slot = doorkeeper_[door >> 6];
+  if ((slot & bit) == 0) {
+    slot |= bit;  // first sighting this window: one bit, sketch untouched
+  } else {
+    for (int row = 0; row < kRows; ++row) {
+      BumpCounter(row, Mix(base + static_cast<uint64_t>(row) + 1) & mask_);
+    }
+  }
+  if (++ops_ >= sample_period_) Age();
+}
+
+uint64_t TinyLfu::Estimate(std::string_view key) const {
+  uint64_t base = BaseHash(key);
+  uint64_t freq = kNibbleMax;
+  for (int row = 0; row < kRows; ++row) {
+    freq = std::min(freq,
+                    CounterAt(row, Mix(base + static_cast<uint64_t>(row) + 1) &
+                                       mask_));
+  }
+  uint64_t door = Mix(base) & mask_;
+  if ((doorkeeper_[door >> 6] >> (door & 63)) & 1) ++freq;
+  return freq;
+}
+
+void TinyLfu::Age() {
+  // Halve every 4-bit counter in place: shift the packed word right one
+  // and mask out the bit that crossed each nibble boundary.
+  for (uint64_t& word : sketch_) {
+    word = (word >> 1) & 0x7777777777777777ULL;
+  }
+  std::fill(doorkeeper_.begin(), doorkeeper_.end(), 0);
+  ops_ = 0;
+  ++ages_;
+}
+
+}  // namespace xrefine::index

@@ -1,0 +1,88 @@
+// TinyLFU frequency sketch for cache admission (Einziger, Friedman &
+// Manes, "TinyLFU: A Highly Efficient Cache Admission Policy", ACM TOS
+// 2017; the scheme behind Caffeine's W-TinyLFU).
+//
+// Three parts:
+//   * a 4-bit count-min sketch (4 hash rows, counters saturating at 15)
+//     recording approximate access frequency in bounded memory;
+//   * a doorkeeper bloom filter in front of it, so one-hit wonders — the
+//     bulk of a cold scan — cost one bit instead of four nibbles and never
+//     inflate the sketch;
+//   * periodic aging: after `sample_period` recorded accesses every
+//     counter is halved and the doorkeeper cleared, so frequency estimates
+//     track the recent window instead of all of history.
+//
+// Admission use: on eviction pressure, a cold candidate only displaces a
+// victim whose estimated frequency is strictly lower — a one-pass scan
+// cannot flush a working set it will never touch again.
+//
+// NOT internally synchronised: the owner serialises access (the posting-
+// list cache guards its TinyLfu with the same mutex as the LRU it advises).
+#ifndef XREFINE_INDEX_TINYLFU_H_
+#define XREFINE_INDEX_TINYLFU_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace xrefine::index {
+
+struct TinyLfuOptions {
+  /// Counters per sketch row, rounded up to a power of two. The doorkeeper
+  /// carries the same number of bits. Default 64K counters/row = 128 KiB
+  /// of sketch + 8 KiB of doorkeeper for the 4 rows — sized for caches of
+  /// up to a few tens of thousands of entries.
+  size_t counters_per_row = size_t{1} << 16;
+  /// Accesses between aging passes (counter halving + doorkeeper clear).
+  /// 0 picks the standard 10x the per-row counter count.
+  uint64_t sample_period = 0;
+};
+
+class TinyLfu {
+ public:
+  explicit TinyLfu(TinyLfuOptions options = {});
+
+  TinyLfu(const TinyLfu&) = delete;
+  TinyLfu& operator=(const TinyLfu&) = delete;
+
+  /// Records one access: first sighting since the last aging pass sets the
+  /// doorkeeper bit; repeat sightings bump the sketch. Triggers an aging
+  /// pass when the sample period elapses.
+  void RecordAccess(std::string_view key);
+
+  /// Estimated access frequency in the current sample window: the sketch's
+  /// min-row count plus the doorkeeper bit. Never under-counts a key's true
+  /// in-window frequency below min(true, 16); may over-count on collisions.
+  uint64_t Estimate(std::string_view key) const;
+
+  // --- introspection (tests) ---
+
+  /// Aging passes performed so far.
+  uint64_t age_count() const { return ages_; }
+  /// Accesses recorded since the last aging pass.
+  uint64_t accesses_since_age() const { return ops_; }
+  uint64_t sample_period() const { return sample_period_; }
+
+ private:
+  static constexpr int kRows = 4;
+  static constexpr uint64_t kNibbleMax = 15;
+
+  void Age();
+  uint64_t CounterAt(int row, uint64_t index) const;
+  void BumpCounter(int row, uint64_t index);
+
+  size_t mask_;            // counters_per_row - 1 (power of two)
+  uint64_t sample_period_;
+  uint64_t ops_ = 0;
+  uint64_t ages_ = 0;
+  // kRows rows of 4-bit counters, 16 per packed word.
+  std::vector<uint64_t> sketch_;
+  size_t words_per_row_;
+  // Doorkeeper bitset, counters_per_row bits.
+  std::vector<uint64_t> doorkeeper_;
+};
+
+}  // namespace xrefine::index
+
+#endif  // XREFINE_INDEX_TINYLFU_H_

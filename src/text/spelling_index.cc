@@ -1,0 +1,88 @@
+#include "text/spelling_index.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "text/edit_distance.h"
+
+namespace xrefine::text {
+
+void CollectDeletionNeighborhood(std::string_view s, int max_deletes,
+                                 std::vector<std::string>* out) {
+  size_t first = out->size();
+  out->emplace_back(s);
+  // Breadth-first over deletion depth: the variants at depth k+1 are the
+  // single-deletions of every variant at depth k. Duplicates ("aa" loses
+  // either 'a' to the same string) are removed once at the end.
+  size_t level_begin = first;
+  for (int depth = 0; depth < max_deletes; ++depth) {
+    size_t level_end = out->size();
+    for (size_t v = level_begin; v < level_end; ++v) {
+      if ((*out)[v].empty()) continue;
+      for (size_t i = 0; i < (*out)[v].size(); ++i) {
+        std::string shorter = (*out)[v];
+        shorter.erase(i, 1);
+        out->push_back(std::move(shorter));
+      }
+    }
+    level_begin = level_end;
+  }
+  std::sort(out->begin() + static_cast<ptrdiff_t>(first), out->end());
+  out->erase(std::unique(out->begin() + static_cast<ptrdiff_t>(first),
+                         out->end()),
+             out->end());
+}
+
+SpellingIndex::SpellingIndex(const std::vector<std::string>* words,
+                             int max_edit_distance)
+    : words_(words), max_edit_distance_(std::max(0, max_edit_distance)) {
+  std::vector<std::string> variants;
+  for (size_t id = 0; id < words_->size(); ++id) {
+    variants.clear();
+    CollectDeletionNeighborhood((*words_)[id], max_edit_distance_, &variants);
+    for (std::string& v : variants) {
+      buckets_[std::move(v)].push_back(static_cast<uint32_t>(id));
+    }
+  }
+}
+
+void SpellingIndex::Candidates(std::string_view term,
+                               std::vector<Match>* out) const {
+  std::vector<std::string> variants;
+  CollectDeletionNeighborhood(term, max_edit_distance_, &variants);
+
+  // Union of the probed buckets. Each bucket is sorted by construction, so
+  // sort + unique over the concatenation dedups words proposed by several
+  // shared variants.
+  std::vector<uint32_t> proposed;
+  for (const std::string& v : variants) {
+    auto it = buckets_.find(std::string_view(v));
+    if (it == buckets_.end()) continue;
+    proposed.insert(proposed.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(proposed.begin(), proposed.end());
+  proposed.erase(std::unique(proposed.begin(), proposed.end()),
+                 proposed.end());
+
+  for (uint32_t id : proposed) {
+    const std::string& word = (*words_)[id];
+    size_t lt = term.size();
+    size_t lw = word.size();
+    size_t diff = lt > lw ? lt - lw : lw - lt;
+    if (diff > static_cast<size_t>(max_edit_distance_)) continue;
+    int d = text::EditDistanceAtMost(term, word, max_edit_distance_);
+    if (d > max_edit_distance_) continue;
+    out->push_back(Match{id, d});
+  }
+}
+
+size_t SpellingIndex::approximate_bytes() const {
+  size_t bytes = buckets_.bucket_count() * sizeof(void*);
+  for (const auto& [variant, ids] : buckets_) {
+    bytes += sizeof(std::string) + variant.capacity() +
+             sizeof(std::vector<uint32_t>) + ids.capacity() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace xrefine::text

@@ -1,0 +1,30 @@
+#include "text/vocabulary_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "text/porter_stemmer.h"
+
+namespace xrefine::text {
+
+std::shared_ptr<const VocabularyIndex> VocabularyIndex::Build(
+    std::vector<std::string> words, int max_edit_distance) {
+  // shared_ptr<VocabularyIndex> first, const-ified on return: the ctor is
+  // private, so make_shared is unavailable.
+  std::shared_ptr<VocabularyIndex> index(new VocabularyIndex());
+  std::sort(words.begin(), words.end());
+  words.erase(std::unique(words.begin(), words.end()), words.end());
+  index->words_ = std::move(words);
+
+  for (size_t id = 0; id < index->words_.size(); ++id) {
+    index->stem_index_[PorterStem(index->words_[id])].push_back(
+        static_cast<uint32_t>(id));
+  }
+  index->segmenter_ = std::make_unique<Segmenter>(
+      Segmenter::Vocabulary(index->words_.begin(), index->words_.end()));
+  index->spelling_ =
+      std::make_unique<SpellingIndex>(&index->words_, max_edit_distance);
+  return index;
+}
+
+}  // namespace xrefine::text

@@ -1,6 +1,7 @@
 #include "workload/corruption.h"
 
 #include <algorithm>
+#include <string_view>
 
 #include "text/porter_stemmer.h"
 
@@ -28,7 +29,15 @@ std::string CorruptionKindName(CorruptionKind kind) {
 
 Corruptor::Corruptor(const index::InvertedIndex* index,
                      const text::Lexicon* lexicon)
-    : index_(index), lexicon_(lexicon) {}
+    : index_(index), lexicon_(lexicon) {
+  // One sorted snapshot for the corruptor's lifetime: ApplyOverRestrict
+  // samples it on every call and used to materialise (and sort) a fresh
+  // vocabulary copy each time.
+  vocab_.reserve(index_->keyword_count());
+  index_->ForEachKeyword(
+      [this](std::string_view k) { vocab_.emplace_back(k); });
+  std::sort(vocab_.begin(), vocab_.end());
+}
 
 bool Corruptor::Corrupt(const core::Query& intended, CorruptionKind kind,
                         Random* rng, CorruptedQuery* out) const {
@@ -264,13 +273,12 @@ bool Corruptor::ApplyStemVariant(CorruptedQuery* cq, Random* rng) const {
 bool Corruptor::ApplyOverRestrict(CorruptedQuery* cq, Random* rng) const {
   // Append a rare corpus term: the conjunction is very unlikely to have a
   // meaningful match, so deletion is the expected fix (Table III).
-  std::vector<std::string> vocab = index_->Vocabulary();
-  if (vocab.empty()) return false;
+  if (vocab_.empty()) return false;
   std::string pick;
   size_t best_freq = SIZE_MAX;
   for (int attempt = 0; attempt < 16; ++attempt) {
-    const std::string& candidate = vocab[static_cast<size_t>(
-        rng->Uniform(0, static_cast<int64_t>(vocab.size()) - 1))];
+    const std::string& candidate = vocab_[static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(vocab_.size()) - 1))];
     if (std::find(cq->corrupted.begin(), cq->corrupted.end(), candidate) !=
         cq->corrupted.end()) {
       continue;

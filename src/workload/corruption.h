@@ -39,6 +39,8 @@ struct CorruptedQuery {
 class Corruptor {
  public:
   /// `index` (corpus vocabulary) and `lexicon` must outlive the corruptor.
+  /// Takes one sorted vocabulary snapshot up front; the index must not
+  /// grow new keywords while the corruptor is in use.
   Corruptor(const index::InvertedIndex* index, const text::Lexicon* lexicon);
 
   /// Applies `kind` to `intended`; returns false when the query offers no
@@ -61,6 +63,9 @@ class Corruptor {
 
   const index::InvertedIndex* index_;
   const text::Lexicon* lexicon_;
+  // Sorted vocabulary snapshot, taken once at construction (sampling pool
+  // for over-restriction).
+  std::vector<std::string> vocab_;
 };
 
 }  // namespace xrefine::workload

@@ -125,6 +125,36 @@ TEST_F(RuleGeneratorTest, SpellingCandidatesAreBounded) {
   EXPECT_LE(spelling, 1u);
 }
 
+// The deletion-neighborhood index is an acceleration, not a semantic
+// change: both spelling paths must emit byte-identical RuleSets, across
+// edit-distance budgets and candidate caps.
+TEST_F(RuleGeneratorTest, IndexedSpellingMatchesLinearScanByteForByte) {
+  const std::vector<Query> queries = {
+      {"databse", "xml"},           {"machne", "learnig"},
+      {"skylin", "computaton"},     {"wolrd", "wide", "web"},
+      {"twig", "pattrn", "matchng"}, {"onlin", "databas", "serch"}};
+  for (int max_d : {1, 2}) {
+    for (size_t cap : {size_t{1}, size_t{4}}) {
+      RuleGeneratorOptions indexed_options;
+      indexed_options.max_edit_distance = max_d;
+      indexed_options.max_spelling_candidates = cap;
+      RuleGeneratorOptions linear_options = indexed_options;
+      linear_options.use_spelling_index = false;
+      RuleGenerator indexed(corpus_.index.get(), &lexicon_, indexed_options);
+      RuleGenerator linear(corpus_.index.get(), &lexicon_, linear_options);
+      for (const Query& q : queries) {
+        RuleSet from_index = indexed.GenerateFor(q);
+        RuleSet from_scan = linear.GenerateFor(q);
+        ASSERT_EQ(from_index.rules().size(), from_scan.rules().size());
+        for (size_t i = 0; i < from_index.rules().size(); ++i) {
+          EXPECT_EQ(from_index.rules()[i].DebugString(),
+                    from_scan.rules()[i].DebugString());
+        }
+      }
+    }
+  }
+}
+
 TEST(RuleSetTest, IndexesRulesByLastLhsKeyword) {
   RuleSet rules;
   rules.Add(RefinementRule{

@@ -1,0 +1,226 @@
+// Tests for the SymSpell-style deletion-neighborhood spelling index and
+// the shared VocabularyIndex snapshot. The load-bearing test is the
+// randomized equivalence property: over generated vocabularies, the
+// indexed probe must return exactly the candidates of the banded linear
+// scan it replaces — same words, same distances, same ordering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "tests/test_helpers.h"
+#include "text/edit_distance.h"
+#include "text/porter_stemmer.h"
+#include "text/spelling_index.h"
+#include "text/vocabulary_index.h"
+
+namespace xrefine::text {
+namespace {
+
+// --- deletion-neighborhood generator ----------------------------------------
+
+TEST(DeletionNeighborhoodTest, ContainsSourceAndSingleDeletes) {
+  std::vector<std::string> out;
+  CollectDeletionNeighborhood("abc", 1, &out);
+  EXPECT_EQ(out, (std::vector<std::string>{"ab", "abc", "ac", "bc"}));
+}
+
+TEST(DeletionNeighborhoodTest, DedupsRepeatedCharacters) {
+  // "aa" loses either 'a' to the same string; depth 2 reaches "".
+  std::vector<std::string> out;
+  CollectDeletionNeighborhood("aa", 2, &out);
+  EXPECT_EQ(out, (std::vector<std::string>{"", "a", "aa"}));
+}
+
+TEST(DeletionNeighborhoodTest, ZeroDeletesIsJustTheWord) {
+  std::vector<std::string> out;
+  CollectDeletionNeighborhood("word", 0, &out);
+  EXPECT_EQ(out, (std::vector<std::string>{"word"}));
+}
+
+TEST(DeletionNeighborhoodTest, AppendsAfterExistingContent) {
+  std::vector<std::string> out = {"sentinel"};
+  CollectDeletionNeighborhood("ab", 1, &out);
+  EXPECT_EQ(out, (std::vector<std::string>{"sentinel", "a", "ab", "b"}));
+}
+
+// --- spelling index ---------------------------------------------------------
+
+// The original banded scan over the whole vocabulary: the reference the
+// index must reproduce exactly.
+std::vector<SpellingIndex::Match> LinearCandidates(
+    const std::vector<std::string>& words, std::string_view term, int max_d) {
+  std::vector<SpellingIndex::Match> out;
+  for (size_t id = 0; id < words.size(); ++id) {
+    int d = EditDistanceAtMost(term, words[id], max_d);
+    if (d <= max_d) {
+      out.push_back(SpellingIndex::Match{static_cast<uint32_t>(id), d});
+    }
+  }
+  return out;
+}
+
+void ExpectSameMatches(const std::vector<SpellingIndex::Match>& indexed,
+                       const std::vector<SpellingIndex::Match>& linear,
+                       std::string_view term) {
+  ASSERT_EQ(indexed.size(), linear.size()) << "term: " << term;
+  for (size_t i = 0; i < indexed.size(); ++i) {
+    EXPECT_EQ(indexed[i].word_id, linear[i].word_id) << "term: " << term;
+    EXPECT_EQ(indexed[i].distance, linear[i].distance) << "term: " << term;
+  }
+}
+
+TEST(SpellingIndexTest, FindsExactAndNearMatches) {
+  std::vector<std::string> words = {"data", "database", "date"};
+  SpellingIndex index(&words, 2);
+
+  std::vector<SpellingIndex::Match> matches;
+  index.Candidates("databse", &matches);  // classic transposition-ish typo
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].word_id, 1u);  // "database"
+  EXPECT_EQ(matches[0].distance, 1);
+
+  matches.clear();
+  index.Candidates("date", &matches);  // exact word + neighbors
+  ExpectSameMatches(matches, LinearCandidates(words, "date", 2), "date");
+  bool has_exact = false;
+  for (const auto& m : matches) {
+    if (m.word_id == 2u) {
+      has_exact = true;
+      EXPECT_EQ(m.distance, 0);
+    }
+  }
+  EXPECT_TRUE(has_exact);
+}
+
+TEST(SpellingIndexTest, EmptyProbeMatchesShortWords) {
+  std::vector<std::string> words = {"a", "ab", "b"};
+  SpellingIndex index(&words, 1);
+  std::vector<SpellingIndex::Match> matches;
+  index.Candidates("", &matches);
+  ExpectSameMatches(matches, LinearCandidates(words, "", 1), "<empty>");
+  ASSERT_EQ(matches.size(), 2u);  // "a" and "b" at distance 1; "ab" is 2 away
+}
+
+TEST(SpellingIndexTest, NoFalseNegativesFromLongProbes) {
+  // A probe longer than any word by exactly max_d must still reach it:
+  // insertions on the word side are deletions on the probe side.
+  std::vector<std::string> words = {"cat"};
+  SpellingIndex index(&words, 2);
+  std::vector<SpellingIndex::Match> matches;
+  index.Candidates("catxy", &matches);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].distance, 2);
+}
+
+// Randomized equivalence: small alphabet + short words maximise accidental
+// neighborhood collisions, the regime where an over- or under-eager probe
+// would diverge from the scan.
+TEST(SpellingIndexTest, RandomizedEquivalenceWithLinearScan) {
+  for (uint64_t seed : {1u, 7u, 42u}) {
+    Random rng(seed);
+    std::set<std::string> pool;
+    while (pool.size() < 60) {
+      auto len = static_cast<size_t>(rng.Uniform(1, 8));
+      std::string w;
+      for (size_t i = 0; i < len; ++i) {
+        w.push_back(static_cast<char>('a' + rng.Uniform(0, 2)));
+      }
+      pool.insert(w);
+    }
+    std::vector<std::string> words(pool.begin(), pool.end());  // sorted
+
+    for (int max_d : {1, 2}) {
+      SpellingIndex index(&words, max_d);
+      std::vector<std::string> probes;
+      // Mutations of corpus words: the realistic typo case.
+      for (const std::string& w : words) {
+        std::string typo = w;
+        int edits = static_cast<int>(rng.Uniform(1, 2));
+        for (int e = 0; e < edits; ++e) {
+          auto pos = static_cast<size_t>(
+              rng.Uniform(0, static_cast<int64_t>(typo.size())));
+          switch (rng.Uniform(0, 2)) {
+            case 0:  // substitute
+              if (!typo.empty()) {
+                typo[pos % typo.size()] =
+                    static_cast<char>('a' + rng.Uniform(0, 3));
+              }
+              break;
+            case 1:  // insert
+              typo.insert(typo.begin() + static_cast<std::ptrdiff_t>(pos),
+                          static_cast<char>('a' + rng.Uniform(0, 3)));
+              break;
+            default:  // delete
+              if (!typo.empty()) typo.erase(pos % typo.size(), 1);
+              break;
+          }
+        }
+        probes.push_back(typo);
+      }
+      // Arbitrary strings, including ones far from every word.
+      for (int i = 0; i < 40; ++i) {
+        auto len = static_cast<size_t>(rng.Uniform(0, 10));
+        std::string p;
+        for (size_t j = 0; j < len; ++j) {
+          p.push_back(static_cast<char>('a' + rng.Uniform(0, 4)));
+        }
+        probes.push_back(p);
+      }
+
+      for (const std::string& probe : probes) {
+        std::vector<SpellingIndex::Match> indexed;
+        index.Candidates(probe, &indexed);
+        ExpectSameMatches(indexed, LinearCandidates(words, probe, max_d),
+                          probe);
+      }
+    }
+  }
+}
+
+TEST(SpellingIndexTest, SizingIntrospectionIsPopulated) {
+  std::vector<std::string> words = {"alpha", "beta", "gamma"};
+  SpellingIndex index(&words, 2);
+  EXPECT_GT(index.entry_count(), words.size());  // variants outnumber words
+  EXPECT_GT(index.approximate_bytes(), 0u);
+  EXPECT_EQ(index.max_edit_distance(), 2);
+}
+
+// --- vocabulary index -------------------------------------------------------
+
+TEST(VocabularyIndexTest, BuildSortsAndDedups) {
+  auto vocab = VocabularyIndex::Build({"banana", "apple", "apple", "cherry"},
+                                      /*max_edit_distance=*/1);
+  EXPECT_EQ(vocab->words(),
+            (std::vector<std::string>{"apple", "banana", "cherry"}));
+}
+
+TEST(VocabularyIndexTest, StemVariantsGroupMorphology) {
+  auto vocab = VocabularyIndex::Build({"match", "matched", "matching", "xml"},
+                                      /*max_edit_distance=*/1);
+  const std::vector<uint32_t>* variants =
+      vocab->StemVariants(PorterStem("matches"));
+  ASSERT_NE(variants, nullptr);
+  std::vector<std::string> got;
+  for (uint32_t id : *variants) got.push_back(vocab->words()[id]);
+  EXPECT_EQ(got, (std::vector<std::string>{"match", "matched", "matching"}));
+  EXPECT_EQ(vocab->StemVariants("nosuchstem"), nullptr);
+}
+
+TEST(VocabularyIndexTest, SnapshotSharedAcrossCallersPerDistance) {
+  auto corpus = testutil::MakeFigure1Corpus();
+  auto a = corpus.index->VocabularyIndexSnapshot(2);
+  auto b = corpus.index->VocabularyIndexSnapshot(2);
+  EXPECT_EQ(a.get(), b.get());  // N engines, one build
+  auto c = corpus.index->VocabularyIndexSnapshot(1);
+  EXPECT_NE(a.get(), c.get());  // distance is part of the key
+  EXPECT_EQ(a->spelling().max_edit_distance(), 2);
+  EXPECT_EQ(c->spelling().max_edit_distance(), 1);
+}
+
+}  // namespace
+}  // namespace xrefine::text

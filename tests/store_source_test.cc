@@ -305,5 +305,122 @@ TEST(StoreSourceTest, ConcurrentFetchesAreCoherent) {
   std::remove(path.c_str());
 }
 
+// --- TinyLFU admission ------------------------------------------------------
+
+// A corpus of many one-posting keywords with identical list shapes, so
+// every cached list costs the same resident bytes and the cache arithmetic
+// below is exact.
+std::string UniformCorpusXml(int n) {
+  std::string xml = "<bib>";
+  for (int i = 0; i < n; ++i) {
+    char word[8];
+    std::snprintf(word, sizeof word, "w%03d", i);
+    xml += std::string("<item>") + word + "</item>";
+  }
+  xml += "</bib>";
+  return xml;
+}
+
+// One list's resident cost, measured on a throwaway default source.
+size_t MeasureListBytes(const storage::KVStore* store) {
+  auto probe_or = StoreBackedIndexSource::Open(store);
+  EXPECT_TRUE(probe_or.ok());
+  EXPECT_TRUE(probe_or.value()->FetchList("w000").ok());
+  return probe_or.value()->cached_bytes();
+}
+
+// The headline admission property: a one-pass cold scan cannot flush the
+// hot working set, because each cold candidate (sketch frequency 1) loses
+// the admission duel against the hot victims it would displace. The same
+// trace under plain LRU flushes every hot list.
+TEST(StoreSourceTest, AdmissionKeepsHotSetThroughColdScan) {
+  auto corpus = MakeCorpus(UniformCorpusXml(160));
+  auto store = SavedStore(*corpus.index);
+  size_t list_bytes = MeasureListBytes(store.get());
+  ASSERT_GT(list_bytes, 0u);
+
+  const std::vector<std::string> hot = {"w000", "w001", "w002", "w003"};
+  StoreIndexSourceOptions options;
+  options.cache_capacity_bytes = hot.size() * list_bytes;
+
+  auto& rejected = *metrics::Registry::Global().counter("index.cache_reject");
+
+  auto run_trace = [&](StoreBackedIndexSource& source) {
+    for (int round = 0; round < 5; ++round) {
+      for (const std::string& kw : hot) {
+        ASSERT_TRUE(source.FetchList(kw).ok());
+      }
+    }
+    for (int i = 10; i < 160; ++i) {
+      char word[8];
+      std::snprintf(word, sizeof word, "w%03d", i);
+      auto handle_or = source.FetchList(word);
+      ASSERT_TRUE(handle_or.ok());
+      // Rejected or not, the caller is always served the real list.
+      ASSERT_TRUE(handle_or.value());
+      EXPECT_EQ(*handle_or.value(), *corpus.index->index().Find(word));
+    }
+  };
+
+  {
+    auto source_or = StoreBackedIndexSource::Open(store.get(), options);
+    ASSERT_TRUE(source_or.ok());
+    uint64_t rejected_before = rejected.value();
+    run_trace(*source_or.value());
+    for (const std::string& kw : hot) {
+      EXPECT_TRUE(source_or.value()->IsCachedForTesting(kw)) << kw;
+    }
+    EXPECT_GT(rejected.value(), rejected_before);
+  }
+
+  {
+    options.cache_admission = false;  // pre-admission behavior: plain LRU
+    auto source_or = StoreBackedIndexSource::Open(store.get(), options);
+    ASSERT_TRUE(source_or.ok());
+    run_trace(*source_or.value());
+    for (const std::string& kw : hot) {
+      EXPECT_FALSE(source_or.value()->IsCachedForTesting(kw)) << kw;
+    }
+  }
+}
+
+// Admission is frequency-based, not a lockout: a key demanded often enough
+// overtakes the residents' sketch counts and wins a slot from the coldest
+// of them.
+TEST(StoreSourceTest, RepeatedRequestsEventuallyAdmitOverColderVictims) {
+  auto corpus = MakeCorpus(UniformCorpusXml(20));
+  auto store = SavedStore(*corpus.index);
+  size_t list_bytes = MeasureListBytes(store.get());
+  ASSERT_GT(list_bytes, 0u);
+
+  const std::vector<std::string> hot = {"w000", "w001", "w002", "w003"};
+  StoreIndexSourceOptions options;
+  options.cache_capacity_bytes = hot.size() * list_bytes;
+  auto source_or = StoreBackedIndexSource::Open(store.get(), options);
+  ASSERT_TRUE(source_or.ok());
+  auto& source = *source_or.value();
+
+  for (int round = 0; round < 3; ++round) {
+    for (const std::string& kw : hot) ASSERT_TRUE(source.FetchList(kw).ok());
+  }
+
+  auto& admitted = *metrics::Registry::Global().counter("index.cache_admit");
+  uint64_t admitted_before = admitted.value();
+  bool cached = false;
+  int fetches = 0;
+  while (!cached && fetches < 10) {
+    ASSERT_TRUE(source.FetchList("w010").ok());
+    ++fetches;
+    cached = source.IsCachedForTesting("w010");
+  }
+  EXPECT_TRUE(cached);
+  // Its frequency had to climb past the residents' first: admission was
+  // earned on a later request, not granted on the first miss.
+  EXPECT_GT(fetches, 1);
+  EXPECT_GT(admitted.value(), admitted_before);
+  // Only the coldest resident was displaced for it.
+  EXPECT_TRUE(source.IsCachedForTesting("w003"));
+}
+
 }  // namespace
 }  // namespace xrefine::index

@@ -1,0 +1,94 @@
+// Tests for the TinyLFU admission sketch: doorkeeper behavior, counter
+// saturation, frequency ordering, and the aging pass (counter halving +
+// doorkeeper clear).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "index/tinylfu.h"
+
+namespace xrefine::index {
+namespace {
+
+TEST(TinyLfuTest, UnseenKeyEstimatesZero) {
+  TinyLfu lfu;
+  EXPECT_EQ(lfu.Estimate("never-seen"), 0u);
+}
+
+TEST(TinyLfuTest, DoorkeeperAbsorbsFirstAccess) {
+  TinyLfu lfu;
+  lfu.RecordAccess("key");
+  // First sighting sets only the doorkeeper bit...
+  EXPECT_EQ(lfu.Estimate("key"), 1u);
+  // ...and repeat sightings feed the sketch on top of it.
+  lfu.RecordAccess("key");
+  EXPECT_EQ(lfu.Estimate("key"), 2u);
+  lfu.RecordAccess("key");
+  EXPECT_EQ(lfu.Estimate("key"), 3u);
+}
+
+TEST(TinyLfuTest, HotterKeysEstimateHigher) {
+  TinyLfu lfu;
+  for (int i = 0; i < 12; ++i) lfu.RecordAccess("hot");
+  lfu.RecordAccess("cold");
+  EXPECT_GT(lfu.Estimate("hot"), lfu.Estimate("cold"));
+  EXPECT_EQ(lfu.Estimate("cold"), 1u);
+}
+
+TEST(TinyLfuTest, CountersSaturate) {
+  TinyLfu lfu;
+  for (int i = 0; i < 100; ++i) lfu.RecordAccess("pegged");
+  // 4-bit counters cap at 15; the doorkeeper bit adds one on top.
+  EXPECT_EQ(lfu.Estimate("pegged"), 16u);
+}
+
+TEST(TinyLfuTest, SamplePeriodDefaultsToTenXCounters) {
+  TinyLfuOptions options;
+  options.counters_per_row = 64;
+  TinyLfu lfu(options);
+  EXPECT_EQ(lfu.sample_period(), 640u);
+}
+
+TEST(TinyLfuTest, AgingHalvesCountersAndClearsDoorkeeper) {
+  TinyLfuOptions options;
+  options.sample_period = 10;
+  TinyLfu lfu(options);
+
+  for (int i = 0; i < 9; ++i) lfu.RecordAccess("hot");
+  ASSERT_EQ(lfu.Estimate("hot"), 9u);  // doorkeeper 1 + sketch 8
+  ASSERT_EQ(lfu.age_count(), 0u);
+  ASSERT_EQ(lfu.accesses_since_age(), 9u);
+
+  lfu.RecordAccess("one-hit");  // 10th access triggers the aging pass
+
+  EXPECT_EQ(lfu.age_count(), 1u);
+  EXPECT_EQ(lfu.accesses_since_age(), 0u);
+  // The hot key's sketch counters halved (8 -> 4) and its doorkeeper bit
+  // cleared: recent history is discounted, not erased.
+  EXPECT_EQ(lfu.Estimate("hot"), 4u);
+  // The one-hit wonder existed only in the doorkeeper; aging forgets it
+  // entirely.
+  EXPECT_EQ(lfu.Estimate("one-hit"), 0u);
+}
+
+TEST(TinyLfuTest, RepeatedAgingDecaysToZero) {
+  TinyLfuOptions options;
+  options.sample_period = 8;
+  TinyLfu lfu(options);
+  for (int i = 0; i < 7; ++i) lfu.RecordAccess("fading");
+  uint64_t previous = lfu.Estimate("fading");
+  // Drive aging passes with traffic on other keys; the fading key's
+  // estimate must be monotonically non-increasing and hit zero.
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      lfu.RecordAccess("noise-" + std::to_string(round));
+    }
+    uint64_t now = lfu.Estimate("fading");
+    EXPECT_LE(now, previous);
+    previous = now;
+  }
+  EXPECT_EQ(lfu.Estimate("fading"), 0u);
+}
+
+}  // namespace
+}  // namespace xrefine::index

@@ -66,6 +66,15 @@ echo "=== [tsan] bench_pager_stress ==="
 (cd "$MATRIX_DIR/tsan" && ./bench/bench_pager_stress >/dev/null)
 echo "=== [tsan] pager stress OK ==="
 
+# Prepare-path smoke under TSan: rule generation over the shared
+# VocabularyIndex snapshot (built once, read concurrently by engines) and
+# the TinyLFU-advised posting-list cache, whose sketch shares the cache
+# latch. --quick keeps the vocabularies small; the point is the locking,
+# not the timings.
+echo "=== [tsan] bench_rule_generation smoke ==="
+(cd "$MATRIX_DIR/tsan" && ./bench/bench_rule_generation --quick >/dev/null)
+echo "=== [tsan] rule-generation smoke OK ==="
+
 if command -v clang++ >/dev/null 2>&1; then
   run_config thread-safety \
       -DCMAKE_CXX_COMPILER=clang++ -DXREFINE_THREAD_SAFETY=ON
