@@ -13,12 +13,12 @@ namespace {
 
 // First index in [from, list.size) whose dewey is >= bound.
 size_t LowerBoundFrom(const slca::PostingSpan& list, size_t from,
-                      const xml::Dewey& bound) {
+                      const xml::DeweyRef& bound) {
   size_t lo = from;
   size_t hi = list.size;
   while (lo < hi) {
     size_t mid = (lo + hi) / 2;
-    if (list[mid].dewey < bound) {
+    if (list.label(mid) < bound) {
       lo = mid + 1;
     } else {
       hi = mid;
@@ -56,18 +56,15 @@ RefineOutcome PartitionRefine(const index::IndexSource& corpus,
     for (size_t i = 0; i < m; ++i) {
       if (cursors[i] >= input.lists[i].size) continue;
       if (smallest < 0 ||
-          input.lists[i][cursors[i]].dewey <
-              input.lists[static_cast<size_t>(smallest)]
-                         [cursors[static_cast<size_t>(smallest)]]
-                             .dewey) {
+          input.lists[i].label(cursors[i]) <
+              input.lists[static_cast<size_t>(smallest)].label(
+                  cursors[static_cast<size_t>(smallest)])) {
         smallest = static_cast<int>(i);
       }
     }
     if (smallest < 0) break;
-    const xml::Dewey& v =
-        input.lists[static_cast<size_t>(smallest)]
-                   [cursors[static_cast<size_t>(smallest)]]
-                       .dewey;
+    const xml::DeweyRef v = input.lists[static_cast<size_t>(smallest)].label(
+        cursors[static_cast<size_t>(smallest)]);
 
     // Document partition of v (Definition 6.1): the subtree under the
     // root's child, i.e. the depth-2 prefix (the root label itself when v
@@ -84,10 +81,9 @@ RefineOutcome PartitionRefine(const index::IndexSource& corpus,
       size_t begin = cursors[i];
       // Skip any postings before the partition (possible when this list
       // had nothing in earlier partitions).
-      begin = LowerBoundFrom(input.lists[i], begin, prefix);
-      size_t end = LowerBoundFrom(input.lists[i], begin, upper);
-      partition_spans[i] =
-          slca::PostingSpan(input.lists[i].begin() + begin, end - begin);
+      begin = LowerBoundFrom(input.lists[i], begin, xml::DeweyRef(prefix));
+      size_t end = LowerBoundFrom(input.lists[i], begin, xml::DeweyRef(upper));
+      partition_spans[i] = input.lists[i].Sub(begin, end - begin);
       cursors[i] = end;
       if (!partition_spans[i].empty()) witnessed.insert(input.keywords[i]);
     }
@@ -121,13 +117,12 @@ RefineOutcome PartitionRefine(const index::IndexSource& corpus,
       rq_spans.reserve(rq.keywords.size());
       bool all_present = true;
       for (const std::string& k : rq.keywords) {
-        auto it = std::find(input.keywords.begin(), input.keywords.end(), k);
-        if (it == input.keywords.end()) {
+        auto it = input.keyword_index.find(k);
+        if (it == input.keyword_index.end()) {
           all_present = false;
           break;
         }
-        rq_spans.push_back(
-            partition_spans[static_cast<size_t>(it - input.keywords.begin())]);
+        rq_spans.push_back(partition_spans[it->second]);
       }
       if (!all_present) continue;
       ++stats.slca_calls;

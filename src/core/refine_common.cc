@@ -38,6 +38,7 @@ RefineInput PrepareRefineInput(const index::IndexSource& corpus,
     }
     index::PostingListHandle handle = std::move(handle_or).value();
     if (!handle) continue;  // absent keyword: RQ ⊆ T by Lemma 2
+    input.keyword_index.emplace(k, input.keywords.size());
     input.keywords.push_back(k);
     input.lists.emplace_back(*handle);
     input.pins.push_back(std::move(handle));

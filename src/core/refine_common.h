@@ -5,6 +5,7 @@
 #define XREFINE_CORE_REFINE_COMMON_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/metrics.h"
@@ -28,8 +29,21 @@ struct RefineInput {
   std::vector<slca::PostingSpan> lists;  // parallel to `keywords`
   /// Pins backing `lists`: each span views a list owned (or aliased) by the
   /// handle at the same position, so store-backed cache eviction cannot
-  /// invalidate a span mid-query.
+  /// invalidate a span mid-query. Together with `lists` this is the
+  /// per-query decoded-list arena: every list is fetched, decoded, and
+  /// pinned exactly once in PrepareRefineInput, and the thousands of
+  /// candidate-RQ SLCA calls below only re-slice these spans.
   std::vector<index::PostingListHandle> pins;
+
+  /// keyword -> position in `keywords`/`lists`, so assembling a candidate
+  /// RQ's span set is O(1) per keyword instead of a linear scan of KS.
+  std::unordered_map<std::string, size_t> keyword_index;
+
+  /// Arena lookup: the span for `k`, or nullptr when `k` has no list.
+  const slca::PostingSpan* SpanFor(const std::string& k) const {
+    auto it = keyword_index.find(k);
+    return it == keyword_index.end() ? nullptr : &lists[it->second];
+  }
 
   /// Witnessed keyword universe (== `keywords` as a set).
   KeywordSet universe;

@@ -9,15 +9,24 @@ namespace {
 
 // Number of postings of `list` whose label lies in result's subtree, i.e.
 // has `prefix` as ancestor-or-self.
-size_t CountUnderPrefix(const index::PostingList& list,
+size_t CountUnderPrefix(const index::FlatPostingList& list,
                         const xml::Dewey& prefix) {
   // Lower bound: first posting >= prefix.
-  auto lower = std::lower_bound(
-      list.begin(), list.end(), prefix,
-      [](const index::Posting& p, const xml::Dewey& d) { return p.dewey < d; });
+  const xml::DeweyRef target(prefix);
+  size_t lo = 0;
+  size_t hi = list.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (list.label(mid) < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
   size_t count = 0;
-  for (auto it = lower; it != list.end(); ++it) {
-    if (!prefix.IsAncestorOrSelf(it->dewey)) break;
+  for (size_t i = lo; i < list.size(); ++i) {
+    xml::DeweyRef label = list.label(i);
+    if (xml::CommonPrefixDepth(target, label) < prefix.depth()) break;
     ++count;
   }
   return count;

@@ -11,12 +11,12 @@ namespace xrefine::core {
 namespace {
 
 size_t LowerBoundFrom(const slca::PostingSpan& list, size_t from,
-                      const xml::Dewey& bound) {
+                      const xml::DeweyRef& bound) {
   size_t lo = from;
   size_t hi = list.size;
   while (lo < hi) {
     size_t mid = (lo + hi) / 2;
-    if (list[mid].dewey < bound) {
+    if (list.label(mid) < bound) {
       lo = mid + 1;
     } else {
       hi = mid;
@@ -82,10 +82,10 @@ RefineOutcome ShortListEagerRefine(const index::IndexSource& corpus,
     const slca::PostingSpan& short_list = input.lists[i];
     size_t pos = 0;
     while (pos < short_list.size) {
-      const xml::Dewey& v = short_list[pos].dewey;
+      const xml::DeweyRef v = short_list.label(pos);
       xml::Dewey prefix = v.Prefix(std::min<size_t>(2, v.depth()));
       xml::Dewey upper = PartitionUpperBound(prefix);
-      pos = LowerBoundFrom(short_list, pos, upper);
+      pos = LowerBoundFrom(short_list, pos, xml::DeweyRef(upper));
 
       std::string pid = prefix.ToString();
       if (!processed_partitions.insert(pid).second) continue;
@@ -95,8 +95,9 @@ RefineOutcome ShortListEagerRefine(const index::IndexSource& corpus,
       KeywordSet witnessed;
       for (size_t j = 0; j < m; ++j) {
         ++stats.random_accesses;
-        size_t begin = LowerBoundFrom(input.lists[j], 0, prefix);
-        size_t end = LowerBoundFrom(input.lists[j], begin, upper);
+        size_t begin = LowerBoundFrom(input.lists[j], 0, xml::DeweyRef(prefix));
+        size_t end =
+            LowerBoundFrom(input.lists[j], begin, xml::DeweyRef(upper));
         if (end > begin) witnessed.insert(input.keywords[j]);
       }
       if (witnessed.empty()) continue;
@@ -122,13 +123,12 @@ RefineOutcome ShortListEagerRefine(const index::IndexSource& corpus,
     spans.reserve(entry.rq.keywords.size());
     bool ok = true;
     for (const std::string& k : entry.rq.keywords) {
-      auto it = std::find(input.keywords.begin(), input.keywords.end(), k);
-      if (it == input.keywords.end()) {
+      const slca::PostingSpan* span = input.SpanFor(k);
+      if (span == nullptr) {
         ok = false;
         break;
       }
-      spans.push_back(
-          input.lists[static_cast<size_t>(it - input.keywords.begin())]);
+      spans.push_back(*span);
     }
     if (!ok) continue;
     ++stats.slca_calls;

@@ -83,6 +83,7 @@ RefineInput XRefine::Prepare(const Query& q) const {
       }
       index::PostingListHandle handle = std::move(handle_or).value();
       if (!handle) continue;
+      input.keyword_index.emplace(k, input.keywords.size());
       input.keywords.push_back(k);
       input.lists.emplace_back(*handle);
       input.pins.push_back(std::move(handle));

@@ -31,7 +31,10 @@ std::string RefineAlgorithmName(RefineAlgorithm algorithm);
 struct XRefineOptions {
   size_t top_k = 3;
   RefineAlgorithm algorithm = RefineAlgorithm::kPartition;
-  slca::SlcaAlgorithm slca_algorithm = slca::SlcaAlgorithm::kScanEager;
+  /// Indexed Lookup Eager with galloping resume-hint probes (slca_common.h)
+  /// is the default since the scan-path overhaul; kScanEager remains as the
+  /// pre-overhaul probe discipline for ablation (bench_scan --baseline).
+  slca::SlcaAlgorithm slca_algorithm = slca::SlcaAlgorithm::kIndexedLookup;
   RankingOptions ranking;
   slca::SearchForNodeOptions search_for_node;
   RuleGeneratorOptions rules;

@@ -76,11 +76,11 @@ const std::vector<xml::Dewey>& CooccurrenceTable::AnchorSet(
   const PostingListHandle& list = list_or.value();
   if (list) {
     uint32_t depth = types_->depth(type);
-    for (const Posting& p : *list) {
+    for (size_t i = 0; i < list->size(); ++i) {
       // The posting participates only when a T-typed node lies on its
       // root path, i.e. T is the depth-`depth` ancestor type of p.type.
-      if (types_->AncestorAtDepth(p.type, depth) != type) continue;
-      xml::Dewey anchor = p.dewey.Prefix(depth);
+      if (types_->AncestorAtDepth(list->type(i), depth) != type) continue;
+      xml::Dewey anchor = list->label(i).Prefix(depth);
       // Document order makes equal anchors contiguous.
       if (anchors.empty() || anchors.back() != anchor) {
         anchors.push_back(std::move(anchor));

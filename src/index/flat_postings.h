@@ -1,0 +1,113 @@
+// FlatPostingList: the columnar, cache-resident form of a posting list.
+// Instead of a vector<Posting> where every Dewey owns its own heap block,
+// all labels live concatenated in one uint32 pool with an offsets column and
+// a types column (structure-of-arrays). Decoding a stored list fills three
+// flat vectors with zero per-posting allocations, and the SLCA scan loops
+// walk contiguous memory — this layout, not the algorithm, is what makes
+// the Indexed Lookup Eager probes fast at scale (cf. XKSearch, and the
+// DAG-compression line in PAPERS.md).
+#ifndef XREFINE_INDEX_FLAT_POSTINGS_H_
+#define XREFINE_INDEX_FLAT_POSTINGS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/posting.h"
+#include "xml/dewey.h"
+#include "xml/node_type.h"
+
+namespace xrefine::index {
+
+class FlatPostingList {
+ public:
+  FlatPostingList() { starts_.push_back(0); }
+
+  size_t size() const { return types_.size(); }
+  bool empty() const { return types_.empty(); }
+
+  /// Label of posting `i` as a view into the component pool.
+  xml::DeweyRef label(size_t i) const {
+    return xml::DeweyRef(components_.data() + starts_[i],
+                         starts_[i + 1] - starts_[i]);
+  }
+  xml::TypeId type(size_t i) const { return types_[i]; }
+
+  /// Owning copy of posting i's label (result materialisation only).
+  xml::Dewey DeweyAt(size_t i) const { return label(i).ToDewey(); }
+
+  /// Appends one posting; callers append in document order, mirroring the
+  /// builder's contract for PostingList.
+  void Append(const xml::DeweyRef& label, xml::TypeId type) {
+    components_.insert(components_.end(), label.comps, label.comps + label.len);
+    starts_.push_back(static_cast<uint32_t>(components_.size()));
+    types_.push_back(type);
+  }
+  void Append(const xml::Dewey& label, xml::TypeId type) {
+    Append(xml::DeweyRef(label), type);
+  }
+
+  /// Pre-sizes the columns (`postings` entries totalling `components`
+  /// label components) so decode paths grow without reallocation.
+  void Reserve(size_t postings, size_t components) {
+    starts_.reserve(postings + 1);
+    types_.reserve(postings);
+    components_.reserve(components);
+  }
+
+  void Clear() {
+    components_.clear();
+    starts_.assign(1, 0);
+    types_.clear();
+  }
+
+  /// Converts from the build-time AoS representation.
+  static FlatPostingList FromPostings(const PostingList& list) {
+    FlatPostingList flat;
+    size_t comps = 0;
+    for (const Posting& p : list) comps += p.dewey.depth();
+    flat.Reserve(list.size(), comps);
+    for (const Posting& p : list) flat.Append(p.dewey, p.type);
+    return flat;
+  }
+
+  /// Converts back to AoS (tests, round-trip checks).
+  PostingList ToPostings() const {
+    PostingList out;
+    out.reserve(size());
+    for (size_t i = 0; i < size(); ++i) {
+      out.push_back(Posting{DeweyAt(i), type(i)});
+    }
+    return out;
+  }
+
+  /// Approximate resident heap footprint, consistent across lists (used by
+  /// the store-backed cache's byte budget).
+  size_t resident_bytes() const {
+    return sizeof(FlatPostingList) +
+           components_.capacity() * sizeof(uint32_t) +
+           starts_.capacity() * sizeof(uint32_t) +
+           types_.capacity() * sizeof(xml::TypeId);
+  }
+
+  /// Trims capacity to size (cache entries live long; excess capacity from
+  /// decode-time growth would inflate the budget).
+  void ShrinkToFit() {
+    components_.shrink_to_fit();
+    starts_.shrink_to_fit();
+    types_.shrink_to_fit();
+  }
+
+  // Raw columns, exposed for PostingSpan (the scan-path view).
+  const uint32_t* components_data() const { return components_.data(); }
+  const uint32_t* starts_data() const { return starts_.data(); }
+  const xml::TypeId* types_data() const { return types_.data(); }
+
+ private:
+  std::vector<uint32_t> components_;  // all labels, concatenated
+  std::vector<uint32_t> starts_;      // size()+1 offsets into components_
+  std::vector<xml::TypeId> types_;    // per-posting node type
+};
+
+}  // namespace xrefine::index
+
+#endif  // XREFINE_INDEX_FLAT_POSTINGS_H_

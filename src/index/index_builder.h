@@ -45,7 +45,7 @@ class IndexedCorpus : public IndexSource {
 
   StatusOr<PostingListHandle> FetchList(
       std::string_view keyword) const override {
-    return PostingListHandle::Unowned(index_.Find(keyword));
+    return PostingListHandle::Unowned(index_.FindFlat(keyword));
   }
   bool Contains(std::string_view keyword) const override {
     return index_.Contains(keyword);

@@ -22,6 +22,7 @@
 
 #include "common/statusor.h"
 #include "common/thread_annotations.h"
+#include "index/flat_postings.h"
 #include "index/posting.h"
 #include "index/statistics.h"
 #include "xml/node_type.h"
@@ -38,30 +39,31 @@ namespace xrefine::index {
 
 class CooccurrenceTable;
 
-/// A pinned posting list. Null when the keyword has no list. The pointee is
-/// immutable and outlives the handle; for in-memory sources the handle is a
-/// free alias into the index, for store-backed sources it co-owns the
-/// decoded list with the cache.
+/// A pinned posting list in the columnar serving layout
+/// (index::FlatPostingList). Null when the keyword has no list. The pointee
+/// is immutable and outlives the handle; for in-memory sources the handle
+/// is a free alias into the index's flat mirror, for store-backed sources
+/// it co-owns the decoded list with the cache.
 class PostingListHandle {
  public:
   PostingListHandle() = default;
-  explicit PostingListHandle(std::shared_ptr<const PostingList> list)
+  explicit PostingListHandle(std::shared_ptr<const FlatPostingList> list)
       : list_(std::move(list)) {}
 
   /// Non-owning alias over a list whose owner outlives every handle (the
   /// in-memory index case).
-  static PostingListHandle Unowned(const PostingList* list) {
-    return PostingListHandle(
-        std::shared_ptr<const PostingList>(std::shared_ptr<const void>(), list));
+  static PostingListHandle Unowned(const FlatPostingList* list) {
+    return PostingListHandle(std::shared_ptr<const FlatPostingList>(
+        std::shared_ptr<const void>(), list));
   }
 
-  const PostingList* get() const { return list_.get(); }
-  const PostingList& operator*() const { return *list_; }
-  const PostingList* operator->() const { return list_.get(); }
+  const FlatPostingList* get() const { return list_.get(); }
+  const FlatPostingList& operator*() const { return *list_; }
+  const FlatPostingList* operator->() const { return list_.get(); }
   explicit operator bool() const { return list_ != nullptr; }
 
  private:
-  std::shared_ptr<const PostingList> list_;
+  std::shared_ptr<const FlatPostingList> list_;
 };
 
 /// Read-side view over one indexed corpus. All methods are safe to call

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/metrics.h"
+#include "index/posting_blocks.h"
 #include "storage/serde.h"
 
 namespace xrefine::index {
@@ -107,11 +108,14 @@ Status DecodeTypeStats(std::string_view data, StatisticsTable* stats) {
   return Status::OK();
 }
 
-// Posting-list format (version 2): postings arrive in document order, so
-// consecutive Dewey labels share long prefixes; each posting stores only
-// the number of components reused from its predecessor plus the fresh
-// suffix (classic prefix-delta compression of sorted keys).
-constexpr uint8_t kPostingFormatVersion = 2;
+// Posting-list formats. Version 2 is flat prefix-delta: postings arrive in
+// document order, so consecutive Dewey labels share long prefixes; each
+// posting stores only the number of components reused from its predecessor
+// plus the fresh suffix. Version 3 wraps the same delta coding in
+// fixed-capacity skippable blocks (index/posting_blocks.h). Writers pick
+// via PostingFormat; readers accept both.
+constexpr uint8_t kPostingFormatPrefixDelta = 2;
+constexpr uint8_t kPostingFormatBlocked = 3;
 
 }  // namespace
 
@@ -129,9 +133,12 @@ std::string FreqRowKey(std::string_view keyword) {
   return key;
 }
 
-std::string EncodePostings(const PostingList& list) {
+std::string EncodePostings(const PostingList& list, PostingFormat format) {
+  if (format == PostingFormat::kBlocked) {
+    return EncodePostingsBlocked(list);
+  }
   std::string out;
-  out.push_back(static_cast<char>(kPostingFormatVersion));
+  out.push_back(static_cast<char>(kPostingFormatPrefixDelta));
   PutVarint32(&out, static_cast<uint32_t>(list.size()));
   const xml::Dewey* prev = nullptr;
   for (const Posting& p : list) {
@@ -159,7 +166,15 @@ Status DecodePostings(std::string_view data, PostingList* list) {
   const char* limit = data.data() + data.size();
   if (p >= limit) return Status::Corruption("postings: empty record");
   uint8_t version = static_cast<uint8_t>(*p++);
-  if (version != kPostingFormatVersion) {
+  if (version == kPostingFormatBlocked) {
+    FlatPostingList flat;
+    XREFINE_RETURN_IF_ERROR(DecodePostingsFlat(data, &flat));
+    PostingList decoded = flat.ToPostings();
+    list->insert(list->end(), std::make_move_iterator(decoded.begin()),
+                 std::make_move_iterator(decoded.end()));
+    return Status::OK();
+  }
+  if (version != kPostingFormatPrefixDelta) {
     return Status::Corruption("postings: unsupported format version " +
                               std::to_string(version));
   }
@@ -208,10 +223,12 @@ Status DecodePostingCount(std::string_view data_prefix, uint32_t* count) {
   const char* limit = data_prefix.data() + data_prefix.size();
   if (p >= limit) return Status::Corruption("postings: empty record");
   uint8_t version = static_cast<uint8_t>(*p++);
-  if (version != kPostingFormatVersion) {
+  if (version != kPostingFormatPrefixDelta && version != kPostingFormatBlocked) {
     return Status::Corruption("postings: unsupported format version " +
                               std::to_string(version));
   }
+  // Both formats place the total posting count immediately after the
+  // version byte.
   if (!GetVarint32(&p, limit, count)) {
     return Status::Corruption("postings: bad count");
   }
@@ -316,7 +333,8 @@ Status DeleteStaleKeys(storage::KVStore* store, std::string_view prefix,
 
 }  // namespace
 
-Status SaveCorpus(const IndexedCorpus& corpus, storage::KVStore* store) {
+Status SaveCorpus(const IndexedCorpus& corpus, storage::KVStore* store,
+                  PostingFormat format) {
   // Saving over a previously saved, larger corpus must not leave stale
   // inverted lists or frequent-table rows behind: a reload would resurrect
   // keywords the new corpus never contained.
@@ -335,7 +353,7 @@ Status SaveCorpus(const IndexedCorpus& corpus, storage::KVStore* store) {
                  EncodeTypeStats(corpus.stats(), corpus.types().size())));
   for (const auto& [keyword, list] : corpus.index().lists()) {
     XREFINE_RETURN_IF_ERROR(
-        store->Put(InvertedListKey(keyword), EncodePostings(list)));
+        store->Put(InvertedListKey(keyword), EncodePostings(list, format)));
   }
   for (const auto& [keyword, row] : corpus.stats().per_keyword()) {
     XREFINE_RETURN_IF_ERROR(

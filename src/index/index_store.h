@@ -23,8 +23,18 @@ std::string InvertedListKey(std::string_view keyword);
 /// The store key of `keyword`'s frequent-table row ("f\0<keyword>").
 std::string FreqRowKey(std::string_view keyword);
 
-/// Encodes a posting list in the store's prefix-delta format.
-std::string EncodePostings(const PostingList& list);
+/// On-disk posting encodings. kBlocked (format version 3, the default) is
+/// the block-compressed layout of index/posting_blocks.h; kPrefixDelta
+/// (version 2) is the flat layout older stores used — kept writable behind
+/// this flag for ablation benchmarks. Readers accept both.
+enum class PostingFormat {
+  kPrefixDelta,
+  kBlocked,
+};
+
+/// Encodes a posting list in the requested store format.
+std::string EncodePostings(const PostingList& list,
+                           PostingFormat format = PostingFormat::kBlocked);
 
 /// Decodes a stored inverted-list record. Resilient to corrupt input: every
 /// count and length is validated against the remaining bytes before being
@@ -42,7 +52,8 @@ std::string EncodePostings(const PostingList& list);
 /// corpus does not contain — without this, saving a smaller corpus over a
 /// larger one would leave stale keywords that a reload resurrects.
 [[nodiscard]] Status SaveCorpus(const IndexedCorpus& corpus,
-                                storage::KVStore* store);
+                                storage::KVStore* store,
+                                PostingFormat format = PostingFormat::kBlocked);
 
 /// Reads a corpus back. The result has no Document attached; queries still
 /// run (results are Dewey labels), but subtree snippets are unavailable.

@@ -13,6 +13,15 @@ const PostingList* InvertedIndex::Find(std::string_view keyword) const {
   return it == lists_.end() ? nullptr : &it->second;
 }
 
+const FlatPostingList* InvertedIndex::FindFlat(std::string_view keyword) const {
+  const PostingList* list = Find(keyword);
+  if (list == nullptr) return nullptr;
+  MutexLock lock(&flat_mu_);
+  auto [it, inserted] = flat_lists_.try_emplace(std::string(keyword));
+  if (inserted) it->second = FlatPostingList::FromPostings(*list);
+  return &it->second;
+}
+
 std::vector<std::string> InvertedIndex::Vocabulary() const {
   std::vector<std::string> words;
   words.reserve(lists_.size());

@@ -8,6 +8,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
+#include "index/flat_postings.h"
 #include "index/posting.h"
 
 namespace xrefine::index {
@@ -24,6 +26,15 @@ class InvertedIndex {
   /// The posting list for `keyword`, or nullptr when the keyword does not
   /// occur in the corpus.
   const PostingList* Find(std::string_view keyword) const;
+
+  /// The keyword's list in the columnar serving layout, or nullptr when
+  /// absent. Built lazily from the AoS list on first request per keyword
+  /// and memoized (unordered_map node stability keeps returned pointers
+  /// valid for the index's lifetime). Thread-safe; the builder only
+  /// Appends before any serving starts, so a memoized flat list never goes
+  /// stale.
+  const FlatPostingList* FindFlat(std::string_view keyword) const
+      EXCLUDES(flat_mu_);
 
   bool Contains(std::string_view keyword) const {
     return Find(keyword) != nullptr;
@@ -52,6 +63,10 @@ class InvertedIndex {
 
  private:
   std::unordered_map<std::string, PostingList> lists_;
+  // Flat mirror of lists_, filled on demand by FindFlat.
+  mutable Mutex flat_mu_;
+  mutable std::unordered_map<std::string, FlatPostingList> flat_lists_
+      GUARDED_BY(flat_mu_);
 };
 
 }  // namespace xrefine::index

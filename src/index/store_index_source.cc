@@ -7,6 +7,7 @@
 
 #include "common/metrics.h"
 #include "index/index_store.h"
+#include "index/posting_blocks.h"
 
 namespace xrefine::index {
 
@@ -37,18 +38,6 @@ const CacheMetrics& Metrics() {
 // Version byte plus one varint32: the longest record head DecodePostingCount
 // can need.
 constexpr size_t kCountPrefixBytes = 6;
-
-// Resident footprint of a decoded list: the posting vector plus each
-// Dewey's component heap block. An estimate (allocator overhead is not
-// counted), but a consistent one — the budget bounds real memory to within
-// a constant factor.
-size_t EstimateResidentBytes(const PostingList& list) {
-  size_t bytes = sizeof(PostingList) + list.capacity() * sizeof(Posting);
-  for (const Posting& p : list) {
-    bytes += p.dewey.components().capacity() * sizeof(uint32_t);
-  }
-  return bytes;
-}
 
 }  // namespace
 
@@ -104,9 +93,12 @@ StatusOr<PostingListHandle> StoreBackedIndexSource::FetchListImpl(
   // cache latch dropped; see the lock-order note in the header.
   auto value_or = store_->Get(InvertedListKey(keyword));
   if (!value_or.ok()) return value_or.status();
-  auto list = std::make_shared<PostingList>();
-  XREFINE_RETURN_IF_ERROR(DecodePostings(value_or.value(), list.get()));
-  size_t bytes = EstimateResidentBytes(*list);
+  auto list = std::make_shared<FlatPostingList>();
+  XREFINE_RETURN_IF_ERROR(DecodePostingsFlat(value_or.value(), list.get()));
+  // Cache entries live long; decode-time capacity slack would inflate the
+  // byte budget, so trim before measuring.
+  list->ShrinkToFit();
+  size_t bytes = list->resident_bytes();
 
   MutexLock lock(&mu_);
   auto it = cache_.find(key);

@@ -101,7 +101,7 @@ class StoreBackedIndexSource : public IndexSource {
 
  private:
   struct CacheEntry {
-    std::shared_ptr<const PostingList> list;
+    std::shared_ptr<const FlatPostingList> list;
     size_t bytes = 0;
     std::list<std::string>::iterator lru_it;
   };

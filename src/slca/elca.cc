@@ -23,21 +23,19 @@ class MergedStream {
   explicit MergedStream(const std::vector<PostingSpan>& lists)
       : lists_(lists), cursors_(lists.size(), 0) {}
 
-  int Pop(const index::Posting** posting) {
+  int Pop(size_t* pos) {
     int best = -1;
     for (size_t i = 0; i < lists_.size(); ++i) {
       if (cursors_[i] >= lists_[i].size) continue;
-      if (best < 0 || lists_[i][cursors_[i]].dewey <
-                          lists_[static_cast<size_t>(best)]
-                                [cursors_[static_cast<size_t>(best)]]
-                                    .dewey) {
+      if (best < 0 ||
+          lists_[i].label(cursors_[i]) <
+              lists_[static_cast<size_t>(best)].label(
+                  cursors_[static_cast<size_t>(best)])) {
         best = static_cast<int>(i);
       }
     }
     if (best < 0) return -1;
-    *posting = &lists_[static_cast<size_t>(best)]
-                      [cursors_[static_cast<size_t>(best)]];
-    ++cursors_[static_cast<size_t>(best)];
+    *pos = cursors_[static_cast<size_t>(best)]++;
     return best;
   }
 
@@ -85,25 +83,27 @@ std::vector<SlcaResult> Elca(const std::vector<PostingSpan>& lists,
   };
 
   MergedStream stream(lists);
-  const index::Posting* posting = nullptr;
+  size_t pos = 0;
   int list_index;
-  while ((list_index = stream.Pop(&posting)) >= 0) {
-    const auto& components = posting->dewey.components();
+  while ((list_index = stream.Pop(&pos)) >= 0) {
+    const xml::DeweyRef label = lists[static_cast<size_t>(list_index)].label(pos);
+    // Same depth-0 guard as StackSlca: an empty label has no stack entry.
+    if (label.empty()) continue;
     size_t p = 0;
-    while (p < stack.size() && p < components.size() &&
-           stack[p].component == components[p]) {
+    while (p < stack.size() && p < label.depth() &&
+           stack[p].component == label[p]) {
       ++p;
     }
     while (stack.size() > p) pop();
-    for (size_t i = p; i < components.size(); ++i) {
-      stack.push_back(Entry{components[i]});
+    for (size_t i = p; i < label.depth(); ++i) {
+      stack.push_back(Entry{label[i]});
     }
     XR_DCHECK(!stack.empty());
     uint64_t bit = uint64_t{1} << list_index;
     stack.back().exclusive_mask |= bit;
     stack.back().subtree_mask |= bit;
     if (stack.back().witness == xml::kInvalidTypeId) {
-      stack.back().witness = posting->type;
+      stack.back().witness = lists[static_cast<size_t>(list_index)].type(pos);
     }
   }
   while (!stack.empty()) pop();

@@ -17,45 +17,48 @@ std::vector<SlcaResult> IndexedLookupEagerSlca(
     if (lists[i].size < lists[anchor].size) anchor = i;
   }
 
+  // hints[i]: every posting of list i before this index has label < the
+  // current anchor label. Anchor labels arrive in document order, so the
+  // hints only move right and each neighbour search can gallop from its
+  // previous landing spot instead of binary-searching the whole list.
+  std::vector<size_t> hints(lists.size(), 0);
+
   uint64_t scanned = 0;
   uint64_t searches = 0;
-  std::vector<SlcaResult> candidates;
+  std::vector<PrefixCandidate> candidates;
   candidates.reserve(lists[anchor].size);
-  for (const index::Posting& v : lists[anchor]) {
+  for (size_t a = 0; a < lists[anchor].size; ++a) {
     ++scanned;
+    const xml::DeweyRef v = lists[anchor].label(a);
     // The deepest ancestor of v whose subtree meets every list: for each
     // other list the closest neighbours give the deepest possible LCA with
     // v; the candidate is the shallowest of those per-list LCAs.
-    size_t depth = v.dewey.depth();
+    size_t depth = v.depth();
     for (size_t i = 0; i < lists.size() && depth > 0; ++i) {
       if (i == anchor) continue;
       const PostingSpan& span = lists[i];
-      searches += 2;
-      ptrdiff_t lm = LeftMatch(span, v.dewey);
-      ptrdiff_t rm = RightMatch(span, v.dewey);
+      ++searches;
+      size_t lb = GallopLowerBound(span, hints[i], v);
+      hints[i] = lb;
+      // lb is the right match; lb-1 the nearest strictly-smaller neighbour.
+      // An exact-duplicate left match shares v's full label, which label(lb)
+      // already witnesses, so these two cover the classic lm/rm pair.
       size_t best = 0;
-      if (lm >= 0) {
-        best = std::max(
-            best, xml::Dewey::CommonPrefix(v.dewey,
-                                           span[static_cast<size_t>(lm)].dewey)
-                      .depth());
+      if (lb > 0) {
+        best = std::max(best, xml::CommonPrefixDepth(v, span.label(lb - 1)));
       }
-      if (rm < static_cast<ptrdiff_t>(span.size)) {
-        best = std::max(
-            best, xml::Dewey::CommonPrefix(v.dewey,
-                                           span[static_cast<size_t>(rm)].dewey)
-                      .depth());
+      if (lb < span.size) {
+        best = std::max(best, xml::CommonPrefixDepth(v, span.label(lb)));
       }
       depth = std::min(depth, best);
     }
     if (depth == 0) continue;  // no common ancestor below "nothing"
-    candidates.push_back(SlcaResult{
-        v.dewey.Prefix(depth),
-        AncestorTypeAtDepth(types, v.type, depth)});
+    candidates.push_back(PrefixCandidate{static_cast<uint32_t>(a),
+                                         static_cast<uint32_t>(depth)});
   }
   internal::Metrics().elements_scanned->Increment(scanned);
   internal::Metrics().lookups->Increment(searches);
-  return KeepSmallest(std::move(candidates));
+  return KeepSmallestPrefixes(lists[anchor], std::move(candidates), types);
 }
 
 }  // namespace xrefine::slca

@@ -22,39 +22,37 @@ std::vector<SlcaResult> ScanEagerSlca(const std::vector<PostingSpan>& lists,
 
   uint64_t scanned = 0;
   uint64_t probes = 0;
-  std::vector<SlcaResult> candidates;
+  std::vector<PrefixCandidate> candidates;
   candidates.reserve(lists[anchor].size);
-  for (const index::Posting& v : lists[anchor]) {
+  for (size_t a = 0; a < lists[anchor].size; ++a) {
     ++scanned;
-    size_t depth = v.dewey.depth();
+    const xml::DeweyRef v = lists[anchor].label(a);
+    size_t depth = v.depth();
     for (size_t i = 0; i < lists.size() && depth > 0; ++i) {
       if (i == anchor) continue;
       const PostingSpan& span = lists[i];
       size_t& c = cursors[i];
       ++probes;
-      while (c < span.size && span[c].dewey < v.dewey) {
+      while (c < span.size && span.label(c) < v) {
         ++c;
         ++scanned;
       }
       size_t best = 0;
       if (c > 0) {
-        best = std::max(
-            best,
-            xml::Dewey::CommonPrefix(v.dewey, span[c - 1].dewey).depth());
+        best = std::max(best, xml::CommonPrefixDepth(v, span.label(c - 1)));
       }
       if (c < span.size) {
-        best = std::max(
-            best, xml::Dewey::CommonPrefix(v.dewey, span[c].dewey).depth());
+        best = std::max(best, xml::CommonPrefixDepth(v, span.label(c)));
       }
       depth = std::min(depth, best);
     }
     if (depth == 0) continue;
-    candidates.push_back(SlcaResult{
-        v.dewey.Prefix(depth), AncestorTypeAtDepth(types, v.type, depth)});
+    candidates.push_back(PrefixCandidate{static_cast<uint32_t>(a),
+                                         static_cast<uint32_t>(depth)});
   }
   internal::Metrics().elements_scanned->Increment(scanned);
   internal::Metrics().lookups->Increment(probes);
-  return KeepSmallest(std::move(candidates));
+  return KeepSmallestPrefixes(lists[anchor], std::move(candidates), types);
 }
 
 }  // namespace xrefine::slca

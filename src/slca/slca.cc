@@ -23,7 +23,7 @@ std::vector<SlcaResult> ComputeSlcaForQuery(
   std::vector<PostingSpan> lists;
   lists.reserve(query.size());
   for (const std::string& k : query) {
-    const index::PostingList* list = index.Find(k);
+    const index::FlatPostingList* list = index.FindFlat(k);
     if (list == nullptr) return {};  // conjunctive semantics
     lists.emplace_back(*list);
   }

@@ -18,13 +18,13 @@ const SlcaMetrics& Metrics() {
 
 }  // namespace internal
 
-ptrdiff_t LeftMatch(const PostingSpan& span, const xml::Dewey& v) {
+ptrdiff_t LeftMatch(const PostingSpan& span, const xml::DeweyRef& v) {
   // upper_bound on dewey order, then step left.
   ptrdiff_t lo = 0;
   ptrdiff_t hi = static_cast<ptrdiff_t>(span.size);
   while (lo < hi) {
     ptrdiff_t mid = (lo + hi) / 2;
-    if (span[static_cast<size_t>(mid)].dewey <= v) {
+    if (span.label(static_cast<size_t>(mid)) <= v) {
       lo = mid + 1;
     } else {
       hi = mid;
@@ -33,12 +33,53 @@ ptrdiff_t LeftMatch(const PostingSpan& span, const xml::Dewey& v) {
   return lo - 1;
 }
 
-ptrdiff_t RightMatch(const PostingSpan& span, const xml::Dewey& v) {
+ptrdiff_t RightMatch(const PostingSpan& span, const xml::DeweyRef& v) {
   ptrdiff_t lo = 0;
   ptrdiff_t hi = static_cast<ptrdiff_t>(span.size);
   while (lo < hi) {
     ptrdiff_t mid = (lo + hi) / 2;
-    if (span[static_cast<size_t>(mid)].dewey < v) {
+    if (span.label(static_cast<size_t>(mid)) < v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t GallopLowerBound(const PostingSpan& span, size_t from,
+                        const xml::DeweyRef& v) {
+  if (from >= span.size || span.label(from) >= v) return from;
+  // label(from) < v; double the probe distance until we bracket v.
+  size_t bound = 1;
+  while (from + bound < span.size && span.label(from + bound) < v) {
+    bound <<= 1;
+  }
+  size_t lo = from + bound / 2 + 1;  // last probe < v
+  size_t hi = std::min(from + bound, span.size);
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (span.label(mid) < v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t GallopUpperBound(const PostingSpan& span, size_t from,
+                        const xml::DeweyRef& v) {
+  if (from >= span.size || span.label(from) > v) return from;
+  size_t bound = 1;
+  while (from + bound < span.size && span.label(from + bound) <= v) {
+    bound <<= 1;
+  }
+  size_t lo = from + bound / 2 + 1;  // last probe <= v
+  size_t hi = std::min(from + bound, span.size);
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (span.label(mid) <= v) {
       lo = mid + 1;
     } else {
       hi = mid;
@@ -65,6 +106,55 @@ std::vector<SlcaResult> KeepSmallest(std::vector<SlcaResult> candidates) {
       continue;
     }
     out.push_back(std::move(candidates[i]));
+  }
+  return out;
+}
+
+std::vector<SlcaResult> KeepSmallestPrefixes(
+    const PostingSpan& anchor, std::vector<PrefixCandidate> candidates,
+    const xml::NodeTypeTable& types) {
+  auto label_of = [&](const PrefixCandidate& c) {
+    return xml::DeweyRef(anchor.components + anchor.starts[c.index], c.depth);
+  };
+  // The anchor scan emits candidates in anchor document order, which gives
+  // a strong structural guarantee: for i < j, candidate j's label is either
+  // >= candidate i's (doc order) or a strict ancestor of it. (If label_j <
+  // label_i with a diverging component, the underlying anchor postings
+  // would violate v_i <= v_j; so label_j < label_i forces label_j to be a
+  // prefix of label_i.) The smallest-filter therefore runs online against
+  // the last kept candidate — no sort, one prefix comparison per candidate:
+  //   - equal to or ancestor of the last kept: dominated, skip;
+  //   - last kept is its ancestor: pop it (at most one pop — the stack is
+  //     an increasing antichain, so deeper entries cannot also be
+  //     ancestors), push the new candidate;
+  //   - divergent: push.
+  std::vector<PrefixCandidate> kept;
+  for (const PrefixCandidate& c : candidates) {
+    const xml::DeweyRef lc = label_of(c);
+    bool dominated = false;
+    while (!kept.empty()) {
+      const xml::DeweyRef lb = label_of(kept.back());
+      const size_t common = xml::CommonPrefixDepth(lb, lc);
+      if (common == lc.len) {
+        dominated = true;  // duplicate of, or ancestor of, the last kept
+        break;
+      }
+      if (common == lb.len) {
+        kept.pop_back();  // last kept is a strict ancestor: not smallest
+        continue;
+      }
+      break;  // divergent siblings
+    }
+    if (!dominated) kept.push_back(c);
+  }
+  // Only the survivors are materialised; dominated candidates never touch
+  // the heap.
+  std::vector<SlcaResult> out;
+  out.reserve(kept.size());
+  for (const PrefixCandidate& c : kept) {
+    out.push_back(SlcaResult{
+        label_of(c).ToDewey(),
+        AncestorTypeAtDepth(types, anchor.type(c.index), c.depth)});
   }
   return out;
 }

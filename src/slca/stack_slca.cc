@@ -1,7 +1,6 @@
 #include "slca/stack_slca.h"
 
 #include <algorithm>
-#include <queue>
 
 #include "common/logging.h"
 
@@ -22,23 +21,21 @@ class MergedStream {
   explicit MergedStream(const std::vector<PostingSpan>& lists)
       : lists_(lists), cursors_(lists.size(), 0) {}
 
-  // Returns the list index of the smallest head, or -1 when exhausted.
-  int Pop(const index::Posting** posting) {
+  // Returns the list index of the smallest head (advancing its cursor and
+  // storing the popped posting's index in *pos), or -1 when exhausted.
+  int Pop(size_t* pos) {
     int best = -1;
     for (size_t i = 0; i < lists_.size(); ++i) {
       if (cursors_[i] >= lists_[i].size) continue;
       if (best < 0 ||
-          lists_[i][cursors_[i]].dewey <
-              lists_[static_cast<size_t>(best)]
-                    [cursors_[static_cast<size_t>(best)]]
-                        .dewey) {
+          lists_[i].label(cursors_[i]) <
+              lists_[static_cast<size_t>(best)].label(
+                  cursors_[static_cast<size_t>(best)])) {
         best = static_cast<int>(i);
       }
     }
     if (best < 0) return -1;
-    *posting = &lists_[static_cast<size_t>(best)]
-                      [cursors_[static_cast<size_t>(best)]];
-    ++cursors_[static_cast<size_t>(best)];
+    *pos = cursors_[static_cast<size_t>(best)]++;
     return best;
   }
 
@@ -87,26 +84,31 @@ std::vector<SlcaResult> StackSlca(const std::vector<PostingSpan>& lists,
   };
 
   MergedStream stream(lists);
-  const index::Posting* posting = nullptr;
   uint64_t scanned = 0;
+  size_t pos = 0;
   int list_index;
-  while ((list_index = stream.Pop(&posting)) >= 0) {
+  while ((list_index = stream.Pop(&pos)) >= 0) {
     ++scanned;
-    const auto& components = posting->dewey.components();
+    const xml::DeweyRef label = lists[static_cast<size_t>(list_index)].label(pos);
+    // A depth-0 (root) label has no stack entry to mark: the eager
+    // algorithms drop those anchors too ("no common ancestor below
+    // nothing"), so skipping keeps all three algorithms in agreement —
+    // indexing stack.back() here would be UB on an empty stack.
+    if (label.empty()) continue;
     // Longest common prefix with the current stack path.
     size_t p = 0;
-    while (p < stack.size() && p < components.size() &&
-           stack[p].component == components[p]) {
+    while (p < stack.size() && p < label.depth() &&
+           stack[p].component == label[p]) {
       ++p;
     }
     while (stack.size() > p) pop();
-    for (size_t i = p; i < components.size(); ++i) {
-      stack.push_back(Entry{components[i]});
+    for (size_t i = p; i < label.depth(); ++i) {
+      stack.push_back(Entry{label[i]});
     }
     XR_DCHECK(!stack.empty());
     stack.back().mask |= uint64_t{1} << list_index;
     if (stack.back().witness == xml::kInvalidTypeId) {
-      stack.back().witness = posting->type;
+      stack.back().witness = lists[static_cast<size_t>(list_index)].type(pos);
     }
   }
   while (!stack.empty()) pop();

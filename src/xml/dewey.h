@@ -70,6 +70,62 @@ class Dewey {
 
 std::ostream& operator<<(std::ostream& os, const Dewey& d);
 
+/// A non-owning view of a Dewey label: a pointer into a flat component
+/// array plus a depth. This is the scan-path representation — posting lists
+/// decode into one contiguous component pool (index::FlatPostingList), and
+/// the SLCA inner loops compare DeweyRefs without touching per-label heap
+/// blocks. The viewed storage must outlive the ref.
+struct DeweyRef {
+  const uint32_t* comps = nullptr;
+  uint32_t len = 0;
+
+  DeweyRef() = default;
+  DeweyRef(const uint32_t* c, uint32_t n) : comps(c), len(n) {}
+  /// Views an owning label (valid while `d` is alive and unmodified).
+  explicit DeweyRef(const Dewey& d)
+      : comps(d.components().data()),
+        len(static_cast<uint32_t>(d.depth())) {}
+
+  size_t depth() const { return len; }
+  bool empty() const { return len == 0; }
+  uint32_t operator[](size_t i) const { return comps[i]; }
+
+  /// Three-way document-order comparison (same convention as Dewey).
+  int Compare(const DeweyRef& other) const {
+    uint32_t n = len < other.len ? len : other.len;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (comps[i] != other.comps[i]) return comps[i] < other.comps[i] ? -1 : 1;
+    }
+    if (len == other.len) return 0;
+    return len < other.len ? -1 : 1;
+  }
+
+  bool operator==(const DeweyRef& o) const { return Compare(o) == 0; }
+  bool operator!=(const DeweyRef& o) const { return Compare(o) != 0; }
+  bool operator<(const DeweyRef& o) const { return Compare(o) < 0; }
+  bool operator<=(const DeweyRef& o) const { return Compare(o) <= 0; }
+  bool operator>(const DeweyRef& o) const { return Compare(o) > 0; }
+  bool operator>=(const DeweyRef& o) const { return Compare(o) >= 0; }
+
+  /// Materialises an owning label (the full label, or its depth-`d` prefix).
+  Dewey ToDewey() const {
+    return Dewey(std::vector<uint32_t>(comps, comps + len));
+  }
+  Dewey Prefix(size_t d) const {
+    if (d > len) d = len;
+    return Dewey(std::vector<uint32_t>(comps, comps + d));
+  }
+};
+
+/// Depth of the longest common prefix, i.e. the depth of the LCA of the two
+/// labelled nodes.
+inline size_t CommonPrefixDepth(const DeweyRef& a, const DeweyRef& b) {
+  uint32_t n = a.len < b.len ? a.len : b.len;
+  uint32_t i = 0;
+  while (i < n && a.comps[i] == b.comps[i]) ++i;
+  return i;
+}
+
 }  // namespace xrefine::xml
 
 #endif  // XREFINE_XML_DEWEY_H_

@@ -17,21 +17,22 @@ using core::Query;
 using slca::PostingSpan;
 using testutil::MakeFigure1Corpus;
 
-index::PostingList MakeList(const std::vector<std::string>& deweys) {
+index::FlatPostingList MakeList(const std::vector<std::string>& deweys) {
   index::PostingList list;
   for (const auto& d : deweys) {
     auto parsed = xml::Dewey::Parse(d);
     EXPECT_TRUE(parsed.ok());
     list.push_back(index::Posting{std::move(parsed).value(), 0});
   }
-  return list;
+  return index::FlatPostingList::FromPostings(list);
 }
 
 TEST(SlcaCommonTest, LeftMatchFindsRightmostNotAfter) {
   auto list = MakeList({"0.0", "0.2", "0.4"});
   PostingSpan span(list);
   auto at = [&](const char* d) {
-    return slca::LeftMatch(span, xml::Dewey::Parse(d).value());
+    xml::Dewey v = xml::Dewey::Parse(d).value();
+    return slca::LeftMatch(span, xml::DeweyRef(v));
   };
   EXPECT_EQ(at("0.0"), 0);   // exact hit
   EXPECT_EQ(at("0.1"), 0);   // between
@@ -44,12 +45,35 @@ TEST(SlcaCommonTest, RightMatchFindsLeftmostNotBefore) {
   auto list = MakeList({"0.0", "0.2", "0.4"});
   PostingSpan span(list);
   auto at = [&](const char* d) {
-    return slca::RightMatch(span, xml::Dewey::Parse(d).value());
+    xml::Dewey v = xml::Dewey::Parse(d).value();
+    return slca::RightMatch(span, xml::DeweyRef(v));
   };
   EXPECT_EQ(at("0.0"), 0);
   EXPECT_EQ(at("0.1"), 1);
   EXPECT_EQ(at("0.4"), 2);
   EXPECT_EQ(at("0.5"), 3);  // past the end
+}
+
+TEST(SlcaCommonTest, GallopingBoundsMatchBinarySearch) {
+  auto list = MakeList({"0.0", "0.2", "0.2", "0.4", "0.4.1", "0.7"});
+  PostingSpan span(list);
+  const char* probes[] = {"0", "0.0", "0.1", "0.2", "0.3", "0.4",
+                          "0.4.1", "0.5", "0.7", "0.9"};
+  for (const char* p : probes) {
+    xml::Dewey v = xml::Dewey::Parse(p).value();
+    xml::DeweyRef ref(v);
+    size_t lb = 0;
+    while (lb < span.size && span.label(lb) < ref) ++lb;
+    size_t ub = lb;
+    while (ub < span.size && span.label(ub) <= ref) ++ub;
+    // Any valid hint position at or below the true bound must work.
+    for (size_t from = 0; from <= lb; ++from) {
+      EXPECT_EQ(slca::GallopLowerBound(span, from, ref), lb) << p;
+    }
+    for (size_t from = lb; from <= ub; ++from) {
+      EXPECT_EQ(slca::GallopUpperBound(span, from, ref), ub) << p;
+    }
+  }
 }
 
 TEST(SlcaCommonTest, KeepSmallestDropsAncestorsAndDuplicates) {
@@ -67,8 +91,10 @@ TEST(SlcaCommonTest, KeepSmallestDropsAncestorsAndDuplicates) {
 TEST(SlcaCommonTest, EmptySpanBehaviour) {
   PostingSpan span;
   EXPECT_TRUE(span.empty());
-  EXPECT_EQ(slca::LeftMatch(span, xml::Dewey({0})), -1);
-  EXPECT_EQ(slca::RightMatch(span, xml::Dewey({0})), 0);
+  xml::Dewey root({0});
+  EXPECT_EQ(slca::LeftMatch(span, xml::DeweyRef(root)), -1);
+  EXPECT_EQ(slca::RightMatch(span, xml::DeweyRef(root)), 0);
+  EXPECT_EQ(slca::GallopLowerBound(span, 0, xml::DeweyRef(root)), 0u);
   EXPECT_TRUE(slca::KeepSmallest({}).empty());
 }
 
@@ -184,17 +210,20 @@ TEST(BuiltInLexiconTest, SynonymRelationIsSymmetric) {
 
 TEST(PostingSpanTest, ViewsMatchUnderlyingList) {
   auto corpus = MakeFigure1Corpus();
-  const auto* list = corpus.index->index().Find("xml");
+  const index::PostingList* list = corpus.index->index().Find("xml");
   ASSERT_NE(list, nullptr);
-  PostingSpan span(*list);
+  const index::FlatPostingList* flat = corpus.index->index().FindFlat("xml");
+  ASSERT_NE(flat, nullptr);
+  PostingSpan span(*flat);
   ASSERT_EQ(span.size, list->size());
-  size_t i = 0;
-  for (const auto& p : span) {
-    EXPECT_EQ(p, (*list)[i++]);
+  for (size_t i = 0; i < span.size; ++i) {
+    EXPECT_EQ(span.label(i).ToDewey(), (*list)[i].dewey);
+    EXPECT_EQ(span.type(i), (*list)[i].type);
   }
-  PostingSpan sub(span.begin() + 1, span.size - 1);
+  PostingSpan sub = span.Sub(1, span.size - 1);
   EXPECT_EQ(sub.size, span.size - 1);
-  EXPECT_EQ(sub[0], (*list)[1]);
+  EXPECT_EQ(sub.label(0).ToDewey(), (*list)[1].dewey);
+  EXPECT_EQ(sub.type(0), (*list)[1].type);
 }
 
 }  // namespace

@@ -11,9 +11,12 @@
 #include <gtest/gtest.h>
 
 #include "common/metrics.h"
+#include "core/xrefine.h"
 #include "index/index_builder.h"
 #include "index/index_store.h"
 #include "storage/kvstore.h"
+#include "tests/test_helpers.h"
+#include "text/lexicon.h"
 #include "workload/dblp_generator.h"
 
 namespace xrefine::metrics {
@@ -230,6 +233,106 @@ TEST(MetricsIntegrationTest, CorpusRoundTripUnderEvictionPressure) {
   EXPECT_TRUE(pager.status().ok());
 
   std::remove(path.c_str());
+}
+
+// Scan-phase accounting audit: every query records its stage timings
+// exactly once, and the registry's SLCA tallies reconcile with the
+// per-outcome RefineStats — no double counting on the partition path (with
+// or without pruning) and no missed recording on repeat (cached-rule)
+// queries.
+class ScanAccountingTest : public ::testing::Test {
+ protected:
+  struct Snapshot {
+    uint64_t query_count, slca_calls, elements_scanned, lookups;
+    uint64_t scan_records, prepare_records, rank_records, total_records;
+  };
+
+  static Snapshot Take() {
+    Registry& r = Registry::Global();
+    return Snapshot{r.counter("query.count")->value(),
+                    r.counter("slca.calls")->value(),
+                    r.counter("slca.elements_scanned")->value(),
+                    r.counter("slca.lookups")->value(),
+                    r.histogram("query.scan_us")->count(),
+                    r.histogram("query.prepare_us")->count(),
+                    r.histogram("query.rank_us")->count(),
+                    r.histogram("query.total_us")->count()};
+  }
+
+  static void ExpectOneQuery(const Snapshot& before, const Snapshot& after,
+                             const core::RefineOutcome& outcome) {
+    EXPECT_EQ(after.query_count, before.query_count + 1);
+    EXPECT_EQ(after.scan_records, before.scan_records + 1);
+    EXPECT_EQ(after.prepare_records, before.prepare_records + 1);
+    EXPECT_EQ(after.rank_records, before.rank_records + 1);
+    EXPECT_EQ(after.total_records, before.total_records + 1);
+    // The registry's call tally must equal the outcome's own count: each
+    // candidate-RQ / partition SLCA computation is counted exactly once.
+    EXPECT_EQ(after.slca_calls - before.slca_calls,
+              outcome.stats.slca_calls);
+    if (outcome.stats.slca_calls > 0) {
+      // Any SLCA work consumes postings and probes neighbour lists.
+      EXPECT_GT(after.elements_scanned, before.elements_scanned);
+      EXPECT_GT(after.lookups, before.lookups);
+    }
+  }
+};
+
+TEST_F(ScanAccountingTest, PartitionPathRecordsOncePerQuery) {
+  auto corpus = testutil::MakeFigure1Corpus();
+  auto lexicon = text::Lexicon::BuiltIn();
+  for (bool prune : {true, false}) {
+    core::XRefineOptions options;
+    options.prune_partitions = prune;
+    core::XRefine engine(corpus.index.get(), &lexicon, options);
+    // Repeat the same query: the second run reuses mined rules but must
+    // still record each stage exactly once.
+    for (int run = 0; run < 2; ++run) {
+      Snapshot before = Take();
+      auto outcome = engine.RunText("databse xml");
+      ASSERT_TRUE(outcome.status.ok());
+      EXPECT_GT(outcome.stats.slca_calls, 0u);
+      ExpectOneQuery(before, Take(), outcome);
+    }
+  }
+}
+
+TEST_F(ScanAccountingTest, AllRefineAlgorithmsReconcile) {
+  auto corpus = testutil::MakeFigure1Corpus();
+  auto lexicon = text::Lexicon::BuiltIn();
+  for (core::RefineAlgorithm algorithm :
+       {core::RefineAlgorithm::kStackRefine, core::RefineAlgorithm::kPartition,
+        core::RefineAlgorithm::kShortListEager}) {
+    core::XRefineOptions options;
+    options.algorithm = algorithm;
+    core::XRefine engine(corpus.index.get(), &lexicon, options);
+    Snapshot before = Take();
+    auto outcome = engine.RunText("skyline stream");
+    ASSERT_TRUE(outcome.status.ok());
+    ExpectOneQuery(before, Take(), outcome);
+  }
+}
+
+TEST_F(ScanAccountingTest, SlcaAlgorithmChoiceKeepsCallCountStable) {
+  // Switching the SLCA kernel (scan-eager baseline vs galloping indexed
+  // lookup) must not change how many ComputeSlca invocations a query makes
+  // — only how much work each one does.
+  auto corpus = testutil::MakeFigure1Corpus();
+  auto lexicon = text::Lexicon::BuiltIn();
+  std::vector<uint64_t> calls;
+  for (slca::SlcaAlgorithm algorithm :
+       {slca::SlcaAlgorithm::kScanEager, slca::SlcaAlgorithm::kIndexedLookup}) {
+    core::XRefineOptions options;
+    options.slca_algorithm = algorithm;
+    core::XRefine engine(corpus.index.get(), &lexicon, options);
+    Snapshot before = Take();
+    auto outcome = engine.RunText("databse xml");
+    ASSERT_TRUE(outcome.status.ok());
+    Snapshot after = Take();
+    ExpectOneQuery(before, after, outcome);
+    calls.push_back(after.slca_calls - before.slca_calls);
+  }
+  EXPECT_EQ(calls[0], calls[1]);
 }
 
 }  // namespace

@@ -1,0 +1,245 @@
+// Posting-level property test of the three SLCA algorithms against a
+// brute-force reference. Unlike the document-backed differential test in
+// slca_test.cc, this one builds posting lists directly, so it can reach
+// shapes an indexed document never produces: degenerate one-branch trees,
+// duplicate labels within one list, ancestor-and-descendant postings in the
+// same list, root (depth-0) labels, and lists with no shared first
+// component. All three algorithms must agree with the reference exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "index/flat_postings.h"
+#include "slca/slca.h"
+
+namespace xrefine::slca {
+namespace {
+
+using index::FlatPostingList;
+using index::Posting;
+using index::PostingList;
+
+// SLCA semantics, computed naively: a node is an SLCA iff its subtree
+// contains a posting from every list and no descendant's subtree does.
+// Candidate nodes are every non-empty prefix of every posting label (the
+// virtual root above depth 1 is not a real node; all algorithms drop it).
+std::vector<std::string> BruteForceSlca(const std::vector<PostingList>& lists) {
+  for (const auto& list : lists) {
+    if (list.empty()) return {};
+  }
+  std::vector<xml::Dewey> candidates;
+  for (const auto& list : lists) {
+    for (const Posting& p : list) {
+      for (size_t d = 1; d <= p.dewey.depth(); ++d) {
+        candidates.push_back(p.dewey.Prefix(d));
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  std::vector<xml::Dewey> covered;
+  for (const xml::Dewey& c : candidates) {
+    bool all = true;
+    for (const auto& list : lists) {
+      bool any = false;
+      for (const Posting& p : list) {
+        if (c.IsAncestorOrSelf(p.dewey)) any = true;
+      }
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    if (all) covered.push_back(c);
+  }
+
+  std::vector<std::string> out;
+  for (const xml::Dewey& c : covered) {
+    bool has_descendant = false;
+    for (const xml::Dewey& d : covered) {
+      if (c.IsAncestor(d)) has_descendant = true;
+    }
+    if (!has_descendant) out.push_back(c.ToString());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// A random sorted posting list over a degenerate label space: a document-
+// order walk that descends (emitting ancestor-then-descendant pairs),
+// jumps to later siblings at random depths, and repeats labels.
+PostingList RandomList(Random& rng, size_t n, bool shared_root) {
+  PostingList list;
+  if (n == 0) return list;
+  std::vector<uint32_t> label;
+  if (rng.OneIn(0.1)) {
+    // Start at the root label itself (depth 0) — a boundary the stack
+    // algorithms used to mishandle.
+    list.push_back(Posting{xml::Dewey(), xml::kInvalidTypeId});
+  }
+  label.push_back(shared_root ? 0
+                              : static_cast<uint32_t>(rng.Uniform(0, 2)));
+  while (list.size() < n) {
+    list.push_back(Posting{xml::Dewey(label), xml::kInvalidTypeId});
+    double move = rng.NextDouble();
+    if (move < 0.35 && label.size() < 10) {
+      size_t grow = static_cast<size_t>(rng.Uniform(1, 3));
+      for (size_t g = 0; g < grow && label.size() < 10; ++g) {
+        label.push_back(static_cast<uint32_t>(rng.Uniform(0, 2)));
+      }
+    } else if (move < 0.85) {
+      size_t cut = static_cast<size_t>(
+          rng.Uniform(1, static_cast<int64_t>(label.size())));
+      label.resize(cut);
+      label.back() += static_cast<uint32_t>(rng.Uniform(1, 2));
+    }
+    // else: emit the same label again (duplicate).
+  }
+  return list;
+}
+
+class SlcaPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SlcaPropertyTest, AllAlgorithmsMatchPostingLevelBruteForce) {
+  Random rng(GetParam());
+  const xml::NodeTypeTable types;  // no document: all witnesses invalid
+  for (int round = 0; round < 40; ++round) {
+    // Half the rounds share a document root (the indexed-corpus invariant);
+    // the rest scatter first components to stress the depth-0 boundary.
+    bool shared_root = round % 2 == 0;
+    size_t m = static_cast<size_t>(rng.Uniform(2, 4));
+    std::vector<PostingList> lists;
+    for (size_t i = 0; i < m; ++i) {
+      lists.push_back(RandomList(
+          rng, static_cast<size_t>(rng.Uniform(1, 40)), shared_root));
+    }
+    auto expected = BruteForceSlca(lists);
+
+    std::vector<FlatPostingList> flats;
+    flats.reserve(lists.size());
+    for (const auto& list : lists) {
+      flats.push_back(FlatPostingList::FromPostings(list));
+    }
+    std::vector<PostingSpan> spans;
+    for (const auto& flat : flats) spans.emplace_back(flat);
+
+    for (SlcaAlgorithm algorithm :
+         {SlcaAlgorithm::kStack, SlcaAlgorithm::kScanEager,
+          SlcaAlgorithm::kIndexedLookup}) {
+      auto results = ComputeSlca(spans, types, algorithm);
+      std::vector<std::string> got;
+      for (const auto& r : results) got.push_back(r.dewey.ToString());
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, expected)
+          << "round " << round << " algo " << static_cast<int>(algorithm)
+          << " shared_root " << shared_root;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlcaPropertyTest,
+                         ::testing::Values(1, 11, 21, 31, 41, 51, 61, 71));
+
+// Pinned boundary cases (found by earlier sweeps; kept as regressions).
+
+std::vector<std::string> RunAll(const std::vector<PostingList>& lists,
+                                SlcaAlgorithm algorithm) {
+  const xml::NodeTypeTable types;
+  std::vector<FlatPostingList> flats;
+  for (const auto& list : lists) {
+    flats.push_back(FlatPostingList::FromPostings(list));
+  }
+  std::vector<PostingSpan> spans;
+  for (const auto& flat : flats) spans.emplace_back(flat);
+  auto results = ComputeSlca(spans, types, algorithm);
+  std::vector<std::string> got;
+  for (const auto& r : results) got.push_back(r.dewey.ToString());
+  std::sort(got.begin(), got.end());
+  return got;
+}
+
+constexpr SlcaAlgorithm kAll[] = {SlcaAlgorithm::kStack,
+                                  SlcaAlgorithm::kScanEager,
+                                  SlcaAlgorithm::kIndexedLookup};
+
+PostingList L(const std::vector<std::vector<uint32_t>>& labels) {
+  PostingList out;
+  for (const auto& l : labels) {
+    out.push_back(Posting{xml::Dewey(l), xml::kInvalidTypeId});
+  }
+  return out;
+}
+
+TEST(SlcaBoundaryTest, RootOnlyListYieldsNothing) {
+  // A depth-0 posting covers only the virtual root, which is not a result;
+  // the stack algorithms used to hit an empty-stack pop here instead.
+  std::vector<PostingList> lists = {L({{}}), L({{0}, {0, 1}})};
+  for (auto algorithm : kAll) {
+    EXPECT_EQ(RunAll(lists, algorithm), BruteForceSlca(lists));
+    EXPECT_TRUE(RunAll(lists, algorithm).empty());
+  }
+}
+
+TEST(SlcaBoundaryTest, RootPostingAmongRealOnes) {
+  std::vector<PostingList> lists = {L({{}, {0, 1}}), L({{0, 1, 2}})};
+  auto expected = BruteForceSlca(lists);
+  EXPECT_EQ(expected, (std::vector<std::string>{"0.1"}));
+  for (auto algorithm : kAll) {
+    EXPECT_EQ(RunAll(lists, algorithm), expected);
+  }
+}
+
+TEST(SlcaBoundaryTest, NoSharedFirstComponent) {
+  // LCA is the virtual root only: every algorithm must return empty, not
+  // an empty-labelled result.
+  std::vector<PostingList> lists = {L({{1, 0}}), L({{2, 0}})};
+  for (auto algorithm : kAll) {
+    EXPECT_TRUE(RunAll(lists, algorithm).empty());
+  }
+}
+
+TEST(SlcaBoundaryTest, AncestorAndDescendantInOneList) {
+  // {0} is an ancestor of {0,1}; the smallest witness pair is {0,1} x
+  // {0,1,5}.
+  std::vector<PostingList> lists = {L({{0}, {0, 1}}), L({{0, 1, 5}})};
+  auto expected = BruteForceSlca(lists);
+  EXPECT_EQ(expected, (std::vector<std::string>{"0.1"}));
+  for (auto algorithm : kAll) {
+    EXPECT_EQ(RunAll(lists, algorithm), expected);
+  }
+}
+
+TEST(SlcaBoundaryTest, DuplicateLabelsAcrossLists) {
+  // The same node matches both keywords: it is its own SLCA.
+  std::vector<PostingList> lists = {L({{0, 2}, {0, 2}}), L({{0, 2}})};
+  auto expected = BruteForceSlca(lists);
+  EXPECT_EQ(expected, (std::vector<std::string>{"0.2"}));
+  for (auto algorithm : kAll) {
+    EXPECT_EQ(RunAll(lists, algorithm), expected);
+  }
+}
+
+TEST(SlcaBoundaryTest, DeepOneBranchChain) {
+  // Degenerate path-shaped "tree": every deeper posting subsumes the
+  // shallower ones; only the deepest pair survives the smallest filter.
+  std::vector<std::vector<uint32_t>> chain;
+  std::vector<uint32_t> label;
+  for (uint32_t d = 0; d < 40; ++d) {
+    label.push_back(0);
+    chain.push_back(label);
+  }
+  std::vector<PostingList> lists = {L(chain), L({chain.back()})};
+  auto expected = BruteForceSlca(lists);
+  ASSERT_EQ(expected.size(), 1u);
+  for (auto algorithm : kAll) {
+    EXPECT_EQ(RunAll(lists, algorithm), expected);
+  }
+}
+
+}  // namespace
+}  // namespace xrefine::slca

@@ -15,7 +15,6 @@
 namespace xrefine::slca {
 namespace {
 
-using index::PostingList;
 using testutil::DeweyStrings;
 using testutil::MakeFigure1Corpus;
 
@@ -196,7 +195,7 @@ TEST_P(SlcaDifferentialTest, AllAlgorithmsMatchBruteForce) {
         std::vector<PostingSpan> lists;
         bool missing = false;
         for (const auto& k : q) {
-          const PostingList* list = corpus->index().Find(k);
+          const index::FlatPostingList* list = corpus->index().FindFlat(k);
           if (list == nullptr) {
             missing = true;
             break;

@@ -73,7 +73,7 @@ TEST(StoreSourceTest, FetchListMatchesInMemoryAndCaches) {
   ASSERT_TRUE(handle);
   const PostingList* expected = corpus.index->index().Find("xml");
   ASSERT_NE(expected, nullptr);
-  EXPECT_EQ(*handle, *expected);
+  EXPECT_EQ(handle->ToPostings(), *expected);
   EXPECT_EQ(source.cached_lists(), 1u);
   EXPECT_EQ(misses.value(), misses_before + 1);
 
@@ -108,7 +108,7 @@ TEST(StoreSourceTest, CacheEvictsUnderBudgetButPinsSurvive) {
   EXPECT_EQ(source.cached_lists(), 1u);
   // The pinned list stays valid after its eviction.
   const PostingList* expected = corpus.index->index().Find("xml");
-  EXPECT_EQ(*pin, *expected);
+  EXPECT_EQ(pin->ToPostings(), *expected);
 }
 
 // End-to-end equivalence: the engine must refine identically whether it
@@ -204,21 +204,24 @@ TEST(StoreSourceTest, DecodeRejectsHostilePostingCount) {
   auto corpus = MakeFigure1Corpus();
   const PostingList* list = corpus.index->index().Find("xml");
   ASSERT_NE(list, nullptr);
-  std::string record = EncodePostings(*list);
+  for (PostingFormat format :
+       {PostingFormat::kPrefixDelta, PostingFormat::kBlocked}) {
+    std::string record = EncodePostings(*list, format);
 
-  // Splice a huge count varint after the version byte: decode must reject
-  // it against the remaining bytes instead of reserving gigabytes.
-  std::string hostile;
-  hostile.push_back(record[0]);
-  for (uint32_t v = 0xffffffff; v >= 0x80; v >>= 7) {
-    hostile.push_back(static_cast<char>(0x80 | (v & 0x7f)));
+    // Splice a huge count varint after the version byte: decode must reject
+    // it against the remaining bytes instead of reserving gigabytes.
+    std::string hostile;
+    hostile.push_back(record[0]);
+    for (uint32_t v = 0xffffffff; v >= 0x80; v >>= 7) {
+      hostile.push_back(static_cast<char>(0x80 | (v & 0x7f)));
+    }
+    hostile.push_back(0x0f);
+    hostile += record.substr(1);
+    PostingList decoded;
+    auto st = DecodePostings(hostile, &decoded);
+    EXPECT_FALSE(st.ok());
+    EXPECT_TRUE(st.IsCorruption()) << st;
   }
-  hostile.push_back(0x0f);
-  hostile += record.substr(1);
-  PostingList decoded;
-  auto st = DecodePostings(hostile, &decoded);
-  EXPECT_FALSE(st.ok());
-  EXPECT_TRUE(st.IsCorruption()) << st;
 }
 
 // --- satellite 3: re-save clears stale keys ---------------------------------
@@ -294,7 +297,7 @@ TEST(StoreSourceTest, ConcurrentFetchesAreCoherent) {
         PostingListHandle handle = std::move(handle_or).value();
         const PostingList* expected = corpus.index->index().Find(kw);
         if (!handle || expected == nullptr ||
-            *handle != *expected) {
+            handle->ToPostings() != *expected) {
           failures.fetch_add(1, std::memory_order_relaxed);
         }
       }
@@ -358,7 +361,8 @@ TEST(StoreSourceTest, AdmissionKeepsHotSetThroughColdScan) {
       ASSERT_TRUE(handle_or.ok());
       // Rejected or not, the caller is always served the real list.
       ASSERT_TRUE(handle_or.value());
-      EXPECT_EQ(*handle_or.value(), *corpus.index->index().Find(word));
+      EXPECT_EQ(handle_or.value()->ToPostings(),
+                *corpus.index->index().Find(word));
     }
   };
 

@@ -66,6 +66,17 @@ echo "=== [tsan] bench_pager_stress ==="
 (cd "$MATRIX_DIR/tsan" && ./bench/bench_pager_stress >/dev/null)
 echo "=== [tsan] pager stress OK ==="
 
+# Scan-path smoke under TSan: concurrent SLCA scans against one shared
+# StoreBackedIndexSource — galloping probes over pinned flat lists, blocked
+# record decodes racing through the single-flight cache. The binary also
+# cross-checks v2-vs-v3 SLCA results and exits non-zero on divergence, so
+# this doubles as a correctness gate in the matrix. (The codec itself —
+# posting_blocks_test — runs in every config's ctest pass, including the
+# asan and ubsan legs.)
+echo "=== [tsan] bench_scan smoke ==="
+(cd "$MATRIX_DIR/tsan" && ./bench/bench_scan --quick >/dev/null)
+echo "=== [tsan] scan smoke OK ==="
+
 # Prepare-path smoke under TSan: rule generation over the shared
 # VocabularyIndex snapshot (built once, read concurrently by engines) and
 # the TinyLFU-advised posting-list cache, whose sketch shares the cache
