@@ -1,0 +1,77 @@
+// Runtime lock-rank checker behind -DXREFINE_DEBUG_LOCKS=ON (see
+// thread_annotations.h for the rank table). Each thread tracks the ranked
+// mutexes it holds in a fixed-size thread-local stack; acquiring a mutex
+// whose rank is not strictly above the previous acquisition aborts with
+// both mutex names. No allocation, no synchronisation — the stack is
+// thread-local and lock operations on other threads are invisible by
+// construction.
+#include "common/thread_annotations.h"
+
+#if defined(XREFINE_DEBUG_LOCKS)
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xrefine::lock_rank_internal {
+
+namespace {
+
+struct HeldLock {
+  int rank;
+  const char* name;
+};
+
+// Deep enough for any real acquisition chain (the documented maximum is 3:
+// BTree → pager shard → io_mu_, plus the registry); overflow means a leak
+// in Note{Acquire,Release} pairing and aborts loudly rather than dropping
+// entries.
+constexpr int kMaxHeld = 16;
+
+thread_local HeldLock t_held[kMaxHeld];
+thread_local int t_depth = 0;
+
+}  // namespace
+
+void NoteAcquire(int rank, const char* name) {
+  if (t_depth > 0) {
+    const HeldLock& top = t_held[t_depth - 1];
+    if (top.rank >= rank) {
+      std::fprintf(
+          stderr,
+          "lock-rank inversion: acquiring \"%s\" (rank %d) while holding "
+          "\"%s\" (rank %d); the documented order (DESIGN.md §9) requires "
+          "strictly increasing ranks\n",
+          name, rank, top.name, top.rank);
+      std::abort();
+    }
+  }
+  if (t_depth >= kMaxHeld) {
+    std::fprintf(stderr,
+                 "lock-rank checker: thread holds more than %d ranked locks "
+                 "acquiring \"%s\" — unbalanced NoteAcquire/NoteRelease?\n",
+                 kMaxHeld, name);
+    std::abort();
+  }
+  t_held[t_depth++] = HeldLock{rank, name};
+}
+
+void NoteRelease(int rank, const char* name) {
+  // Releases are almost always LIFO (RAII guards), but out-of-order unlock
+  // is legal — remove the most recent matching entry.
+  for (int i = t_depth - 1; i >= 0; --i) {
+    if (t_held[i].rank == rank && t_held[i].name == name) {
+      for (int j = i; j + 1 < t_depth; ++j) t_held[j] = t_held[j + 1];
+      --t_depth;
+      return;
+    }
+  }
+  std::fprintf(stderr,
+               "lock-rank checker: releasing \"%s\" (rank %d) which this "
+               "thread does not hold\n",
+               name, rank);
+  std::abort();
+}
+
+}  // namespace xrefine::lock_rank_internal
+
+#endif  // XREFINE_DEBUG_LOCKS

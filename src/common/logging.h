@@ -54,7 +54,18 @@ class Voidify {
           .stream()                                                       \
       << "Check failed: " #cond " "
 
+// Debug-only check: identical to XR_CHECK in debug builds, compiled out
+// (condition NOT evaluated) under NDEBUG so hot-path assertions — random.cc
+// bounds, span/arena index checks — cost nothing in release binaries. The
+// `while (false)` form keeps the condition and any streamed operands
+// type-checked in every configuration, so a release build cannot rot an
+// assertion that only compiles in debug.
+#ifdef NDEBUG
+#define XR_DCHECK(cond) \
+  while (false) XR_CHECK(cond)
+#else
 #define XR_DCHECK(cond) XR_CHECK(cond)
+#endif
 
 }  // namespace xrefine
 

@@ -134,7 +134,7 @@ class Registry {
   void DumpText(std::ostream& os) const;
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{kLockRankMetricsRegistry, "metrics::Registry::mu_"};
   // std::map: sorted dumps for free; unique_ptr: stable addresses across
   // rehash/rebalance so cached pointers never dangle. The registry maps are
   // guarded; the metric objects themselves are lock-free atomics, so cached

@@ -78,21 +78,88 @@
 
 namespace xrefine {
 
+// --- Lock ranks (dynamic order checking) ------------------------------------
+//
+// The documented lock order (DESIGN.md §9: BTree latch → pager shard latch
+// → io_mu_; every other mutex is leaf-level) is encoded as a total rank per
+// mutex. Under -DXREFINE_DEBUG_LOCKS=ON each thread keeps a stack of the
+// ranks it holds, and acquiring a mutex whose rank is not strictly greater
+// than the most recently acquired one aborts the process with both mutex
+// names — turning a latent deadlock into a deterministic crash at the first
+// inverted acquisition, whether or not the opposing thread ever shows up.
+// In every other build the rank arguments compile to nothing.
+//
+// Gaps are deliberate: new mutexes slot between existing levels without
+// renumbering. Equal ranks can never nest (the check is strict), which also
+// enforces "never two pager shard latches at once".
+enum LockRank : int {
+  kLockRankBTree = 10,           // BTree::mu_ (tree-wide reader/writer latch)
+  kLockRankPagerShard = 20,      // Pager::Shard::mu (8 stripes, one rank)
+  kLockRankPagerIo = 30,         // Pager::io_mu_
+  kLockRankCooccurrence = 40,    // CooccurrenceTable::mu_ (leaf)
+  kLockRankStoreSourceCache = 44,  // StoreBackedIndexSource::mu_ (leaf)
+  kLockRankQueryLogRules = 48,   // XRefine::log_rules_mu_ (leaf)
+  // Highest: the registry latch may be taken during the lazy first-use
+  // registration of a metric while any other latch is held (e.g. the first
+  // counter bump under a shard latch), so everything must rank below it.
+  kLockRankMetricsRegistry = 90,
+};
+
+/// Rank given to default-constructed mutexes: participates in checking as a
+/// leaf below the registry, so unranked ad-hoc mutexes cannot silently wrap
+/// ranked ones.
+inline constexpr int kLockRankUnranked = 80;
+
+#if defined(XREFINE_DEBUG_LOCKS)
+namespace lock_rank_internal {
+/// Verifies `rank` is strictly above every rank this thread already holds
+/// (aborting with both names otherwise), then records the acquisition.
+void NoteAcquire(int rank, const char* name);
+/// Removes the most recent matching acquisition from the thread's stack.
+void NoteRelease(int rank, const char* name);
+}  // namespace lock_rank_internal
+#endif
+
 /// std::mutex with the `mutex` capability, so members can be declared
 /// GUARDED_BY(mu_) and helpers REQUIRES(mu_). Prefer MutexLock over calling
-/// Lock/Unlock directly.
+/// Lock/Unlock directly. The (rank, name) constructor places the mutex in
+/// the global lock order for the XREFINE_DEBUG_LOCKS runtime checker; both
+/// arguments are ignored (zero cost, zero storage) in other builds.
 class CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
-  Mutex(const Mutex&) = delete;
-  Mutex& operator=(const Mutex&) = delete;
+#if defined(XREFINE_DEBUG_LOCKS)
+  Mutex(int rank, const char* name) : rank_(rank), name_(name) {}
+
+  void Lock() ACQUIRE() {
+    lock_rank_internal::NoteAcquire(rank_, name_);
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    mu_.unlock();
+    lock_rank_internal::NoteRelease(rank_, name_);
+  }
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    lock_rank_internal::NoteAcquire(rank_, name_);
+    return true;
+  }
+#else
+  Mutex(int /*rank*/, const char* /*name*/) {}
 
   void Lock() ACQUIRE() { mu_.lock(); }
   void Unlock() RELEASE() { mu_.unlock(); }
   bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+#endif
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
 
  private:
   std::mutex mu_;
+#if defined(XREFINE_DEBUG_LOCKS)
+  const int rank_ = kLockRankUnranked;
+  const char* const name_ = "unranked Mutex";
+#endif
 };
 
 /// RAII scoped acquisition of a Mutex (the annotated std::lock_guard).
@@ -116,16 +183,45 @@ class SCOPED_CAPABILITY MutexLock {
 class CAPABILITY("mutex") SharedMutex {
  public:
   SharedMutex() = default;
-  SharedMutex(const SharedMutex&) = delete;
-  SharedMutex& operator=(const SharedMutex&) = delete;
+#if defined(XREFINE_DEBUG_LOCKS)
+  SharedMutex(int rank, const char* name) : rank_(rank), name_(name) {}
+
+  // Shared acquisitions participate in rank checking exactly like
+  // exclusive ones: a reader blocked behind a writer deadlocks the same
+  // way, so the order constraint is identical.
+  void Lock() ACQUIRE() {
+    lock_rank_internal::NoteAcquire(rank_, name_);
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    mu_.unlock();
+    lock_rank_internal::NoteRelease(rank_, name_);
+  }
+  void ReaderLock() ACQUIRE_SHARED() {
+    lock_rank_internal::NoteAcquire(rank_, name_);
+    mu_.lock_shared();
+  }
+  void ReaderUnlock() RELEASE_SHARED() {
+    mu_.unlock_shared();
+    lock_rank_internal::NoteRelease(rank_, name_);
+  }
+#else
+  SharedMutex(int /*rank*/, const char* /*name*/) {}
 
   void Lock() ACQUIRE() { mu_.lock(); }
   void Unlock() RELEASE() { mu_.unlock(); }
   void ReaderLock() ACQUIRE_SHARED() { mu_.lock_shared(); }
   void ReaderUnlock() RELEASE_SHARED() { mu_.unlock_shared(); }
+#endif
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
 
  private:
   std::shared_mutex mu_;
+#if defined(XREFINE_DEBUG_LOCKS)
+  const int rank_ = kLockRankUnranked;
+  const char* const name_ = "unranked SharedMutex";
+#endif
 };
 
 /// RAII exclusive acquisition of a SharedMutex.

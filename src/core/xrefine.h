@@ -101,7 +101,7 @@ class XRefine {
   RuleGenerator rule_generator_;
   // Mined from an attached query log; empty by default. Written by
   // AttachQueryLog, read by Prepare — the engine's only mutable member.
-  mutable Mutex log_rules_mu_;
+  mutable Mutex log_rules_mu_{kLockRankQueryLogRules, "XRefine::log_rules_mu_"};
   RuleSet log_rules_ GUARDED_BY(log_rules_mu_);
 };
 

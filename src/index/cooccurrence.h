@@ -76,7 +76,7 @@ class CooccurrenceTable {
 
   const IndexSource* source_;
   const xml::NodeTypeTable* types_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{kLockRankCooccurrence, "CooccurrenceTable::mu_"};
   // Guarded memoisation maps. References returned by AnchorSet() outlive
   // the lock by design: unordered_map never invalidates element references
   // on rehash, and entries are never erased.

@@ -71,6 +71,16 @@ Status DecodeTypes(std::string_view data, xml::NodeTypeTable* types) {
     }
     xml::TypeId parent =
         parent_plus1 == 0 ? xml::kInvalidTypeId : parent_plus1 - 1;
+    // Entries are written in interning order, so a valid parent always
+    // precedes its children. Intern() indexes its entry table by `parent`
+    // (DCHECK-guarded only), so an unchecked hostile id would be an
+    // out-of-bounds read in release builds.
+    if (parent != xml::kInvalidTypeId && parent >= i) {
+      return Status::Corruption("types: entry " + std::to_string(i) +
+                                " references parent " +
+                                std::to_string(parent) +
+                                " at or after itself");
+    }
     xml::TypeId id = types->Intern(parent, tag);
     if (id != i) {
       return Status::Corruption("types: interning order mismatch");
@@ -214,6 +224,13 @@ Status DecodePostings(std::string_view data, PostingList* list) {
       components.push_back(c);
     }
     list->push_back(Posting{xml::Dewey(components), type});
+  }
+  // Bytes past the declared postings are corruption, exactly as in the
+  // blocked (v3) reader — without this, a damaged record could pass here
+  // yet fail DecodePostingsFlat, and which error a caller sees would
+  // depend on which decode path happened to serve it.
+  if (p != limit) {
+    return Status::Corruption("postings: record has trailing bytes");
   }
   return Status::OK();
 }

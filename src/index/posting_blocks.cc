@@ -151,6 +151,14 @@ StatusOr<BlockedPostingCursor> BlockedPostingCursor::Open(
     seen += count;
     p += payload_bytes;
     cursor.blocks_.push_back(meta);
+    // The skip directory is only usable if block maxes are in document
+    // order — FindBlock binary-searches them. A record whose maxes go
+    // backwards would not crash, it would silently mis-route probes and
+    // drop postings from query results, so treat it as corruption here.
+    const size_t b = cursor.blocks_.size() - 1;
+    if (b > 0 && cursor.block_max(b) < cursor.block_max(b - 1)) {
+      return Status::Corruption("postings: block max labels out of order");
+    }
   }
   if (seen != total) {
     return Status::Corruption("postings: block counts sum to " +

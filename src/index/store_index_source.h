@@ -132,7 +132,7 @@ class StoreBackedIndexSource : public IndexSource {
 
   // Bounded LRU over decoded lists. shared_ptr ownership lets eviction
   // proceed while queries still scan the evicted list through their pins.
-  mutable Mutex mu_;
+  mutable Mutex mu_{kLockRankStoreSourceCache, "StoreBackedIndexSource::mu_"};
   mutable std::unordered_map<std::string, CacheEntry> cache_ GUARDED_BY(mu_);
   mutable std::list<std::string> lru_ GUARDED_BY(mu_);  // front = hottest
   mutable size_t cache_bytes_ GUARDED_BY(mu_) = 0;

@@ -301,6 +301,56 @@ void RemoveCellAt(Page* p, int pos, size_t cell_size) {
   SetNumCells(p, static_cast<uint16_t>(n - 1));
 }
 
+// --- Untrusted-page validation ----------------------------------------------
+
+// Deeper than any tree a 32-bit page id space can hold; a descent that has
+// not reached a leaf after this many hops is following a page cycle in a
+// corrupt file, not a path.
+constexpr int kMaxDescentDepth = 64;
+
+// Bounds-checks the slotted-cell geometry of a node page before any cell
+// accessor trusts its offsets: the type byte, the slot array against the
+// content offset, and every cell's full extent (header + key + payload)
+// against the page end. Memoised on the Page via layout_checked, so a page
+// pays one pass per load, not one per access. Pages the tree writes itself
+// satisfy this by construction; the check exists for bytes that came off
+// disk.
+bool ValidNodePage(const Page* p) {
+  if (p->layout_checked.load(std::memory_order_acquire)) return true;
+  uint8_t type = PageType(p);
+  if (type != kLeafPage && type != kInternalPage) return false;
+  size_t n = NumCells(p);
+  size_t slots_end = kHeaderSize + 2 * n;
+  size_t content = ContentOffset(p);
+  if (slots_end > content || content > kPageSize) return false;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t off = SlotAt(p, static_cast<int>(i));
+    if (off < content || off >= kPageSize) return false;
+    const char* cell = p->data + off;
+    if (type == kLeafPage) {
+      if (off + 7 > kPageSize) return false;
+      uint64_t key_len = GetFixed16(cell);
+      uint8_t flags = static_cast<uint8_t>(cell[2]);
+      uint64_t payload_len = (flags == 0) ? GetFixed32(cell + 3) : 4u;
+      if (off + 7 + key_len + payload_len > kPageSize) return false;
+    } else {
+      if (off + 6 > kPageSize) return false;
+      uint64_t key_len = GetFixed16(cell);
+      if (off + 6 + key_len > kPageSize) return false;
+    }
+  }
+  p->layout_checked.store(true, std::memory_order_release);
+  return true;
+}
+
+// Overflow pages carry no slot array; their one untrusted field is the
+// used-bytes count (stored in the content-offset slot), which must not
+// reach past the page end.
+bool ValidOverflowPage(const Page* p) {
+  return PageType(p) == kOverflowPage &&
+         ContentOffset(p) <= kOverflowCapacity;
+}
+
 }  // namespace
 
 // --- BTree ------------------------------------------------------------------
@@ -327,6 +377,9 @@ StatusOr<std::unique_ptr<BTree>> BTree::Open(Pager* pager) {
     if (!root.valid()) {
       return Status::Corruption("metadata points at a missing root page");
     }
+    if (!ValidNodePage(root.get())) {
+      return Status::Corruption("root is not a valid node page");
+    }
   } else {
     return Status::Corruption("bad btree magic");
   }
@@ -345,13 +398,14 @@ void BTree::WriteMeta() {
 
 PageGuard BTree::FindLeaf(std::string_view key) const {
   PageId cur = root_;
-  while (true) {
+  for (int depth = 0; depth < kMaxDescentDepth; ++depth) {
     PageGuard p = pager_->Fetch(cur);
     Metrics().node_reads->Increment();
-    if (!p.valid()) return PageGuard();
+    if (!p.valid() || !ValidNodePage(p.get())) return PageGuard();
     if (PageType(p.get()) == kLeafPage) return p;
     cur = InternalChildFor(p.get(), key);
   }
+  return PageGuard();  // descent never bottomed out: page cycle
 }
 
 std::string BTree::EncodePayload(std::string_view value) {
@@ -410,17 +464,23 @@ Status BTree::Put(std::string_view key, std::string_view value) {
 
 Status BTree::InsertRecursive(PageId page_id, std::string_view key,
                               std::string_view value, bool* replaced,
-                              std::optional<SplitResult>* split) {
+                              std::optional<SplitResult>* split, int depth) {
+  if (depth >= kMaxDescentDepth) {
+    return Status::Corruption("insert descent too deep: page cycle");
+  }
   PageGuard p = pager_->Fetch(page_id);
   Metrics().node_reads->Increment();
   if (!p.valid()) return Status::Corruption("dangling page id");
+  if (!ValidNodePage(p.get())) {
+    return Status::Corruption("invalid node page " + std::to_string(page_id));
+  }
   if (PageType(p.get()) == kLeafPage) {
     return InsertIntoLeaf(p.get(), key, value, replaced, split);
   }
   uint32_t child = InternalChildFor(p.get(), key);
   std::optional<SplitResult> child_split;
   XREFINE_RETURN_IF_ERROR(
-      InsertRecursive(child, key, value, replaced, &child_split));
+      InsertRecursive(child, key, value, replaced, &child_split, depth + 1));
   if (!child_split.has_value()) return Status::OK();
   return InsertIntoInternal(p.get(), *child_split, split);
 }
@@ -552,7 +612,7 @@ StatusOr<std::string> BTree::Get(std::string_view key) const {
   ReaderMutexLock lock(&mu_);
   PageGuard leaf_guard = FindLeaf(key);
   if (!leaf_guard.valid()) {
-    return Status::IoError("get: unreadable page on descent");
+    return Status::IoError("get: unreadable or corrupt page on descent");
   }
   Page* leaf = leaf_guard.get();
   bool found = false;
@@ -562,15 +622,26 @@ StatusOr<std::string> BTree::Get(std::string_view key) const {
   uint32_t val_len = LeafCellValueLength(leaf, pos);
   const char* payload = LeafCellPayload(leaf, pos);
   if (flags == 0) return std::string(payload, val_len);
-  // Follow the overflow chain.
+  // Follow the overflow chain. The declared length is untrusted: reserve
+  // only what the file could actually deliver, or a hostile val_len would
+  // drive a multi-GB allocation before the first chain read fails.
   std::string out;
-  out.reserve(val_len);
+  out.reserve(std::min<uint64_t>(
+      val_len,
+      static_cast<uint64_t>(pager_->page_count()) * kOverflowCapacity));
   PageId ovf = GetFixed32(payload);
   leaf_guard.Release();
+  // Hop cap: a chain that visits more pages than the file holds is cyclic
+  // (and a zero-`used` cycle would otherwise never grow out.size()).
+  const uint64_t max_hops = static_cast<uint64_t>(pager_->page_count()) + 1;
+  uint64_t hops = 0;
   while (ovf != kInvalidPageId && out.size() < val_len) {
+    if (++hops > max_hops) {
+      return Status::Corruption("overflow chain cycle");
+    }
     PageGuard p = pager_->Fetch(ovf);
     Metrics().overflow_follows->Increment();
-    if (!p.valid() || PageType(p.get()) != kOverflowPage) {
+    if (!p.valid() || !ValidOverflowPage(p.get())) {
       return Status::Corruption("broken overflow chain");
     }
     size_t used = ContentOffset(p.get());
@@ -587,7 +658,7 @@ Status BTree::Delete(std::string_view key) {
   WriterMutexLock lock(&mu_);
   PageGuard leaf_guard = FindLeaf(key);
   if (!leaf_guard.valid()) {
-    return Status::IoError("delete: unreadable page on descent");
+    return Status::IoError("delete: unreadable or corrupt page on descent");
   }
   Page* leaf = leaf_guard.get();
   bool found = false;
@@ -614,12 +685,21 @@ struct VerifyState {
 // Recursive bound-checked walk. `low`/`high` are exclusive bounds ("" = no
 // bound).
 static Status VerifyNode(Pager* pager, PageId id, const std::string& low,
-                         const std::string& high, VerifyState* state) {
+                         const std::string& high, VerifyState* state,
+                         int depth) {
+  if (depth >= kMaxDescentDepth) {
+    return Status::Corruption("verify: tree deeper than any valid file "
+                              "(page cycle)");
+  }
   PageGuard guard = pager->Fetch(id);
   if (!guard.valid()) {
     return Status::Corruption("verify: dangling page " + std::to_string(id));
   }
   Page* p = guard.get();
+  if (!ValidNodePage(p)) {
+    return Status::Corruption("verify: invalid node page " +
+                              std::to_string(id));
+  }
   uint8_t type = PageType(p);
   uint16_t n = NumCells(p);
   if (type == kLeafPage) {
@@ -655,7 +735,7 @@ static Status VerifyNode(Pager* pager, PageId id, const std::string& low,
     }
     PageId child = (i == 0) ? Link(p) : InternalCellChild(p, i - 1);
     XREFINE_RETURN_IF_ERROR(
-        VerifyNode(pager, child, child_low, child_high, state));
+        VerifyNode(pager, child, child_low, child_high, state, depth + 1));
     child_low = child_high;
   }
   return Status::OK();
@@ -664,7 +744,7 @@ static Status VerifyNode(Pager* pager, PageId id, const std::string& low,
 Status BTree::VerifyIntegrity() const {
   ReaderMutexLock lock(&mu_);
   VerifyState state;
-  XREFINE_RETURN_IF_ERROR(VerifyNode(pager_, root_, "", "", &state));
+  XREFINE_RETURN_IF_ERROR(VerifyNode(pager_, root_, "", "", &state, 0));
   if (state.keys != size_) {
     return Status::Corruption("verify: key count " +
                               std::to_string(state.keys) +
@@ -700,13 +780,21 @@ void BTree::Cursor::Seek(std::string_view key) {
   ReaderMutexLock lock(&tree_->mu_);
   PageGuard p = tree_->pager_->Fetch(tree_->root_);
   Metrics().node_reads->Increment();
-  while (p.valid() && PageType(p.get()) != kLeafPage) {
+  int depth = 0;
+  while (p.valid() && ValidNodePage(p.get()) &&
+         PageType(p.get()) != kLeafPage) {
+    if (++depth >= kMaxDescentDepth) {
+      p = PageGuard();  // page cycle in a corrupt file
+      break;
+    }
     PageId next = key.empty() ? Link(p.get()) : InternalChildFor(p.get(), key);
     p = tree_->pager_->Fetch(next);
     Metrics().node_reads->Increment();
   }
+  if (p.valid() && !ValidNodePage(p.get())) p = PageGuard();
   if (!p.valid()) {
-    status_ = Status::IoError("cursor seek: unreadable page on descent");
+    status_ =
+        Status::IoError("cursor seek: unreadable or corrupt page on descent");
   }
   leaf_ = std::move(p);
   if (!leaf_.valid()) return;
@@ -720,6 +808,11 @@ void BTree::Cursor::Seek(std::string_view key) {
 }
 
 void BTree::Cursor::SkipEmptyLeaves() {
+  // A leaf chain longer than the file's page count is a cycle of (empty)
+  // leaves in a corrupt file; without the cap this loop would never exit.
+  const uint64_t max_hops =
+      static_cast<uint64_t>(tree_->pager_->page_count()) + 1;
+  uint64_t hops = 0;
   while (leaf_.valid()) {
     if (index_ < NumCells(leaf_.get())) return;
     PageId next = Link(leaf_.get());
@@ -727,7 +820,23 @@ void BTree::Cursor::SkipEmptyLeaves() {
       leaf_ = PageGuard();  // genuinely past the last key: status stays OK
       return;
     }
+    if (++hops > max_hops) {
+      leaf_ = PageGuard();
+      if (status_.ok()) {
+        status_ = Status::Corruption("cursor: leaf chain cycle");
+      }
+      return;
+    }
     leaf_ = tree_->pager_->Fetch(next);
+    if (leaf_.valid() && (!ValidNodePage(leaf_.get()) ||
+                          PageType(leaf_.get()) != kLeafPage)) {
+      leaf_ = PageGuard();
+      if (status_.ok()) {
+        status_ = Status::Corruption("cursor: leaf chain links a non-leaf "
+                                     "page " + std::to_string(next));
+      }
+      return;
+    }
     if (!leaf_.valid() && status_.ok()) {
       status_ = Status::IoError("cursor: unreadable leaf page " +
                                 std::to_string(next));
@@ -760,13 +869,18 @@ std::string BTree::Cursor::value_prefix(size_t max_bytes) const {
   const char* payload = LeafCellPayload(p, index_);
   size_t want = std::min<size_t>(val_len, max_bytes);
   if (flags == 0) return std::string(payload, want);
+  // Same cycle cap and untrusted-length reserve clamp as BTree::Get's
+  // overflow walk.
+  const uint64_t max_hops =
+      static_cast<uint64_t>(tree_->pager_->page_count()) + 1;
   std::string out;
-  out.reserve(want);
+  out.reserve(std::min<uint64_t>(want, max_hops * kOverflowCapacity));
   PageId ovf = GetFixed32(payload);
+  uint64_t hops = 0;
   while (ovf != kInvalidPageId && out.size() < want) {
     PageGuard op = tree_->pager_->Fetch(ovf);
     Metrics().overflow_follows->Increment();
-    if (!op.valid() || PageType(op.get()) != kOverflowPage) {
+    if (++hops > max_hops || !op.valid() || !ValidOverflowPage(op.get())) {
       if (status_.ok()) {
         status_ = Status::Corruption("cursor value: broken overflow chain");
       }

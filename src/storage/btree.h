@@ -126,7 +126,8 @@ class BTree {
 
   Status InsertRecursive(PageId page_id, std::string_view key,
                          std::string_view value, bool* replaced,
-                         std::optional<SplitResult>* split) REQUIRES(mu_);
+                         std::optional<SplitResult>* split, int depth = 0)
+      REQUIRES(mu_);
   Status InsertIntoLeaf(Page* page, std::string_view key,
                         std::string_view value, bool* replaced,
                         std::optional<SplitResult>* split) REQUIRES(mu_);
@@ -134,7 +135,9 @@ class BTree {
                             std::optional<SplitResult>* split) REQUIRES(mu_);
 
   /// Finds and pins the leaf page that may contain `key`; an invalid guard
-  /// when a page on the descent is unreadable. Descents only read, so the
+  /// when a page on the descent is unreadable, fails validation, or the
+  /// descent exceeds the depth cap (a page cycle in a corrupt file).
+  /// Descents only read, so the
   /// shared side of the latch suffices (writers hold it exclusively, which
   /// also satisfies this).
   PageGuard FindLeaf(std::string_view key) const REQUIRES_SHARED(mu_);
@@ -149,7 +152,7 @@ class BTree {
   // Tree-wide reader/writer latch over the structural state: shared for
   // lookups and cursor seeks, exclusive for Put/Delete. Acquired before any
   // pager shard latch, never after one.
-  mutable SharedMutex mu_;
+  mutable SharedMutex mu_{kLockRankBTree, "BTree::mu_"};
   PageId root_ GUARDED_BY(mu_) = kInvalidPageId;
   uint64_t size_ GUARDED_BY(mu_) = 0;
 };

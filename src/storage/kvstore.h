@@ -40,6 +40,12 @@ class KVStore {
 
   uint64_t size() const { return tree_->size(); }
 
+  /// Structural self-check of the underlying tree (see BTree's). Tooling
+  /// runs this after opening an untrusted file.
+  [[nodiscard]] Status VerifyIntegrity() const {
+    return tree_->VerifyIntegrity();
+  }
+
   BTree::Cursor NewCursor() const { return tree_->NewCursor(); }
 
   /// Persists all dirty pages.

@@ -48,6 +48,14 @@ inline constexpr size_t kPageSize = 4096;
 struct Page {
   PageId id = kInvalidPageId;
   bool dirty = false;
+  /// Set once by the B+-tree after this page's slotted-cell geometry has
+  /// been bounds-checked (btree.cc), so untrusted files pay one validation
+  /// pass per load instead of one per access. Safe to memoise on the Page:
+  /// a Page object is bound to a single load of a single page id (eviction
+  /// frees it; a re-fetch allocates a fresh one), and the only writer —
+  /// the single-writer B+-tree — preserves the checked invariants.
+  /// (mutable: validation is logically const over the page contents.)
+  mutable std::atomic<bool> layout_checked{false};
   char data[kPageSize] = {};
 };
 
@@ -218,7 +226,7 @@ class Pager {
   /// One latch stripe of the buffer pool: a slice of the page table, its
   /// LRU list, and the in-progress loads for pages that hash here.
   struct Shard {
-    mutable Mutex mu;
+    mutable Mutex mu{kLockRankPagerShard, "Pager::Shard::mu"};
     std::unordered_map<PageId, Entry> cache GUARDED_BY(mu);
     std::list<PageId> lru GUARDED_BY(mu);  // front = most recently unpinned
     std::unordered_map<PageId, std::shared_ptr<InFlight>> loading
@@ -262,7 +270,7 @@ class Pager {
 
   // Small latch for the sticky error and test-only injection state. Always
   // acquired after a shard latch, never before.
-  mutable Mutex io_mu_;
+  mutable Mutex io_mu_{kLockRankPagerIo, "Pager::io_mu_"};
   // Sticky: first write-back/IO failure, OK until then.
   Status io_error_ GUARDED_BY(io_mu_);
   bool simulate_write_failures_ GUARDED_BY(io_mu_) = false;

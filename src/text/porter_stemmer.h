@@ -12,7 +12,11 @@ namespace xrefine::text {
 /// three characters are returned unchanged, per the original algorithm.
 std::string PorterStem(std::string_view word);
 
-/// True iff two words share a Porter stem (the stemming-rule predicate).
+/// True iff two *distinct* words share a Porter stem (the stemming-rule
+/// predicate). Identical spellings return false by design: a word is never
+/// a stem-variant substitution for itself, and rule generation
+/// (workload/corruption.cc) relies on that exclusion when scanning a
+/// vocabulary for variants.
 bool ShareStem(std::string_view a, std::string_view b);
 
 }  // namespace xrefine::text

@@ -194,9 +194,16 @@ class Parser {
       if (AtEnd()) return Error("unterminated attribute value");
       std::string value = DecodeEntities(input_.substr(start, pos_ - start));
       Advance();  // closing quote
+      // Attribute values get the same whitespace treatment as element
+      // character data. Without this, an attribute child kept padding that
+      // a reparse of the written document would trim away — the document
+      // was not stable under a write/parse round trip.
+      if (options_.skip_whitespace_text) {
+        value = std::string(TrimWhitespace(value));
+      }
       if (options_.attributes_as_children) {
         NodeId attr = doc->AddChild(element, name_or.value());
-        doc->AppendText(attr, value);
+        if (!value.empty()) doc->AppendText(attr, value);
       } else {
         doc->AppendText(element, value);
       }

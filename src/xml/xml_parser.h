@@ -24,7 +24,9 @@ struct ParseOptions {
   /// stack usage on adversarial inputs).
   size_t max_depth = 512;
 
-  /// When true, whitespace-only character data is dropped.
+  /// When true, character data — element text and attribute values alike —
+  /// is trimmed of leading/trailing whitespace, and whitespace-only runs
+  /// are dropped entirely, so pretty-printed corpora parse to clean values.
   bool skip_whitespace_text = true;
 };
 

@@ -1,0 +1,111 @@
+// Lock-rank checker coverage (XREFINE_DEBUG_LOCKS). Two halves:
+//  * a death test that acquires a pager-shard-ranked mutex and then a
+//    B+-tree-ranked one — the documented order inverted — and expects the
+//    abort message to name both mutexes;
+//  * pass-through tests that the documented order and the full store-backed
+//    query path (B+-tree latch → pager shard latch → io_mu_, plus every
+//    leaf latch: metrics registry, co-occurrence cache, store-source LRU)
+//    run clean under the checker.
+// Without the config the checker does not exist, so the suite skips.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_annotations.h"
+#include "core/xrefine.h"
+#include "index/index_store.h"
+#include "index/store_index_source.h"
+#include "storage/kvstore.h"
+#include "text/lexicon.h"
+#include "tests/test_helpers.h"
+
+namespace xrefine {
+namespace {
+
+#if !defined(XREFINE_DEBUG_LOCKS)
+
+TEST(LockRankTest, CheckerCompiledOut) {
+  GTEST_SKIP() << "build with -DXREFINE_DEBUG_LOCKS=ON to enable the "
+                  "lock-rank checker (tools/check_build_matrix.sh runs it)";
+}
+
+#else  // XREFINE_DEBUG_LOCKS
+
+TEST(LockRankDeathTest, InvertedAcquisitionAbortsNamingBothMutexes) {
+  // Same ranks and names the real latches carry (pager.h / btree.h); taking
+  // the shard latch first and the tree latch second inverts DESIGN.md §9.
+  EXPECT_DEATH(
+      {
+        Mutex shard(kLockRankPagerShard, "Pager::Shard::mu");
+        SharedMutex tree(kLockRankBTree, "BTree::mu_");
+        shard.Lock();
+        tree.ReaderLock();
+      },
+      "lock-rank inversion.*BTree::mu_.*rank 10.*Pager::Shard::mu.*rank 20");
+}
+
+TEST(LockRankDeathTest, EqualRanksNeverNest) {
+  // Two pager shard latches share one rank: holding any two at once is an
+  // inversion by the strictness of the check ("never two shard latches at
+  // once", DESIGN.md §9).
+  EXPECT_DEATH(
+      {
+        Mutex a(kLockRankPagerShard, "Pager::Shard::mu");
+        Mutex b(kLockRankPagerShard, "Pager::Shard::mu");
+        a.Lock();
+        b.Lock();
+      },
+      "lock-rank inversion.*Pager::Shard::mu");
+}
+
+TEST(LockRankTest, DocumentedOrderRunsClean) {
+  SharedMutex tree(kLockRankBTree, "BTree::mu_");
+  Mutex shard(kLockRankPagerShard, "Pager::Shard::mu");
+  Mutex io(kLockRankPagerIo, "Pager::io_mu_");
+  tree.ReaderLock();
+  shard.Lock();
+  io.Lock();
+  io.Unlock();
+  shard.Unlock();
+  tree.ReaderUnlock();
+  // Sequential (non-nested) same-rank acquisitions are fine: this is what
+  // Pager::cached_pages() does across the 8 shards.
+  Mutex other_shard(kLockRankPagerShard, "Pager::Shard::mu");
+  shard.Lock();
+  shard.Unlock();
+  other_shard.Lock();
+  other_shard.Unlock();
+}
+
+TEST(LockRankTest, StoreBackedQueryPathRunsClean) {
+  // The real thing: build a corpus, persist it, serve queries straight from
+  // the store. This exercises every ranked latch in one process — tree
+  // descents into pager misses (10 → 20 → 30), metrics registration under
+  // held latches (→ 90), the co-occurrence cache fill during ranking, and
+  // the store-source posting-list LRU — and must not trip the checker.
+  auto corpus = testutil::MakeFigure1Corpus();
+  auto store_or = storage::KVStore::Open("");
+  ASSERT_TRUE(store_or.ok());
+  auto store = std::move(store_or).value();
+  ASSERT_TRUE(index::SaveCorpus(*corpus.index, store.get()).ok());
+
+  index::StoreIndexSourceOptions options;
+  options.cache_capacity_bytes = 1 << 12;  // small: force eviction traffic
+  auto source_or =
+      index::StoreBackedIndexSource::Open(store.get(), options);
+  ASSERT_TRUE(source_or.ok());
+  auto source = std::move(source_or).value();
+
+  text::Lexicon lexicon;
+  core::XRefine engine(source.get(), &lexicon, {});
+  for (const char* query : {"martn 2003", "skyline computation",
+                            "machine learning web", "tennis"}) {
+    auto outcome = engine.RunText(query);
+    EXPECT_TRUE(outcome.status.ok()) << query;
+  }
+}
+
+#endif  // XREFINE_DEBUG_LOCKS
+
+}  // namespace
+}  // namespace xrefine

@@ -1,0 +1,50 @@
+// XR_CHECK / XR_DCHECK behavior. XR_CHECK aborts in every configuration;
+// XR_DCHECK aborts only in debug builds and is compiled out — condition not
+// even evaluated — under NDEBUG, so hot-path assertions are free in release
+// binaries. The suite compiles under both configurations and asserts the
+// behavior of whichever one it was built as; the build matrix runs both
+// (plain RelWithDebInfo legs define NDEBUG, the fuzz-regress leg builds
+// Debug).
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace xrefine {
+namespace {
+
+TEST(CheckTest, CheckAbortsInEveryConfiguration) {
+  EXPECT_DEATH(XR_CHECK(1 == 2) << "boom", "Check failed: 1 == 2");
+}
+
+TEST(CheckTest, CheckPassesSilently) {
+  XR_CHECK(1 + 1 == 2) << "never printed";
+}
+
+#ifdef NDEBUG
+
+TEST(DcheckTest, CompiledOutUnderNdebug) {
+  // Must not abort...
+  XR_DCHECK(false) << "invisible in release";
+  // ...and must not evaluate its condition: the side effect is skipped.
+  int evaluations = 0;
+  XR_DCHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 0) << "XR_DCHECK evaluated its condition in a "
+                               "release (NDEBUG) build";
+}
+
+#else  // !NDEBUG
+
+TEST(DcheckTest, AbortsInDebugBuilds) {
+  EXPECT_DEATH(XR_DCHECK(false) << "boom", "Check failed: false");
+}
+
+TEST(DcheckTest, EvaluatesConditionInDebugBuilds) {
+  int evaluations = 0;
+  XR_DCHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+}
+
+#endif  // NDEBUG
+
+}  // namespace
+}  // namespace xrefine

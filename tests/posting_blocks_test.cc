@@ -215,6 +215,48 @@ TEST(PostingBlocksFuzzTest, TrailingBytesAreRejected) {
   }
 }
 
+// Regression (found by fuzz_posting_decode, crash-v2-trailing-bytes): the
+// eager v2 decoder accepted bytes past the declared postings while the
+// flat decoder rejected them, so whether a damaged record "decoded" hinged
+// on which path happened to serve it. Both must reject.
+TEST(PostingBlocksFuzzTest, EagerDecoderRejectsTrailingBytesToo) {
+  PostingList list = {P({0, 1}), P({0, 2})};
+  for (PostingFormat format :
+       {PostingFormat::kPrefixDelta, PostingFormat::kBlocked}) {
+    std::string record = EncodeFor(list, format) + std::string(1, '\x05');
+    PostingList decoded;
+    EXPECT_FALSE(DecodePostings(record, &decoded).ok());
+  }
+  // The minimized crasher: version 2, zero postings, two stray bytes.
+  PostingList decoded;
+  EXPECT_FALSE(
+      DecodePostings(std::string("\x02\x00\x00\x05", 4), &decoded).ok());
+}
+
+// Regression (found by fuzz_posting_decode, crash-v3-unsorted-block-max):
+// FindBlock binary-searches the skip directory, so block maxes that go
+// backwards would silently mis-route probes and drop postings from query
+// results. Open must reject them as corruption.
+TEST(PostingBlocksFuzzTest, OutOfOrderBlockMaxesAreRejected) {
+  // Hand-built v3 record, all varints single-byte: two one-posting blocks
+  // whose max labels are (0,5) then (0,3) — descending document order.
+  auto block = [](uint32_t leaf) {
+    std::string b;
+    b.append("\x05\x01\x02", 3);                // payload=5, count=1, depth=2
+    b += '\x00';                                // max component 0
+    b += static_cast<char>(leaf);               // max component `leaf`
+    b.append("\x01\x00\x02", 3);                // type=1, reuse=0, fresh=2
+    b += '\x00';                                // component 0
+    b += static_cast<char>(leaf);               // component `leaf`
+    return b;
+  };
+  std::string header("\x03\x02\x01", 3);        // v3, total=2, capacity=1
+  std::string sorted = header + block(3) + block(5);
+  EXPECT_TRUE(BlockedPostingCursor::Open(sorted).ok());
+  std::string unsorted = header + block(5) + block(3);
+  EXPECT_FALSE(BlockedPostingCursor::Open(unsorted).ok());
+}
+
 TEST(PostingBlocksFuzzTest, SingleBitFlipsNeverDecodeShort) {
   Random rng(37);
   PostingList list = RandomList(rng, 120, 8);

@@ -247,5 +247,25 @@ TEST(XmlWriterTest, FileRoundTrip) {
   EXPECT_EQ(loaded->SubtreeText(loaded->root()), "payload");
 }
 
+// Regression (found by fuzz_xml, crash-attr-whitespace-roundtrip): attribute
+// values kept their surrounding whitespace while element text was trimmed,
+// so an attribute child's padding survived the first parse but vanished on
+// a reparse of the written document — write/parse never reached a fixpoint.
+TEST(XmlWriterTest, AttributeWhitespaceIsStableUnderRoundTrip) {
+  ParseOptions options;
+  options.attributes_as_children = true;
+  auto doc = ParseXml("<r a=\" padded value \">t</r>", options);
+  ASSERT_TRUE(doc.ok());
+  NodeId attr = doc->children(doc->root()).front();
+  EXPECT_EQ(doc->text(attr), "padded value");
+
+  WriteOptions write_options;
+  write_options.pretty = false;
+  std::string gen2 = WriteXml(doc.value(), write_options);
+  auto doc2 = ParseXml(gen2, options);
+  ASSERT_TRUE(doc2.ok());
+  EXPECT_EQ(WriteXml(doc2.value(), write_options), gen2);
+}
+
 }  // namespace
 }  // namespace xrefine::xml

@@ -9,6 +9,15 @@
 #   ubsan          UndefinedBehaviorSanitizer (XREFINE_SANITIZE=undefined)
 #   tsan           ThreadSanitizer (XREFINE_SANITIZE=thread); this is the
 #                  config that gives tests/concurrency_test.cc its teeth
+#   debug-locks    runtime lock-rank checker (XREFINE_DEBUG_LOCKS=ON, Debug)
+#                  — tests/lock_rank_test.cc's death tests prove inverted
+#                  acquisition aborts, and the full suite proves the real
+#                  lock order never trips the checker
+#   fuzz-regress   Debug + ASan corpus replay: the fuzz_*_regress runners
+#                  replay tests/fuzz_corpora/ (seeds AND committed
+#                  crashers) plus their mutation loops with live DCHECKs
+#                  and heap poisoning — the strongest no-libFuzzer gate
+#                  over the decode surfaces
 #   thread-safety  Clang -Wthread-safety as errors (XREFINE_THREAD_SAFETY=ON)
 #                  — skipped with a note when clang++ is not installed,
 #                  since the option FATAL_ERRORs under other compilers
@@ -46,8 +55,31 @@ if [ "$QUICK" -eq 0 ]; then
   run_config werror -DXREFINE_WERROR=ON
   run_config asan -DXREFINE_SANITIZE=address
   run_config ubsan -DXREFINE_SANITIZE=undefined
+  # Lock-rank checker: Debug so XR_DCHECKs are live alongside the ranked
+  # mutexes; lock_rank_test's death tests need the checker compiled in, and
+  # the rest of the suite doubles as the pass-through proof that the
+  # documented order holds on every path the tests drive.
+  run_config debug-locks -DXREFINE_DEBUG_LOCKS=ON -DCMAKE_BUILD_TYPE=Debug
 fi
 run_config tsan -DXREFINE_SANITIZE=thread
+
+# Fuzz corpus replay under ASan with live DCHECKs: only the fuzz_*_regress
+# ctest targets, but in the config where a stale crasher would actually
+# bite — every seed and committed crasher replays plus 600 deterministic
+# mutations each.
+fuzz_regress() {
+  local dir="$MATRIX_DIR/fuzz-regress"
+  echo "=== [fuzz-regress] configure ==="
+  cmake -B "$dir" -S "$ROOT" -DCMAKE_BUILD_TYPE=Debug \
+      -DXREFINE_SANITIZE=address >/dev/null
+  echo "=== [fuzz-regress] build ==="
+  cmake --build "$dir" -j "$JOBS" >/dev/null
+  echo "=== [fuzz-regress] ctest (fuzz_*_regress) ==="
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS" \
+      -R '^fuzz_.*_regress$' >/dev/null)
+  echo "=== [fuzz-regress] OK ==="
+}
+fuzz_regress
 
 # Store-backed serving smoke under TSan: the parallel-query bench drives
 # 1/2/4/8 threads through the StoreBackedIndexSource's posting-list cache

@@ -1,0 +1,86 @@
+// Fuzz surface: the Dewey label codec and comparison algebra. Parse must
+// never read out of bounds or accept garbage that fails to round-trip;
+// Compare must be a strict weak order consistent between the owning Dewey
+// and the non-owning DeweyRef view; prefix/ancestor/LCA helpers must agree
+// with their definitions.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "tools/fuzz/fuzz_driver.h"
+#include "xml/dewey.h"
+
+namespace {
+
+using xrefine::xml::CommonPrefixDepth;
+using xrefine::xml::Dewey;
+using xrefine::xml::DeweyRef;
+
+void Require(bool cond, const char* what) {
+  if (!cond) {
+    std::fprintf(stderr, "dewey invariant violated: %s\n", what);
+    std::abort();
+  }
+}
+
+int Sign(int v) { return v < 0 ? -1 : v > 0 ? 1 : 0; }
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  xrefine::fuzz::ByteReader in(data, size);
+  // Split the input into two parse attempts so comparison properties get
+  // two independent labels.
+  size_t first_len = in.U8();
+  std::string text_a(in.Bytes(first_len));
+  std::string text_b(in.Rest());
+
+  auto a_or = Dewey::Parse(text_a);
+  auto b_or = Dewey::Parse(text_b);
+
+  if (a_or.ok()) {
+    const Dewey& a = a_or.value();
+    // Round trip: printing and re-parsing is the identity.
+    auto again = Dewey::Parse(a.ToString());
+    Require(again.ok() && again.value() == a,
+            "ToString/Parse round trip lost the label");
+    Require(a.Compare(a) == 0, "label not equal to itself");
+    if (!a.empty()) {
+      Require(a.Parent().IsAncestor(a), "parent is not an ancestor");
+      Require(a.Parent().Child(a[a.depth() - 1]) == a,
+              "Parent/Child round trip lost the label");
+    }
+    for (size_t d = 0; d <= a.depth(); ++d) {
+      Require(a.Prefix(d).IsAncestorOrSelf(a),
+              "prefix is not an ancestor-or-self");
+    }
+  }
+
+  if (a_or.ok() && b_or.ok()) {
+    const Dewey& a = a_or.value();
+    const Dewey& b = b_or.value();
+    int ab = Sign(a.Compare(b));
+    Require(ab == -Sign(b.Compare(a)), "Compare is not antisymmetric");
+    Require((ab == 0) == (a == b), "Compare(0) disagrees with operator==");
+
+    // The ref view must order identically to the owning labels.
+    DeweyRef ra(a), rb(b);
+    Require(Sign(ra.Compare(rb)) == ab,
+            "DeweyRef::Compare disagrees with Dewey::Compare");
+
+    const Dewey lca = Dewey::CommonPrefix(a, b);
+    Require(lca.IsAncestorOrSelf(a) && lca.IsAncestorOrSelf(b),
+            "common prefix is not a common ancestor");
+    Require(lca.depth() == CommonPrefixDepth(ra, rb),
+            "CommonPrefixDepth disagrees with CommonPrefix");
+    // Maximality: one step deeper is no longer common.
+    if (lca.depth() < a.depth() && lca.depth() < b.depth()) {
+      Require(a[lca.depth()] != b[lca.depth()],
+              "common prefix is not maximal");
+    }
+    Require(a.IsAncestor(b) == (lca == a && a.depth() < b.depth()),
+            "IsAncestor disagrees with CommonPrefix");
+  }
+  return 0;
+}

@@ -1,0 +1,193 @@
+// Regression-runner main() for the fuzz harnesses: links against any one
+// harness's LLVMFuzzerTestOneInput and (a) replays every file under the
+// corpus paths given on the command line, then (b) runs a deterministic
+// seeded mutation loop over those seeds. Crashes abort the process, which
+// ctest reports as a failure — so every crasher checked into
+// tests/fuzz_corpora/ stays fixed, on every compiler, without libFuzzer.
+//
+// Usage: fuzz_<name>_regress [--mutations N] [--seed S] [--last-input FILE]
+//                            <corpus dir|file>...
+//
+// Every input (seed or mutant) is written to the last-input file (default:
+// <program>.last_input in the working directory) just before execution and
+// the file is removed on a clean run — so when a harness aborts, the exact
+// crashing bytes are sitting on disk, ready to be replayed as a single-file
+// corpus argument, minimized by hand, and committed as crash-<description>.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tools/fuzz/fuzz_driver.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// xorshift64*: deterministic across platforms, no <random> distribution
+// variance, seedable from the command line for replaying a failing loop.
+struct Rng {
+  uint64_t state;
+  uint64_t Next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545F4914F6CDD1DULL;
+  }
+  // Unbiased enough for fuzzing purposes; bound > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+};
+
+bool ReadFileBytes(const fs::path& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+// Persists `data` so that if the harness aborts on this input, the bytes
+// survive the crash. Overwritten per execution; cheap relative to a decode.
+void WriteLastInput(const fs::path& path, const std::vector<uint8_t>& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+// One structural mutation in place. The menu mirrors libFuzzer's basic
+// mutators: bit flip, byte set, truncate, erase, duplicate span, insert.
+void Mutate(Rng& rng, std::vector<uint8_t>& data) {
+  constexpr size_t kMaxSize = 1 << 16;
+  if (data.empty()) {
+    data.push_back(static_cast<uint8_t>(rng.Next()));
+    return;
+  }
+  switch (rng.Below(6)) {
+    case 0:  // flip one bit
+      data[rng.Below(data.size())] ^= static_cast<uint8_t>(1u << rng.Below(8));
+      break;
+    case 1:  // overwrite one byte
+      data[rng.Below(data.size())] = static_cast<uint8_t>(rng.Next());
+      break;
+    case 2:  // truncate
+      data.resize(rng.Below(data.size()) + 1);
+      break;
+    case 3: {  // erase a span
+      size_t begin = rng.Below(data.size());
+      size_t len = rng.Below(data.size() - begin) + 1;
+      data.erase(data.begin() + begin, data.begin() + begin + len);
+      break;
+    }
+    case 4: {  // duplicate a span to the end
+      if (data.size() >= kMaxSize) break;
+      size_t begin = rng.Below(data.size());
+      size_t len = rng.Below(data.size() - begin) + 1;
+      if (len > kMaxSize - data.size()) len = kMaxSize - data.size();
+      data.insert(data.end(), data.begin() + begin, data.begin() + begin + len);
+      break;
+    }
+    default: {  // insert a random byte
+      if (data.size() >= kMaxSize) break;
+      data.insert(data.begin() + rng.Below(data.size() + 1),
+                  static_cast<uint8_t>(rng.Next()));
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t mutations = 256;
+  uint64_t seed = 0x5852464E;  // "XRFN"
+  fs::path last_input =
+      fs::path(argv[0]).filename().concat(".last_input");
+  std::vector<fs::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mutations") == 0 && i + 1 < argc) {
+      mutations = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--last-input") == 0 && i + 1 < argc) {
+      last_input = argv[++i];
+    } else {
+      inputs.emplace_back(argv[i]);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--mutations N] [--seed S] <corpus dir|file>...\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& input : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(input, ec)) {
+      for (const auto& entry : fs::directory_iterator(input, ec)) {
+        if (entry.is_regular_file() &&
+            entry.path().filename().string() != "README.md") {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(input, ec)) {
+      files.push_back(input);
+    } else {
+      std::fprintf(stderr, "no such corpus input: %s\n", input.c_str());
+      return 2;
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "corpus is empty; nothing to replay\n");
+    return 2;
+  }
+  std::sort(files.begin(), files.end());  // deterministic replay order
+
+  uint64_t executions = 0;
+  std::vector<uint8_t> empty;
+  WriteLastInput(last_input, empty);
+  LLVMFuzzerTestOneInput(empty.data(), 0);  // the degenerate input, always
+  ++executions;
+
+  for (const fs::path& file : files) {
+    std::vector<uint8_t> bytes;
+    if (!ReadFileBytes(file, &bytes)) {
+      std::fprintf(stderr, "failed to read %s\n", file.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "replay %s (%zu bytes)\n", file.c_str(),
+                 bytes.size());
+    WriteLastInput(last_input, bytes);
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    ++executions;
+
+    // Seeded mutation loop: each round re-starts from the pristine seed and
+    // applies a small burst of stacked mutations, so early truncations
+    // don't starve later rounds of the seed's structure.
+    Rng rng{seed ^ std::hash<std::string>{}(file.filename().string())};
+    for (uint64_t m = 0; m < mutations; ++m) {
+      std::vector<uint8_t> mutated = bytes;
+      uint64_t burst = rng.Below(4) + 1;
+      for (uint64_t b = 0; b < burst; ++b) Mutate(rng, mutated);
+      WriteLastInput(last_input, mutated);
+      LLVMFuzzerTestOneInput(mutated.data(), mutated.size());
+      ++executions;
+    }
+  }
+
+  std::error_code ec;
+  fs::remove(last_input, ec);  // a surviving file marks the crashing input
+  std::fprintf(stderr,
+               "fuzz regression: %" PRIu64 " executions over %zu seeds "
+               "(%" PRIu64 " mutations each, seed %" PRIu64 ")\n",
+               executions, files.size(), mutations, seed);
+  return 0;
+}

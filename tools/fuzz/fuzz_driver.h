@@ -1,0 +1,61 @@
+// Shared scaffolding for the fuzz harnesses (tools/fuzz/fuzz_*.cc).
+//
+// Every harness implements the libFuzzer entry point and nothing else:
+//
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+//
+// Built with -DXREFINE_FUZZ=ON under Clang, each harness links libFuzzer
+// (-fsanitize=fuzzer,address) and fuzzes for real. In every other build the
+// same translation unit links fuzz_driver.cc instead, whose main() replays
+// the checked-in corpus under tests/fuzz_corpora/<harness>/ plus a
+// deterministic seeded mutation loop — so each harness doubles as a ctest
+// regression runner on compilers without libFuzzer.
+#ifndef XREFINE_TOOLS_FUZZ_FUZZ_DRIVER_H_
+#define XREFINE_TOOLS_FUZZ_FUZZ_DRIVER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace xrefine::fuzz {
+
+/// Sequential consumer over the fuzz input: harnesses that need structured
+/// choices (probe counts, mode switches, split points) draw them from the
+/// front of the input so the fuzzer can learn the structure byte by byte.
+/// Exhausted input yields zeros, never a read past the end.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+
+  uint8_t U8() { return pos_ < size_ ? data_[pos_++] : 0; }
+
+  uint32_t U32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | U8();
+    return v;
+  }
+
+  /// At most `max_len` bytes from the front, as a string view.
+  std::string_view Bytes(size_t max_len) {
+    size_t n = max_len < remaining() ? max_len : remaining();
+    std::string_view out(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Everything not yet consumed.
+  std::string_view Rest() { return Bytes(remaining()); }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace xrefine::fuzz
+
+#endif  // XREFINE_TOOLS_FUZZ_FUZZ_DRIVER_H_

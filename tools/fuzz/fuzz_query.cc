@@ -1,0 +1,88 @@
+// Fuzz surface: the query-text front door — tokenizer, term normalisation,
+// Porter stemmer, and the dictionary segmenter with a vocabulary built from
+// the input itself. Properties:
+//  * tokens are nonempty, lowercase alphanumeric, and NormalizeTerm is
+//    idempotent over them;
+//  * stemming never grows a word and is itself stable under ShareStem;
+//  * a successful segmentation concatenates back to the exact token, uses
+//    >= 2 pieces, every piece in-vocabulary and >= the minimum length.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/porter_stemmer.h"
+#include "text/segmenter.h"
+#include "text/tokenizer.h"
+#include "tools/fuzz/fuzz_driver.h"
+
+namespace {
+
+void Require(bool cond, const char* what) {
+  if (!cond) {
+    std::fprintf(stderr, "query invariant violated: %s\n", what);
+    std::abort();
+  }
+}
+
+bool IsLowerAlnum(std::string_view s) {
+  for (char c : s) {
+    if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9'))) return false;
+  }
+  return !s.empty();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  xrefine::fuzz::ByteReader in(data, size);
+  // First chunk seeds the segmenter vocabulary, the rest is the query.
+  size_t vocab_len = in.U8();
+  std::string vocab_text(in.Bytes(static_cast<size_t>(vocab_len) * 4));
+  std::string query_text(in.Rest());
+
+  std::vector<std::string> tokens = xrefine::text::TokenizeQuery(query_text);
+  Require(tokens == xrefine::text::Tokenize(query_text),
+          "query and index tokenisation rules drifted apart");
+  for (const std::string& token : tokens) {
+    Require(IsLowerAlnum(token), "token is not lowercase alphanumeric");
+    Require(xrefine::text::NormalizeTerm(token) == token,
+            "NormalizeTerm is not idempotent over tokens");
+
+    std::string stem = xrefine::text::PorterStem(token);
+    Require(!stem.empty() && stem.size() <= token.size(),
+            "stem is empty or longer than the word");
+    // ShareStem is the substitution-rule predicate: it deliberately
+    // excludes identical spellings (a word is not a stem-variant of
+    // itself), so equality of stems only counts across distinct words.
+    Require(!xrefine::text::ShareStem(token, token),
+            "ShareStem treats identical spellings as a stem pair");
+    Require(xrefine::text::ShareStem(token, stem) ==
+                (token != stem &&
+                 xrefine::text::PorterStem(stem) == stem),
+            "ShareStem disagrees with PorterStem equality");
+  }
+
+  xrefine::text::Segmenter::Vocabulary vocabulary;
+  for (std::string& word : xrefine::text::Tokenize(vocab_text)) {
+    vocabulary.insert(std::move(word));
+  }
+  constexpr size_t kMinPiece = 2;
+  xrefine::text::Segmenter segmenter(std::move(vocabulary), kMinPiece);
+  for (const std::string& token : tokens) {
+    std::vector<std::string> pieces = segmenter.Segment(token);
+    if (pieces.empty()) continue;  // no segmentation exists — fine
+    Require(pieces.size() >= 2, "segmentation with fewer than two pieces");
+    Require(!segmenter.InVocabulary(token),
+            "segmented a token that is itself a vocabulary word");
+    std::string joined;
+    for (const std::string& piece : pieces) {
+      Require(piece.size() >= kMinPiece, "piece below the minimum length");
+      Require(segmenter.InVocabulary(piece), "piece not in the vocabulary");
+      joined += piece;
+    }
+    Require(joined == token, "pieces do not concatenate back to the token");
+  }
+  return 0;
+}

@@ -4,8 +4,11 @@
 # directory. Part of the verify flow; exits non-zero on any finding because
 # .clang-tidy sets WarningsAsErrors: '*'.
 #
-# Usage: tools/lint.sh [build-dir]
+# Usage: tools/lint.sh [--changed] [build-dir]
 #   build-dir defaults to ./build-lint (configured on demand).
+#   --changed lints only first-party TUs touched relative to HEAD (staged,
+#   unstaged, and untracked), for a fast pre-commit pass; the full sweep
+#   stays the default so policy changes re-lint everything.
 #
 # Toolchain gating: clang-tidy is not part of the baseline toolchain (the
 # default container ships GCC only). When it is absent we print a skip note
@@ -24,6 +27,12 @@ if ! command -v "$TIDY" >/dev/null 2>&1; then
   exit 0
 fi
 
+CHANGED_ONLY=0
+if [ "${1:-}" = "--changed" ]; then
+  CHANGED_ONLY=1
+  shift
+fi
+
 BUILD_DIR="${1:-build-lint}"
 if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
   echo "lint.sh: configuring $BUILD_DIR for compile_commands.json"
@@ -32,8 +41,28 @@ fi
 
 # First-party TUs only: vendored/third-party code (none today) and generated
 # files would be linted against a policy they never agreed to.
-mapfile -t FILES < <(find src bench examples tests \
+mapfile -t FILES < <(find src bench examples tests tools \
     -name '*.cc' -o -name '*.cpp' | grep -v 'tests/compile_fail' | sort)
+
+if [ "$CHANGED_ONLY" -eq 1 ]; then
+  # Everything different from HEAD: staged, unstaged, and untracked.
+  mapfile -t CHANGED < <( (git diff --name-only HEAD --;
+                           git ls-files --others --exclude-standard) | sort -u)
+  FILTERED=()
+  for f in "${FILES[@]}"; do
+    for c in "${CHANGED[@]}"; do
+      if [ "$f" = "$c" ]; then
+        FILTERED+=("$f")
+        break
+      fi
+    done
+  done
+  FILES=("${FILTERED[@]:-}")
+  if [ "${#FILES[@]}" -eq 0 ] || [ -z "${FILES[0]:-}" ]; then
+    echo "lint.sh: --changed found no modified first-party TUs; nothing to do"
+    exit 0
+  fi
+fi
 
 echo "lint.sh: clang-tidy over ${#FILES[@]} files ($BUILD_DIR)"
 FAILED=0
