@@ -1,0 +1,391 @@
+// Load driver for the refinement daemon: replays a generated query trace
+// against the frame.h wire protocol at a target request rate and reports
+// end-to-end latency, throughput, and the admission-control counters. The
+// artifact for any serving-path change is BENCH_server.json.
+//
+//   ./build/bench/bench_server_load                  # self-hosted, admission on
+//   ./build/bench/bench_server_load --no-admission   # self-hosted baseline
+//   ./build/bench/bench_server_load --port 7431      # drive an external daemon
+//   ./build/bench/bench_server_load --quick          # CI smoke (small + fast)
+//
+// Self-hosted mode builds a DBLP corpus and an in-process Server, so the
+// run is hermetic and the emitted JSON carries the server.* registry
+// counters too. --port mode only speaks the wire protocol (used by the
+// build-matrix smoke leg against a TSan daemon).
+//
+// The trace mixes three query classes:
+//   well_behaved  — corrupted 3-term queries from the workload generator
+//   heavy         — the corpus's highest-volume terms (degrade candidates)
+//   pathological  — 20+ term monsters (term-cap rejects)
+//
+// Two phases: an unloaded sequential baseline (p50/p95 per class), then a
+// closed-loop burst from N connections at the target rate (throughput,
+// shed/reject counts, loaded p95). Any transport error — a dropped or
+// malformed frame, an unexpected disconnect — fails the run with exit 1:
+// under load the server may refuse, but it must always answer.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/metrics.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace xrefine::bench {
+namespace {
+
+struct TallyDelta {
+  std::atomic<uint64_t> sent{0};
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> degraded{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> transport_errors{0};
+};
+
+struct LatencyRecorder {
+  std::mutex mu;
+  std::vector<uint64_t> us;
+  void Record(uint64_t v) {
+    std::lock_guard<std::mutex> lock(mu);
+    us.push_back(v);
+  }
+  uint64_t Quantile(double q) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (us.empty()) return 0;
+    std::sort(us.begin(), us.end());
+    size_t i = static_cast<size_t>(q * static_cast<double>(us.size() - 1));
+    return us[i];
+  }
+  size_t count() {
+    std::lock_guard<std::mutex> lock(mu);
+    return us.size();
+  }
+};
+
+// Sends one request and classifies the answer. Returns false on transport
+// failure (the connection is then dead; the caller stops using it).
+bool DriveOne(server::Client& client, const std::string& query,
+              uint32_t deadline_ms, TallyDelta& tally,
+              LatencyRecorder* latencies) {
+  tally.sent.fetch_add(1, std::memory_order_relaxed);
+  server::Client::RefineResult result;
+  Timer t;
+  Status st = client.Refine(query, deadline_ms, &result);
+  uint64_t us = static_cast<uint64_t>(t.ElapsedMicros());
+  if (!st.ok()) {
+    tally.transport_errors.fetch_add(1, std::memory_order_relaxed);
+    std::printf("transport error: %s\n", st.ToString().c_str());
+    return false;
+  }
+  switch (result.kind) {
+    case server::Client::RefineResult::Kind::kRefined:
+      tally.ok.fetch_add(1, std::memory_order_relaxed);
+      if (result.response.degraded) {
+        tally.degraded.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (latencies != nullptr) latencies->Record(us);
+      break;
+    case server::Client::RefineResult::Kind::kError:
+      tally.rejected.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case server::Client::RefineResult::Kind::kRetryAfter:
+      tally.shed.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  return true;
+}
+
+std::string JoinQuery(const core::Query& q) {
+  std::string out;
+  for (const auto& term : q) {
+    if (!out.empty()) out.push_back(' ');
+    out += term;
+  }
+  return out;
+}
+
+void Main(int argc, char** argv) {
+  uint16_t external_port = 0;
+  bool no_admission = false;
+  bool quick = false;
+  size_t connections = 8;
+  double target_qps = 400;
+  std::string out_path = "BENCH_server.json";
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      external_port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--no-admission") {
+      no_admission = true;
+    } else if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--connections" && i + 1 < argc) {
+      connections = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--qps" && i + 1 < argc) {
+      target_qps = std::atof(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::printf("unknown flag %s\n", arg.c_str());
+      std::exit(1);
+    }
+  }
+  if (quick) {
+    connections = 4;
+    target_qps = 200;
+  }
+
+  PrintHeader("Server load (frame protocol over loopback)");
+
+  // --- trace construction ---------------------------------------------------
+  std::vector<std::string> well_behaved;
+  std::vector<std::string> heavy;
+  std::vector<std::string> pathological;
+
+  // The daemon (in-process or external) and the trace's heavy class both
+  // need corpus knowledge; self-hosted mode derives the heavy terms from
+  // the real corpus, --port mode falls back to DBLP's stock frequent tags.
+  std::unique_ptr<Env> env;
+  std::unique_ptr<core::XRefine> primary;
+  std::unique_ptr<core::XRefine> degraded;
+  std::unique_ptr<server::Server> srv;
+  uint16_t port = external_port;
+
+  if (external_port == 0) {
+    env = std::make_unique<Env>(MakeDblpEnv(quick ? 200 : 600));
+    auto pool = MakePool(*env, quick ? 12 : 40, "inproceedings", 4242);
+    for (const auto& cq : pool) well_behaved.push_back(JoinQuery(cq.corrupted));
+
+    // Highest-volume corpus terms: these pass the term cap but blow the
+    // list-volume thresholds, which is exactly the degrade/reject band.
+    // Two tiers: the top-6 "monster" lands above the volume-reject line,
+    // and a mid-volume query (ranks 6+, accumulated to ~2x the heaviest
+    // well-behaved query) lands in the degrade band.
+    std::vector<std::pair<size_t, std::string>> by_volume;
+    env->corpus->ForEachKeyword([&](std::string_view kw) {
+      by_volume.emplace_back(env->corpus->ListSize(kw), std::string(kw));
+    });
+    std::sort(by_volume.rbegin(), by_volume.rend());
+    auto volume_of = [&](const core::Query& q) {
+      uint64_t v = 0;
+      for (const auto& term : q) v += env->corpus->ListSize(term);
+      return v;
+    };
+    uint64_t max_well_behaved = 0;
+    for (const auto& cq : pool) {
+      max_well_behaved = std::max(max_well_behaved, volume_of(cq.corrupted));
+    }
+    std::string big_terms;
+    uint64_t big_volume = 0;
+    for (size_t i = 0; i < by_volume.size() && i < 6; ++i) {
+      if (!big_terms.empty()) big_terms.push_back(' ');
+      big_terms += by_volume[i].second;
+      big_volume += by_volume[i].first;
+    }
+    std::string mid_terms;
+    uint64_t mid_volume = 0;
+    for (size_t i = 6; i < by_volume.size() && i < 16 &&
+                       mid_volume <= max_well_behaved * 2;
+         ++i) {
+      if (!mid_terms.empty()) mid_terms.push_back(' ');
+      mid_terms += by_volume[i].second;
+      mid_volume += by_volume[i].first;
+    }
+    heavy.push_back(mid_terms);
+    heavy.push_back(big_terms);
+
+    core::XRefineOptions engine_options;
+    primary =
+        std::make_unique<core::XRefine>(env->corpus.get(), &env->lexicon,
+                                        engine_options);
+    degraded = std::make_unique<core::XRefine>(
+        env->corpus.get(), &env->lexicon,
+        server::MakeDegradedOptions(engine_options));
+
+    server::ServerOptions server_options;
+    server_options.num_workers = 4;
+    server_options.queue_capacity = 32;
+    server_options.admission.enabled = !no_admission;
+    // The stock volume thresholds are sized for production corpora; size
+    // them to this synthetic corpus instead (as an operator would): the
+    // degrade line splits well-behaved from mid-volume, the reject line
+    // splits mid-volume from the monster — so under load the monster costs
+    // a fast error frame instead of monopolising a worker.
+    if (mid_volume > max_well_behaved && big_volume > mid_volume * 2) {
+      server_options.admission.degrade_list_volume =
+          max_well_behaved + (mid_volume - max_well_behaved) / 2;
+      server_options.admission.hot_degrade_list_volume =
+          server_options.admission.degrade_list_volume;
+      server_options.admission.reject_list_volume =
+          mid_volume + (big_volume - mid_volume) / 2;
+      std::printf("admission thresholds: degrade>%llu reject>%llu "
+                  "(well-behaved max %llu, heavy mid %llu / big %llu "
+                  "postings)\n",
+                  static_cast<unsigned long long>(
+                      server_options.admission.degrade_list_volume),
+                  static_cast<unsigned long long>(
+                      server_options.admission.reject_list_volume),
+                  static_cast<unsigned long long>(max_well_behaved),
+                  static_cast<unsigned long long>(mid_volume),
+                  static_cast<unsigned long long>(big_volume));
+    }
+    srv = std::make_unique<server::Server>(primary.get(), degraded.get(),
+                                           server_options);
+    Status st = srv->Start();
+    if (!st.ok()) {
+      std::printf("server start failed: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+    port = srv->port();
+    std::printf("self-hosted daemon on port %u (admission %s)\n", port,
+                no_admission ? "OFF" : "on");
+  } else {
+    well_behaved = {"databas keyword search", "xml twig join",
+                    "approximate queri process", "top k rank retrieval"};
+    heavy = {"author title year booktitle pages inproceedings"};
+    std::printf("driving external daemon on port %u\n", port);
+  }
+  {
+    // 20 distinct nonsense terms: rejected by the term cap without any
+    // corpus knowledge, so the class works in --port mode too.
+    std::string monster;
+    for (int i = 0; i < 20; ++i) {
+      monster += "qz" + std::to_string(i) + " ";
+    }
+    pathological.push_back(monster);
+  }
+
+  // --- phase 1: unloaded baseline ------------------------------------------
+  TallyDelta base_tally;
+  LatencyRecorder base_lat;
+  {
+    server::Client client;
+    Status st = client.Connect("127.0.0.1", port);
+    if (!st.ok()) {
+      std::printf("connect failed: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+    const size_t rounds = quick ? 2 : 5;
+    for (size_t r = 0; r < rounds; ++r) {
+      for (const auto& q : well_behaved) {
+        if (!DriveOne(client, q, 10'000, base_tally, &base_lat)) std::exit(1);
+      }
+    }
+  }
+  uint64_t base_p50 = base_lat.Quantile(0.50);
+  uint64_t base_p95 = base_lat.Quantile(0.95);
+  std::printf("baseline: %zu served, p50=%lluus p95=%lluus\n",
+              base_lat.count(), static_cast<unsigned long long>(base_p50),
+              static_cast<unsigned long long>(base_p95));
+
+  // --- phase 2: loaded burst ------------------------------------------------
+  TallyDelta load_tally;
+  LatencyRecorder load_lat;
+  const size_t per_conn = quick ? 30 : 150;
+  const auto interval = std::chrono::nanoseconds(static_cast<int64_t>(
+      1e9 * static_cast<double>(connections) / target_qps));
+  Timer load_timer;
+  std::vector<std::thread> drivers;
+  drivers.reserve(connections);
+  for (size_t c = 0; c < connections; ++c) {
+    drivers.emplace_back([&, c] {
+      server::Client client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        load_tally.transport_errors.fetch_add(1);
+        return;
+      }
+      auto next = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < per_conn; ++i) {
+        // Interleave classes: mostly well-behaved, with heavy and
+        // pathological queries salted through the trace.
+        const std::string* q;
+        if (i % 11 == 3 && !heavy.empty()) {
+          q = &heavy[i % heavy.size()];
+        } else if (i % 17 == 5) {
+          q = &pathological[i % pathological.size()];
+        } else {
+          q = &well_behaved[(c + i) % well_behaved.size()];
+        }
+        bool is_well_behaved = q >= well_behaved.data() &&
+                               q < well_behaved.data() + well_behaved.size();
+        if (!DriveOne(client, *q, 10'000, load_tally,
+                      is_well_behaved ? &load_lat : nullptr)) {
+          return;
+        }
+        next += interval;
+        std::this_thread::sleep_until(next);
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  double load_seconds = load_timer.ElapsedSeconds();
+  uint64_t sent = load_tally.sent.load();
+  double qps = static_cast<double>(sent) / load_seconds;
+  uint64_t load_p95 = load_lat.Quantile(0.95);
+
+  std::printf(
+      "loaded: %llu sent in %.2fs (%.0f req/s)  ok=%llu degraded=%llu "
+      "rejected=%llu shed=%llu transport_errors=%llu\n",
+      static_cast<unsigned long long>(sent), load_seconds, qps,
+      static_cast<unsigned long long>(load_tally.ok.load()),
+      static_cast<unsigned long long>(load_tally.degraded.load()),
+      static_cast<unsigned long long>(load_tally.rejected.load()),
+      static_cast<unsigned long long>(load_tally.shed.load()),
+      static_cast<unsigned long long>(load_tally.transport_errors.load()));
+  std::printf("loaded well-behaved p95=%lluus (baseline p95=%lluus)\n",
+              static_cast<unsigned long long>(load_p95),
+              static_cast<unsigned long long>(base_p95));
+
+  // --- artifact -------------------------------------------------------------
+  {
+    std::ofstream out(out_path);
+    out << "{\n"
+        << "  \"config\": {\"admission\": " << (no_admission ? "false" : "true")
+        << ", \"connections\": " << connections
+        << ", \"target_qps\": " << target_qps << ", \"quick\": "
+        << (quick ? "true" : "false") << "},\n"
+        << "  \"baseline\": {\"served\": " << base_lat.count()
+        << ", \"p50_us\": " << base_p50 << ", \"p95_us\": " << base_p95
+        << "},\n"
+        << "  \"loaded\": {\"sent\": " << sent << ", \"seconds\": "
+        << load_seconds << ", \"qps\": " << qps << ", \"ok\": "
+        << load_tally.ok.load() << ", \"degraded\": "
+        << load_tally.degraded.load() << ", \"rejected\": "
+        << load_tally.rejected.load() << ", \"shed\": "
+        << load_tally.shed.load() << ", \"transport_errors\": "
+        << load_tally.transport_errors.load()
+        << ", \"well_behaved_p95_us\": " << load_p95 << "}";
+    if (srv != nullptr) {
+      out << ",\n  \"server_metrics\": "
+          << metrics::Registry::Global().DumpJson();
+    }
+    out << "\n}\n";
+    std::printf("results written to %s\n", out_path.c_str());
+  }
+
+  if (srv != nullptr) srv->Stop();
+
+  if (load_tally.transport_errors.load() != 0 ||
+      base_tally.transport_errors.load() != 0) {
+    std::printf("FAIL: dropped/irregular frames on the wire\n");
+    std::exit(1);
+  }
+}
+
+}  // namespace
+}  // namespace xrefine::bench
+
+int main(int argc, char** argv) {
+  xrefine::bench::Main(argc, argv);
+  return 0;
+}

@@ -45,12 +45,20 @@ uint64_t Histogram::QuantileUpperBound(double q) const {
     counts[i] = buckets_[i].load(std::memory_order_relaxed);
     total += counts[i];
   }
+  // An empty histogram has no quantiles: 0 is the documented sentinel
+  // (callers that must distinguish "no data" check count() first — the
+  // admission gate treats 0 as "no evidence, admit").
   if (total == 0) return 0;
-  if (q < 0) q = 0;
+  // !(q >= 0) also catches NaN, which would otherwise flow into the
+  // double->uint64 cast below — undefined behaviour, and the admission
+  // gate computes q from live counters on the hot path.
+  if (!(q >= 0)) q = 0;
   if (q > 1) q = 1;
-  // Rank of the target sample, 1-based.
+  // Rank of the target sample, 1-based; q = 0 maps to the smallest
+  // recorded sample's bucket, q = 1 to the largest.
   uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
   if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
   uint64_t seen = 0;
   for (size_t i = 0; i < kNumBuckets; ++i) {
     seen += counts[i];

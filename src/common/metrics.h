@@ -88,8 +88,11 @@ class Histogram {
   uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   double mean() const;
 
-  /// Upper-bound estimate of the q-quantile (q in [0,1]): the inclusive
-  /// upper bound of the bucket containing it.
+  /// Upper-bound estimate of the q-quantile: the inclusive upper bound of
+  /// the bucket containing it. q is clamped to [0,1] (NaN reads as 0);
+  /// q = 0 is the smallest recorded sample's bucket bound, q = 1 the
+  /// largest. An empty histogram returns the sentinel 0 — callers that
+  /// must tell "no data" from "all zeros" check count() first.
   uint64_t QuantileUpperBound(double q) const;
 
   /// Inclusive upper bound of bucket i (UINT64_MAX for the overflow bucket).

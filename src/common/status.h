@@ -20,6 +20,8 @@ enum class StatusCode {
   kIoError,
   kInternal,
   kUnimplemented,
+  kUnavailable,        // transient refusal (admission control, overload)
+  kDeadlineExceeded,   // query gave up at its deadline / was cancelled
 };
 
 /// Returns a human-readable name for a status code (e.g. "InvalidArgument").
@@ -64,6 +66,12 @@ class [[nodiscard]] Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -74,6 +82,10 @@ class [[nodiscard]] Status {
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
   }
 
   /// "OK" or "<Code>: <message>".

@@ -99,6 +99,13 @@ enum LockRank : int {
   kLockRankCooccurrence = 40,    // CooccurrenceTable::mu_ (leaf)
   kLockRankStoreSourceCache = 44,  // StoreBackedIndexSource::mu_ (leaf)
   kLockRankQueryLogRules = 48,   // XRefine::log_rules_mu_ (leaf)
+  // Server mutexes rank ABOVE every engine lock: the engine's query path
+  // (ranks 10..48) must always run with no server lock held, so holding a
+  // queue/session latch across a query aborts under the checker instead of
+  // stalling every worker behind one slow request.
+  kLockRankServerQueue = 50,     // server::RequestQueue::mu_
+  kLockRankServerSessions = 54,  // server::Server session-table mutex
+  kLockRankServerSession = 60,   // server::Session::write_mu (per-connection)
   // Highest: the registry latch may be taken during the lazy first-use
   // registration of a metric while any other latch is held (e.g. the first
   // counter bump under a shard latch), so everything must rank below it.
@@ -153,6 +160,13 @@ class CAPABILITY("mutex") Mutex {
 #endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
+
+  // BasicLockable aliases so a ranked Mutex can park a
+  // std::condition_variable_any (server::RequestQueue): the condvar's
+  // internal unlock/relock cycles go through the same rank bookkeeping as
+  // explicit acquisitions.
+  void lock() ACQUIRE() { Lock(); }
+  void unlock() RELEASE() { Unlock(); }
 
  private:
   std::mutex mu_;

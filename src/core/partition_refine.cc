@@ -51,6 +51,9 @@ RefineOutcome PartitionRefine(const index::IndexSource& corpus,
 
   std::vector<size_t> cursors(m, 0);
   while (true) {
+    // Deadline/cancel poll at partition granularity: one clock read per
+    // partition, never mid-SLCA.
+    if (input.Stopped()) return StoppedOutcome(stats);
     // Smallest head across the lists (line 5).
     int smallest = -1;
     for (size_t i = 0; i < m; ++i) {

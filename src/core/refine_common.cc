@@ -8,6 +8,14 @@
 
 namespace xrefine::core {
 
+RefineOutcome StoppedOutcome(const RefineStats& stats) {
+  RefineOutcome out;
+  out.stats = stats;
+  out.status =
+      Status::DeadlineExceeded("query stopped: deadline passed or cancelled");
+  return out;
+}
+
 RefineInput PrepareRefineInput(const index::IndexSource& corpus,
                                const Query& q, const RuleGenerator& rules,
                                const slca::SearchForNodeOptions& sfn_options) {

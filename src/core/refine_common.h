@@ -4,6 +4,8 @@
 #ifndef XREFINE_CORE_REFINE_COMMON_H_
 #define XREFINE_CORE_REFINE_COMMON_H_
 
+#include <atomic>
+#include <chrono>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -17,6 +19,33 @@
 #include "slca/slca.h"
 
 namespace xrefine::core {
+
+/// Caller-owned controls for one query: a deadline, an external cancel
+/// flag, and an admission cap on the candidate fan-out. All fields are
+/// optional (the zero value disables each); the struct is a non-owning
+/// view, so one control can be shared by a session's teardown path and the
+/// worker running its query. The algorithms poll ShouldStop() at partition
+/// / stack-entry / anchor granularity — cancellation is cooperative and
+/// stage-coarse, never mid-SLCA.
+struct RefineControl {
+  /// Give up once steady_clock passes this; the epoch default disables it.
+  std::chrono::steady_clock::time_point deadline{};
+  /// External cancel flag (e.g. "the client hung up"), polled relaxed.
+  /// Must outlive every query run under this control.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Post-prepare admission gate: refuse to scan when the prepared rule
+  /// set exceeds this many rules (candidate RQs grow combinatorially with
+  /// the rule count). 0 = unlimited.
+  size_t max_candidate_fanout = 0;
+
+  bool ShouldStop() const {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return deadline != std::chrono::steady_clock::time_point{} &&
+           std::chrono::steady_clock::now() >= deadline;
+  }
+};
 
 /// Per-query prepared state shared by all algorithms.
 struct RefineInput {
@@ -55,6 +84,13 @@ struct RefineInput {
   /// engine refuses to answer from a partially resolved input (a missing
   /// list would silently change conjunctive results).
   Status status = Status::OK();
+
+  /// Deadline/cancel hooks for the scan below, non-owning; nullptr runs
+  /// uncontrolled (the default for every pre-server caller).
+  const RefineControl* control = nullptr;
+
+  /// True when the deadline passed or the cancel flag is set.
+  bool Stopped() const { return control != nullptr && control->ShouldStop(); }
 };
 
 /// Builds the per-query state: generates rules, assembles KS = Q +
@@ -92,6 +128,13 @@ struct RefineOutcome {
   /// empty in that case.
   Status status = Status::OK();
 };
+
+/// The outcome of a query that hit its deadline or cancel flag mid-scan:
+/// empty results, status kDeadlineExceeded, the stats gathered so far
+/// preserved for accounting. Partial results are never returned — a
+/// half-scanned corpus would silently change conjunctive answers, the same
+/// honesty rule RunPrepared applies to partially resolved inputs.
+RefineOutcome StoppedOutcome(const RefineStats& stats);
 
 /// Ranks the (rq, results) candidates with the full model (Formula 10),
 /// sorts descending by rank and keeps `top_k`. Detects the original query

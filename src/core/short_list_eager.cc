@@ -82,6 +82,8 @@ RefineOutcome ShortListEagerRefine(const index::IndexSource& corpus,
     const slca::PostingSpan& short_list = input.lists[i];
     size_t pos = 0;
     while (pos < short_list.size) {
+      // Deadline/cancel poll at partition granularity.
+      if (input.Stopped()) return StoppedOutcome(stats);
       const xml::DeweyRef v = short_list.label(pos);
       xml::Dewey prefix = v.Prefix(std::min<size_t>(2, v.depth()));
       xml::Dewey upper = PartitionUpperBound(prefix);

@@ -163,7 +163,11 @@ RefineOutcome StackRefine(const index::IndexSource& corpus,
   MergedStream stream(input.lists);
   size_t pos = 0;
   int list_index;
+  uint64_t polls = 0;
   while ((list_index = stream.Pop(&pos)) >= 0) {
+    // This loop runs once per posting, so the deadline/cancel poll (an
+    // atomic load plus a clock read) is amortised over 256 postings.
+    if ((++polls & 255) == 0 && input.Stopped()) return StoppedOutcome(stats);
     const xml::DeweyRef label =
         input.lists[static_cast<size_t>(list_index)].label(pos);
     // Depth-0 (root) labels have no stack entry to mark; skip them, as the

@@ -155,12 +155,32 @@ RefineOutcome XRefine::Dispatch(const RefineInput& input) const {
   return RefineOutcome{};
 }
 
-RefineOutcome XRefine::Run(const Query& q) const {
+RefineOutcome XRefine::Run(const Query& q) const { return Run(q, nullptr); }
+
+RefineOutcome XRefine::Run(const Query& q,
+                           const RefineControl* control) const {
+  if (control != nullptr && control->ShouldStop()) {
+    return StoppedOutcome(RefineStats{});
+  }
   Timer prepare_timer;
   RefineInput input = Prepare(q);
   double prepare_ms = prepare_timer.ElapsedMillis();
+  input.control = control;
 
-  RefineOutcome outcome = RunPrepared(input);
+  RefineOutcome outcome;
+  if (control != nullptr && control->max_candidate_fanout != 0 &&
+      input.status.ok() && input.rules.size() > control->max_candidate_fanout) {
+    // Post-prepare admission gate: the rule count drives the candidate-RQ
+    // enumeration, so refusing here spares the whole scan stage.
+    outcome.status = Status::Unavailable(
+        "candidate fan-out " + std::to_string(input.rules.size()) +
+        " exceeds admission cap " +
+        std::to_string(control->max_candidate_fanout));
+  } else if (input.Stopped()) {
+    outcome = StoppedOutcome(RefineStats{});
+  } else {
+    outcome = RunPrepared(input);
+  }
   outcome.query_stats.prepare_ms = prepare_ms;
   outcome.query_stats.rules_generated = input.rules.size();
 

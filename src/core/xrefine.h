@@ -72,6 +72,17 @@ class XRefine {
   /// the same figures in the global metrics registry ("query.*").
   RefineOutcome Run(const Query& q) const;
 
+  /// Deadline/cancel-aware Run: the serving entry point. `control` (may be
+  /// null, then identical to Run) is polled cooperatively — before the
+  /// prepare stage, between prepare and scan, and inside each algorithm's
+  /// partition/entry loop — and a stopped query returns an outcome with
+  /// status kDeadlineExceeded and no results. When
+  /// control->max_candidate_fanout is set, a prepared rule set larger than
+  /// the cap aborts before any scan work with status kUnavailable (the
+  /// server's post-prepare admission gate). `control` must outlive the
+  /// call but is not retained.
+  RefineOutcome Run(const Query& q, const RefineControl* control) const;
+
   /// Tokenises free text and runs it.
   RefineOutcome RunText(const std::string& query_text) const;
 

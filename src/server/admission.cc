@@ -1,0 +1,101 @@
+#include "server/admission.h"
+
+namespace xrefine::server {
+
+std::string AdmissionDecisionName(AdmissionDecision decision) {
+  switch (decision) {
+    case AdmissionDecision::kAdmit:
+      return "admit";
+    case AdmissionDecision::kDegrade:
+      return "degrade";
+    case AdmissionDecision::kReject:
+      return "reject";
+    case AdmissionDecision::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+AdmissionController::AdmissionController(const AdmissionOptions& options,
+                                         const index::IndexSource* corpus)
+    : options_(options),
+      corpus_(corpus),
+      prepare_us_(metrics::Registry::Global().histogram("query.prepare_us")),
+      scan_us_(metrics::Registry::Global().histogram("query.scan_us")),
+      rank_us_(metrics::Registry::Global().histogram("query.rank_us")) {}
+
+void AdmissionController::SetStageHistogramsForTesting(
+    const metrics::Histogram* prepare_us, const metrics::Histogram* scan_us,
+    const metrics::Histogram* rank_us) {
+  prepare_us_ = prepare_us;
+  scan_us_ = scan_us;
+  rank_us_ = rank_us;
+}
+
+uint64_t AdmissionController::HotPathP95Us() const {
+  // All three stages must have history: during warmup a single slow outlier
+  // in one histogram must not flip the server into degrade mode.
+  if (prepare_us_->count() < options_.min_samples ||
+      scan_us_->count() < options_.min_samples ||
+      rank_us_->count() < options_.min_samples) {
+    return 0;
+  }
+  return prepare_us_->QuantileUpperBound(0.95) +
+         scan_us_->QuantileUpperBound(0.95) +
+         rank_us_->QuantileUpperBound(0.95);
+}
+
+AdmissionController::Verdict AdmissionController::Decide(
+    const core::Query& query, size_t queue_depth,
+    size_t queue_capacity) const {
+  Verdict v;
+  if (!options_.enabled) return v;
+
+  // Shed first: when the queue is already past high water, even a cheap
+  // query only adds wait time, and the depth check costs nothing.
+  if (queue_capacity > 0 &&
+      static_cast<double>(queue_depth) >=
+          options_.queue_high_water * static_cast<double>(queue_capacity)) {
+    v.decision = AdmissionDecision::kShed;
+    v.reason = "queue depth " + std::to_string(queue_depth) + "/" +
+               std::to_string(queue_capacity) + " past high water";
+    return v;
+  }
+
+  if (query.size() > options_.max_terms) {
+    v.decision = AdmissionDecision::kReject;
+    v.reason = "query has " + std::to_string(query.size()) +
+               " terms, cap is " + std::to_string(options_.max_terms);
+    return v;
+  }
+
+  for (const std::string& term : query) {
+    v.list_volume += corpus_->ListSize(term);
+  }
+  if (v.list_volume > options_.reject_list_volume) {
+    v.decision = AdmissionDecision::kReject;
+    v.reason = "list volume " + std::to_string(v.list_volume) +
+               " postings exceeds reject cap " +
+               std::to_string(options_.reject_list_volume);
+    return v;
+  }
+  if (v.list_volume > options_.degrade_list_volume) {
+    v.decision = AdmissionDecision::kDegrade;
+    v.reason = "list volume " + std::to_string(v.list_volume) +
+               " postings exceeds degrade threshold " +
+               std::to_string(options_.degrade_list_volume);
+    return v;
+  }
+
+  uint64_t p95 = HotPathP95Us();
+  if (p95 > options_.hot_p95_us &&
+      v.list_volume > options_.hot_degrade_list_volume) {
+    v.decision = AdmissionDecision::kDegrade;
+    v.reason = "live p95 " + std::to_string(p95) + "us is hot; degrading " +
+               std::to_string(v.list_volume) + "-posting query";
+    return v;
+  }
+  return v;
+}
+
+}  // namespace xrefine::server

@@ -1,0 +1,109 @@
+// Admission control for the refinement service. Runs in the session reader
+// thread, BEFORE a request is queued, using only O(terms) metadata — never a
+// list decode — so a pathological query is refused in microseconds instead
+// of occupying a worker for seconds.
+//
+// Three signals, three verdicts:
+//   - queue depth past high water           -> kShed   (RETRY_AFTER frame)
+//   - term count / list volume over caps    -> kReject (error frame)
+//   - heavy-but-plausible, or the live
+//     query.{prepare,scan,rank}_us p95s say
+//     the engine is running hot             -> kDegrade (capped engine)
+//
+// List volume (the sum of the terms' posting-list sizes via the
+// metadata-only IndexSource::ListSize) is the same scan-cost proxy the
+// benches report; the p95s come from the process-wide metrics registry and
+// are trusted only after min_samples recordings — a cold server admits on
+// static caps alone.
+#ifndef XREFINE_SERVER_ADMISSION_H_
+#define XREFINE_SERVER_ADMISSION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/metrics.h"
+#include "core/refined_query.h"
+#include "index/index_source.h"
+
+namespace xrefine::server {
+
+enum class AdmissionDecision : uint8_t {
+  kAdmit,    // run on the primary engine
+  kDegrade,  // run on the degraded engine (capped edit distance, no expansion)
+  kReject,   // refuse with a typed error frame
+  kShed,     // refuse with a RETRY_AFTER frame; client should back off
+};
+
+std::string AdmissionDecisionName(AdmissionDecision decision);
+
+struct AdmissionOptions {
+  /// Master switch; disabled admits everything (bench_server_load
+  /// --no-admission uses this for the "before" run).
+  bool enabled = true;
+
+  /// Queue occupancy fraction past which new requests are shed.
+  double queue_high_water = 0.75;
+
+  /// Hard cap on query terms; more is a reject (rule generation is
+  /// super-linear in terms and such queries are never human).
+  size_t max_terms = 12;
+
+  /// Total postings across the query's terms above which the query is
+  /// rejected outright / routed to the degraded engine.
+  uint64_t reject_list_volume = 4u << 20;
+  uint64_t degrade_list_volume = 256u << 10;
+
+  /// Live-latency gate: once the query.* histograms hold at least
+  /// min_samples, a combined prepare+scan+rank p95 above hot_p95_us marks
+  /// the engine "hot" and queries heavier than hot_degrade_list_volume are
+  /// degraded even though they pass the static caps.
+  uint64_t min_samples = 32;
+  uint64_t hot_p95_us = 250'000;
+  uint64_t hot_degrade_list_volume = 64u << 10;
+};
+
+class AdmissionController {
+ public:
+  struct Verdict {
+    AdmissionDecision decision = AdmissionDecision::kAdmit;
+    /// Human-readable cause, sent back in reject/shed frames.
+    std::string reason;
+    /// The cost estimate the decision used (0 for shed — computed only
+    /// after the queue check passes).
+    uint64_t list_volume = 0;
+  };
+
+  /// `corpus` must outlive the controller. Histogram pointers resolve from
+  /// the global registry once, here.
+  AdmissionController(const AdmissionOptions& options,
+                      const index::IndexSource* corpus);
+
+  /// Decides one request. Reads corpus metadata (ListSize) and histogram
+  /// atomics only — safe from any thread, holds no locks.
+  Verdict Decide(const core::Query& query, size_t queue_depth,
+                 size_t queue_capacity) const;
+
+  /// Combined prepare+scan+rank p95 in microseconds, or 0 until every
+  /// stage histogram holds min_samples.
+  uint64_t HotPathP95Us() const;
+
+  /// Swaps the consulted stage histograms so tests can script "hot engine"
+  /// without replaying thousands of queries. Not thread-safe; call before
+  /// serving starts.
+  void SetStageHistogramsForTesting(const metrics::Histogram* prepare_us,
+                                    const metrics::Histogram* scan_us,
+                                    const metrics::Histogram* rank_us);
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  AdmissionOptions options_;
+  const index::IndexSource* corpus_;
+  const metrics::Histogram* prepare_us_;
+  const metrics::Histogram* scan_us_;
+  const metrics::Histogram* rank_us_;
+};
+
+}  // namespace xrefine::server
+
+#endif  // XREFINE_SERVER_ADMISSION_H_

@@ -1,0 +1,154 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace xrefine::server {
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::Connect(const std::string& host, uint16_t port) {
+  Close();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int rc;
+  do {
+    rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    Status st =
+        Status::IoError(std::string("connect: ") + std::strerror(errno));
+    Close();
+    return st;
+  }
+  return Status::OK();
+}
+
+Status Client::SendAll(const std::string& frame) {
+  size_t done = 0;
+  while (done < frame.size()) {
+    ssize_t w = ::send(fd_, frame.data() + done, frame.size() - done,
+                       MSG_NOSIGNAL);
+    if (w > 0) {
+      done += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return Status::IoError(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status Client::ReadFrame(FrameHeader* header, std::string* payload) {
+  char header_bytes[kFrameHeaderSize];
+  size_t done = 0;
+  while (done < kFrameHeaderSize) {
+    ssize_t r = ::recv(fd_, header_bytes + done, kFrameHeaderSize - done, 0);
+    if (r > 0) {
+      done += static_cast<size_t>(r);
+      continue;
+    }
+    if (r == 0) return Status::IoError("connection closed by server");
+    if (errno == EINTR) continue;
+    return Status::IoError(std::string("recv: ") + std::strerror(errno));
+  }
+  XREFINE_RETURN_IF_ERROR(DecodeFrameHeader(
+      std::string_view(header_bytes, kFrameHeaderSize), header));
+  payload->resize(header->payload_len);
+  done = 0;
+  while (done < payload->size()) {
+    ssize_t r = ::recv(fd_, payload->data() + done, payload->size() - done, 0);
+    if (r > 0) {
+      done += static_cast<size_t>(r);
+      continue;
+    }
+    if (r == 0) return Status::IoError("connection closed mid-frame");
+    if (errno == EINTR) continue;
+    return Status::IoError(std::string("recv: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status Client::Refine(const std::string& query, uint32_t deadline_ms,
+                      RefineResult* out) {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  uint64_t id = next_request_id_++;
+  RefineRequest request;
+  request.deadline_ms = deadline_ms;
+  request.query = query;
+  XREFINE_RETURN_IF_ERROR(SendAll(EncodeRefineRequestFrame(id, request)));
+
+  FrameHeader header;
+  std::string payload;
+  XREFINE_RETURN_IF_ERROR(ReadFrame(&header, &payload));
+  if (header.request_id != id) {
+    return Status::Corruption("response id " +
+                              std::to_string(header.request_id) +
+                              " does not match request " + std::to_string(id));
+  }
+  switch (header.type) {
+    case FrameType::kRefineResponse:
+      out->kind = RefineResult::Kind::kRefined;
+      XREFINE_RETURN_IF_ERROR(DecodeRefineResponse(payload, &out->response));
+      out->response.degraded = (header.flags & kFrameFlagDegraded) != 0;
+      return Status::OK();
+    case FrameType::kError:
+      out->kind = RefineResult::Kind::kError;
+      return DecodeError(payload, &out->error);
+    case FrameType::kRetryAfter:
+      out->kind = RefineResult::Kind::kRetryAfter;
+      return DecodeRetryAfter(payload, &out->retry_after);
+    default:
+      return Status::Corruption("unexpected frame type in refine response");
+  }
+}
+
+Status Client::Ping() {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  uint64_t id = next_request_id_++;
+  XREFINE_RETURN_IF_ERROR(SendAll(EncodeEmptyFrame(FrameType::kPing, id)));
+  FrameHeader header;
+  std::string payload;
+  XREFINE_RETURN_IF_ERROR(ReadFrame(&header, &payload));
+  if (header.type != FrameType::kPong || header.request_id != id) {
+    return Status::Corruption("bad pong");
+  }
+  return Status::OK();
+}
+
+Status Client::StatsJson(std::string* out) {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  uint64_t id = next_request_id_++;
+  XREFINE_RETURN_IF_ERROR(
+      SendAll(EncodeEmptyFrame(FrameType::kStatsRequest, id)));
+  FrameHeader header;
+  std::string payload;
+  XREFINE_RETURN_IF_ERROR(ReadFrame(&header, &payload));
+  if (header.type != FrameType::kStatsResponse || header.request_id != id) {
+    return Status::Corruption("bad stats response");
+  }
+  *out = std::move(payload);
+  return Status::OK();
+}
+
+}  // namespace xrefine::server

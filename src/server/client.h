@@ -1,0 +1,78 @@
+// Blocking client for the refinement daemon: one TCP connection, one
+// outstanding request at a time (the load driver opens one client per
+// simulated connection). Transport failures come back as non-OK Status;
+// server-side refusals (reject, shed, query error) come back OK with a
+// typed RefineResult so callers can tell "the wire broke" from "the server
+// said no".
+#ifndef XREFINE_SERVER_CLIENT_H_
+#define XREFINE_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "server/frame.h"
+
+namespace xrefine::server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept { *this = std::move(other); }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      next_request_id_ = other.next_request_id_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  /// Connects to the daemon (numeric loopback host, e.g. "127.0.0.1").
+  Status Connect(const std::string& host, uint16_t port);
+
+  /// Closes the connection; safe to call repeatedly.
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+  struct RefineResult {
+    enum class Kind {
+      kRefined,     // `response` holds the ranked refined queries
+      kError,       // `error` holds the server's refusal/failure status
+      kRetryAfter,  // shed under load; `retry_after` says when to come back
+    };
+    Kind kind = Kind::kError;
+    RefineResponse response;
+    Status error = Status::OK();
+    RetryAfter retry_after;
+  };
+
+  /// Sends one refine request and blocks for its answer. deadline_ms = 0
+  /// leaves the deadline to the server's cap.
+  Status Refine(const std::string& query, uint32_t deadline_ms,
+                RefineResult* out);
+
+  /// Liveness round-trip.
+  Status Ping();
+
+  /// Fetches the server's metrics registry dump.
+  Status StatsJson(std::string* out);
+
+ private:
+  Status SendAll(const std::string& frame);
+  Status ReadFrame(FrameHeader* header, std::string* payload);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace xrefine::server
+
+#endif  // XREFINE_SERVER_CLIENT_H_

@@ -1,0 +1,240 @@
+#include "server/frame.h"
+
+#include <cstring>
+
+#include "storage/serde.h"
+
+namespace xrefine::server {
+
+namespace {
+
+using storage::GetFixed16;
+using storage::GetFixed32;
+using storage::GetFixed64;
+using storage::GetLengthPrefixed;
+using storage::GetVarint32;
+using storage::GetVarint64;
+using storage::PutFixed16;
+using storage::PutFixed32;
+using storage::PutFixed64;
+using storage::PutLengthPrefixed;
+using storage::PutVarint32;
+using storage::PutVarint64;
+
+/// Entries claimed beyond this are decoded one by one without up-front
+/// reservation: a hostile count field must cost its attacker bytes, not
+/// our memory.
+constexpr uint32_t kMaxReserveEntries = 256;
+
+std::string FrameWithPayload(FrameType type, uint16_t flags,
+                             uint64_t request_id, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  FrameHeader header;
+  header.type = type;
+  header.flags = flags;
+  header.request_id = request_id;
+  header.payload_len = static_cast<uint32_t>(payload.size());
+  EncodeFrameHeader(header, &out);
+  out.append(payload);
+  return out;
+}
+
+}  // namespace
+
+bool ValidFrameType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kRefineRequest) &&
+         type <= static_cast<uint8_t>(FrameType::kStatsResponse);
+}
+
+void EncodeFrameHeader(const FrameHeader& header, std::string* dst) {
+  PutFixed32(dst, kFrameMagic);
+  dst->push_back(static_cast<char>(header.version));
+  dst->push_back(static_cast<char>(header.type));
+  PutFixed16(dst, header.flags);
+  PutFixed64(dst, header.request_id);
+  PutFixed32(dst, header.payload_len);
+}
+
+Status DecodeFrameHeader(std::string_view bytes, FrameHeader* out) {
+  if (bytes.size() < kFrameHeaderSize) {
+    return Status::Corruption("frame header truncated: " +
+                              std::to_string(bytes.size()) + " bytes");
+  }
+  const char* p = bytes.data();
+  if (GetFixed32(p) != kFrameMagic) {
+    return Status::Corruption("bad frame magic");
+  }
+  uint8_t version = static_cast<uint8_t>(p[4]);
+  if (version != kFrameVersion) {
+    return Status::Corruption("unsupported frame version " +
+                              std::to_string(version));
+  }
+  uint8_t type = static_cast<uint8_t>(p[5]);
+  if (!ValidFrameType(type)) {
+    return Status::Corruption("unknown frame type " + std::to_string(type));
+  }
+  uint32_t payload_len = GetFixed32(p + 16);
+  if (payload_len > kMaxPayloadLen) {
+    return Status::Corruption("frame payload length " +
+                              std::to_string(payload_len) +
+                              " exceeds the per-frame cap");
+  }
+  out->version = version;
+  out->type = static_cast<FrameType>(type);
+  out->flags = GetFixed16(p + 6);
+  out->request_id = GetFixed64(p + 8);
+  out->payload_len = payload_len;
+  return Status::OK();
+}
+
+std::string EncodeRefineRequestFrame(uint64_t request_id,
+                                     const RefineRequest& request) {
+  std::string payload;
+  PutVarint32(&payload, request.deadline_ms);
+  PutLengthPrefixed(&payload, request.query);
+  return FrameWithPayload(FrameType::kRefineRequest, 0, request_id, payload);
+}
+
+Status DecodeRefineRequest(std::string_view payload, RefineRequest* out) {
+  const char* p = payload.data();
+  const char* limit = p + payload.size();
+  std::string_view query;
+  if (!GetVarint32(&p, limit, &out->deadline_ms) ||
+      !GetLengthPrefixed(&p, limit, &query)) {
+    return Status::Corruption("refine request payload truncated");
+  }
+  if (p != limit) {
+    return Status::Corruption("refine request payload has trailing bytes");
+  }
+  out->query.assign(query);
+  return Status::OK();
+}
+
+std::string EncodeRefineResponseFrame(uint64_t request_id,
+                                      const RefineResponse& response) {
+  std::string payload;
+  PutVarint64(&payload, response.prepare_us);
+  PutVarint64(&payload, response.scan_us);
+  PutVarint64(&payload, response.rank_us);
+  payload.push_back(response.needs_refinement ? 1 : 0);
+  PutVarint32(&payload, static_cast<uint32_t>(response.refined.size()));
+  for (const RefineResponse::Entry& e : response.refined) {
+    PutLengthPrefixed(&payload, e.query);
+    uint64_t score_bits;
+    static_assert(sizeof(score_bits) == sizeof(e.score));
+    std::memcpy(&score_bits, &e.score, sizeof(score_bits));
+    PutFixed64(&payload, score_bits);
+    PutVarint32(&payload, e.result_count);
+  }
+  uint16_t flags = response.degraded ? kFrameFlagDegraded : 0;
+  return FrameWithPayload(FrameType::kRefineResponse, flags, request_id,
+                          payload);
+}
+
+Status DecodeRefineResponse(std::string_view payload, RefineResponse* out) {
+  const char* p = payload.data();
+  const char* limit = p + payload.size();
+  uint32_t count = 0;
+  uint8_t needs = 0;
+  if (!GetVarint64(&p, limit, &out->prepare_us) ||
+      !GetVarint64(&p, limit, &out->scan_us) ||
+      !GetVarint64(&p, limit, &out->rank_us) || p >= limit) {
+    return Status::Corruption("refine response payload truncated");
+  }
+  needs = static_cast<uint8_t>(*p++);
+  if (needs > 1) {
+    return Status::Corruption("refine response needs_refinement byte not 0/1");
+  }
+  out->needs_refinement = needs == 1;
+  if (!GetVarint32(&p, limit, &count)) {
+    return Status::Corruption("refine response payload truncated");
+  }
+  out->refined.clear();
+  // Reserve-bomb clamp: trust the claimed count only up to a small bound;
+  // beyond it every entry must arrive in real bytes before growth.
+  out->refined.reserve(count < kMaxReserveEntries ? count
+                                                  : kMaxReserveEntries);
+  for (uint32_t i = 0; i < count; ++i) {
+    RefineResponse::Entry entry;
+    std::string_view query;
+    if (!GetLengthPrefixed(&p, limit, &query) ||
+        limit - p < static_cast<ptrdiff_t>(sizeof(uint64_t))) {
+      return Status::Corruption("refine response entry truncated");
+    }
+    entry.query.assign(query);
+    uint64_t score_bits = GetFixed64(p);
+    p += sizeof(uint64_t);
+    std::memcpy(&entry.score, &score_bits, sizeof(entry.score));
+    if (!GetVarint32(&p, limit, &entry.result_count)) {
+      return Status::Corruption("refine response entry truncated");
+    }
+    out->refined.push_back(std::move(entry));
+  }
+  if (p != limit) {
+    return Status::Corruption("refine response payload has trailing bytes");
+  }
+  return Status::OK();
+}
+
+std::string EncodeErrorFrame(uint64_t request_id, const Status& error) {
+  std::string payload;
+  payload.push_back(static_cast<char>(error.code()));
+  PutLengthPrefixed(&payload, error.message());
+  return FrameWithPayload(FrameType::kError, 0, request_id, payload);
+}
+
+Status DecodeError(std::string_view payload, Status* out) {
+  const char* p = payload.data();
+  const char* limit = p + payload.size();
+  if (p >= limit) return Status::Corruption("error payload truncated");
+  uint8_t code = static_cast<uint8_t>(*p++);
+  if (code == 0 || code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
+    return Status::Corruption("error payload carries invalid status code " +
+                              std::to_string(code));
+  }
+  std::string_view message;
+  if (!GetLengthPrefixed(&p, limit, &message)) {
+    return Status::Corruption("error payload truncated");
+  }
+  if (p != limit) {
+    return Status::Corruption("error payload has trailing bytes");
+  }
+  *out = Status(static_cast<StatusCode>(code), std::string(message));
+  return Status::OK();
+}
+
+std::string EncodeRetryAfterFrame(uint64_t request_id, const RetryAfter& ra) {
+  std::string payload;
+  PutVarint32(&payload, ra.retry_after_ms);
+  PutVarint32(&payload, ra.queue_depth);
+  return FrameWithPayload(FrameType::kRetryAfter, 0, request_id, payload);
+}
+
+Status DecodeRetryAfter(std::string_view payload, RetryAfter* out) {
+  const char* p = payload.data();
+  const char* limit = p + payload.size();
+  if (!GetVarint32(&p, limit, &out->retry_after_ms) ||
+      !GetVarint32(&p, limit, &out->queue_depth)) {
+    return Status::Corruption("retry-after payload truncated");
+  }
+  if (p != limit) {
+    return Status::Corruption("retry-after payload has trailing bytes");
+  }
+  return Status::OK();
+}
+
+std::string EncodeEmptyFrame(FrameType type, uint64_t request_id) {
+  return FrameWithPayload(type, 0, request_id, {});
+}
+
+std::string EncodeStatsResponseFrame(uint64_t request_id,
+                                     std::string_view json) {
+  // The registry dump is our own data and stays far below the cap in
+  // practice; clamp anyway so the encoder can never emit a frame its own
+  // decoder must refuse.
+  if (json.size() > kMaxPayloadLen) json = json.substr(0, kMaxPayloadLen);
+  return FrameWithPayload(FrameType::kStatsResponse, 0, request_id, json);
+}
+
+}  // namespace xrefine::server

@@ -1,0 +1,82 @@
+// Bounded MPMC work queue between the server's session readers and its
+// worker pool. Push never blocks: a full queue returns false and the
+// caller sheds the request (RETRY_AFTER) instead of stacking latency
+// invisibly — the queue's bound IS the backpressure signal. Pop blocks
+// until work or shutdown.
+//
+// The mutex is ranked (kLockRankServerQueue) above every engine lock, so
+// holding it across a query aborts under XREFINE_DEBUG_LOCKS; the queue is
+// purely a hand-off point and its latch is never held around user work.
+#ifndef XREFINE_SERVER_REQUEST_QUEUE_H_
+#define XREFINE_SERVER_REQUEST_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/thread_annotations.h"
+
+namespace xrefine::server {
+
+template <typename Work>
+class RequestQueue {
+ public:
+  explicit RequestQueue(size_t capacity) : capacity_(capacity) {}
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Enqueues unless the queue is full or shut down; returns whether the
+  /// work was accepted. Never blocks.
+  bool Push(Work work) EXCLUDES(mu_) {
+    {
+      MutexLock lock(&mu_);
+      if (shutdown_ || queue_.size() >= capacity_) return false;
+      queue_.push_back(std::move(work));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until work arrives (returning it) or Shutdown drains the last
+  /// item (returning nullopt, the worker's exit signal). Queued work is
+  /// still delivered after Shutdown so accepted requests get answers.
+  std::optional<Work> Pop() NO_THREAD_SAFETY_ANALYSIS {
+    // condition_variable_any's unlock/relock cycles are invisible to the
+    // Clang analysis; the lock discipline is the standard condvar loop.
+    std::unique_lock<Mutex> lock(mu_);
+    cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;  // shutdown and drained
+    Work work = std::move(queue_.front());
+    queue_.pop_front();
+    return work;
+  }
+
+  /// Wakes every blocked Pop; subsequent Push calls are refused.
+  void Shutdown() EXCLUDES(mu_) {
+    {
+      MutexLock lock(&mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t depth() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return queue_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable Mutex mu_{kLockRankServerQueue, "server::RequestQueue::mu_"};
+  std::condition_variable_any cv_;
+  std::deque<Work> queue_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
+};
+
+}  // namespace xrefine::server
+
+#endif  // XREFINE_SERVER_REQUEST_QUEUE_H_

@@ -1,0 +1,408 @@
+#include "server/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+
+#include "text/tokenizer.h"
+
+namespace xrefine::server {
+
+namespace {
+
+/// Reads exactly `n` bytes, resuming across EINTR and short reads. Returns
+/// 1 on success, 0 on clean EOF before any byte, -1 on error or a stream
+/// truncated mid-frame.
+int ReadFull(int fd, char* buf, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::recv(fd, buf + done, n - done, 0);
+    if (r > 0) {
+      done += static_cast<size_t>(r);
+      continue;
+    }
+    if (r == 0) return done == 0 ? 0 : -1;  // EOF; mid-frame EOF is an error
+    if (errno == EINTR) continue;
+    return -1;
+  }
+  return 1;
+}
+
+void IgnoreSigpipeOnce() {
+  // A dead client must never kill the daemon: MSG_NOSIGNAL covers send(),
+  // this covers any other write path that might touch a broken pipe.
+  static std::once_flag once;
+  std::call_once(once, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
+
+std::string JoinTerms(const core::Query& q) {
+  std::string out;
+  for (const std::string& term : q) {
+    if (!out.empty()) out.push_back(' ');
+    out += term;
+  }
+  return out;
+}
+
+}  // namespace
+
+core::XRefineOptions MakeDegradedOptions(core::XRefineOptions base) {
+  base.rules.max_edit_distance = 1;
+  base.rules.max_spelling_candidates = 2;
+  base.rules.max_stemming_candidates = 1;
+  base.rank_results = false;
+  base.infer_return_nodes = false;
+  return base;
+}
+
+void Server::Session::Close() {
+  if (!closed.exchange(true) && fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+  }
+}
+
+Server::Session::~Session() {
+  if (fd >= 0) ::close(fd);
+}
+
+Server::Server(const core::XRefine* primary, const core::XRefine* degraded,
+               ServerOptions options)
+    : primary_(primary),
+      degraded_(degraded),
+      options_(options),
+      admission_(options.admission, &primary->corpus()),
+      queue_(options.queue_capacity),
+      requests_(metrics::Registry::Global().counter("server.requests")),
+      admitted_(metrics::Registry::Global().counter("server.admitted")),
+      degraded_count_(metrics::Registry::Global().counter("server.degraded")),
+      rejected_(metrics::Registry::Global().counter("server.rejected")),
+      shed_(metrics::Registry::Global().counter("server.shed")),
+      bad_frames_(metrics::Registry::Global().counter("server.bad_frames")),
+      send_errors_(metrics::Registry::Global().counter("server.send_errors")),
+      disconnects_(metrics::Registry::Global().counter("server.disconnects")),
+      sessions_gauge_(metrics::Registry::Global().gauge("server.sessions")),
+      queue_depth_gauge_(
+          metrics::Registry::Global().gauge("server.queue_depth")),
+      request_us_(metrics::Registry::Global().histogram("server.request_us")) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  IgnoreSigpipeOnce();
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  // Loopback only: the daemon has no auth layer; exposure beyond the host
+  // is a deployment concern (front it with a real proxy).
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status st =
+        Status::IoError(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    Status st =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    Status st =
+        Status::IoError(std::string("getsockname: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  port_ = ntohs(addr.sin_port);
+
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (stopping_.exchange(true)) {
+    // A second caller still has to wait for the first teardown's joins, but
+    // the destructor is the only second caller in practice and Stop() is
+    // always explicit before destruction in tests/tools.
+    return;
+  }
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    MutexLock lock(&sessions_mu_);
+    for (auto& [id, session] : sessions_) session->Close();
+  }
+  queue_.Shutdown();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  std::vector<std::thread> readers;
+  {
+    MutexLock lock(&sessions_mu_);
+    readers.swap(session_threads_);
+  }
+  for (std::thread& t : readers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Stop() shut the listener down (EBADF/EINVAL), or accept hit a
+      // transient per-connection error (ECONNABORTED): only the former
+      // ends the loop.
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      if (errno == ECONNABORTED) continue;
+      return;
+    }
+    auto session = std::make_shared<Session>();
+    session->fd = fd;
+    session->id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+    {
+      MutexLock lock(&sessions_mu_);
+      if (stopping_.load(std::memory_order_relaxed)) {
+        session->Close();
+        continue;
+      }
+      sessions_[session->id] = session;
+      session_threads_.emplace_back(
+          [this, session] { SessionLoop(session); });
+    }
+    sessions_gauge_->Add(1);
+  }
+}
+
+void Server::RemoveSession(uint64_t id) {
+  MutexLock lock(&sessions_mu_);
+  sessions_.erase(id);
+}
+
+void Server::SessionLoop(std::shared_ptr<Session> session) {
+  char header_bytes[kFrameHeaderSize];
+  std::string payload;
+  while (!session->closed.load(std::memory_order_relaxed)) {
+    int r = ReadFull(session->fd, header_bytes, kFrameHeaderSize);
+    if (r <= 0) break;
+    FrameHeader header;
+    Status st = DecodeFrameHeader(
+        std::string_view(header_bytes, kFrameHeaderSize), &header);
+    if (!st.ok()) {
+      // Framing is lost; there is no way to find the next frame boundary.
+      // Best-effort error, then drop the connection.
+      bad_frames_->Increment();
+      (void)SendFrame(*session, EncodeErrorFrame(0, st));
+      break;
+    }
+    payload.resize(header.payload_len);
+    if (header.payload_len > 0 &&
+        ReadFull(session->fd, payload.data(), payload.size()) != 1) {
+      break;
+    }
+    switch (header.type) {
+      case FrameType::kPing:
+        (void)SendFrame(*session,
+                        EncodeEmptyFrame(FrameType::kPong, header.request_id));
+        break;
+      case FrameType::kStatsRequest:
+        (void)SendFrame(*session,
+                        EncodeStatsResponseFrame(
+                            header.request_id,
+                            metrics::Registry::Global().DumpJson()));
+        break;
+      case FrameType::kRefineRequest: {
+        RefineRequest request;
+        Status decode = DecodeRefineRequest(payload, &request);
+        if (!decode.ok()) {
+          bad_frames_->Increment();
+          (void)SendFrame(*session,
+                          EncodeErrorFrame(header.request_id, decode));
+          break;
+        }
+        HandleRefineRequest(session, header.request_id, request);
+        break;
+      }
+      default:
+        // Structurally valid but nonsensical from a client (e.g. a
+        // response type). Framing is intact, so answer and keep reading.
+        bad_frames_->Increment();
+        (void)SendFrame(
+            *session,
+            EncodeErrorFrame(header.request_id,
+                             Status::InvalidArgument(
+                                 "frame type not valid in requests")));
+        break;
+    }
+  }
+  session->Close();
+  RemoveSession(session->id);
+  sessions_gauge_->Add(-1);
+  disconnects_->Increment();
+}
+
+void Server::HandleRefineRequest(const std::shared_ptr<Session>& session,
+                                 uint64_t request_id,
+                                 const RefineRequest& request) {
+  requests_->Increment();
+  core::Query query = text::TokenizeQuery(request.query);
+  if (query.empty()) {
+    (void)SendFrame(*session,
+                    EncodeErrorFrame(request_id, Status::InvalidArgument(
+                                                     "empty query")));
+    return;
+  }
+
+  AdmissionController::Verdict verdict =
+      admission_.Decide(query, queue_.depth(), queue_.capacity());
+  if (verdict.decision == AdmissionDecision::kShed) {
+    shed_->Increment();
+    RetryAfter ra;
+    ra.retry_after_ms = options_.retry_after_ms;
+    ra.queue_depth = static_cast<uint32_t>(queue_.depth());
+    (void)SendFrame(*session, EncodeRetryAfterFrame(request_id, ra));
+    return;
+  }
+  if (verdict.decision == AdmissionDecision::kReject) {
+    rejected_->Increment();
+    (void)SendFrame(*session,
+                    EncodeErrorFrame(request_id,
+                                     Status::Unavailable(verdict.reason)));
+    return;
+  }
+
+  Work work;
+  work.session = session;
+  work.request_id = request_id;
+  work.query = std::move(query);
+  work.degraded = verdict.decision == AdmissionDecision::kDegrade;
+  work.accepted_at = std::chrono::steady_clock::now();
+  uint32_t deadline_ms = request.deadline_ms;
+  if (deadline_ms == 0 || deadline_ms > options_.max_deadline_ms) {
+    deadline_ms = options_.max_deadline_ms;
+  }
+  if (deadline_ms > 0) {
+    work.deadline = work.accepted_at + std::chrono::milliseconds(deadline_ms);
+  }
+  if (work.degraded) degraded_count_->Increment();
+
+  if (!queue_.Push(std::move(work))) {
+    // Lost the race between the high-water check and a burst; the bound
+    // stays hard.
+    shed_->Increment();
+    RetryAfter ra;
+    ra.retry_after_ms = options_.retry_after_ms;
+    ra.queue_depth = static_cast<uint32_t>(queue_.depth());
+    (void)SendFrame(*session, EncodeRetryAfterFrame(request_id, ra));
+    return;
+  }
+  admitted_->Increment();
+  queue_depth_gauge_->Set(static_cast<int64_t>(queue_.depth()));
+}
+
+void Server::WorkerLoop() {
+  while (true) {
+    std::optional<Work> work = queue_.Pop();
+    if (!work.has_value()) return;
+    queue_depth_gauge_->Set(static_cast<int64_t>(queue_.depth()));
+    ProcessWork(*work);
+  }
+}
+
+void Server::ProcessWork(Work& work) {
+  Session& session = *work.session;
+  if (session.closed.load(std::memory_order_relaxed)) return;
+
+  core::RefineControl control;
+  control.deadline = work.deadline;
+  control.cancel = &session.closed;
+  control.max_candidate_fanout = options_.max_candidate_fanout;
+
+  const core::XRefine* engine =
+      (work.degraded && degraded_ != nullptr) ? degraded_ : primary_;
+  core::RefineOutcome outcome = engine->Run(work.query, &control);
+
+  std::string frame;
+  if (!outcome.status.ok()) {
+    frame = EncodeErrorFrame(work.request_id, outcome.status);
+  } else {
+    RefineResponse response;
+    response.degraded = work.degraded && degraded_ != nullptr;
+    response.needs_refinement = outcome.needs_refinement;
+    response.prepare_us =
+        static_cast<uint64_t>(outcome.query_stats.prepare_ms * 1e3);
+    response.scan_us =
+        static_cast<uint64_t>(outcome.query_stats.scan_ms * 1e3);
+    response.rank_us =
+        static_cast<uint64_t>(outcome.query_stats.rank_ms * 1e3);
+    response.refined.reserve(outcome.refined.size());
+    for (const core::RankedRq& rq : outcome.refined) {
+      RefineResponse::Entry entry;
+      entry.query = JoinTerms(rq.rq.keywords);
+      entry.score = rq.rank;
+      entry.result_count = static_cast<uint32_t>(rq.results.size());
+      response.refined.push_back(std::move(entry));
+    }
+    frame = EncodeRefineResponseFrame(work.request_id, response);
+  }
+  if (!SendFrame(session, frame).ok()) {
+    send_errors_->Increment();
+  }
+  request_us_->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - work.accepted_at)
+          .count()));
+}
+
+Status Server::SendFrame(Session& session, const std::string& frame) {
+  MutexLock lock(&session.write_mu);
+  if (session.closed.load(std::memory_order_relaxed)) {
+    return Status::IoError("session closed");
+  }
+  size_t done = 0;
+  while (done < frame.size()) {
+    ssize_t w = ::send(session.fd, frame.data() + done, frame.size() - done,
+                       MSG_NOSIGNAL);
+    if (w > 0) {
+      done += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    // EPIPE / ECONNRESET: the client went away mid-write. Clean teardown,
+    // never a signal, never fatal.
+    session.Close();
+    return Status::IoError(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace xrefine::server

@@ -1,0 +1,172 @@
+// The refinement daemon: a loopback TCP server speaking the frame.h wire
+// format. One accept thread, one reader thread per connection, and a fixed
+// worker pool pulling from a bounded RequestQueue.
+//
+// Request flow (all admission work happens in the reader thread, before the
+// queue, on metadata only):
+//
+//   reader: read frame -> decode -> tokenize -> AdmissionController::Decide
+//     kShed    -> RETRY_AFTER frame, never queued
+//     kReject  -> error frame (kUnavailable), never queued
+//     kDegrade -> queued tagged for the degraded engine
+//     kAdmit   -> queued for the primary engine
+//     (queue full despite the high-water check: shed — the bound is hard)
+//   worker: Pop -> XRefine::Run(query, &control) -> response/error frame
+//
+// The RefineControl carries the client deadline, the session's closed flag
+// as the cancel signal (a disconnect aborts the query mid-scan), and the
+// post-prepare candidate fan-out cap.
+//
+// Robustness contract: a client disconnect is never fatal. SIGPIPE is
+// ignored once at Start and every send uses MSG_NOSIGNAL; EPIPE/ECONNRESET
+// mark the session closed and tear it down cleanly. Lock order is
+// queue (50) < session table (54) < per-session write mutex (60), all above
+// every engine lock — no server lock is ever held across engine work.
+#ifndef XREFINE_SERVER_SERVER_H_
+#define XREFINE_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "core/xrefine.h"
+#include "server/admission.h"
+#include "server/frame.h"
+#include "server/request_queue.h"
+
+namespace xrefine::server {
+
+struct ServerOptions {
+  /// TCP port to bind on loopback; 0 picks an ephemeral port (read it back
+  /// via port() after Start).
+  uint16_t port = 0;
+  size_t num_workers = 4;
+  size_t queue_capacity = 64;
+  /// Suggested client back-off carried in shed frames.
+  uint32_t retry_after_ms = 50;
+  /// Client deadlines are clamped to this; 0 in a request means "none".
+  uint32_t max_deadline_ms = 60'000;
+  /// Post-prepare admission gate: a prepared rule set larger than this
+  /// aborts with kUnavailable before any scan (RefineControl). 0 disables.
+  size_t max_candidate_fanout = 50'000;
+  AdmissionOptions admission;
+};
+
+/// One daemon instance. Construction is cheap; Start() binds and spawns
+/// threads, Stop() (also run by the destructor) tears everything down and
+/// joins. `primary` answers admitted queries; `degraded` (may be null, then
+/// degrades fall back to primary) should be a second engine over the same
+/// corpus with capped options — see MakeDegradedOptions.
+class Server {
+ public:
+  Server(const core::XRefine* primary, const core::XRefine* degraded,
+         ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds 127.0.0.1:options.port, starts the accept thread and workers.
+  Status Start();
+
+  /// Stops accepting, closes every session, drains the queue, joins all
+  /// threads. Idempotent.
+  void Stop();
+
+  /// The bound port (after a successful Start).
+  uint16_t port() const { return port_; }
+
+  const AdmissionController& admission() const { return admission_; }
+  AdmissionController& mutable_admission() { return admission_; }
+
+ private:
+  struct Session {
+    int fd = -1;
+    uint64_t id = 0;
+    /// Serialises frame writes (reader acks and worker responses
+    /// interleave on one socket).
+    Mutex write_mu{kLockRankServerSession, "server::Session::write_mu"};
+    /// Set on disconnect/teardown; doubles as the RefineControl cancel
+    /// flag so in-flight queries for this session stop scanning.
+    std::atomic<bool> closed{false};
+
+    /// Half-closes the socket so blocked reads/writes fail; the fd itself
+    /// stays open until the last reference drops (no fd-reuse races).
+    void Close();
+    ~Session();
+  };
+
+  struct Work {
+    std::shared_ptr<Session> session;
+    uint64_t request_id = 0;
+    core::Query query;
+    /// Absolute deadline (epoch time_point{} = none), fixed at admission
+    /// so queue wait counts against the client's budget.
+    std::chrono::steady_clock::time_point deadline{};
+    bool degraded = false;
+    /// Enqueue time, for the end-to-end server.request_us histogram.
+    std::chrono::steady_clock::time_point accepted_at{};
+  };
+
+  void AcceptLoop();
+  void SessionLoop(std::shared_ptr<Session> session);
+  void WorkerLoop();
+  /// Reader-thread handling of one refine request: admission + enqueue.
+  void HandleRefineRequest(const std::shared_ptr<Session>& session,
+                           uint64_t request_id, const RefineRequest& request);
+  void ProcessWork(Work& work);
+  /// Writes one encoded frame under the session write mutex. EPIPE and
+  /// ECONNRESET close the session and report IoError; neither is fatal to
+  /// the server.
+  Status SendFrame(Session& session, const std::string& frame);
+  void RemoveSession(uint64_t id) EXCLUDES(sessions_mu_);
+
+  const core::XRefine* primary_;
+  const core::XRefine* degraded_;  // may be null
+  ServerOptions options_;
+  AdmissionController admission_;
+  RequestQueue<Work> queue_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> next_session_id_{1};
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  Mutex sessions_mu_{kLockRankServerSessions, "server::Server::sessions_mu_"};
+  std::map<uint64_t, std::shared_ptr<Session>> sessions_
+      GUARDED_BY(sessions_mu_);
+  std::vector<std::thread> session_threads_ GUARDED_BY(sessions_mu_);
+
+  // server.* metrics, resolved once at construction.
+  metrics::Counter* requests_;
+  metrics::Counter* admitted_;
+  metrics::Counter* degraded_count_;
+  metrics::Counter* rejected_;
+  metrics::Counter* shed_;
+  metrics::Counter* bad_frames_;
+  metrics::Counter* send_errors_;
+  metrics::Counter* disconnects_;
+  metrics::Gauge* sessions_gauge_;
+  metrics::Gauge* queue_depth_gauge_;
+  metrics::Histogram* request_us_;
+};
+
+/// The degraded-engine recipe: `base` with spelling edit distance capped at
+/// 1, fewer spelling candidates, and no result ranking — the cheap config
+/// the admission gate routes heavy queries to.
+core::XRefineOptions MakeDegradedOptions(core::XRefineOptions base);
+
+}  // namespace xrefine::server
+
+#endif  // XREFINE_SERVER_SERVER_H_

@@ -134,13 +134,68 @@ Status Pager::ReadPageFromFile(PageId id, Page* page) {
       --fail_reads_after_;
     }
   }
-  ssize_t n = ::pread(fd_, page->data, kPageSize,
-                      static_cast<off_t>(id) * static_cast<off_t>(kPageSize));
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IoError("short read of page " + std::to_string(id));
-  }
+  XREFINE_RETURN_IF_ERROR(ReadFullAt(
+      page->data, kPageSize,
+      static_cast<off_t>(id) * static_cast<off_t>(kPageSize), id));
   page->id = id;
   page->dirty = false;
+  return Status::OK();
+}
+
+Status Pager::ReadFullAt(char* buf, size_t n, off_t offset, PageId id) {
+  size_t chunk_cap;
+  {
+    MutexLock lock(&io_mu_);
+    chunk_cap = max_io_chunk_;
+  }
+  size_t done = 0;
+  while (done < n) {
+    size_t chunk = n - done;
+    if (chunk_cap != 0 && chunk > chunk_cap) chunk = chunk_cap;
+    ssize_t r = ::pread(fd_, buf + done, chunk,
+                        offset + static_cast<off_t>(done));
+    if (r < 0) {
+      if (errno == EINTR) continue;  // interrupted before any transfer
+      return Status::IoError("read of page " + std::to_string(id) +
+                             " failed: " + std::strerror(errno));
+    }
+    if (r == 0) {
+      // EOF inside a page that the bounds check said exists: truncation.
+      return Status::IoError("short read of page " + std::to_string(id) +
+                             " (EOF at byte " + std::to_string(done) + ")");
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status Pager::WriteFullAt(const char* buf, size_t n, off_t offset,
+                          PageId id) {
+  size_t chunk_cap;
+  {
+    MutexLock lock(&io_mu_);
+    chunk_cap = max_io_chunk_;
+  }
+  size_t done = 0;
+  while (done < n) {
+    size_t chunk = n - done;
+    if (chunk_cap != 0 && chunk > chunk_cap) chunk = chunk_cap;
+    ssize_t w = ::pwrite(fd_, buf + done, chunk,
+                         offset + static_cast<off_t>(done));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("write of page " + std::to_string(id) +
+                             " failed: " + std::strerror(errno));
+    }
+    if (w == 0) {
+      // pwrite returning 0 for a nonzero count should not happen on a
+      // regular file; treat it as a hard error rather than spinning.
+      return Status::IoError("write of page " + std::to_string(id) +
+                             " made no progress at byte " +
+                             std::to_string(done));
+    }
+    done += static_cast<size_t>(w);
+  }
   return Status::OK();
 }
 
@@ -153,13 +208,9 @@ Status Pager::WritePageToFile(const Page& page) {
                              std::to_string(page.id));
     }
   }
-  ssize_t n =
-      ::pwrite(fd_, page.data, kPageSize,
-               static_cast<off_t>(page.id) * static_cast<off_t>(kPageSize));
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IoError("short write of page " + std::to_string(page.id));
-  }
-  return Status::OK();
+  return WriteFullAt(
+      page.data, kPageSize,
+      static_cast<off_t>(page.id) * static_cast<off_t>(kPageSize), page.id);
 }
 
 void Pager::Pin(Shard& shard, Entry* entry) {

@@ -176,6 +176,16 @@ class Pager {
     read_hook_ = std::move(hook);
   }
 
+  /// Caps every pread/pwrite issued by this pager at `bytes` per call
+  /// (tests only; 0 disables). Forces the partial-transfer path of
+  /// ReadFullAt/WriteFullAt — the same resumption logic a signal-
+  /// interrupted or pipe-limited kernel transfer exercises — without
+  /// needing to race a real signal against the syscall.
+  void SetMaxIoChunkForTesting(size_t bytes) EXCLUDES(io_mu_) {
+    MutexLock lock(&io_mu_);
+    max_io_chunk_ = bytes;
+  }
+
   // --- introspection (tests, tools) ---
   size_t cached_pages() const;
   uint64_t cache_hits() const {
@@ -243,6 +253,12 @@ class Pager {
   // Flush). Both briefly take io_mu_ for the test-only injection flags.
   Status ReadPageFromFile(PageId id, Page* page) EXCLUDES(io_mu_);
   Status WritePageToFile(const Page& page) EXCLUDES(io_mu_);
+  // Positional full-transfer loops: retry on EINTR and resume after short
+  // transfers until the whole page has moved (or a hard error / EOF). A
+  // server shares this fd across worker threads under signal-heavy load,
+  // where a single pread/pwrite legitimately returns short.
+  Status ReadFullAt(char* buf, size_t n, off_t offset, PageId id);
+  Status WriteFullAt(const char* buf, size_t n, off_t offset, PageId id);
 
   void Pin(Shard& shard, Entry* entry) REQUIRES(shard.mu);
   void Unpin(Page* page);  // PageGuard's release entry point
@@ -276,6 +292,7 @@ class Pager {
   bool simulate_write_failures_ GUARDED_BY(io_mu_) = false;
   int64_t fail_reads_after_ GUARDED_BY(io_mu_) = -1;  // -1 = no injection
   std::function<void()> read_hook_ GUARDED_BY(io_mu_);
+  size_t max_io_chunk_ GUARDED_BY(io_mu_) = 0;  // 0 = no injected cap
 
   struct Metrics {
     metrics::Counter* cache_hits;

@@ -322,6 +322,64 @@ TEST(FailureInjectionTest, ConcurrentMissReadFailurePropagatesToAllWaiters) {
   std::filesystem::remove(path);
 }
 
+TEST(FailureInjectionTest, PagerResumesShortReadsAndWrites) {
+  // Regression for the positional-I/O bug fixed in the serving-path sweep:
+  // a short pread/pwrite (signal-interrupted transfer, pipe-limited
+  // kernel) was treated as a hard error. The injected chunk cap forces
+  // every page transfer through the resumption loop — 4096-byte pages at
+  // 100 bytes per syscall is 41 partial transfers each way.
+  std::string path = TempPath("pager_partial_io.db");
+  std::remove(path.c_str());
+  std::string payload(storage::kPageSize, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>(i * 131 + 17);
+  }
+  storage::PageId data_page = storage::kInvalidPageId;
+  {
+    auto pager_or = storage::Pager::Open(path);
+    ASSERT_TRUE(pager_or.ok());
+    auto& pager = *pager_or.value();
+    pager.SetMaxIoChunkForTesting(100);
+    auto meta = pager.NewPage();  // reserve page 0
+    auto guard = pager.NewPage();
+    ASSERT_TRUE(guard.valid());
+    data_page = guard.id();
+    std::memcpy(guard->data, payload.data(), payload.size());
+    guard.MarkDirty();
+    guard.Release();
+    meta.Release();
+    ASSERT_TRUE(pager.Flush().ok());
+    ASSERT_TRUE(pager.status().ok());
+  }
+  {
+    auto pager_or = storage::Pager::Open(path);
+    ASSERT_TRUE(pager_or.ok());
+    auto& pager = *pager_or.value();
+    pager.SetMaxIoChunkForTesting(100);
+    auto guard = pager.Fetch(data_page);
+    ASSERT_TRUE(guard.valid());
+    EXPECT_EQ(std::memcmp(guard->data, payload.data(), payload.size()), 0);
+    EXPECT_TRUE(pager.status().ok());
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(FailureInjectionTest, PagerShortReadAtEofIsTruncationError) {
+  // The resumption loop must still distinguish "resume after a short
+  // transfer" from "the file genuinely ends mid-page": EOF inside a page
+  // is corruption, not something to retry forever.
+  std::string path = TempPath("pager_truncated_page.db");
+  WriteBytes(path, std::string(2 * storage::kPageSize, 'x'));
+  auto pager_or = storage::Pager::Open(path);
+  ASSERT_TRUE(pager_or.ok());
+  auto& pager = *pager_or.value();
+  // The device shrinks underneath the open pager: page 1 now ends 100
+  // bytes in, so its read hits EOF mid-page.
+  std::filesystem::resize_file(path, storage::kPageSize + 100);
+  auto guard = pager.Fetch(1);
+  EXPECT_FALSE(guard.valid());
+}
+
 TEST(FailureInjectionTest, ParserSurvivesRandomGarbage) {
   Random rng(7);
   for (int i = 0; i < 200; ++i) {

@@ -1,0 +1,270 @@
+// Wire-framing codec tests: round-trips for every frame type, truncation
+// at every byte boundary, and hostile header/payload fields. The framing
+// layer is the daemon's outermost attack surface — everything here must be
+// a typed Status, never a crash or an allocation bomb.
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "server/frame.h"
+#include "storage/serde.h"
+
+namespace xrefine::server {
+namespace {
+
+FrameHeader MustDecodeHeader(const std::string& frame) {
+  FrameHeader header;
+  Status st = DecodeFrameHeader(frame, &header);
+  EXPECT_TRUE(st.ok()) << st;
+  return header;
+}
+
+std::string PayloadOf(const std::string& frame) {
+  return frame.substr(kFrameHeaderSize);
+}
+
+TEST(FrameTest, HeaderRoundTrip) {
+  FrameHeader header;
+  header.type = FrameType::kRefineResponse;
+  header.flags = kFrameFlagDegraded;
+  header.request_id = 0xDEADBEEFCAFEF00Dull;
+  header.payload_len = 12345;
+  std::string bytes;
+  EncodeFrameHeader(header, &bytes);
+  ASSERT_EQ(bytes.size(), kFrameHeaderSize);
+
+  FrameHeader decoded;
+  ASSERT_TRUE(DecodeFrameHeader(bytes, &decoded).ok());
+  EXPECT_EQ(decoded.version, kFrameVersion);
+  EXPECT_EQ(decoded.type, FrameType::kRefineResponse);
+  EXPECT_EQ(decoded.flags, kFrameFlagDegraded);
+  EXPECT_EQ(decoded.request_id, 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(decoded.payload_len, 12345u);
+}
+
+TEST(FrameTest, HeaderTruncatedAtEveryByteBoundary) {
+  std::string frame = EncodeRefineRequestFrame(7, {250, "madden curry"});
+  for (size_t len = 0; len < kFrameHeaderSize; ++len) {
+    FrameHeader header;
+    Status st = DecodeFrameHeader(frame.substr(0, len), &header);
+    EXPECT_FALSE(st.ok()) << "header length " << len;
+    EXPECT_TRUE(st.IsCorruption());
+  }
+  EXPECT_EQ(MustDecodeHeader(frame).request_id, 7u);
+}
+
+TEST(FrameTest, HeaderRejectsHostileFields) {
+  std::string good = EncodeEmptyFrame(FrameType::kPing, 1);
+  FrameHeader header;
+
+  std::string bad_magic = good;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_TRUE(DecodeFrameHeader(bad_magic, &header).IsCorruption());
+
+  std::string bad_version = good;
+  bad_version[4] = 99;
+  EXPECT_TRUE(DecodeFrameHeader(bad_version, &header).IsCorruption());
+
+  std::string bad_type = good;
+  bad_type[5] = 0;
+  EXPECT_TRUE(DecodeFrameHeader(bad_type, &header).IsCorruption());
+  bad_type[5] = 9;  // one past kStatsResponse
+  EXPECT_TRUE(DecodeFrameHeader(bad_type, &header).IsCorruption());
+
+  // A length field above the cap is refused before any allocation: the
+  // reserve-bomb rule. 0xFFFFFFFF would "reserve" 4 GiB otherwise.
+  std::string bomb = good;
+  uint32_t huge = 0xFFFFFFFFu;
+  std::memcpy(bomb.data() + 16, &huge, sizeof(huge));
+  Status st = DecodeFrameHeader(bomb, &header);
+  EXPECT_TRUE(st.IsCorruption());
+  uint32_t just_over = kMaxPayloadLen + 1;
+  std::memcpy(bomb.data() + 16, &just_over, sizeof(just_over));
+  EXPECT_TRUE(DecodeFrameHeader(bomb, &header).IsCorruption());
+  uint32_t at_cap = kMaxPayloadLen;
+  std::memcpy(bomb.data() + 16, &at_cap, sizeof(at_cap));
+  EXPECT_TRUE(DecodeFrameHeader(bomb, &header).ok());
+}
+
+TEST(FrameTest, RefineRequestRoundTrip) {
+  RefineRequest request;
+  request.deadline_ms = 1500;
+  request.query = "maden curry nfl";
+  std::string frame = EncodeRefineRequestFrame(42, request);
+  FrameHeader header = MustDecodeHeader(frame);
+  EXPECT_EQ(header.type, FrameType::kRefineRequest);
+  EXPECT_EQ(header.request_id, 42u);
+  EXPECT_EQ(header.payload_len, frame.size() - kFrameHeaderSize);
+
+  RefineRequest decoded;
+  ASSERT_TRUE(DecodeRefineRequest(PayloadOf(frame), &decoded).ok());
+  EXPECT_EQ(decoded.deadline_ms, 1500u);
+  EXPECT_EQ(decoded.query, "maden curry nfl");
+}
+
+TEST(FrameTest, RefineRequestTruncatedAtEveryByteBoundary) {
+  std::string payload = PayloadOf(EncodeRefineRequestFrame(1, {99, "a b c"}));
+  for (size_t len = 0; len < payload.size(); ++len) {
+    RefineRequest decoded;
+    EXPECT_FALSE(
+        DecodeRefineRequest(payload.substr(0, len), &decoded).ok())
+        << "payload length " << len;
+  }
+}
+
+TEST(FrameTest, RefineRequestRejectsTrailingBytes) {
+  std::string payload = PayloadOf(EncodeRefineRequestFrame(1, {99, "a b"}));
+  payload.push_back('\x00');
+  RefineRequest decoded;
+  EXPECT_TRUE(DecodeRefineRequest(payload, &decoded).IsCorruption());
+}
+
+RefineResponse SampleResponse() {
+  RefineResponse response;
+  response.needs_refinement = true;
+  response.prepare_us = 120;
+  response.scan_us = 4096;
+  response.rank_us = 37;
+  RefineResponse::Entry e1;
+  e1.query = "madden curry";
+  e1.score = 0.875;
+  e1.result_count = 12;
+  RefineResponse::Entry e2;
+  e2.query = "madden nfl";
+  e2.score = -1.5e-3;
+  e2.result_count = 0;
+  response.refined = {e1, e2};
+  return response;
+}
+
+TEST(FrameTest, RefineResponseRoundTrip) {
+  std::string frame = EncodeRefineResponseFrame(9, SampleResponse());
+  FrameHeader header = MustDecodeHeader(frame);
+  EXPECT_EQ(header.type, FrameType::kRefineResponse);
+  EXPECT_EQ(header.flags & kFrameFlagDegraded, 0u);
+
+  RefineResponse decoded;
+  ASSERT_TRUE(DecodeRefineResponse(PayloadOf(frame), &decoded).ok());
+  EXPECT_TRUE(decoded.needs_refinement);
+  EXPECT_EQ(decoded.prepare_us, 120u);
+  EXPECT_EQ(decoded.scan_us, 4096u);
+  EXPECT_EQ(decoded.rank_us, 37u);
+  ASSERT_EQ(decoded.refined.size(), 2u);
+  EXPECT_EQ(decoded.refined[0].query, "madden curry");
+  EXPECT_EQ(decoded.refined[0].score, 0.875);
+  EXPECT_EQ(decoded.refined[0].result_count, 12u);
+  EXPECT_EQ(decoded.refined[1].query, "madden nfl");
+  EXPECT_EQ(decoded.refined[1].score, -1.5e-3);
+}
+
+TEST(FrameTest, RefineResponseDegradedFlagTravelsInHeader) {
+  RefineResponse response = SampleResponse();
+  response.degraded = true;
+  std::string frame = EncodeRefineResponseFrame(9, response);
+  FrameHeader header = MustDecodeHeader(frame);
+  EXPECT_EQ(header.flags & kFrameFlagDegraded, kFrameFlagDegraded);
+}
+
+TEST(FrameTest, RefineResponseReEncodesToSameBytes) {
+  // The fixpoint property the fuzz harness leans on: decode-then-encode is
+  // the identity on valid frames.
+  std::string frame = EncodeRefineResponseFrame(9, SampleResponse());
+  RefineResponse decoded;
+  ASSERT_TRUE(DecodeRefineResponse(PayloadOf(frame), &decoded).ok());
+  EXPECT_EQ(EncodeRefineResponseFrame(9, decoded), frame);
+}
+
+TEST(FrameTest, RefineResponseTruncatedAtEveryByteBoundary) {
+  std::string payload = PayloadOf(EncodeRefineResponseFrame(1, SampleResponse()));
+  for (size_t len = 0; len < payload.size(); ++len) {
+    RefineResponse decoded;
+    EXPECT_FALSE(
+        DecodeRefineResponse(payload.substr(0, len), &decoded).ok())
+        << "payload length " << len;
+  }
+}
+
+TEST(FrameTest, RefineResponseClampsHostileEntryCount) {
+  // A claimed count of ~1 billion entries with no bytes behind it must
+  // fail cleanly after at most kMaxReserveEntries-worth of reservation,
+  // not allocate gigabytes up front.
+  std::string payload;
+  storage::PutVarint64(&payload, 1);
+  storage::PutVarint64(&payload, 1);
+  storage::PutVarint64(&payload, 1);
+  payload.push_back(1);
+  storage::PutVarint32(&payload, 1'000'000'000);
+  RefineResponse decoded;
+  EXPECT_TRUE(DecodeRefineResponse(payload, &decoded).IsCorruption());
+  EXPECT_LT(decoded.refined.capacity(), 100'000u);
+}
+
+TEST(FrameTest, ErrorRoundTrip) {
+  std::string frame =
+      EncodeErrorFrame(3, Status::Unavailable("queue past high water"));
+  FrameHeader header = MustDecodeHeader(frame);
+  EXPECT_EQ(header.type, FrameType::kError);
+  Status decoded = Status::OK();
+  ASSERT_TRUE(DecodeError(PayloadOf(frame), &decoded).ok());
+  EXPECT_TRUE(decoded.IsUnavailable());
+  EXPECT_EQ(decoded.message(), "queue past high water");
+}
+
+TEST(FrameTest, ErrorRejectsHostileCode) {
+  std::string payload = PayloadOf(
+      EncodeErrorFrame(3, Status::InvalidArgument("x")));
+  payload[0] = 0;  // kOk smuggled into an error frame
+  Status decoded = Status::OK();
+  EXPECT_TRUE(DecodeError(payload, &decoded).IsCorruption());
+  payload[0] = 127;  // out of the enum's range
+  EXPECT_TRUE(DecodeError(payload, &decoded).IsCorruption());
+}
+
+TEST(FrameTest, RetryAfterRoundTripAndTruncation) {
+  RetryAfter ra;
+  ra.retry_after_ms = 75;
+  ra.queue_depth = 48;
+  std::string frame = EncodeRetryAfterFrame(11, ra);
+  EXPECT_EQ(MustDecodeHeader(frame).type, FrameType::kRetryAfter);
+  RetryAfter decoded;
+  ASSERT_TRUE(DecodeRetryAfter(PayloadOf(frame), &decoded).ok());
+  EXPECT_EQ(decoded.retry_after_ms, 75u);
+  EXPECT_EQ(decoded.queue_depth, 48u);
+
+  std::string payload = PayloadOf(frame);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(DecodeRetryAfter(payload.substr(0, len), &decoded).ok());
+  }
+  payload.push_back('\x01');
+  EXPECT_TRUE(DecodeRetryAfter(payload, &decoded).IsCorruption());
+}
+
+TEST(FrameTest, EmptyFramesHaveNoPayload) {
+  for (FrameType type :
+       {FrameType::kPing, FrameType::kPong, FrameType::kStatsRequest}) {
+    std::string frame = EncodeEmptyFrame(type, 5);
+    EXPECT_EQ(frame.size(), kFrameHeaderSize);
+    FrameHeader header = MustDecodeHeader(frame);
+    EXPECT_EQ(header.type, type);
+    EXPECT_EQ(header.payload_len, 0u);
+  }
+}
+
+TEST(FrameTest, StatsResponseCarriesJsonVerbatim) {
+  std::string json = "{\"counters\": {\"server.requests\": 3}}";
+  std::string frame = EncodeStatsResponseFrame(6, json);
+  EXPECT_EQ(MustDecodeHeader(frame).type, FrameType::kStatsResponse);
+  EXPECT_EQ(PayloadOf(frame), json);
+}
+
+TEST(FrameTest, ValidFrameTypeMatchesEnumRange) {
+  EXPECT_FALSE(ValidFrameType(0));
+  for (uint8_t t = 1; t <= 8; ++t) EXPECT_TRUE(ValidFrameType(t));
+  EXPECT_FALSE(ValidFrameType(9));
+  EXPECT_FALSE(ValidFrameType(255));
+}
+
+}  // namespace
+}  // namespace xrefine::server

@@ -109,6 +109,30 @@ TEST(HistogramTest, QuantileBoundWithin25PercentOfSample) {
   }
 }
 
+TEST(HistogramTest, QuantileEdgeCases) {
+  // The contract pinned after the serving-path sweep: empty histograms and
+  // out-of-domain q values return defined sentinels, never garbage or UB.
+  Histogram empty;
+  EXPECT_EQ(empty.QuantileUpperBound(0.0), 0u);
+  EXPECT_EQ(empty.QuantileUpperBound(0.5), 0u);
+  EXPECT_EQ(empty.QuantileUpperBound(1.0), 0u);
+
+  Histogram h;
+  h.Record(2);
+  h.Record(7);
+  h.Record(100);
+  // q=0 is the smallest recorded sample's bucket bound, q=1 the largest's.
+  EXPECT_EQ(h.QuantileUpperBound(0.0), 2u);
+  EXPECT_GE(h.QuantileUpperBound(1.0), 100u);
+  // Out-of-range q clamps instead of under/overflowing the rank.
+  EXPECT_EQ(h.QuantileUpperBound(-3.0), h.QuantileUpperBound(0.0));
+  EXPECT_EQ(h.QuantileUpperBound(7.5), h.QuantileUpperBound(1.0));
+  // NaN (a division artifact upstream) reads as q=0 — the double->uint64
+  // cast of a NaN-derived rank was the original UB.
+  EXPECT_EQ(h.QuantileUpperBound(std::nan("")),
+            h.QuantileUpperBound(0.0));
+}
+
 TEST(RegistryTest, SameNameReturnsSamePointer) {
   Registry& r = Registry::Global();
   Counter* a = r.counter("test.registry.identity");

@@ -1,0 +1,468 @@
+// End-to-end tests for the refinement daemon: wire protocol over real
+// loopback sockets, admission control (reject / degrade / shed), deadline
+// and cancellation plumbing, and the robustness contract — abrupt client
+// disconnects must never kill the server (the SIGPIPE/EPIPE regression:
+// these tests run the server in-process, so an unhandled SIGPIPE would
+// kill the test binary itself).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/xrefine.h"
+#include "index/index_builder.h"
+#include "index/index_store.h"
+#include "index/store_index_source.h"
+#include "server/client.h"
+#include "server/frame.h"
+#include "server/server.h"
+#include "storage/kvstore.h"
+#include "text/tokenizer.h"
+#include "workload/dblp_generator.h"
+
+namespace xrefine::server {
+namespace {
+
+using RefineResult = Client::RefineResult;
+
+/// Shared corpus + engines for every test (construction dominates test
+/// time; the corpus is immutable and the engines' query paths are
+/// thread-safe, so sharing across servers is the production shape too).
+struct TestEnv {
+  xml::Document doc;
+  std::unique_ptr<index::IndexedCorpus> corpus;
+  text::Lexicon lexicon = text::Lexicon::BuiltIn();
+  std::unique_ptr<core::XRefine> primary;
+  std::unique_ptr<core::XRefine> degraded;
+  std::string well_behaved_query;  // two low-volume real terms
+  std::string heavy_query;         // the highest-volume terms
+  uint64_t well_behaved_volume = 0;
+  uint64_t heavy_volume = 0;
+
+  TestEnv() {
+    workload::DblpOptions options;
+    options.num_authors = 120;
+    options.seed = 99;
+    doc = workload::GenerateDblp(options);
+    corpus = index::BuildIndex(doc);
+    core::XRefineOptions engine_options;
+    primary = std::make_unique<core::XRefine>(corpus.get(), &lexicon,
+                                              engine_options);
+    degraded = std::make_unique<core::XRefine>(
+        corpus.get(), &lexicon, MakeDegradedOptions(engine_options));
+
+    std::vector<std::pair<size_t, std::string>> by_volume;
+    corpus->ForEachKeyword([&](std::string_view kw) {
+      if (kw.size() >= 4) by_volume.emplace_back(corpus->ListSize(kw),
+                                                 std::string(kw));
+    });
+    std::sort(by_volume.begin(), by_volume.end());
+    // Two terms from the low end (but present), and the top three.
+    const auto& lo1 = by_volume[by_volume.size() / 10];
+    const auto& lo2 = by_volume[by_volume.size() / 10 + 1];
+    well_behaved_query = lo1.second + " " + lo2.second;
+    well_behaved_volume = lo1.first + lo2.first;
+    std::string heavy;
+    for (size_t i = 0; i < 3; ++i) {
+      const auto& top = by_volume[by_volume.size() - 1 - i];
+      if (!heavy.empty()) heavy.push_back(' ');
+      heavy += top.second;
+      heavy_volume += top.first;
+    }
+    heavy_query = heavy;
+    // The thresholds the admission tests pick between these two classes
+    // only exist if the classes are actually separable.
+    EXPECT_LT(well_behaved_volume * 2, heavy_volume);
+  }
+};
+
+TestEnv& Env() {
+  static TestEnv* env = new TestEnv();
+  return *env;
+}
+
+std::unique_ptr<Server> StartServer(ServerOptions options) {
+  auto server = std::make_unique<Server>(Env().primary.get(),
+                                         Env().degraded.get(), options);
+  Status st = server->Start();
+  EXPECT_TRUE(st.ok()) << st;
+  return server;
+}
+
+Client ConnectTo(const Server& server) {
+  Client client;
+  Status st = client.Connect("127.0.0.1", server.port());
+  EXPECT_TRUE(st.ok()) << st;
+  return client;
+}
+
+/// Raw socket for protocol-level tests (pipelining, garbage, half-frames).
+int RawConnect(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+void RawSend(int fd, const std::string& bytes) {
+  size_t done = 0;
+  while (done < bytes.size()) {
+    ssize_t w =
+        ::send(fd, bytes.data() + done, bytes.size() - done, MSG_NOSIGNAL);
+    ASSERT_GT(w, 0);
+    done += static_cast<size_t>(w);
+  }
+}
+
+bool RawReadFrame(int fd, FrameHeader* header, std::string* payload) {
+  char header_bytes[kFrameHeaderSize];
+  size_t done = 0;
+  while (done < kFrameHeaderSize) {
+    ssize_t r = ::recv(fd, header_bytes + done, kFrameHeaderSize - done, 0);
+    if (r <= 0) return false;
+    done += static_cast<size_t>(r);
+  }
+  if (!DecodeFrameHeader(std::string_view(header_bytes, kFrameHeaderSize),
+                         header)
+           .ok()) {
+    return false;
+  }
+  payload->resize(header->payload_len);
+  done = 0;
+  while (done < payload->size()) {
+    ssize_t r = ::recv(fd, payload->data() + done, payload->size() - done, 0);
+    if (r <= 0) return false;
+    done += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+TEST(ServerTest, PingStatsAndCleanShutdown) {
+  auto server = StartServer({});
+  ASSERT_NE(server->port(), 0);
+  Client client = ConnectTo(*server);
+  EXPECT_TRUE(client.Ping().ok());
+  std::string json;
+  ASSERT_TRUE(client.StatsJson(&json).ok());
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("server.requests"), std::string::npos);
+  client.Close();
+  server->Stop();
+}
+
+TEST(ServerTest, RefineMatchesDirectEngineRun) {
+  auto server = StartServer({});
+  Client client = ConnectTo(*server);
+
+  RefineResult result;
+  ASSERT_TRUE(client.Refine(Env().well_behaved_query, 0, &result).ok());
+  ASSERT_EQ(result.kind, RefineResult::Kind::kRefined);
+  EXPECT_FALSE(result.response.degraded);
+
+  core::RefineOutcome direct =
+      Env().primary->Run(text::TokenizeQuery(Env().well_behaved_query));
+  EXPECT_EQ(result.response.needs_refinement, direct.needs_refinement);
+  ASSERT_EQ(result.response.refined.size(), direct.refined.size());
+  for (size_t i = 0; i < direct.refined.size(); ++i) {
+    EXPECT_EQ(text::TokenizeQuery(result.response.refined[i].query),
+              direct.refined[i].rq.keywords);
+    EXPECT_EQ(result.response.refined[i].result_count,
+              direct.refined[i].results.size());
+    EXPECT_DOUBLE_EQ(result.response.refined[i].score,
+                     direct.refined[i].rank);
+  }
+  server->Stop();
+}
+
+TEST(ServerTest, EmptyQueryIsInvalidArgument) {
+  auto server = StartServer({});
+  Client client = ConnectTo(*server);
+  RefineResult result;
+  ASSERT_TRUE(client.Refine("  \t ", 0, &result).ok());
+  ASSERT_EQ(result.kind, RefineResult::Kind::kError);
+  EXPECT_TRUE(result.error.IsInvalidArgument());
+  server->Stop();
+}
+
+TEST(ServerTest, AdmissionRejectsTermCountMonster) {
+  auto server = StartServer({});
+  Client client = ConnectTo(*server);
+  std::string monster;
+  for (int i = 0; i < 20; ++i) monster += "term" + std::to_string(i) + " ";
+  RefineResult result;
+  ASSERT_TRUE(client.Refine(monster, 0, &result).ok());
+  ASSERT_EQ(result.kind, RefineResult::Kind::kError);
+  EXPECT_TRUE(result.error.IsUnavailable());
+  EXPECT_NE(result.error.message().find("terms"), std::string::npos);
+  server->Stop();
+}
+
+TEST(ServerTest, AdmissionRejectsHeavyListVolume) {
+  ServerOptions options;
+  // Reject cap between the two classes: well-behaved sails through, the
+  // heavy query is refused before any engine work.
+  options.admission.reject_list_volume = Env().well_behaved_volume * 2;
+  options.admission.degrade_list_volume = Env().well_behaved_volume * 2;
+  auto server = StartServer(options);
+  Client client = ConnectTo(*server);
+
+  RefineResult result;
+  ASSERT_TRUE(client.Refine(Env().heavy_query, 0, &result).ok());
+  ASSERT_EQ(result.kind, RefineResult::Kind::kError);
+  EXPECT_TRUE(result.error.IsUnavailable());
+  EXPECT_NE(result.error.message().find("list volume"), std::string::npos);
+
+  ASSERT_TRUE(client.Refine(Env().well_behaved_query, 0, &result).ok());
+  EXPECT_EQ(result.kind, RefineResult::Kind::kRefined);
+  server->Stop();
+}
+
+TEST(ServerTest, AdmissionDegradesMidVolumeQueries) {
+  ServerOptions options;
+  options.admission.degrade_list_volume = Env().well_behaved_volume * 2;
+  // Reject stays far above, so the heavy query lands in the degrade band.
+  options.admission.reject_list_volume = Env().heavy_volume * 100;
+  auto server = StartServer(options);
+  Client client = ConnectTo(*server);
+
+  RefineResult result;
+  ASSERT_TRUE(client.Refine(Env().heavy_query, 0, &result).ok());
+  ASSERT_EQ(result.kind, RefineResult::Kind::kRefined);
+  EXPECT_TRUE(result.response.degraded);
+
+  ASSERT_TRUE(client.Refine(Env().well_behaved_query, 0, &result).ok());
+  ASSERT_EQ(result.kind, RefineResult::Kind::kRefined);
+  EXPECT_FALSE(result.response.degraded);
+  server->Stop();
+}
+
+TEST(ServerTest, ShedsPastQueueHighWater) {
+  ServerOptions options;
+  // High water at zero occupancy: every request sheds — the deterministic
+  // way to pin the RETRY_AFTER path without racing real queue pressure.
+  options.admission.queue_high_water = 0.0;
+  options.retry_after_ms = 75;
+  auto server = StartServer(options);
+  Client client = ConnectTo(*server);
+
+  RefineResult result;
+  ASSERT_TRUE(client.Refine(Env().well_behaved_query, 0, &result).ok());
+  ASSERT_EQ(result.kind, RefineResult::Kind::kRetryAfter);
+  EXPECT_EQ(result.retry_after.retry_after_ms, 75u);
+  server->Stop();
+}
+
+TEST(ServerTest, FanoutCapAbortsAfterPrepare) {
+  ServerOptions options;
+  options.max_candidate_fanout = 1;  // any real rule set is larger
+  auto server = StartServer(options);
+  Client client = ConnectTo(*server);
+
+  // Misspell both terms so each generates its own spelling rules: the
+  // prepared fan-out then blows the cap of 1 and the post-prepare gate
+  // refuses before scanning.
+  std::string misspelled;
+  for (const std::string& term :
+       text::TokenizeQuery(Env().well_behaved_query)) {
+    std::string t = term;
+    t.back() = t.back() == 'x' ? 'y' : 'x';
+    if (!misspelled.empty()) misspelled.push_back(' ');
+    misspelled += t;
+  }
+  RefineResult result;
+  ASSERT_TRUE(client.Refine(misspelled, 0, &result).ok());
+  ASSERT_EQ(result.kind, RefineResult::Kind::kError);
+  EXPECT_TRUE(result.error.IsUnavailable());
+  EXPECT_NE(result.error.message().find("fan-out"), std::string::npos);
+  server->Stop();
+}
+
+TEST(ServerTest, QueuedWorkHonoursDeadlines) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 128;
+  options.admission.queue_high_water = 1.0;  // fill the whole queue
+  auto server = StartServer(options);
+
+  // Pipeline many 1ms-deadline requests down one raw connection. The
+  // single worker drains them serially, so by the time it reaches the
+  // later requests their deadlines have long passed: the engine's
+  // pre-prepare deadline check must answer kDeadlineExceeded instead of
+  // wasting worker time on dead queries.
+  int fd = RawConnect(server->port());
+  constexpr int kRequests = 50;
+  RefineRequest request;
+  request.deadline_ms = 1;
+  request.query = Env().heavy_query;
+  std::string burst;
+  for (int i = 0; i < kRequests; ++i) {
+    burst += EncodeRefineRequestFrame(static_cast<uint64_t>(i + 1), request);
+  }
+  RawSend(fd, burst);
+
+  int refined = 0, deadline_exceeded = 0, shed = 0, other = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    FrameHeader header;
+    std::string payload;
+    ASSERT_TRUE(RawReadFrame(fd, &header, &payload)) << "response " << i;
+    if (header.type == FrameType::kRefineResponse) {
+      ++refined;
+    } else if (header.type == FrameType::kError) {
+      Status decoded = Status::OK();
+      ASSERT_TRUE(DecodeError(payload, &decoded).ok());
+      if (decoded.IsDeadlineExceeded()) {
+        ++deadline_exceeded;
+      } else {
+        ++other;
+      }
+    } else if (header.type == FrameType::kRetryAfter) {
+      ++shed;
+    } else {
+      ++other;
+    }
+  }
+  ::close(fd);
+  EXPECT_EQ(other, 0);
+  EXPECT_EQ(refined + deadline_exceeded + shed, kRequests);
+  // 50 heavy queries cannot all finish inside 1ms of their own accept
+  // times through one worker.
+  EXPECT_GT(deadline_exceeded, 0);
+  server->Stop();
+}
+
+TEST(ServerTest, SurvivesAbruptDisconnectMidRequest) {
+  auto server = StartServer({});
+
+  // Send a full valid request and slam the connection shut before the
+  // response: the worker's send hits EPIPE/ECONNRESET. An unhandled
+  // SIGPIPE would kill this very test process.
+  {
+    int fd = RawConnect(server->port());
+    RefineRequest request;
+    request.query = Env().heavy_query;
+    RawSend(fd, EncodeRefineRequestFrame(1, request));
+    ::close(fd);
+  }
+  // Half a header, then gone.
+  {
+    int fd = RawConnect(server->port());
+    std::string frame = EncodeRefineRequestFrame(
+        2, RefineRequest{0, Env().well_behaved_query});
+    RawSend(fd, frame.substr(0, kFrameHeaderSize / 2));
+    ::close(fd);
+  }
+  // Garbage bytes: the reader answers with an error frame (or just drops
+  // the session) and must not take the server down with it.
+  {
+    int fd = RawConnect(server->port());
+    RawSend(fd, std::string(64, '\xFF'));
+    ::close(fd);
+  }
+
+  // Give the teardowns a moment, then prove the server still serves.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Client client = ConnectTo(*server);
+  RefineResult result;
+  ASSERT_TRUE(client.Refine(Env().well_behaved_query, 0, &result).ok());
+  EXPECT_EQ(result.kind, RefineResult::Kind::kRefined);
+  server->Stop();
+}
+
+TEST(ServerTest, ServesStoreBackedSourceConcurrently) {
+  // The production boot shape: one StoreBackedIndexSource shared by every
+  // worker through both engines, posting lists faulted in through the
+  // pager under concurrent load.
+  std::string path = ::testing::TempDir() + "/server_store_test.xrdb";
+  std::remove(path.c_str());
+  {
+    auto store_or = storage::KVStore::Open(path);
+    ASSERT_TRUE(store_or.ok());
+    ASSERT_TRUE(index::SaveCorpus(*Env().corpus, store_or.value().get()).ok());
+  }
+  auto store_or = storage::KVStore::Open(path);
+  ASSERT_TRUE(store_or.ok());
+  auto source_or =
+      index::StoreBackedIndexSource::Open(store_or.value().get(), {});
+  ASSERT_TRUE(source_or.ok());
+  auto source = std::move(source_or).value();
+
+  core::XRefineOptions engine_options;
+  core::XRefine primary(source.get(), &Env().lexicon, engine_options);
+  core::XRefine degraded(source.get(), &Env().lexicon,
+                         MakeDegradedOptions(engine_options));
+  ServerOptions options;
+  options.num_workers = 4;
+  Server server(&primary, &degraded, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 8;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&] {
+      Client client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) return;
+      for (int i = 0; i < kPerThread; ++i) {
+        RefineResult result;
+        if (client.Refine(Env().well_behaved_query, 0, &result).ok() &&
+            result.kind == RefineResult::Kind::kRefined) {
+          ok.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);
+  server.Stop();
+  std::remove(path.c_str());
+}
+
+TEST(RefineControlTest, PastDeadlineStopsBeforeAnyWork) {
+  core::RefineControl control;
+  control.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  core::RefineOutcome outcome = Env().primary->Run(
+      text::TokenizeQuery(Env().well_behaved_query), &control);
+  EXPECT_TRUE(outcome.status.IsDeadlineExceeded());
+  EXPECT_TRUE(outcome.refined.empty());
+}
+
+TEST(RefineControlTest, CancelFlagStopsTheQuery) {
+  std::atomic<bool> cancel{true};
+  core::RefineControl control;
+  control.cancel = &cancel;
+  core::RefineOutcome outcome = Env().primary->Run(
+      text::TokenizeQuery(Env().heavy_query), &control);
+  EXPECT_TRUE(outcome.status.IsDeadlineExceeded());
+  EXPECT_TRUE(outcome.refined.empty());
+}
+
+TEST(RefineControlTest, NullControlMatchesPlainRun) {
+  core::Query q = text::TokenizeQuery(Env().well_behaved_query);
+  core::RefineOutcome with_null = Env().primary->Run(q, nullptr);
+  core::RefineOutcome plain = Env().primary->Run(q);
+  EXPECT_EQ(with_null.needs_refinement, plain.needs_refinement);
+  ASSERT_EQ(with_null.refined.size(), plain.refined.size());
+  for (size_t i = 0; i < plain.refined.size(); ++i) {
+    EXPECT_EQ(with_null.refined[i].rq.keywords, plain.refined[i].rq.keywords);
+  }
+}
+
+}  // namespace
+}  // namespace xrefine::server

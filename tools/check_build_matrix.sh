@@ -118,6 +118,36 @@ echo "=== [tsan] bench_rule_generation smoke ==="
 (cd "$MATRIX_DIR/tsan" && ./bench/bench_rule_generation --quick >/dev/null)
 echo "=== [tsan] rule-generation smoke OK ==="
 
+# Serving smoke under TSan: a real daemon process on an ephemeral port,
+# driven over TCP by the load driver — accept loop, session readers, worker
+# pool, admission gate, and metrics all racing for real. The driver exits
+# non-zero on any dropped or malformed frame, and the daemon must shut down
+# cleanly on SIGTERM (a TSan report turns its exit status non-zero too).
+echo "=== [tsan] server smoke ==="
+(
+  cd "$MATRIX_DIR/tsan"
+  rm -f server_smoke.out
+  ./tools/xrefine_serve --dblp 150 --workers 2 > server_smoke.out 2>&1 &
+  SERVE_PID=$!
+  PORT=""
+  for _ in $(seq 1 150); do
+    PORT="$(sed -n 's/^listening on port \([0-9]*\)$/\1/p' server_smoke.out)"
+    [ -n "$PORT" ] && break
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+      echo "xrefine_serve died during startup:"; cat server_smoke.out; exit 1
+    fi
+    sleep 0.2
+  done
+  if [ -z "$PORT" ]; then
+    echo "xrefine_serve never reported its port"; kill "$SERVE_PID"; exit 1
+  fi
+  ./bench/bench_server_load --port "$PORT" --quick \
+      --out server_smoke.json >/dev/null
+  kill -TERM "$SERVE_PID"
+  wait "$SERVE_PID"
+)
+echo "=== [tsan] server smoke OK ==="
+
 if command -v clang++ >/dev/null 2>&1; then
   run_config thread-safety \
       -DCMAKE_CXX_COMPILER=clang++ -DXREFINE_THREAD_SAFETY=ON

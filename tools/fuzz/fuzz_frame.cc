@@ -1,0 +1,159 @@
+// Fuzz harness for the server wire framing (src/server/frame.h): the whole
+// input is treated as one hostile frame — header bytes first, then payload.
+//
+// Properties enforced on every input:
+//  * the decoders never crash, hang, or allocate past the reserve clamps,
+//    no matter what the bytes claim;
+//  * anything shorter than a header is rejected;
+//  * a payload that decodes OK re-encodes without growing, byte-identically
+//    when the input was canonically encoded (same length forces canonical
+//    varints), and the re-encoding is a fixpoint: decoding it and encoding
+//    again reproduces the same bytes.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "server/frame.h"
+#include "tools/fuzz/fuzz_driver.h"
+
+namespace {
+
+using xrefine::Status;
+using xrefine::server::DecodeError;
+using xrefine::server::DecodeFrameHeader;
+using xrefine::server::DecodeRefineRequest;
+using xrefine::server::DecodeRefineResponse;
+using xrefine::server::DecodeRetryAfter;
+using xrefine::server::EncodeErrorFrame;
+using xrefine::server::EncodeRefineRequestFrame;
+using xrefine::server::EncodeRefineResponseFrame;
+using xrefine::server::EncodeRetryAfterFrame;
+using xrefine::server::EncodeStatsResponseFrame;
+using xrefine::server::FrameHeader;
+using xrefine::server::FrameType;
+using xrefine::server::kFrameFlagDegraded;
+using xrefine::server::kFrameHeaderSize;
+using xrefine::server::kMaxPayloadLen;
+using xrefine::server::RefineRequest;
+using xrefine::server::RefineResponse;
+using xrefine::server::RetryAfter;
+
+void Require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "fuzz_frame invariant violated: %s\n", what);
+    std::abort();
+  }
+}
+
+/// The shared re-encode checks: the re-encoded frame must not outgrow the
+/// accepted payload (varints only ever shrink toward canonical form), a
+/// same-length re-encode must be byte-identical, and one more decode/encode
+/// round must reproduce `frame2` exactly.
+template <typename T, typename Decode, typename Encode>
+void CheckFixpoint(std::string_view payload, uint64_t request_id,
+                   const T& decoded, Decode decode, Encode encode) {
+  std::string frame2 = encode(request_id, decoded);
+  Require(frame2.size() >= kFrameHeaderSize, "re-encode lost its header");
+  std::string_view payload2(frame2.data() + kFrameHeaderSize,
+                            frame2.size() - kFrameHeaderSize);
+  Require(payload2.size() <= payload.size(),
+          "re-encode grew past the accepted payload");
+  if (payload2.size() == payload.size()) {
+    Require(payload2 == payload, "same-length re-encode differs");
+  }
+  T decoded2;
+  Require(decode(payload2, &decoded2).ok(), "re-encoded payload rejected");
+  std::string frame3 = encode(request_id, decoded2);
+  Require(frame3 == frame2, "encode is not a fixpoint after one round");
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  FrameHeader header;
+  Status status = DecodeFrameHeader(bytes, &header);
+  if (bytes.size() < kFrameHeaderSize) {
+    Require(!status.ok(), "short header accepted");
+    return 0;
+  }
+  if (!status.ok()) return 0;
+  Require(header.payload_len <= kMaxPayloadLen, "oversized payload accepted");
+
+  // The stream reader would wait for payload_len bytes; here we hand the
+  // decoder whatever the input actually carries so truncation paths run too.
+  std::string_view payload = bytes.substr(kFrameHeaderSize);
+  if (payload.size() > header.payload_len) {
+    payload = payload.substr(0, header.payload_len);
+  }
+
+  switch (header.type) {
+    case FrameType::kRefineRequest: {
+      RefineRequest request;
+      if (DecodeRefineRequest(payload, &request).ok()) {
+        Require(request.query.size() <= payload.size(),
+                "decoded query longer than its payload");
+        CheckFixpoint(payload, header.request_id, request, DecodeRefineRequest,
+                      EncodeRefineRequestFrame);
+      }
+      break;
+    }
+    case FrameType::kRefineResponse: {
+      RefineResponse response;
+      if (DecodeRefineResponse(payload, &response).ok()) {
+        // Reserve-bomb clamp: every decoded entry costs real payload bytes,
+        // so a hostile count can never outnumber them.
+        Require(response.refined.size() <= payload.size(),
+                "more entries than payload bytes");
+        response.degraded = (header.flags & kFrameFlagDegraded) != 0;
+        // The degraded bit travels in the header, not the payload, so each
+        // decode round refills it the way the real client does.
+        auto decode = [&response](std::string_view p, RefineResponse* out) {
+          Status s = DecodeRefineResponse(p, out);
+          if (s.ok()) out->degraded = response.degraded;
+          return s;
+        };
+        CheckFixpoint(payload, header.request_id, response, decode,
+                      EncodeRefineResponseFrame);
+      }
+      break;
+    }
+    case FrameType::kError: {
+      Status error = Status::OK();
+      if (DecodeError(payload, &error).ok()) {
+        Require(!error.ok(), "error frame decoded to an OK status");
+        Require(error.message().size() <= payload.size(),
+                "decoded message longer than its payload");
+        CheckFixpoint(payload, header.request_id, error, DecodeError,
+                      EncodeErrorFrame);
+      }
+      break;
+    }
+    case FrameType::kRetryAfter: {
+      RetryAfter ra;
+      if (DecodeRetryAfter(payload, &ra).ok()) {
+        CheckFixpoint(payload, header.request_id, ra, DecodeRetryAfter,
+                      EncodeRetryAfterFrame);
+      }
+      break;
+    }
+    case FrameType::kStatsResponse: {
+      // The payload is verbatim JSON; framing it again must preserve it
+      // (the input slice is at most kMaxPayloadLen, so no clamp applies).
+      std::string frame2 = EncodeStatsResponseFrame(header.request_id, payload);
+      Require(std::string_view(frame2).substr(kFrameHeaderSize) == payload,
+              "stats payload not preserved verbatim");
+      break;
+    }
+    case FrameType::kPing:
+    case FrameType::kPong:
+    case FrameType::kStatsRequest:
+      // Payload-free types: nothing to decode; the server ignores any bytes
+      // a hostile client smuggles after the header.
+      break;
+  }
+  return 0;
+}

@@ -18,6 +18,7 @@
 #include "index/index_store.h"
 #include "index/posting.h"
 #include "index/posting_blocks.h"
+#include "server/frame.h"
 #include "storage/kvstore.h"
 #include "tests/test_helpers.h"
 #include "xml/dewey.h"
@@ -180,6 +181,46 @@ int main(int argc, char** argv) {
     ok &= WriteSeed(dir, "stemming",
                     std::string("\x00", 1) +
                         "running runs ran efficiently efficient databases");
+  }
+
+  // --- frame: complete wire frames (header + payload) -------------------
+  {
+    namespace srv = xrefine::server;
+    const fs::path dir = root / "frame";
+    srv::RefineRequest request;
+    request.deadline_ms = 250;
+    request.query = "martn 2003 efficient XML keyword";
+    ok &= WriteSeed(dir, "refine_request",
+                    srv::EncodeRefineRequestFrame(7, request));
+    srv::RefineResponse response;
+    response.needs_refinement = true;
+    response.prepare_us = 1200;
+    response.scan_us = 5400;
+    response.rank_us = 300;
+    response.refined.push_back({"martin 2003 efficient xml keyword", 0.91, 4});
+    response.refined.push_back({"martin 2003 effective xml keyword", 0.44, 1});
+    ok &= WriteSeed(dir, "refine_response",
+                    srv::EncodeRefineResponseFrame(7, response));
+    srv::RefineResponse degraded = response;
+    degraded.degraded = true;
+    ok &= WriteSeed(dir, "refine_response_degraded",
+                    srv::EncodeRefineResponseFrame(8, degraded));
+    ok &= WriteSeed(
+        dir, "error_unavailable",
+        srv::EncodeErrorFrame(
+            9, xrefine::Status::Unavailable("candidate fan-out too large")));
+    srv::RetryAfter ra;
+    ra.retry_after_ms = 50;
+    ra.queue_depth = 48;
+    ok &= WriteSeed(dir, "retry_after", srv::EncodeRetryAfterFrame(10, ra));
+    ok &= WriteSeed(dir, "ping",
+                    srv::EncodeEmptyFrame(srv::FrameType::kPing, 11));
+    ok &= WriteSeed(dir, "stats_response",
+                    srv::EncodeStatsResponseFrame(
+                        12, "{\"server.requests\":{\"count\":3}}"));
+    std::string truncated = srv::EncodeRefineResponseFrame(7, response);
+    truncated.resize(truncated.size() / 2);
+    ok &= WriteSeed(dir, "refine_response_truncated", truncated);
   }
 
   if (!ok) {

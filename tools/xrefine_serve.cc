@@ -1,0 +1,133 @@
+// The refinement daemon. Builds (or opens) a corpus, starts the frame.h
+// TCP server on loopback, and serves until SIGTERM/SIGINT.
+//
+//   ./build/tools/xrefine_serve --dblp 300 --port 0
+//   ./build/tools/xrefine_serve --store index.xrdb --port 7431
+//
+// Flags:
+//   --dblp N          synthetic DBLP corpus with N authors (default 300)
+//   --store FILE      serve from a persisted index instead
+//   --port P          TCP port; 0 (default) picks an ephemeral port
+//   --workers N       worker pool size (default 4)
+//   --queue N         request queue capacity (default 64)
+//   --no-admission    disable admission control (load-driver baseline)
+//   --stats           dump the metrics registry on shutdown
+//
+// Prints exactly one "listening on port N" line to stdout once serving —
+// scripts that spawn the daemon on port 0 parse the real port from it.
+// Shutdown is signal-driven: SIGTERM/SIGINT are blocked in every thread
+// and collected with sigwait, so teardown runs on the main thread with no
+// async-signal-safety constraints.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/metrics.h"
+#include "core/xrefine.h"
+#include "index/index_builder.h"
+#include "index/store_index_source.h"
+#include "server/server.h"
+#include "storage/kvstore.h"
+#include "text/lexicon.h"
+#include "workload/dblp_generator.h"
+
+int main(int argc, char** argv) {
+  size_t dblp_authors = 300;
+  std::string store_path;
+  xrefine::server::ServerOptions server_options;
+  bool dump_stats = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--dblp" && i + 1 < argc) {
+      dblp_authors = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--store" && i + 1 < argc) {
+      store_path = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      server_options.port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--workers" && i + 1 < argc) {
+      server_options.num_workers = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--queue" && i + 1 < argc) {
+      server_options.queue_capacity =
+          static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--no-admission") {
+      server_options.admission.enabled = false;
+    } else if (arg == "--stats") {
+      dump_stats = true;
+    } else {
+      std::cerr << "usage: xrefine_serve [--dblp N | --store FILE] [--port P]"
+                   " [--workers N] [--queue N] [--no-admission] [--stats]\n";
+      return 1;
+    }
+  }
+
+  // Block the shutdown signals before any thread exists so every thread
+  // inherits the mask and only the main thread's sigwait sees them.
+  sigset_t shutdown_signals;
+  sigemptyset(&shutdown_signals);
+  sigaddset(&shutdown_signals, SIGTERM);
+  sigaddset(&shutdown_signals, SIGINT);
+  if (pthread_sigmask(SIG_BLOCK, &shutdown_signals, nullptr) != 0) {
+    std::cerr << "pthread_sigmask failed\n";
+    return 1;
+  }
+
+  std::unique_ptr<xrefine::index::IndexedCorpus> corpus;
+  std::unique_ptr<xrefine::storage::KVStore> store;
+  std::unique_ptr<xrefine::index::StoreBackedIndexSource> store_source;
+  const xrefine::index::IndexSource* source = nullptr;
+
+  if (!store_path.empty()) {
+    auto store_or = xrefine::storage::KVStore::Open(store_path);
+    if (!store_or.ok()) {
+      std::cerr << store_or.status() << "\n";
+      return 1;
+    }
+    store = std::move(store_or).value();
+    auto source_or =
+        xrefine::index::StoreBackedIndexSource::Open(store.get(), {});
+    if (!source_or.ok()) {
+      std::cerr << source_or.status() << "\n";
+      return 1;
+    }
+    store_source = std::move(source_or).value();
+    source = store_source.get();
+  } else {
+    xrefine::workload::DblpOptions dblp;
+    dblp.num_authors = dblp_authors;
+    xrefine::xml::Document doc = xrefine::workload::GenerateDblp(dblp);
+    corpus = xrefine::index::BuildIndex(doc);
+    source = corpus.get();
+  }
+
+  auto lexicon = xrefine::text::Lexicon::BuiltIn();
+  xrefine::core::XRefineOptions engine_options;
+  xrefine::core::XRefine primary(source, &lexicon, engine_options);
+  xrefine::core::XRefine degraded(
+      source, &lexicon, xrefine::server::MakeDegradedOptions(engine_options));
+
+  xrefine::server::Server server(&primary, &degraded, server_options);
+  auto st = server.Start();
+  if (!st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+  // The contract line scripts parse; flush so a pipe reader sees it now.
+  std::printf("listening on port %u\n", server.port());
+  std::fflush(stdout);
+
+  int sig = 0;
+  while (sigwait(&shutdown_signals, &sig) != 0) {
+  }
+  std::fprintf(stderr, "received %s, shutting down\n", strsignal(sig));
+  server.Stop();
+
+  if (dump_stats) {
+    xrefine::metrics::Registry::Global().DumpText(std::cout);
+  }
+  return 0;
+}
