@@ -1,0 +1,252 @@
+// DAG-compression scale benchmark: the memory and query-latency story of
+// evaluating SLCA over DAG-compressed documents (xml/dag_document.h) as the
+// corpus grows. For each dataset (DBLP, Baseball) and scale (1x / 10x / 50x)
+// the run builds the same logical corpus twice —
+//
+//   tree   the uncompressed xml::Document + index::BuildIndex, and
+//   dag    the streaming DagBuilder corpus + index::BuildIndexFromDag
+//          (the uncompressed tree is never materialised on this path)
+//
+// — records resident bytes and build time for both, verifies that every
+// query in a vocabulary-stratified set returns byte-identical SLCA results
+// over both corpora under all three algorithms (the speedup/shrinkage claim
+// is meaningless otherwise), then times queries over one of them:
+//
+//   --baseline   time the uncompressed tree corpus (the "before" config);
+//   (default)    time the DAG corpus.
+//
+// Results land as bench.dag_scale.* gauges in the registry dump
+// (--out <path>, default BENCH_dag_scale.json), one group per
+// dataset/scale: tree_bytes, dag_bytes, dag_nodes, tree_build_ms,
+// dag_build_ms, index_build_ms, query_us. Peak RSS is reported once for
+// the whole run.
+//
+//   --quick      1x/4x only, fewer rounds — the smoke leg
+//                tools/check_build_matrix.sh runs under the sanitizers.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/metrics.h"
+#include "common/timer.h"
+#include "index/index_builder.h"
+#include "slca/slca.h"
+#include "workload/baseball_generator.h"
+#include "workload/dblp_generator.h"
+#include "xml/dag_document.h"
+#include "xml/document.h"
+
+namespace xrefine::bench {
+namespace {
+
+constexpr slca::SlcaAlgorithm kAlgorithms[] = {
+    slca::SlcaAlgorithm::kStack, slca::SlcaAlgorithm::kScanEager,
+    slca::SlcaAlgorithm::kIndexedLookup};
+
+// Vocabulary-stratified conjunctive queries: rare+common pairs plus
+// balanced-mid controls, the same mix the scan bench uses.
+std::vector<std::vector<std::string>> MakeQuerySet(
+    const index::IndexedCorpus& corpus, size_t per_class) {
+  std::vector<std::pair<size_t, std::string>> by_size;
+  for (const std::string& k : corpus.index().Vocabulary()) {
+    size_t n = corpus.index().ListSize(k);
+    if (n == 0) continue;
+    by_size.emplace_back(n, k);
+  }
+  std::sort(by_size.begin(), by_size.end());
+  auto at = [&](double pct) -> const std::string& {
+    size_t i = static_cast<size_t>(pct * static_cast<double>(by_size.size()));
+    return by_size[std::min(i, by_size.size() - 1)].second;
+  };
+  std::vector<std::vector<std::string>> out;
+  for (size_t i = 0; i < per_class; ++i) {
+    double j = static_cast<double>(i);
+    out.push_back({at(0.02 + 0.02 * j), at(0.99 - 0.005 * j)});
+    out.push_back({at(0.05 + 0.02 * j), at(0.90 - 0.01 * j), at(0.995)});
+    out.push_back({at(0.50 + 0.03 * j), at(0.60 + 0.03 * j)});
+  }
+  return out;
+}
+
+std::string ResultKey(const std::vector<slca::SlcaResult>& results) {
+  std::string key;
+  for (const auto& r : results) {
+    key += r.dewey.ToString();
+    key += '#';
+    key += std::to_string(r.type);
+    key += '|';
+  }
+  return key;
+}
+
+struct DatasetPoint {
+  std::string label;  // "dblp_x10"
+  xml::Document doc;
+  xml::DagDocument dag;
+  double tree_build_ms = 0;
+  double dag_build_ms = 0;
+};
+
+DatasetPoint MakeDblpPoint(double scale) {
+  DatasetPoint p;
+  p.label = "dblp_x" + std::to_string(static_cast<int>(scale));
+  workload::DblpOptions options;
+  options.scale = scale;
+  Timer tree_timer;
+  p.doc = workload::GenerateDblp(options);
+  p.tree_build_ms = tree_timer.ElapsedMillis();
+  Timer dag_timer;
+  p.dag = workload::GenerateDblpDag(options);
+  p.dag_build_ms = dag_timer.ElapsedMillis();
+  return p;
+}
+
+DatasetPoint MakeBaseballPoint(double scale) {
+  DatasetPoint p;
+  p.label = "baseball_x" + std::to_string(static_cast<int>(scale));
+  workload::BaseballOptions options;
+  options.scale = scale;
+  Timer tree_timer;
+  p.doc = workload::GenerateBaseball(options);
+  p.tree_build_ms = tree_timer.ElapsedMillis();
+  Timer dag_timer;
+  p.dag = workload::GenerateBaseballDag(options);
+  p.dag_build_ms = dag_timer.ElapsedMillis();
+  return p;
+}
+
+bool RunPoint(const DatasetPoint& point, bool quick, bool baseline) {
+  metrics::Registry& reg = metrics::Registry::Global();
+  const std::string prefix = "bench.dag_scale." + point.label + ".";
+
+  const size_t tree_bytes = point.doc.ResidentBytes();
+  const size_t dag_bytes = point.dag.ResidentBytes();
+  std::printf(
+      "%-14s logical nodes %10" PRIu64
+      "  tree %9.2f MB  dag %8.2f MB  (%.1fx, %zu dag nodes, %zu shared)\n",
+      point.label.c_str(), point.dag.LogicalNodeCount(),
+      static_cast<double>(tree_bytes) / 1e6,
+      static_cast<double>(dag_bytes) / 1e6,
+      static_cast<double>(tree_bytes) / static_cast<double>(dag_bytes),
+      point.dag.DagNodeCount(), point.dag.SharedSubtreeCount());
+  if (point.dag.LogicalNodeCount() != point.doc.NodeCount()) {
+    std::printf("NODE COUNT DIVERGENCE: dag %" PRIu64 " vs tree %zu\n",
+                point.dag.LogicalNodeCount(), point.doc.NodeCount());
+    return false;
+  }
+
+  Timer index_timer;
+  auto tree_corpus = index::BuildIndex(point.doc);
+  const double tree_index_ms = index_timer.ElapsedMillis();
+  Timer dag_index_timer;
+  auto dag_corpus = index::BuildIndexFromDag(point.dag);
+  const double dag_index_ms = dag_index_timer.ElapsedMillis();
+
+  // Correctness gate: byte-identical SLCA results over both corpora, every
+  // algorithm, before anything is timed.
+  auto queries = MakeQuerySet(*tree_corpus, quick ? 2 : 4);
+  for (const auto& q : queries) {
+    for (slca::SlcaAlgorithm algorithm : kAlgorithms) {
+      auto tree_or = slca::ComputeSlcaForQuery(q, *tree_corpus,
+                                               tree_corpus->types(), algorithm);
+      auto dag_or = slca::ComputeSlcaForQuery(q, *dag_corpus,
+                                              dag_corpus->types(), algorithm);
+      if (!tree_or.ok() || !dag_or.ok()) {
+        std::printf("FETCH FAILED during verification\n");
+        return false;
+      }
+      if (ResultKey(tree_or.value()) != ResultKey(dag_or.value())) {
+        std::printf("RESULT DIVERGENCE on %s algo %d\n", point.label.c_str(),
+                    static_cast<int>(algorithm));
+        return false;
+      }
+    }
+  }
+
+  // Timed phase: the configured corpus, indexed-lookup (the serving
+  // default), best-of-rounds per query.
+  const index::IndexedCorpus& timed =
+      baseline ? *tree_corpus : *dag_corpus;
+  const int rounds = quick ? 3 : 7;
+  double total_ms = 0;
+  for (const auto& q : queries) {
+    double best = 1e9;
+    for (int round = 0; round < rounds; ++round) {
+      Timer t;
+      auto results_or = slca::ComputeSlcaForQuery(
+          q, timed, timed.types(), slca::SlcaAlgorithm::kIndexedLookup);
+      double elapsed = t.ElapsedMillis();
+      if (!results_or.ok()) {
+        std::printf("FETCH FAILED during timing\n");
+        return false;
+      }
+      best = std::min(best, elapsed);
+    }
+    total_ms += best;
+  }
+  const double query_us = total_ms * 1e3 / static_cast<double>(queries.size());
+  std::printf(
+      "%-14s verified %zu queries; build tree %.0f+%.0f ms, dag %.0f+%.0f "
+      "ms; %s path %.1f us/query\n",
+      point.label.c_str(), queries.size(), point.tree_build_ms, tree_index_ms,
+      point.dag_build_ms, dag_index_ms, baseline ? "tree" : "dag", query_us);
+
+  reg.gauge(prefix + "tree_bytes")->Set(static_cast<int64_t>(tree_bytes));
+  reg.gauge(prefix + "dag_bytes")->Set(static_cast<int64_t>(dag_bytes));
+  reg.gauge(prefix + "dag_nodes")
+      ->Set(static_cast<int64_t>(point.dag.DagNodeCount()));
+  reg.gauge(prefix + "logical_nodes")
+      ->Set(static_cast<int64_t>(point.dag.LogicalNodeCount()));
+  reg.gauge(prefix + "tree_build_ms")
+      ->Set(static_cast<int64_t>(point.tree_build_ms + tree_index_ms));
+  reg.gauge(prefix + "dag_build_ms")
+      ->Set(static_cast<int64_t>(point.dag_build_ms + dag_index_ms));
+  reg.gauge(prefix + "query_us")->Set(static_cast<int64_t>(query_us));
+  return true;
+}
+
+bool Main(bool quick, bool baseline, const std::string& out_path) {
+  PrintHeader(baseline ? "DAG scale: BASELINE (uncompressed tree corpus)"
+                       : "DAG scale: DAG-compressed corpus");
+  std::vector<double> scales =
+      quick ? std::vector<double>{1, 4} : std::vector<double>{1, 10, 50};
+  for (double scale : scales) {
+    if (!RunPoint(MakeDblpPoint(scale), quick, baseline)) return false;
+    if (!RunPoint(MakeBaseballPoint(scale), quick, baseline)) return false;
+  }
+
+  metrics::Registry& reg = metrics::Registry::Global();
+  reg.gauge("bench.dag_scale.baseline")->Set(baseline ? 1 : 0);
+  reg.gauge("bench.dag_scale.quick")->Set(quick ? 1 : 0);
+  const size_t peak_rss = PeakRssBytes();
+  reg.gauge("bench.dag_scale.peak_rss_bytes")
+      ->Set(static_cast<int64_t>(peak_rss));
+  std::printf("peak RSS %.1f MB\n", static_cast<double>(peak_rss) / 1e6);
+
+  std::ofstream out(out_path);
+  out << reg.DumpJson();
+  std::printf("metrics written to %s\n", out_path.c_str());
+  return true;
+}
+
+}  // namespace
+}  // namespace xrefine::bench
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool baseline = false;
+  std::string out_path = "BENCH_dag_scale.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--baseline") == 0) baseline = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  return xrefine::bench::Main(quick, baseline, out_path) ? 0 : 1;
+}

@@ -5,6 +5,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -81,6 +83,24 @@ double TimeMs(Fn&& fn, int runs = 3) {
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status); 0 when unavailable (non-Linux). The memory headline
+/// the scale benches report next to the per-structure byte counts: resident
+/// bytes say what a representation holds, peak RSS says what building it
+/// cost.
+inline size_t PeakRssBytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return static_cast<size_t>(
+                 std::strtoull(line.c_str() + 6, nullptr, 10)) *
+             1024;
+    }
+  }
+  return 0;
 }
 
 }  // namespace xrefine::bench

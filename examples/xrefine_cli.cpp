@@ -19,6 +19,10 @@
 //                 --log <file>        (persisted query log, updated on exit)
 //                 --save-store <file> (persist the built index, then serve)
 //                 --stats             (dump the metrics registry on exit)
+//                 --dag               (hold the corpus DAG-compressed:
+//                                      identical subtrees shared, identical
+//                                      query results, order-of-magnitude
+//                                      less tree memory on regular corpora)
 //
 // Commands at the prompt:
 //   :algo stack|partition|sle     switch refinement algorithm
@@ -46,14 +50,17 @@
 #include "workload/baseball_generator.h"
 #include "workload/dblp_generator.h"
 #include "workload/xmark_generator.h"
+#include "xml/dag_document.h"
 #include "xml/xml_parser.h"
 
 namespace {
 
-// `doc` is null when serving from a store (no XML document attached):
-// results then print as Dewey labels instead of subtree text.
+// `doc` is null when serving from a store (no XML document attached) or
+// when the corpus is DAG-compressed; `dag` is set only in the latter case.
+// With neither, results print as bare Dewey labels.
 void PrintOutcome(const xrefine::core::RefineOutcome& outcome,
-                  const xrefine::xml::Document* doc) {
+                  const xrefine::xml::Document* doc,
+                  const xrefine::xml::DagDocument* dag) {
   if (!outcome.status.ok()) {
     std::cout << "query failed: " << outcome.status << "\n";
     return;
@@ -79,11 +86,15 @@ void PrintOutcome(const xrefine::core::RefineOutcome& outcome,
       }
       auto node = doc == nullptr ? xrefine::xml::kInvalidNodeId
                                  : doc->FindByDewey(r.dewey);
-      if (node == xrefine::xml::kInvalidNodeId) {
-        std::cout << "     " << r.dewey.ToString() << "\n";
-      } else {
+      if (node != xrefine::xml::kInvalidNodeId) {
         std::cout << "     " << doc->Describe(node) << ": "
                   << doc->SubtreeText(node).substr(0, 70) << "\n";
+      } else if (dag != nullptr &&
+                 dag->FindByDewey(r.dewey) != xrefine::xml::kInvalidDagNodeId) {
+        std::cout << "     " << dag->Describe(r.dewey) << ": "
+                  << dag->SubtreeTextAt(r.dewey).substr(0, 70) << "\n";
+      } else {
+        std::cout << "     " << r.dewey.ToString() << "\n";
       }
     }
   }
@@ -93,6 +104,7 @@ void PrintOutcome(const xrefine::core::RefineOutcome& outcome,
 
 int main(int argc, char** argv) {
   xrefine::xml::Document doc;
+  xrefine::xml::DagDocument dag;
   std::string lexicon_path;
   std::string log_path;
   std::string store_path;       // serve from this store, no XML needed
@@ -100,20 +112,41 @@ int main(int argc, char** argv) {
   bool loaded_data = false;
   bool dump_stats = false;
 
+  // --dag changes how the corpus flags below build, so resolve it first
+  // regardless of argument order.
+  bool use_dag = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dag") == 0) use_dag = true;
+  }
+
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg == "--dblp") {
+    if (arg == "--dag") {
+      continue;
+    } else if (arg == "--dblp") {
       xrefine::workload::DblpOptions options;
       if (i + 1 < argc && argv[i + 1][0] != '-') {
         options.num_authors = static_cast<size_t>(std::atoi(argv[++i]));
       }
-      doc = xrefine::workload::GenerateDblp(options);
+      if (use_dag) {
+        dag = xrefine::workload::GenerateDblpDag(options);
+      } else {
+        doc = xrefine::workload::GenerateDblp(options);
+      }
       loaded_data = true;
     } else if (arg == "--baseball") {
-      doc = xrefine::workload::GenerateBaseball({});
+      if (use_dag) {
+        dag = xrefine::workload::GenerateBaseballDag({});
+      } else {
+        doc = xrefine::workload::GenerateBaseball({});
+      }
       loaded_data = true;
     } else if (arg == "--xmark") {
-      doc = xrefine::workload::GenerateXmark({});
+      if (use_dag) {
+        dag = xrefine::workload::GenerateXmarkDag({});
+      } else {
+        doc = xrefine::workload::GenerateXmark({});
+      }
       loaded_data = true;
     } else if (arg == "--lexicon" && i + 1 < argc) {
       lexicon_path = argv[++i];
@@ -132,13 +165,19 @@ int main(int argc, char** argv) {
         return 1;
       }
       doc = std::move(doc_or).value();
+      if (use_dag) {
+        // Post-parse compression; the uncompressed tree is then released.
+        dag = xrefine::xml::CompressDocument(doc);
+        doc = xrefine::xml::Document();
+      }
       loaded_data = true;
     }
   }
   if (!loaded_data && store_path.empty()) {
     std::cerr << "usage: xrefine_cli <file.xml> | --dblp [n] | --baseball | "
                  "--xmark | --store f\n"
-                 "       [--lexicon f] [--log f] [--save-store f] [--stats]\n";
+                 "       [--lexicon f] [--log f] [--save-store f] [--stats]\n"
+                 "       [--dag]\n";
     return 1;
   }
 
@@ -150,9 +189,17 @@ int main(int argc, char** argv) {
   const xrefine::xml::Document* doc_ptr = nullptr;
 
   if (loaded_data) {
-    corpus = xrefine::index::BuildIndex(doc);
+    if (use_dag) {
+      corpus = xrefine::index::BuildIndexFromDag(dag);
+      std::cout << "DAG-compressed: " << dag.LogicalNodeCount()
+                << " logical nodes held as " << dag.DagNodeCount()
+                << " dag nodes (" << dag.SharedSubtreeCount() << " shared, "
+                << dag.ResidentBytes() / 1024 << " KB resident)\n";
+    } else {
+      corpus = xrefine::index::BuildIndex(doc);
+      doc_ptr = &doc;
+    }
     source = corpus.get();
-    doc_ptr = &doc;
     if (!save_store_path.empty()) {
       auto store_or = xrefine::storage::KVStore::Open(save_store_path);
       if (!store_or.ok()) {
@@ -277,6 +324,13 @@ int main(int argc, char** argv) {
     }
     if (line == ":stats") {
       xrefine::metrics::Registry::Global().DumpText(std::cout);
+      if (use_dag && dag.DagNodeCount() > 0) {
+        std::cout << "dag compression ratio: "
+                  << static_cast<double>(dag.LogicalNodeCount()) /
+                         static_cast<double>(dag.DagNodeCount())
+                  << "x nodes (" << dag.ResidentBytes() / 1024
+                  << " KB resident)\n";
+      }
       continue;
     }
     if (line.rfind(":algo ", 0) == 0) {
@@ -297,7 +351,7 @@ int main(int argc, char** argv) {
     }
     last_query = xrefine::text::TokenizeQuery(line);
     last_outcome = engine->Run(last_query);
-    PrintOutcome(last_outcome, doc_ptr);
+    PrintOutcome(last_outcome, doc_ptr, use_dag ? &dag : nullptr);
   }
 
   if (!log_path.empty() && log.size() > 0) {
@@ -311,6 +365,13 @@ int main(int argc, char** argv) {
   if (dump_stats) {
     std::cout << "--- metrics ---\n";
     xrefine::metrics::Registry::Global().DumpText(std::cout);
+    if (use_dag && dag.DagNodeCount() > 0) {
+      std::cout << "dag compression ratio: "
+                << static_cast<double>(dag.LogicalNodeCount()) /
+                       static_cast<double>(dag.DagNodeCount())
+                << "x nodes (" << dag.ResidentBytes() / 1024
+                << " KB resident)\n";
+    }
   }
   return 0;
 }

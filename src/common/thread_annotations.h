@@ -97,6 +97,7 @@ enum LockRank : int {
   kLockRankPagerShard = 20,      // Pager::Shard::mu (8 stripes, one rank)
   kLockRankPagerIo = 30,         // Pager::io_mu_
   kLockRankCooccurrence = 40,    // CooccurrenceTable::mu_ (leaf)
+  kLockRankStoreSourceVocab = 42,  // StoreBackedIndexSource::vocab_mu_ (leaf)
   kLockRankStoreSourceCache = 44,  // StoreBackedIndexSource::mu_ (leaf)
   kLockRankQueryLogRules = 48,   // XRefine::log_rules_mu_ (leaf)
   // Server mutexes rank ABOVE every engine lock: the engine's query path

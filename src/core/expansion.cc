@@ -6,32 +6,43 @@
 #include <unordered_set>
 
 #include "text/tokenizer.h"
+#include "xml/document_view.h"
 
 namespace xrefine::core {
 
 namespace {
 
 // Counts, for each non-query term, how many of Q's result subtrees contain
-// it, by walking the matched subtrees of the attached document.
-std::unordered_map<std::string, size_t> SupportFromDocument(
-    const xml::Document& doc, const std::vector<slca::SlcaResult>& results,
+// it, by walking the matched subtrees through the representation-agnostic
+// view. Distinct-term sets are memoized by subtree fingerprint: over a
+// DAG-compressed document, instances of one shared subtree all report the
+// same fingerprint, so each shared subtree is tokenised once no matter how
+// many results land on it (over an uncompressed document the fingerprint is
+// the node id, and the memo simply dedupes repeated result labels).
+std::unordered_map<std::string, size_t> SupportFromView(
+    const xml::DocumentView& view,
+    const std::vector<slca::SlcaResult>& results,
     const std::unordered_set<std::string>& query_terms) {
+  std::unordered_map<uint64_t, std::vector<std::string>> memo;
   std::unordered_map<std::string, size_t> support;
   for (const auto& r : results) {
-    xml::NodeId node = doc.FindByDewey(r.dewey);
-    if (node == xml::kInvalidNodeId) continue;
-    std::unordered_set<std::string> seen;
-    std::vector<xml::NodeId> stack = {node};
-    while (!stack.empty()) {
-      xml::NodeId cur = stack.back();
-      stack.pop_back();
-      for (const auto& t : text::Tokenize(doc.tag(cur))) seen.insert(t);
-      for (const auto& t : text::Tokenize(doc.node(cur).text)) {
-        seen.insert(t);
-      }
-      for (xml::NodeId c : doc.children(cur)) stack.push_back(c);
+    uint64_t fp = view.SubtreeFingerprint(r.dewey);
+    if (fp == 0) continue;  // label addresses no node
+    auto [it, inserted] = memo.try_emplace(fp);
+    if (inserted) {
+      std::unordered_set<std::string> seen;
+      view.VisitSubtree(r.dewey,
+                        [&](std::string_view tag, std::string_view text) {
+                          for (const auto& t : text::Tokenize(tag)) {
+                            seen.insert(t);
+                          }
+                          for (const auto& t : text::Tokenize(text)) {
+                            seen.insert(t);
+                          }
+                        });
+      it->second.assign(seen.begin(), seen.end());
     }
-    for (const auto& t : seen) {
+    for (const auto& t : it->second) {
       if (query_terms.count(t) == 0) ++support[t];
     }
   }
@@ -125,8 +136,8 @@ ExpansionOutcome ExpandQuery(const index::IndexSource& corpus,
 
   std::unordered_set<std::string> query_terms(q.begin(), q.end());
   std::unordered_map<std::string, size_t> support;
-  if (corpus.document() != nullptr) {
-    support = SupportFromDocument(*corpus.document(), results, query_terms);
+  if (corpus.document_view() != nullptr) {
+    support = SupportFromView(*corpus.document_view(), results, query_terms);
   } else {
     support = SupportFromStatistics(corpus, results, search_for.front().type,
                                     query_terms, options.max_candidates);

@@ -1,0 +1,142 @@
+// A serializable Bloom filter over the corpus vocabulary. SaveCorpus
+// persists one ("m\0bloom") sized at ~10 bits per keyword (~1% false
+// positives with 7 probes); a lazy-vocabulary StoreBackedIndexSource then
+// answers definite-miss Contains/ListSize/FetchList probes — including the
+// flood of near-miss candidates the spelling corrector generates — without
+// descending into the B+-tree at all, and without the O(vocabulary) head
+// scan an eager open pays.
+//
+// Probes use double hashing (Kirsch & Mitzenmacher): two 64-bit halves of
+// one mix drive all k probe positions, so each membership test hashes the
+// key exactly once.
+#ifndef XREFINE_INDEX_BLOOM_H_
+#define XREFINE_INDEX_BLOOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+#include "storage/serde.h"
+
+namespace xrefine::index {
+
+class BloomFilter {
+ public:
+  /// An empty filter: MayContain is always false (the empty-corpus truth).
+  BloomFilter() = default;
+
+  /// Sizes a filter for `expected_keys` insertions at `bits_per_key`
+  /// (default ~1% false-positive rate). The probe count is derived as
+  /// bits_per_key * ln 2, the optimum for that load.
+  static BloomFilter ForExpectedKeys(size_t expected_keys,
+                                     double bits_per_key = 10.0) {
+    BloomFilter f;
+    if (expected_keys == 0) return f;
+    size_t bits = static_cast<size_t>(
+        std::ceil(static_cast<double>(expected_keys) * bits_per_key));
+    if (bits < 64) bits = 64;
+    f.bits_.assign((bits + 7) / 8, 0);
+    int k = static_cast<int>(std::lround(bits_per_key * 0.693));
+    f.num_hashes_ = static_cast<uint32_t>(k < 1 ? 1 : (k > 30 ? 30 : k));
+    return f;
+  }
+
+  void Insert(std::string_view key) {
+    if (bits_.empty()) return;
+    uint64_t h1 = 0;
+    uint64_t h2 = 0;
+    HashPair(key, &h1, &h2);
+    for (uint32_t i = 0; i < num_hashes_; ++i) {
+      uint64_t bit = (h1 + i * h2) % (bits_.size() * 8);
+      bits_[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+    }
+    ++key_count_;
+  }
+
+  /// False means the key was definitely never inserted; true means "maybe"
+  /// (false positives at roughly 0.6^bits_per_key).
+  bool MayContain(std::string_view key) const {
+    if (bits_.empty()) return false;
+    uint64_t h1 = 0;
+    uint64_t h2 = 0;
+    HashPair(key, &h1, &h2);
+    for (uint32_t i = 0; i < num_hashes_; ++i) {
+      uint64_t bit = (h1 + i * h2) % (bits_.size() * 8);
+      if ((bits_[bit / 8] & (1u << (bit % 8))) == 0) return false;
+    }
+    return true;
+  }
+
+  /// Number of Insert calls (persisted, so a lazy open knows the exact
+  /// vocabulary size without scanning).
+  uint64_t key_count() const { return key_count_; }
+  size_t bit_count() const { return bits_.size() * 8; }
+
+  std::string Encode() const {
+    std::string out;
+    out.push_back(static_cast<char>(kFormatVersion));
+    storage::PutVarint32(&out, num_hashes_);
+    storage::PutVarint64(&out, key_count_);
+    storage::PutLengthPrefixed(
+        &out, std::string_view(reinterpret_cast<const char*>(bits_.data()),
+                               bits_.size()));
+    return out;
+  }
+
+  static StatusOr<BloomFilter> Decode(std::string_view data) {
+    const char* p = data.data();
+    const char* limit = data.data() + data.size();
+    if (p >= limit) return Status::Corruption("bloom: empty record");
+    uint8_t version = static_cast<uint8_t>(*p++);
+    if (version != kFormatVersion) {
+      return Status::Corruption("bloom: unsupported format version " +
+                                std::to_string(version));
+    }
+    BloomFilter f;
+    std::string_view bytes;
+    if (!storage::GetVarint32(&p, limit, &f.num_hashes_) ||
+        !storage::GetVarint64(&p, limit, &f.key_count_) ||
+        !storage::GetLengthPrefixed(&p, limit, &bytes)) {
+      return Status::Corruption("bloom: truncated record");
+    }
+    if (p != limit) return Status::Corruption("bloom: trailing bytes");
+    if (!bytes.empty() && (f.num_hashes_ == 0 || f.num_hashes_ > 30)) {
+      return Status::Corruption("bloom: implausible probe count " +
+                                std::to_string(f.num_hashes_));
+    }
+    f.bits_.assign(bytes.begin(), bytes.end());
+    return f;
+  }
+
+ private:
+  static constexpr uint8_t kFormatVersion = 1;
+
+  // FNV-1a over the bytes, then two splitmix64 finalisations for the probe
+  // pair; h2 is forced odd so the double-hash stride never collapses.
+  static void HashPair(std::string_view key, uint64_t* h1, uint64_t* h2) {
+    uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : key) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+    *h1 = Mix(h);
+    *h2 = Mix(h ^ 0x9e3779b97f4a7c15ull) | 1;
+  }
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  uint32_t num_hashes_ = 0;
+  uint64_t key_count_ = 0;
+  std::vector<uint8_t> bits_;
+};
+
+}  // namespace xrefine::index
+
+#endif  // XREFINE_INDEX_BLOOM_H_

@@ -97,4 +97,112 @@ std::unique_ptr<IndexedCorpus> BuildIndex(const xml::Document& doc,
   return corpus;
 }
 
+std::unique_ptr<IndexedCorpus> BuildIndexFromDag(
+    const xml::DagDocument& dag, const IndexBuildOptions& options) {
+  auto corpus = std::make_unique<IndexedCorpus>();
+  corpus->mutable_types() = dag.types();
+  corpus->set_document_view(&dag);
+  InvertedIndex& index = corpus->mutable_index();
+  StatisticsTable& stats = corpus->mutable_stats();
+  TypeChainCache chains(corpus->types());
+
+  if (!dag.has_root()) return corpus;
+
+  // Per-distinct-DAG-node plan: tokenisation and hash-table resolution
+  // happen here, once per shared subtree. The instance walk below then only
+  // follows pre-resolved pointers — unordered_map nodes never move, so the
+  // cached list/cell/count slots stay valid across later insertions.
+  struct TermSlot {
+    PostingList* list = nullptr;
+    std::vector<KeywordTypeStats*> cells;  // aligned with the type chain
+    uint32_t count = 0;
+  };
+  struct NodePlan {
+    xml::TypeId type = xml::kInvalidTypeId;
+    uint32_t* node_count = nullptr;
+    std::vector<TermSlot> slots;
+  };
+  std::vector<NodePlan> plans(dag.DagNodeCount());
+  std::unordered_map<std::string, uint32_t> counts;
+  for (xml::DagNodeId id = 0; id < dag.DagNodeCount(); ++id) {
+    NodePlan& plan = plans[id];
+    plan.type = dag.type(id);
+    plan.node_count = stats.MutableNodeCount(plan.type);
+
+    counts.clear();
+    if (options.index_tags) {
+      for (const auto& term : text::Tokenize(dag.tag(id))) ++counts[term];
+    }
+    for (const auto& term : text::Tokenize(dag.text(id))) ++counts[term];
+
+    const auto& chain = chains.ChainOf(plan.type);
+    plan.slots.reserve(counts.size());
+    for (const auto& [term, count] : counts) {
+      TermSlot slot;
+      slot.list = index.MutableList(term);
+      slot.count = count;
+      slot.cells.reserve(chain.size());
+      for (xml::TypeId ancestor : chain) {
+        slot.cells.push_back(stats.MutableKeywordTypeStats(term, ancestor));
+      }
+      plan.slots.push_back(std::move(slot));
+    }
+  }
+
+  // Instance walk: preorder over the expansion of the DAG, multiplying each
+  // shared subtree out over its instances. Postings land per keyword in
+  // document order and tf sums are commutative, so the result is
+  // byte-identical to BuildIndex over the uncompressed tree.
+  struct Frame {
+    xml::DagNodeId id;
+    uint32_t next_child;
+  };
+  std::vector<uint32_t> comps;  // Dewey components of the current instance
+  std::vector<Frame> frames;
+  auto visit = [&](xml::DagNodeId id) {
+    const NodePlan& plan = plans[id];
+    ++*plan.node_count;
+    for (const TermSlot& slot : plan.slots) {
+      slot.list->push_back(Posting{xml::Dewey(comps), plan.type});
+      for (KeywordTypeStats* cell : slot.cells) cell->tf += slot.count;
+    }
+  };
+  comps.push_back(0);
+  frames.push_back(Frame{dag.root(), 0});
+  visit(dag.root());
+  while (!frames.empty()) {
+    Frame& top = frames.back();
+    if (top.next_child < dag.child_count(top.id)) {
+      uint32_t ordinal = top.next_child++;
+      xml::DagNodeId child = dag.child(top.id, ordinal);
+      comps.push_back(ordinal);
+      frames.push_back(Frame{child, 0});
+      visit(child);
+    } else {
+      frames.pop_back();
+      comps.pop_back();
+    }
+  }
+
+  // Pass 2 is representation-independent: it reads the finished posting
+  // lists, which match the uncompressed builder's exactly.
+  for (const auto& [keyword, list] : index.lists()) {
+    std::vector<xml::Dewey> last_seen;  // indexed by depth-1
+    for (const Posting& p : list) {
+      const auto& chain = chains.ChainOf(p.type);
+      if (last_seen.size() < chain.size()) last_seen.resize(chain.size());
+      for (size_t d = 0; d < chain.size(); ++d) {
+        xml::Dewey anchor = p.dewey.Prefix(d + 1);
+        if (last_seen[d] != anchor) {
+          stats.AddDocumentFrequency(keyword, chain[d]);
+          last_seen[d] = std::move(anchor);
+        }
+      }
+    }
+  }
+
+  stats.FinalizeDistinctCounts();
+  return corpus;
+}
+
 }  // namespace xrefine::index

@@ -11,6 +11,7 @@
 #include "index/index_source.h"
 #include "index/inverted_index.h"
 #include "index/statistics.h"
+#include "xml/dag_document.h"
 #include "xml/document.h"
 
 namespace xrefine::index {
@@ -39,7 +40,15 @@ class IndexedCorpus : public IndexSource {
   CooccurrenceTable& cooccurrence() const override { return cooccurrence_; }
 
   const xml::Document* document() const override { return document_; }
-  void set_document(const xml::Document* doc) { document_ = doc; }
+  void set_document(const xml::Document* doc) {
+    document_ = doc;
+    view_ = doc;
+  }
+
+  const xml::DocumentView* document_view() const override { return view_; }
+  /// Attaches a representation-agnostic view only (the DAG-compressed
+  /// case: there is no uncompressed Document to point at).
+  void set_document_view(const xml::DocumentView* view) { view_ = view; }
 
   // --- IndexSource over the in-memory lists (all infallible) ---
 
@@ -66,6 +75,7 @@ class IndexedCorpus : public IndexSource {
   // Lazily filled; logically part of the index, hence mutable.
   mutable CooccurrenceTable cooccurrence_;
   const xml::Document* document_ = nullptr;
+  const xml::DocumentView* view_ = nullptr;
 };
 
 struct IndexBuildOptions {
@@ -78,6 +88,19 @@ struct IndexBuildOptions {
 /// corpus keeps a pointer for result rendering).
 std::unique_ptr<IndexedCorpus> BuildIndex(const xml::Document& doc,
                                           const IndexBuildOptions& options = {});
+
+/// Builds the index directly over a DAG-compressed document, without ever
+/// materialising the uncompressed tree. The per-node string work
+/// (tokenisation, keyword-slot and statistics-cell resolution) runs once
+/// per distinct DAG node; instances are then multiplied out by a preorder
+/// walk that only appends postings and bumps pre-resolved counters. The
+/// resulting corpus — posting lists, statistics, node types — is
+/// byte-identical to BuildIndex over the equivalent uncompressed document
+/// (enforced by tests/slca_property_test.cc), so every refinement
+/// algorithm returns identical output over either representation. The DAG
+/// must outlive the corpus.
+std::unique_ptr<IndexedCorpus> BuildIndexFromDag(
+    const xml::DagDocument& dag, const IndexBuildOptions& options = {});
 
 }  // namespace xrefine::index
 

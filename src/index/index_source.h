@@ -29,6 +29,7 @@
 
 namespace xrefine::xml {
 class Document;
+class DocumentView;
 }  // namespace xrefine::xml
 
 namespace xrefine::text {
@@ -130,6 +131,14 @@ class IndexSource {
   /// The source document, when this source still has one (results can then
   /// be rendered as subtree snippets); nullptr for persisted corpora.
   virtual const xml::Document* document() const { return nullptr; }
+
+  /// Representation-agnostic read view of the source document — set for
+  /// both uncompressed (xml::Document) and DAG-compressed
+  /// (xml::DagDocument) corpora; nullptr for persisted corpora. Query-path
+  /// consumers (expansion support mining, snippet rendering) use this
+  /// instead of document() so they work identically over compressed
+  /// structure.
+  virtual const xml::DocumentView* document_view() const { return nullptr; }
 
  private:
   // One snapshot per requested edit distance (in practice one or two

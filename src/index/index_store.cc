@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/metrics.h"
+#include "index/bloom.h"
 #include "index/posting_blocks.h"
 #include "storage/serde.h"
 
@@ -19,6 +20,7 @@ using storage::PutVarint64;
 
 constexpr char kTypesKey[] = "m\0types";
 constexpr char kTypeStatsKey[] = "m\0typestats";
+constexpr char kBloomKey[] = "m\0bloom";
 
 // Meta keys contain an embedded NUL, so their length must come from the
 // array literal (everything but the trailing NUL) — never from strlen or a
@@ -142,6 +144,8 @@ std::string FreqRowKey(std::string_view keyword) {
   key += keyword;
   return key;
 }
+
+std::string BloomMetaKey() { return MetaKey(kBloomKey); }
 
 std::string EncodePostings(const PostingList& list, PostingFormat format) {
   if (format == PostingFormat::kBlocked) {
@@ -380,6 +384,13 @@ Status SaveCorpus(const IndexedCorpus& corpus, storage::KVStore* store,
   // warmed cache survives restarts (the paper's co-occur frequency table).
   XREFINE_RETURN_IF_ERROR(store->Put(MetaKey(kCooccurKey),
                                      EncodeCooccurCache(corpus.cooccurrence())));
+  // Vocabulary Bloom filter: lets a lazy-vocabulary source skip both the
+  // open-time head scan and the B+-tree descent on every definite miss.
+  BloomFilter bloom =
+      BloomFilter::ForExpectedKeys(corpus.index().keyword_count());
+  corpus.index().ForEachKeyword(
+      [&bloom](std::string_view keyword) { bloom.Insert(keyword); });
+  XREFINE_RETURN_IF_ERROR(store->Put(MetaKey(kBloomKey), bloom.Encode()));
   return store->Flush();
 }
 

@@ -23,6 +23,13 @@ std::string InvertedListKey(std::string_view keyword);
 /// The store key of `keyword`'s frequent-table row ("f\0<keyword>").
 std::string FreqRowKey(std::string_view keyword);
 
+/// The store key of the persisted vocabulary Bloom filter ("m\0bloom").
+/// SaveCorpus writes one per corpus; a lazy-vocabulary
+/// StoreBackedIndexSource reads it to serve negative keyword probes without
+/// descending into the B+-tree (stores predating the record simply lack the
+/// key and fall back to the eager head scan).
+std::string BloomMetaKey();
+
 /// On-disk posting encodings. kBlocked (format version 3, the default) is
 /// the block-compressed layout of index/posting_blocks.h; kPrefixDelta
 /// (version 2) is the flat layout older stores used — kept writable behind

@@ -27,6 +27,15 @@ class InvertedIndex {
   /// occur in the corpus.
   const PostingList* Find(std::string_view keyword) const;
 
+  /// The mutable list for `keyword`, created empty when absent. Build-path
+  /// only (the DAG index builder resolves each distinct keyword to its list
+  /// once per shared subtree, then appends per instance without re-hashing
+  /// the keyword); the pointer is stable for the index's lifetime
+  /// (unordered_map nodes never move).
+  PostingList* MutableList(std::string_view keyword) {
+    return &lists_.try_emplace(std::string(keyword)).first->second;
+  }
+
   /// The keyword's list in the columnar serving layout, or nullptr when
   /// absent. Built lazily from the AoS list on first request per keyword
   /// and memoized (unordered_map node stability keeps returned pointers

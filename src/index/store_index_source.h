@@ -21,6 +21,7 @@
 
 #include "common/statusor.h"
 #include "common/thread_annotations.h"
+#include "index/bloom.h"
 #include "index/cooccurrence.h"
 #include "index/index_source.h"
 #include "index/statistics.h"
@@ -44,6 +45,14 @@ struct StoreIndexSourceOptions {
   /// Sketch sizing for the admission filter (ignored when admission is
   /// off).
   TinyLfuOptions admission;
+  /// Lazy vocabulary: skip the open-time O(vocabulary) record-head scan and
+  /// serve keyword-existence probes from the persisted Bloom filter
+  /// instead. A definite bloom miss (the common case for spelling-probe
+  /// floods and absent query terms) answers without any B+-tree descent
+  /// (counted as index.bloom_skips); a "maybe" descends to the record head
+  /// and memoizes the size (index.bloom_hits). Stores persisted before the
+  /// bloom record exists fall back to the eager scan transparently.
+  bool lazy_vocabulary = false;
 };
 
 /// Thread-safe for concurrent readers. Lock order: the source's cache latch
@@ -74,7 +83,7 @@ class StoreBackedIndexSource : public IndexSource {
   void Prefetch(const std::vector<std::string>& keywords) const override;
   bool Contains(std::string_view keyword) const override;
   size_t ListSize(std::string_view keyword) const override;
-  size_t keyword_count() const override { return list_sizes_.size(); }
+  size_t keyword_count() const override;
   void ForEachKeyword(
       const std::function<void(std::string_view)>& fn) const override;
 
@@ -120,15 +129,39 @@ class StoreBackedIndexSource : public IndexSource {
                                             bool record_access) const
       EXCLUDES(mu_);
 
+  /// Posting count for `keyword` (0 = absent). Lazy mode consults the
+  /// bloom filter first and only descends to the record head — memoizing
+  /// the answer — on a "maybe"; eager mode reads the prebuilt map. Store
+  /// errors during a lazy probe degrade to "absent" (these calls have no
+  /// error channel; the caller's own FetchList surfaces the failure).
+  uint32_t LookupListSize(std::string_view keyword) const
+      EXCLUDES(vocab_mu_);
+
+  /// Lazy mode only: runs the full record-head scan once, on the first
+  /// caller that genuinely needs the whole vocabulary (ForEachKeyword).
+  void EnsureFullVocabulary() const EXCLUDES(vocab_mu_);
+
   const storage::KVStore* store_;  // not owned
   StoreIndexSourceOptions options_;
 
-  // Immutable after Open(): metadata plus keyword -> posting count, so
-  // Contains/ListSize/Vocabulary never touch the store or the cache latch.
+  // Immutable after Open(): metadata, so stats()/types() never take a
+  // latch.
   xml::NodeTypeTable types_;
   StatisticsTable stats_;
-  std::unordered_map<std::string, uint32_t> list_sizes_;
   mutable CooccurrenceTable cooccurrence_;
+
+  // Vocabulary. Eager open fills list_sizes_ completely and never mutates
+  // it again; lazy open leaves it empty and memoizes record-head probes
+  // into it, guarded by its own leaf latch (never held together with mu_
+  // or across a store read — the fetch-then-reacquire protocol mirrors the
+  // posting cache's).
+  bool lazy_ = false;  // lazy_vocabulary requested AND bloom record present
+  BloomFilter bloom_;
+  mutable Mutex vocab_mu_{kLockRankStoreSourceVocab,
+                          "StoreBackedIndexSource::vocab_mu_"};
+  mutable std::unordered_map<std::string, uint32_t> list_sizes_
+      GUARDED_BY(vocab_mu_);
+  mutable bool vocab_complete_ GUARDED_BY(vocab_mu_) = false;
 
   // Bounded LRU over decoded lists. shared_ptr ownership lets eviction
   // proceed while queries still scan the evicted list through their pins.

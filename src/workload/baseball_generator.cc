@@ -1,5 +1,6 @@
 #include "workload/baseball_generator.h"
 
+#include <cmath>
 #include <string>
 
 #include "common/random.h"
@@ -7,34 +8,41 @@
 
 namespace xrefine::workload {
 
-xml::Document GenerateBaseball(const BaseballOptions& options) {
+namespace {
+
+// Templated over the builder (xml::Document or xml::DagBuilder) so one
+// random stream drives both representations of the same logical tree — see
+// dblp_generator.cc for the discipline.
+template <typename Builder>
+void BuildBaseballInto(Builder& doc, const BaseballOptions& options) {
   Random rng(options.seed);
-  xml::Document doc;
-  xml::NodeId season = doc.CreateRoot("season");
-  xml::NodeId year = doc.AddChild(season, "year");
+  size_t teams_per_division = static_cast<size_t>(std::llround(
+      static_cast<double>(options.teams_per_division) * options.scale));
+  auto season = doc.CreateRoot("season");
+  auto year = doc.AddChild(season, "year");
   doc.AppendText(year, "1998");
 
   for (size_t l = 0; l < options.num_leagues; ++l) {
-    xml::NodeId league = doc.AddChild(season, "league");
-    xml::NodeId lname = doc.AddChild(league, "name");
+    auto league = doc.AddChild(season, "league");
+    auto lname = doc.AddChild(league, "name");
     doc.AppendText(lname, l == 0 ? "national league" : "american league");
     for (size_t d = 0; d < options.divisions_per_league; ++d) {
-      xml::NodeId division = doc.AddChild(league, "division");
-      xml::NodeId dname = doc.AddChild(division, "name");
+      auto division = doc.AddChild(league, "division");
+      auto dname = doc.AddChild(division, "name");
       doc.AppendText(dname, d == 0 ? "east" : (d == 1 ? "central" : "west"));
-      for (size_t t = 0; t < options.teams_per_division; ++t) {
-        xml::NodeId team = doc.AddChild(division, "team");
-        xml::NodeId city = doc.AddChild(team, "city");
+      for (size_t t = 0; t < teams_per_division; ++t) {
+        auto team = doc.AddChild(division, "team");
+        auto city = doc.AddChild(team, "city");
         doc.AppendText(city,
                        TeamCities()[static_cast<size_t>(rng.Uniform(
                            0, static_cast<int64_t>(TeamCities().size()) - 1))]);
-        xml::NodeId tname = doc.AddChild(team, "name");
+        auto tname = doc.AddChild(team, "name");
         doc.AppendText(tname,
                        TeamNames()[static_cast<size_t>(rng.Uniform(
                            0, static_cast<int64_t>(TeamNames().size()) - 1))]);
         for (size_t p = 0; p < options.players_per_team; ++p) {
-          xml::NodeId player = doc.AddChild(team, "player");
-          xml::NodeId pname = doc.AddChild(player, "name");
+          auto player = doc.AddChild(team, "player");
+          auto pname = doc.AddChild(player, "name");
           doc.AppendText(
               pname,
               FirstNames()[static_cast<size_t>(rng.Uniform(
@@ -42,21 +50,34 @@ xml::Document GenerateBaseball(const BaseballOptions& options) {
                   " " +
                   LastNames()[static_cast<size_t>(rng.Uniform(
                       0, static_cast<int64_t>(LastNames().size()) - 1))]);
-          xml::NodeId position = doc.AddChild(player, "position");
+          auto position = doc.AddChild(player, "position");
           doc.AppendText(position,
                          Positions()[static_cast<size_t>(rng.Uniform(
                              0, static_cast<int64_t>(Positions().size()) - 1))]);
-          xml::NodeId games = doc.AddChild(player, "games");
+          auto games = doc.AddChild(player, "games");
           doc.AppendText(games, std::to_string(rng.Uniform(10, 162)));
-          xml::NodeId homeruns = doc.AddChild(player, "homeruns");
+          auto homeruns = doc.AddChild(player, "homeruns");
           doc.AppendText(homeruns, std::to_string(rng.Uniform(0, 60)));
-          xml::NodeId average = doc.AddChild(player, "average");
+          auto average = doc.AddChild(player, "average");
           doc.AppendText(average, "0." + std::to_string(rng.Uniform(180, 360)));
         }
       }
     }
   }
+}
+
+}  // namespace
+
+xml::Document GenerateBaseball(const BaseballOptions& options) {
+  xml::Document doc;
+  BuildBaseballInto(doc, options);
   return doc;
+}
+
+xml::DagDocument GenerateBaseballDag(const BaseballOptions& options) {
+  xml::DagBuilder builder;
+  BuildBaseballInto(builder, options);
+  return builder.Finalize();
 }
 
 }  // namespace xrefine::workload

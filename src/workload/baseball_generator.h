@@ -5,6 +5,7 @@
 #ifndef XREFINE_WORKLOAD_BASEBALL_GENERATOR_H_
 #define XREFINE_WORKLOAD_BASEBALL_GENERATOR_H_
 
+#include "xml/dag_document.h"
 #include "xml/document.h"
 
 namespace xrefine::workload {
@@ -14,10 +15,17 @@ struct BaseballOptions {
   size_t divisions_per_league = 3;
   size_t teams_per_division = 5;
   size_t players_per_team = 25;
+  /// Corpus scale multiplier applied to teams_per_division; see
+  /// DblpOptions::scale.
+  double scale = 1.0;
   uint64_t seed = 7;
 };
 
 xml::Document GenerateBaseball(const BaseballOptions& options = {});
+
+/// DAG-compressed build of the same logical corpus (same seed); the
+/// uncompressed tree is never materialised.
+xml::DagDocument GenerateBaseballDag(const BaseballOptions& options = {});
 
 }  // namespace xrefine::workload
 

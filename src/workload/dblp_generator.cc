@@ -1,5 +1,6 @@
 #include "workload/dblp_generator.h"
 
+#include <cmath>
 #include <string>
 
 #include "common/random.h"
@@ -7,17 +8,28 @@
 
 namespace xrefine::workload {
 
-xml::Document GenerateDblp(const DblpOptions& options) {
+namespace {
+
+// The generator body, templated over the tree builder so the identical
+// random stream drives both representations: Builder is xml::Document
+// (NodeId handles, full tree) or xml::DagBuilder (NodeRef handles,
+// streaming hash-consing). Both expose CreateRoot/AddChild/AppendText with
+// the same preorder building discipline, and determinism for a fixed seed
+// means GenerateDblp(o) and GenerateDblpDag(o) describe the same logical
+// tree — the equivalence the DAG property tests lean on.
+template <typename Builder>
+void BuildDblpInto(Builder& doc, const DblpOptions& options) {
   Random rng(options.seed);
   ZipfSampler term_sampler(TitleTerms().size(), options.zipf_skew,
                            options.seed ^ 0x5eed);
+  size_t num_authors = static_cast<size_t>(
+      std::llround(static_cast<double>(options.num_authors) * options.scale));
 
-  xml::Document doc;
-  xml::NodeId root = doc.CreateRoot("bib");
+  auto root = doc.CreateRoot("bib");
 
-  for (size_t a = 0; a < options.num_authors; ++a) {
-    xml::NodeId author = doc.AddChild(root, "author");
-    xml::NodeId name = doc.AddChild(author, "name");
+  for (size_t a = 0; a < num_authors; ++a) {
+    auto author = doc.AddChild(root, "author");
+    auto name = doc.AddChild(author, "name");
     const std::string& first =
         FirstNames()[static_cast<size_t>(rng.Uniform(
             0, static_cast<int64_t>(FirstNames().size()) - 1))];
@@ -26,22 +38,21 @@ xml::Document GenerateDblp(const DblpOptions& options) {
             0, static_cast<int64_t>(LastNames().size()) - 1))];
     doc.AppendText(name, first + " " + last);
 
-    xml::NodeId affiliation = doc.AddChild(author, "affiliation");
+    auto affiliation = doc.AddChild(author, "affiliation");
     doc.AppendText(affiliation,
                    TeamCities()[static_cast<size_t>(rng.Uniform(
                        0, static_cast<int64_t>(TeamCities().size()) - 1))] +
                        " university");
 
-    xml::NodeId pubs = doc.AddChild(author, "publications");
+    auto pubs = doc.AddChild(author, "publications");
     size_t n_pubs = static_cast<size_t>(rng.Uniform(
         static_cast<int64_t>(options.min_publications_per_author),
         static_cast<int64_t>(options.max_publications_per_author)));
     for (size_t p = 0; p < n_pubs; ++p) {
       bool conference = rng.OneIn(0.7);
-      xml::NodeId pub =
-          doc.AddChild(pubs, conference ? "inproceedings" : "article");
+      auto pub = doc.AddChild(pubs, conference ? "inproceedings" : "article");
 
-      xml::NodeId title = doc.AddChild(pub, "title");
+      auto title = doc.AddChild(pub, "title");
       std::string title_text;
       size_t n_terms = static_cast<size_t>(
           rng.Uniform(static_cast<int64_t>(options.min_title_terms),
@@ -64,24 +75,23 @@ xml::Document GenerateDblp(const DblpOptions& options) {
       }
       doc.AppendText(title, title_text);
 
-      xml::NodeId year = doc.AddChild(pub, "year");
+      auto year = doc.AddChild(pub, "year");
       doc.AppendText(year, std::to_string(rng.Uniform(options.min_year,
                                                       options.max_year)));
 
-      xml::NodeId venue =
-          doc.AddChild(pub, conference ? "booktitle" : "journal");
+      auto venue = doc.AddChild(pub, conference ? "booktitle" : "journal");
       doc.AppendText(venue,
                      Venues()[static_cast<size_t>(rng.Uniform(
                          0, static_cast<int64_t>(Venues().size()) - 1))]);
 
-      xml::NodeId pages = doc.AddChild(pub, "pages");
+      auto pages = doc.AddChild(pub, "pages");
       int64_t start = rng.Uniform(1, 400);
       doc.AppendText(pages, std::to_string(start) + " " +
                                 std::to_string(start + rng.Uniform(5, 20)));
 
       size_t n_coauthors = static_cast<size_t>(rng.Uniform(0, 2));
       for (size_t c = 0; c < n_coauthors; ++c) {
-        xml::NodeId coauthor = doc.AddChild(pub, "coauthor");
+        auto coauthor = doc.AddChild(pub, "coauthor");
         doc.AppendText(
             coauthor,
             FirstNames()[static_cast<size_t>(rng.Uniform(
@@ -95,11 +105,24 @@ xml::Document GenerateDblp(const DblpOptions& options) {
     // A small fraction of authors carry a hobby element, mirroring the
     // heterogeneity of the paper's Figure 1.
     if (rng.OneIn(0.1)) {
-      xml::NodeId hobby = doc.AddChild(author, "hobby");
+      auto hobby = doc.AddChild(author, "hobby");
       doc.AppendText(hobby, rng.OneIn(0.5) ? "tennis" : "swimming");
     }
   }
+}
+
+}  // namespace
+
+xml::Document GenerateDblp(const DblpOptions& options) {
+  xml::Document doc;
+  BuildDblpInto(doc, options);
   return doc;
+}
+
+xml::DagDocument GenerateDblpDag(const DblpOptions& options) {
+  xml::DagBuilder builder;
+  BuildDblpInto(builder, options);
+  return builder.Finalize();
 }
 
 }  // namespace xrefine::workload

@@ -15,12 +15,18 @@
 #ifndef XREFINE_WORKLOAD_DBLP_GENERATOR_H_
 #define XREFINE_WORKLOAD_DBLP_GENERATOR_H_
 
+#include "xml/dag_document.h"
 #include "xml/document.h"
 
 namespace xrefine::workload {
 
 struct DblpOptions {
   size_t num_authors = 200;
+  /// Corpus scale multiplier applied to num_authors (the partition count):
+  /// 10.0 grows the logical tree ~10x while keeping the per-author shape —
+  /// the knob bench_dag_scale sweeps to show DAG compression holding memory
+  /// flat as the corpus grows.
+  double scale = 1.0;
   size_t min_publications_per_author = 2;
   size_t max_publications_per_author = 8;
   size_t min_title_terms = 3;
@@ -34,6 +40,12 @@ struct DblpOptions {
 };
 
 xml::Document GenerateDblp(const DblpOptions& options = {});
+
+/// Same logical corpus (same seed, same random stream), built directly into
+/// the DAG-compressed representation via the streaming DagBuilder — the
+/// uncompressed tree is never materialised, so peak memory is one
+/// root-to-leaf path plus the compressed DAG.
+xml::DagDocument GenerateDblpDag(const DblpOptions& options = {});
 
 }  // namespace xrefine::workload
 

@@ -1,5 +1,6 @@
 #include "workload/xmark_generator.h"
 
+#include <cmath>
 #include <string>
 
 #include "common/random.h"
@@ -33,29 +34,38 @@ const std::string& PickFrom(const V& v, Random* rng) {
       rng->Uniform(0, static_cast<int64_t>(v.size()) - 1))];
 }
 
-}  // namespace
-
-xml::Document GenerateXmark(const XmarkOptions& options) {
+// Templated over the builder (xml::Document or xml::DagBuilder) so one
+// random stream drives both representations of the same logical tree — see
+// dblp_generator.cc for the discipline.
+template <typename Builder>
+void BuildXmarkInto(Builder& doc, const XmarkOptions& options) {
   Random rng(options.seed);
-  xml::Document doc;
-  xml::NodeId site = doc.CreateRoot("site");
+  auto scaled = [&](size_t n) {
+    return static_cast<size_t>(
+        std::llround(static_cast<double>(n) * options.scale));
+  };
+  size_t items_per_region = scaled(options.items_per_region);
+  size_t num_people = scaled(options.num_people);
+  size_t num_auctions = scaled(options.num_auctions);
+
+  auto site = doc.CreateRoot("site");
 
   // regions / region / item.
-  xml::NodeId regions = doc.AddChild(site, "regions");
+  auto regions = doc.AddChild(site, "regions");
   std::vector<std::string> item_names;
   for (size_t r = 0; r < options.num_regions; ++r) {
-    xml::NodeId region = doc.AddChild(regions, "region");
-    xml::NodeId rname = doc.AddChild(region, "name");
+    auto region = doc.AddChild(regions, "region");
+    auto rname = doc.AddChild(region, "name");
     static const char* kRegionNames[] = {"africa", "asia", "australia",
                                          "europe", "namerica", "samerica"};
     doc.AppendText(rname, kRegionNames[r % 6]);
-    for (size_t i = 0; i < options.items_per_region; ++i) {
-      xml::NodeId item = doc.AddChild(region, "item");
+    for (size_t i = 0; i < items_per_region; ++i) {
+      auto item = doc.AddChild(region, "item");
       std::string item_name = PickFrom(Adjectives(), &rng) + " " +
                               PickFrom(ItemNouns(), &rng);
       item_names.push_back(item_name);
       doc.AppendText(doc.AddChild(item, "name"), item_name);
-      xml::NodeId description = doc.AddChild(item, "description");
+      auto description = doc.AddChild(item, "description");
       std::string text = PickFrom(Adjectives(), &rng);
       for (int w = 0; w < 4; ++w) {
         text += " " + PickFrom(TitleTerms(), &rng);
@@ -69,10 +79,10 @@ xml::Document GenerateXmark(const XmarkOptions& options) {
   }
 
   // people / person.
-  xml::NodeId people = doc.AddChild(site, "people");
+  auto people = doc.AddChild(site, "people");
   std::vector<std::string> person_names;
-  for (size_t p = 0; p < options.num_people; ++p) {
-    xml::NodeId person = doc.AddChild(people, "person");
+  for (size_t p = 0; p < num_people; ++p) {
+    auto person = doc.AddChild(people, "person");
     std::string full = PickFrom(FirstNames(), &rng) + " " +
                        PickFrom(LastNames(), &rng);
     person_names.push_back(full);
@@ -92,9 +102,9 @@ xml::Document GenerateXmark(const XmarkOptions& options) {
   }
 
   // open_auctions / auction.
-  xml::NodeId auctions = doc.AddChild(site, "open_auctions");
-  for (size_t a = 0; a < options.num_auctions; ++a) {
-    xml::NodeId auction = doc.AddChild(auctions, "auction");
+  auto auctions = doc.AddChild(site, "open_auctions");
+  for (size_t a = 0; a < num_auctions; ++a) {
+    auto auction = doc.AddChild(auctions, "auction");
     doc.AppendText(doc.AddChild(auction, "itemname"),
                    PickFrom(item_names, &rng));
     doc.AppendText(doc.AddChild(auction, "seller"),
@@ -105,7 +115,7 @@ xml::Document GenerateXmark(const XmarkOptions& options) {
     size_t bids = static_cast<size_t>(rng.Uniform(0, 5));
     int64_t current = initial;
     for (size_t b = 0; b < bids; ++b) {
-      xml::NodeId bidder = doc.AddChild(auction, "bidder");
+      auto bidder = doc.AddChild(auction, "bidder");
       doc.AppendText(doc.AddChild(bidder, "personref"),
                      PickFrom(person_names, &rng));
       current += rng.Uniform(1, 50);
@@ -115,7 +125,20 @@ xml::Document GenerateXmark(const XmarkOptions& options) {
     doc.AppendText(doc.AddChild(auction, "current"),
                    std::to_string(current));
   }
+}
+
+}  // namespace
+
+xml::Document GenerateXmark(const XmarkOptions& options) {
+  xml::Document doc;
+  BuildXmarkInto(doc, options);
   return doc;
+}
+
+xml::DagDocument GenerateXmarkDag(const XmarkOptions& options) {
+  xml::DagBuilder builder;
+  BuildXmarkInto(builder, options);
+  return builder.Finalize();
 }
 
 }  // namespace xrefine::workload

@@ -12,6 +12,7 @@
 #ifndef XREFINE_WORKLOAD_XMARK_GENERATOR_H_
 #define XREFINE_WORKLOAD_XMARK_GENERATOR_H_
 
+#include "xml/dag_document.h"
 #include "xml/document.h"
 
 namespace xrefine::workload {
@@ -21,10 +22,17 @@ struct XmarkOptions {
   size_t items_per_region = 40;
   size_t num_people = 150;
   size_t num_auctions = 120;
+  /// Corpus scale multiplier applied to items/people/auctions; see
+  /// DblpOptions::scale.
+  double scale = 1.0;
   uint64_t seed = 31;
 };
 
 xml::Document GenerateXmark(const XmarkOptions& options = {});
+
+/// DAG-compressed build of the same logical corpus (same seed); the
+/// uncompressed tree is never materialised.
+xml::DagDocument GenerateXmarkDag(const XmarkOptions& options = {});
 
 }  // namespace xrefine::workload
 

@@ -1,0 +1,286 @@
+#include "xml/dag_document.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace xrefine::xml {
+
+namespace {
+
+struct DagMetrics {
+  metrics::Gauge* nodes;            // logical tree nodes of the last build
+  metrics::Gauge* dag_nodes;        // distinct DAG nodes
+  metrics::Gauge* shared_subtrees;  // DAG nodes with >1 instance
+  metrics::Gauge* bytes;            // compressed resident bytes
+};
+
+const DagMetrics& Metrics() {
+  static const DagMetrics m = [] {
+    auto& r = metrics::Registry::Global();
+    return DagMetrics{r.gauge("xml.dag_tree_nodes"), r.gauge("xml.dag_nodes"),
+                      r.gauge("xml.dag_shared_subtrees"),
+                      r.gauge("xml.dag_bytes")};
+  }();
+  return m;
+}
+
+// 64-bit mixing (splitmix64 finalizer); used for content hashing only —
+// equality is always decided by comparing the actual payloads.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashBytes(std::string_view s, uint64_t seed) {
+  uint64_t h = seed;
+  for (char c : s) h = Mix(h ^ static_cast<uint8_t>(c));
+  return h;
+}
+
+}  // namespace
+
+DagNodeId DagDocument::FindByDewey(const Dewey& dewey) const {
+  if (!has_root() || dewey.empty() || dewey[0] != 0) return kInvalidDagNodeId;
+  DagNodeId cur = root_;
+  for (size_t i = 1; i < dewey.depth(); ++i) {
+    uint32_t ord = dewey[i];
+    if (ord >= child_count(cur)) return kInvalidDagNodeId;
+    cur = child(cur, ord);
+  }
+  return cur;
+}
+
+std::string DagDocument::SubtreeText(DagNodeId id) const {
+  std::string out;
+  // Iterative preorder, children reversed onto the stack so the leftmost
+  // is processed first — the exact visit order of Document::SubtreeText.
+  std::vector<DagNodeId> stack = {id};
+  while (!stack.empty()) {
+    DagNodeId cur = stack.back();
+    stack.pop_back();
+    std::string_view t = text(cur);
+    if (!t.empty()) {
+      if (!out.empty()) out += ' ';
+      out += t;
+    }
+    size_t n = child_count(cur);
+    for (size_t i = n; i > 0; --i) stack.push_back(child(cur, i - 1));
+  }
+  return out;
+}
+
+std::string DagDocument::Describe(const Dewey& dewey) const {
+  DagNodeId id = FindByDewey(dewey);
+  if (id == kInvalidDagNodeId) return "?:" + dewey.ToString();
+  return tag(id) + ":" + dewey.ToString();
+}
+
+size_t DagDocument::ResidentBytes() const {
+  return sizeof(DagDocument) + nodes_.capacity() * sizeof(Node) +
+         child_pool_.capacity() * sizeof(DagNodeId) + text_pool_.capacity() +
+         instance_counts_.capacity() * sizeof(uint64_t);
+}
+
+bool DagDocument::VisitSubtree(
+    const Dewey& dewey,
+    const std::function<void(std::string_view, std::string_view)>& fn) const {
+  DagNodeId start = FindByDewey(dewey);
+  if (start == kInvalidDagNodeId) return false;
+  std::vector<DagNodeId> stack = {start};
+  while (!stack.empty()) {
+    DagNodeId cur = stack.back();
+    stack.pop_back();
+    fn(tag(cur), text(cur));
+    size_t n = child_count(cur);
+    for (size_t i = n; i > 0; --i) stack.push_back(child(cur, i - 1));
+  }
+  return true;
+}
+
+std::string DagDocument::SubtreeTextAt(const Dewey& dewey) const {
+  DagNodeId id = FindByDewey(dewey);
+  return id == kInvalidDagNodeId ? std::string() : SubtreeText(id);
+}
+
+uint64_t DagDocument::SubtreeFingerprint(const Dewey& dewey) const {
+  DagNodeId id = FindByDewey(dewey);
+  return id == kInvalidDagNodeId ? 0 : static_cast<uint64_t>(id) + 1;
+}
+
+// --- DagBuilder ---
+
+size_t DagBuilder::NodeContentHash::operator()(DagNodeId id) const {
+  uint64_t h = Mix(doc->type(id));
+  h = HashBytes(doc->text(id), h);
+  size_t n = doc->child_count(id);
+  h = Mix(h ^ n);
+  for (size_t i = 0; i < n; ++i) h = Mix(h ^ doc->child(id, i));
+  return static_cast<size_t>(h);
+}
+
+bool DagBuilder::NodeContentEq::operator()(DagNodeId a, DagNodeId b) const {
+  if (doc->type(a) != doc->type(b)) return false;
+  if (doc->text(a) != doc->text(b)) return false;
+  size_t n = doc->child_count(a);
+  if (n != doc->child_count(b)) return false;
+  for (size_t i = 0; i < n; ++i) {
+    if (doc->child(a, i) != doc->child(b, i)) return false;
+  }
+  return true;
+}
+
+DagBuilder::NodeRef DagBuilder::CreateRoot(std::string_view tag) {
+  XR_CHECK(path_.empty() && doc_.nodes_.empty() && !finalized_)
+      << "root already exists";
+  OpenNode n;
+  n.type = doc_.types_.Intern(kInvalidTypeId, tag);
+  n.serial = next_serial_++;
+  path_.push_back(std::move(n));
+  return NodeRef{0, path_.back().serial};
+}
+
+DagBuilder::OpenNode& DagBuilder::CheckedOpen(NodeRef ref) {
+  XR_CHECK(ref.depth < path_.size() &&
+           path_[ref.depth].serial == ref.serial)
+      << "DagBuilder: handle refers to a sealed node (preorder building "
+         "discipline violated)";
+  return path_[ref.depth];
+}
+
+DagBuilder::NodeRef DagBuilder::AddChild(NodeRef parent, std::string_view tag) {
+  TypeId parent_type = CheckedOpen(parent).type;
+  // The new child supersedes everything deeper on the rightmost path:
+  // those subtrees are complete, so cons them into the DAG.
+  while (path_.size() > static_cast<size_t>(parent.depth) + 1) SealDeepest();
+  OpenNode n;
+  n.type = doc_.types_.Intern(parent_type, tag);
+  n.serial = next_serial_++;
+  path_.push_back(std::move(n));
+  return NodeRef{parent.depth + 1, path_.back().serial};
+}
+
+void DagBuilder::AppendText(NodeRef node, std::string_view text) {
+  std::string& t = CheckedOpen(node).text;
+  if (!t.empty() && !text.empty()) t += ' ';
+  t.append(text);
+}
+
+DagNodeId DagBuilder::Intern(OpenNode&& node) {
+  // Provisionally append the node's payload to the pools, then consult the
+  // content-addressed set. On a duplicate the appends are rolled back
+  // (they are all tail appends) and the canonical id reused.
+  size_t text_mark = doc_.text_pool_.size();
+  size_t child_mark = doc_.child_pool_.size();
+  XR_CHECK(text_mark + node.text.size() <=
+               std::numeric_limits<uint32_t>::max() &&
+           child_mark + node.children.size() <=
+               std::numeric_limits<uint32_t>::max())
+      << "DagBuilder: distinct content exceeds 4G pool addressing";
+
+  DagDocument::Node entry;
+  entry.type = node.type;
+  entry.text_offset = static_cast<uint32_t>(text_mark);
+  entry.text_len = static_cast<uint32_t>(node.text.size());
+  entry.child_offset = static_cast<uint32_t>(child_mark);
+  entry.child_count = static_cast<uint32_t>(node.children.size());
+  entry.subtree_nodes = 1;
+  for (DagNodeId c : node.children) {
+    entry.subtree_nodes += doc_.nodes_[c].subtree_nodes;
+  }
+  doc_.text_pool_.append(node.text);
+  doc_.child_pool_.insert(doc_.child_pool_.end(), node.children.begin(),
+                          node.children.end());
+  doc_.nodes_.push_back(entry);
+
+  DagNodeId id = static_cast<DagNodeId>(doc_.nodes_.size() - 1);
+  auto [it, inserted] = interned_.insert(id);
+  if (!inserted) {
+    doc_.nodes_.pop_back();
+    doc_.text_pool_.resize(text_mark);
+    doc_.child_pool_.resize(child_mark);
+    return *it;
+  }
+  return id;
+}
+
+void DagBuilder::SealDeepest() {
+  XR_CHECK(!path_.empty());
+  OpenNode node = std::move(path_.back());
+  path_.pop_back();
+  DagNodeId id = Intern(std::move(node));
+  if (path_.empty()) {
+    doc_.root_ = id;
+  } else {
+    path_.back().children.push_back(id);
+  }
+}
+
+DagDocument DagBuilder::Finalize() {
+  XR_CHECK(!finalized_) << "Finalize called twice";
+  finalized_ = true;
+  while (!path_.empty()) SealDeepest();
+  interned_.clear();
+
+  // Instance counts, top-down. Children are always consed before their
+  // parents, so every node's id exceeds its children's and one descending
+  // sweep from the root propagates counts in topological order.
+  doc_.instance_counts_.assign(doc_.nodes_.size(), 0);
+  doc_.shared_subtrees_ = 0;
+  if (doc_.root_ != kInvalidDagNodeId) {
+    doc_.instance_counts_[doc_.root_] = 1;
+    for (DagNodeId id = doc_.root_ + 1; id-- > 0;) {
+      uint64_t inst = doc_.instance_counts_[id];
+      if (inst == 0) continue;
+      if (inst > 1) ++doc_.shared_subtrees_;
+      for (size_t i = 0; i < doc_.child_count(id); ++i) {
+        doc_.instance_counts_[doc_.child(id, i)] += inst;
+      }
+    }
+  }
+
+  doc_.nodes_.shrink_to_fit();
+  doc_.child_pool_.shrink_to_fit();
+  doc_.text_pool_.shrink_to_fit();
+  doc_.instance_counts_.shrink_to_fit();
+
+  Metrics().nodes->Set(static_cast<int64_t>(doc_.LogicalNodeCount()));
+  Metrics().dag_nodes->Set(static_cast<int64_t>(doc_.DagNodeCount()));
+  Metrics().shared_subtrees->Set(
+      static_cast<int64_t>(doc_.SharedSubtreeCount()));
+  Metrics().bytes->Set(static_cast<int64_t>(doc_.ResidentBytes()));
+  return std::move(doc_);
+}
+
+DagDocument CompressDocument(const Document& doc) {
+  DagBuilder builder;
+  if (!doc.has_root()) return builder.Finalize();
+
+  // Preorder replay. When a node is visited its parent is on the builder's
+  // open path by construction, so every AddChild hits a live handle.
+  struct Pending {
+    NodeId id;
+    DagBuilder::NodeRef parent;
+  };
+  std::vector<Pending> stack;
+  auto visit = [&](NodeId id, DagBuilder::NodeRef ref) {
+    if (!doc.text(id).empty()) builder.AppendText(ref, doc.text(id));
+    const auto& kids = doc.children(id);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(Pending{*it, ref});
+    }
+  };
+  visit(doc.root(), builder.CreateRoot(doc.tag(doc.root())));
+  while (!stack.empty()) {
+    Pending p = stack.back();
+    stack.pop_back();
+    visit(p.id, builder.AddChild(p.parent, doc.tag(p.id)));
+  }
+  return builder.Finalize();
+}
+
+}  // namespace xrefine::xml

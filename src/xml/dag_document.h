@@ -1,0 +1,213 @@
+// DAG-compressed XML documents: structurally identical subtrees are
+// hash-consed into one shared node (Böttcher, Hartel & Rabe, "Efficient XML
+// Keyword Search based on DAG-Compression" — see PAPERS.md), so regular
+// corpora (the DBLP/Baseball generators are repetitive by construction)
+// shrink by an order of magnitude while staying queryable.
+//
+// Representation. A DagNode is (type, text, ordered child DagNodeIds); two
+// tree nodes are merged iff those three agree, children compared after
+// their own merging — bottom-up Merkle-style identity, made exact by
+// comparing content rather than trusting a hash. Node payloads live in
+// shared pools (one text arena, one child-id arena), so a DagNode costs a
+// fixed-size entry plus its distinct payload bytes, against the
+// uncompressed Document's ~1-200 heap bytes per tree node.
+//
+// Instance addressing. A DagNode with instance_count() > 1 stands for many
+// tree nodes. Instances are addressed exactly like Document nodes: by
+// Dewey label. The root instance is "0"; child i of an instance labelled d
+// is labelled d.i. FindByDewey resolves a label to the DagNode backing
+// that instance, and subtree-level queries (SubtreeText, VisitSubtree)
+// depend only on the DagNode — identical for all of its instances — which
+// is what lets consumers evaluate once per shared subtree and multiply
+// results out over instances (index_builder.cc does precisely this).
+#ifndef XREFINE_XML_DAG_DOCUMENT_H_
+#define XREFINE_XML_DAG_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "xml/dewey.h"
+#include "xml/document.h"
+#include "xml/document_view.h"
+#include "xml/node_type.h"
+
+namespace xrefine::xml {
+
+using DagNodeId = uint32_t;
+inline constexpr DagNodeId kInvalidDagNodeId = UINT32_MAX;
+
+/// An immutable DAG-compressed document. Built by DagBuilder (streaming)
+/// or CompressDocument (post-parse); move-only like Document.
+class DagDocument : public DocumentView {
+ public:
+  DagDocument() = default;
+  DagDocument(const DagDocument&) = delete;
+  DagDocument& operator=(const DagDocument&) = delete;
+  DagDocument(DagDocument&&) = default;
+  DagDocument& operator=(DagDocument&&) = default;
+
+  bool has_root() const { return root_ != kInvalidDagNodeId; }
+  DagNodeId root() const { return root_; }
+
+  /// Distinct DAG nodes (the compressed size).
+  size_t DagNodeCount() const { return nodes_.size(); }
+  /// DAG nodes standing for more than one tree node.
+  size_t SharedSubtreeCount() const { return shared_subtrees_; }
+
+  TypeId type(DagNodeId id) const { return nodes_[id].type; }
+  const std::string& tag(DagNodeId id) const {
+    return types_.tag(nodes_[id].type);
+  }
+  std::string_view text(DagNodeId id) const {
+    const Node& n = nodes_[id];
+    return std::string_view(text_pool_).substr(n.text_offset, n.text_len);
+  }
+  size_t child_count(DagNodeId id) const { return nodes_[id].child_count; }
+  DagNodeId child(DagNodeId id, size_t i) const {
+    return child_pool_[nodes_[id].child_offset + i];
+  }
+  /// Tree nodes in the subtree a DagNode stands for (including itself).
+  uint64_t subtree_nodes(DagNodeId id) const {
+    return nodes_[id].subtree_nodes;
+  }
+  /// How many tree nodes this DagNode stands for.
+  uint64_t instance_count(DagNodeId id) const {
+    return instance_counts_[id];
+  }
+
+  const NodeTypeTable& types() const { return types_; }
+
+  /// Resolves a Dewey label to the DagNode backing that instance;
+  /// kInvalidDagNodeId when the label addresses no node.
+  DagNodeId FindByDewey(const Dewey& dewey) const;
+
+  /// Concatenated subtree text (space-joined, preorder, skipping empty
+  /// texts — byte-identical to Document::SubtreeText on the expansion).
+  /// Identical for every instance of `id`.
+  std::string SubtreeText(DagNodeId id) const;
+
+  /// tag:dewey rendering ("author:0.0"), as Document::Describe.
+  std::string Describe(const Dewey& dewey) const;
+
+  /// Heap bytes held by the compressed structure (pools + node entries);
+  /// the number the compression-ratio metrics and bench_dag_scale report.
+  size_t ResidentBytes() const;
+
+  // --- DocumentView ---
+
+  bool VisitSubtree(
+      const Dewey& dewey,
+      const std::function<void(std::string_view tag, std::string_view text)>&
+          fn) const override;
+  std::string SubtreeTextAt(const Dewey& dewey) const override;
+  /// One fingerprint per DagNode: instances of a shared subtree all report
+  /// the same value, so per-subtree memoization pays off `instance_count`
+  /// times.
+  uint64_t SubtreeFingerprint(const Dewey& dewey) const override;
+  uint64_t LogicalNodeCount() const override {
+    return has_root() ? nodes_[root_].subtree_nodes : 0;
+  }
+
+ private:
+  friend class DagBuilder;
+
+  struct Node {
+    TypeId type = kInvalidTypeId;
+    uint32_t text_offset = 0;
+    uint32_t text_len = 0;
+    uint32_t child_offset = 0;
+    uint32_t child_count = 0;
+    uint64_t subtree_nodes = 1;
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<DagNodeId> child_pool_;
+  std::string text_pool_;
+  // Computed once at Finalize (top-down over the DAG).
+  std::vector<uint64_t> instance_counts_;
+  NodeTypeTable types_;
+  DagNodeId root_ = kInvalidDagNodeId;
+  size_t shared_subtrees_ = 0;
+};
+
+/// Streaming DAG construction with the same preorder building discipline as
+/// Document: create the root, add children under still-open ancestors,
+/// append text to still-open nodes. A node is "open" while it is on the
+/// rightmost root-to-leaf path; adding a sibling at or above its depth
+/// seals it — its subtree is complete, so it is hash-consed into the DAG
+/// and its uncompressed form freed. Peak uncompressed state is therefore
+/// one root-to-leaf path, which is what lets multi-GB logical corpora
+/// build in laptop memory. Touching a sealed node is a programming error
+/// (XR_CHECK).
+class DagBuilder {
+ public:
+  /// Opaque handle to an open node. Stale handles (sealed nodes) are
+  /// detected via the serial number.
+  struct NodeRef {
+    uint32_t depth = 0;
+    uint64_t serial = 0;
+  };
+
+  DagBuilder() = default;
+  DagBuilder(const DagBuilder&) = delete;
+  DagBuilder& operator=(const DagBuilder&) = delete;
+
+  /// Creates the root element. Must be called exactly once, first.
+  NodeRef CreateRoot(std::string_view tag);
+
+  /// Appends a child element under the still-open `parent`, sealing any
+  /// open nodes deeper than it; returns the child's handle.
+  NodeRef AddChild(NodeRef parent, std::string_view tag);
+
+  /// Appends character data to a still-open node (space-joined, exactly as
+  /// Document::AppendText).
+  void AppendText(NodeRef node, std::string_view text);
+
+  /// Seals everything, computes instance counts, publishes the xml.dag_*
+  /// metrics, and returns the finished document. The builder is spent.
+  DagDocument Finalize();
+
+ private:
+  struct OpenNode {
+    TypeId type = kInvalidTypeId;
+    uint64_t serial = 0;
+    std::string text;
+    std::vector<DagNodeId> children;
+  };
+
+  // Content-addressed interning over doc_'s pools: the set stores node ids,
+  // hashed and compared through the node payloads they index.
+  struct NodeContentHash {
+    const DagDocument* doc;
+    size_t operator()(DagNodeId id) const;
+  };
+  struct NodeContentEq {
+    const DagDocument* doc;
+    bool operator()(DagNodeId a, DagNodeId b) const;
+  };
+
+  OpenNode& CheckedOpen(NodeRef ref);
+  /// Seals the deepest open node into the DAG, appending its consed id to
+  /// its parent's child list (or recording it as the root).
+  void SealDeepest();
+  DagNodeId Intern(OpenNode&& node);
+
+  std::vector<OpenNode> path_;
+  uint64_t next_serial_ = 0;
+  DagDocument doc_;
+  std::unordered_set<DagNodeId, NodeContentHash, NodeContentEq> interned_{
+      16, NodeContentHash{&doc_}, NodeContentEq{&doc_}};
+  bool finalized_ = false;
+};
+
+/// Post-parse compression pass: replays `doc` through a DagBuilder. The
+/// result is equivalent under every DocumentView operation and reproduces
+/// doc's NodeTypeTable exactly (same interning order).
+DagDocument CompressDocument(const Document& doc);
+
+}  // namespace xrefine::xml
+
+#endif  // XREFINE_XML_DAG_DOCUMENT_H_

@@ -50,6 +50,46 @@ std::string Document::Describe(NodeId id) const {
   return tag(id) + ":" + nodes_[id].dewey.ToString();
 }
 
+size_t Document::ResidentBytes() const {
+  size_t bytes = sizeof(Document) + nodes_.capacity() * sizeof(Node);
+  for (const Node& n : nodes_) {
+    bytes += n.dewey.components().capacity() * sizeof(uint32_t);
+    bytes += n.children.capacity() * sizeof(NodeId);
+    // Short strings live inline in the std::string object (already counted
+    // in sizeof(Node)); only out-of-line buffers add heap bytes.
+    if (n.text.capacity() > sizeof(std::string)) bytes += n.text.capacity();
+  }
+  return bytes;
+}
+
+bool Document::VisitSubtree(
+    const Dewey& dewey,
+    const std::function<void(std::string_view, std::string_view)>& fn) const {
+  NodeId start = FindByDewey(dewey);
+  if (start == kInvalidNodeId) return false;
+  std::vector<NodeId> stack = {start};
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[cur];
+    fn(tag(cur), n.text);
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return true;
+}
+
+std::string Document::SubtreeTextAt(const Dewey& dewey) const {
+  NodeId id = FindByDewey(dewey);
+  return id == kInvalidNodeId ? std::string() : SubtreeText(id);
+}
+
+uint64_t Document::SubtreeFingerprint(const Dewey& dewey) const {
+  NodeId id = FindByDewey(dewey);
+  return id == kInvalidNodeId ? 0 : static_cast<uint64_t>(id) + 1;
+}
+
 std::string Document::SubtreeText(NodeId id) const {
   std::string out;
   // Iterative preorder to avoid recursion depth limits on deep documents.

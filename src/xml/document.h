@@ -11,6 +11,7 @@
 
 #include "common/statusor.h"
 #include "xml/dewey.h"
+#include "xml/document_view.h"
 #include "xml/node_type.h"
 
 namespace xrefine::xml {
@@ -21,7 +22,11 @@ inline constexpr NodeId kInvalidNodeId = UINT32_MAX;
 /// A mutable XML tree. Nodes are appended under an existing parent; the
 /// Dewey label of a child is its parent's label extended with the child's
 /// ordinal, matching the labelling scheme of the paper's Figure 1.
-class Document {
+///
+/// This is the uncompressed representation; xml::DagDocument holds the same
+/// logical tree with identical subtrees shared. Both serve the query path
+/// through the DocumentView interface.
+class Document : public DocumentView {
  public:
   struct Node {
     NodeId parent = kInvalidNodeId;
@@ -77,6 +82,22 @@ class Document {
   /// Concatenation of all text in the subtree rooted at `id`, separated by
   /// single spaces (useful for result snippets).
   std::string SubtreeText(NodeId id) const;
+
+  /// Approximate heap bytes held by the tree (node structs plus per-node
+  /// Dewey/text/children heap blocks) — the uncompressed baseline the
+  /// DAG-compression metrics and bench_dag_scale compare against.
+  size_t ResidentBytes() const;
+
+  // --- DocumentView ---
+
+  bool VisitSubtree(
+      const Dewey& dewey,
+      const std::function<void(std::string_view tag, std::string_view text)>&
+          fn) const override;
+  std::string SubtreeTextAt(const Dewey& dewey) const override;
+  /// Distinct per node (no sharing to exploit): NodeId + 1.
+  uint64_t SubtreeFingerprint(const Dewey& dewey) const override;
+  uint64_t LogicalNodeCount() const override { return nodes_.size(); }
 
  private:
   std::vector<Node> nodes_;

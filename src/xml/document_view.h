@@ -1,0 +1,53 @@
+// DocumentView: the read-side surface the query path needs from "the
+// document", abstracted so it can be served by either the uncompressed
+// in-memory tree (xml::Document) or the DAG-compressed form
+// (xml::DagDocument) without the engine knowing which one is behind it.
+// Nodes are addressed by Dewey label — the one instance-addressing scheme
+// both representations share — so a view never hands out representation-
+// specific node ids.
+#ifndef XREFINE_XML_DOCUMENT_VIEW_H_
+#define XREFINE_XML_DOCUMENT_VIEW_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "xml/dewey.h"
+
+namespace xrefine::xml {
+
+class DocumentView {
+ public:
+  virtual ~DocumentView() = default;
+
+  /// Preorder walk of the subtree rooted at the node `dewey` addresses,
+  /// invoking `fn(tag, text)` once per node (text is the node's own
+  /// character data, not the subtree's). Returns false — with no calls —
+  /// when the label addresses no node.
+  virtual bool VisitSubtree(
+      const Dewey& dewey,
+      const std::function<void(std::string_view tag, std::string_view text)>&
+          fn) const = 0;
+
+  /// Concatenation of all text in the subtree at `dewey`, separated by
+  /// single spaces (result snippets); empty when the label addresses no
+  /// node.
+  virtual std::string SubtreeTextAt(const Dewey& dewey) const = 0;
+
+  /// A token identifying the subtree's content: equal fingerprints imply
+  /// structurally identical subtrees (same tags, texts, and shape), so
+  /// callers may memoize per-subtree derived work keyed on it. Views over
+  /// shared structure (the DAG) return one fingerprint per distinct
+  /// subtree; the uncompressed Document returns a distinct fingerprint per
+  /// node, which satisfies the contract vacuously. 0 means the label
+  /// addresses no node.
+  virtual uint64_t SubtreeFingerprint(const Dewey& dewey) const = 0;
+
+  /// Number of nodes in the (logical, fully expanded) tree.
+  virtual uint64_t LogicalNodeCount() const = 0;
+};
+
+}  // namespace xrefine::xml
+
+#endif  // XREFINE_XML_DOCUMENT_VIEW_H_

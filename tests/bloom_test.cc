@@ -1,0 +1,92 @@
+// Unit tests for the vocabulary Bloom filter (index/bloom.h): no false
+// negatives ever, false positives near the designed rate, and a lossless
+// encode/decode round trip including the corruption guards.
+#include "index/bloom.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace xrefine::index {
+namespace {
+
+std::vector<std::string> Keys(size_t n, const std::string& prefix) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) keys.push_back(prefix + std::to_string(i));
+  return keys;
+}
+
+TEST(BloomTest, EmptyFilterContainsNothing) {
+  BloomFilter f;
+  EXPECT_FALSE(f.MayContain("anything"));
+  EXPECT_EQ(f.key_count(), 0u);
+
+  BloomFilter sized = BloomFilter::ForExpectedKeys(0);
+  EXPECT_FALSE(sized.MayContain("anything"));
+}
+
+TEST(BloomTest, NoFalseNegatives) {
+  auto keys = Keys(5000, "present-");
+  BloomFilter f = BloomFilter::ForExpectedKeys(keys.size());
+  for (const auto& k : keys) f.Insert(k);
+  EXPECT_EQ(f.key_count(), keys.size());
+  for (const auto& k : keys) {
+    EXPECT_TRUE(f.MayContain(k)) << k;
+  }
+}
+
+TEST(BloomTest, FalsePositiveRateNearDesign) {
+  auto keys = Keys(5000, "present-");
+  BloomFilter f = BloomFilter::ForExpectedKeys(keys.size());
+  for (const auto& k : keys) f.Insert(k);
+
+  size_t false_positives = 0;
+  const size_t probes = 10000;
+  for (size_t i = 0; i < probes; ++i) {
+    if (f.MayContain("absent-" + std::to_string(i))) ++false_positives;
+  }
+  // 10 bits/key, 7 probes => ~0.8% designed rate; 3% leaves slack for
+  // hash-quality variance without letting a broken hash pass.
+  EXPECT_LT(false_positives, probes * 3 / 100)
+      << false_positives << " false positives in " << probes;
+}
+
+TEST(BloomTest, EncodeDecodeRoundTrip) {
+  auto keys = Keys(500, "kw-");
+  BloomFilter f = BloomFilter::ForExpectedKeys(keys.size());
+  for (const auto& k : keys) f.Insert(k);
+
+  auto decoded_or = BloomFilter::Decode(f.Encode());
+  ASSERT_TRUE(decoded_or.ok()) << decoded_or.status();
+  const BloomFilter& g = decoded_or.value();
+  EXPECT_EQ(g.key_count(), keys.size());
+  EXPECT_EQ(g.bit_count(), f.bit_count());
+  for (const auto& k : keys) {
+    EXPECT_TRUE(g.MayContain(k)) << k;
+  }
+  // Identical probe answers, positive or negative.
+  for (size_t i = 0; i < 2000; ++i) {
+    std::string probe = "probe-" + std::to_string(i);
+    EXPECT_EQ(f.MayContain(probe), g.MayContain(probe)) << probe;
+  }
+}
+
+TEST(BloomTest, DecodeRejectsCorruptRecords) {
+  EXPECT_FALSE(BloomFilter::Decode("").ok());
+  EXPECT_FALSE(BloomFilter::Decode("\x07garbage").ok());  // bad version
+
+  BloomFilter f = BloomFilter::ForExpectedKeys(100);
+  f.Insert("hello");
+  std::string good = f.Encode();
+  ASSERT_TRUE(BloomFilter::Decode(good).ok());
+  // Truncation and trailing garbage both fail loudly.
+  EXPECT_FALSE(BloomFilter::Decode(
+                   std::string_view(good).substr(0, good.size() / 2))
+                   .ok());
+  EXPECT_FALSE(BloomFilter::Decode(good + "x").ok());
+}
+
+}  // namespace
+}  // namespace xrefine::index

@@ -1,0 +1,221 @@
+// Pinned regressions for the DAG-compressed document (xml/dag_document.h):
+// boundary shapes the property test found or nearly found — single-node
+// documents, all-identical children, maximum-depth chain sharing — plus the
+// instance-addressing accessors (FindByDewey, SubtreeText, Describe,
+// VisitSubtree, fingerprints) and the xml.dag_* gauges Finalize publishes.
+// The index-level and query-level equivalence lives in
+// tests/slca_property_test.cc.
+#include "xml/dag_document.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "xml/dewey.h"
+#include "xml/document.h"
+
+namespace xrefine::xml {
+namespace {
+
+Dewey D(const std::vector<uint32_t>& components) { return Dewey(components); }
+
+// Collects the (tag, text) visit sequence of a subtree.
+std::vector<std::pair<std::string, std::string>> Visits(const DocumentView& v,
+                                                        const Dewey& at) {
+  std::vector<std::pair<std::string, std::string>> out;
+  EXPECT_TRUE(v.VisitSubtree(at, [&](std::string_view tag,
+                                     std::string_view text) {
+    out.emplace_back(std::string(tag), std::string(text));
+  }));
+  return out;
+}
+
+TEST(DagDocumentTest, SingleNodeDocument) {
+  Document doc;
+  doc.AppendText(doc.CreateRoot("r"), "only words");
+  DagDocument dag = CompressDocument(doc);
+
+  EXPECT_EQ(dag.DagNodeCount(), 1u);
+  EXPECT_EQ(dag.LogicalNodeCount(), 1u);
+  EXPECT_EQ(dag.SharedSubtreeCount(), 0u);
+  EXPECT_EQ(dag.instance_count(dag.root()), 1u);
+  EXPECT_EQ(dag.subtree_nodes(dag.root()), 1u);
+  EXPECT_EQ(dag.tag(dag.root()), "r");
+  EXPECT_EQ(dag.text(dag.root()), "only words");
+
+  EXPECT_EQ(dag.FindByDewey(D({0})), dag.root());
+  EXPECT_EQ(dag.FindByDewey(D({1})), kInvalidDagNodeId);
+  EXPECT_EQ(dag.FindByDewey(D({0, 0})), kInvalidDagNodeId);
+  EXPECT_EQ(dag.SubtreeTextAt(D({0})), doc.SubtreeTextAt(D({0})));
+  EXPECT_EQ(dag.Describe(D({0})), doc.Describe(doc.root()));
+}
+
+TEST(DagDocumentTest, AllIdenticalChildrenCollapseToOneNode) {
+  // 64 byte-identical leaf children: exactly one shared DagNode backs all
+  // of them, and every instance accessor answers as if uncompressed.
+  constexpr size_t kChildren = 64;
+  Document doc;
+  NodeId root = doc.CreateRoot("list");
+  for (size_t i = 0; i < kChildren; ++i) {
+    doc.AppendText(doc.AddChild(root, "item"), "same payload");
+  }
+  DagDocument dag = CompressDocument(doc);
+
+  EXPECT_EQ(dag.DagNodeCount(), 2u);  // root + the one shared child
+  EXPECT_EQ(dag.LogicalNodeCount(), kChildren + 1);
+  EXPECT_EQ(dag.SharedSubtreeCount(), 1u);
+
+  DagNodeId first = dag.FindByDewey(D({0, 0}));
+  ASSERT_NE(first, kInvalidDagNodeId);
+  EXPECT_EQ(dag.instance_count(first), kChildren);
+  uint64_t fingerprint = dag.SubtreeFingerprint(D({0, 0}));
+  ASSERT_NE(fingerprint, 0u);
+  for (uint32_t i = 0; i < kChildren; ++i) {
+    EXPECT_EQ(dag.FindByDewey(D({0, i})), first) << i;
+    EXPECT_EQ(dag.SubtreeFingerprint(D({0, i})), fingerprint) << i;
+    EXPECT_EQ(dag.SubtreeTextAt(D({0, i})), "same payload") << i;
+  }
+  // One past the last child addresses nothing.
+  EXPECT_EQ(dag.FindByDewey(D({0, kChildren})), kInvalidDagNodeId);
+
+  // The uncompressed view deliberately reports distinct fingerprints — no
+  // sharing for memoizers to exploit there.
+  EXPECT_NE(doc.SubtreeFingerprint(D({0, 0})),
+            doc.SubtreeFingerprint(D({0, 1})));
+}
+
+TEST(DagDocumentTest, MaxDepthChainSharing) {
+  // Two byte-identical depth-40 chains under the root: every chain level is
+  // its own distinct subtree (heights differ), but each is shared by the
+  // twin — DagNodeCount stays depth + 1 while the logical tree holds
+  // 2 * depth + 1 nodes.
+  constexpr uint32_t kDepth = 40;
+  Document doc;
+  NodeId root = doc.CreateRoot("r");
+  for (int copy = 0; copy < 2; ++copy) {
+    NodeId n = doc.AddChild(root, "level");
+    for (uint32_t d = 1; d < kDepth; ++d) n = doc.AddChild(n, "level");
+    doc.AppendText(n, "bottom");
+  }
+  DagDocument dag = CompressDocument(doc);
+
+  EXPECT_EQ(dag.DagNodeCount(), kDepth + 1);
+  EXPECT_EQ(dag.LogicalNodeCount(), 2u * kDepth + 1);
+  EXPECT_EQ(dag.SharedSubtreeCount(), kDepth);
+
+  // Walk both chains: each level resolves to the same DagNode with
+  // instance_count 2, and subtree_nodes counts the remaining chain.
+  std::vector<uint32_t> left = {0, 0};
+  std::vector<uint32_t> right = {0, 1};
+  for (uint32_t d = 0; d < kDepth; ++d) {
+    DagNodeId l = dag.FindByDewey(D(left));
+    DagNodeId r = dag.FindByDewey(D(right));
+    ASSERT_NE(l, kInvalidDagNodeId) << d;
+    EXPECT_EQ(l, r) << d;
+    EXPECT_EQ(dag.instance_count(l), 2u) << d;
+    EXPECT_EQ(dag.subtree_nodes(l), kDepth - d) << d;
+    EXPECT_EQ(dag.SubtreeFingerprint(D(left)), dag.SubtreeFingerprint(D(right)))
+        << d;
+    left.push_back(0);
+    right.push_back(0);
+  }
+  EXPECT_EQ(dag.SubtreeTextAt(D({0, 0})), "bottom");
+  EXPECT_EQ(dag.SubtreeTextAt(D({0, 1})), doc.SubtreeTextAt(D({0, 1})));
+}
+
+TEST(DagDocumentTest, InstanceAccessorsMatchUncompressedDocument) {
+  // A small mixed document: repeated subtrees plus one-offs. Every
+  // instance-addressed accessor must agree with the uncompressed Document.
+  Document doc;
+  NodeId root = doc.CreateRoot("bib");
+  for (int i = 0; i < 3; ++i) {
+    NodeId article = doc.AddChild(root, "article");
+    NodeId title = doc.AddChild(article, "title");
+    doc.AppendText(title, "xml keyword search");
+    NodeId author = doc.AddChild(article, "author");
+    doc.AppendText(author, i == 2 ? "unique name" : "shared name");
+  }
+  DagDocument dag = CompressDocument(doc);
+
+  ASSERT_EQ(dag.LogicalNodeCount(), doc.NodeCount());
+  EXPECT_LT(dag.DagNodeCount(), doc.NodeCount());
+  for (NodeId id = 0; id < doc.NodeCount(); ++id) {
+    const Dewey& at = doc.dewey(id);
+    DagNodeId dn = dag.FindByDewey(at);
+    ASSERT_NE(dn, kInvalidDagNodeId) << at.ToString();
+    EXPECT_EQ(dag.tag(dn), doc.tag(id)) << at.ToString();
+    EXPECT_EQ(dag.type(dn), doc.type(id)) << at.ToString();
+    EXPECT_EQ(dag.text(dn), doc.text(id)) << at.ToString();
+    EXPECT_EQ(dag.child_count(dn), doc.children(id).size()) << at.ToString();
+    EXPECT_EQ(dag.SubtreeText(dn), doc.SubtreeText(id)) << at.ToString();
+    EXPECT_EQ(dag.SubtreeTextAt(at), doc.SubtreeTextAt(at)) << at.ToString();
+    EXPECT_EQ(dag.Describe(at), doc.Describe(id)) << at.ToString();
+    EXPECT_EQ(Visits(dag, at), Visits(doc, at)) << at.ToString();
+  }
+  // Fingerprint contract, both directions: equal for instances of a shared
+  // subtree, distinct for structurally different ones.
+  EXPECT_EQ(dag.SubtreeFingerprint(D({0, 0})), dag.SubtreeFingerprint(D({0, 1})));
+  EXPECT_NE(dag.SubtreeFingerprint(D({0, 0})), dag.SubtreeFingerprint(D({0, 2})));
+
+  // VisitSubtree on a label that addresses nothing reports failure.
+  EXPECT_FALSE(dag.VisitSubtree(D({0, 9}), [](std::string_view,
+                                              std::string_view) {}));
+}
+
+TEST(DagDocumentTest, StreamingBuilderMatchesPostParseCompression) {
+  // The streaming DagBuilder and the CompressDocument replay must intern
+  // identically: same node count, same sharing, same types, same text.
+  Document doc;
+  NodeId root = doc.CreateRoot("r");
+  for (int i = 0; i < 4; ++i) {
+    NodeId a = doc.AddChild(root, "a");
+    doc.AppendText(doc.AddChild(a, "b"), "x");
+    doc.AppendText(doc.AddChild(a, "b"), "y");
+  }
+  DagDocument replayed = CompressDocument(doc);
+
+  DagBuilder builder;
+  DagBuilder::NodeRef broot = builder.CreateRoot("r");
+  for (int i = 0; i < 4; ++i) {
+    DagBuilder::NodeRef a = builder.AddChild(broot, "a");
+    builder.AppendText(builder.AddChild(a, "b"), "x");
+    builder.AppendText(builder.AddChild(a, "b"), "y");
+  }
+  DagDocument streamed = builder.Finalize();
+
+  EXPECT_EQ(streamed.DagNodeCount(), replayed.DagNodeCount());
+  EXPECT_EQ(streamed.LogicalNodeCount(), replayed.LogicalNodeCount());
+  EXPECT_EQ(streamed.SharedSubtreeCount(), replayed.SharedSubtreeCount());
+  EXPECT_EQ(streamed.types().size(), replayed.types().size());
+  for (NodeId id = 0; id < doc.NodeCount(); ++id) {
+    const Dewey& at = doc.dewey(id);
+    EXPECT_EQ(streamed.SubtreeTextAt(at), replayed.SubtreeTextAt(at))
+        << at.ToString();
+  }
+  EXPECT_LT(streamed.ResidentBytes(), doc.ResidentBytes());
+}
+
+TEST(DagDocumentTest, FinalizePublishesCompressionGauges) {
+  Document doc;
+  NodeId root = doc.CreateRoot("list");
+  for (int i = 0; i < 16; ++i) {
+    doc.AppendText(doc.AddChild(root, "item"), "same payload");
+  }
+  DagDocument dag = CompressDocument(doc);
+
+  auto& registry = metrics::Registry::Global();
+  EXPECT_EQ(registry.gauge("xml.dag_tree_nodes")->value(),
+            static_cast<int64_t>(dag.LogicalNodeCount()));
+  EXPECT_EQ(registry.gauge("xml.dag_nodes")->value(),
+            static_cast<int64_t>(dag.DagNodeCount()));
+  EXPECT_EQ(registry.gauge("xml.dag_shared_subtrees")->value(),
+            static_cast<int64_t>(dag.SharedSubtreeCount()));
+  EXPECT_EQ(registry.gauge("xml.dag_bytes")->value(),
+            static_cast<int64_t>(dag.ResidentBytes()));
+}
+
+}  // namespace
+}  // namespace xrefine::xml

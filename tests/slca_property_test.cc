@@ -8,12 +8,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
 #include "index/flat_postings.h"
+#include "index/index_builder.h"
+#include "slca/elca.h"
 #include "slca/slca.h"
+#include "xml/dag_document.h"
+#include "xml/document.h"
 
 namespace xrefine::slca {
 namespace {
@@ -240,6 +245,174 @@ TEST(SlcaBoundaryTest, DeepOneBranchChain) {
     EXPECT_EQ(RunAll(lists, algorithm), expected);
   }
 }
+
+// --- DAG-compressed vs uncompressed equivalence ------------------------------
+//
+// The compression contract (DESIGN.md §15): BuildIndexFromDag over
+// CompressDocument(doc) produces an index byte-identical to BuildIndex over
+// doc, so every refinement algorithm — the three SLCA baselines and ELCA —
+// returns identical results over either representation. Checked over random
+// trees in three adversarial families (deep chains, stamped-out identical
+// subtrees, mixed growth), all built in preorder.
+
+// A random preorder tree build: maintain the rightmost root-to-leaf path,
+// descend / pop-to-sibling / append text at random, over tiny tag and word
+// vocabularies so subtrees collide (DAG sharing) and keywords repeat.
+// Shapes: 0 = deep chain-heavy, 1 = repetitive template stamping, 2 = mixed.
+xml::Document RandomDocument(Random& rng, int shape) {
+  static const char* kTags[] = {"a", "b", "c"};
+  static const char* kWords[] = {"x", "y", "z", "w"};
+  auto tag = [&] { return kTags[rng.Uniform(0, 2)]; };
+  auto word = [&] { return kWords[rng.Uniform(0, 3)]; };
+
+  xml::Document doc;
+  xml::NodeId root = doc.CreateRoot("r");
+  if (shape == 1) {
+    // Stamp one small template repeatedly (maximum sharing), plus a few
+    // one-off subtrees so not everything collapses.
+    size_t copies = static_cast<size_t>(rng.Uniform(3, 12));
+    for (size_t c = 0; c < copies; ++c) {
+      xml::NodeId item = doc.AddChild(root, "item");
+      xml::NodeId t = doc.AddChild(item, "t");
+      doc.AppendText(t, "x y");
+      xml::NodeId u = doc.AddChild(item, "u");
+      doc.AppendText(u, "z");
+      if (c + 1 == copies || rng.OneIn(0.2)) {
+        xml::NodeId extra = doc.AddChild(item, tag());
+        doc.AppendText(extra, word());
+      }
+    }
+    return doc;
+  }
+
+  std::vector<xml::NodeId> path = {root};
+  size_t nodes = static_cast<size_t>(
+      shape == 0 ? rng.Uniform(20, 60) : rng.Uniform(5, 80));
+  size_t max_depth = shape == 0 ? 30 : 8;
+  double descend_p = shape == 0 ? 0.7 : 0.45;
+  for (size_t i = 0; i < nodes; ++i) {
+    double move = rng.NextDouble();
+    if (move < descend_p && path.size() < max_depth) {
+      path.push_back(doc.AddChild(path.back(), tag()));
+    } else {
+      // Pop to a random open ancestor and open a sibling there.
+      size_t keep = static_cast<size_t>(
+          rng.Uniform(1, static_cast<int64_t>(path.size())));
+      path.resize(keep);
+      path.push_back(doc.AddChild(path.back(), tag()));
+    }
+    if (rng.OneIn(0.6)) doc.AppendText(path.back(), word());
+    if (rng.OneIn(0.2)) doc.AppendText(path.back(), word());
+  }
+  return doc;
+}
+
+// Flattens the statistics table into a canonical comparable form.
+std::map<std::string, std::map<xml::TypeId, std::pair<uint32_t, uint64_t>>>
+CanonicalStats(const index::StatisticsTable& stats) {
+  std::map<std::string, std::map<xml::TypeId, std::pair<uint32_t, uint64_t>>>
+      out;
+  for (const auto& [keyword, per_type] : stats.per_keyword()) {
+    for (const auto& [type, cell] : per_type) {
+      out[keyword][type] = {cell.df, cell.tf};
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ResultLabels(const std::vector<SlcaResult>& results) {
+  std::vector<std::string> out;
+  for (const auto& r : results) out.push_back(r.dewey.ToString());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class DagEquivalencePropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(DagEquivalencePropertyTest, DagIndexAndQueriesMatchUncompressed) {
+  Random rng(GetParam());
+  for (int round = 0; round < 12; ++round) {
+    int shape = round % 3;
+    xml::Document doc = RandomDocument(rng, shape);
+    xml::DagDocument dag = xml::CompressDocument(doc);
+
+    // Structural equivalence of the views.
+    ASSERT_EQ(dag.LogicalNodeCount(), doc.LogicalNodeCount());
+    ASSERT_EQ(dag.types().size(), doc.types().size());
+    for (xml::TypeId t = 0; t < doc.types().size(); ++t) {
+      ASSERT_EQ(dag.types().tag(t), doc.types().tag(t));
+      ASSERT_EQ(dag.types().parent(t), doc.types().parent(t));
+    }
+    for (xml::NodeId id = 0; id < doc.NodeCount();
+         id += 1 + static_cast<xml::NodeId>(rng.Uniform(0, 3))) {
+      const xml::Dewey& d = doc.dewey(id);
+      ASSERT_EQ(dag.SubtreeTextAt(d), doc.SubtreeTextAt(d))
+          << "round " << round << " dewey " << d.ToString();
+    }
+
+    // Index-level byte identity.
+    auto tree_corpus = index::BuildIndex(doc);
+    auto dag_corpus = index::BuildIndexFromDag(dag);
+    ASSERT_EQ(dag_corpus->index().keyword_count(),
+              tree_corpus->index().keyword_count())
+        << "round " << round << " shape " << shape;
+    for (const auto& [keyword, list] : tree_corpus->index().lists()) {
+      const PostingList* dag_list = dag_corpus->index().Find(keyword);
+      ASSERT_NE(dag_list, nullptr) << keyword;
+      ASSERT_EQ(*dag_list, list) << "round " << round << " kw " << keyword;
+    }
+    ASSERT_EQ(CanonicalStats(dag_corpus->stats()),
+              CanonicalStats(tree_corpus->stats()));
+    const std::map<xml::TypeId, uint32_t> dag_node_counts(
+        dag_corpus->stats().node_counts().begin(),
+        dag_corpus->stats().node_counts().end());
+    const std::map<xml::TypeId, uint32_t> tree_node_counts(
+        tree_corpus->stats().node_counts().begin(),
+        tree_corpus->stats().node_counts().end());
+    ASSERT_EQ(dag_node_counts, tree_node_counts);
+
+    // Query-level equivalence: random conjunctive queries, every
+    // refinement algorithm, plus ELCA.
+    auto vocabulary = tree_corpus->index().Vocabulary();
+    for (int q = 0; q < 6 && !vocabulary.empty(); ++q) {
+      size_t terms = static_cast<size_t>(rng.Uniform(1, 3));
+      std::vector<std::string> query;
+      for (size_t t = 0; t < terms; ++t) {
+        query.push_back(vocabulary[static_cast<size_t>(rng.Uniform(
+            0, static_cast<int64_t>(vocabulary.size()) - 1))]);
+      }
+      for (SlcaAlgorithm algorithm : kAll) {
+        auto tree_or = ComputeSlcaForQuery(query, *tree_corpus,
+                                           tree_corpus->types(), algorithm);
+        auto dag_or = ComputeSlcaForQuery(query, *dag_corpus,
+                                          dag_corpus->types(), algorithm);
+        ASSERT_TRUE(tree_or.ok());
+        ASSERT_TRUE(dag_or.ok());
+        EXPECT_EQ(ResultLabels(dag_or.value()), ResultLabels(tree_or.value()))
+            << "round " << round << " algo " << static_cast<int>(algorithm);
+      }
+      // ELCA over spans pinned from both corpora.
+      std::vector<index::PostingListHandle> tree_handles;
+      std::vector<index::PostingListHandle> dag_handles;
+      std::vector<PostingSpan> tree_spans;
+      std::vector<PostingSpan> dag_spans;
+      for (const std::string& term : query) {
+        tree_handles.push_back(
+            std::move(tree_corpus->FetchList(term)).value());
+        dag_handles.push_back(std::move(dag_corpus->FetchList(term)).value());
+        tree_spans.emplace_back(*tree_handles.back());
+        dag_spans.emplace_back(*dag_handles.back());
+      }
+      EXPECT_EQ(ResultLabels(Elca(dag_spans, dag_corpus->types())),
+                ResultLabels(Elca(tree_spans, tree_corpus->types())))
+          << "round " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DagEquivalencePropertyTest,
+                         ::testing::Values(1, 11, 21, 31, 41, 51, 61, 71));
 
 }  // namespace
 }  // namespace xrefine::slca

@@ -426,5 +426,120 @@ TEST(StoreSourceTest, RepeatedRequestsEventuallyAdmitOverColderVictims) {
   EXPECT_TRUE(source.IsCachedForTesting("w003"));
 }
 
+// --- lazy vocabulary (persisted Bloom filter) -------------------------------
+
+TEST(StoreSourceTest, LazyVocabularyMatchesEagerAnswers) {
+  auto corpus = MakeFigure1Corpus();
+  auto store = SavedStore(*corpus.index);
+  StoreIndexSourceOptions options;
+  options.lazy_vocabulary = true;
+  auto source_or = StoreBackedIndexSource::Open(store.get(), options);
+  ASSERT_TRUE(source_or.ok()) << source_or.status();
+  auto& source = *source_or.value();
+
+  // keyword_count is exact straight from the persisted record.
+  EXPECT_EQ(source.keyword_count(), corpus.index->index().keyword_count());
+
+  // Every real keyword answers exactly as the in-memory index does.
+  for (const std::string& kw : corpus.index->index().Vocabulary()) {
+    EXPECT_TRUE(source.Contains(kw)) << kw;
+    EXPECT_EQ(source.ListSize(kw), corpus.index->index().ListSize(kw)) << kw;
+    auto handle_or = source.FetchList(kw);
+    ASSERT_TRUE(handle_or.ok()) << kw;
+    ASSERT_TRUE(handle_or.value()) << kw;
+    EXPECT_EQ(handle_or.value()->ToPostings(),
+              *corpus.index->index().Find(kw))
+        << kw;
+  }
+
+  // Absent keywords answer absent (possibly via a false-positive descent).
+  EXPECT_FALSE(source.Contains("definitely-not-a-keyword"));
+  EXPECT_EQ(source.ListSize("definitely-not-a-keyword"), 0u);
+  auto absent_or = source.FetchList("definitely-not-a-keyword");
+  ASSERT_TRUE(absent_or.ok());
+  EXPECT_FALSE(absent_or.value());
+
+  // Full enumeration still works (pays the head scan once, lazily).
+  EXPECT_EQ(source.Vocabulary(), corpus.index->index().Vocabulary());
+}
+
+TEST(StoreSourceTest, LazyVocabularyBloomSkipsNegativeProbes) {
+  auto corpus = MakeFigure1Corpus();
+  auto store = SavedStore(*corpus.index);
+  StoreIndexSourceOptions options;
+  options.lazy_vocabulary = true;
+  auto source_or = StoreBackedIndexSource::Open(store.get(), options);
+  ASSERT_TRUE(source_or.ok());
+  auto& source = *source_or.value();
+
+  auto& skips = *metrics::Registry::Global().counter("index.bloom_skips");
+  auto& hits = *metrics::Registry::Global().counter("index.bloom_hits");
+  uint64_t skips_before = skips.value();
+  uint64_t hits_before = hits.value();
+
+  // A flood of misses (the spelling corrector's probe shape): nearly all
+  // are skipped by the bloom filter without touching the tree. A ~1% false
+  // positive rate makes 0 hits overwhelmingly likely across 64 probes, but
+  // tolerate a few.
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(source.Contains("zqx-missing-" + std::to_string(i)));
+  }
+  EXPECT_GE(skips.value() - skips_before, 60u);
+
+  // Present keywords descend (counted as hits) and then memoize: the
+  // second probe answers from the memo without another descent.
+  uint64_t hits_mid = hits.value();
+  EXPECT_TRUE(source.Contains("xml"));
+  EXPECT_GT(hits.value(), hits_mid);
+  uint64_t hits_after_first = hits.value();
+  EXPECT_TRUE(source.Contains("xml"));
+  EXPECT_EQ(source.ListSize("xml"), corpus.index->index().ListSize("xml"));
+  EXPECT_EQ(hits.value(), hits_after_first);
+  (void)hits_before;
+}
+
+TEST(StoreSourceTest, LazyVocabularyFallsBackWithoutBloomRecord) {
+  auto corpus = MakeFigure1Corpus();
+  auto store = SavedStore(*corpus.index);
+  // Simulate a store persisted before the bloom record existed.
+  ASSERT_TRUE(store->Delete(BloomMetaKey()).ok());
+  StoreIndexSourceOptions options;
+  options.lazy_vocabulary = true;
+  auto source_or = StoreBackedIndexSource::Open(store.get(), options);
+  ASSERT_TRUE(source_or.ok()) << source_or.status();
+  auto& source = *source_or.value();
+
+  // Eager fallback: full vocabulary resolved at open.
+  EXPECT_EQ(source.keyword_count(), corpus.index->index().keyword_count());
+  EXPECT_TRUE(source.Contains("xml"));
+  EXPECT_FALSE(source.Contains("nonexistent"));
+  EXPECT_EQ(source.Vocabulary(), corpus.index->index().Vocabulary());
+}
+
+TEST(StoreSourceTest, LazyVocabularyServesQueriesIdentically) {
+  auto corpus = MakeFigure1Corpus();
+  auto store = SavedStore(*corpus.index);
+  StoreIndexSourceOptions lazy_options;
+  lazy_options.lazy_vocabulary = true;
+  auto lazy_or = StoreBackedIndexSource::Open(store.get(), lazy_options);
+  ASSERT_TRUE(lazy_or.ok());
+  auto eager_or = StoreBackedIndexSource::Open(store.get());
+  ASSERT_TRUE(eager_or.ok());
+
+  core::Query q = {"xml", "database"};
+  auto lazy_results = slca::ComputeSlcaForQuery(
+      q, *lazy_or.value(), lazy_or.value()->types(),
+      slca::SlcaAlgorithm::kScanEager);
+  auto eager_results = slca::ComputeSlcaForQuery(
+      q, *eager_or.value(), eager_or.value()->types(),
+      slca::SlcaAlgorithm::kScanEager);
+  ASSERT_TRUE(lazy_results.ok());
+  ASSERT_TRUE(eager_results.ok());
+  ASSERT_EQ(lazy_results.value().size(), eager_results.value().size());
+  for (size_t i = 0; i < lazy_results.value().size(); ++i) {
+    EXPECT_EQ(lazy_results.value()[i].dewey, eager_results.value()[i].dewey);
+  }
+}
+
 }  // namespace
 }  // namespace xrefine::index

@@ -109,6 +109,26 @@ echo "=== [tsan] bench_scan smoke ==="
 (cd "$MATRIX_DIR/tsan" && ./bench/bench_scan --quick >/dev/null)
 echo "=== [tsan] scan smoke OK ==="
 
+# DAG-compression equivalence leg: bench_dag_scale --quick builds each
+# corpus twice (uncompressed tree, streaming DAG), gates on byte-identical
+# SLCA results across both corpora under all three algorithms, then times
+# the DAG path — under TSan for the shared-structure query phase, and (full
+# matrix only) under ASan, where an out-of-bounds child-pool or text-arena
+# index in the hash-consing layer would actually trap. The dedicated
+# equivalence suites (slca_property_test, dag_document_test) already run in
+# every config's ctest pass; this smoke adds the generator-built corpora at
+# bench scale.
+echo "=== [tsan] bench_dag_scale smoke ==="
+(cd "$MATRIX_DIR/tsan" && ./bench/bench_dag_scale --quick \
+    --out dag_smoke.json >/dev/null)
+echo "=== [tsan] dag scale smoke OK ==="
+if [ "$QUICK" -eq 0 ]; then
+  echo "=== [asan] bench_dag_scale smoke ==="
+  (cd "$MATRIX_DIR/asan" && ./bench/bench_dag_scale --quick \
+      --out dag_smoke.json >/dev/null)
+  echo "=== [asan] dag scale smoke OK ==="
+fi
+
 # Prepare-path smoke under TSan: rule generation over the shared
 # VocabularyIndex snapshot (built once, read concurrently by engines) and
 # the TinyLFU-advised posting-list cache, whose sketch shares the cache
