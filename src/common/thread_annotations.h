@@ -99,6 +99,9 @@ enum LockRank : int {
   kLockRankCooccurrence = 40,    // CooccurrenceTable::mu_ (leaf)
   kLockRankStoreSourceVocab = 42,  // StoreBackedIndexSource::vocab_mu_ (leaf)
   kLockRankStoreSourceCache = 44,  // StoreBackedIndexSource::mu_ (leaf)
+  // The result cache probe is a leaf: GetOrCompute drops mu_ before running
+  // the engine, so no engine latch (10..44) is ever acquired under it.
+  kLockRankResultCache = 46,     // core::RefinementCache::mu_ (leaf)
   kLockRankQueryLogRules = 48,   // XRefine::log_rules_mu_ (leaf)
   // Server mutexes rank ABOVE every engine lock: the engine's query path
   // (ranks 10..48) must always run with no server lock held, so holding a

@@ -1,0 +1,233 @@
+#include "core/refinement_cache.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+
+namespace xrefine::core {
+
+namespace {
+
+// A waiter cannot park on the flight condvar indefinitely: its own cancel
+// flag and deadline live outside the condvar, so it polls them on this
+// cadence. 2 ms keeps cancellation latency invisible next to an engine run
+// while costing waiters a handful of wakeups.
+constexpr std::chrono::milliseconds kWaiterPollInterval{2};
+
+// After this many leader failures observed for one probe, stop coalescing
+// and compute directly — bounds the retry churn when the key's computation
+// keeps failing (e.g. the backing store is returning errors).
+constexpr int kMaxCoalesceAttempts = 3;
+
+}  // namespace
+
+RefinementCache::RefinementCache(const index::IndexSource* source,
+                                 ResultCacheOptions options)
+    : source_(source),
+      options_(options),
+      lfu_(options.admission),
+      seen_epoch_(source->epoch()) {
+  auto& r = metrics::Registry::Global();
+  hits_ = r.counter("cache.hits");
+  misses_ = r.counter("cache.misses");
+  coalesced_waits_ = r.counter("cache.coalesced_waits");
+  evictions_ = r.counter("cache.evictions");
+  epoch_invalidations_ = r.counter("cache.epoch_invalidations");
+  probe_us_ = r.histogram("query.cache_probe_us");
+}
+
+std::string RefinementCache::CanonicalKey(const Query& q) {
+  std::vector<std::string> stems;
+  stems.reserve(q.size());
+  for (const std::string& term : q) {
+    // Terms in a Query are usually already tokenized; re-tokenizing makes
+    // the key robust to callers that hand-assemble terms with stray case
+    // or punctuation.
+    for (const std::string& token : text::TokenizeQuery(term)) {
+      stems.push_back(text::PorterStem(token));
+    }
+  }
+  std::sort(stems.begin(), stems.end());
+  stems.erase(std::unique(stems.begin(), stems.end()), stems.end());
+  std::string key;
+  for (const std::string& s : stems) {
+    key += s;
+    key += '\x1f';  // non-token separator: "ab","c" never collides "a","bc"
+  }
+  return key;
+}
+
+void RefinementCache::MaybeSweepEpochLocked() {
+  uint64_t current = source_->epoch();
+  if (current == seen_epoch_) return;
+  cache_.clear();
+  lru_.clear();
+  seen_epoch_ = current;
+  ++generation_;
+  epoch_invalidations_->Increment();
+}
+
+void RefinementCache::InsertLocked(
+    const std::string& key, const Query& q,
+    std::shared_ptr<const RefineOutcome> outcome) {
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    // Racing leaders for the same key, or a canonical collision being
+    // overwritten by the latest exact query: replace in place.
+    it->second.terms = q;
+    it->second.outcome = std::move(outcome);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  if (options_.max_entries > 0 && cache_.size() >= options_.max_entries) {
+    // TinyLFU admission duel: the newcomer must be estimated strictly
+    // hotter than the coldest resident, else it is not worth a slot.
+    const std::string& victim = lru_.back();
+    if (lfu_.Estimate(victim) >= lfu_.Estimate(key)) return;
+    cache_.erase(victim);
+    lru_.pop_back();
+    evictions_->Increment();
+  }
+  lru_.push_front(key);
+  cache_.emplace(key, Entry{q, std::move(outcome), lru_.begin()});
+}
+
+void RefinementCache::InvalidateAll() {
+  MutexLock lock(&mu_);
+  cache_.clear();
+  lru_.clear();
+  ++generation_;
+}
+
+size_t RefinementCache::entries() const {
+  MutexLock lock(&mu_);
+  return cache_.size();
+}
+
+std::shared_ptr<const RefineOutcome> RefinementCache::TryGet(const Query& q) {
+  const std::string key = CanonicalKey(q);
+  auto start = std::chrono::steady_clock::now();
+  std::shared_ptr<const RefineOutcome> hit;
+  {
+    MutexLock lock(&mu_);
+    MaybeSweepEpochLocked();
+    auto it = cache_.find(key);
+    if (it == cache_.end() || it->second.terms != q) {
+      // Deliberately no miss counter, no probe sample, no LFU access: the
+      // caller falls through to GetOrCompute, which accounts this request
+      // once. Recording here too would double every miss's probe count.
+      return nullptr;
+    }
+    lfu_.RecordAccess(key);
+    hits_->Increment();
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    hit = it->second.outcome;
+  }
+  probe_us_->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+  return hit;
+}
+
+RefineOutcome RefinementCache::GetOrCompute(const Query& q,
+                                            const RefineControl* control,
+                                            const ComputeFn& compute) {
+  const std::string key = CanonicalKey(q);
+  for (int attempt = 0;; ++attempt) {
+    std::shared_ptr<const RefineOutcome> hit;
+    std::shared_ptr<InFlight> flight;
+    bool leader = false;
+    uint64_t generation_at_probe = 0;
+    {
+      metrics::ScopedTimer probe_timer(probe_us_);
+      MutexLock lock(&mu_);
+      MaybeSweepEpochLocked();
+      generation_at_probe = generation_;
+      lfu_.RecordAccess(key);
+      auto it = cache_.find(key);
+      if (it != cache_.end() && it->second.terms == q) {
+        hits_->Increment();
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        hit = it->second.outcome;
+      } else if (attempt >= kMaxCoalesceAttempts) {
+        leader = true;  // repeated leader failures: compute uncoalesced
+      } else {
+        auto fit = inflight_.find(key);
+        if (fit == inflight_.end()) {
+          flight = std::make_shared<InFlight>(q);
+          inflight_.emplace(key, flight);
+          leader = true;
+        } else if (fit->second->terms == q) {
+          flight = fit->second;  // join the flight as a waiter
+        } else {
+          // Canonical collision with a different exact query in flight:
+          // compute independently, publish nothing.
+          leader = true;
+        }
+      }
+    }
+    if (hit != nullptr) return *hit;
+
+    if (leader) {
+      misses_->Increment();
+      RefineOutcome outcome = compute();
+      std::shared_ptr<const RefineOutcome> shared;
+      if (outcome.status.ok()) {
+        shared = std::make_shared<const RefineOutcome>(outcome);
+      }
+      {
+        MutexLock lock(&mu_);
+        MaybeSweepEpochLocked();
+        // A wholesale clear (epoch bump, AttachQueryLog) while we computed
+        // means this result may describe retired state: serve it to the
+        // caller and this flight's waiters (they all asked before the
+        // clear) but keep it out of the map.
+        if (shared != nullptr && generation_ == generation_at_probe) {
+          InsertLocked(key, q, shared);
+        }
+        if (flight != nullptr) {
+          auto fit = inflight_.find(key);
+          if (fit != inflight_.end() && fit->second == flight) {
+            inflight_.erase(fit);
+          }
+        }
+      }
+      if (flight != nullptr) {
+        {
+          std::lock_guard<std::mutex> fl(flight->mu);
+          flight->done = true;
+          flight->result = shared;
+        }
+        flight->cv.notify_all();
+      }
+      return outcome;
+    }
+
+    // Waiter: pin the flight and park until the leader publishes, polling
+    // our own control so one caller's cancellation never blocks on — or
+    // propagates to — anyone else.
+    coalesced_waits_->Increment();
+    std::shared_ptr<const RefineOutcome> result;
+    {
+      std::unique_lock<std::mutex> fl(flight->mu);
+      while (!flight->done) {
+        if (control != nullptr && control->ShouldStop()) {
+          return StoppedOutcome(RefineStats{});
+        }
+        flight->cv.wait_for(fl, kWaiterPollInterval);
+      }
+      result = flight->result;
+    }
+    if (result != nullptr) return *result;
+    // Leader failed (its deadline, its store error): loop — the next probe
+    // finds the flight gone and elects a new leader, or hits an entry a
+    // racing leader inserted meanwhile.
+  }
+}
+
+}  // namespace xrefine::core

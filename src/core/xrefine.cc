@@ -58,13 +58,25 @@ XRefine::XRefine(const index::IndexSource* corpus,
                  const text::Lexicon* lexicon, XRefineOptions options)
     : corpus_(corpus),
       options_(std::move(options)),
-      rule_generator_(corpus, lexicon, options_.rules) {}
+      rule_generator_(corpus, lexicon, options_.rules) {
+  if (options_.result_cache.enabled) {
+    result_cache_ =
+        std::make_unique<RefinementCache>(corpus, options_.result_cache);
+  }
+}
 
 void XRefine::AttachQueryLog(const QueryLog& log,
                              const LogMiningOptions& options) {
   RuleSet mined = log.MineRules(options);  // mine outside the lock
-  MutexLock lock(&log_rules_mu_);
-  log_rules_ = std::move(mined);
+  {
+    MutexLock lock(&log_rules_mu_);
+    log_rules_ = std::move(mined);
+  }
+  // Cached outcomes were computed under the old rule set; drop them all.
+  // Queries racing this call may still serve (or coalesce onto) pre-swap
+  // results, matching the class contract: each query sees either the old
+  // or the new rule set atomically.
+  if (result_cache_ != nullptr) result_cache_->InvalidateAll();
 }
 
 RefineInput XRefine::Prepare(const Query& q) const {
@@ -159,6 +171,15 @@ RefineOutcome XRefine::Run(const Query& q) const { return Run(q, nullptr); }
 
 RefineOutcome XRefine::Run(const Query& q,
                            const RefineControl* control) const {
+  if (result_cache_ != nullptr) {
+    return result_cache_->GetOrCompute(
+        q, control, [this, &q, control] { return RunUncached(q, control); });
+  }
+  return RunUncached(q, control);
+}
+
+RefineOutcome XRefine::RunUncached(const Query& q,
+                                   const RefineControl* control) const {
   if (control != nullptr && control->ShouldStop()) {
     return StoppedOutcome(RefineStats{});
   }

@@ -13,6 +13,7 @@
 #include "core/partition_refine.h"
 #include "core/query_log.h"
 #include "core/refine_common.h"
+#include "core/refinement_cache.h"
 #include "core/rule_generator.h"
 #include "core/short_list_eager.h"
 #include "core/stack_refine.h"
@@ -46,6 +47,14 @@ struct XRefineOptions {
   /// Snap each result to its enclosing search-for entity (XSeek-style
   /// return-node inference, return_node.h).
   bool infer_return_nodes = false;
+  /// Whole-outcome result cache (refinement_cache.h). Off by default —
+  /// library users and ablation benches keep exact per-run semantics; the
+  /// daemon and the server load bench enable it. When enabled, Run() serves
+  /// repeats of the same exact query from the cache (stamped with the
+  /// source epoch) and coalesces concurrent identical queries into one
+  /// engine run. Cache hits bypass the post-prepare fan-out gate and record
+  /// no per-stage query metrics (see DESIGN.md §16 accounting rules).
+  ResultCacheOptions result_cache;
 };
 
 /// Thread-safety contract (machine-checked under XREFINE_THREAD_SAFETY):
@@ -103,9 +112,15 @@ class XRefine {
   const XRefineOptions& options() const { return options_; }
   const RuleGenerator& rule_generator() const { return rule_generator_; }
   const index::IndexSource& corpus() const { return *corpus_; }
+  /// The result cache, or nullptr when options.result_cache.enabled was
+  /// false at construction (introspection for tests and the daemon).
+  RefinementCache* result_cache() const { return result_cache_.get(); }
 
  private:
   RefineOutcome Dispatch(const RefineInput& input) const;
+  /// The pre-cache Run body: always prepares and scans. The cache's compute
+  /// callback lands here; so do all runs when the cache is disabled.
+  RefineOutcome RunUncached(const Query& q, const RefineControl* control) const;
 
   const index::IndexSource* corpus_;
   XRefineOptions options_;
@@ -114,6 +129,8 @@ class XRefine {
   // AttachQueryLog, read by Prepare — the engine's only mutable member.
   mutable Mutex log_rules_mu_{kLockRankQueryLogRules, "XRefine::log_rules_mu_"};
   RuleSet log_rules_ GUARDED_BY(log_rules_mu_);
+  // Internally synchronized; null when disabled.
+  std::unique_ptr<RefinementCache> result_cache_;
 };
 
 }  // namespace xrefine::core

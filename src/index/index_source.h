@@ -13,6 +13,8 @@
 #ifndef XREFINE_INDEX_INDEX_SOURCE_H_
 #define XREFINE_INDEX_INDEX_SOURCE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -140,7 +142,27 @@ class IndexSource {
   /// structure.
   virtual const xml::DocumentView* document_view() const { return nullptr; }
 
+  /// Snapshot epoch: monotonically increasing stamp that changes whenever
+  /// the content this source serves could differ from what it served
+  /// before (e.g. a lazy-vocabulary source finishing its background
+  /// enumeration, a future incremental-ingest commit). Derived caches —
+  /// notably core::RefinementCache — key their entries by this value and
+  /// invalidate wholesale on a mismatch, so a stale refinement result can
+  /// never outlive the index state it was computed from.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Forces an epoch bump; lets tests exercise derived-cache invalidation
+  /// without reproducing a real mutation.
+  void BumpEpochForTesting() const { BumpEpoch(); }
+
+ protected:
+  /// Implementations call this after any change observable through the
+  /// read API (vocabulary completion, reopened store segment, ...).
+  void BumpEpoch() const { epoch_.fetch_add(1, std::memory_order_acq_rel); }
+
  private:
+  mutable std::atomic<uint64_t> epoch_{0};
+
   // One snapshot per requested edit distance (in practice one or two
   // distinct values process-wide). Built under the mutex: construction is
   // a one-time engine-startup cost and serialising it prevents duplicate

@@ -2,6 +2,8 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -17,6 +19,10 @@ void Client::Close() {
     ::close(fd_);
     fd_ = -1;
   }
+  pending_.clear();
+  tx_buf_.clear();
+  rx_buf_.clear();
+  rx_pos_ = 0;
 }
 
 Status Client::Connect(const std::string& host, uint16_t port) {
@@ -41,6 +47,11 @@ Status Client::Connect(const std::string& host, uint16_t port) {
     Close();
     return st;
   }
+  // Pipelined sends are back-to-back small frames; without TCP_NODELAY,
+  // Nagle holds all but the first behind the server's delayed ACK and the
+  // window degrades to lockstep. Best-effort.
+  int one = 1;
+  (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return Status::OK();
 }
 
@@ -59,53 +70,83 @@ Status Client::SendAll(const std::string& frame) {
   return Status::OK();
 }
 
-Status Client::ReadFrame(FrameHeader* header, std::string* payload) {
-  char header_bytes[kFrameHeaderSize];
-  size_t done = 0;
-  while (done < kFrameHeaderSize) {
-    ssize_t r = ::recv(fd_, header_bytes + done, kFrameHeaderSize - done, 0);
-    if (r > 0) {
-      done += static_cast<size_t>(r);
-      continue;
-    }
-    if (r == 0) return Status::IoError("connection closed by server");
-    if (errno == EINTR) continue;
-    return Status::IoError(std::string("recv: ") + std::strerror(errno));
+Status Client::WaitReadable(std::chrono::steady_clock::time_point deadline) {
+  if (deadline == std::chrono::steady_clock::time_point{}) {
+    return Status::OK();  // no receive deadline configured: block in recv
   }
-  XREFINE_RETURN_IF_ERROR(DecodeFrameHeader(
-      std::string_view(header_bytes, kFrameHeaderSize), header));
-  payload->resize(header->payload_len);
-  done = 0;
-  while (done < payload->size()) {
-    ssize_t r = ::recv(fd_, payload->data() + done, payload->size() - done, 0);
-    if (r > 0) {
-      done += static_cast<size_t>(r);
-      continue;
+  for (;;) {
+    auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      return Status::DeadlineExceeded(
+          "no response within " + std::to_string(recv_timeout_ms_) + "ms");
     }
-    if (r == 0) return Status::IoError("connection closed mid-frame");
+    auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count();
+    pollfd p{};
+    p.fd = fd_;
+    p.events = POLLIN;
+    // +1: never round a positive remainder down to a zero (busy) timeout.
+    int rc = ::poll(&p, 1, static_cast<int>(remaining) + 1);
+    if (rc > 0) return Status::OK();  // readable (or HUP/ERR: recv reports)
+    if (rc == 0) continue;            // re-check the deadline, then give up
     if (errno == EINTR) continue;
-    return Status::IoError(std::string("recv: ") + std::strerror(errno));
+    return Status::IoError(std::string("poll: ") + std::strerror(errno));
   }
-  return Status::OK();
 }
 
-Status Client::Refine(const std::string& query, uint32_t deadline_ms,
-                      RefineResult* out) {
-  if (fd_ < 0) return Status::InvalidArgument("client not connected");
-  uint64_t id = next_request_id_++;
-  RefineRequest request;
-  request.deadline_ms = deadline_ms;
-  request.query = query;
-  XREFINE_RETURN_IF_ERROR(SendAll(EncodeRefineRequestFrame(id, request)));
-
-  FrameHeader header;
-  std::string payload;
-  XREFINE_RETURN_IF_ERROR(ReadFrame(&header, &payload));
-  if (header.request_id != id) {
-    return Status::Corruption("response id " +
-                              std::to_string(header.request_id) +
-                              " does not match request " + std::to_string(id));
+Status Client::ReadFrame(FrameHeader* header, std::string* payload) {
+  // One deadline spans the whole frame: a server that wedges mid-frame is
+  // exactly as stalled as one that never starts answering.
+  std::chrono::steady_clock::time_point deadline{};
+  if (recv_timeout_ms_ > 0) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(recv_timeout_ms_);
   }
+  for (;;) {
+    // Serve from the receive buffer first: one kernel read often carries
+    // several pipelined responses, and re-entering recv() per frame would
+    // cost a syscall pair per response.
+    size_t buffered = rx_buf_.size() - rx_pos_;
+    if (buffered >= kFrameHeaderSize) {
+      XREFINE_RETURN_IF_ERROR(DecodeFrameHeader(
+          std::string_view(rx_buf_.data() + rx_pos_, kFrameHeaderSize),
+          header));
+      if (buffered >= kFrameHeaderSize + header->payload_len) {
+        payload->assign(rx_buf_, rx_pos_ + kFrameHeaderSize,
+                        header->payload_len);
+        rx_pos_ += kFrameHeaderSize + header->payload_len;
+        if (rx_pos_ == rx_buf_.size()) {
+          rx_buf_.clear();
+          rx_pos_ = 0;
+        }
+        return Status::OK();
+      }
+    }
+    if (rx_pos_ > 0) {
+      rx_buf_.erase(0, rx_pos_);  // compact before growing
+      rx_pos_ = 0;
+    }
+    XREFINE_RETURN_IF_ERROR(WaitReadable(deadline));
+    char chunk[16384];
+    ssize_t r = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (r > 0) {
+      rx_buf_.append(chunk, static_cast<size_t>(r));
+      continue;
+    }
+    if (r == 0) {
+      return Status::IoError(rx_buf_.empty()
+                                 ? "connection closed by server"
+                                 : "connection closed mid-frame");
+    }
+    if (errno == EINTR) continue;
+    return Status::IoError(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+Status Client::ClassifyResponse(const FrameHeader& header,
+                                const std::string& payload,
+                                RefineResult* out) {
   switch (header.type) {
     case FrameType::kRefineResponse:
       out->kind = RefineResult::Kind::kRefined;
@@ -123,8 +164,86 @@ Status Client::Refine(const std::string& query, uint32_t deadline_ms,
   }
 }
 
+Status Client::Refine(const std::string& query, uint32_t deadline_ms,
+                      RefineResult* out) {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  if (!pending_.empty()) {
+    // A pipelined response would arrive before ours and desynchronise the
+    // stream; drain with Poll first.
+    return Status::InvalidArgument(
+        "serial Refine with pipelined requests pending");
+  }
+  uint64_t id = next_request_id_++;
+  RefineRequest request;
+  request.deadline_ms = deadline_ms;
+  request.query = query;
+  XREFINE_RETURN_IF_ERROR(SendAll(EncodeRefineRequestFrame(id, request)));
+
+  FrameHeader header;
+  std::string payload;
+  XREFINE_RETURN_IF_ERROR(ReadFrame(&header, &payload));
+  if (header.request_id != id) {
+    return Status::Corruption("response id " +
+                              std::to_string(header.request_id) +
+                              " does not match request " + std::to_string(id));
+  }
+  return ClassifyResponse(header, payload, out);
+}
+
+Status Client::SendNowait(const std::string& query, uint32_t deadline_ms,
+                          uint64_t* request_id) {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  if (pipeline_depth_ != 0 && pending_.size() >= pipeline_depth_) {
+    return Status::Unavailable("pipeline window full at depth " +
+                               std::to_string(pipeline_depth_));
+  }
+  uint64_t id = next_request_id_++;
+  RefineRequest request;
+  request.deadline_ms = deadline_ms;
+  request.query = query;
+  tx_buf_ += EncodeRefineRequestFrame(id, request);
+  pending_.insert(id);
+  if (request_id != nullptr) *request_id = id;
+  // Bound the batch: a pathological window of huge queries still flushes
+  // incrementally instead of ballooning the buffer.
+  if (tx_buf_.size() >= size_t{64} << 10) return Flush();
+  return Status::OK();
+}
+
+Status Client::Flush() {
+  if (tx_buf_.empty()) return Status::OK();
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  std::string frames;
+  frames.swap(tx_buf_);  // a send failure does not retry stale bytes
+  return SendAll(frames);
+}
+
+Status Client::Poll(PipelinedResult* out) {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  if (pending_.empty()) {
+    return Status::InvalidArgument("no pipelined requests pending");
+  }
+  XREFINE_RETURN_IF_ERROR(Flush());
+  FrameHeader header;
+  std::string payload;
+  XREFINE_RETURN_IF_ERROR(ReadFrame(&header, &payload));
+  auto it = pending_.find(header.request_id);
+  if (it == pending_.end()) {
+    return Status::Corruption("response id " +
+                              std::to_string(header.request_id) +
+                              " matches no pending request");
+  }
+  pending_.erase(it);
+  out->request_id = header.request_id;
+  return ClassifyResponse(header, payload, &out->result);
+}
+
 Status Client::Ping() {
   if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  if (!pending_.empty()) {
+    return Status::InvalidArgument(
+        "Ping with pipelined requests pending");
+  }
   uint64_t id = next_request_id_++;
   XREFINE_RETURN_IF_ERROR(SendAll(EncodeEmptyFrame(FrameType::kPing, id)));
   FrameHeader header;
@@ -138,6 +257,10 @@ Status Client::Ping() {
 
 Status Client::StatsJson(std::string* out) {
   if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  if (!pending_.empty()) {
+    return Status::InvalidArgument(
+        "StatsJson with pipelined requests pending");
+  }
   uint64_t id = next_request_id_++;
   XREFINE_RETURN_IF_ERROR(
       SendAll(EncodeEmptyFrame(FrameType::kStatsRequest, id)));

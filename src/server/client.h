@@ -1,13 +1,24 @@
-// Blocking client for the refinement daemon: one TCP connection, one
-// outstanding request at a time (the load driver opens one client per
-// simulated connection). Transport failures come back as non-OK Status;
-// server-side refusals (reject, shed, query error) come back OK with a
-// typed RefineResult so callers can tell "the wire broke" from "the server
-// said no".
+// Blocking client for the refinement daemon: one TCP connection, used in
+// one of two modes. Serial mode (Refine/Ping/StatsJson) keeps one request
+// outstanding and blocks for its answer. Pipelined mode keeps a depth-k
+// window of refine requests on the wire (SendNowait) and collects answers
+// in whatever order the server completes them (Poll) — the frame protocol's
+// request ids carry the correlation, so a slow query never holds up the
+// answers behind it. The two modes must not interleave: serial calls refuse
+// to run while pipelined requests are pending.
+//
+// Transport failures come back as non-OK Status; server-side refusals
+// (reject, shed, query error) come back OK with a typed RefineResult so
+// callers can tell "the wire broke" from "the server said no". A receive
+// deadline (set_recv_timeout_ms) bounds every blocking read: a stalled or
+// wedged daemon surfaces as kDeadlineExceeded instead of hanging the
+// caller forever.
 #ifndef XREFINE_SERVER_CLIENT_H_
 #define XREFINE_SERVER_CLIENT_H_
 
+#include <chrono>
 #include <cstdint>
+#include <set>
 #include <string>
 #include <utility>
 
@@ -29,6 +40,16 @@ class Client {
       Close();
       fd_ = other.fd_;
       next_request_id_ = other.next_request_id_;
+      recv_timeout_ms_ = other.recv_timeout_ms_;
+      pipeline_depth_ = other.pipeline_depth_;
+      pending_ = std::move(other.pending_);
+      tx_buf_ = std::move(other.tx_buf_);
+      rx_buf_ = std::move(other.rx_buf_);
+      rx_pos_ = other.rx_pos_;
+      other.pending_.clear();
+      other.tx_buf_.clear();
+      other.rx_buf_.clear();
+      other.rx_pos_ = 0;
       other.fd_ = -1;
     }
     return *this;
@@ -37,10 +58,27 @@ class Client {
   /// Connects to the daemon (numeric loopback host, e.g. "127.0.0.1").
   Status Connect(const std::string& host, uint16_t port);
 
-  /// Closes the connection; safe to call repeatedly.
+  /// Closes the connection; safe to call repeatedly. Pending pipelined
+  /// requests are forgotten.
   void Close();
 
   bool connected() const { return fd_ >= 0; }
+
+  /// Receive deadline applied to every blocking read (poll-based), covering
+  /// the whole frame: a server that stops mid-header or mid-payload still
+  /// times out. 0 (default) blocks forever — the pre-deadline behavior.
+  /// On kDeadlineExceeded the stream position is indeterminate (a frame may
+  /// be half-read); the only safe continuation is Close().
+  void set_recv_timeout_ms(uint32_t ms) { recv_timeout_ms_ = ms; }
+
+  /// Max requests on the wire in pipelined mode; SendNowait refuses past
+  /// it. Keep at or below the server's max_inflight_per_session, or the
+  /// overflow comes back as RETRY_AFTER shed responses.
+  void set_pipeline_depth(size_t depth) { pipeline_depth_ = depth; }
+  size_t pipeline_depth() const { return pipeline_depth_; }
+
+  /// Pipelined requests sent but not yet answered.
+  size_t pending() const { return pending_.size(); }
 
   struct RefineResult {
     enum class Kind {
@@ -55,9 +93,38 @@ class Client {
   };
 
   /// Sends one refine request and blocks for its answer. deadline_ms = 0
-  /// leaves the deadline to the server's cap.
+  /// leaves the deadline to the server's cap. Refuses while pipelined
+  /// requests are pending (their response would arrive first).
   Status Refine(const std::string& query, uint32_t deadline_ms,
                 RefineResult* out);
+
+  // --- pipelined mode ---
+
+  /// Queues one refine request without waiting for any response. The frame
+  /// is buffered, not yet on the wire: Poll() (or an explicit Flush())
+  /// writes every buffered frame in one kernel call, so filling the window
+  /// costs one syscall instead of one per request. Fails with kUnavailable
+  /// when the window is full (Poll first). On success `*request_id`
+  /// identifies the request for correlation with Poll results.
+  Status SendNowait(const std::string& query, uint32_t deadline_ms,
+                    uint64_t* request_id);
+
+  /// Pushes buffered SendNowait frames to the wire now. Poll calls this
+  /// implicitly; explicit use only matters when the caller wants requests
+  /// moving before it is ready to collect answers.
+  Status Flush();
+
+  /// Result of one pipelined request, in server completion order.
+  struct PipelinedResult {
+    uint64_t request_id = 0;
+    RefineResult result;
+  };
+
+  /// Blocks for the next response to ANY pending request — responses
+  /// arrive in the server's completion order, not send order. Fails with
+  /// kInvalidArgument when nothing is pending, kCorruption when the server
+  /// answers an id that was never sent.
+  Status Poll(PipelinedResult* out);
 
   /// Liveness round-trip.
   Status Ping();
@@ -68,9 +135,26 @@ class Client {
  private:
   Status SendAll(const std::string& frame);
   Status ReadFrame(FrameHeader* header, std::string* payload);
+  /// Waits until fd_ is readable or `deadline` passes (kDeadlineExceeded).
+  /// The epoch time_point means "no deadline".
+  Status WaitReadable(std::chrono::steady_clock::time_point deadline);
+  /// Decodes one already-read response frame into a RefineResult.
+  Status ClassifyResponse(const FrameHeader& header,
+                          const std::string& payload, RefineResult* out);
 
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
+  uint32_t recv_timeout_ms_ = 0;
+  size_t pipeline_depth_ = 16;
+  std::set<uint64_t> pending_;
+  /// Send buffer: SendNowait appends frames here; Flush/Poll write the lot
+  /// with one syscall (batched pipelining).
+  std::string tx_buf_;
+  /// Receive buffer: one kernel read may carry several pipelined response
+  /// frames; ReadFrame consumes from here and only hits recv() when the
+  /// buffer lacks a full frame. [rx_pos_, rx_buf_.size()) is unconsumed.
+  std::string rx_buf_;
+  size_t rx_pos_ = 0;
 };
 
 }  // namespace xrefine::server

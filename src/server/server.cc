@@ -1,6 +1,7 @@
 #include "server/server.h"
 
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -14,24 +15,6 @@
 namespace xrefine::server {
 
 namespace {
-
-/// Reads exactly `n` bytes, resuming across EINTR and short reads. Returns
-/// 1 on success, 0 on clean EOF before any byte, -1 on error or a stream
-/// truncated mid-frame.
-int ReadFull(int fd, char* buf, size_t n) {
-  size_t done = 0;
-  while (done < n) {
-    ssize_t r = ::recv(fd, buf + done, n - done, 0);
-    if (r > 0) {
-      done += static_cast<size_t>(r);
-      continue;
-    }
-    if (r == 0) return done == 0 ? 0 : -1;  // EOF; mid-frame EOF is an error
-    if (errno == EINTR) continue;
-    return -1;
-  }
-  return 1;
-}
 
 void IgnoreSigpipeOnce() {
   // A dead client must never kill the daemon: MSG_NOSIGNAL covers send(),
@@ -47,6 +30,28 @@ std::string JoinTerms(const core::Query& q) {
     out += term;
   }
   return out;
+}
+
+// One conversion for both serving paths (worker and inline cache hit), so
+// a cached outcome encodes byte-identically wherever it is served from.
+RefineResponse MakeRefineResponse(const core::RefineOutcome& outcome,
+                                  bool degraded) {
+  RefineResponse response;
+  response.degraded = degraded;
+  response.needs_refinement = outcome.needs_refinement;
+  response.prepare_us =
+      static_cast<uint64_t>(outcome.query_stats.prepare_ms * 1e3);
+  response.scan_us = static_cast<uint64_t>(outcome.query_stats.scan_ms * 1e3);
+  response.rank_us = static_cast<uint64_t>(outcome.query_stats.rank_ms * 1e3);
+  response.refined.reserve(outcome.refined.size());
+  for (const core::RankedRq& rq : outcome.refined) {
+    RefineResponse::Entry entry;
+    entry.query = JoinTerms(rq.rq.keywords);
+    entry.score = rq.rank;
+    entry.result_count = static_cast<uint32_t>(rq.results.size());
+    response.refined.push_back(std::move(entry));
+  }
+  return response;
 }
 
 }  // namespace
@@ -82,6 +87,10 @@ Server::Server(const core::XRefine* primary, const core::XRefine* degraded,
       degraded_count_(metrics::Registry::Global().counter("server.degraded")),
       rejected_(metrics::Registry::Global().counter("server.rejected")),
       shed_(metrics::Registry::Global().counter("server.shed")),
+      session_capped_(
+          metrics::Registry::Global().counter("server.session_capped")),
+      inline_hits_(
+          metrics::Registry::Global().counter("server.inline_hits")),
       bad_frames_(metrics::Registry::Global().counter("server.bad_frames")),
       send_errors_(metrics::Registry::Global().counter("server.send_errors")),
       disconnects_(metrics::Registry::Global().counter("server.disconnects")),
@@ -186,6 +195,12 @@ void Server::AcceptLoop() {
       if (errno == ECONNABORTED) continue;
       return;
     }
+    // Frames are small and pipelined clients keep many on the wire; Nagle
+    // would batch our responses behind the peer's delayed ACKs and turn a
+    // depth-k window into lockstep. Best-effort: a failure just means
+    // default batching.
+    int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto session = std::make_shared<Session>();
     session->fd = fd;
     session->id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
@@ -209,14 +224,48 @@ void Server::RemoveSession(uint64_t id) {
 }
 
 void Server::SessionLoop(std::shared_ptr<Session> session) {
-  char header_bytes[kFrameHeaderSize];
+  // Buffered reads: a pipelined client lands many small frames per kernel
+  // read, so consume from a session-local buffer and only call recv() when
+  // it lacks the bytes the next frame needs. [rx_pos, rx.size()) is
+  // unconsumed.
+  std::string rx;
+  size_t rx_pos = 0;
+  // Batched inline responses (cache-hit fast path): HandleRefineRequest
+  // appends frames here and flush_tx writes the lot in one send, amortising
+  // the syscall across every hit answered from one read batch. Flushed
+  // before any blocking recv — a buffered answer must never wait on the
+  // client's next request.
+  std::string tx;
+  auto flush_tx = [&] {
+    if (tx.empty()) return;
+    std::string frames;
+    frames.swap(tx);
+    if (!SendFrame(*session, frames).ok()) send_errors_->Increment();
+  };
+  auto fill_to = [&](size_t need) -> bool {
+    while (rx.size() - rx_pos < need) {
+      if (rx_pos > 0) {
+        rx.erase(0, rx_pos);
+        rx_pos = 0;
+      }
+      flush_tx();
+      char chunk[16384];
+      ssize_t r = ::recv(session->fd, chunk, sizeof chunk, 0);
+      if (r > 0) {
+        rx.append(chunk, static_cast<size_t>(r));
+        continue;
+      }
+      if (r < 0 && errno == EINTR) continue;
+      return false;  // peer closed, connection error, or Close() shutdown
+    }
+    return true;
+  };
   std::string payload;
   while (!session->closed.load(std::memory_order_relaxed)) {
-    int r = ReadFull(session->fd, header_bytes, kFrameHeaderSize);
-    if (r <= 0) break;
+    if (!fill_to(kFrameHeaderSize)) break;
     FrameHeader header;
     Status st = DecodeFrameHeader(
-        std::string_view(header_bytes, kFrameHeaderSize), &header);
+        std::string_view(rx.data() + rx_pos, kFrameHeaderSize), &header);
     if (!st.ok()) {
       // Framing is lost; there is no way to find the next frame boundary.
       // Best-effort error, then drop the connection.
@@ -224,10 +273,12 @@ void Server::SessionLoop(std::shared_ptr<Session> session) {
       (void)SendFrame(*session, EncodeErrorFrame(0, st));
       break;
     }
-    payload.resize(header.payload_len);
-    if (header.payload_len > 0 &&
-        ReadFull(session->fd, payload.data(), payload.size()) != 1) {
-      break;
+    if (!fill_to(kFrameHeaderSize + header.payload_len)) break;
+    payload.assign(rx, rx_pos + kFrameHeaderSize, header.payload_len);
+    rx_pos += kFrameHeaderSize + header.payload_len;
+    if (rx_pos == rx.size()) {
+      rx.clear();
+      rx_pos = 0;
     }
     switch (header.type) {
       case FrameType::kPing:
@@ -249,7 +300,7 @@ void Server::SessionLoop(std::shared_ptr<Session> session) {
                           EncodeErrorFrame(header.request_id, decode));
           break;
         }
-        HandleRefineRequest(session, header.request_id, request);
+        HandleRefineRequest(session, header.request_id, request, &tx);
         break;
       }
       default:
@@ -264,6 +315,7 @@ void Server::SessionLoop(std::shared_ptr<Session> session) {
         break;
     }
   }
+  flush_tx();
   session->Close();
   RemoveSession(session->id);
   sessions_gauge_->Add(-1);
@@ -272,13 +324,54 @@ void Server::SessionLoop(std::shared_ptr<Session> session) {
 
 void Server::HandleRefineRequest(const std::shared_ptr<Session>& session,
                                  uint64_t request_id,
-                                 const RefineRequest& request) {
+                                 const RefineRequest& request,
+                                 std::string* tx) {
   requests_->Increment();
   core::Query query = text::TokenizeQuery(request.query);
   if (query.empty()) {
     (void)SendFrame(*session,
                     EncodeErrorFrame(request_id, Status::InvalidArgument(
                                                      "empty query")));
+    return;
+  }
+
+  // Fast path: an exact hit in the primary engine's result cache is
+  // answered on this reader thread — no queue push, no worker wakeup, no
+  // per-response send (the frame rides the session's batched tx buffer).
+  // Checked before fairness and admission: a hit consumes no worker and no
+  // window slot, which is precisely the compute those gates protect. The
+  // probe itself never blocks (TryGet never joins an in-flight run), so a
+  // cold or concurrent query costs the reader one leaf-mutex lookup.
+  if (core::RefinementCache* cache = primary_->result_cache();
+      cache != nullptr) {
+    auto start = std::chrono::steady_clock::now();
+    if (std::shared_ptr<const core::RefineOutcome> cached =
+            cache->TryGet(query)) {
+      inline_hits_->Increment();
+      tx->append(EncodeRefineResponseFrame(
+          request_id, MakeRefineResponse(*cached, /*degraded=*/false)));
+      request_us_->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count()));
+      return;
+    }
+  }
+
+  // Per-client fairness, checked BEFORE the shared queue high-water: a
+  // pipelining session that has filled its own window is shed individually,
+  // so one firehose client exhausts its window instead of driving the
+  // global queue past high water and starving every other session's
+  // admission.
+  if (options_.max_inflight_per_session != 0 &&
+      session->inflight.load(std::memory_order_relaxed) >=
+          options_.max_inflight_per_session) {
+    session_capped_->Increment();
+    shed_->Increment();
+    RetryAfter ra;
+    ra.retry_after_ms = options_.retry_after_ms;
+    ra.queue_depth = static_cast<uint32_t>(queue_.depth());
+    (void)SendFrame(*session, EncodeRetryAfterFrame(request_id, ra));
     return;
   }
 
@@ -315,9 +408,13 @@ void Server::HandleRefineRequest(const std::shared_ptr<Session>& session,
   }
   if (work.degraded) degraded_count_->Increment();
 
+  // Count toward the session window before Push: a worker could otherwise
+  // finish (and decrement) before this increment, underflowing the gauge.
+  session->inflight.fetch_add(1, std::memory_order_relaxed);
   if (!queue_.Push(std::move(work))) {
     // Lost the race between the high-water check and a burst; the bound
     // stays hard.
+    session->inflight.fetch_sub(1, std::memory_order_relaxed);
     shed_->Increment();
     RetryAfter ra;
     ra.retry_after_ms = options_.retry_after_ms;
@@ -335,6 +432,7 @@ void Server::WorkerLoop() {
     if (!work.has_value()) return;
     queue_depth_gauge_->Set(static_cast<int64_t>(queue_.depth()));
     ProcessWork(*work);
+    work->session->inflight.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
@@ -355,24 +453,9 @@ void Server::ProcessWork(Work& work) {
   if (!outcome.status.ok()) {
     frame = EncodeErrorFrame(work.request_id, outcome.status);
   } else {
-    RefineResponse response;
-    response.degraded = work.degraded && degraded_ != nullptr;
-    response.needs_refinement = outcome.needs_refinement;
-    response.prepare_us =
-        static_cast<uint64_t>(outcome.query_stats.prepare_ms * 1e3);
-    response.scan_us =
-        static_cast<uint64_t>(outcome.query_stats.scan_ms * 1e3);
-    response.rank_us =
-        static_cast<uint64_t>(outcome.query_stats.rank_ms * 1e3);
-    response.refined.reserve(outcome.refined.size());
-    for (const core::RankedRq& rq : outcome.refined) {
-      RefineResponse::Entry entry;
-      entry.query = JoinTerms(rq.rq.keywords);
-      entry.score = rq.rank;
-      entry.result_count = static_cast<uint32_t>(rq.results.size());
-      response.refined.push_back(std::move(entry));
-    }
-    frame = EncodeRefineResponseFrame(work.request_id, response);
+    frame = EncodeRefineResponseFrame(
+        work.request_id,
+        MakeRefineResponse(outcome, work.degraded && degraded_ != nullptr));
   }
   if (!SendFrame(session, frame).ok()) {
     send_errors_->Increment();

@@ -5,7 +5,15 @@
 // Request flow (all admission work happens in the reader thread, before the
 // queue, on metadata only):
 //
-//   reader: read frame -> decode -> tokenize -> AdmissionController::Decide
+//   reader: read frame -> decode -> tokenize
+//     result-cache hit -> response frame built inline, never queued (the
+//       fast path: when the primary engine's RefinementCache holds the
+//       exact query, the reader answers from it directly — no queue hop,
+//       no worker wakeup, and the response is batched with its neighbours
+//       into one send. Hits consume no worker and no window slot, so they
+//       bypass fairness and admission; both gates exist to protect compute
+//       the fast path never touches.)
+//     ... miss -> AdmissionController::Decide
 //     kShed    -> RETRY_AFTER frame, never queued
 //     kReject  -> error frame (kUnavailable), never queued
 //     kDegrade -> queued tagged for the degraded engine
@@ -16,6 +24,15 @@
 // The RefineControl carries the client deadline, the session's closed flag
 // as the cancel signal (a disconnect aborts the query mid-scan), and the
 // post-prepare candidate fan-out cap.
+//
+// Sessions are pipelined: the reader admits and enqueues each frame without
+// waiting for earlier responses, several workers may be answering one
+// session at once, and responses go out in completion order — correlation
+// is purely the echoed request id, serialized per session by write_mu.
+// Fairness: before the global queue high-water is even consulted, a session
+// already holding max_inflight_per_session queued-or-running requests is
+// shed with RETRY_AFTER, so one firehose client saturates its own window
+// instead of the shared queue.
 //
 // Robustness contract: a client disconnect is never fatal. SIGPIPE is
 // ignored once at Start and every send uses MSG_NOSIGNAL; EPIPE/ECONNRESET
@@ -57,6 +74,12 @@ struct ServerOptions {
   /// Post-prepare admission gate: a prepared rule set larger than this
   /// aborts with kUnavailable before any scan (RefineControl). 0 disables.
   size_t max_candidate_fanout = 50'000;
+  /// Per-session pipelining window: requests a session may have queued or
+  /// running at once before further frames are shed with RETRY_AFTER
+  /// (checked before the global queue high-water — per-client fairness).
+  /// 0 = unlimited. Clients should keep their pipeline depth at or below
+  /// this.
+  size_t max_inflight_per_session = 16;
   AdmissionOptions admission;
 };
 
@@ -97,6 +120,10 @@ class Server {
     /// Set on disconnect/teardown; doubles as the RefineControl cancel
     /// flag so in-flight queries for this session stop scanning.
     std::atomic<bool> closed{false};
+    /// Queued + running requests for this session (the fairness window).
+    /// Incremented by the reader before Push, decremented by the worker
+    /// after ProcessWork.
+    std::atomic<size_t> inflight{0};
 
     /// Half-closes the socket so blocked reads/writes fail; the fd itself
     /// stays open until the last reference drops (no fd-reuse races).
@@ -119,9 +146,13 @@ class Server {
   void AcceptLoop();
   void SessionLoop(std::shared_ptr<Session> session);
   void WorkerLoop();
-  /// Reader-thread handling of one refine request: admission + enqueue.
+  /// Reader-thread handling of one refine request: result-cache fast path,
+  /// then admission + enqueue. An inline cache hit appends its response
+  /// frame to `*tx` (the session loop's batched-send buffer) instead of
+  /// writing the socket — the loop flushes before it would block reading.
   void HandleRefineRequest(const std::shared_ptr<Session>& session,
-                           uint64_t request_id, const RefineRequest& request);
+                           uint64_t request_id, const RefineRequest& request,
+                           std::string* tx);
   void ProcessWork(Work& work);
   /// Writes one encoded frame under the session write mutex. EPIPE and
   /// ECONNRESET close the session and report IoError; neither is fatal to
@@ -154,6 +185,8 @@ class Server {
   metrics::Counter* degraded_count_;
   metrics::Counter* rejected_;
   metrics::Counter* shed_;
+  metrics::Counter* session_capped_;
+  metrics::Counter* inline_hits_;
   metrics::Counter* bad_frames_;
   metrics::Counter* send_errors_;
   metrics::Counter* disconnects_;

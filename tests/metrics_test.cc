@@ -359,5 +359,88 @@ TEST_F(ScanAccountingTest, SlcaAlgorithmChoiceKeepsCallCountStable) {
   EXPECT_EQ(calls[0], calls[1]);
 }
 
+// Result-cache accounting (DESIGN.md §16): per-stage query metrics count
+// *computations*, not arrivals. A cache hit records cache.hits plus one
+// query.cache_probe_us sample and nothing else; a coalesced burst of N
+// identical queries records exactly one query.count bump and one set of
+// per-stage histogram samples for the single engine run it performed.
+TEST_F(ScanAccountingTest, ResultCacheHitRecordsNoPerStageMetrics) {
+  auto corpus = testutil::MakeFigure1Corpus();
+  auto lexicon = text::Lexicon::BuiltIn();
+  core::XRefineOptions options;
+  options.result_cache.enabled = true;
+  core::XRefine engine(corpus.index.get(), &lexicon, options);
+  Registry& r = Registry::Global();
+
+  // Cold run: a normal computed query — one bump per stage, one miss.
+  Snapshot before = Take();
+  uint64_t misses_before = r.counter("cache.misses")->value();
+  auto outcome = engine.RunText("databse xml");
+  ASSERT_TRUE(outcome.status.ok());
+  ExpectOneQuery(before, Take(), outcome);
+  EXPECT_EQ(r.counter("cache.misses")->value(), misses_before + 1);
+
+  // Hot run: served from the cache — the per-stage accounting must not
+  // move at all; only the cache's own metrics do.
+  Snapshot cold = Take();
+  uint64_t hits_before = r.counter("cache.hits")->value();
+  uint64_t probes_before = r.histogram("query.cache_probe_us")->count();
+  auto hit = engine.RunText("databse xml");
+  ASSERT_TRUE(hit.status.ok());
+  Snapshot hot = Take();
+  EXPECT_EQ(hot.query_count, cold.query_count);
+  EXPECT_EQ(hot.scan_records, cold.scan_records);
+  EXPECT_EQ(hot.prepare_records, cold.prepare_records);
+  EXPECT_EQ(hot.rank_records, cold.rank_records);
+  EXPECT_EQ(hot.total_records, cold.total_records);
+  EXPECT_EQ(hot.slca_calls, cold.slca_calls);
+  EXPECT_EQ(r.counter("cache.hits")->value(), hits_before + 1);
+  EXPECT_EQ(r.histogram("query.cache_probe_us")->count(), probes_before + 1);
+  // The served outcome is the computed one, stats included.
+  EXPECT_EQ(hit.stats.slca_calls, outcome.stats.slca_calls);
+}
+
+TEST_F(ScanAccountingTest, CoalescedQueriesRecordOncePerComputation) {
+  auto corpus = testutil::MakeFigure1Corpus();
+  auto lexicon = text::Lexicon::BuiltIn();
+  core::XRefineOptions options;
+  options.result_cache.enabled = true;
+  core::XRefine engine(corpus.index.get(), &lexicon, options);
+  Registry& r = Registry::Global();
+
+  constexpr int kThreads = 4;
+  Snapshot before = Take();
+  uint64_t hits_before = r.counter("cache.hits")->value();
+  uint64_t misses_before = r.counter("cache.misses")->value();
+  uint64_t waits_before = r.counter("cache.coalesced_waits")->value();
+
+  std::vector<std::thread> threads;
+  std::vector<core::RefineOutcome> outcomes(kThreads);
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back(
+        [&, i] { outcomes[i] = engine.Run({"skyline", "stream"}, nullptr); });
+  }
+  for (auto& t : threads) t.join();
+  Snapshot after = Take();
+
+  for (const auto& o : outcomes) ASSERT_TRUE(o.status.ok());
+  // Scheduling decides how many arrivals coalesce vs hit a published entry,
+  // but the invariant holds regardless: the per-stage accounting moved once
+  // per *computation* (== cache.misses delta), and every arrival resolved
+  // as exactly one of hit / coalesced wait / miss.
+  uint64_t computed = r.counter("cache.misses")->value() - misses_before;
+  ASSERT_GE(computed, 1u);
+  EXPECT_EQ(after.query_count - before.query_count, computed);
+  EXPECT_EQ(after.scan_records - before.scan_records, computed);
+  EXPECT_EQ(after.prepare_records - before.prepare_records, computed);
+  EXPECT_EQ(after.rank_records - before.rank_records, computed);
+  EXPECT_EQ(after.total_records - before.total_records, computed);
+  EXPECT_EQ((r.counter("cache.hits")->value() - hits_before) +
+                (r.counter("cache.coalesced_waits")->value() - waits_before) +
+                computed,
+            static_cast<uint64_t>(kThreads));
+}
+
 }  // namespace
 }  // namespace xrefine::metrics

@@ -1,0 +1,423 @@
+// Tests for core::RefinementCache: canonical keying, single-flight
+// coalescing (leader/waiter protocol, cancel isolation, leader-failure
+// re-election), epoch and rule-set invalidation, and TinyLFU-bounded
+// admission. The multi-threaded cases double as the TSan stress surface
+// for the cache (run under -fsanitize=thread in the build matrix).
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "core/refine_common.h"
+#include "core/refinement_cache.h"
+#include "core/xrefine.h"
+#include "tests/test_helpers.h"
+#include "text/lexicon.h"
+
+namespace xrefine::core {
+namespace {
+
+using metrics::Registry;
+
+// Global counters accumulate across tests in one binary: always assert on
+// deltas against a snapshot, never on absolute values.
+struct CacheCounters {
+  uint64_t hits, misses, coalesced_waits, evictions, epoch_invalidations;
+  uint64_t probe_records;
+
+  static CacheCounters Take() {
+    Registry& r = Registry::Global();
+    return CacheCounters{r.counter("cache.hits")->value(),
+                         r.counter("cache.misses")->value(),
+                         r.counter("cache.coalesced_waits")->value(),
+                         r.counter("cache.evictions")->value(),
+                         r.counter("cache.epoch_invalidations")->value(),
+                         r.histogram("query.cache_probe_us")->count()};
+  }
+};
+
+// A recognisable outcome: the marker rides in stats.slca_calls so tests can
+// tell whose computation produced the value they got back.
+RefineOutcome MakeOutcome(size_t marker) {
+  RefineOutcome o;
+  o.needs_refinement = false;
+  o.stats.slca_calls = marker;
+  return o;
+}
+
+class RefinementCacheTest : public ::testing::Test {
+ protected:
+  RefinementCacheTest() : corpus_(testutil::MakeFigure1Corpus()) {}
+
+  std::unique_ptr<RefinementCache> MakeCache(ResultCacheOptions options = {}) {
+    options.enabled = true;
+    return std::make_unique<RefinementCache>(corpus_.index.get(), options);
+  }
+
+  testutil::Corpus corpus_;
+};
+
+TEST_F(RefinementCacheTest, HitServesCachedOutcomeWithoutRecompute) {
+  auto cache = MakeCache();
+  const Query q{"database", "xml"};
+  std::atomic<int> computes{0};
+  auto compute = [&] {
+    computes.fetch_add(1);
+    return MakeOutcome(7);
+  };
+
+  CacheCounters before = CacheCounters::Take();
+  RefineOutcome first = cache->GetOrCompute(q, nullptr, compute);
+  RefineOutcome second = cache->GetOrCompute(q, nullptr, compute);
+  CacheCounters after = CacheCounters::Take();
+
+  EXPECT_EQ(computes.load(), 1);
+  EXPECT_EQ(first.stats.slca_calls, 7u);
+  EXPECT_EQ(second.stats.slca_calls, 7u);
+  EXPECT_EQ(after.misses, before.misses + 1);
+  EXPECT_EQ(after.hits, before.hits + 1);
+  EXPECT_EQ(after.coalesced_waits, before.coalesced_waits);
+  // Every probe lands one cache_probe_us sample, hit or miss.
+  EXPECT_EQ(after.probe_records, before.probe_records + 2);
+  EXPECT_EQ(cache->entries(), 1u);
+}
+
+TEST_F(RefinementCacheTest, CanonicalKeyNormalizesSpellingOrderAndDuplicates) {
+  // Stemming + sorting + dedup: all spellings of one information need land
+  // in one bucket.
+  EXPECT_EQ(RefinementCache::CanonicalKey({"database", "xml"}),
+            RefinementCache::CanonicalKey({"XML", "databases"}));
+  EXPECT_EQ(RefinementCache::CanonicalKey({"xml", "xml", "database"}),
+            RefinementCache::CanonicalKey({"database", "xml"}));
+  // Different stems stay distinct, and the separator prevents boundary
+  // collisions between multi-term keys.
+  EXPECT_NE(RefinementCache::CanonicalKey({"database", "xml"}),
+            RefinementCache::CanonicalKey({"database", "stream"}));
+  EXPECT_NE(RefinementCache::CanonicalKey({"ab", "c"}),
+            RefinementCache::CanonicalKey({"a", "bc"}));
+}
+
+TEST_F(RefinementCacheTest, SameBucketDifferentExactTermsRecomputes) {
+  // "xml database" and "database xml" share a canonical bucket, but the
+  // refined-query strings echo the user's exact order — a bucket hit with
+  // different exact terms must recompute, not serve the other spelling.
+  auto cache = MakeCache();
+  const Query a{"database", "xml"};
+  const Query b{"xml", "database"};
+  ASSERT_EQ(RefinementCache::CanonicalKey(a), RefinementCache::CanonicalKey(b));
+
+  std::atomic<int> computes{0};
+  auto outcome_a =
+      cache->GetOrCompute(a, nullptr, [&] { computes.fetch_add(1); return MakeOutcome(1); });
+  auto outcome_b =
+      cache->GetOrCompute(b, nullptr, [&] { computes.fetch_add(1); return MakeOutcome(2); });
+  EXPECT_EQ(computes.load(), 2);
+  EXPECT_EQ(outcome_a.stats.slca_calls, 1u);
+  EXPECT_EQ(outcome_b.stats.slca_calls, 2u);
+
+  // One bucket, so the latest exact query owns the slot: `b` now hits,
+  // `a` recomputes again.
+  EXPECT_EQ(cache->entries(), 1u);
+  auto again_b =
+      cache->GetOrCompute(b, nullptr, [&] { computes.fetch_add(1); return MakeOutcome(3); });
+  EXPECT_EQ(computes.load(), 2);
+  EXPECT_EQ(again_b.stats.slca_calls, 2u);
+}
+
+TEST_F(RefinementCacheTest, EpochBumpInvalidatesWholesale) {
+  auto cache = MakeCache();
+  const Query q{"database", "xml"};
+  std::atomic<int> computes{0};
+  auto compute = [&] { computes.fetch_add(1); return MakeOutcome(9); };
+
+  (void)cache->GetOrCompute(q, nullptr, compute);
+  ASSERT_EQ(computes.load(), 1);
+
+  CacheCounters before = CacheCounters::Take();
+  corpus_.index->BumpEpochForTesting();
+  RefineOutcome after_bump = cache->GetOrCompute(q, nullptr, compute);
+  CacheCounters after = CacheCounters::Take();
+
+  EXPECT_EQ(computes.load(), 2);
+  EXPECT_EQ(after_bump.stats.slca_calls, 9u);
+  EXPECT_EQ(after.epoch_invalidations, before.epoch_invalidations + 1);
+  EXPECT_EQ(after.misses, before.misses + 1);
+  EXPECT_EQ(after.hits, before.hits);
+}
+
+TEST_F(RefinementCacheTest, InvalidateAllDropsEntriesAndBlocksStaleInsert) {
+  auto cache = MakeCache();
+  std::atomic<int> computes{0};
+  auto compute = [&] { computes.fetch_add(1); return MakeOutcome(1); };
+  (void)cache->GetOrCompute({"database"}, nullptr, compute);
+  (void)cache->GetOrCompute({"xml"}, nullptr, compute);
+  ASSERT_EQ(cache->entries(), 2u);
+
+  cache->InvalidateAll();
+  EXPECT_EQ(cache->entries(), 0u);
+  (void)cache->GetOrCompute({"database"}, nullptr, compute);
+  EXPECT_EQ(computes.load(), 3);
+
+  // A computation that straddles InvalidateAll must not insert its result:
+  // the rule set it was computed under is retired.
+  auto straddling = [&] {
+    computes.fetch_add(1);
+    cache->InvalidateAll();
+    return MakeOutcome(2);
+  };
+  RefineOutcome out = cache->GetOrCompute({"stream"}, nullptr, straddling);
+  EXPECT_EQ(out.stats.slca_calls, 2u);  // caller still gets the result
+  EXPECT_EQ(cache->entries(), 0u);      // but the map stays clean
+}
+
+TEST_F(RefinementCacheTest, FailedComputationsAreNeverCached) {
+  auto cache = MakeCache();
+  const Query q{"database"};
+  std::atomic<int> computes{0};
+  auto failing = [&] {
+    computes.fetch_add(1);
+    RefineOutcome o;
+    o.status = Status::IoError("store fell over");
+    return o;
+  };
+  RefineOutcome first = cache->GetOrCompute(q, nullptr, failing);
+  EXPECT_FALSE(first.status.ok());
+  EXPECT_EQ(cache->entries(), 0u);
+  RefineOutcome second = cache->GetOrCompute(q, nullptr, failing);
+  EXPECT_FALSE(second.status.ok());
+  EXPECT_EQ(computes.load(), 2);
+}
+
+TEST_F(RefinementCacheTest, SingleFlightCoalescesConcurrentIdenticalQueries) {
+  auto cache = MakeCache();
+  const Query q{"skyline", "stream"};
+  constexpr int kThreads = 8;
+
+  std::atomic<int> computes{0};
+  std::atomic<bool> release{false};
+  auto compute = [&] {
+    computes.fetch_add(1);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return MakeOutcome(42);
+  };
+
+  CacheCounters before = CacheCounters::Take();
+  std::vector<RefineOutcome> outcomes(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back(
+        [&, i] { outcomes[i] = cache->GetOrCompute(q, nullptr, compute); });
+  }
+  // Exactly one thread becomes the leader and enters compute; wait for the
+  // other seven to park on the flight before releasing it, so this test
+  // exercises real coalescing rather than sequential hits.
+  while (CacheCounters::Take().coalesced_waits <
+         before.coalesced_waits + kThreads - 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  release.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  CacheCounters after = CacheCounters::Take();
+  EXPECT_EQ(computes.load(), 1);
+  EXPECT_EQ(after.misses, before.misses + 1);
+  EXPECT_EQ(after.coalesced_waits, before.coalesced_waits + kThreads - 1);
+  for (const RefineOutcome& o : outcomes) {
+    EXPECT_TRUE(o.status.ok());
+    EXPECT_EQ(o.stats.slca_calls, 42u);
+  }
+  // Every probe resolved as exactly one of hit / wait / miss.
+  EXPECT_EQ((after.hits - before.hits) + (after.misses - before.misses) +
+                (after.coalesced_waits - before.coalesced_waits),
+            static_cast<uint64_t>(kThreads));
+}
+
+TEST_F(RefinementCacheTest, CancelledWaiterDoesNotPoisonTheFlight) {
+  auto cache = MakeCache();
+  const Query q{"database", "xml"};
+
+  std::atomic<int> computes{0};
+  std::atomic<bool> release{false};
+  auto compute = [&] {
+    computes.fetch_add(1);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return MakeOutcome(5);
+  };
+
+  CacheCounters before = CacheCounters::Take();
+  RefineOutcome leader_out;
+  std::thread leader(
+      [&] { leader_out = cache->GetOrCompute(q, nullptr, compute); });
+  while (computes.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::atomic<bool> cancel{false};
+  RefineControl control;
+  control.cancel = &cancel;
+  RefineOutcome waiter_out;
+  std::thread waiter(
+      [&] { waiter_out = cache->GetOrCompute(q, &control, compute); });
+  while (CacheCounters::Take().coalesced_waits < before.coalesced_waits + 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Cancel only the waiter: it must return promptly with DeadlineExceeded
+  // while the leader keeps computing, unaffected.
+  cancel.store(true);
+  waiter.join();
+  EXPECT_TRUE(waiter_out.status.IsDeadlineExceeded());
+
+  release.store(true, std::memory_order_release);
+  leader.join();
+  EXPECT_TRUE(leader_out.status.ok());
+  EXPECT_EQ(leader_out.stats.slca_calls, 5u);
+  EXPECT_EQ(computes.load(), 1);
+
+  // The flight completed and published: the next probe is a pure hit.
+  std::atomic<int> late_computes{0};
+  RefineOutcome hit = cache->GetOrCompute(
+      q, nullptr, [&] { late_computes.fetch_add(1); return MakeOutcome(0); });
+  EXPECT_EQ(late_computes.load(), 0);
+  EXPECT_EQ(hit.stats.slca_calls, 5u);
+}
+
+TEST_F(RefinementCacheTest, WaiterReelectsAfterLeaderFailure) {
+  auto cache = MakeCache();
+  const Query q{"database", "xml"};
+
+  // First invocation fails (after a waiter has joined); the re-elected
+  // leader's invocation succeeds.
+  std::atomic<int> computes{0};
+  std::atomic<bool> release{false};
+  auto compute = [&]() -> RefineOutcome {
+    int n = computes.fetch_add(1) + 1;
+    if (n == 1) {
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      RefineOutcome o;
+      o.status = Status::IoError("transient store failure");
+      return o;
+    }
+    return MakeOutcome(11);
+  };
+
+  CacheCounters before = CacheCounters::Take();
+  RefineOutcome first_out, second_out;
+  std::thread first([&] { first_out = cache->GetOrCompute(q, nullptr, compute); });
+  while (computes.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::thread second(
+      [&] { second_out = cache->GetOrCompute(q, nullptr, compute); });
+  while (CacheCounters::Take().coalesced_waits < before.coalesced_waits + 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  release.store(true, std::memory_order_release);
+  first.join();
+  second.join();
+
+  // The original leader surfaces its own failure; the waiter does not
+  // inherit it — it re-probes, becomes the new leader, and succeeds.
+  EXPECT_FALSE(first_out.status.ok());
+  EXPECT_TRUE(second_out.status.ok());
+  EXPECT_EQ(second_out.stats.slca_calls, 11u);
+  EXPECT_EQ(computes.load(), 2);
+  EXPECT_EQ(cache->entries(), 1u);
+}
+
+TEST_F(RefinementCacheTest, TinyLfuAdmissionKeepsColdNewcomersOut) {
+  ResultCacheOptions options;
+  options.max_entries = 2;
+  auto cache = MakeCache(options);
+  std::atomic<int> computes{0};
+  auto compute = [&] { computes.fetch_add(1); return MakeOutcome(1); };
+
+  (void)cache->GetOrCompute({"database"}, nullptr, compute);
+  (void)cache->GetOrCompute({"xml"}, nullptr, compute);
+  ASSERT_EQ(cache->entries(), 2u);
+
+  // First sight of "stream": its sketch estimate ties the LRU victim's, so
+  // the duel rejects it — computed, returned, not admitted.
+  CacheCounters before = CacheCounters::Take();
+  (void)cache->GetOrCompute({"stream"}, nullptr, compute);
+  EXPECT_EQ(cache->entries(), 2u);
+  EXPECT_EQ(CacheCounters::Take().evictions, before.evictions);
+
+  // Second sight: the probe itself made it hotter than the victim, so now
+  // it displaces the coldest resident.
+  (void)cache->GetOrCompute({"stream"}, nullptr, compute);
+  EXPECT_EQ(cache->entries(), 2u);
+  EXPECT_EQ(CacheCounters::Take().evictions, before.evictions + 1);
+  std::atomic<int> late_computes{0};
+  RefineOutcome hit = cache->GetOrCompute(
+      {"stream"}, nullptr,
+      [&] { late_computes.fetch_add(1); return MakeOutcome(0); });
+  EXPECT_EQ(late_computes.load(), 0);
+  EXPECT_TRUE(hit.status.ok());
+}
+
+// TSan stress: many threads hammer one cache-enabled engine with a small
+// query mix while cancels race the in-flight computations and the rule set
+// is swapped mid-stream. No assertion beyond "every outcome is OK or
+// DeadlineExceeded" — the point is that TSan sees no race and the lock-rank
+// checker sees no inversion.
+TEST_F(RefinementCacheTest, EngineSingleFlightStressWithRacingCancels) {
+  auto lexicon = text::Lexicon::BuiltIn();
+  XRefineOptions options;
+  options.result_cache.enabled = true;
+  XRefine engine(corpus_.index.get(), &lexicon, options);
+  ASSERT_NE(engine.result_cache(), nullptr);
+
+  const std::vector<Query> queries = {
+      {"databse", "xml"}, {"skyline", "stream"}, {"xml", "databse"}};
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 30;
+
+  std::atomic<bool> cancel{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      RefineControl control;
+      // Half the threads run cancellable; the shared flag flips under them.
+      if (t % 2 == 0) control.cancel = &cancel;
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const Query& q = queries[(t + i) % queries.size()];
+        RefineOutcome out = engine.Run(q, &control);
+        if (!out.status.ok() && !out.status.IsDeadlineExceeded()) {
+          failures.fetch_add(1);
+        }
+        if (t == 0 && i % 10 == 5) {
+          // Rule-set swap mid-stream: exercises InvalidateAll racing
+          // in-flight computations and waiters.
+          engine.AttachQueryLog(QueryLog{});
+        }
+        cancel.store(i % 7 == 3, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // The cache still serves correctly after the storm.
+  cancel.store(false);
+  RefineOutcome out = engine.Run(queries[0], nullptr);
+  EXPECT_TRUE(out.status.ok());
+}
+
+}  // namespace
+}  // namespace xrefine::core

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -431,6 +432,160 @@ TEST(ServerTest, ServesStoreBackedSourceConcurrently) {
   EXPECT_EQ(ok.load(), kThreads * kPerThread);
   server.Stop();
   std::remove(path.c_str());
+}
+
+// Semantic payload equality for pipelined-vs-serial cross-checks: per-stage
+// timings legitimately differ between runs, everything else must not.
+void ExpectSameRefinement(const RefineResponse& got,
+                          const RefineResponse& want) {
+  EXPECT_EQ(got.needs_refinement, want.needs_refinement);
+  ASSERT_EQ(got.refined.size(), want.refined.size());
+  for (size_t i = 0; i < want.refined.size(); ++i) {
+    EXPECT_EQ(got.refined[i].query, want.refined[i].query);
+    EXPECT_EQ(got.refined[i].result_count, want.refined[i].result_count);
+    EXPECT_DOUBLE_EQ(got.refined[i].score, want.refined[i].score);
+  }
+}
+
+TEST(ServerTest, PipelinedResponsesCorrelateOutOfOrder) {
+  // Four workers draining a mix of heavy and light queries complete in
+  // shuffled order; the request ids carry the correlation. Every id must be
+  // answered exactly once and carry the same refinement the query gets on
+  // a serial connection.
+  ServerOptions options;
+  options.num_workers = 4;
+  auto server = StartServer(options);
+
+  // Serial references, one per distinct query.
+  Client serial = ConnectTo(*server);
+  RefineResult light_ref, heavy_ref;
+  ASSERT_TRUE(serial.Refine(Env().well_behaved_query, 0, &light_ref).ok());
+  ASSERT_EQ(light_ref.kind, RefineResult::Kind::kRefined);
+  ASSERT_TRUE(serial.Refine(Env().heavy_query, 0, &heavy_ref).ok());
+  ASSERT_EQ(heavy_ref.kind, RefineResult::Kind::kRefined);
+
+  Client pipelined = ConnectTo(*server);
+  pipelined.set_pipeline_depth(16);
+  constexpr int kRequests = 12;
+  std::map<uint64_t, bool> is_heavy;  // id -> which reference to check
+  for (int i = 0; i < kRequests; ++i) {
+    // Heavy first: their answers tend to land AFTER the light queries sent
+    // behind them, which is the out-of-order shape under test.
+    bool heavy = i < kRequests / 2;
+    uint64_t id = 0;
+    ASSERT_TRUE(pipelined
+                    .SendNowait(heavy ? Env().heavy_query
+                                      : Env().well_behaved_query,
+                                0, &id)
+                    .ok());
+    ASSERT_TRUE(is_heavy.emplace(id, heavy).second);
+  }
+  EXPECT_EQ(pipelined.pending(), static_cast<size_t>(kRequests));
+
+  std::vector<uint64_t> completion_order;
+  while (pipelined.pending() > 0) {
+    Client::PipelinedResult got;
+    ASSERT_TRUE(pipelined.Poll(&got).ok());
+    auto it = is_heavy.find(got.request_id);
+    ASSERT_NE(it, is_heavy.end()) << "duplicate or unknown id";
+    ASSERT_EQ(got.result.kind, RefineResult::Kind::kRefined);
+    ExpectSameRefinement(got.result.response,
+                         it->second ? heavy_ref.response : light_ref.response);
+    completion_order.push_back(got.request_id);
+    is_heavy.erase(it);
+  }
+  EXPECT_TRUE(is_heavy.empty());  // every id answered exactly once
+  EXPECT_EQ(completion_order.size(), static_cast<size_t>(kRequests));
+  // Drained pipeline: serial calls are legal again on the same connection.
+  EXPECT_TRUE(pipelined.Ping().ok());
+  server->Stop();
+}
+
+TEST(ServerTest, PerSessionInflightCapShedsBeforeGlobalQueue) {
+  // One worker, global queue far from full, per-session cap of 2: a
+  // pipelined burst of 6 heavy queries from one connection must see some
+  // RETRY_AFTER sheds — the fairness gate fires on the session's own
+  // in-flight count even though the global queue has plenty of room.
+  ServerOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 128;
+  options.max_inflight_per_session = 2;
+  options.retry_after_ms = 33;
+  auto server = StartServer(options);
+  Client client = ConnectTo(*server);
+  client.set_pipeline_depth(8);
+
+  constexpr int kBurst = 6;
+  for (int i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(client.SendNowait(Env().heavy_query, 0, nullptr).ok());
+  }
+  int refined = 0, shed = 0, other = 0;
+  while (client.pending() > 0) {
+    Client::PipelinedResult got;
+    ASSERT_TRUE(client.Poll(&got).ok());
+    switch (got.result.kind) {
+      case RefineResult::Kind::kRefined:
+        ++refined;
+        break;
+      case RefineResult::Kind::kRetryAfter:
+        EXPECT_EQ(got.result.retry_after.retry_after_ms, 33u);
+        ++shed;
+        break;
+      default:
+        ++other;
+    }
+  }
+  EXPECT_EQ(other, 0);
+  EXPECT_EQ(refined + shed, kBurst);
+  // The cap admits at most 2 at once; a burst of 6 sent back-to-back down
+  // one loopback stream cannot all fit.
+  EXPECT_GT(shed, 0);
+  EXPECT_GE(refined, 1);
+
+  std::string json;
+  ASSERT_TRUE(client.StatsJson(&json).ok());
+  EXPECT_NE(json.find("server.session_capped"), std::string::npos);
+  server->Stop();
+}
+
+TEST(ServerTest, RecvDeadlineFiresOnSilentServer) {
+  // A listener that accepts (via the kernel backlog) but never answers: the
+  // pre-fix client blocked in recv() forever here. With a receive deadline
+  // the stall surfaces as kDeadlineExceeded in bounded time.
+  int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 4), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ntohs(addr.sin_port)).ok());
+  client.set_recv_timeout_ms(200);
+
+  auto start = std::chrono::steady_clock::now();
+  RefineResult result;
+  Status st = client.Refine("anything at all", 0, &result);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_TRUE(st.IsDeadlineExceeded()) << st;
+  EXPECT_GE(elapsed.count(), 190);
+  EXPECT_LT(elapsed.count(), 5000);
+
+  // Same stall in pipelined mode: Poll honours the deadline too.
+  Client pipelined;
+  ASSERT_TRUE(pipelined.Connect("127.0.0.1", ntohs(addr.sin_port)).ok());
+  pipelined.set_recv_timeout_ms(100);
+  ASSERT_TRUE(pipelined.SendNowait("still nothing", 0, nullptr).ok());
+  Client::PipelinedResult got;
+  EXPECT_TRUE(pipelined.Poll(&got).IsDeadlineExceeded());
+  ::close(listener);
 }
 
 TEST(RefineControlTest, PastDeadlineStopsBeforeAnyWork) {

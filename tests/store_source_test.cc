@@ -426,6 +426,69 @@ TEST(StoreSourceTest, RepeatedRequestsEventuallyAdmitOverColderVictims) {
   EXPECT_TRUE(source.IsCachedForTesting("w003"));
 }
 
+// W-TinyLFU: the recency window fixes plain TinyLFU's burst blindness. A
+// first-touch key always loses the sketch duel against a warmed hot set
+// (frequency 1 vs 5), so a recency spike — new keys that will be re-read
+// within moments — thrashes against the sketch. With a window, new lists
+// enter a windowed-LRU stage without a duel and only pay the sketch on the
+// way OUT of the window, so the spike is resident for its re-reads.
+TEST(StoreSourceTest, RecencyWindowAdmitsFirstTouchBursts) {
+  auto corpus = MakeCorpus(UniformCorpusXml(40));
+  auto store = SavedStore(*corpus.index);
+  size_t list_bytes = MeasureListBytes(store.get());
+  ASSERT_GT(list_bytes, 0u);
+
+  const std::vector<std::string> hot = {"w000", "w001", "w002", "w003"};
+  StoreIndexSourceOptions options;
+  options.cache_capacity_bytes = hot.size() * list_bytes;
+
+  auto warm = [&](StoreBackedIndexSource& source) {
+    for (int round = 0; round < 5; ++round) {
+      for (const std::string& kw : hot) {
+        ASSERT_TRUE(source.FetchList(kw).ok());
+      }
+    }
+  };
+
+  {
+    // Baseline (window off): the burst key is served but not retained.
+    auto source_or = StoreBackedIndexSource::Open(store.get(), options);
+    ASSERT_TRUE(source_or.ok());
+    auto& source = *source_or.value();
+    EXPECT_EQ(source.window_lists(), 0u);
+    warm(source);
+    ASSERT_TRUE(source.FetchList("w010").ok());
+    EXPECT_FALSE(source.IsCachedForTesting("w010"));
+  }
+
+  {
+    // Same trace with a one-list recency window: the burst key is resident
+    // from its first touch, and its second touch is a cache hit.
+    options.window_fraction = 0.25;
+    auto source_or = StoreBackedIndexSource::Open(store.get(), options);
+    ASSERT_TRUE(source_or.ok());
+    auto& source = *source_or.value();
+    warm(source);
+    for (const std::string& kw : hot) {
+      EXPECT_TRUE(source.IsCachedForTesting(kw)) << kw;
+    }
+
+    auto& fetches = *metrics::Registry::Global().counter("index.list_fetches");
+    ASSERT_TRUE(source.FetchList("w010").ok());
+    EXPECT_TRUE(source.IsCachedForTesting("w010"));
+    EXPECT_GE(source.window_lists(), 1u);
+    uint64_t fetches_after_first = fetches.value();
+    auto handle_or = source.FetchList("w010");
+    ASSERT_TRUE(handle_or.ok());
+    EXPECT_EQ(handle_or.value()->ToPostings(),
+              *corpus.index->index().Find("w010"));
+    // Served from the window, not re-decoded from the store.
+    EXPECT_EQ(fetches.value(), fetches_after_first);
+    // The byte budget still holds: window + main together never exceed it.
+    EXPECT_LE(source.cached_bytes(), options.cache_capacity_bytes);
+  }
+}
+
 // --- lazy vocabulary (persisted Bloom filter) -------------------------------
 
 TEST(StoreSourceTest, LazyVocabularyMatchesEagerAnswers) {

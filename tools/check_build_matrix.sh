@@ -138,11 +138,16 @@ echo "=== [tsan] bench_rule_generation smoke ==="
 (cd "$MATRIX_DIR/tsan" && ./bench/bench_rule_generation --quick >/dev/null)
 echo "=== [tsan] rule-generation smoke OK ==="
 
-# Serving smoke under TSan: a real daemon process on an ephemeral port,
-# driven over TCP by the load driver — accept loop, session readers, worker
-# pool, admission gate, and metrics all racing for real. The driver exits
-# non-zero on any dropped or malformed frame, and the daemon must shut down
-# cleanly on SIGTERM (a TSan report turns its exit status non-zero too).
+# Serving smoke under TSan: a real daemon process on an ephemeral port
+# (result cache ON — the xrefine_serve default), driven over TCP by the
+# load driver — accept loop, session readers, worker pool, admission gate,
+# result cache (reader-thread inline hits racing worker-thread fills), and
+# metrics all racing for real. The driver's repeated-query phase runs a
+# depth-8 pipelined window against the live daemon and exits non-zero on
+# any transport error, any dropped/malformed frame, or any response whose
+# payload is not byte-identical to the serial pass and the cold/coalesced/
+# cached cross-check. The daemon must shut down cleanly on SIGTERM (a TSan
+# report turns its exit status non-zero too).
 echo "=== [tsan] server smoke ==="
 (
   cd "$MATRIX_DIR/tsan"
@@ -161,7 +166,7 @@ echo "=== [tsan] server smoke ==="
   if [ -z "$PORT" ]; then
     echo "xrefine_serve never reported its port"; kill "$SERVE_PID"; exit 1
   fi
-  ./bench/bench_server_load --port "$PORT" --quick \
+  ./bench/bench_server_load --port "$PORT" --quick --pipeline-depth 8 \
       --out server_smoke.json >/dev/null
   kill -TERM "$SERVE_PID"
   wait "$SERVE_PID"

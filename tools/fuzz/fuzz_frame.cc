@@ -1,7 +1,10 @@
-// Fuzz harness for the server wire framing (src/server/frame.h): the whole
-// input is treated as one hostile frame — header bytes first, then payload.
+// Fuzz harness for the server wire framing (src/server/frame.h): the input
+// is treated as a hostile frame STREAM — the byte sequence a pipelined
+// session delivers, many frames with interleaved request ids back to back.
+// The harness walks it frame by frame (bounded), so corruption landing
+// mid-stream exercises the decoders at arbitrary offsets, not just 0.
 //
-// Properties enforced on every input:
+// Properties enforced on every frame of every input:
 //  * the decoders never crash, hang, or allocate past the reserve clamps,
 //    no matter what the bytes claim;
 //  * anything shorter than a header is rejected;
@@ -69,11 +72,10 @@ void CheckFixpoint(std::string_view payload, uint64_t request_id,
   Require(frame3 == frame2, "encode is not a fixpoint after one round");
 }
 
-}  // namespace
-
-extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
-  std::string_view bytes(reinterpret_cast<const char*>(data), size);
-
+/// Runs the single-frame checks on the stream's next frame. Returns the
+/// bytes that frame consumed (header + the payload bytes actually present),
+/// or 0 when no further frame can be parsed.
+size_t CheckOneFrame(std::string_view bytes) {
   FrameHeader header;
   Status status = DecodeFrameHeader(bytes, &header);
   if (bytes.size() < kFrameHeaderSize) {
@@ -154,6 +156,20 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
       // Payload-free types: nothing to decode; the server ignores any bytes
       // a hostile client smuggles after the header.
       break;
+  }
+  return kFrameHeaderSize + payload.size();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  // Bounded walk: kMaxPayloadLen caps each frame, so 64 frames bounds the
+  // work per input without ever truncating a realistic pipelined burst.
+  for (int frame = 0; frame < 64 && !bytes.empty(); ++frame) {
+    size_t consumed = CheckOneFrame(bytes);
+    if (consumed == 0) break;
+    bytes.remove_prefix(consumed);
   }
   return 0;
 }

@@ -221,6 +221,32 @@ int main(int argc, char** argv) {
     std::string truncated = srv::EncodeRefineResponseFrame(7, response);
     truncated.resize(truncated.size() / 2);
     ok &= WriteSeed(dir, "refine_response_truncated", truncated);
+
+    // Pipelined streams: several frames with interleaved request ids back
+    // to back, the byte sequences a depth-k session actually produces. The
+    // frame harness walks inputs frame by frame, so these seed mutations
+    // that corrupt a header or payload mid-stream.
+    srv::RefineRequest second = request;
+    second.deadline_ms = 0;
+    second.query = "skyline computation data stream";
+    srv::RefineRequest third = request;
+    third.query = "martin sigmod";
+    ok &= WriteSeed(dir, "pipelined_requests",
+                    srv::EncodeRefineRequestFrame(21, request) +
+                        srv::EncodeRefineRequestFrame(22, second) +
+                        srv::EncodeRefineRequestFrame(23, third) +
+                        srv::EncodeEmptyFrame(srv::FrameType::kPing, 24));
+    // Responses in completion order, not send order: the out-of-order
+    // correlation stream a pipelined client must absorb.
+    ok &= WriteSeed(dir, "pipelined_responses_out_of_order",
+                    srv::EncodeRefineResponseFrame(22, response) +
+                        srv::EncodeRetryAfterFrame(23, ra) +
+                        srv::EncodeRefineResponseFrame(21, degraded) +
+                        srv::EncodeEmptyFrame(srv::FrameType::kPong, 24));
+    // A clean frame, then one whose tail the wire never delivered.
+    std::string mid_truncated = srv::EncodeRefineRequestFrame(31, request);
+    mid_truncated += truncated;
+    ok &= WriteSeed(dir, "pipelined_truncated_tail", mid_truncated);
   }
 
   if (!ok) {

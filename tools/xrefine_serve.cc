@@ -11,6 +11,10 @@
 //   --workers N       worker pool size (default 4)
 //   --queue N         request queue capacity (default 64)
 //   --no-admission    disable admission control (load-driver baseline)
+//   --no-result-cache disable the engine result cache (ablation; the cache
+//                     is ON by default — repeated queries serve without
+//                     recomputing, concurrent identical queries coalesce)
+//   --cache-entries N result cache capacity in entries (default 1024)
 //   --stats           dump the metrics registry on shutdown
 //
 // Prints exactly one "listening on port N" line to stdout once serving —
@@ -40,6 +44,8 @@ int main(int argc, char** argv) {
   std::string store_path;
   xrefine::server::ServerOptions server_options;
   bool dump_stats = false;
+  bool result_cache = true;
+  size_t cache_entries = 1024;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -56,11 +62,16 @@ int main(int argc, char** argv) {
           static_cast<size_t>(std::atoll(argv[++i]));
     } else if (arg == "--no-admission") {
       server_options.admission.enabled = false;
+    } else if (arg == "--no-result-cache") {
+      result_cache = false;
+    } else if (arg == "--cache-entries" && i + 1 < argc) {
+      cache_entries = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (arg == "--stats") {
       dump_stats = true;
     } else {
       std::cerr << "usage: xrefine_serve [--dblp N | --store FILE] [--port P]"
-                   " [--workers N] [--queue N] [--no-admission] [--stats]\n";
+                   " [--workers N] [--queue N] [--no-admission]"
+                   " [--no-result-cache] [--cache-entries N] [--stats]\n";
       return 1;
     }
   }
@@ -106,6 +117,10 @@ int main(int argc, char** argv) {
 
   auto lexicon = xrefine::text::Lexicon::BuiltIn();
   xrefine::core::XRefineOptions engine_options;
+  // Each engine owns its own cache: the degraded engine's capped options
+  // produce different outcomes, so the two must never share entries.
+  engine_options.result_cache.enabled = result_cache;
+  engine_options.result_cache.max_entries = cache_entries;
   xrefine::core::XRefine primary(source, &lexicon, engine_options);
   xrefine::core::XRefine degraded(
       source, &lexicon, xrefine::server::MakeDegradedOptions(engine_options));
